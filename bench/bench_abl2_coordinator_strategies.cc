@@ -1,0 +1,116 @@
+// Ablation 2 (Section IV-C): the four query-coordinator location
+// strategies. Measures what the paper discusses qualitatively:
+//   1. partition-zero:       perfect cache locality but all coordination
+//                            lands on one host (imbalance);
+//   2. forward-from-zero:    balanced, but one extra data-path hop;
+//   3. lookup-then-random:   balanced, no data hop, one extra roundtrip;
+//   4. cached-random (prod): balanced, no extra hops after warmup.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "core/deployment.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+struct StrategyResult {
+  cubrick::CoordinatorStrategy strategy;
+  double coordinator_cv;  // imbalance across coordinator picks
+  double p50_latency_ms;
+  double mean_latency_ms;
+  double p99_latency_ms;
+  int64_t extra_hops;
+  int64_t extra_roundtrips;
+  double success;
+};
+
+StrategyResult RunStrategy(cubrick::CoordinatorStrategy strategy,
+                           int queries) {
+  core::DeploymentOptions options;
+  options.seed = 61;
+  options.topology.regions = 1;
+  options.topology.racks_per_region = 8;
+  options.topology.servers_per_rack = 4;
+  options.max_shards = 20000;
+  options.per_host_failure_probability = 0.0;
+  options.proxy_options.strategy = strategy;
+  core::Deployment dep(options);
+
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  dep.CreateTable("t", schema);  // 8 partitions
+  Rng rng(5);
+  dep.LoadRows("t", workload::GenerateRows(schema, 4000, rng));
+  dep.RunFor(15 * kSecond);
+
+  cubrick::Query q = workload::FixedProbeQuery("t", schema);
+  Histogram latency(0.1);
+  int failures = 0;
+  for (int i = 0; i < queries; ++i) {
+    auto outcome = dep.Query(q);
+    if (outcome.status.ok()) {
+      latency.Add(ToMillis(outcome.latency));
+    } else {
+      ++failures;
+    }
+    dep.RunFor(100 * kMillisecond);
+  }
+
+  const cubrick::CubrickProxy::Stats& stats = dep.proxy().stats();
+  RunningStat picks;
+  for (const auto& [server, count] : stats.coordinator_picks) {
+    picks.Add(static_cast<double>(count));
+  }
+  // Servers never picked count as zeros toward imbalance: the table has 8
+  // partitions, so 8 eligible coordinators.
+  for (size_t i = stats.coordinator_picks.size(); i < 8; ++i) picks.Add(0.0);
+
+  StrategyResult result;
+  result.strategy = strategy;
+  result.coordinator_cv = picks.cv();
+  result.p50_latency_ms = latency.P50();
+  result.mean_latency_ms = latency.mean();
+  result.p99_latency_ms = latency.P99();
+  result.extra_hops = stats.extra_hops;
+  result.extra_roundtrips = stats.extra_roundtrips;
+  result.success =
+      static_cast<double>(queries - failures) / std::max(1, queries);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("abl2", "coordinator location strategies (Section IV-C)");
+  const int queries = bench::QuickMode() ? 1500 : 8000;
+  std::printf("one 8-partition table on 32 servers, %d queries per "
+              "strategy\n\n",
+              queries);
+  std::printf("%-20s %12s %10s %10s %10s %12s\n", "strategy", "coord CV",
+              "p50 ms", "p99 ms", "extra hops", "extra rtrips");
+  for (cubrick::CoordinatorStrategy strategy :
+       {cubrick::CoordinatorStrategy::kPartitionZero,
+        cubrick::CoordinatorStrategy::kForwardFromZero,
+        cubrick::CoordinatorStrategy::kLookupThenRandom,
+        cubrick::CoordinatorStrategy::kCachedRandom}) {
+    StrategyResult r = RunStrategy(strategy, queries);
+    std::printf("%-20s %12.3f %10.2f %10.2f %10lld %12lld\n",
+                std::string(CoordinatorStrategyName(strategy)).c_str(),
+                r.coordinator_cv, r.p50_latency_ms, r.p99_latency_ms,
+                static_cast<long long>(r.extra_hops),
+                static_cast<long long>(r.extra_roundtrips));
+  }
+
+  bench::PaperNote(
+      "Expected shape: partition_zero has maximal coordinator imbalance "
+      "(CV ~ sqrt(7) with one server taking all picks); forward_from_zero "
+      "balances but pays one extra hop per query; lookup_then_random "
+      "balances but pays one extra roundtrip per query; cached_random "
+      "balances with extra roundtrips only on cold cache (~1 per table) — "
+      "which is why it is the production strategy.");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Ablation 3 (Section IV-F): load-balancing metric generations under
+// adaptive compression.
+//
+// Generation 1 exports the *actual memory footprint* per shard. Once
+// adaptive compression ships, that metric depends on the hosting server's
+// memory pressure: the same shard reports a different size on a loaded
+// host than it would on an empty one, so "a shard's size can
+// substantially (and non-deterministically) change once it is migrated",
+// making balancing "challenging (if not impossible)".
+//
+// Generation 2 exports the *decompressed size*: deterministic, changes
+// only when data is added. This bench quantifies the difference: it puts
+// a server under memory pressure, lets the monitor compress, and tracks
+// how much each exported metric drifts for the very same shards.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "common/histogram.h"
+#include "cubrick/catalog.h"
+#include "cubrick/server.h"
+#include "sim/simulation.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+int main() {
+  bench::Header("abl3",
+                "load-balancing metric generations under adaptive "
+                "compression (Section IV-F)");
+
+  sim::Simulation sim(67);
+  cluster::Cluster cluster =
+      cluster::Cluster::Build({.regions = 1,
+                               .racks_per_region = 1,
+                               .servers_per_rack = 2,
+                               .memory_bytes = 6 << 20,
+                               .ssd_bytes = 64 << 20});
+  cubrick::Catalog catalog(10000);
+  cubrick::CubrickServer pressured(&sim, &cluster, &catalog, 0, {});
+  cubrick::CubrickServer idle(&sim, &cluster, &catalog, 1, {});
+
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  const int tables = 6;
+  std::vector<sm::ShardId> shards;
+  for (int t = 0; t < tables; ++t) {
+    std::string name = "t" + std::to_string(t);
+    catalog.CreateTable(name, schema, /*initial_partitions=*/1);
+    sm::ShardId shard = *catalog.ShardForPartition(name, 0);
+    shards.push_back(shard);
+    pressured.AddShard(shard, sm::ShardRole::kPrimary);
+    Rng rng(100 + t);
+    size_t rows = bench::QuickMode() ? 60000 : 120000;
+    pressured.InsertRows(name, 0, workload::GenerateRows(schema, rows, rng));
+  }
+
+  auto report = [&](const char* label) {
+    std::printf("%-34s", label);
+    for (sm::ShardId shard : shards) {
+      std::printf(" %8.0f", pressured.ShardLoad(shard, "memory_footprint") /
+                                1024.0);
+    }
+    std::printf("\n");
+  };
+  std::printf("per-shard exported size (KiB), %d shards on one host:\n\n",
+              tables);
+  std::printf("%-34s", "state");
+  for (int t = 0; t < tables; ++t) std::printf("   shard%d", t);
+  std::printf("\n");
+
+  // Snapshot both metrics before and after memory pressure kicks in.
+  std::map<sm::ShardId, double> gen1_before, gen2_before;
+  for (sm::ShardId shard : shards) {
+    gen1_before[shard] = pressured.ShardLoad(shard, "memory_footprint");
+    gen2_before[shard] = pressured.ShardLoad(shard, "decompressed_size");
+  }
+  report("gen1 footprint, before pressure");
+  pressured.RunMemoryMonitor();  // compresses coldest-first
+  report("gen1 footprint, after monitor");
+
+  bench::Section("metric drift caused by the memory monitor");
+  std::printf("%8s %18s %18s\n", "shard", "gen1 drift", "gen2 drift");
+  double worst_gen1 = 0;
+  for (sm::ShardId shard : shards) {
+    double gen1_after = pressured.ShardLoad(shard, "memory_footprint");
+    double gen2_after = pressured.ShardLoad(shard, "decompressed_size");
+    double gen1_drift =
+        gen1_before[shard] > 0
+            ? (gen1_before[shard] - gen1_after) / gen1_before[shard]
+            : 0;
+    double gen2_drift =
+        gen2_before[shard] > 0
+            ? (gen2_before[shard] - gen2_after) / gen2_before[shard]
+            : 0;
+    worst_gen1 = std::max(worst_gen1, gen1_drift);
+    std::printf("%8u %17.1f%% %17.1f%%\n", shards[0] == shard ? shard : shard,
+                gen1_drift * 100, gen2_drift * 100);
+  }
+
+  bench::Section("what a migration decision would see");
+  // The balancer sizes a shard by its exported metric. Gen1: the value
+  // measured on the pressured host underestimates what the shard will
+  // occupy on the (unpressured) target, by up to the compression ratio.
+  sm::ShardId moved = shards[0];
+  auto snapshot = pressured.SnapshotShard(moved);
+  idle.PrepareAddShard(moved, /*from=*/0);
+  // Manually replay the copy (no SM in this micro-setup).
+  for (auto& [ref, rows] : snapshot) {
+    idle.InsertRows(ref.table, ref.partition, rows);
+  }
+  idle.AddShard(moved, sm::ShardRole::kPrimary);
+  double on_source = pressured.ShardLoad(moved, "memory_footprint");
+  double on_target = idle.ShardLoad(moved, "memory_footprint");
+  double gen2_source = pressured.ShardLoad(moved, "decompressed_size");
+  double gen2_target = idle.ShardLoad(moved, "decompressed_size");
+  std::printf("gen1 footprint:     source host %8.0f KiB -> target host "
+              "%8.0f KiB (%.2fx surprise)\n",
+              on_source / 1024, on_target / 1024,
+              on_source > 0 ? on_target / on_source : 0);
+  std::printf("gen2 decompressed:  source host %8.0f KiB -> target host "
+              "%8.0f KiB (%.2fx)\n",
+              gen2_source / 1024, gen2_target / 1024,
+              gen2_source > 0 ? gen2_target / gen2_source : 0);
+
+  bench::PaperNote(
+      "Expected shape: generation-1 footprints shrink non-uniformly the "
+      "moment the monitor compresses (cold shards drift most), and a "
+      "migrated shard re-expands on the target — the balancer's sizing is "
+      "wrong by up to the compression ratio. Generation-2 decompressed "
+      "sizes show 0% drift in both experiments, which is why Cubrick "
+      "switched to them (with host capacity scaled by the average "
+      "production compression ratio).");
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Figure 4a: "Frequency of different types of shard collisions" in the
+// production Cubrick deployment: ~7% of tables have shard collisions
+// (different shards of one table on one host), ~3% have cross-table
+// partition collisions (partitions of different tables on one shard), and
+// 0% have same-table partition collisions (prevented by the mapping
+// function).
+//
+// Part 1 reproduces the production regime: the shard key space is placed
+// *eagerly* (every shard already lives on some server before tables are
+// created), so new tables inherit whatever co-locations exist — this is
+// exactly the "collisions at table creation time" the paper calls out as
+// unprevented. Part 2 runs the same census through the lazy-placement
+// deployment, where the non-retryable rejection path keeps shard
+// collisions near zero — the contrast shows why creation-time collisions
+// remain an open problem (Section VII).
+
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "core/deployment.h"
+#include "cubrick/shard_mapper.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+struct Census {
+  int tables = 0;
+  int shard_collision = 0;       // >=2 shards of a table on one server
+  int partition_collision = 0;   // table shares a shard with another table
+  int same_table_collision = 0;  // two partitions of a table on one shard
+};
+
+// Production regime: every shard pre-placed, assignment uniform over
+// servers (what a balanced eager placement of empty shards looks like).
+// With `salted`, table creation probes mapping salts until the table's
+// shards land on distinct servers — the paper's Section VII future work.
+Census EagerCensus(uint32_t max_shards, int servers, int num_tables,
+                   Rng& rng, bool salted = false) {
+  cubrick::ShardMapper mapper(
+      max_shards, cubrick::ShardMappingStrategy::kHashPartitionZero);
+  auto server_of = [&](uint32_t shard) {
+    return static_cast<int>(HashInt(shard) % servers);
+  };
+
+  // Partitions per table: mostly 8, a tail of repartitioned tables
+  // (Figure 4b's distribution).
+  struct TableSpec {
+    std::string name;
+    uint32_t partitions;
+    uint32_t salt = 0;
+  };
+  std::vector<TableSpec> tables;
+  std::unordered_map<uint32_t, int> shard_tables;  // shard -> #tables
+  for (int t = 0; t < num_tables; ++t) {
+    uint32_t partitions = 8;
+    double roll = rng.NextDouble();
+    if (roll > 0.98) {
+      partitions = 32 + static_cast<uint32_t>(rng.NextBounded(33));
+    } else if (roll > 0.90) {
+      partitions = 16;
+    }
+    std::string name = "tbl_" + std::to_string(rng.Next());
+    uint32_t salt = 0;
+    if (salted) {
+      // Creation-time probing: first salt whose shards land on distinct
+      // servers (bounded; wide tables on few servers may keep salt 0).
+      for (uint32_t probe = 0; probe < 16; ++probe) {
+        std::unordered_map<int, int> per_server;
+        bool collision = false;
+        for (uint32_t p = 0; p < partitions && !collision; ++p) {
+          if (++per_server[server_of(mapper.ShardFor(name, p, probe))] >
+              1) {
+            collision = true;
+          }
+        }
+        if (!collision) {
+          salt = probe;
+          break;
+        }
+      }
+    }
+    tables.push_back(TableSpec{name, partitions, salt});
+    for (uint32_t p = 0; p < partitions; ++p) {
+      shard_tables[mapper.ShardFor(name, p, salt)]++;
+    }
+  }
+
+  Census census;
+  for (const auto& [name, partitions, salt] : tables) {
+    ++census.tables;
+    std::set<uint32_t> shards;
+    std::unordered_map<int, int> per_server;
+    bool shard_collision = false, partition_collision = false;
+    for (uint32_t p = 0; p < partitions; ++p) {
+      uint32_t shard = mapper.ShardFor(name, p, salt);
+      shards.insert(shard);
+      if (shard_tables[shard] > 1) partition_collision = true;
+    }
+    for (uint32_t shard : shards) {
+      if (++per_server[server_of(shard)] > 1) shard_collision = true;
+    }
+    if (shards.size() < partitions) ++census.same_table_collision;
+    if (shard_collision) ++census.shard_collision;
+    if (partition_collision) ++census.partition_collision;
+  }
+  return census;
+}
+
+void Print(const char* label, const Census& census) {
+  auto pct = [&](int n) {
+    return 100.0 * n / std::max(1, census.tables);
+  };
+  std::printf("%s (%d tables):\n", label, census.tables);
+  std::printf("  shard collisions:                %6.2f%%  %s\n",
+              pct(census.shard_collision),
+              bench::Bar(pct(census.shard_collision) / 10).c_str());
+  std::printf("  partition collisions (x-table):  %6.2f%%  %s\n",
+              pct(census.partition_collision),
+              bench::Bar(pct(census.partition_collision) / 10).c_str());
+  std::printf("  partition collisions (same tbl): %6.2f%%  %s\n",
+              pct(census.same_table_collision),
+              bench::Bar(pct(census.same_table_collision) / 10).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("fig4a", "frequency of shard / partition collision types");
+
+  bench::Section("production regime: eagerly placed 1M-shard key space");
+  Rng rng(5);
+  // ~650 servers per region (tables of 8-64 shards birthday-collide on a
+  // host ~7% of the time overall) and ~1600 tables in the 1M key space
+  // (consecutive-shard ranges overlap for ~3% of tables) — the paper's
+  // reported operating point.
+  Census eager = EagerCensus(/*max_shards=*/1000000, /*servers=*/650,
+                             /*num_tables=*/1600, rng);
+  Print("eager placement", eager);
+
+  bench::Section(
+      "future work (Section VII): salted creation on the eager regime");
+  Rng rng_salted(5);
+  Census salted = EagerCensus(/*max_shards=*/1000000, /*servers=*/650,
+                              /*num_tables=*/1600, rng_salted,
+                              /*salted=*/true);
+  Print("eager + creation-time salt probing", salted);
+
+  bench::Section("this repo's default: lazy placement + rejection");
+  core::DeploymentOptions options;
+  options.seed = 9;
+  options.topology.regions = 1;
+  options.topology.racks_per_region = 12;
+  options.topology.servers_per_rack = 10;
+  options.max_shards = 1000000;
+  core::Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  int created = bench::QuickMode() ? 150 : 480;
+  for (int t = 0; t < created; ++t) {
+    dep.CreateTable("tenant_" + std::to_string(t), schema);
+  }
+  auto census = dep.MeasureCollisions(0);
+  Census lazy;
+  lazy.tables = census.tables;
+  lazy.shard_collision = census.tables_with_shard_collision;
+  lazy.partition_collision = census.tables_with_partition_collision;
+  lazy.same_table_collision = census.tables_with_same_table_collision;
+  Print("lazy placement", lazy);
+
+  bench::PaperNote(
+      "Figure 4a reports ~7% of tables with shard collisions, ~3% with "
+      "cross-table partition collisions, and 0% same-table collisions. "
+      "Expected shape: eager regime lands near 7%/3%/0% (shard collisions "
+      "arise at table creation, the unprevented case); the lazy-placement "
+      "path drives shard collisions to ~0 via non-retryable rejections; "
+      "same-table collisions are 0 everywhere by the mapping function.");
+  return 0;
+}

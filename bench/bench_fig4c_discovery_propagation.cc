@@ -1,0 +1,82 @@
+// Figure 4c: "Service discovery system's local proxies propagation delay
+// (in secs)" — how long after SM publishes a new shard->server mapping
+// until each host's local SMC proxy reflects it. This delay is what the
+// graceful shard migration protocol waits out before deleting the old
+// copy (Section IV-E).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "discovery/service_discovery.h"
+#include "sim/simulation.h"
+
+using namespace scalewall;
+
+int main() {
+  bench::Header("fig4c", "SMC local-proxy propagation delay (seconds)");
+
+  sim::Simulation sim(23);
+  discovery::ServiceDiscovery sd(&sim);
+
+  bench::Section("measured: publishes observed by per-host proxies");
+  // Publish a stream of mapping changes and record, for every host in a
+  // 1000-server fleet, when its local proxy view flips to the new value.
+  const int publishes = bench::QuickMode() ? 50 : 400;
+  const int hosts = 1000;
+  Histogram measured(/*min_value=*/0.01);
+  for (int i = 0; i < publishes; ++i) {
+    sd.Publish("cubrick.region0", /*shard=*/i % 1024,
+               /*server=*/static_cast<cluster::ServerId>(i));
+    uint64_t seq = sd.publish_count();
+    for (int h = 0; h < hosts; ++h) {
+      measured.Add(ToSeconds(
+          sd.PropagationDelay(seq, static_cast<cluster::ServerId>(h))));
+    }
+    sim.RunFor(30 * kSecond);
+  }
+  std::printf("samples: %llu (publishes x hosts)\n",
+              static_cast<unsigned long long>(measured.count()));
+  std::printf("%8s %10s\n", "pct", "delay (s)");
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+    std::printf("%7.1f%% %10.2f\n", q * 100, measured.Quantile(q));
+  }
+  std::printf("%8s %10.2f\n", "max", measured.max());
+
+  bench::Section("distribution (log-ish buckets)");
+  Rng rng(3);
+  Histogram model(0.01);
+  for (int i = 0; i < 200000; ++i) {
+    model.Add(ToSeconds(sd.SampleDelay(rng)));
+  }
+  double edges[] = {0, 0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 20, 1e9};
+  const char* labels[] = {"0-0.5s", "0.5-1s", "1-1.5s", "1.5-2s", "2-3s",
+                          "3-4s",   "4-6s",   "6-8s",   "8-12s",  "12-20s",
+                          ">20s"};
+  // Bucket the measured samples by re-sampling the same model.
+  uint64_t counts[11] = {0};
+  Rng rng2(3);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double s = ToSeconds(sd.SampleDelay(rng2));
+    for (int b = 0; b < 11; ++b) {
+      if (s >= edges[b] && s < edges[b + 1]) {
+        ++counts[b];
+        break;
+      }
+    }
+  }
+  for (int b = 0; b < 11; ++b) {
+    double fraction = static_cast<double>(counts[b]) / n;
+    std::printf("%8s %7.2f%%  %s\n", labels[b], fraction * 100,
+                bench::Bar(fraction).c_str());
+  }
+
+  bench::PaperNote(
+      "Figure 4c's shape: propagation completes within a few seconds for "
+      "the bulk of hosts (multi-level distribution tree, ~2 hops), with a "
+      "long tail reaching tens of seconds — which is why dropShard waits "
+      "an SMC-propagation grace period before deleting data.");
+  return 0;
+}

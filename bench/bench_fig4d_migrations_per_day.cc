@@ -1,0 +1,95 @@
+// Figure 4d: "Number of shard migrations executed daily on a production
+// Cubrick cluster." Migrations are triggered by load balancing, drains
+// (maintenance / automation), and failovers; the figure shows a steady
+// daily churn entirely handled by Shard Manager with no operator action.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "core/deployment.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+int main() {
+  bench::Header("fig4d", "shard migrations per day (one simulated week)");
+
+  core::DeploymentOptions options;
+  options.seed = 29;
+  options.topology.regions = 3;
+  options.topology.racks_per_region = 4;
+  options.topology.servers_per_rack = 4;  // 48 servers
+  options.topology.memory_bytes = 8 << 20;
+  options.max_shards = 100000;
+  options.heartbeat_interval = 30 * kSecond;  // keep the event count sane
+  options.session_timeout = 90 * kSecond;
+  options.load_balancing.interval = 30 * kMinute;
+  options.load_balancing.imbalance_threshold = 0.05;
+  options.enable_failure_injector = true;
+  options.failure_injector.mean_time_between_failures = 60 * kDay;
+  options.failure_injector.mean_time_between_drains = 20 * kDay;
+  options.failure_injector.drain_duration = 2 * kHour;
+  core::Deployment dep(options);
+
+  // A multi-tenant population with uneven sizes so the balancer has work.
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  Rng rng(7);
+  workload::TablePopulationOptions population;
+  population.num_tables = bench::QuickMode() ? 12 : 36;
+  population.log_mean = 7.5;
+  population.log_sigma = 1.2;
+  population.max_rows = 40000;
+  auto tables = workload::GenerateTablePopulation(population, rng);
+  for (const auto& spec : tables) {
+    if (!dep.CreateTable(spec.name, schema,
+                         core::TableOptions{.partitions = 4})
+             .ok()) {
+      continue;
+    }
+    Rng data_rng(HashString(spec.name));
+    dep.LoadRows(spec.name,
+                 workload::GenerateRows(schema, spec.rows, data_rng));
+  }
+
+  const int days = bench::QuickMode() ? 2 : 7;
+  std::printf("simulating %d days of fleet operation...\n", days);
+  dep.RunFor(days * kDay);
+
+  bench::Section("daily migrations (all regions)");
+  std::map<int64_t, int> per_day;
+  int64_t lb = 0, drain = 0, failover = 0;
+  for (size_t r = 0; r < dep.num_regions(); ++r) {
+    const sm::SmServer::Stats& stats =
+        dep.sm(static_cast<cluster::RegionId>(r)).stats();
+    for (const auto& [day, count] : stats.migrations_per_day) {
+      per_day[day] += count;
+    }
+    lb += stats.lb_migrations;
+    drain += stats.drain_migrations;
+    failover += stats.failovers;
+  }
+  std::printf("%6s %10s\n", "day", "migrations");
+  int64_t total = 0;
+  for (int d = 0; d < days; ++d) {
+    int count = per_day.count(d) ? per_day[d] : 0;
+    total += count;
+    std::printf("%6d %10d  %s\n", d, count,
+                bench::Bar(std::min(1.0, count / 60.0)).c_str());
+  }
+  std::printf("\nby reason: load balancing %lld, drains %lld, failovers "
+              "%lld (total %lld)\n",
+              static_cast<long long>(lb), static_cast<long long>(drain),
+              static_cast<long long>(failover),
+              static_cast<long long>(total));
+  std::printf("hosts sent to repair during the window: %lld\n",
+              static_cast<long long>(
+                  dep.failure_injector()->total_permanent_failures()));
+
+  bench::PaperNote(
+      "Figure 4d's shape: a steady, nonzero daily migration count "
+      "sustained autonomously over the week, dominated by load balancing "
+      "and planned drains, with failovers contributing on failure days.");
+  return 0;
+}

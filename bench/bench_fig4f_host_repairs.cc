@@ -1,0 +1,61 @@
+// Figure 4f: "Number of hosts sent to repair per day (permanent host
+// failures)" — the churn data-center automation absorbs without human
+// intervention on a multi-thousand-server fleet (Section IV-G).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "common/histogram.h"
+#include "sim/simulation.h"
+
+using namespace scalewall;
+
+int main() {
+  bench::Header("fig4f", "hosts sent to repair per day (permanent failures)");
+
+  sim::Simulation sim(43);
+  cluster::Cluster cluster =
+      cluster::Cluster::Build({.regions = 3,
+                               .racks_per_region = 25,
+                               .servers_per_rack = 40});  // 3000 servers
+  cluster::FailureInjectorOptions options;
+  options.mean_time_between_failures = 250 * kDay;  // ~1.5 per server-year
+  options.mean_repair_time = 2 * kDay;
+  options.enable_drains = false;
+  cluster::FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+
+  const int days = bench::QuickMode() ? 5 : 14;
+  std::printf("fleet: %zu servers, MTBF %d days, %d simulated days\n\n",
+              cluster.size(), 250, days);
+  sim.RunFor(days * kDay);
+
+  bench::Section("repairs per day");
+  std::printf("%6s %8s\n", "day", "repairs");
+  RunningStat stat;
+  for (int d = 0; d < days; ++d) {
+    auto it = injector.repairs_per_day().find(d);
+    int count = it == injector.repairs_per_day().end() ? 0 : it->second;
+    stat.Add(count);
+    std::printf("%6d %8d  %s\n", d, count,
+                bench::Bar(std::min(1.0, count / 30.0)).c_str());
+  }
+  std::printf("\nmean %.1f/day (expected fleet/MTBF = %.1f/day), "
+              "stddev %.1f\n",
+              stat.mean(), 3000.0 / 250.0, stat.stddev());
+
+  auto counts = cluster.HealthCounts();
+  std::printf("fleet at end: %d healthy, %d down, %d repairing\n",
+              counts[cluster::ServerHealth::kHealthy],
+              counts[cluster::ServerHealth::kDown],
+              counts[cluster::ServerHealth::kRepairing]);
+
+  bench::PaperNote(
+      "Figure 4f's shape: a noisy but stationary daily repair count whose "
+      "mean matches fleet_size / MTBF — roughly a dozen hosts per day on "
+      "a multi-thousand-host fleet, all absorbed by automation (failover + "
+      "repair + re-registration) with no manual intervention.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 5: "Query latency for varying fan-out levels" — the paper's
+// fan-out experiment: "the same simple query was executed every 500ms for
+// about one week in a production cluster, over tables with varying
+// fan-out levels (resulting in more than 1M queries per table) ...
+// showing how, in practice, higher fan-out queries are more susceptible
+// to non-deterministic sources of tail latencies" (y-axis on a log
+// scale).
+//
+// We recreate the experiment on the simulated fleet: one table per
+// fan-out level (1, 4, 8, 16, 32, 64 partitions), the same probe query
+// fired every 500 ms of simulated time, per-subquery latencies drawn from
+// a lognormal body + Pareto tail and per-host transient failures at
+// p=0.01%. The shape to reproduce: medians nearly flat across fan-out,
+// tail percentiles (p99/p99.9/max) growing strongly with fan-out, success
+// ratio dropping with fan-out.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "core/deployment.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+int main() {
+  bench::Header("fig5", "query latency vs table fan-out (log-scale tails)");
+
+  core::DeploymentOptions options;
+  options.seed = 47;
+  options.topology.regions = 1;  // the paper probes one production cluster
+  options.topology.racks_per_region = 10;
+  options.topology.servers_per_rack = 8;  // 80 servers
+  options.max_shards = 50000;
+  options.per_host_failure_probability = 0.0001;
+  options.proxy_options.max_attempts = 1;  // expose raw attempt behaviour
+  options.heartbeat_interval = 30 * kSecond;
+  options.session_timeout = 90 * kSecond;
+  options.load_balancing.interval = 6 * kHour;
+  // Tail latency model: ~1% of subqueries hit a Pareto-tailed hiccup.
+  options.latency.median = 20 * kMillisecond;
+  options.latency.sigma = 0.25;
+  options.latency.tail_probability = 0.01;
+  options.latency.tail_scale = 150 * kMillisecond;
+  options.latency.tail_shape = 1.6;
+  core::Deployment dep(options);
+
+  const std::vector<uint32_t> fanouts{1, 4, 8, 16, 32, 64};
+  cubrick::TableSchema schema = workload::AdEventsSchema();
+  for (uint32_t f : fanouts) {
+    std::string table = "fanout_" + std::to_string(f);
+    Status st =
+        dep.CreateTable(table, schema, core::TableOptions{.partitions = f});
+    if (!st.ok()) {
+      std::printf("create %s failed: %s\n", table.c_str(),
+                  st.ToString().c_str());
+      return 1;
+    }
+    Rng rng(f);
+    dep.LoadRows(table, workload::GenerateRows(schema, 128 * f, rng));
+  }
+  dep.RunFor(30 * kSecond);
+
+  // The probe loop: every 500 ms, one query per table.
+  const int hours = bench::QuickMode() ? 1 : 24;
+  const int probes = hours * 3600 * 2;  // every 500ms
+  std::printf("probing: %d queries per fan-out level (%d simulated "
+              "hours at 500ms cadence)\n",
+              probes, hours);
+  std::vector<Histogram> latency(fanouts.size(),
+                                 Histogram(/*min_value=*/0.1));
+  std::vector<int64_t> failures(fanouts.size(), 0);
+  std::vector<cubrick::Query> queries;
+  for (uint32_t f : fanouts) {
+    queries.push_back(
+        workload::FixedProbeQuery("fanout_" + std::to_string(f), schema));
+  }
+  for (int i = 0; i < probes; ++i) {
+    for (size_t t = 0; t < fanouts.size(); ++t) {
+      auto outcome = dep.Query(queries[t]);
+      if (outcome.status.ok()) {
+        latency[t].Add(ToMillis(outcome.latency));
+      } else {
+        ++failures[t];
+      }
+    }
+    dep.RunFor(500 * kMillisecond);
+  }
+
+  bench::Section("latency percentiles (ms) and success ratio");
+  std::printf("%8s %9s %9s %9s %9s %9s %9s %10s\n", "fanout", "p50", "p90",
+              "p99", "p99.9", "max", "mean", "success");
+  for (size_t t = 0; t < fanouts.size(); ++t) {
+    const Histogram& h = latency[t];
+    double success =
+        static_cast<double>(h.count()) / (h.count() + failures[t]);
+    std::printf("%8u %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %9.4f%%\n",
+                fanouts[t], h.P50(), h.P90(), h.P99(), h.P999(), h.max(),
+                h.mean(), success * 100);
+  }
+
+  bench::Section("tail amplification relative to fan-out 1");
+  const Histogram& base = latency[0];
+  std::printf("%8s %9s %9s %9s\n", "fanout", "p50x", "p99x", "p99.9x");
+  for (size_t t = 0; t < fanouts.size(); ++t) {
+    std::printf("%8u %9.2f %9.2f %9.2f\n", fanouts[t],
+                latency[t].P50() / base.P50(), latency[t].P99() / base.P99(),
+                latency[t].P999() / base.P999());
+  }
+
+  bench::PaperNote(
+      "Figure 5's shape (log y-axis): p50 grows only mildly with fan-out "
+      "(max over more lognormal draws), while p99/p99.9 and max grow "
+      "sharply — a fan-out-64 query is an order of magnitude more exposed "
+      "to tail hiccups than a fan-out-1 query — and the success ratio "
+      "decays with fan-out exactly as Figures 1-2 predict.");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Engine microbenchmarks (google-benchmark): brick scan/aggregate
+// throughput, codec encode/decode, shard-mapper throughput, histogram
+// ingestion. These back the "interactive" claim: partition-local scans
+// must run at memory bandwidth-ish rates for millisecond dashboards.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "cubrick/codec.h"
+#include "cubrick/partition.h"
+#include "cubrick/shard_mapper.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+cubrick::TableSchema BenchSchema() {
+  return workload::MakeSchema(/*dims=*/3, /*cardinality=*/256,
+                              /*range_size=*/16, /*metrics=*/2);
+}
+
+cubrick::TablePartition MakePartition(size_t rows) {
+  cubrick::TablePartition part("bench", 0, BenchSchema());
+  Rng rng(7);
+  for (const auto& row : workload::GenerateRows(BenchSchema(), rows, rng)) {
+    part.Insert(row);
+  }
+  return part;
+}
+
+void BM_PartitionScanFullTable(benchmark::State& state) {
+  cubrick::TablePartition part = MakePartition(state.range(0));
+  cubrick::Query q;
+  q.table = "bench";
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum},
+                    cubrick::Aggregation{0, cubrick::AggOp::kCount}};
+  for (auto _ : state) {
+    cubrick::QueryResult result(2);
+    part.Execute(q, result);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionScanFullTable)->Arg(10000)->Arg(100000);
+
+void BM_PartitionScanFiltered(benchmark::State& state) {
+  cubrick::TablePartition part = MakePartition(100000);
+  cubrick::Query q;
+  q.table = "bench";
+  // Selective range filter on the first dimension: pruning kicks in.
+  q.filters = {cubrick::FilterRange{0, 240, 255}};
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum}};
+  for (auto _ : state) {
+    cubrick::QueryResult result(1);
+    part.Execute(q, result);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PartitionScanFiltered);
+
+void BM_PartitionGroupBy(benchmark::State& state) {
+  cubrick::TablePartition part = MakePartition(100000);
+  cubrick::Query q;
+  q.table = "bench";
+  q.group_by = {1};
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum}};
+  for (auto _ : state) {
+    cubrick::QueryResult result(1);
+    part.Execute(q, result);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PartitionGroupBy);
+
+void BM_DimCodecEncode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint32_t> column(100000);
+  for (auto& v : column) {
+    v = static_cast<uint32_t>(rng.NextZipf(256, 1.2));
+  }
+  for (auto _ : state) {
+    auto encoded = cubrick::EncodeDimColumn(column);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(state.iterations() * column.size() *
+                          sizeof(uint32_t));
+}
+BENCHMARK(BM_DimCodecEncode);
+
+void BM_DimCodecDecode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint32_t> column(100000);
+  for (auto& v : column) {
+    v = static_cast<uint32_t>(rng.NextZipf(256, 1.2));
+  }
+  auto encoded = cubrick::EncodeDimColumn(column);
+  for (auto _ : state) {
+    auto decoded = cubrick::DecodeDimColumn(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * column.size() *
+                          sizeof(uint32_t));
+}
+BENCHMARK(BM_DimCodecDecode);
+
+void BM_MetricCodecRoundtrip(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> column(50000);
+  for (auto& v : column) v = std::floor(rng.NextLognormal(3, 1));
+  for (auto _ : state) {
+    auto decoded =
+        cubrick::DecodeMetricColumn(cubrick::EncodeMetricColumn(column));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * column.size() *
+                          sizeof(double));
+}
+BENCHMARK(BM_MetricCodecRoundtrip);
+
+void BM_BrickCompressDecompress(benchmark::State& state) {
+  cubrick::TablePartition part = MakePartition(50000);
+  for (auto _ : state) {
+    for (cubrick::Brick* b : part.BricksByHotness(true)) b->Compress();
+    for (cubrick::Brick* b : part.BricksByHotness(true)) b->Decompress();
+  }
+}
+BENCHMARK(BM_BrickCompressDecompress);
+
+void BM_ShardMapper(benchmark::State& state) {
+  cubrick::ShardMapper mapper(100000);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.ShardFor("table_" + std::to_string(i++ % 1000), 3));
+  }
+}
+BENCHMARK(BM_ShardMapper);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Add(rng.NextLognormal(3, 1));
+  }
+  benchmark::DoNotOptimize(h);
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_RowInsert(benchmark::State& state) {
+  Rng rng(7);
+  auto rows = workload::GenerateRows(BenchSchema(), 10000, rng);
+  for (auto _ : state) {
+    cubrick::TablePartition part("bench", 0, BenchSchema());
+    for (const auto& row : rows) part.Insert(row);
+    benchmark::DoNotOptimize(part);
+  }
+  state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_RowInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Shared output helpers for the experiment harness binaries.
+//
+// Every bench prints (a) the experiment id and setup, (b) the series the
+// paper reports, and (c) a "paper vs measured" note describing the shape
+// that must hold. Absolute numbers differ from the paper (our substrate
+// is a simulator, not Facebook's fleet); the shape is the claim.
+
+#ifndef SCALEWALL_BENCH_BENCH_UTIL_H_
+#define SCALEWALL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace scalewall::bench {
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void Section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void PaperNote(const std::string& note) {
+  std::printf("\n[paper] %s\n", note.c_str());
+}
+
+// Simple ASCII bar for distribution printouts.
+inline std::string Bar(double fraction, int width = 40) {
+  int n = static_cast<int>(fraction * width + 0.5);
+  if (n > width) n = width;
+  return std::string(n, '#');
+}
+
+// True when the QUICK env var asks for a shortened run (CI-friendly).
+inline bool QuickMode() {
+  const char* quick = std::getenv("SCALEWALL_BENCH_QUICK");
+  return quick != nullptr && quick[0] == '1';
+}
+
+}  // namespace scalewall::bench
+
+#endif  // SCALEWALL_BENCH_BENCH_UTIL_H_

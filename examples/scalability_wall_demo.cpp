@@ -1,0 +1,100 @@
+// The headline demo: full sharding hits the scalability wall; partial
+// sharding breaches it.
+//
+// Builds the same fleet twice. The "legacy" deployment fully shards its
+// table across every server of a region (the early Cubrick of Section
+// IV); the "partial" deployment keeps 8 partitions. Same data, same
+// queries, same per-host failure probability — the fan-out difference
+// alone decides whether the 99% SLA holds.
+
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "core/scalability_model.h"
+#include "common/histogram.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+struct RunResult {
+  double success;
+  double p50;
+  double p99;
+  double p999;
+  int fanout;
+};
+
+RunResult RunMode(core::ShardingMode mode, int servers_per_region,
+                  int queries) {
+  core::DeploymentOptions options;
+  options.seed = 19;
+  options.topology.regions = 1;  // isolate the fan-out effect (no retry)
+  options.topology.racks_per_region = servers_per_region / 10;
+  options.topology.servers_per_rack = 10;
+  options.max_shards = 50000;
+  options.sharding = mode;
+  options.per_host_failure_probability = 0.0001;  // the paper's 0.01%
+  options.proxy_options.max_attempts = 1;
+  core::Deployment dep(options);
+
+  cubrick::TableSchema schema = workload::AdEventsSchema();
+  dep.CreateTable("dashboard_metrics", schema);
+  Rng rng(3);
+  dep.LoadRows("dashboard_metrics",
+               workload::GenerateRows(schema, 50000, rng));
+  dep.RunFor(15 * kSecond);
+
+  cubrick::Query q = workload::FixedProbeQuery("dashboard_metrics", schema);
+  Histogram latency(0.1);
+  int failures = 0, fanout = 0;
+  for (int i = 0; i < queries; ++i) {
+    auto outcome = dep.Query(q);
+    if (outcome.status.ok()) {
+      latency.Add(ToMillis(outcome.latency));
+      fanout = std::max(fanout, outcome.fanout);
+    } else {
+      ++failures;
+    }
+    dep.RunFor(500 * kMillisecond);
+  }
+  return RunResult{1.0 - static_cast<double>(failures) / queries,
+                   latency.P50(), latency.P99(), latency.P999(), fanout};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== the scalability wall, demonstrated ==\n\n");
+  std::printf("per-host failure probability 0.01%%, SLA 99%%.\n");
+  std::printf("analytic wall: %d servers "
+              "(success(n) = (1-p)^n < 0.99)\n\n",
+              core::ScalabilityWall(0.0001, 0.99));
+
+  const int queries = 4000;
+  std::printf("%-10s %8s %10s %9s %9s %9s %9s %6s\n", "mode", "servers",
+              "fanout", "success", "p50 ms", "p99 ms", "p99.9ms", "SLA?");
+  for (int servers : {50, 100, 200, 400}) {
+    RunResult full =
+        RunMode(core::ShardingMode::kFull, servers, queries);
+    std::printf("%-10s %8d %10d %8.3f%% %9.1f %9.1f %9.1f %6s\n", "full",
+                servers, full.fanout, 100 * full.success, full.p50,
+                full.p99, full.p999, full.success >= 0.99 ? "yes" : "NO");
+  }
+  for (int servers : {50, 100, 200, 400}) {
+    RunResult partial =
+        RunMode(core::ShardingMode::kPartial, servers, queries);
+    std::printf("%-10s %8d %10d %8.3f%% %9.1f %9.1f %9.1f %6s\n", "partial",
+                servers, partial.fanout, 100 * partial.success, partial.p50,
+                partial.p99, partial.p999,
+                partial.success >= 0.99 ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nfully-sharded deployments broadcast every query, so adding "
+      "servers pushes them\nthrough the wall (~100 hosts); partially "
+      "sharded tables keep an 8-server fan-out\nno matter how large the "
+      "fleet grows — the cluster scales out, queries do not.\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// scalewall_shell: an interactive SQL shell over a live deployment.
+//
+// Drives a 3-region fleet preloaded with the ad-events star schema.
+// Reads commands from stdin (EOF exits):
+//
+//   SQL statements            SELECT ... FROM ad_events [JOIN campaigns
+//                             ON campaign] ... ;  (see cubrick/sql.h)
+//   \tables                   list tables and their partition counts
+//   \fleet                    fleet health summary
+//   \shards <table>           partition -> shard -> server (region 0)
+//   \trace                    recent query traces from the proxy
+//   \metrics                  Prometheus-style metrics dump
+//   \run <seconds>            advance simulated time
+//   \kill <server id>         fail a server (watch failover handle it)
+//   \drain <server id>        drain a server (graceful migrations)
+//   \help                     this list
+//
+// Example session:
+//   echo 'SELECT platform, SUM(spend) FROM ad_events GROUP BY platform
+//         ORDER BY SUM(spend) DESC LIMIT 3' | ./build/examples/scalewall_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/deployment.h"
+#include "core/metrics.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands: SQL | \\tables | \\fleet | \\shards <t> | \\trace | "
+      "\\metrics | \\run <s> | \\kill <id> | \\drain <id> | \\help\n");
+}
+
+void PrintOutcome(const cubrick::QueryOutcome& outcome,
+                  core::Deployment& dep, const std::string& table) {
+  if (!outcome.status.ok()) {
+    std::printf("error: %s\n", outcome.status.ToString().c_str());
+    return;
+  }
+  auto info = dep.catalog().GetTable(table);
+  for (const cubrick::ResultRow& row : outcome.rows) {
+    std::string line;
+    for (size_t k = 0; k < row.key.size(); ++k) {
+      line += (k ? " | " : "") + std::to_string(row.key[k]);
+    }
+    for (double v : row.values) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      line += (line.empty() ? "" : " | ") + std::string(buf);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("(%zu rows; %s, fan-out %d, region %d, %d attempt%s)\n",
+              outcome.rows.size(), FormatDuration(outcome.latency).c_str(),
+              outcome.fanout, static_cast<int>(outcome.region),
+              outcome.attempts, outcome.attempts == 1 ? "" : "s");
+}
+
+}  // namespace
+
+int main() {
+  core::DeploymentOptions options;
+  options.seed = 3;
+  options.topology.regions = 3;
+  options.topology.racks_per_region = 4;
+  options.topology.servers_per_rack = 4;
+  options.max_shards = 20000;
+  core::Deployment dep(options);
+
+  // Preload the star schema from the quickstart/join examples.
+  cubrick::TableSchema schema = workload::AdEventsSchema();
+  dep.CreateTable("ad_events", schema);
+  dep.CreateDimensionTable("campaigns", 4096,
+                           {cubrick::Dimension{"advertiser", 64, 1}});
+  Rng rng(5);
+  std::vector<cubrick::DimensionEntry> entries;
+  for (uint32_t c = 0; c < 4096; ++c) {
+    entries.push_back(cubrick::DimensionEntry{
+        c, {static_cast<uint32_t>(rng.NextBounded(64))}});
+  }
+  dep.LoadDimensionEntries("campaigns", entries);
+  workload::RowGenOptions row_options;
+  row_options.recency_skew = true;
+  dep.LoadRows("ad_events",
+               workload::GenerateRows(schema, 100000, rng, row_options));
+  dep.RunFor(15 * kSecond);
+
+  std::printf("scalewall shell — %zu servers / %zu regions, table "
+              "ad_events (100k rows) + dimension campaigns.\n",
+              dep.cluster().size(), dep.num_regions());
+  PrintHelp();
+
+  std::string line;
+  std::string statement;
+  while (true) {
+    std::printf(statement.empty() ? "scalewall> " : "       ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Commands.
+    if (statement.empty() && !line.empty() && line[0] == '\\') {
+      std::istringstream words(line);
+      std::string cmd, arg;
+      words >> cmd >> arg;
+      if (cmd == "\\help") {
+        PrintHelp();
+      } else if (cmd == "\\tables") {
+        for (const std::string& name : dep.catalog().TableNames()) {
+          auto info = dep.catalog().GetTable(name);
+          std::printf("%-24s %u partitions\n", name.c_str(),
+                      info->num_partitions);
+        }
+      } else if (cmd == "\\fleet") {
+        auto counts = dep.cluster().HealthCounts();
+        std::printf("healthy %d, draining %d, down %d, repairing %d\n",
+                    counts[cluster::ServerHealth::kHealthy],
+                    counts[cluster::ServerHealth::kDraining],
+                    counts[cluster::ServerHealth::kDown],
+                    counts[cluster::ServerHealth::kRepairing]);
+      } else if (cmd == "\\shards") {
+        auto info = dep.catalog().GetTable(arg);
+        if (!info.ok()) {
+          std::printf("error: %s\n", info.status().ToString().c_str());
+          continue;
+        }
+        for (uint32_t p = 0; p < info->num_partitions; ++p) {
+          auto shard = dep.catalog().ShardForPartition(arg, p);
+          const sm::ShardAssignment* assignment =
+              dep.sm(0).GetAssignment(*shard);
+          std::printf("%s#%u -> shard %u -> ", arg.c_str(), p, *shard);
+          if (assignment == nullptr || assignment->replicas.empty()) {
+            std::printf("(unassigned)\n");
+          } else {
+            std::printf("%s\n",
+                        dep.cluster()
+                            .Get(assignment->replicas[0].server)
+                            .hostname.c_str());
+          }
+        }
+      } else if (cmd == "\\trace") {
+        for (const cubrick::QueryTrace& trace :
+             dep.proxy().RecentTraces()) {
+          std::printf("t=%-10s %-16s region %d attempts %d %-12s %s\n",
+                      FormatDuration(trace.time).c_str(),
+                      trace.table.c_str(), static_cast<int>(trace.region),
+                      trace.attempts,
+                      std::string(StatusCodeName(trace.status)).c_str(),
+                      FormatDuration(trace.latency).c_str());
+        }
+      } else if (cmd == "\\metrics") {
+        std::printf("%s", core::ExportMetricsText(dep).c_str());
+      } else if (cmd == "\\run") {
+        double seconds = arg.empty() ? 60 : std::stod(arg);
+        dep.RunFor(FromSeconds(seconds));
+        std::printf("advanced %.0fs (now t=%s)\n", seconds,
+                    FormatDuration(dep.now()).c_str());
+      } else if (cmd == "\\kill" || cmd == "\\drain") {
+        cluster::ServerId id =
+            static_cast<cluster::ServerId>(arg.empty() ? 0 : std::stoul(arg));
+        if (!dep.cluster().Contains(id)) {
+          std::printf("unknown server %u\n", id);
+          continue;
+        }
+        dep.cluster().SetHealth(id, cmd == "\\kill"
+                                        ? cluster::ServerHealth::kDown
+                                        : cluster::ServerHealth::kDraining);
+        std::printf("%s %s\n", cmd == "\\kill" ? "killed" : "draining",
+                    dep.cluster().Get(id).hostname.c_str());
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+        PrintHelp();
+      }
+      continue;
+    }
+    // SQL: accumulate until ';' or a complete single line.
+    statement += (statement.empty() ? "" : " ") + line;
+    if (statement.empty()) continue;
+    bool terminated = statement.back() == ';';
+    if (terminated) statement.pop_back();
+    if (!terminated && !std::cin.eof() && line.empty()) continue;
+    // Heuristic: execute when terminated by ';' or the line looks whole.
+    if (!terminated && statement.find("SELECT") == std::string::npos &&
+        statement.find("select") == std::string::npos) {
+      std::printf("error: expected a SELECT statement or \\command\n");
+      statement.clear();
+      continue;
+    }
+    // Find the table for result rendering.
+    std::istringstream words(statement);
+    std::string word, table;
+    while (words >> word) {
+      std::string upper = word;
+      for (char& c : upper) c = static_cast<char>(std::toupper(c));
+      if (upper == "FROM" && (words >> table)) break;
+    }
+    PrintOutcome(dep.QuerySql(statement), dep, table);
+    statement.clear();
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

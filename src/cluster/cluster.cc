@@ -1,0 +1,137 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scalewall::cluster {
+
+std::string_view ServerHealthName(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kHealthy:
+      return "HEALTHY";
+    case ServerHealth::kDraining:
+      return "DRAINING";
+    case ServerHealth::kDown:
+      return "DOWN";
+    case ServerHealth::kRepairing:
+      return "REPAIRING";
+  }
+  return "?";
+}
+
+Cluster Cluster::Build(const ClusterTopology& topology) {
+  Cluster cluster;
+  RackId rack_id = 0;
+  for (int r = 0; r < topology.regions; ++r) {
+    for (int k = 0; k < topology.racks_per_region; ++k, ++rack_id) {
+      for (int s = 0; s < topology.servers_per_rack; ++s) {
+        cluster.AddServer(static_cast<RegionId>(r), rack_id,
+                          topology.memory_bytes, topology.ssd_bytes);
+      }
+    }
+  }
+  return cluster;
+}
+
+ServerId Cluster::AddServer(RegionId region, RackId rack,
+                            int64_t memory_bytes, int64_t ssd_bytes) {
+  ServerId id = next_id_++;
+  ServerInfo info;
+  info.id = id;
+  info.hostname = "host" + std::to_string(id) + ".region" +
+                  std::to_string(region) + ".fb";
+  info.region = region;
+  info.rack = rack;
+  info.memory_bytes = memory_bytes;
+  info.ssd_bytes = ssd_bytes;
+  servers_.emplace(id, std::move(info));
+  return id;
+}
+
+Status Cluster::RemoveServer(ServerId id) {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) {
+    return Status::NotFound("server " + std::to_string(id));
+  }
+  if (it->second.health == ServerHealth::kHealthy) {
+    return Status::FailedPrecondition(
+        "server must be drained or down before removal");
+  }
+  servers_.erase(it);
+  return Status::Ok();
+}
+
+Status Cluster::SetHealth(ServerId id, ServerHealth health) {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) {
+    return Status::NotFound("server " + std::to_string(id));
+  }
+  ServerHealth old = it->second.health;
+  if (old == health) return Status::Ok();
+  it->second.health = health;
+  for (auto& listener : listeners_) {
+    listener(id, old, health);
+  }
+  return Status::Ok();
+}
+
+const ServerInfo& Cluster::Get(ServerId id) const {
+  auto it = servers_.find(id);
+  SCALEWALL_CHECK(it != servers_.end()) << "unknown server " << id;
+  return it->second;
+}
+
+ServerInfo* Cluster::GetMutable(ServerId id) {
+  auto it = servers_.find(id);
+  return it == servers_.end() ? nullptr : &it->second;
+}
+
+std::vector<ServerId> Cluster::AllServers() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, info] : servers_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ServerId> Cluster::HealthyServers(RegionId region) const {
+  std::vector<ServerId> out;
+  for (const auto& [id, info] : servers_) {
+    if (info.region == region && info.health == ServerHealth::kHealthy) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ServerId> Cluster::ServersInRegion(RegionId region) const {
+  std::vector<ServerId> out;
+  for (const auto& [id, info] : servers_) {
+    if (info.region == region) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RegionId> Cluster::Regions() const {
+  std::vector<RegionId> out;
+  for (const auto& [id, info] : servers_) {
+    if (std::find(out.begin(), out.end(), info.region) == out.end()) {
+      out.push_back(info.region);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unordered_map<ServerHealth, int> Cluster::HealthCounts() const {
+  std::unordered_map<ServerHealth, int> counts;
+  for (const auto& [id, info] : servers_) {
+    counts[info.health]++;
+  }
+  return counts;
+}
+
+}  // namespace scalewall::cluster

@@ -1,0 +1,81 @@
+// Cluster: membership, topology, and health transitions of a fleet.
+//
+// A Cluster is a passive registry; the FailureInjector and automation
+// tooling mutate server health through it, and interested components (the
+// SM server, the proxy's blacklist) subscribe to health-change events.
+
+#ifndef SCALEWALL_CLUSTER_CLUSTER_H_
+#define SCALEWALL_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/server.h"
+#include "common/status.h"
+
+namespace scalewall::cluster {
+
+// Describes the shape of a fleet to build.
+struct ClusterTopology {
+  int regions = 3;
+  int racks_per_region = 10;
+  int servers_per_rack = 10;
+  int64_t memory_bytes = 64LL << 30;
+  int64_t ssd_bytes = 512LL << 30;
+};
+
+class Cluster {
+ public:
+  using HealthListener =
+      std::function<void(ServerId, ServerHealth /*old*/, ServerHealth /*new*/)>;
+
+  Cluster() = default;
+
+  // Builds a uniform fleet from a topology description.
+  static Cluster Build(const ClusterTopology& topology);
+
+  // Adds one server; returns its id.
+  ServerId AddServer(RegionId region, RackId rack, int64_t memory_bytes,
+                     int64_t ssd_bytes);
+
+  // Permanently removes a server (decommission). The server must be
+  // drained or down first.
+  Status RemoveServer(ServerId id);
+
+  // Health transitions. Each notifies listeners.
+  Status SetHealth(ServerId id, ServerHealth health);
+
+  // Accessors.
+  bool Contains(ServerId id) const { return servers_.count(id) > 0; }
+  const ServerInfo& Get(ServerId id) const;
+  ServerInfo* GetMutable(ServerId id);
+  size_t size() const { return servers_.size(); }
+
+  // All server ids (stable order: ascending id).
+  std::vector<ServerId> AllServers() const;
+  // Servers in `region` with health == kHealthy.
+  std::vector<ServerId> HealthyServers(RegionId region) const;
+  // All servers in `region` regardless of health.
+  std::vector<ServerId> ServersInRegion(RegionId region) const;
+  std::vector<RegionId> Regions() const;
+
+  // Registers a health-change listener (never unregistered; listeners
+  // must outlive the cluster or be owned by it).
+  void AddHealthListener(HealthListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  // Counts by health state (diagnostics).
+  std::unordered_map<ServerHealth, int> HealthCounts() const;
+
+ private:
+  ServerId next_id_ = 0;
+  std::unordered_map<ServerId, ServerInfo> servers_;
+  std::vector<HealthListener> listeners_;
+};
+
+}  // namespace scalewall::cluster
+
+#endif  // SCALEWALL_CLUSTER_CLUSTER_H_

@@ -1,0 +1,123 @@
+#include "cluster/failure_injector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace scalewall::cluster {
+
+FailureInjector::FailureInjector(sim::Simulation* simulation, Cluster* cluster,
+                                 FailureInjectorOptions options)
+    : simulation_(simulation),
+      cluster_(cluster),
+      options_(options),
+      rng_(simulation->rng().Fork(/*stream=*/0xFA17)) {}
+
+void FailureInjector::Start() {
+  for (ServerId id : cluster_->AllServers()) {
+    ArmFailure(id);
+    if (options_.enable_drains) ArmDrain(id);
+  }
+}
+
+void FailureInjector::ArmFailure(ServerId id) {
+  double rate = 1.0 / static_cast<double>(options_.mean_time_between_failures);
+  SimDuration wait = static_cast<SimDuration>(rng_.NextExponential(rate));
+  simulation_->ScheduleAfter(wait, [this, id] { OnPermanentFailure(id); });
+}
+
+void FailureInjector::ArmDrain(ServerId id) {
+  double rate = 1.0 / static_cast<double>(options_.mean_time_between_drains);
+  SimDuration wait = static_cast<SimDuration>(rng_.NextExponential(rate));
+  simulation_->ScheduleAfter(wait, [this, id] {
+    ServerInfo* info = cluster_->GetMutable(id);
+    if (info != nullptr && info->health == ServerHealth::kHealthy) {
+      ++total_drains_;
+      cluster_->SetHealth(id, ServerHealth::kDraining);
+      simulation_->ScheduleAfter(options_.drain_duration, [this, id] {
+        ServerInfo* info = cluster_->GetMutable(id);
+        if (info != nullptr && info->health == ServerHealth::kDraining) {
+          cluster_->SetHealth(id, ServerHealth::kHealthy);
+        }
+      });
+    }
+    if (cluster_->Contains(id)) ArmDrain(id);
+  });
+}
+
+void FailureInjector::FailServer(ServerId id) { OnPermanentFailure(id); }
+
+void FailureInjector::OnPermanentFailure(ServerId id) {
+  ServerInfo* info = cluster_->GetMutable(id);
+  if (info == nullptr) return;
+  if (info->health == ServerHealth::kDown ||
+      info->health == ServerHealth::kRepairing) {
+    // Already failed; re-arm for after it returns.
+    ArmFailure(id);
+    return;
+  }
+  ++total_failures_;
+  int64_t day = simulation_->now() / kDay;
+  repairs_per_day_[day]++;
+  SCALEWALL_LOG(kInfo) << "permanent failure on " << info->hostname
+                       << " at day " << day;
+  cluster_->SetHealth(id, ServerHealth::kDown);
+  // Automation notices the dead host and sends it to repair shortly after.
+  simulation_->ScheduleAfter(10 * kMinute, [this, id] {
+    ServerInfo* info = cluster_->GetMutable(id);
+    if (info != nullptr && info->health == ServerHealth::kDown) {
+      cluster_->SetHealth(id, ServerHealth::kRepairing);
+    }
+  });
+  double mean_log = std::log(static_cast<double>(options_.mean_repair_time));
+  SimDuration repair = static_cast<SimDuration>(
+      rng_.NextLognormal(mean_log - 0.5 * options_.repair_sigma *
+                                        options_.repair_sigma,
+                         options_.repair_sigma));
+  simulation_->ScheduleAfter(10 * kMinute + repair,
+                             [this, id] { OnRepairComplete(id); });
+}
+
+void FailureInjector::OnRepairComplete(ServerId id) {
+  ServerInfo* info = cluster_->GetMutable(id);
+  if (info == nullptr) return;
+  if (info->health == ServerHealth::kRepairing ||
+      info->health == ServerHealth::kDown) {
+    cluster_->SetHealth(id, ServerHealth::kHealthy);
+  }
+  ArmFailure(id);
+}
+
+void FailureInjector::DrainRack(RackId rack, SimDuration duration) {
+  for (ServerId id : cluster_->AllServers()) {
+    const ServerInfo& info = cluster_->Get(id);
+    if (info.rack == rack && info.health == ServerHealth::kHealthy) {
+      ++total_drains_;
+      cluster_->SetHealth(id, ServerHealth::kDraining);
+      simulation_->ScheduleAfter(duration, [this, id] {
+        ServerInfo* info = cluster_->GetMutable(id);
+        if (info != nullptr && info->health == ServerHealth::kDraining) {
+          cluster_->SetHealth(id, ServerHealth::kHealthy);
+        }
+      });
+    }
+  }
+}
+
+void FailureInjector::DrainRegion(RegionId region, SimDuration duration) {
+  for (ServerId id : cluster_->ServersInRegion(region)) {
+    const ServerInfo& info = cluster_->Get(id);
+    if (info.health == ServerHealth::kHealthy) {
+      ++total_drains_;
+      cluster_->SetHealth(id, ServerHealth::kDraining);
+      simulation_->ScheduleAfter(duration, [this, id] {
+        ServerInfo* info = cluster_->GetMutable(id);
+        if (info != nullptr && info->health == ServerHealth::kDraining) {
+          cluster_->SetHealth(id, ServerHealth::kHealthy);
+        }
+      });
+    }
+  }
+}
+
+}  // namespace scalewall::cluster

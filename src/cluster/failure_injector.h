@@ -1,0 +1,86 @@
+// FailureInjector: stochastic hardware failures, repairs, and planned
+// automation events (drains, rack maintenance, disaster exercises).
+//
+// The paper distinguishes (Section IV-G, V-C):
+//  * permanent host failures handled by data-center automation — "hosts
+//    sent to repair per day" (Figure 4f);
+//  * transient failures/tail events hitting individual queries (Figures
+//    1, 2, 5) — modeled per-request by sim::TransientFailureModel;
+//  * planned events: drains for maintenance, rack moves, disaster
+//    preparedness exercises that take racks or whole regions offline.
+
+#ifndef SCALEWALL_CLUSTER_FAILURE_INJECTOR_H_
+#define SCALEWALL_CLUSTER_FAILURE_INJECTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/time.h"
+#include "sim/simulation.h"
+
+namespace scalewall::cluster {
+
+struct FailureInjectorOptions {
+  // Mean time between permanent hardware failures, per server. Production
+  // fleets see roughly 1-2 permanent failures per server-year; the default
+  // is compressed so week-long simulations observe a realistic daily count
+  // across thousands of hosts.
+  SimDuration mean_time_between_failures = 250 * kDay;
+  // Repair turnaround: mean and spread (lognormal).
+  SimDuration mean_repair_time = 2 * kDay;
+  double repair_sigma = 0.5;
+  // Mean time between planned maintenance drains per server.
+  SimDuration mean_time_between_drains = 60 * kDay;
+  // How long a drained server stays out before returning.
+  SimDuration drain_duration = 4 * kHour;
+  // Enables the planned-drain process.
+  bool enable_drains = true;
+};
+
+// Drives health transitions on a Cluster from Poisson failure/drain
+// processes on the simulation clock.
+class FailureInjector {
+ public:
+  FailureInjector(sim::Simulation* simulation, Cluster* cluster,
+                  FailureInjectorOptions options);
+
+  // Arms the stochastic processes for every current server. Call once
+  // after the fleet is built.
+  void Start();
+
+  // Immediately fails a specific server (for tests and disaster drills).
+  void FailServer(ServerId id);
+
+  // Drains a whole rack or region (disaster-preparedness exercise,
+  // Section V-C). Servers return to healthy after `duration`.
+  void DrainRack(RackId rack, SimDuration duration);
+  void DrainRegion(RegionId region, SimDuration duration);
+
+  // Total permanent failures so far, and a per-day breakdown
+  // (simulated day index -> hosts sent to repair), i.e. Figure 4f.
+  int64_t total_permanent_failures() const { return total_failures_; }
+  const std::map<int64_t, int>& repairs_per_day() const {
+    return repairs_per_day_;
+  }
+  int64_t total_drains() const { return total_drains_; }
+
+ private:
+  void ArmFailure(ServerId id);
+  void ArmDrain(ServerId id);
+  void OnPermanentFailure(ServerId id);
+  void OnRepairComplete(ServerId id);
+
+  sim::Simulation* simulation_;
+  Cluster* cluster_;
+  FailureInjectorOptions options_;
+  Rng rng_;
+  int64_t total_failures_ = 0;
+  int64_t total_drains_ = 0;
+  std::map<int64_t, int> repairs_per_day_;
+};
+
+}  // namespace scalewall::cluster
+
+#endif  // SCALEWALL_CLUSTER_FAILURE_INJECTOR_H_

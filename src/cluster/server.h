@@ -1,0 +1,61 @@
+// Fleet model: servers, racks, regions.
+//
+// The paper's Cubrick deployment spans "thousands of servers spanning
+// multiple data centers" arranged in three regions, each holding a full
+// copy of every table (Section IV-D). Spread domains for replica placement
+// are single servers, racks, or entire regions (Section III-A1).
+
+#ifndef SCALEWALL_CLUSTER_SERVER_H_
+#define SCALEWALL_CLUSTER_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scalewall::cluster {
+
+using ServerId = uint32_t;
+using RegionId = uint16_t;
+using RackId = uint32_t;
+
+inline constexpr ServerId kInvalidServer = static_cast<ServerId>(-1);
+
+// Lifecycle of a server as seen by shard management and automation tools.
+enum class ServerHealth {
+  // Serving traffic and eligible for shard placement.
+  kHealthy,
+  // Being drained by automation (maintenance, decommission, disaster
+  // exercise): serves existing shards but must not receive new ones, and
+  // its shards should be migrated away gracefully.
+  kDraining,
+  // Hard-failed: unreachable; shards hosted here need failover.
+  kDown,
+  // Pulled from the fleet for physical repair; returns as kHealthy.
+  kRepairing,
+};
+
+std::string_view ServerHealthName(ServerHealth health);
+
+// Static + dynamic description of one server.
+struct ServerInfo {
+  ServerId id = kInvalidServer;
+  std::string hostname;
+  RegionId region = 0;
+  RackId rack = 0;
+  // Physical memory; the basis of the capacity metric exported to SM
+  // (Section IV-F: 90% of physical memory in generation 1).
+  int64_t memory_bytes = 64LL << 30;
+  // SSD capacity, used by the third-generation load balancing metrics.
+  int64_t ssd_bytes = 512LL << 30;
+  ServerHealth health = ServerHealth::kHealthy;
+
+  bool IsServing() const {
+    return health == ServerHealth::kHealthy ||
+           health == ServerHealth::kDraining;
+  }
+  bool IsPlaceable() const { return health == ServerHealth::kHealthy; }
+};
+
+}  // namespace scalewall::cluster
+
+#endif  // SCALEWALL_CLUSTER_SERVER_H_

@@ -1,0 +1,38 @@
+#include "common/hash.h"
+
+namespace scalewall {
+
+void ConsistentHashRing::AddBucket(const std::string& bucket) {
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    uint64_t pos = HashCombine(HashString(bucket), HashInt(v));
+    ring_.emplace(pos, bucket);
+  }
+  ++buckets_;
+}
+
+void ConsistentHashRing::RemoveBucket(const std::string& bucket) {
+  bool removed = false;
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    uint64_t pos = HashCombine(HashString(bucket), HashInt(v));
+    auto it = ring_.find(pos);
+    while (it != ring_.end() && it->first == pos) {
+      if (it->second == bucket) {
+        ring_.erase(it);
+        removed = true;
+        break;
+      }
+      ++it;
+    }
+  }
+  if (removed && buckets_ > 0) --buckets_;
+}
+
+std::string ConsistentHashRing::GetBucket(std::string_view key) const {
+  if (ring_.empty()) return "";
+  uint64_t h = HashString(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace scalewall

@@ -1,0 +1,72 @@
+// Hashing utilities used for shard mapping and record partitioning.
+//
+// The paper maps table partitions to Shard Manager's flat shard key space
+// with `hash(tbl) % maxShards` (Section IV-A). We provide a stable 64-bit
+// string hash (FNV-1a with an avalanche finalizer) so mappings are
+// reproducible across runs and platforms, plus a consistent-hash ring for
+// the "changing maxShards" alternative the paper mentions.
+
+#ifndef SCALEWALL_COMMON_HASH_H_
+#define SCALEWALL_COMMON_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scalewall {
+
+// Stable 64-bit FNV-1a hash with a final SplitMix-style avalanche so that
+// low bits are well distributed even for short/similar keys.
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+// Mixes a 64-bit integer (used for record->partition assignment).
+inline uint64_t HashInt(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+// A consistent-hash ring mapping string keys to a dynamic number of
+// buckets. This is the alternative shard-mapping function the paper notes
+// would be required "in case changing the maximum number of shards had to
+// be supported" (Section IV-A).
+class ConsistentHashRing {
+ public:
+  // `virtual_nodes` controls balance quality (higher = smoother).
+  explicit ConsistentHashRing(int virtual_nodes = 64)
+      : virtual_nodes_(virtual_nodes) {}
+
+  // Adds/removes a bucket (e.g., a shard id rendered as a string).
+  void AddBucket(const std::string& bucket);
+  void RemoveBucket(const std::string& bucket);
+
+  // Returns the bucket owning `key`, or empty string if the ring is empty.
+  std::string GetBucket(std::string_view key) const;
+
+  size_t num_buckets() const { return buckets_; }
+
+ private:
+  int virtual_nodes_;
+  size_t buckets_ = 0;
+  std::map<uint64_t, std::string> ring_;  // position -> bucket
+};
+
+}  // namespace scalewall
+
+#endif  // SCALEWALL_COMMON_HASH_H_

@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scalewall {
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {}
+
+size_t Histogram::BucketFor(double value) const {
+  double ratio = value / min_value_;
+  double idx = std::log(ratio) / log_growth_;
+  return static_cast<size_t>(std::max(0.0, idx));
+}
+
+double Histogram::BucketLower(size_t index) const {
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(index));
+}
+
+double Histogram::BucketUpper(size_t index) const {
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(index + 1));
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_seen_) min_seen_ = value;
+  if (count_ == 1 || value > max_seen_) max_seen_ = value;
+  if (value < min_value_) {
+    ++underflow_;
+    return;
+  }
+  size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Requires identical bucketing parameters.
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_seen_ = other.min_seen_;
+    max_seen_ = other.max_seen_;
+  } else {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  if (target < underflow_) return min_value_;
+  seen = underflow_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] > target) {
+      // Linear interpolation within the bucket.
+      double frac = static_cast<double>(target - seen + 1) /
+                    static_cast<double>(buckets_[i]);
+      double lo = BucketLower(i);
+      double hi = std::min(BucketUpper(i), max_seen_);
+      if (hi < lo) hi = lo;
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return max_seen_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << P50()
+     << " p90=" << P90() << " p99=" << P99() << " p999=" << P999()
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace scalewall

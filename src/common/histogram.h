@@ -1,0 +1,117 @@
+// Streaming statistics used by experiments and load-balancing metrics.
+//
+// Histogram: log-bucketed latency histogram with percentile queries (the
+// fan-out experiment in Figure 5 reports p50/p75/p90/p99/p99.9 on a log
+// scale). RunningStat: Welford mean/variance. Ewma: the moving-average
+// smoothing the paper recommends applications apply to spiky load
+// balancing metrics (Section III-A3).
+
+#ifndef SCALEWALL_COMMON_HISTOGRAM_H_
+#define SCALEWALL_COMMON_HISTOGRAM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalewall {
+
+// Log-bucketed histogram over positive doubles. Relative bucket error is
+// bounded by `growth - 1` (default 1%).
+class Histogram {
+ public:
+  explicit Histogram(double min_value = 1e-6, double growth = 1.01);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_seen_ : 0; }
+  double max() const { return count_ ? max_seen_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+
+  // Returns the value at quantile q in [0, 1]. Linear within a bucket.
+  double Quantile(double q) const;
+
+  // Convenience percentile accessors.
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
+  double P999() const { return Quantile(0.999); }
+
+  // Renders "count=.. mean=.. p50=.. p90=.. p99=.. p999=.. max=..".
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketLower(size_t index) const;
+  double BucketUpper(size_t index) const;
+
+  double min_value_;
+  double log_growth_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_seen_ = 0;
+  double max_seen_ = 0;
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0;
+};
+
+// Welford online mean/variance.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0; }
+  double max() const { return n_ ? max_ : 0; }
+  // Coefficient of variation; 0 for an empty/zero-mean stream.
+  double cv() const { return mean_ != 0.0 ? stddev() / mean_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Exponentially-weighted moving average.
+class Ewma {
+ public:
+  // alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double value_ = 0;
+};
+
+}  // namespace scalewall
+
+#endif  // SCALEWALL_COMMON_HISTOGRAM_H_

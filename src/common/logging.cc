@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace scalewall {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories from __FILE__ for terseness.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::ostream& out = (level_ >= LogLevel::kWarning) ? std::cerr : std::cout;
+  out << stream_.str() << "\n";
+}
+
+CheckFailure::CheckFailure(const char* cond, const char* file, int line) {
+  stream_ << "[CHECK FAILED " << file << ":" << line << "] " << cond << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace scalewall

@@ -1,0 +1,81 @@
+// Minimal leveled logger.
+//
+// Components log through SCALEWALL_LOG(level) << ...; the global level
+// defaults to kWarning so tests and benches stay quiet, and examples can
+// raise verbosity to narrate migrations/failovers.
+
+#ifndef SCALEWALL_COMMON_LOGGING_H_
+#define SCALEWALL_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace scalewall {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define SCALEWALL_LOG(level)                                       \
+  if (::scalewall::LogLevel::level < ::scalewall::GetLogLevel()) { \
+  } else                                                           \
+    ::scalewall::internal_logging::LogMessage(                     \
+        ::scalewall::LogLevel::level, __FILE__, __LINE__)          \
+        .stream()
+
+// CHECK-style assertion: always on, aborts with a message on failure.
+#define SCALEWALL_CHECK(cond)                                            \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::scalewall::internal_logging::CheckFailure(#cond, __FILE__, __LINE__) \
+        .stream()
+
+namespace internal_logging {
+
+// Prints the failed condition plus any streamed context, then aborts.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace scalewall
+
+#endif  // SCALEWALL_COMMON_LOGGING_H_

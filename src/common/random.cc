@@ -1,0 +1,38 @@
+#include "common/random.h"
+
+namespace scalewall {
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Rejection-inversion sampling (Hormann & Derflinger) specialised for
+  // integer support [1, n]; returns rank-1 so callers get [0, n).
+  if (n == 0) return 0;
+  if (n == 1) return 0;
+  const double nd = static_cast<double>(n);
+  if (s == 1.0) s = 1.0000001;  // avoid the harmonic special case
+
+  auto h = [s](double x) {
+    return std::pow(x, 1.0 - s) / (1.0 - s);
+  };
+  auto h_inv = [s](double x) {
+    return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+  };
+
+  const double h_x1 = h(1.5) - 1.0;
+  const double h_n = h(nd + 0.5);
+  const double rejection_s = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s));
+
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    const double u = h_n + NextDouble() * (h_x1 - h_n);
+    const double x = h_inv(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > nd) k = nd;
+    if (k - x <= rejection_s || u >= h(k + 0.5) - std::pow(k, -s)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+  // Extremely unlikely fallback.
+  return NextBounded(n);
+}
+
+}  // namespace scalewall

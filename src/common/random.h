@@ -1,0 +1,113 @@
+// Deterministic pseudo-random utilities.
+//
+// Every stochastic component in the simulator (failure processes, latency
+// tails, workload generators, hotness decay) draws from an Rng seeded by
+// the experiment. Runs are bit-for-bit reproducible given a seed; forked
+// streams (Fork()) let independent components advance without perturbing
+// each other.
+
+#ifndef SCALEWALL_COMMON_RANDOM_H_
+#define SCALEWALL_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace scalewall {
+
+// SplitMix64: tiny, fast, high-quality 64-bit generator. Used both as a
+// stream generator and to derive seeds for forked streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire-style multiply-shift; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponential with rate lambda (mean 1/lambda).
+  double NextExponential(double lambda) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-18;
+    return -std::log(u) / lambda;
+  }
+
+  // Normal via Box-Muller (one value per call; simple and deterministic).
+  double NextNormal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 1e-18;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  // Lognormal: exp(Normal(mu, sigma)).
+  double NextLognormal(double mu, double sigma) {
+    return std::exp(NextNormal(mu, sigma));
+  }
+
+  // Pareto with scale xm and shape alpha (heavy tail used for tail
+  // latencies; smaller alpha = heavier tail).
+  double NextPareto(double xm, double alpha) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  // Zipf-distributed rank in [0, n) with exponent s. O(1) via rejection
+  // sampling (Jason Crease / Devroye method).
+  uint64_t NextZipf(uint64_t n, double s);
+
+  // Derives an independent generator; deterministic function of the
+  // current state and `stream`.
+  Rng Fork(uint64_t stream) const {
+    // Mix the stream id into a copy of the state through one SplitMix step.
+    uint64_t z = state_ + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace scalewall
+
+#endif  // SCALEWALL_COMMON_RANDOM_H_

@@ -1,0 +1,187 @@
+// Status and Result<T>: exception-free error handling used across the
+// scalewall codebase.
+//
+// The paper's Shard Manager integration distinguishes *retryable* failures
+// (transient; SM or the proxy should try again) from *non-retryable* ones
+// (e.g., a shard migration that would create a shard collision on the
+// target server; SM must pick a different server). That taxonomy is encoded
+// here as StatusCode::kUnavailable / kNonRetryable.
+
+#ifndef SCALEWALL_COMMON_STATUS_H_
+#define SCALEWALL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scalewall {
+
+enum class StatusCode {
+  kOk = 0,
+  // The request arguments were malformed or violate an API contract.
+  kInvalidArgument,
+  // The named entity (table, shard, server, key) does not exist.
+  kNotFound,
+  // The entity being created already exists.
+  kAlreadyExists,
+  // A transient failure: the operation may succeed if retried, possibly
+  // against a different replica/region (hardware fault, timeout, drain).
+  kUnavailable,
+  // A permanent rejection: retrying against the *same* target can never
+  // succeed. SM interprets this as "place the shard somewhere else".
+  kNonRetryable,
+  // A resource limit was hit (server capacity, admission control, memory).
+  kResourceExhausted,
+  // The operation is not valid in the current state (e.g., dropping a
+  // shard mid-migration).
+  kFailedPrecondition,
+  // The operation took longer than its deadline.
+  kDeadlineExceeded,
+  // An invariant was violated; indicates a bug.
+  kInternal,
+  // The caller was rejected by admission control / blacklisting.
+  kPermissionDenied,
+  // The operation was cancelled (e.g., simulation stopped).
+  kCancelled,
+};
+
+// Returns a stable human-readable name, e.g. "NOT_FOUND".
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type carrying a code and an optional message.
+// Ok statuses never allocate.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NonRetryable(std::string msg) {
+    return Status(StatusCode::kNonRetryable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // True if a retry (against another replica or region) may succeed.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kResourceExhausted;
+  }
+
+  // Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both
+  // work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when not ok.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // kOk iff value_ holds a value.
+};
+
+// Propagates errors out of the enclosing function.
+#define SCALEWALL_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::scalewall::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Evaluates a Result<T> expression and either assigns its value or
+// propagates the error status.
+#define SCALEWALL_ASSIGN_OR_RETURN(lhs, expr)    \
+  SCALEWALL_ASSIGN_OR_RETURN_IMPL_(              \
+      SCALEWALL_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SCALEWALL_CONCAT_INNER_(a, b) a##b
+#define SCALEWALL_CONCAT_(a, b) SCALEWALL_CONCAT_INNER_(a, b)
+#define SCALEWALL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value();
+
+}  // namespace scalewall
+
+#endif  // SCALEWALL_COMMON_STATUS_H_

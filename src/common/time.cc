@@ -1,0 +1,26 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace scalewall {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  double v = static_cast<double>(d);
+  if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / kMillisecond);
+  } else if (d < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / kSecond);
+  } else if (d < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", v / kMinute);
+  } else if (d < kDay) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", v / kHour);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fd", v / kDay);
+  }
+  return buf;
+}
+
+}  // namespace scalewall

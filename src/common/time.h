@@ -1,0 +1,48 @@
+// Simulated-time types.
+//
+// All distributed-system timing in this repo runs on simulated time: an
+// integer count of microseconds since the start of the experiment. Using a
+// strong typedef (rather than std::chrono) keeps the discrete-event engine
+// trivial to serialize and reason about, and makes it impossible to mix
+// wall-clock and simulated timestamps.
+
+#ifndef SCALEWALL_COMMON_TIME_H_
+#define SCALEWALL_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace scalewall {
+
+// A point in simulated time, in microseconds since experiment start.
+using SimTime = int64_t;
+
+// A span of simulated time, in microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+constexpr SimDuration FromMillis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+// Renders a duration as "1.5ms", "2.3s", "4h" etc. for logs.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace scalewall
+
+#endif  // SCALEWALL_COMMON_TIME_H_

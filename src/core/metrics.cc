@@ -1,0 +1,120 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace scalewall::core {
+
+namespace {
+
+void Emit(std::ostringstream& out, const std::string& name,
+          const std::string& labels, double value) {
+  out << name;
+  if (!labels.empty()) out << "{" << labels << "}";
+  out << " " << value << "\n";
+}
+
+}  // namespace
+
+std::string ExportMetricsText(Deployment& deployment) {
+  std::ostringstream out;
+
+  // Fleet health.
+  auto counts = deployment.cluster().HealthCounts();
+  Emit(out, "scalewall_fleet_servers", "state=\"healthy\"",
+       counts[cluster::ServerHealth::kHealthy]);
+  Emit(out, "scalewall_fleet_servers", "state=\"draining\"",
+       counts[cluster::ServerHealth::kDraining]);
+  Emit(out, "scalewall_fleet_servers", "state=\"down\"",
+       counts[cluster::ServerHealth::kDown]);
+  Emit(out, "scalewall_fleet_servers", "state=\"repairing\"",
+       counts[cluster::ServerHealth::kRepairing]);
+
+  // Catalog.
+  Emit(out, "scalewall_catalog_tables", "",
+       static_cast<double>(deployment.catalog().num_tables()));
+  Emit(out, "scalewall_repartitions_total", "",
+       static_cast<double>(deployment.repartitions()));
+
+  // Per-region shard manager.
+  for (size_t r = 0; r < deployment.num_regions(); ++r) {
+    auto region = static_cast<cluster::RegionId>(r);
+    const sm::SmServer::Stats& stats = deployment.sm(region).stats();
+    std::string label = "region=\"" + std::to_string(r) + "\"";
+    Emit(out, "scalewall_sm_placements_total", label,
+         static_cast<double>(stats.placements));
+    Emit(out, "scalewall_sm_placement_rejections_total", label,
+         static_cast<double>(stats.placement_rejections));
+    Emit(out, "scalewall_sm_live_migrations_total", label,
+         static_cast<double>(stats.live_migrations));
+    Emit(out, "scalewall_sm_failovers_total", label,
+         static_cast<double>(stats.failovers));
+    Emit(out, "scalewall_sm_lb_runs_total", label,
+         static_cast<double>(stats.lb_runs));
+    Emit(out, "scalewall_sm_aborted_migrations_total", label,
+         static_cast<double>(stats.aborted_migrations));
+    Emit(out, "scalewall_sm_assigned_shards", label,
+         static_cast<double>(deployment.sm(region).num_assigned_shards()));
+
+    // Utilization spread: the balancer's objective.
+    auto utilization = deployment.sm(region).Utilization();
+    double min_util = 0, max_util = 0;
+    bool first = true;
+    for (const auto& [server, util] : utilization) {
+      if (first || util < min_util) min_util = util;
+      if (first || util > max_util) max_util = util;
+      first = false;
+    }
+    Emit(out, "scalewall_sm_utilization_min", label, min_util);
+    Emit(out, "scalewall_sm_utilization_max", label, max_util);
+  }
+
+  // Proxy traffic.
+  const cubrick::CubrickProxy::Stats& proxy = deployment.proxy().stats();
+  Emit(out, "scalewall_proxy_queries_total", "result=\"submitted\"",
+       static_cast<double>(proxy.submitted));
+  Emit(out, "scalewall_proxy_queries_total", "result=\"succeeded\"",
+       static_cast<double>(proxy.succeeded));
+  Emit(out, "scalewall_proxy_queries_total", "result=\"failed\"",
+       static_cast<double>(proxy.failed));
+  Emit(out, "scalewall_proxy_queries_total", "result=\"rejected\"",
+       static_cast<double>(proxy.rejected));
+  Emit(out, "scalewall_proxy_cross_region_retries_total", "",
+       static_cast<double>(proxy.cross_region_retries));
+  Emit(out, "scalewall_proxy_blacklist_hits_total", "",
+       static_cast<double>(proxy.blacklist_hits));
+
+  // Storage engine, aggregated over the fleet.
+  int64_t partial_queries = 0, compressed = 0, decompressed = 0,
+          evicted = 0, recoveries = 0, forwarded = 0, collisions = 0;
+  double memory = 0;
+  for (cluster::ServerId id : deployment.cluster().AllServers()) {
+    cubrick::CubrickServer* server = deployment.Lookup(id);
+    if (server == nullptr) continue;
+    const cubrick::CubrickServer::Stats& stats = server->stats();
+    partial_queries += stats.partial_queries;
+    compressed += stats.bricks_compressed;
+    decompressed += stats.bricks_decompressed;
+    evicted += stats.bricks_evicted;
+    recoveries += stats.recoveries;
+    forwarded += stats.forwarded_requests;
+    collisions += stats.collision_rejections;
+    memory += static_cast<double>(server->MemoryUsage());
+  }
+  Emit(out, "scalewall_engine_partial_queries_total", "",
+       static_cast<double>(partial_queries));
+  Emit(out, "scalewall_engine_bricks_compressed_total", "",
+       static_cast<double>(compressed));
+  Emit(out, "scalewall_engine_bricks_decompressed_total", "",
+       static_cast<double>(decompressed));
+  Emit(out, "scalewall_engine_bricks_evicted_total", "",
+       static_cast<double>(evicted));
+  Emit(out, "scalewall_engine_recoveries_total", "",
+       static_cast<double>(recoveries));
+  Emit(out, "scalewall_engine_forwarded_requests_total", "",
+       static_cast<double>(forwarded));
+  Emit(out, "scalewall_engine_memory_bytes", "", memory);
+
+  return out.str();
+}
+
+}  // namespace scalewall::core

@@ -1,0 +1,24 @@
+// Operational metrics export.
+//
+// "Because it is broadly used at Facebook, SM has full-fledged management
+// consoles and monitoring dashboards" (Section IV). This module renders a
+// deployment's operational state as Prometheus-style text so it can feed
+// any dashboarding stack: fleet health, per-region shard-manager
+// activity, proxy traffic, and storage-engine counters.
+
+#ifndef SCALEWALL_CORE_METRICS_H_
+#define SCALEWALL_CORE_METRICS_H_
+
+#include <string>
+
+#include "core/deployment.h"
+
+namespace scalewall::core {
+
+// Renders all deployment metrics as "name{labels} value" lines, sorted,
+// one metric per line, with "# HELP"-style comments omitted for brevity.
+std::string ExportMetricsText(Deployment& deployment);
+
+}  // namespace scalewall::core
+
+#endif  // SCALEWALL_CORE_METRICS_H_

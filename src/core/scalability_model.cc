@@ -1,0 +1,49 @@
+#include "core/scalability_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace scalewall::core {
+
+double QuerySuccessRatio(double per_server_failure_probability, int fanout) {
+  if (fanout <= 0) return 1.0;
+  return std::pow(1.0 - per_server_failure_probability, fanout);
+}
+
+int ScalabilityWall(double per_server_failure_probability, double sla) {
+  if (per_server_failure_probability <= 0.0) {
+    return std::numeric_limits<int>::max();
+  }
+  if (sla >= 1.0) return 1;
+  // (1-p)^n < sla  <=>  n > log(sla) / log(1-p)
+  double n = std::log(sla) / std::log(1.0 - per_server_failure_probability);
+  return static_cast<int>(std::ceil(n));
+}
+
+double SuccessWithRetries(double single_attempt_success, int max_attempts) {
+  double failure = 1.0 - single_attempt_success;
+  double all_fail = 1.0;
+  for (int i = 0; i < max_attempts; ++i) all_fail *= failure;
+  return 1.0 - all_fail;
+}
+
+std::vector<SuccessPoint> SuccessCurve(double per_server_failure_probability,
+                                       int max_fanout, int points) {
+  std::vector<SuccessPoint> curve;
+  if (points < 2 || max_fanout < 1) return curve;
+  double log_max = std::log(static_cast<double>(max_fanout));
+  int last = 0;
+  for (int i = 0; i < points; ++i) {
+    double f = std::exp(log_max * static_cast<double>(i) /
+                        static_cast<double>(points - 1));
+    int fanout = static_cast<int>(std::lround(f));
+    if (fanout <= last) fanout = last + 1;
+    if (fanout > max_fanout && i == points - 1) fanout = max_fanout;
+    last = fanout;
+    curve.push_back(SuccessPoint{
+        fanout, QuerySuccessRatio(per_server_failure_probability, fanout)});
+  }
+  return curve;
+}
+
+}  // namespace scalewall::core

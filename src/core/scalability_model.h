@@ -1,0 +1,43 @@
+// The analytic scalability-wall model (Section II).
+//
+// "Assume that the probability of a server failure in a given instant is
+// p. A query that must visit n servers succeeds only if none of them
+// fails, i.e. with probability (1-p)^n. We refer to the tipping point
+// where query success ratio falls below the system's SLA as the system's
+// scalability wall" — for p = 0.01% and a 99% SLA the wall sits at about
+// 100 servers (Figure 1); Figure 2 extends the model to other failure
+// probabilities and larger clusters.
+
+#ifndef SCALEWALL_CORE_SCALABILITY_MODEL_H_
+#define SCALEWALL_CORE_SCALABILITY_MODEL_H_
+
+#include <vector>
+
+namespace scalewall::core {
+
+// P(query succeeds | touches `fanout` servers, per-server failure
+// probability p).
+double QuerySuccessRatio(double per_server_failure_probability, int fanout);
+
+// Smallest fan-out at which the success ratio drops below `sla`
+// (e.g. 0.99): the scalability wall. Returns a large sentinel when p == 0.
+int ScalabilityWall(double per_server_failure_probability, double sla);
+
+// Expected number of proxy attempts for a query to succeed when each
+// attempt (against an independent region copy) succeeds with probability
+// s and at most `max_attempts` are made; and the resulting success ratio.
+double SuccessWithRetries(double single_attempt_success, int max_attempts);
+
+// One point of a success-ratio curve.
+struct SuccessPoint {
+  int fanout;
+  double success_ratio;
+};
+
+// Samples the curve at `points` log-spaced fan-outs in [1, max_fanout].
+std::vector<SuccessPoint> SuccessCurve(double per_server_failure_probability,
+                                       int max_fanout, int points);
+
+}  // namespace scalewall::core
+
+#endif  // SCALEWALL_CORE_SCALABILITY_MODEL_H_

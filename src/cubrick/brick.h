@@ -1,0 +1,136 @@
+// Brick: one Granular Partitioning data block.
+//
+// A brick stores, column-wise, all rows whose dimension values fall into
+// one combination of per-dimension ranges. Its id encodes that range
+// combination, so a filter can decide from the id alone whether the brick
+// can contain matching rows (pruning). Bricks are the unit of adaptive
+// compression: each carries a hotness counter, can be compressed in place
+// (freeing memory) and transparently decompressed when a query touches it,
+// and in the third storage generation can additionally be evicted to SSD.
+
+#ifndef SCALEWALL_CUBRICK_BRICK_H_
+#define SCALEWALL_CUBRICK_BRICK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cubrick/codec.h"
+#include "cubrick/query.h"
+#include "cubrick/replicated_table.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::cubrick {
+
+using BrickId = uint64_t;
+
+// Computes the brick id for a row's dimension values under `schema`
+// (mixed-radix over per-dimension bucket indices).
+BrickId BrickIdForRow(const TableSchema& schema,
+                      const std::vector<uint32_t>& dims);
+
+// Decodes the per-dimension bucket index of `id` for dimension `dim`.
+uint32_t BrickBucket(const TableSchema& schema, BrickId id, int dim);
+
+// Total number of addressable bricks for a schema (product of bucket
+// counts; callers should keep this within uint64).
+uint64_t BrickSpace(const TableSchema& schema);
+
+// Storage tier a brick currently occupies.
+enum class BrickState {
+  kUncompressed,  // raw columnar vectors in memory
+  kCompressed,    // codec-encoded buffers in memory
+  kOnSsd,         // codec-encoded buffers accounted against SSD, not RAM
+};
+
+class Brick {
+ public:
+  Brick(BrickId id, size_t num_dims, size_t num_metrics)
+      : id_(id), dims_(num_dims), metrics_(num_metrics) {}
+
+  BrickId id() const { return id_; }
+  BrickState state() const { return state_; }
+  size_t num_rows() const { return num_rows_; }
+
+  // Appends one row (must belong to this brick). Appending to a
+  // compressed brick decompresses it first.
+  void Append(const std::vector<uint32_t>& dims,
+              const std::vector<double>& metrics);
+
+  // Rollup insert: if a cell with the same dimension vector exists, sums
+  // `metrics` into it and returns false; otherwise appends a new cell and
+  // returns true. Maintains a lazy dims->row index (rebuilt after
+  // decompression as needed).
+  bool AppendOrMerge(const std::vector<uint32_t>& dims,
+                     const std::vector<double>& metrics);
+
+  // Scans rows matching `filters` (all must pass), accumulating into
+  // `result`. Decompresses transparently if needed (recorded in
+  // `decompressions`). Bumps the hotness counter. `join` must align with
+  // query.joins when the query joins replicated tables (inner-join
+  // semantics: rows with unmatched keys are dropped).
+  void Scan(const TableSchema& schema, const Query& query,
+            QueryResult& result, int64_t* decompressions,
+            const JoinContext* join = nullptr);
+
+  // --- adaptive compression ---
+
+  // Encodes columns and frees raw vectors. No-op when not uncompressed.
+  void Compress();
+  // Restores raw vectors. No-op when already uncompressed.
+  void Decompress();
+  // Moves a compressed brick's accounting to SSD (generation 3). The
+  // brick must be compressed first.
+  Status EvictToSsd();
+  // Brings an SSD brick back to in-memory compressed state.
+  void LoadFromSsd();
+
+  // Hotness counter: incremented on access, stochastically decayed by the
+  // memory monitor (Section IV-F2).
+  uint32_t hotness() const { return hotness_; }
+  void Touch() { ++hotness_; }
+  void Decay() {
+    if (hotness_ > 0) --hotness_;
+  }
+
+  // --- size accounting ---
+
+  // Bytes currently resident in RAM.
+  size_t MemoryFootprint() const;
+  // Bytes this brick would occupy fully decompressed (the deterministic
+  // generation-2 load-balancing metric).
+  size_t DecompressedSize() const;
+  // Bytes on SSD (generation 3 metric).
+  size_t SsdFootprint() const;
+
+  // Copies all rows out (used for shard migration / recovery).
+  void ExportRows(std::vector<Row>& out) const;
+
+ private:
+  void EnsureUncompressed(int64_t* decompressions);
+
+  BrickId id_;
+  BrickState state_ = BrickState::kUncompressed;
+  size_t num_rows_ = 0;
+  uint32_t hotness_ = 0;
+
+  // Returns the row index holding exactly `dims`, or -1. Builds the
+  // rollup index on first use.
+  int64_t FindRow(const std::vector<uint32_t>& dims);
+
+  // Raw columns (valid when kUncompressed).
+  std::vector<std::vector<uint32_t>> dims_;
+  std::vector<std::vector<double>> metrics_;
+  // Rollup index: hash(dims) -> row indices (collision chains). Cleared
+  // on compression; rebuilt lazily.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> rollup_index_;
+  bool rollup_index_valid_ = false;
+  // Encoded columns (valid when kCompressed/kOnSsd).
+  std::vector<std::vector<uint8_t>> encoded_dims_;
+  std::vector<std::vector<uint8_t>> encoded_metrics_;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_BRICK_H_

@@ -1,0 +1,160 @@
+#include "cubrick/catalog.h"
+
+#include <algorithm>
+
+namespace scalewall::cubrick {
+
+Status Catalog::CreateTable(const std::string& name, TableSchema schema,
+                            uint32_t initial_partitions,
+                            uint32_t mapping_salt) {
+  if (name.empty() || name.find('#') != std::string::npos) {
+    return Status::InvalidArgument(
+        "invalid table name (empty or contains reserved '#')");
+  }
+  if (tables_.count(name) > 0 || replicated_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  SCALEWALL_RETURN_IF_ERROR(schema.Validate());
+  if (initial_partitions == 0 ||
+      initial_partitions > mapper_.max_shards()) {
+    return Status::InvalidArgument("invalid partition count");
+  }
+  TableInfo info{name, std::move(schema), initial_partitions, mapping_salt};
+  IndexTable(info);
+  tables_.emplace(name, std::move(info));
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  UnindexTable(it->second);
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+Status Catalog::SetNumPartitions(const std::string& name,
+                                 uint32_t partitions) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  if (partitions == 0 || partitions > mapper_.max_shards()) {
+    return Status::InvalidArgument("invalid partition count");
+  }
+  UnindexTable(it->second);
+  it->second.num_partitions = partitions;
+  IndexTable(it->second);
+  return Status::Ok();
+}
+
+Status Catalog::CreateReplicatedTable(const std::string& name,
+                                      uint32_t key_cardinality,
+                                      std::vector<Dimension> attributes) {
+  if (name.empty() || name.find('#') != std::string::npos) {
+    return Status::InvalidArgument("invalid table name");
+  }
+  if (tables_.count(name) > 0 || replicated_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  if (key_cardinality == 0) {
+    return Status::InvalidArgument("key cardinality must be positive");
+  }
+  for (const Dimension& attr : attributes) {
+    if (attr.name.empty() || attr.cardinality == 0) {
+      return Status::InvalidArgument("invalid attribute column");
+    }
+  }
+  replicated_.emplace(
+      name, ReplicatedTableInfo{name, key_cardinality, std::move(attributes)});
+  return Status::Ok();
+}
+
+Status Catalog::DropReplicatedTable(const std::string& name) {
+  if (replicated_.erase(name) == 0) {
+    return Status::NotFound("replicated table " + name);
+  }
+  return Status::Ok();
+}
+
+Result<ReplicatedTableInfo> Catalog::GetReplicatedTable(
+    const std::string& name) const {
+  auto it = replicated_.find(name);
+  if (it == replicated_.end()) {
+    return Status::NotFound("replicated table " + name);
+  }
+  return it->second;
+}
+
+Result<TableInfo> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<sm::ShardId> Catalog::ShardForPartition(const std::string& table,
+                                               uint32_t partition) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + table);
+  }
+  if (partition >= it->second.num_partitions) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  return mapper_.ShardFor(table, partition, it->second.mapping_salt);
+}
+
+std::vector<PartitionRef> Catalog::PartitionsForShard(
+    sm::ShardId shard) const {
+  auto it = shard_index_.find(shard);
+  if (it == shard_index_.end()) return {};
+  std::vector<PartitionRef> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<sm::ShardId> Catalog::ShardsForTable(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return {};
+  std::vector<sm::ShardId> out;
+  out.reserve(it->second.num_partitions);
+  for (uint32_t p = 0; p < it->second.num_partitions; ++p) {
+    out.push_back(mapper_.ShardFor(table, p, it->second.mapping_salt));
+  }
+  return out;
+}
+
+void Catalog::IndexTable(const TableInfo& info) {
+  for (uint32_t p = 0; p < info.num_partitions; ++p) {
+    sm::ShardId shard = mapper_.ShardFor(info.name, p, info.mapping_salt);
+    shard_index_[shard].push_back(PartitionRef{info.name, p});
+  }
+}
+
+void Catalog::UnindexTable(const TableInfo& info) {
+  for (uint32_t p = 0; p < info.num_partitions; ++p) {
+    sm::ShardId shard = mapper_.ShardFor(info.name, p, info.mapping_salt);
+    auto it = shard_index_.find(shard);
+    if (it == shard_index_.end()) continue;
+    auto& refs = it->second;
+    refs.erase(std::remove(refs.begin(), refs.end(),
+                           PartitionRef{info.name, p}),
+               refs.end());
+    if (refs.empty()) shard_index_.erase(it);
+  }
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,124 @@
+// Catalog: table metadata shared by all Cubrick servers of a deployment.
+//
+// Tracks each table's schema and current partition count (which changes
+// under dynamic repartitioning, Section IV-B), plus the reverse index from
+// SM shards to the table partitions they contain — the structure servers
+// consult in addShard()/dropShard() to know which partitions travel with a
+// shard, and to detect shard collisions.
+//
+// The production system persists this metadata alongside shard data and in
+// the SM datastore; this repo keeps one authoritative in-memory catalog
+// per deployment (all three regions hold identical table metadata).
+
+#ifndef SCALEWALL_CUBRICK_CATALOG_H_
+#define SCALEWALL_CUBRICK_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cubrick/schema.h"
+#include "cubrick/shard_mapper.h"
+#include "sm/types.h"
+
+namespace scalewall::cubrick {
+
+// Identifies one table partition.
+struct PartitionRef {
+  std::string table;
+  uint32_t partition = 0;
+
+  bool operator==(const PartitionRef& other) const {
+    return partition == other.partition && table == other.table;
+  }
+  bool operator<(const PartitionRef& other) const {
+    if (table != other.table) return table < other.table;
+    return partition < other.partition;
+  }
+};
+
+struct TableInfo {
+  std::string name;
+  TableSchema schema;
+  uint32_t num_partitions = 8;
+  // Mapping salt chosen at creation to avoid shard collisions (the
+  // paper's Section VII future work); 0 = the plain production mapping.
+  uint32_t mapping_salt = 0;
+};
+
+// Metadata of a replicated dimension table (Section II-B): copied in
+// full to every server rather than sharded.
+struct ReplicatedTableInfo {
+  std::string name;
+  uint32_t key_cardinality = 1;
+  std::vector<Dimension> attributes;
+};
+
+class Catalog {
+ public:
+  // `max_shards` sizes the SM key space the mapper targets.
+  explicit Catalog(
+      uint32_t max_shards,
+      ShardMappingStrategy strategy = ShardMappingStrategy::kHashPartitionZero)
+      : mapper_(max_shards, strategy) {}
+
+  const ShardMapper& mapper() const { return mapper_; }
+
+  // Registers a table. "We found that a good starting point is to use 8
+  // partitions for every newly created table" (Section IV-B).
+  // `mapping_salt` deterministically re-rolls the table's base shard
+  // (creation-time collision avoidance).
+  Status CreateTable(const std::string& name, TableSchema schema,
+                     uint32_t initial_partitions = 8,
+                     uint32_t mapping_salt = 0);
+  Status DropTable(const std::string& name);
+
+  // Changes a table's partition count (repartition). The caller owns the
+  // data shuffle; this updates metadata and the shard index.
+  Status SetNumPartitions(const std::string& name, uint32_t partitions);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  Result<TableInfo> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const { return tables_.size(); }
+
+  // Shard for a partition of a known table.
+  Result<sm::ShardId> ShardForPartition(const std::string& table,
+                                        uint32_t partition) const;
+
+  // All table partitions mapped to `shard` ("partition collisions, or
+  // partitions from different tables mapped to the same shard, are
+  // expected and unavoidable" — they migrate together).
+  std::vector<PartitionRef> PartitionsForShard(sm::ShardId shard) const;
+
+  // All shards referenced by `table`'s current partitions.
+  std::vector<sm::ShardId> ShardsForTable(const std::string& table) const;
+
+  // --- replicated dimension tables ---
+  Status CreateReplicatedTable(const std::string& name,
+                               uint32_t key_cardinality,
+                               std::vector<Dimension> attributes);
+  Status DropReplicatedTable(const std::string& name);
+  bool HasReplicatedTable(const std::string& name) const {
+    return replicated_.count(name) > 0;
+  }
+  Result<ReplicatedTableInfo> GetReplicatedTable(
+      const std::string& name) const;
+
+ private:
+  void IndexTable(const TableInfo& info);
+  void UnindexTable(const TableInfo& info);
+
+  ShardMapper mapper_;
+  std::unordered_map<std::string, TableInfo> tables_;
+  std::unordered_map<std::string, ReplicatedTableInfo> replicated_;
+  std::unordered_map<sm::ShardId, std::vector<PartitionRef>> shard_index_;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_CATALOG_H_

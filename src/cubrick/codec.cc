@@ -1,0 +1,142 @@
+#include "cubrick/codec.h"
+
+#include <cstring>
+
+namespace scalewall::cubrick {
+
+void PutVarint32(std::vector<uint8_t>& out, uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+void PutVarint64(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+Result<uint32_t> GetVarint32(const std::vector<uint8_t>& in, size_t& pos) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (pos < in.size() && shift <= 28) {
+    uint8_t byte = in[pos++];
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::InvalidArgument("truncated or overlong varint32");
+}
+
+Result<uint64_t> GetVarint64(const std::vector<uint8_t>& in, size_t& pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos < in.size() && shift <= 63) {
+    uint8_t byte = in[pos++];
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::InvalidArgument("truncated or overlong varint64");
+}
+
+std::vector<uint8_t> EncodeDimColumn(const std::vector<uint32_t>& values) {
+  std::vector<uint8_t> out;
+  out.reserve(values.size());
+  PutVarint64(out, values.size());
+  size_t i = 0;
+  while (i < values.size()) {
+    uint32_t v = values[i];
+    size_t run = 1;
+    while (i + run < values.size() && values[i + run] == v) ++run;
+    PutVarint32(out, v);
+    PutVarint64(out, run);
+    i += run;
+  }
+  out.shrink_to_fit();
+  return out;
+}
+
+Result<std::vector<uint32_t>> DecodeDimColumn(const std::vector<uint8_t>& in) {
+  size_t pos = 0;
+  SCALEWALL_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(in, pos));
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    SCALEWALL_ASSIGN_OR_RETURN(uint32_t v, GetVarint32(in, pos));
+    SCALEWALL_ASSIGN_OR_RETURN(uint64_t run, GetVarint64(in, pos));
+    if (run == 0 || out.size() + run > n) {
+      return Status::InvalidArgument("corrupt run length");
+    }
+    out.insert(out.end(), run, v);
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeMetricColumn(const std::vector<double>& values) {
+  std::vector<uint8_t> out;
+  out.reserve(values.size() * 4);
+  PutVarint64(out, values.size());
+  uint64_t prev = 0;
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    uint64_t x = bits ^ prev;
+    prev = bits;
+    // Trim zero bytes from both ends of the xored value (round doubles
+    // have all-zero low mantissa bytes; similar values share high bytes).
+    // Header byte: low nibble = significant byte count, high nibble =
+    // number of skipped low-order zero bytes.
+    int low_zeros = 0;
+    if (x != 0) {
+      while (((x >> (low_zeros * 8)) & 0xFF) == 0) ++low_zeros;
+    }
+    uint64_t shifted = low_zeros < 8 ? (x >> (low_zeros * 8)) : 0;
+    int len = 0;
+    while (len < 8 && (shifted >> (len * 8)) != 0) ++len;
+    out.push_back(static_cast<uint8_t>((low_zeros << 4) | len));
+    for (int b = 0; b < len; ++b) {
+      out.push_back(static_cast<uint8_t>(shifted >> (b * 8)));
+    }
+  }
+  out.shrink_to_fit();
+  return out;
+}
+
+Result<std::vector<double>> DecodeMetricColumn(
+    const std::vector<uint8_t>& in) {
+  size_t pos = 0;
+  SCALEWALL_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(in, pos));
+  std::vector<double> out;
+  out.reserve(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (pos >= in.size()) {
+      return Status::InvalidArgument("truncated metric column");
+    }
+    uint8_t header = in[pos++];
+    int low_zeros = header >> 4;
+    int len = header & 0x0F;
+    if (len > 8 || low_zeros > 8 || len + low_zeros > 8 ||
+        pos + static_cast<size_t>(len) > in.size()) {
+      return Status::InvalidArgument("corrupt metric column length");
+    }
+    uint64_t x = 0;
+    for (int b = 0; b < len; ++b) {
+      x |= static_cast<uint64_t>(in[pos++]) << (b * 8);
+    }
+    x <<= (low_zeros * 8);
+    uint64_t bits = x ^ prev;
+    prev = bits;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,132 @@
+#include "cubrick/coordinator.h"
+
+#include <algorithm>
+
+#include "sm/sm_client.h"
+
+namespace scalewall::cubrick {
+
+DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
+                                      cluster::ServerId coordinator,
+                                      Rng& rng) {
+  DistributedOutcome outcome;
+  auto table = ctx.catalog->GetTable(query.table);
+  if (!table.ok()) {
+    outcome.status = table.status();
+    return outcome;
+  }
+  outcome.num_partitions = table->num_partitions;
+  outcome.result = QueryResult(query.aggregations.size());
+
+  Status valid = query.Validate(table->schema);
+  if (!valid.ok()) {
+    outcome.status = valid;
+    return outcome;
+  }
+  // Joined dimension tables must exist with the referenced attributes
+  // (each server resolves its own local replica at execution time).
+  for (const Join& join : query.joins) {
+    auto dim = ctx.catalog->GetReplicatedTable(join.dimension_table);
+    if (!dim.ok()) {
+      outcome.status = dim.status();
+      return outcome;
+    }
+    if (join.attribute < 0 ||
+        join.attribute >= static_cast<int>(dim->attributes.size())) {
+      outcome.status = Status::InvalidArgument(
+          "unknown attribute index for join against " +
+          join.dimension_table);
+      return outcome;
+    }
+  }
+
+  CubrickServer* coord_server =
+      ctx.directory != nullptr ? ctx.directory->Lookup(coordinator) : nullptr;
+  if (coord_server == nullptr || !ctx.cluster->Contains(coordinator) ||
+      !ctx.cluster->Get(coordinator).IsServing()) {
+    outcome.status = Status::Unavailable("coordinator unavailable");
+    return outcome;
+  }
+
+  // Resolve all partition hosts through the coordinator's local SMC view.
+  sm::SmClient client(ctx.discovery, ctx.cluster, coordinator);
+  struct Subquery {
+    uint32_t partition;
+    cluster::ServerId server;
+  };
+  std::vector<Subquery> subqueries;
+  subqueries.reserve(table->num_partitions);
+  std::set<cluster::ServerId> distinct;
+  for (uint32_t p = 0; p < table->num_partitions; ++p) {
+    auto shard = ctx.catalog->ShardForPartition(query.table, p);
+    if (!shard.ok()) {
+      outcome.status = shard.status();
+      return outcome;
+    }
+    auto server = client.ResolveServing(ctx.service, *shard);
+    if (!server.ok()) {
+      // Partition unavailable in this region: fail so the proxy retries
+      // against a different region.
+      outcome.status = Status::Unavailable(
+          "partition " + PartitionName(query.table, p) +
+          " unavailable in region " + std::to_string(ctx.region) + ": " +
+          server.status().message());
+      outcome.latency = ctx.network_model.SampleHop(rng);
+      return outcome;
+    }
+    subqueries.push_back(Subquery{p, *server});
+    distinct.insert(*server);
+  }
+  outcome.fanout = static_cast<int>(distinct.size());
+
+  // Per-host transient failure draws: each participating server
+  // independently fails the request with probability p (Figures 1-2).
+  for (cluster::ServerId server : distinct) {
+    if (ctx.failure_model.Fails(rng)) {
+      outcome.status = Status::Unavailable(
+          "server " + std::to_string(server) +
+          " failed during query execution");
+      outcome.failed_server = server;
+      // The failure surfaces roughly when the subquery would have
+      // completed (or timed out).
+      outcome.latency = ctx.network_model.SampleHop(rng) +
+                        ctx.latency_model.Sample(rng);
+      return outcome;
+    }
+  }
+
+  // Execute subqueries (in parallel in simulated time): the distributed
+  // latency is the max over per-partition (hop + service).
+  SimDuration slowest = 0;
+  for (const Subquery& sub : subqueries) {
+    CubrickServer* server = ctx.directory->Lookup(sub.server);
+    if (server == nullptr) {
+      outcome.status = Status::Unavailable("server instance missing");
+      outcome.failed_server = sub.server;
+      return outcome;
+    }
+    auto partial = server->ExecutePartial(query, sub.partition);
+    if (!partial.ok()) {
+      outcome.status = partial.status();
+      outcome.failed_server = sub.server;
+      outcome.latency = ctx.network_model.SampleHop(rng) +
+                        ctx.latency_model.Sample(rng);
+      return outcome;
+    }
+    SimDuration hop = sub.server == coordinator
+                          ? 0
+                          : ctx.network_model.SampleHop(rng);
+    // Forwarded requests (graceful-migration window) pay extra hops.
+    for (int h = 0; h < partial->forward_hops; ++h) {
+      hop += ctx.network_model.SampleHop(rng);
+    }
+    SimDuration service = ctx.latency_model.Sample(rng);
+    slowest = std::max(slowest, hop + service);
+    outcome.result.Merge(partial->result);
+  }
+  outcome.latency = slowest + ctx.merge_overhead;
+  outcome.status = Status::Ok();
+  return outcome;
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,81 @@
+// Distributed query execution: the query-coordinator role.
+//
+// "In Cubrick, queries are invariably executed by the hosts that store
+// partitions of a table, always pushing the compute closer to the data.
+// The host that receives the client connection is called a query
+// coordinator. ... A query coordinator has additional responsibilities,
+// such as merging partial results, query parsing, compilation and
+// distribution" (Section IV-C). "Once a query is dispatched to be
+// executed in a certain region, all table partitions required by the
+// query are required to be available within that region — there is no
+// cross-region traffic during query execution. If some partition is
+// unavailable, queries will fail and be retried on a different region by
+// Cubrick proxy" (Section IV-D).
+//
+// Timing model: subqueries to all partition hosts run in parallel; the
+// distributed latency is the max over per-host (network hop + service
+// latency) plus a merge term, with per-host transient failures drawn from
+// the paper's failure model — the process behind Figures 1, 2 and 5. The
+// data path is real: partial aggregation states are computed by scanning
+// actual bricks and merged on the coordinator.
+
+#ifndef SCALEWALL_CUBRICK_COORDINATOR_H_
+#define SCALEWALL_CUBRICK_COORDINATOR_H_
+
+#include <set>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "cubrick/catalog.h"
+#include "cubrick/query.h"
+#include "cubrick/server.h"
+#include "discovery/service_discovery.h"
+#include "sim/latency_model.h"
+#include "sim/simulation.h"
+
+namespace scalewall::cubrick {
+
+// Everything a coordinator in one region needs to execute queries.
+struct RegionContext {
+  cluster::RegionId region = 0;
+  std::string service;  // the region's SM service name
+  sim::Simulation* simulation = nullptr;
+  cluster::Cluster* cluster = nullptr;
+  Catalog* catalog = nullptr;
+  const ServerDirectory* directory = nullptr;
+  const discovery::ServiceDiscovery* discovery = nullptr;
+  sim::LatencyModel latency_model;
+  sim::NetworkModel network_model;
+  sim::TransientFailureModel failure_model{0.0};
+  // Fixed cost of merging partial results on the coordinator.
+  SimDuration merge_overhead = 1 * kMillisecond;
+};
+
+// Outcome of one in-region distributed execution attempt.
+struct DistributedOutcome {
+  Status status;
+  QueryResult result;
+  // Wall time of this attempt (meaningful for failures too: time until
+  // the failure surfaced).
+  SimDuration latency = 0;
+  // Distinct servers that had to participate.
+  int fanout = 0;
+  // Current partition count of the table — returned "as part of query
+  // results metadata" to keep the proxy cache fresh (Section IV-C).
+  uint32_t num_partitions = 0;
+  // The server that failed the attempt, if any (for proxy blacklisting).
+  cluster::ServerId failed_server = cluster::kInvalidServer;
+};
+
+// Executes `query` with the coordinator running on `coordinator`, fanning
+// out to every partition of the table as resolved through the
+// coordinator's local discovery view.
+DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
+                                      cluster::ServerId coordinator,
+                                      Rng& rng);
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_COORDINATOR_H_

@@ -1,0 +1,77 @@
+#include "cubrick/dictionary.h"
+
+namespace scalewall::cubrick {
+
+Result<uint32_t> Dictionary::Encode(std::string_view value) {
+  auto it = codes_.find(std::string(value));
+  if (it != codes_.end()) return it->second;
+  if (values_.size() >= capacity_) {
+    return Status::ResourceExhausted(
+        "dictionary full (capacity " + std::to_string(capacity_) + ")");
+  }
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.emplace_back(value);
+  codes_.emplace(values_.back(), code);
+  return code;
+}
+
+Result<uint32_t> Dictionary::Lookup(std::string_view value) const {
+  auto it = codes_.find(std::string(value));
+  if (it == codes_.end()) {
+    return Status::NotFound("value not in dictionary: " +
+                            std::string(value));
+  }
+  return it->second;
+}
+
+Result<std::string> Dictionary::Decode(uint32_t code) const {
+  if (code >= values_.size()) {
+    return Status::NotFound("code not in dictionary: " +
+                            std::to_string(code));
+  }
+  return values_[code];
+}
+
+DictionaryEncoder::DictionaryEncoder(const TableSchema& schema)
+    : schema_(schema) {
+  dictionaries_.reserve(schema_.dimensions.size());
+  for (const Dimension& dim : schema_.dimensions) {
+    dictionaries_.emplace_back(dim.cardinality);
+  }
+}
+
+Result<Row> DictionaryEncoder::EncodeRow(
+    const std::vector<std::string>& dims, std::vector<double> metrics) {
+  if (dims.size() != schema_.dimensions.size()) {
+    return Status::InvalidArgument("dimension arity mismatch");
+  }
+  if (metrics.size() != schema_.metrics.size()) {
+    return Status::InvalidArgument("metric arity mismatch");
+  }
+  Row row;
+  row.dims.reserve(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    SCALEWALL_ASSIGN_OR_RETURN(uint32_t code,
+                               dictionaries_[d].Encode(dims[d]));
+    row.dims.push_back(code);
+  }
+  row.metrics = std::move(metrics);
+  return row;
+}
+
+Result<std::vector<std::string>> DictionaryEncoder::DecodeDims(
+    const Row& row) const {
+  if (row.dims.size() != dictionaries_.size()) {
+    return Status::InvalidArgument("dimension arity mismatch");
+  }
+  std::vector<std::string> out;
+  out.reserve(row.dims.size());
+  for (size_t d = 0; d < row.dims.size(); ++d) {
+    SCALEWALL_ASSIGN_OR_RETURN(std::string value,
+                               dictionaries_[d].Decode(row.dims[d]));
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+}  // namespace scalewall::cubrick

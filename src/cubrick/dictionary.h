@@ -1,0 +1,75 @@
+// Dictionary encoding for string-valued dimensions.
+//
+// Cubrick dimensions are integer codes internally (Granular Partitioning
+// needs bounded, ordered domains); real dashboards filter on countries,
+// platforms and campaign names. A Dictionary maps strings to dense codes
+// and back; a DictionaryEncoder bundles one dictionary per string
+// dimension of a schema and converts whole rows.
+//
+// Codes are assigned in first-seen order and are stable for the lifetime
+// of the dictionary. The dictionary is bounded by the dimension's
+// declared cardinality: inserts beyond it fail (pick a larger domain at
+// table-creation time, as production schemas do).
+
+#ifndef SCALEWALL_CUBRICK_DICTIONARY_H_
+#define SCALEWALL_CUBRICK_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::cubrick {
+
+class Dictionary {
+ public:
+  // `capacity` bounds the number of distinct values (the dimension's
+  // cardinality).
+  explicit Dictionary(uint32_t capacity) : capacity_(capacity) {}
+
+  // Returns the code for `value`, assigning the next free code when the
+  // value is new. Fails with RESOURCE_EXHAUSTED at capacity.
+  Result<uint32_t> Encode(std::string_view value);
+
+  // Returns the code for `value` without inserting; NOT_FOUND if absent.
+  Result<uint32_t> Lookup(std::string_view value) const;
+
+  // Returns the string for `code`; NOT_FOUND if unassigned.
+  Result<std::string> Decode(uint32_t code) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  uint32_t capacity_;
+  std::unordered_map<std::string, uint32_t> codes_;
+  std::vector<std::string> values_;
+};
+
+// Per-schema row encoder: one dictionary per dimension.
+class DictionaryEncoder {
+ public:
+  explicit DictionaryEncoder(const TableSchema& schema);
+
+  // Encodes one row given string dimension values (in schema order) and
+  // metric values. New dimension values are added to the dictionaries.
+  Result<Row> EncodeRow(const std::vector<std::string>& dims,
+                        std::vector<double> metrics);
+
+  // Decodes a row's dimension codes back to strings.
+  Result<std::vector<std::string>> DecodeDims(const Row& row) const;
+
+  Dictionary& dictionary(int dim) { return dictionaries_[dim]; }
+  const Dictionary& dictionary(int dim) const { return dictionaries_[dim]; }
+
+ private:
+  TableSchema schema_;
+  std::vector<Dictionary> dictionaries_;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_DICTIONARY_H_

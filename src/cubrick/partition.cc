@@ -1,0 +1,140 @@
+#include "cubrick/partition.h"
+
+#include <algorithm>
+
+namespace scalewall::cubrick {
+
+Status TablePartition::Insert(const Row& row) {
+  if (row.dims.size() != schema_.dimensions.size()) {
+    return Status::InvalidArgument("row dimension arity mismatch");
+  }
+  if (row.metrics.size() != schema_.metrics.size()) {
+    return Status::InvalidArgument("row metric arity mismatch");
+  }
+  for (size_t d = 0; d < row.dims.size(); ++d) {
+    if (row.dims[d] >= schema_.dimensions[d].cardinality) {
+      return Status::InvalidArgument(
+          "dimension value out of domain for " + schema_.dimensions[d].name);
+    }
+  }
+  BrickId id = BrickIdForRow(schema_, row.dims);
+  auto it = bricks_.find(id);
+  if (it == bricks_.end()) {
+    it = bricks_
+             .emplace(id, Brick(id, schema_.dimensions.size(),
+                                schema_.metrics.size()))
+             .first;
+  }
+  if (schema_.rollup) {
+    if (it->second.AppendOrMerge(row.dims, row.metrics)) ++num_rows_;
+  } else {
+    it->second.Append(row.dims, row.metrics);
+    ++num_rows_;
+  }
+  return Status::Ok();
+}
+
+Status TablePartition::Execute(const Query& query, QueryResult& result,
+                               const JoinContext* join) {
+  SCALEWALL_RETURN_IF_ERROR(query.Validate(schema_));
+  if (!query.joins.empty()) {
+    if (join == nullptr || join->tables.size() != query.joins.size()) {
+      return Status::FailedPrecondition(
+          "query joins replicated tables but no join context was "
+          "provided");
+    }
+    for (const ReplicatedTable* table : join->tables) {
+      if (table == nullptr) {
+        return Status::FailedPrecondition("missing dimension table replica");
+      }
+    }
+  }
+  for (auto& [id, brick] : bricks_) {
+    // Granular-partitioning pruning: the brick's bucket on dimension d
+    // covers values [bucket*range, bucket*range + range), so any filter
+    // disjoint from that interval rules the whole brick out.
+    bool pruned = false;
+    for (const FilterRange& f : query.filters) {
+      const Dimension& dim = schema_.dimensions[f.dimension];
+      uint32_t bucket = BrickBucket(schema_, id, f.dimension);
+      uint64_t lo = static_cast<uint64_t>(bucket) * dim.range_size;
+      uint64_t hi = lo + dim.range_size - 1;
+      if (f.hi < lo || f.lo > hi) {
+        pruned = true;
+        break;
+      }
+    }
+    // An IN filter prunes the brick when none of its values falls into
+    // the brick's range on that dimension.
+    for (const FilterIn& f : query.in_filters) {
+      if (pruned) break;
+      const Dimension& dim = schema_.dimensions[f.dimension];
+      uint32_t bucket = BrickBucket(schema_, id, f.dimension);
+      uint64_t lo = static_cast<uint64_t>(bucket) * dim.range_size;
+      uint64_t hi = lo + dim.range_size - 1;
+      bool any = false;
+      for (uint32_t v : f.values) {
+        if (v >= lo && v <= hi) {
+          any = true;
+          break;
+        }
+      }
+      pruned = !any;
+    }
+    if (pruned) {
+      ++result.bricks_pruned;
+      continue;
+    }
+    brick.Scan(schema_, query, result, &decompressions_, join);
+  }
+  return Status::Ok();
+}
+
+std::vector<Row> TablePartition::ExportRows() const {
+  std::vector<Row> out;
+  out.reserve(num_rows_);
+  for (const auto& [id, brick] : bricks_) {
+    brick.ExportRows(out);
+  }
+  return out;
+}
+
+std::vector<Brick*> TablePartition::BricksByHotness(bool coldest_first) {
+  std::vector<Brick*> out;
+  out.reserve(bricks_.size());
+  for (auto& [id, brick] : bricks_) out.push_back(&brick);
+  std::sort(out.begin(), out.end(), [coldest_first](Brick* a, Brick* b) {
+    if (a->hotness() != b->hotness()) {
+      return coldest_first ? a->hotness() < b->hotness()
+                           : a->hotness() > b->hotness();
+    }
+    return a->id() < b->id();
+  });
+  return out;
+}
+
+void TablePartition::DecayHotness(Rng& rng, double p) {
+  for (auto& [id, brick] : bricks_) {
+    if (rng.NextBool(p)) brick.Decay();
+  }
+}
+
+size_t TablePartition::MemoryFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [id, brick] : bricks_) bytes += brick.MemoryFootprint();
+  return bytes;
+}
+
+size_t TablePartition::DecompressedSize() const {
+  size_t bytes = 0;
+  for (const auto& [id, brick] : bricks_) bytes += brick.DecompressedSize();
+  return bytes;
+}
+
+size_t TablePartition::SsdFootprint() const {
+  size_t bytes = 0;
+  for (const auto& [id, brick] : bricks_) bytes += brick.SsdFootprint();
+  return bytes;
+}
+
+}  // namespace scalewall::cubrick

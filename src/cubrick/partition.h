@@ -1,0 +1,84 @@
+// TablePartition: the data of one horizontal partition of one table, as
+// stored by one server.
+//
+// "Similarly to other distributed DBMSs, Cubrick segments each table into
+// multiple horizontal partitions. The assignment of records to partitions
+// may be done according to some deterministic function or randomly"
+// (Section IV-A). Inside a partition, rows are organized into bricks per
+// Granular Partitioning; queries prune bricks whose range combination
+// cannot match the filters, then scan the survivors.
+
+#ifndef SCALEWALL_CUBRICK_PARTITION_H_
+#define SCALEWALL_CUBRICK_PARTITION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "cubrick/brick.h"
+#include "cubrick/query.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::cubrick {
+
+class TablePartition {
+ public:
+  TablePartition(std::string table, uint32_t partition, TableSchema schema)
+      : table_(std::move(table)),
+        partition_(partition),
+        schema_(std::move(schema)) {}
+
+  const std::string& table() const { return table_; }
+  uint32_t partition() const { return partition_; }
+  const TableSchema& schema() const { return schema_; }
+
+  // Appends one row. Returns INVALID_ARGUMENT on arity/domain mismatch.
+  Status Insert(const Row& row);
+
+  // Executes `query` against this partition, accumulating into `result`.
+  // Bricks whose range combination cannot satisfy the filters are pruned
+  // without being touched (no hotness bump, no decompression). Queries
+  // with joins need a JoinContext aligned with query.joins.
+  Status Execute(const Query& query, QueryResult& result,
+                 const JoinContext* join = nullptr);
+
+  // --- migration / recovery support ---
+
+  // Copies all rows out (ordered by brick id).
+  std::vector<Row> ExportRows() const;
+
+  // --- adaptive compression hooks (driven by the server's monitor) ---
+
+  // Bricks sorted coldest-first / hottest-first for the memory monitor.
+  std::vector<Brick*> BricksByHotness(bool coldest_first);
+  // Applies one stochastic decay round: each brick's counter decrements
+  // with probability `p`.
+  void DecayHotness(Rng& rng, double p);
+
+  // --- size accounting ---
+  size_t MemoryFootprint() const;
+  size_t DecompressedSize() const;
+  size_t SsdFootprint() const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_bricks() const { return bricks_.size(); }
+  int64_t decompressions() const { return decompressions_; }
+
+  // All bricks (for stats/experiments).
+  const std::map<BrickId, Brick>& bricks() const { return bricks_; }
+  std::map<BrickId, Brick>& mutable_bricks() { return bricks_; }
+
+ private:
+  std::string table_;
+  uint32_t partition_;
+  TableSchema schema_;
+  std::map<BrickId, Brick> bricks_;
+  size_t num_rows_ = 0;
+  int64_t decompressions_ = 0;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_PARTITION_H_

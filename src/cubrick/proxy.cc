@@ -1,0 +1,262 @@
+#include "cubrick/proxy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sm/sm_client.h"
+
+namespace scalewall::cubrick {
+
+std::string_view CoordinatorStrategyName(CoordinatorStrategy strategy) {
+  switch (strategy) {
+    case CoordinatorStrategy::kPartitionZero:
+      return "partition_zero";
+    case CoordinatorStrategy::kForwardFromZero:
+      return "forward_from_zero";
+    case CoordinatorStrategy::kLookupThenRandom:
+      return "lookup_then_random";
+    case CoordinatorStrategy::kCachedRandom:
+      return "cached_random";
+  }
+  return "?";
+}
+
+CubrickProxy::CubrickProxy(sim::Simulation* simulation,
+                           cluster::Cluster* cluster, Catalog* catalog,
+                           ProxyOptions options)
+    : simulation_(simulation),
+      cluster_(cluster),
+      catalog_(catalog),
+      options_(options),
+      rng_(simulation->rng().Fork(/*stream=*/0x9C0A7)) {}
+
+void CubrickProxy::AddRegion(RegionContext* context) {
+  regions_.push_back(context);
+}
+
+uint32_t CubrickProxy::CachedPartitions(const std::string& table) const {
+  auto it = partition_cache_.find(table);
+  return it == partition_cache_.end() ? 0 : it->second;
+}
+
+bool CubrickProxy::RegionAvailable(const RegionContext& ctx) const {
+  std::vector<cluster::ServerId> all =
+      cluster_->ServersInRegion(ctx.region);
+  if (all.empty()) return false;
+  // Draining servers still answer in-flight traffic but the region is
+  // being taken out of rotation ("entire regions might be down or
+  // drained"), so only fully healthy servers count as available here.
+  int healthy = 0;
+  for (cluster::ServerId id : all) {
+    if (cluster_->Get(id).health == cluster::ServerHealth::kHealthy) {
+      ++healthy;
+    }
+  }
+  return static_cast<double>(healthy) / static_cast<double>(all.size()) >=
+         options_.min_region_availability;
+}
+
+bool CubrickProxy::Admit() {
+  if (options_.max_qps <= 0) return true;
+  SimTime now = simulation_->now();
+  while (!admitted_.empty() && admitted_.front() <= now - kSecond) {
+    admitted_.pop_front();
+  }
+  if (static_cast<int>(admitted_.size()) >= options_.max_qps) return false;
+  admitted_.push_back(now);
+  return true;
+}
+
+bool CubrickProxy::Blacklisted(cluster::ServerId server) const {
+  auto it = blacklist_.find(server);
+  return it != blacklist_.end() && it->second > simulation_->now();
+}
+
+Result<cluster::ServerId> CubrickProxy::PickCoordinator(
+    RegionContext& ctx, const Query& query, SimDuration& extra_latency) {
+  auto table = catalog_->GetTable(query.table);
+  if (!table.ok()) return table.status();
+  uint32_t actual = table->num_partitions;
+
+  // The proxy resolves coordinators through its own local SMC proxy view
+  // (the proxy is itself a fleet service).
+  sm::SmClient client(ctx.discovery, ctx.cluster, /*viewer=*/0);
+
+  auto resolve = [&](uint32_t partition) -> Result<cluster::ServerId> {
+    auto shard = catalog_->ShardForPartition(query.table, partition);
+    if (!shard.ok()) return shard.status();
+    return client.ResolveServing(ctx.service, *shard);
+  };
+
+  uint32_t partition = 0;
+  switch (options_.strategy) {
+    case CoordinatorStrategy::kPartitionZero:
+      partition = 0;
+      break;
+    case CoordinatorStrategy::kForwardFromZero: {
+      // Reach partition 0's host first, then it forwards the connection
+      // to a random partition: one extra network hop, "particularly bad
+      // when retrieving large buffers".
+      auto zero = resolve(0);
+      if (!zero.ok()) return zero.status();
+      extra_latency += ctx.network_model.SampleHop(rng_);
+      ++stats_.extra_hops;
+      partition = static_cast<uint32_t>(rng_.NextBounded(actual));
+      break;
+    }
+    case CoordinatorStrategy::kLookupThenRandom:
+      // One extra metadata roundtrip to learn the partition count before
+      // the query can start.
+      extra_latency +=
+          ctx.network_model.SampleHop(rng_) + ctx.network_model.SampleHop(rng_);
+      ++stats_.extra_roundtrips;
+      partition = static_cast<uint32_t>(rng_.NextBounded(actual));
+      break;
+    case CoordinatorStrategy::kCachedRandom: {
+      uint32_t cached = CachedPartitions(query.table);
+      if (cached == 0) {
+        // Cold cache: fall back to a lookup once.
+        extra_latency += ctx.network_model.SampleHop(rng_) +
+                         ctx.network_model.SampleHop(rng_);
+        ++stats_.extra_roundtrips;
+        cached = actual;
+        partition_cache_[query.table] = cached;
+      }
+      partition = static_cast<uint32_t>(rng_.NextBounded(cached));
+      if (partition >= actual) {
+        // Stale cache after a shrink repartition; partition 0 always
+        // exists.
+        partition = 0;
+      }
+      break;
+    }
+  }
+
+  // Avoid blacklisted coordinators by re-rolling a few times.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto server = resolve(partition);
+    if (server.ok() && !Blacklisted(*server)) {
+      stats_.coordinator_picks[*server]++;
+      return server;
+    }
+    if (server.ok()) ++stats_.blacklist_hits;
+    if (options_.strategy == CoordinatorStrategy::kPartitionZero) {
+      // Strategy 1 has no alternative coordinator.
+      if (server.ok()) {
+        stats_.coordinator_picks[*server]++;
+        return server;  // use it even though blacklisted
+      }
+      return server.status();
+    }
+    partition = static_cast<uint32_t>(rng_.NextBounded(actual));
+  }
+  return Status::Unavailable("no eligible coordinator in region " +
+                             std::to_string(ctx.region));
+}
+
+std::vector<QueryTrace> CubrickProxy::RecentTraces() const {
+  return {traces_.begin(), traces_.end()};
+}
+
+QueryOutcome CubrickProxy::Submit(const Query& query,
+                                  cluster::RegionId preferred_region) {
+  QueryOutcome outcome = SubmitInternal(query, preferred_region);
+  if (options_.trace_capacity > 0) {
+    QueryTrace trace;
+    trace.time = simulation_->now();
+    trace.table = query.table;
+    trace.region = outcome.region;
+    trace.attempts = outcome.attempts;
+    trace.status = outcome.status.code();
+    trace.latency = outcome.latency;
+    trace.fanout = outcome.fanout;
+    traces_.push_back(std::move(trace));
+    if (traces_.size() > options_.trace_capacity) traces_.pop_front();
+  }
+  return outcome;
+}
+
+QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
+                                          cluster::RegionId preferred_region) {
+  QueryOutcome outcome;
+  ++stats_.submitted;
+  if (!Admit()) {
+    ++stats_.rejected;
+    outcome.status =
+        Status::ResourceExhausted("admission control: QPS limit reached");
+    return outcome;
+  }
+  if (regions_.empty()) {
+    outcome.status = Status::FailedPrecondition("proxy has no regions");
+    return outcome;
+  }
+
+  // Order regions by proximity: the preferred region first, then the
+  // rest; skip unavailable regions.
+  std::vector<RegionContext*> order;
+  for (RegionContext* ctx : regions_) {
+    if (ctx->region == preferred_region) order.push_back(ctx);
+  }
+  for (RegionContext* ctx : regions_) {
+    if (ctx->region != preferred_region) order.push_back(ctx);
+  }
+
+  Status last_error = Status::Unavailable("no region available");
+  for (RegionContext* ctx : order) {
+    if (outcome.attempts >= options_.max_attempts) break;
+    if (!RegionAvailable(*ctx)) continue;
+    ++outcome.attempts;
+    outcome.region = ctx->region;
+    // Client -> proxy -> coordinator network legs.
+    SimDuration attempt_latency = ctx->network_model.SampleHop(rng_) +
+                                  ctx->network_model.SampleHop(rng_);
+    auto coordinator = PickCoordinator(*ctx, query, attempt_latency);
+    if (!coordinator.ok()) {
+      outcome.latency += attempt_latency;
+      last_error = coordinator.status();
+      continue;
+    }
+    DistributedOutcome attempt =
+        ExecuteDistributed(*ctx, query, *coordinator, rng_);
+    outcome.latency += attempt_latency + attempt.latency;
+    if (attempt.num_partitions > 0) {
+      // "the number of partitions per table is always included as part of
+      // query results metadata, and updates the proxy's cache".
+      partition_cache_[query.table] = attempt.num_partitions;
+    }
+    if (attempt.status.ok()) {
+      ++stats_.succeeded;
+      if (outcome.attempts > 1) {
+        ++stats_.retried;
+        stats_.cross_region_retries += outcome.attempts - 1;
+      }
+      outcome.status = Status::Ok();
+      outcome.result = std::move(attempt.result);
+      outcome.rows = MaterializeRows(outcome.result, query);
+      outcome.fanout = attempt.fanout;
+      outcome.num_partitions = attempt.num_partitions;
+      return outcome;
+    }
+    last_error = attempt.status;
+    if (attempt.failed_server != cluster::kInvalidServer) {
+      // Blacklist only on a failure streak: one transient error is not a
+      // dead host, but several within a window very likely is.
+      SimTime now = simulation_->now();
+      auto& [count, since] = failures_[attempt.failed_server];
+      if (count == 0 || now - since > options_.blacklist_duration) {
+        count = 1;
+        since = now;
+      } else if (++count >= options_.blacklist_threshold) {
+        blacklist_[attempt.failed_server] =
+            now + options_.blacklist_duration;
+        count = 0;
+      }
+    }
+    if (!attempt.status.IsRetryable()) break;
+  }
+  ++stats_.failed;
+  outcome.status = last_error;
+  return outcome;
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,165 @@
+// CubrickProxy: the stateless query front door (Section IV-D).
+//
+// "Queries are always submitted to a Cubrick proxy service ... Cubrick
+// proxy is responsible for handling all user queries and deciding which
+// is the most suitable region to dispatch a query to. This decision is
+// based on region availability ... and proximity to client. Proxies are
+// also responsible for retrying queries which failed due to some types of
+// errors ... the query is transparently retried on a different region and
+// users are unaware of the failure. Finally, the proxy is also
+// responsible for a list of features such as admission control,
+// blacklisting, logging and query tracing."
+//
+// The proxy also implements the four query-coordinator location
+// strategies of Section IV-C, including the production one: "Cache number
+// of partitions per table, then forward to a random one", where "the
+// number of partitions per table is always included as part of query
+// results metadata, and updates the proxy's cache".
+
+#ifndef SCALEWALL_CUBRICK_PROXY_H_
+#define SCALEWALL_CUBRICK_PROXY_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "cubrick/coordinator.h"
+#include "cubrick/query.h"
+
+namespace scalewall::cubrick {
+
+// The four coordinator-location strategies of Section IV-C.
+enum class CoordinatorStrategy {
+  // 1. Always forward queries to partition 0 (imbalanced coordinators).
+  kPartitionZero,
+  // 2. Forward to partition 0, which re-forwards to a random partition
+  //    (balanced, but one extra network hop on the data path).
+  kForwardFromZero,
+  // 3. Retrieve the partition count first, then go to a random partition
+  //    (balanced, no extra data hop, but one extra metadata roundtrip).
+  kLookupThenRandom,
+  // 4. Cache partitions per table, forward to a random one (production).
+  kCachedRandom,
+};
+
+std::string_view CoordinatorStrategyName(CoordinatorStrategy strategy);
+
+struct ProxyOptions {
+  CoordinatorStrategy strategy = CoordinatorStrategy::kCachedRandom;
+  // Retry budget across regions (first attempt included).
+  int max_attempts = 3;
+  // Servers that failed a query are avoided as coordinators for this long.
+  SimDuration blacklist_duration = 30 * kSecond;
+  // A server is only blacklisted after this many failures within one
+  // blacklist window (a single transient failure is not a dead host).
+  int blacklist_threshold = 3;
+  // Admission control: max queries admitted per second (0 = unlimited).
+  int max_qps = 0;
+  // A region is eligible only if at least this fraction of its servers is
+  // serving (regions can be down or drained entirely).
+  double min_region_availability = 0.5;
+  // Query traces retained in the ring buffer (0 disables tracing).
+  size_t trace_capacity = 1024;
+};
+
+// One entry of the proxy's query trace ring buffer ("the proxy is also
+// responsible for ... logging and query tracing").
+struct QueryTrace {
+  SimTime time = 0;
+  std::string table;
+  cluster::RegionId region = 0;
+  int attempts = 0;
+  StatusCode status = StatusCode::kOk;
+  SimDuration latency = 0;
+  int fanout = 0;
+};
+
+// Final outcome of a proxied query.
+struct QueryOutcome {
+  Status status;
+  QueryResult result;
+  // Presentation rows: the merged result with the query's ORDER BY /
+  // LIMIT applied (all rows, in group-key order, when unspecified).
+  std::vector<ResultRow> rows;
+  // End-to-end latency including failed attempts and retries.
+  SimDuration latency = 0;
+  int attempts = 0;
+  // Region that answered (or last region tried).
+  cluster::RegionId region = 0;
+  // Fan-out of the successful attempt.
+  int fanout = 0;
+  uint32_t num_partitions = 0;
+};
+
+class CubrickProxy {
+ public:
+  CubrickProxy(sim::Simulation* simulation, cluster::Cluster* cluster,
+               Catalog* catalog, ProxyOptions options = {});
+
+  // Registers one region's execution context. Regions are tried in
+  // proximity order starting from the client's preferred region.
+  void AddRegion(RegionContext* context);
+
+  // Submits a query on behalf of a client near `preferred_region`.
+  QueryOutcome Submit(const Query& query,
+                      cluster::RegionId preferred_region = 0);
+
+  // Cached partition count for a table (kCachedRandom strategy), or 0.
+  uint32_t CachedPartitions(const std::string& table) const;
+
+  // Most recent query traces, oldest first.
+  std::vector<QueryTrace> RecentTraces() const;
+
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t succeeded = 0;
+    int64_t failed = 0;
+    int64_t retried = 0;        // queries needing >1 attempt
+    int64_t rejected = 0;       // admission control
+    int64_t cross_region_retries = 0;
+    int64_t blacklist_hits = 0;
+    int64_t extra_hops = 0;        // strategy-2 forwards
+    int64_t extra_roundtrips = 0;  // strategy-3 lookups
+    // Coordinator picks per server (coordinator balance ablation).
+    std::map<cluster::ServerId, int64_t> coordinator_picks;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  QueryOutcome SubmitInternal(const Query& query,
+                              cluster::RegionId preferred_region);
+  bool RegionAvailable(const RegionContext& ctx) const;
+  bool Admit();
+
+  // Picks a coordinator server per the configured strategy. Returns the
+  // extra latency the strategy incurred before execution starts.
+  Result<cluster::ServerId> PickCoordinator(RegionContext& ctx,
+                                            const Query& query,
+                                            SimDuration& extra_latency);
+
+  bool Blacklisted(cluster::ServerId server) const;
+
+  sim::Simulation* simulation_;
+  cluster::Cluster* cluster_;
+  Catalog* catalog_;
+  ProxyOptions options_;
+  Rng rng_;
+  std::vector<RegionContext*> regions_;
+  std::unordered_map<std::string, uint32_t> partition_cache_;
+  std::unordered_map<cluster::ServerId, SimTime> blacklist_;
+  // Recent failure streaks: server -> (count, first failure time).
+  std::unordered_map<cluster::ServerId, std::pair<int, SimTime>> failures_;
+  // Admission window: timestamps of queries admitted in the last second.
+  std::deque<SimTime> admitted_;
+  std::deque<QueryTrace> traces_;
+  Stats stats_;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_PROXY_H_

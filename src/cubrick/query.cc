@@ -1,0 +1,150 @@
+#include "cubrick/query.h"
+
+#include <algorithm>
+
+namespace scalewall::cubrick {
+
+std::string_view AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "SUM";
+    case AggOp::kCount:
+      return "COUNT";
+    case AggOp::kMin:
+      return "MIN";
+    case AggOp::kMax:
+      return "MAX";
+    case AggOp::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+Status Query::Validate(const TableSchema& schema) const {
+  int num_dims = static_cast<int>(schema.dimensions.size());
+  int num_metrics = static_cast<int>(schema.metrics.size());
+  for (const FilterRange& f : filters) {
+    if (f.dimension < 0 || f.dimension >= num_dims) {
+      return Status::InvalidArgument("filter on unknown dimension index " +
+                                     std::to_string(f.dimension));
+    }
+    if (f.lo > f.hi) {
+      return Status::InvalidArgument("filter with lo > hi");
+    }
+  }
+  for (const FilterIn& f : in_filters) {
+    if (f.dimension < 0 || f.dimension >= num_dims) {
+      return Status::InvalidArgument("IN filter on unknown dimension index " +
+                                     std::to_string(f.dimension));
+    }
+    if (f.values.empty()) {
+      return Status::InvalidArgument("IN filter with empty value list");
+    }
+  }
+  for (int d : group_by) {
+    if (d < 0 || d >= num_dims) {
+      return Status::InvalidArgument("group-by on unknown dimension index " +
+                                     std::to_string(d));
+    }
+  }
+  if (aggregations.empty()) {
+    return Status::InvalidArgument("query needs at least one aggregation");
+  }
+  for (const Aggregation& a : aggregations) {
+    if (a.op != AggOp::kCount &&
+        (a.metric < 0 || a.metric >= num_metrics)) {
+      return Status::InvalidArgument("aggregation on unknown metric index " +
+                                     std::to_string(a.metric));
+    }
+  }
+  if (order_by >= static_cast<int>(aggregations.size())) {
+    return Status::InvalidArgument("ORDER BY aggregation index out of range");
+  }
+  for (const Join& j : joins) {
+    if (j.fact_dimension < 0 || j.fact_dimension >= num_dims) {
+      return Status::InvalidArgument("join on unknown fact dimension " +
+                                     std::to_string(j.fact_dimension));
+    }
+    if (j.dimension_table.empty()) {
+      return Status::InvalidArgument("join without a dimension table");
+    }
+  }
+  for (int j : group_by_joins) {
+    if (j < 0 || j >= static_cast<int>(joins.size())) {
+      return Status::InvalidArgument("group-by on unknown join index " +
+                                     std::to_string(j));
+    }
+  }
+  for (const JoinFilter& f : join_filters) {
+    if (f.join < 0 || f.join >= static_cast<int>(joins.size())) {
+      return Status::InvalidArgument("filter on unknown join index " +
+                                     std::to_string(f.join));
+    }
+    if (f.lo > f.hi) {
+      return Status::InvalidArgument("join filter with lo > hi");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<ResultRow> MaterializeRows(const QueryResult& result,
+                                       const Query& query) {
+  std::vector<ResultRow> rows;
+  rows.reserve(result.num_groups());
+  for (const auto& [key, states] : result.groups()) {
+    ResultRow row;
+    row.key = key;
+    row.values.reserve(query.aggregations.size());
+    for (size_t a = 0; a < query.aggregations.size(); ++a) {
+      double v = a < states.size()
+                     ? states[a].Finalize(query.aggregations[a].op)
+                     : 0.0;
+      row.values.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (query.order_by >= 0) {
+    size_t agg = static_cast<size_t>(query.order_by);
+    bool desc = query.descending;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [agg, desc](const ResultRow& a, const ResultRow& b) {
+                       if (a.values[agg] != b.values[agg]) {
+                         return desc ? a.values[agg] > b.values[agg]
+                                     : a.values[agg] < b.values[agg];
+                       }
+                       return a.key < b.key;
+                     });
+  }
+  if (query.limit > 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  return rows;
+}
+
+void QueryResult::Merge(const QueryResult& other) {
+  if (num_aggregations_ == 0) num_aggregations_ = other.num_aggregations_;
+  for (const auto& [key, states] : other.groups_) {
+    auto& mine = groups_[key];
+    if (mine.size() < states.size()) mine.resize(states.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+      mine[i].Merge(states[i]);
+    }
+  }
+  rows_scanned += other.rows_scanned;
+  bricks_scanned += other.bricks_scanned;
+  bricks_pruned += other.bricks_pruned;
+}
+
+Result<double> QueryResult::Value(const GroupKey& key, size_t agg,
+                                  AggOp op) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    return Status::NotFound("group key not present in result");
+  }
+  if (agg >= it->second.size()) {
+    return Status::InvalidArgument("aggregation index out of range");
+  }
+  return it->second[agg].Finalize(op);
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,181 @@
+// Query AST and aggregation results.
+//
+// Cubrick powers "dashboards and interactive data exploration tools"
+// (Section IV): the workload is filtered aggregations and group-bys over a
+// single cube. Queries execute as one partial aggregation per table
+// partition (pushed to the server storing it) plus a merge on the query
+// coordinator (Section IV-C).
+
+#ifndef SCALEWALL_CUBRICK_QUERY_H_
+#define SCALEWALL_CUBRICK_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::cubrick {
+
+// Inclusive range filter on one dimension.
+struct FilterRange {
+  int dimension = 0;
+  uint32_t lo = 0;
+  uint32_t hi = std::numeric_limits<uint32_t>::max();
+};
+
+// Set-membership filter on one dimension (WHERE d IN (a, b, c)).
+// Value lists are expected to be small (dashboard pick-lists); matching
+// is a linear scan.
+struct FilterIn {
+  int dimension = 0;
+  std::vector<uint32_t> values;
+};
+
+enum class AggOp { kSum, kCount, kMin, kMax, kAvg };
+
+std::string_view AggOpName(AggOp op);
+
+// One aggregation over a metric column.
+struct Aggregation {
+  int metric = 0;  // index into schema.metrics; ignored for kCount
+  AggOp op = AggOp::kSum;
+};
+
+// A join against a replicated dimension table (Section II-B): the fact
+// column `fact_dimension` is a key into `dimension_table`, whose
+// attribute column `attribute` becomes usable for grouping and filtering.
+// Rows whose key has no entry in the dimension table are dropped (inner
+// join).
+struct Join {
+  int fact_dimension = 0;
+  std::string dimension_table;
+  int attribute = 0;
+};
+
+// Range filter on a joined attribute.
+struct JoinFilter {
+  int join = 0;  // index into Query::joins
+  uint32_t lo = 0;
+  uint32_t hi = std::numeric_limits<uint32_t>::max();
+};
+
+// A Cubrick query: SELECT group_by, aggs FROM table [JOIN dims] WHERE
+// filters GROUP BY group_by [, joined attributes].
+struct Query {
+  std::string table;
+  std::vector<FilterRange> filters;
+  std::vector<FilterIn> in_filters;
+  std::vector<int> group_by;  // dimension indices
+  // Joins and their use: joined attributes referenced by group_by_joins
+  // are appended to the group key after the plain dimensions; join
+  // filters restrict rows by attribute value.
+  std::vector<Join> joins;
+  std::vector<int> group_by_joins;  // indices into joins
+  std::vector<JoinFilter> join_filters;
+  std::vector<Aggregation> aggregations;
+  // Presentation: ORDER BY the order_by-th aggregation (or -1 for group
+  // key order) and keep the first `limit` rows (0 = all). Applied on the
+  // fully merged result — never pushed below the coordinator, so top-N is
+  // exact.
+  int order_by = -1;
+  bool descending = true;
+  uint32_t limit = 0;
+
+  // Checks column indices against `schema`.
+  Status Validate(const TableSchema& schema) const;
+};
+
+// Mergeable aggregation state (sum+count+min+max covers all AggOps).
+struct AggState {
+  double sum = 0;
+  int64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    sum += v;
+    ++count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    count += other.count;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  double Finalize(AggOp op) const {
+    switch (op) {
+      case AggOp::kSum:
+        return sum;
+      case AggOp::kCount:
+        return static_cast<double>(count);
+      case AggOp::kMin:
+        return min;
+      case AggOp::kMax:
+        return max;
+      case AggOp::kAvg:
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    return 0.0;
+  }
+};
+
+// Partial (or fully merged) result of a query: one AggState per
+// aggregation, per group key. Group key = values of the group_by
+// dimensions, in query order; a single empty key when there is no
+// GROUP BY.
+class QueryResult {
+ public:
+  using GroupKey = std::vector<uint32_t>;
+
+  explicit QueryResult(size_t num_aggregations = 0)
+      : num_aggregations_(num_aggregations) {}
+
+  // Accumulates one input value for aggregation `agg` under `key`.
+  void Accumulate(const GroupKey& key, size_t agg, double value) {
+    auto& states = groups_[key];
+    if (states.size() < num_aggregations_) states.resize(num_aggregations_);
+    states[agg].Add(value);
+  }
+
+  // Merges another partial result (same query shape).
+  void Merge(const QueryResult& other);
+
+  size_t num_groups() const { return groups_.size(); }
+  size_t num_aggregations() const { return num_aggregations_; }
+  const std::map<GroupKey, std::vector<AggState>>& groups() const {
+    return groups_;
+  }
+
+  // Finalized value for (key, agg). Returns NOT_FOUND for missing keys.
+  Result<double> Value(const GroupKey& key, size_t agg, AggOp op) const;
+
+  // Rows scanned while producing this result (diagnostics).
+  int64_t rows_scanned = 0;
+  int64_t bricks_scanned = 0;
+  int64_t bricks_pruned = 0;
+
+ private:
+  size_t num_aggregations_;
+  std::map<GroupKey, std::vector<AggState>> groups_;
+};
+
+// One presentation row: the group key plus every aggregation finalized.
+struct ResultRow {
+  QueryResult::GroupKey key;
+  std::vector<double> values;
+};
+
+// Materializes a merged result into presentation rows, applying the
+// query's ORDER BY / LIMIT (stable; ties broken by group key).
+std::vector<ResultRow> MaterializeRows(const QueryResult& result,
+                                       const Query& query);
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_QUERY_H_

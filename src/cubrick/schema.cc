@@ -1,0 +1,44 @@
+#include "cubrick/schema.h"
+
+#include <unordered_set>
+
+namespace scalewall::cubrick {
+
+Status TableSchema::Validate() const {
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("table needs at least one dimension");
+  }
+  std::unordered_set<std::string> names;
+  for (const Dimension& d : dimensions) {
+    if (d.name.empty()) {
+      return Status::InvalidArgument("dimension with empty name");
+    }
+    if (d.name.find('#') != std::string::npos) {
+      // '#' separates table names from partition ids internally
+      // (Section IV-A) and is reserved.
+      return Status::InvalidArgument("'#' not allowed in column names");
+    }
+    if (d.cardinality == 0) {
+      return Status::InvalidArgument("dimension " + d.name +
+                                     " has zero cardinality");
+    }
+    if (d.range_size == 0) {
+      return Status::InvalidArgument("dimension " + d.name +
+                                     " has zero range size");
+    }
+    if (!names.insert(d.name).second) {
+      return Status::InvalidArgument("duplicate column name " + d.name);
+    }
+  }
+  for (const Metric& m : metrics) {
+    if (m.name.empty()) {
+      return Status::InvalidArgument("metric with empty name");
+    }
+    if (!names.insert(m.name).second) {
+      return Status::InvalidArgument("duplicate column name " + m.name);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,79 @@
+// Cubrick table schema.
+//
+// Cubrick is an OLAP engine over cubes: every column is either a
+// *dimension* (an integer-coded, bounded-cardinality column that can be
+// filtered and grouped on) or a *metric* (a numeric column that can be
+// aggregated). Granular Partitioning [21][22] range-partitions the dataset
+// on every dimension: each dimension is divided into fixed-size ranges,
+// and the cartesian product of range indices addresses a *brick* (data
+// block). This gives "fast and low overhead indexing abilities over
+// multiple columns" — filters prune whole bricks by range arithmetic, with
+// no index structures to maintain.
+
+#ifndef SCALEWALL_CUBRICK_SCHEMA_H_
+#define SCALEWALL_CUBRICK_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scalewall::cubrick {
+
+// A dimension column. Values are dictionary codes in [0, cardinality).
+struct Dimension {
+  std::string name;
+  // Exclusive upper bound of the value domain.
+  uint32_t cardinality = 1;
+  // Width of each partition range; ceil(cardinality / range_size) buckets.
+  uint32_t range_size = 1;
+
+  uint32_t num_buckets() const {
+    return (cardinality + range_size - 1) / range_size;
+  }
+};
+
+// A metric column (double-valued).
+struct Metric {
+  std::string name;
+};
+
+// Schema of a Cubrick table: an ordered list of dimensions and metrics.
+struct TableSchema {
+  std::vector<Dimension> dimensions;
+  std::vector<Metric> metrics;
+  // Rollup ingestion (Cubrick's cell model [22]): rows with identical
+  // dimension vectors are merged at insert time by summing their metrics,
+  // so a table stores at most one cell per dimension combination. COUNT
+  // then counts cells, as in the production system.
+  bool rollup = false;
+
+  // Index of the named dimension/metric, or -1.
+  int DimensionIndex(const std::string& name) const {
+    for (size_t i = 0; i < dimensions.size(); ++i) {
+      if (dimensions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  int MetricIndex(const std::string& name) const {
+    for (size_t i = 0; i < metrics.size(); ++i) {
+      if (metrics[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // Validates invariants (nonempty, positive cardinalities/ranges,
+  // distinct names).
+  Status Validate() const;
+};
+
+// One record: dimension codes followed by metric values, in schema order.
+struct Row {
+  std::vector<uint32_t> dims;
+  std::vector<double> metrics;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_SCHEMA_H_

@@ -1,0 +1,491 @@
+#include "cubrick/server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scalewall::cubrick {
+
+CubrickServer::CubrickServer(sim::Simulation* simulation,
+                             cluster::Cluster* cluster, Catalog* catalog,
+                             cluster::ServerId server,
+                             CubrickServerOptions options)
+    : simulation_(simulation),
+      cluster_(cluster),
+      catalog_(catalog),
+      server_(server),
+      options_(options),
+      rng_(simulation->rng().Fork(0xC0B1000ULL + server)) {}
+
+void CubrickServer::StartMonitors() {
+  if (monitors_started_) return;
+  monitors_started_ = true;
+  simulation_->SchedulePeriodic(options_.monitor_interval,
+                                options_.monitor_interval,
+                                [this] { RunMemoryMonitor(); });
+  simulation_->SchedulePeriodic(options_.decay_interval,
+                                options_.decay_interval,
+                                [this] { RunHotnessDecay(); });
+}
+
+double CubrickServer::PhysicalMemory() const {
+  if (!cluster_->Contains(server_)) return 0;
+  return static_cast<double>(cluster_->Get(server_).memory_bytes);
+}
+
+Status CubrickServer::CheckShardCollision(sm::ShardId shard) const {
+  for (const PartitionRef& ref : catalog_->PartitionsForShard(shard)) {
+    auto it = hosted_partitions_.find(ref.table);
+    if (it == hosted_partitions_.end()) continue;
+    for (uint32_t p : it->second) {
+      if (p != ref.partition) {
+        // "the target server already stores a shard that contains a
+        // partition of one of the tables within the shard being migrated"
+        // (Section IV-A): a non-retryable rejection so SM places the
+        // shard elsewhere.
+        return Status::NonRetryable(
+            "shard collision: host already stores " +
+            PartitionName(ref.table, p) + ", refusing " +
+            PartitionName(ref.table, ref.partition));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void CubrickServer::MaterializeShard(sm::ShardId shard, bool recover) {
+  for (const PartitionRef& ref : catalog_->PartitionsForShard(shard)) {
+    PartitionRef key{ref.table, ref.partition};
+    if (partitions_.count(key) > 0) {
+      hosted_partitions_[ref.table].insert(ref.partition);
+      continue;
+    }
+    auto table = catalog_->GetTable(ref.table);
+    if (!table.ok()) continue;  // dropped concurrently
+    TablePartition partition(ref.table, ref.partition, table->schema);
+    if (recover && recovery_source_) {
+      CubrickServer* source = recovery_source_(ref.table, ref.partition);
+      auto ref_shard = catalog_->ShardForPartition(ref.table, ref.partition);
+      if (source != nullptr && ref_shard.ok()) {
+        auto snapshot = source->SnapshotShard(*ref_shard);
+        for (auto& [sref, rows] : snapshot) {
+          if (!(sref == ref)) continue;
+          for (const Row& row : rows) partition.Insert(row);
+        }
+        ++stats_.recoveries;
+      }
+    }
+    partitions_.emplace(key, std::move(partition));
+    hosted_partitions_[ref.table].insert(ref.partition);
+  }
+}
+
+Status CubrickServer::AddShard(sm::ShardId shard, sm::ShardRole role) {
+  (void)role;  // Cubrick deploys primary-only; promotions are no-ops.
+  if (owned_shards_.count(shard) > 0) {
+    return Status::Ok();  // idempotent (e.g. replica promotion)
+  }
+  bool staged = staged_shards_.count(shard) > 0;
+  if (!staged) {
+    SCALEWALL_RETURN_IF_ERROR(CheckShardCollision(shard));
+    // Failover / first placement: recover data from a healthy region if
+    // any copy exists; brand new tables materialize empty.
+    MaterializeShard(shard, /*recover=*/true);
+  }
+  staged_shards_.erase(shard);
+  forwarding_.erase(shard);
+  owned_shards_.insert(shard);
+  return Status::Ok();
+}
+
+Status CubrickServer::PrepareAddShard(sm::ShardId shard,
+                                      cluster::ServerId from) {
+  if (owned_shards_.count(shard) > 0) {
+    return Status::FailedPrecondition("already own shard");
+  }
+  SCALEWALL_RETURN_IF_ERROR(CheckShardCollision(shard));
+  // Copy data and metadata from the (healthy) old server.
+  CubrickServer* source =
+      directory_ != nullptr ? directory_->Lookup(from) : nullptr;
+  if (source != nullptr) {
+    for (auto& [ref, rows] : source->SnapshotShard(shard)) {
+      auto table = catalog_->GetTable(ref.table);
+      if (!table.ok()) continue;
+      PartitionRef key{ref.table, ref.partition};
+      auto [it, inserted] = partitions_.emplace(
+          key, TablePartition(ref.table, ref.partition, table->schema));
+      if (inserted) {
+        for (const Row& row : rows) it->second.Insert(row);
+      }
+      hosted_partitions_[ref.table].insert(ref.partition);
+    }
+  } else {
+    MaterializeShard(shard, /*recover=*/true);
+  }
+  staged_shards_.insert(shard);
+  return Status::Ok();
+}
+
+Status CubrickServer::PrepareDropShard(sm::ShardId shard,
+                                       cluster::ServerId to) {
+  if (owned_shards_.count(shard) == 0) {
+    return Status::FailedPrecondition("do not own shard");
+  }
+  // Cutover re-sync: the target's prepareAddShard copy is as old as the
+  // migration's data-copy phase; push the current state (including writes
+  // accepted meanwhile) before requests start forwarding.
+  CubrickServer* target =
+      directory_ != nullptr ? directory_->Lookup(to) : nullptr;
+  if (target != nullptr) {
+    for (auto& [ref, rows] : SnapshotShard(shard)) {
+      target->ReplacePartitionData(ref, rows);
+    }
+  }
+  forwarding_[shard] = to;
+  return Status::Ok();
+}
+
+void CubrickServer::ReplacePartitionData(const PartitionRef& ref,
+                                         const std::vector<Row>& rows) {
+  auto table = catalog_->GetTable(ref.table);
+  if (!table.ok()) return;  // table dropped concurrently
+  PartitionRef key{ref.table, ref.partition};
+  partitions_.erase(key);
+  auto [it, inserted] = partitions_.emplace(
+      key, TablePartition(ref.table, ref.partition, table->schema));
+  for (const Row& row : rows) it->second.Insert(row);
+  hosted_partitions_[ref.table].insert(ref.partition);
+}
+
+Status CubrickServer::DropShard(sm::ShardId shard) {
+  if (owned_shards_.count(shard) == 0 && staged_shards_.count(shard) == 0) {
+    return Status::NotFound("shard not hosted");
+  }
+  RemoveShardData(shard);
+  owned_shards_.erase(shard);
+  staged_shards_.erase(shard);
+  forwarding_.erase(shard);
+  return Status::Ok();
+}
+
+void CubrickServer::RemoveShardData(sm::ShardId shard) {
+  for (const PartitionRef& ref : catalog_->PartitionsForShard(shard)) {
+    partitions_.erase(PartitionRef{ref.table, ref.partition});
+    auto it = hosted_partitions_.find(ref.table);
+    if (it != hosted_partitions_.end()) {
+      it->second.erase(ref.partition);
+      if (it->second.empty()) hosted_partitions_.erase(it);
+    }
+  }
+}
+
+double CubrickServer::ShardLoad(sm::ShardId shard,
+                                std::string_view metric) const {
+  double load = 0;
+  for (const PartitionRef& ref : catalog_->PartitionsForShard(shard)) {
+    auto it = partitions_.find(PartitionRef{ref.table, ref.partition});
+    if (it == partitions_.end()) continue;
+    if (metric == "memory_footprint") {
+      load += static_cast<double>(it->second.MemoryFootprint());
+    } else if (metric == "decompressed_size") {
+      load += static_cast<double>(it->second.DecompressedSize());
+    } else if (metric == "ssd_footprint") {
+      load += static_cast<double>(it->second.SsdFootprint());
+    }
+  }
+  return load;
+}
+
+double CubrickServer::Capacity(std::string_view metric) const {
+  if (metric == "memory_footprint") {
+    // Generation 1: 90% of physical memory.
+    return options_.reserved_memory_fraction * PhysicalMemory();
+  }
+  if (metric == "decompressed_size") {
+    // Generation 2: memory capacity x average production compression
+    // ratio, since the exported shard sizes are decompressed sizes.
+    return options_.reserved_memory_fraction * PhysicalMemory() *
+           options_.avg_compression_ratio;
+  }
+  if (metric == "ssd_footprint") {
+    // Generation 3: SSD available space as the host capacity.
+    if (!cluster_->Contains(server_)) return 0;
+    return static_cast<double>(cluster_->Get(server_).ssd_bytes);
+  }
+  return 0;
+}
+
+bool CubrickServer::HasPartition(const std::string& table,
+                                 uint32_t partition) const {
+  return partitions_.count(PartitionRef{table, partition}) > 0;
+}
+
+Status CubrickServer::InsertRows(const std::string& table, uint32_t partition,
+                                 const std::vector<Row>& rows) {
+  auto shard = catalog_->ShardForPartition(table, partition);
+  SCALEWALL_RETURN_IF_ERROR(shard.status());
+  auto fwd = forwarding_.find(*shard);
+  if (fwd != forwarding_.end() && directory_ != nullptr) {
+    CubrickServer* target = directory_->Lookup(fwd->second);
+    if (target != nullptr) {
+      ++stats_.forwarded_requests;
+      return target->InsertRows(table, partition, rows);
+    }
+  }
+  auto it = partitions_.find(PartitionRef{table, partition});
+  if (it == partitions_.end()) {
+    if (owned_shards_.count(*shard) == 0) {
+      return Status::Unavailable("partition " +
+                                 PartitionName(table, partition) +
+                                 " not hosted on server " +
+                                 std::to_string(server_));
+    }
+    auto info = catalog_->GetTable(table);
+    SCALEWALL_RETURN_IF_ERROR(info.status());
+    it = partitions_
+             .emplace(PartitionRef{table, partition},
+                      TablePartition(table, partition, info->schema))
+             .first;
+    hosted_partitions_[table].insert(partition);
+  }
+  for (const Row& row : rows) {
+    SCALEWALL_RETURN_IF_ERROR(it->second.Insert(row));
+  }
+  return Status::Ok();
+}
+
+Result<PartialResult> CubrickServer::ExecutePartial(const Query& query,
+                                                    uint32_t partition,
+                                                    int hop_budget) {
+  if (hop_budget < 0) hop_budget = options_.max_forward_hops;
+  auto shard = catalog_->ShardForPartition(query.table, partition);
+  if (!shard.ok()) return shard.status();
+
+  // "prepareDropShard(s1): SM informs oldServer to start forwarding all
+  // requests related to s1 to newServer" (Section IV-E) — forwarding
+  // takes precedence over the local (now frozen, possibly stale) copy.
+  auto forward = forwarding_.find(*shard);
+  if (forward != forwarding_.end() && directory_ != nullptr &&
+      hop_budget > 0) {
+    CubrickServer* target = directory_->Lookup(forward->second);
+    if (target != nullptr) {
+      ++stats_.forwarded_requests;
+      auto forwarded =
+          target->ExecutePartial(query, partition, hop_budget - 1);
+      if (!forwarded.ok()) return forwarded;
+      forwarded->forward_hops += 1;
+      return forwarded;
+    }
+  }
+
+  auto it = partitions_.find(PartitionRef{query.table, partition});
+  if (it == partitions_.end()) {
+    if (owned_shards_.count(*shard) > 0) {
+      // We own the shard but hold no rows for this partition (nothing was
+      // ever routed to it, e.g. an empty hash bucket after a
+      // repartition): a valid, empty partial answer — not an error.
+      auto info = catalog_->GetTable(query.table);
+      if (info.ok()) {
+        SCALEWALL_RETURN_IF_ERROR(query.Validate(info->schema));
+        ++stats_.partial_queries;
+        PartialResult empty;
+        empty.result = QueryResult(query.aggregations.size());
+        return empty;
+      }
+    }
+    return Status::Unavailable("partition " +
+                               PartitionName(query.table, partition) +
+                               " not hosted on server " +
+                               std::to_string(server_));
+  }
+  ++stats_.partial_queries;
+  // Resolve join inputs from the local dimension-table replicas.
+  JoinContext join;
+  if (!query.joins.empty()) {
+    join.tables.reserve(query.joins.size());
+    for (const Join& j : query.joins) {
+      const ReplicatedTable* table = GetReplicatedTable(j.dimension_table);
+      if (table == nullptr) {
+        return Status::Unavailable("dimension table " + j.dimension_table +
+                                   " not replicated to server " +
+                                   std::to_string(server_));
+      }
+      if (j.attribute < 0 ||
+          j.attribute >= static_cast<int>(table->attributes().size())) {
+        return Status::InvalidArgument("unknown attribute index for join");
+      }
+      join.tables.push_back(table);
+    }
+  }
+  PartialResult partial;
+  partial.result = QueryResult(query.aggregations.size());
+  SCALEWALL_RETURN_IF_ERROR(it->second.Execute(
+      query, partial.result, query.joins.empty() ? nullptr : &join));
+  return partial;
+}
+
+void CubrickServer::SetReplicatedTable(const ReplicatedTable& table) {
+  replicated_.insert_or_assign(table.name(), table);
+}
+
+Status CubrickServer::UpsertReplicatedEntries(
+    const ReplicatedTableInfo& info,
+    const std::vector<DimensionEntry>& entries) {
+  auto it = replicated_.find(info.name);
+  if (it == replicated_.end()) {
+    it = replicated_
+             .emplace(info.name,
+                      ReplicatedTable(info.name, info.key_cardinality,
+                                      info.attributes))
+             .first;
+  }
+  for (const DimensionEntry& entry : entries) {
+    SCALEWALL_RETURN_IF_ERROR(it->second.Set(entry));
+  }
+  return Status::Ok();
+}
+
+void CubrickServer::DropReplicatedTable(const std::string& name) {
+  replicated_.erase(name);
+}
+
+const ReplicatedTable* CubrickServer::GetReplicatedTable(
+    const std::string& name) const {
+  auto it = replicated_.find(name);
+  return it == replicated_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<PartitionRef, std::vector<Row>>>
+CubrickServer::SnapshotShard(sm::ShardId shard) const {
+  std::vector<std::pair<PartitionRef, std::vector<Row>>> out;
+  for (const PartitionRef& ref : catalog_->PartitionsForShard(shard)) {
+    auto it = partitions_.find(PartitionRef{ref.table, ref.partition});
+    if (it == partitions_.end()) continue;
+    out.emplace_back(ref, it->second.ExportRows());
+  }
+  return out;
+}
+
+Result<std::vector<Row>> CubrickServer::ExportPartition(
+    const std::string& table, uint32_t partition) const {
+  auto it = partitions_.find(PartitionRef{table, partition});
+  if (it == partitions_.end()) {
+    return Status::NotFound("partition " + PartitionName(table, partition) +
+                            " not hosted");
+  }
+  return it->second.ExportRows();
+}
+
+void CubrickServer::DropTableData(const std::string& table) {
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    if (it->first.table == table) {
+      it = partitions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  hosted_partitions_.erase(table);
+}
+
+void CubrickServer::Reset() {
+  partitions_.clear();
+  replicated_.clear();
+  hosted_partitions_.clear();
+  owned_shards_.clear();
+  staged_shards_.clear();
+  forwarding_.clear();
+}
+
+size_t CubrickServer::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [ref, partition] : partitions_) {
+    bytes += partition.MemoryFootprint();
+  }
+  return bytes;
+}
+
+void CubrickServer::RunMemoryMonitor() {
+  double memory = PhysicalMemory();
+  if (memory <= 0) return;
+  double usage = static_cast<double>(MemoryUsage());
+  double high = options_.high_watermark * memory;
+  double target = options_.target_watermark * memory;
+  double low = options_.low_watermark * memory;
+
+  if (usage > high) {
+    // Compress coldest-first until back under the target watermark.
+    std::vector<Brick*> bricks;
+    for (auto& [ref, partition] : partitions_) {
+      for (Brick* b : partition.BricksByHotness(/*coldest_first=*/true)) {
+        if (b->state() == BrickState::kUncompressed) bricks.push_back(b);
+      }
+    }
+    std::sort(bricks.begin(), bricks.end(), [](Brick* a, Brick* b) {
+      if (a->hotness() != b->hotness()) return a->hotness() < b->hotness();
+      return a->id() < b->id();
+    });
+    for (Brick* brick : bricks) {
+      if (usage <= target) break;
+      size_t before = brick->MemoryFootprint();
+      brick->Compress();
+      usage -= static_cast<double>(before - brick->MemoryFootprint());
+      ++stats_.bricks_compressed;
+    }
+    // Generation 3: if compression alone cannot relieve the pressure,
+    // evict coldest compressed bricks to SSD.
+    if (options_.enable_ssd_eviction && usage > target) {
+      std::vector<Brick*> compressed;
+      for (auto& [ref, partition] : partitions_) {
+        for (auto& [id, brick] : partition.mutable_bricks()) {
+          if (brick.state() == BrickState::kCompressed) {
+            compressed.push_back(&brick);
+          }
+        }
+      }
+      std::sort(compressed.begin(), compressed.end(),
+                [](Brick* a, Brick* b) {
+                  if (a->hotness() != b->hotness()) {
+                    return a->hotness() < b->hotness();
+                  }
+                  return a->id() < b->id();
+                });
+      for (Brick* brick : compressed) {
+        if (usage <= target) break;
+        size_t before = brick->MemoryFootprint();
+        brick->EvictToSsd();
+        usage -= static_cast<double>(before);
+        ++stats_.bricks_evicted;
+      }
+    }
+  } else if (usage < low) {
+    // Surplus: decompress hottest-first, staying under the target.
+    std::vector<Brick*> bricks;
+    for (auto& [ref, partition] : partitions_) {
+      for (auto& [id, brick] : partition.mutable_bricks()) {
+        if (brick.state() != BrickState::kUncompressed) {
+          bricks.push_back(&brick);
+        }
+      }
+    }
+    std::sort(bricks.begin(), bricks.end(), [](Brick* a, Brick* b) {
+      if (a->hotness() != b->hotness()) return a->hotness() > b->hotness();
+      return a->id() < b->id();
+    });
+    for (Brick* brick : bricks) {
+      double grown = usage + static_cast<double>(brick->DecompressedSize());
+      if (grown > target) break;
+      if (brick->state() == BrickState::kOnSsd) brick->LoadFromSsd();
+      brick->Decompress();
+      usage = grown;
+      ++stats_.bricks_decompressed;
+    }
+  }
+}
+
+void CubrickServer::RunHotnessDecay() {
+  for (auto& [ref, partition] : partitions_) {
+    partition.DecayHotness(rng_, options_.decay_probability);
+  }
+}
+
+}  // namespace scalewall::cubrick

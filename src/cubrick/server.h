@@ -1,0 +1,238 @@
+// CubrickServer: one Cubrick instance running on one cluster server,
+// implementing the Shard Manager AppServer endpoints (Section IV).
+//
+// Responsibilities:
+//  * hosting shard data: the table partitions the catalog maps into each
+//    owned shard;
+//  * addShard(): discovering which partitions travel with the shard,
+//    creating metadata, and recovering data — from the old server on a
+//    live migration (prepareAddShard) or from a healthy region on a
+//    failover (Section IV-E);
+//  * shard-collision detection: refusing (non-retryably) any shard whose
+//    tables already have a different partition on this host (IV-A);
+//  * request forwarding during graceful migrations (prepareDropShard);
+//  * adaptive compression: hotness counters with stochastic decay and a
+//    memory monitor that compresses coldest-first under pressure,
+//    decompresses hottest-first under surplus, and (generation 3) evicts
+//    to SSD (IV-F);
+//  * exporting per-shard load metrics and host capacity to SM (IV-F):
+//    "memory_footprint" (gen 1), "decompressed_size" (gen 2),
+//    "ssd_footprint" (gen 3).
+
+#ifndef SCALEWALL_CUBRICK_SERVER_H_
+#define SCALEWALL_CUBRICK_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "cubrick/catalog.h"
+#include "cubrick/partition.h"
+#include "cubrick/query.h"
+#include "cubrick/replicated_table.h"
+#include "sim/simulation.h"
+#include "sm/app_server.h"
+
+namespace scalewall::cubrick {
+
+class CubrickServer;
+
+// Resolves cluster servers to their Cubrick instances within one region
+// (used for live-migration copies and request forwarding). Wired by the
+// deployment.
+class ServerDirectory {
+ public:
+  virtual ~ServerDirectory() = default;
+  virtual CubrickServer* Lookup(cluster::ServerId server) const = 0;
+};
+
+struct CubrickServerOptions {
+  // Generation-1 capacity: fraction of physical memory exported to SM
+  // ("90% of the available memory to save memory for kernel and other
+  // basic services").
+  double reserved_memory_fraction = 0.9;
+  // Generation-2 capacity multiplier: "the current host's memory capacity
+  // multiplied by the average compression ratio observed in production".
+  double avg_compression_ratio = 2.5;
+  // Memory-monitor watermarks (fractions of physical memory).
+  double high_watermark = 0.90;
+  double target_watermark = 0.80;
+  double low_watermark = 0.60;
+  SimDuration monitor_interval = 1 * kMinute;
+  // Stochastic hotness decay: each brick decrements with this probability
+  // every decay round.
+  SimDuration decay_interval = 1 * kHour;
+  double decay_probability = 0.5;
+  // Generation 3: evict coldest compressed bricks to SSD under pressure.
+  bool enable_ssd_eviction = false;
+  // Cap on chained request forwarding (migration races).
+  int max_forward_hops = 4;
+};
+
+// Result of a partition-local (partial) query execution.
+struct PartialResult {
+  QueryResult result;
+  // Extra network hops taken because the request was forwarded by a
+  // server that had handed the shard off (graceful migration window).
+  int forward_hops = 0;
+};
+
+class CubrickServer : public sm::AppServer {
+ public:
+  // `catalog` is the deployment-wide table metadata; all pointers must
+  // outlive the server.
+  CubrickServer(sim::Simulation* simulation, cluster::Cluster* cluster,
+                Catalog* catalog, cluster::ServerId server,
+                CubrickServerOptions options = {});
+
+  // Same-region instance lookup (live migration copies, forwarding).
+  void SetDirectory(const ServerDirectory* directory) {
+    directory_ = directory;
+  }
+  // Cross-region recovery: returns a healthy server holding (table,
+  // partition) outside this server's region, or nullptr.
+  using RecoverySource = std::function<CubrickServer*(
+      const std::string& table, uint32_t partition)>;
+  void SetRecoverySource(RecoverySource source) {
+    recovery_source_ = std::move(source);
+  }
+
+  // Arms the memory monitor and hotness decay clocks.
+  void StartMonitors();
+
+  // --- sm::AppServer ---
+  cluster::ServerId server_id() const override { return server_; }
+  Status AddShard(sm::ShardId shard, sm::ShardRole role) override;
+  Status DropShard(sm::ShardId shard) override;
+  Status PrepareAddShard(sm::ShardId shard, cluster::ServerId from) override;
+  Status PrepareDropShard(sm::ShardId shard, cluster::ServerId to) override;
+  double ShardLoad(sm::ShardId shard, std::string_view metric) const override;
+  double Capacity(std::string_view metric) const override;
+
+  // --- data plane ---
+
+  // Inserts rows into a hosted partition (follows forwarding during
+  // migrations). Creates the partition lazily if the shard is owned.
+  Status InsertRows(const std::string& table, uint32_t partition,
+                    const std::vector<Row>& rows);
+
+  // --- replicated dimension tables (Section II-B) ---
+
+  // Installs (or overwrites) this server's full copy of a replicated
+  // dimension table.
+  void SetReplicatedTable(const ReplicatedTable& table);
+  // Applies entries to the local copy (creating it from `info` if absent).
+  Status UpsertReplicatedEntries(const ReplicatedTableInfo& info,
+                                 const std::vector<DimensionEntry>& entries);
+  void DropReplicatedTable(const std::string& name);
+  const ReplicatedTable* GetReplicatedTable(const std::string& name) const;
+
+  // Executes the partial query for `partition` of query.table.
+  Result<PartialResult> ExecutePartial(const Query& query,
+                                       uint32_t partition,
+                                       int hop_budget = -1);
+
+  // True if this server holds data for the partition (owned or staged).
+  bool HasPartition(const std::string& table, uint32_t partition) const;
+  bool OwnsShard(sm::ShardId shard) const {
+    return owned_shards_.count(shard) > 0;
+  }
+  // Migration-window introspection (tests/diagnostics).
+  bool IsStaged(sm::ShardId shard) const {
+    return staged_shards_.count(shard) > 0;
+  }
+  cluster::ServerId ForwardingTarget(sm::ShardId shard) const {
+    auto it = forwarding_.find(shard);
+    return it == forwarding_.end() ? cluster::kInvalidServer : it->second;
+  }
+
+  // Copies all data of `shard` out (live-migration source side).
+  std::vector<std::pair<PartitionRef, std::vector<Row>>> SnapshotShard(
+      sm::ShardId shard) const;
+
+  // Copies one hosted partition's rows out (repartition shuffles).
+  Result<std::vector<Row>> ExportPartition(const std::string& table,
+                                           uint32_t partition) const;
+
+  // Replaces the local copy of one partition with `rows`. Used by the
+  // migration cutover re-sync: prepareDropShard pushes the old server's
+  // *current* data to the target before enabling forwarding, so writes
+  // accepted between the prepareAddShard copy and the cutover are not
+  // lost when the old copy is dropped.
+  void ReplacePartitionData(const PartitionRef& ref,
+                            const std::vector<Row>& rows);
+
+  // Drops all local data/metadata of `table` (table drop, repartition).
+  void DropTableData(const std::string& table);
+
+  // Clears all state (a server process restarting after repair comes
+  // back empty — Cubrick is in-memory).
+  void Reset();
+
+  // --- introspection / experiments ---
+  size_t MemoryUsage() const;
+  size_t num_partitions_hosted() const { return partitions_.size(); }
+  std::vector<sm::ShardId> OwnedShards() const {
+    return {owned_shards_.begin(), owned_shards_.end()};
+  }
+  const std::map<PartitionRef, TablePartition>& partitions() const {
+    return partitions_;
+  }
+  // Runs one memory-monitor pass immediately (tests/benches).
+  void RunMemoryMonitor();
+  // Runs one hotness decay round immediately.
+  void RunHotnessDecay();
+
+  struct Stats {
+    int64_t partial_queries = 0;
+    int64_t forwarded_requests = 0;
+    int64_t bricks_compressed = 0;
+    int64_t bricks_decompressed = 0;
+    int64_t bricks_evicted = 0;
+    int64_t recoveries = 0;        // partitions recovered cross-region
+    int64_t collision_rejections = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Returns kNonRetryable if taking `shard` here would co-locate two
+  // different partitions of one table.
+  Status CheckShardCollision(sm::ShardId shard) const;
+
+  // Materializes (and recovers, if possible) all partitions of `shard`.
+  void MaterializeShard(sm::ShardId shard, bool recover);
+
+  void RemoveShardData(sm::ShardId shard);
+
+  double PhysicalMemory() const;
+
+  sim::Simulation* simulation_;
+  cluster::Cluster* cluster_;
+  Catalog* catalog_;
+  cluster::ServerId server_;
+  CubrickServerOptions options_;
+  Rng rng_;
+  const ServerDirectory* directory_ = nullptr;
+  RecoverySource recovery_source_;
+
+  std::set<sm::ShardId> owned_shards_;
+  std::set<sm::ShardId> staged_shards_;  // prepared (data copied), not owned
+  std::map<sm::ShardId, cluster::ServerId> forwarding_;
+  std::map<PartitionRef, TablePartition> partitions_;
+  // Full local copies of replicated dimension tables.
+  std::map<std::string, ReplicatedTable> replicated_;
+  // table -> partitions hosted here (collision detection).
+  std::unordered_map<std::string, std::set<uint32_t>> hosted_partitions_;
+  Stats stats_;
+  bool monitors_started_ = false;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_SERVER_H_

@@ -1,0 +1,24 @@
+#include "cubrick/shard_mapper.h"
+
+namespace scalewall::cubrick {
+
+std::string_view ShardMappingStrategyName(ShardMappingStrategy strategy) {
+  switch (strategy) {
+    case ShardMappingStrategy::kNaiveHash:
+      return "naive_hash";
+    case ShardMappingStrategy::kHashPartitionZero:
+      return "hash_partition_zero";
+    case ShardMappingStrategy::kReplicaBased:
+      return "replica_based";
+  }
+  return "?";
+}
+
+std::string PartitionName(std::string_view table, uint32_t partition) {
+  std::string name(table);
+  name.push_back('#');
+  name += std::to_string(partition);
+  return name;
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,91 @@
+// ShardMapper: mapping table partitions to Shard Manager's flat shard key
+// space (Section IV-A).
+//
+// Internally, partition `p` of table `t` is referred to as "t#p" ('#' is
+// not allowed in table names). Three strategies are implemented:
+//
+//  * kNaiveHash — hash("t#p") % maxShards for every partition. Simple but
+//    susceptible to *same-table partition collisions*: two partitions of
+//    one table can land on the same shard, permanently doubling one
+//    server's work for that table.
+//  * kHashPartitionZero (production strategy) — hash("t#0") % maxShards,
+//    then monotonically increment for the remaining partitions. Prevents
+//    same-table collisions for any table with at most maxShards
+//    partitions.
+//  * kReplicaBased — the alternative "used internally by other systems
+//    inside Facebook": each table maps to a single shard and partitions
+//    become shard *replicas*. Avoids shard collisions by construction but
+//    forces every table to the cluster replication factor and breaks the
+//    replicas-hold-identical-data invariant. Modeled for the ablation.
+
+#ifndef SCALEWALL_CUBRICK_SHARD_MAPPER_H_
+#define SCALEWALL_CUBRICK_SHARD_MAPPER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+#include "sm/types.h"
+
+namespace scalewall::cubrick {
+
+enum class ShardMappingStrategy {
+  kNaiveHash,
+  kHashPartitionZero,
+  kReplicaBased,
+};
+
+std::string_view ShardMappingStrategyName(ShardMappingStrategy strategy);
+
+// Renders the internal partition name "table#partition".
+std::string PartitionName(std::string_view table, uint32_t partition);
+
+class ShardMapper {
+ public:
+  explicit ShardMapper(
+      uint32_t max_shards,
+      ShardMappingStrategy strategy = ShardMappingStrategy::kHashPartitionZero)
+      : max_shards_(max_shards), strategy_(strategy) {}
+
+  uint32_t max_shards() const { return max_shards_; }
+  ShardMappingStrategy strategy() const { return strategy_; }
+
+  // Shard hosting partition `partition` of `table`. The optional `salt`
+  // re-rolls the table's base shard deterministically: the paper's
+  // stated future work is "prevention of shard collisions at table
+  // creation time" (Section VII) — a creator can probe salts until the
+  // table's shards land on distinct servers and persist the winning salt
+  // in the catalog. Salt 0 reproduces the production mapping exactly.
+  sm::ShardId ShardFor(std::string_view table, uint32_t partition,
+                       uint32_t salt = 0) const {
+    switch (strategy_) {
+      case ShardMappingStrategy::kNaiveHash:
+        return static_cast<sm::ShardId>(
+            Salted(HashString(PartitionName(table, partition)), salt) %
+            max_shards_);
+      case ShardMappingStrategy::kHashPartitionZero: {
+        uint64_t base =
+            Salted(HashString(PartitionName(table, 0)), salt) % max_shards_;
+        return static_cast<sm::ShardId>((base + partition) % max_shards_);
+      }
+      case ShardMappingStrategy::kReplicaBased:
+        // All partitions share the table's shard; partitions map to
+        // replica indices instead.
+        return static_cast<sm::ShardId>(
+            Salted(HashString(table), salt) % max_shards_);
+    }
+    return 0;
+  }
+
+ private:
+  static uint64_t Salted(uint64_t hash, uint32_t salt) {
+    return salt == 0 ? hash : HashCombine(hash, HashInt(salt));
+  }
+
+  uint32_t max_shards_;
+  ShardMappingStrategy strategy_;
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_SHARD_MAPPER_H_

@@ -1,0 +1,684 @@
+#include "cubrick/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace scalewall::cubrick {
+namespace {
+
+enum class TokenType {
+  kIdent,
+  kNumber,
+  kSymbol,  // ( ) , * = < > <= >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // upper-cased for idents
+  std::string raw;   // original spelling
+  uint64_t number = 0;
+  size_t position = 0;
+};
+
+// Tokenizes the input; returns INVALID_ARGUMENT on unknown characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.type = TokenType::kIdent;
+      t.raw = std::string(sql.substr(start, i - start));
+      t.text = t.raw;
+      std::transform(t.text.begin(), t.text.end(), t.text.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      uint64_t value = 0;
+      while (i < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        value = value * 10 + static_cast<uint64_t>(sql[i] - '0');
+        if (value > 0xFFFFFFFFULL) {
+          return Status::InvalidArgument(
+              "numeric literal out of range at position " +
+              std::to_string(start));
+        }
+        ++i;
+      }
+      Token t;
+      t.type = TokenType::kNumber;
+      t.raw = std::string(sql.substr(start, i - start));
+      t.number = value;
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Symbols, including two-character <= and >=.
+    if (c == '<' || c == '>') {
+      Token t;
+      t.type = TokenType::kSymbol;
+      t.position = i;
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        t.text = std::string{c, '='};
+        i += 2;
+      } else {
+        t.text = std::string{c};
+        ++i;
+      }
+      t.raw = t.text;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=' ||
+        c == '.') {
+      Token t;
+      t.type = TokenType::kSymbol;
+      t.text = std::string{c};
+      t.raw = t.text;
+      t.position = i;
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string{c} + "' at position " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const TableSchema& schema,
+         const Catalog* catalog)
+      : tokens_(std::move(tokens)), schema_(schema), catalog_(catalog) {}
+
+  Result<Query> Parse() {
+    Query query;
+    std::vector<ColumnRef> bare_columns;  // SELECT-list group columns
+
+    // Qualified references in the SELECT list need the JOIN clauses,
+    // which appear after FROM: skip ahead to parse FROM/JOIN first, then
+    // come back for the SELECT list.
+    SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    size_t select_start = index_;
+    int depth = 0;
+    while (Peek().type != TokenType::kEnd) {
+      if (Peek().type == TokenType::kSymbol && Peek().text == "(") ++depth;
+      if (Peek().type == TokenType::kSymbol && Peek().text == ")") --depth;
+      if (depth == 0 && Peek().type == TokenType::kIdent &&
+          Peek().text == "FROM") {
+        break;
+      }
+      ++index_;
+    }
+    SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SCALEWALL_ASSIGN_OR_RETURN(Token table, ExpectIdent());
+    query.table = table.raw;
+    while (AcceptKeyword("JOIN")) {
+      SCALEWALL_RETURN_IF_ERROR(ParseJoinClause());
+    }
+    size_t after_joins = index_;
+    index_ = select_start;
+    SCALEWALL_RETURN_IF_ERROR(ParseSelectList(query, bare_columns));
+    if (Peek().type != TokenType::kIdent || Peek().text != "FROM") {
+      return Status::InvalidArgument("expected FROM after SELECT list");
+    }
+    index_ = after_joins;
+
+    if (AcceptKeyword("WHERE")) {
+      SCALEWALL_RETURN_IF_ERROR(ParsePredicate(query));
+      while (AcceptKeyword("AND")) {
+        SCALEWALL_RETURN_IF_ERROR(ParsePredicate(query));
+      }
+    }
+    if (AcceptKeyword("GROUP")) {
+      SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        SCALEWALL_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef(query));
+        if (ref.joined) {
+          query.group_by_joins.push_back(ref.join);
+        } else {
+          query.group_by.push_back(ref.fact_dim);
+        }
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      SCALEWALL_RETURN_IF_ERROR(ParseOrderBy(query));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t limit, ExpectNumber());
+      if (limit == 0) {
+        return Status::InvalidArgument("LIMIT must be positive");
+      }
+      query.limit = limit;
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("trailing input at position " +
+                                     std::to_string(Peek().position));
+    }
+    // Bare SELECT columns must be grouped.
+    for (const ColumnRef& ref : bare_columns) {
+      bool grouped =
+          ref.joined
+              ? std::find(query.group_by_joins.begin(),
+                          query.group_by_joins.end(),
+                          ref.join) != query.group_by_joins.end()
+              : std::find(query.group_by.begin(), query.group_by.end(),
+                          ref.fact_dim) != query.group_by.end();
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + ref.display +
+            " appears in SELECT but not in GROUP BY");
+      }
+    }
+    SCALEWALL_RETURN_IF_ERROR(query.Validate(schema_));
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  bool AcceptKeyword(std::string_view keyword) {
+    if (Peek().type == TokenType::kIdent && Peek().text == keyword) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(std::string_view symbol) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == symbol) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Status::InvalidArgument("expected " + std::string(keyword) +
+                                     " at position " +
+                                     std::to_string(Peek().position));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Status::InvalidArgument("expected '" + std::string(symbol) +
+                                     "' at position " +
+                                     std::to_string(Peek().position));
+    }
+    return Status::Ok();
+  }
+
+  Result<Token> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument("expected identifier at position " +
+                                     std::to_string(Peek().position));
+    }
+    return Advance();
+  }
+
+  Result<uint32_t> ExpectNumber() {
+    if (Peek().type != TokenType::kNumber) {
+      return Status::InvalidArgument("expected number at position " +
+                                     std::to_string(Peek().position));
+    }
+    return static_cast<uint32_t>(Advance().number);
+  }
+
+  Result<int> ExpectDimension() {
+    SCALEWALL_ASSIGN_OR_RETURN(Token ident, ExpectIdent());
+    int dim = schema_.DimensionIndex(ident.raw);
+    if (dim < 0) {
+      return Status::InvalidArgument("unknown dimension " + ident.raw);
+    }
+    return dim;
+  }
+
+  // A column reference: a fact dimension or a joined attribute
+  // (dim_table.attribute).
+  struct ColumnRef {
+    bool joined = false;
+    int fact_dim = -1;  // when !joined
+    int join = -1;      // index into Query::joins when joined
+    std::string display;
+  };
+
+  // JOIN dim_table ON fact_dimension
+  Status ParseJoinClause() {
+    if (catalog_ == nullptr) {
+      return Status::InvalidArgument(
+          "JOIN requires a catalog to resolve dimension tables");
+    }
+    SCALEWALL_ASSIGN_OR_RETURN(Token dim_table, ExpectIdent());
+    if (!catalog_->HasReplicatedTable(dim_table.raw)) {
+      return Status::NotFound("replicated dimension table " +
+                              dim_table.raw);
+    }
+    SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    SCALEWALL_ASSIGN_OR_RETURN(int fact_dim, ExpectDimension());
+    joined_tables_[dim_table.raw] = fact_dim;
+    return Status::Ok();
+  }
+
+  // Consumes `ident` or `ident.ident`; joined attributes find-or-add the
+  // Join entry on the query.
+  Result<ColumnRef> ParseColumnRef(Query& query) {
+    SCALEWALL_ASSIGN_OR_RETURN(Token first, ExpectIdent());
+    return ResolveColumn(query, first);
+  }
+
+  Result<ColumnRef> ResolveColumn(Query& query, const Token& first) {
+    ColumnRef ref;
+    if (AcceptSymbol(".")) {
+      SCALEWALL_ASSIGN_OR_RETURN(Token attr, ExpectIdent());
+      auto jt = joined_tables_.find(first.raw);
+      if (jt == joined_tables_.end()) {
+        return Status::InvalidArgument("table " + first.raw +
+                                       " is not joined in this query");
+      }
+      auto info = catalog_->GetReplicatedTable(first.raw);
+      SCALEWALL_RETURN_IF_ERROR(info.status());
+      int attr_index = -1;
+      for (size_t a = 0; a < info->attributes.size(); ++a) {
+        if (info->attributes[a].name == attr.raw) {
+          attr_index = static_cast<int>(a);
+          break;
+        }
+      }
+      if (attr_index < 0) {
+        return Status::InvalidArgument("unknown attribute " + attr.raw +
+                                       " of " + first.raw);
+      }
+      ref.joined = true;
+      ref.display = first.raw + "." + attr.raw;
+      for (size_t j = 0; j < query.joins.size(); ++j) {
+        const Join& join = query.joins[j];
+        if (join.dimension_table == first.raw &&
+            join.attribute == attr_index &&
+            join.fact_dimension == jt->second) {
+          ref.join = static_cast<int>(j);
+        }
+      }
+      if (ref.join < 0) {
+        query.joins.push_back(Join{jt->second, first.raw, attr_index});
+        ref.join = static_cast<int>(query.joins.size()) - 1;
+      }
+      return ref;
+    }
+    int dim = schema_.DimensionIndex(first.raw);
+    if (dim < 0) {
+      return Status::InvalidArgument("unknown column " + first.raw);
+    }
+    ref.fact_dim = dim;
+    ref.display = first.raw;
+    return ref;
+  }
+
+  static bool IsAggKeyword(const std::string& text) {
+    return text == "SUM" || text == "COUNT" || text == "MIN" ||
+           text == "MAX" || text == "AVG";
+  }
+
+  Status ParseSelectList(Query& query, std::vector<ColumnRef>& bare) {
+    do {
+      SCALEWALL_ASSIGN_OR_RETURN(Token ident, ExpectIdent());
+      if (IsAggKeyword(ident.text)) {
+        SCALEWALL_RETURN_IF_ERROR(ExpectSymbol("("));
+        Aggregation agg;
+        if (ident.text == "SUM") agg.op = AggOp::kSum;
+        if (ident.text == "COUNT") agg.op = AggOp::kCount;
+        if (ident.text == "MIN") agg.op = AggOp::kMin;
+        if (ident.text == "MAX") agg.op = AggOp::kMax;
+        if (ident.text == "AVG") agg.op = AggOp::kAvg;
+        if (AcceptSymbol("*")) {
+          if (agg.op != AggOp::kCount) {
+            return Status::InvalidArgument("'*' only valid in COUNT(*)");
+          }
+          agg.metric = 0;
+        } else {
+          SCALEWALL_ASSIGN_OR_RETURN(Token column, ExpectIdent());
+          int metric = schema_.MetricIndex(column.raw);
+          if (metric < 0) {
+            return Status::InvalidArgument("unknown metric " + column.raw);
+          }
+          agg.metric = metric;
+        }
+        SCALEWALL_RETURN_IF_ERROR(ExpectSymbol(")"));
+        query.aggregations.push_back(agg);
+      } else {
+        // A bare column (fact dimension or joined attribute): part of
+        // the group key.
+        SCALEWALL_ASSIGN_OR_RETURN(ColumnRef ref,
+                                   ResolveColumn(query, ident));
+        bare.push_back(std::move(ref));
+      }
+    } while (AcceptSymbol(","));
+    if (query.aggregations.empty()) {
+      return Status::InvalidArgument(
+          "SELECT list needs at least one aggregate");
+    }
+    return Status::Ok();
+  }
+
+  // ORDER BY AGG(metric) [ASC|DESC]: resolves to the matching SELECT-list
+  // aggregation.
+  Status ParseOrderBy(Query& query) {
+    SCALEWALL_ASSIGN_OR_RETURN(Token fn, ExpectIdent());
+    if (!IsAggKeyword(fn.text)) {
+      return Status::InvalidArgument(
+          "ORDER BY expects an aggregate expression");
+    }
+    AggOp op = AggOp::kSum;
+    if (fn.text == "COUNT") op = AggOp::kCount;
+    if (fn.text == "MIN") op = AggOp::kMin;
+    if (fn.text == "MAX") op = AggOp::kMax;
+    if (fn.text == "AVG") op = AggOp::kAvg;
+    SCALEWALL_RETURN_IF_ERROR(ExpectSymbol("("));
+    int metric = 0;
+    if (AcceptSymbol("*")) {
+      if (op != AggOp::kCount) {
+        return Status::InvalidArgument("'*' only valid in COUNT(*)");
+      }
+    } else {
+      SCALEWALL_ASSIGN_OR_RETURN(Token column, ExpectIdent());
+      metric = schema_.MetricIndex(column.raw);
+      if (metric < 0) {
+        return Status::InvalidArgument("unknown metric " + column.raw);
+      }
+    }
+    SCALEWALL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    int index = -1;
+    for (size_t a = 0; a < query.aggregations.size(); ++a) {
+      const Aggregation& agg = query.aggregations[a];
+      if (agg.op == op && (op == AggOp::kCount || agg.metric == metric)) {
+        index = static_cast<int>(a);
+        break;
+      }
+    }
+    if (index < 0) {
+      return Status::InvalidArgument(
+          "ORDER BY expression must appear in the SELECT list");
+    }
+    query.order_by = index;
+    // SQL default is ascending.
+    query.descending = false;
+    if (AcceptKeyword("DESC")) {
+      query.descending = true;
+    } else {
+      AcceptKeyword("ASC");
+    }
+    return Status::Ok();
+  }
+
+  // Comparison on a joined attribute -> JoinFilter (IN is not supported
+  // on joined attributes).
+  Status ParseJoinPredicate(Query& query, const ColumnRef& ref) {
+    const Token& op = Peek();
+    if (op.type == TokenType::kSymbol) {
+      std::string symbol = op.text;
+      ++index_;
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t value, ExpectNumber());
+      JoinFilter f;
+      f.join = ref.join;
+      if (symbol == "=") {
+        f.lo = f.hi = value;
+      } else if (symbol == "<") {
+        if (value == 0) {
+          return Status::InvalidArgument("'< 0' matches nothing");
+        }
+        f.lo = 0;
+        f.hi = value - 1;
+      } else if (symbol == "<=") {
+        f.lo = 0;
+        f.hi = value;
+      } else if (symbol == ">") {
+        f.lo = value + 1;
+      } else if (symbol == ">=") {
+        f.lo = value;
+      } else {
+        return Status::InvalidArgument("unexpected operator '" + symbol +
+                                       "'");
+      }
+      query.join_filters.push_back(f);
+      return Status::Ok();
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t lo, ExpectNumber());
+      SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t hi, ExpectNumber());
+      query.join_filters.push_back(JoinFilter{ref.join, lo, hi});
+      return Status::Ok();
+    }
+    if (AcceptKeyword("IN")) {
+      return Status::InvalidArgument(
+          "IN is not supported on joined attributes");
+    }
+    return Status::InvalidArgument("expected comparison at position " +
+                                   std::to_string(Peek().position));
+  }
+
+  Status ParsePredicate(Query& query) {
+    SCALEWALL_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef(query));
+    if (ref.joined) return ParseJoinPredicate(query, ref);
+    int dim = ref.fact_dim;
+    const Token& op = Peek();
+    if (op.type == TokenType::kSymbol) {
+      std::string symbol = op.text;
+      ++index_;
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t value, ExpectNumber());
+      FilterRange f;
+      f.dimension = dim;
+      if (symbol == "=") {
+        f.lo = f.hi = value;
+      } else if (symbol == "<") {
+        if (value == 0) {
+          return Status::InvalidArgument("'< 0' matches nothing");
+        }
+        f.lo = 0;
+        f.hi = value - 1;
+      } else if (symbol == "<=") {
+        f.lo = 0;
+        f.hi = value;
+      } else if (symbol == ">") {
+        f.lo = value + 1;
+        f.hi = std::numeric_limits<uint32_t>::max();
+      } else if (symbol == ">=") {
+        f.lo = value;
+        f.hi = std::numeric_limits<uint32_t>::max();
+      } else {
+        return Status::InvalidArgument("unexpected operator '" + symbol +
+                                       "'");
+      }
+      // Clamp the open side to the dimension domain.
+      uint32_t max_code = schema_.dimensions[dim].cardinality - 1;
+      if (f.hi > max_code) f.hi = max_code;
+      query.filters.push_back(f);
+      return Status::Ok();
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t lo, ExpectNumber());
+      SCALEWALL_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      SCALEWALL_ASSIGN_OR_RETURN(uint32_t hi, ExpectNumber());
+      query.filters.push_back(FilterRange{dim, lo, hi});
+      return Status::Ok();
+    }
+    if (AcceptKeyword("IN")) {
+      SCALEWALL_RETURN_IF_ERROR(ExpectSymbol("("));
+      FilterIn f;
+      f.dimension = dim;
+      do {
+        SCALEWALL_ASSIGN_OR_RETURN(uint32_t value, ExpectNumber());
+        f.values.push_back(value);
+      } while (AcceptSymbol(","));
+      SCALEWALL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      query.in_filters.push_back(std::move(f));
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("expected comparison at position " +
+                                   std::to_string(Peek().position));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+  const TableSchema& schema_;
+  const Catalog* catalog_;
+  // Dimension tables introduced by JOIN clauses: name -> fact dimension.
+  std::map<std::string, int> joined_tables_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view sql, const TableSchema& schema,
+                         const Catalog* catalog) {
+  SCALEWALL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), schema, catalog);
+  return parser.Parse();
+}
+
+std::string FormatQuery(const Query& query, const TableSchema& schema,
+                        const Catalog* catalog) {
+  // Renders a joined attribute as "table.attr" (attribute names resolved
+  // through the catalog when available, positional otherwise).
+  auto join_ref = [&](int join_index) {
+    const Join& join = query.joins[join_index];
+    std::string attr = "attr" + std::to_string(join.attribute);
+    if (catalog != nullptr) {
+      auto info = catalog->GetReplicatedTable(join.dimension_table);
+      if (info.ok() &&
+          join.attribute < static_cast<int>(info->attributes.size())) {
+        attr = info->attributes[join.attribute].name;
+      }
+    }
+    return join.dimension_table + "." + attr;
+  };
+  std::ostringstream out;
+  out << "SELECT ";
+  bool first = true;
+  for (int dim : query.group_by) {
+    if (!first) out << ", ";
+    out << schema.dimensions[dim].name;
+    first = false;
+  }
+  for (int join_index : query.group_by_joins) {
+    if (!first) out << ", ";
+    out << join_ref(join_index);
+    first = false;
+  }
+  for (const Aggregation& agg : query.aggregations) {
+    if (!first) out << ", ";
+    out << AggOpName(agg.op) << "(";
+    if (agg.op == AggOp::kCount) {
+      out << "*";
+    } else {
+      out << schema.metrics[agg.metric].name;
+    }
+    out << ")";
+    first = false;
+  }
+  out << " FROM " << query.table;
+  // One JOIN clause per distinct (dimension table, fact column) pair.
+  std::vector<std::pair<std::string, int>> joined;
+  for (const Join& join : query.joins) {
+    auto pair = std::make_pair(join.dimension_table, join.fact_dimension);
+    if (std::find(joined.begin(), joined.end(), pair) == joined.end()) {
+      joined.push_back(pair);
+      out << " JOIN " << join.dimension_table << " ON "
+          << schema.dimensions[join.fact_dimension].name;
+    }
+  }
+  bool where = false;
+  auto conjunction = [&] {
+    out << (where ? " AND " : " WHERE ");
+    where = true;
+  };
+  for (const FilterRange& f : query.filters) {
+    conjunction();
+    const std::string& name = schema.dimensions[f.dimension].name;
+    if (f.lo == f.hi) {
+      out << name << " = " << f.lo;
+    } else {
+      out << name << " BETWEEN " << f.lo << " AND " << f.hi;
+    }
+  }
+  for (const FilterIn& f : query.in_filters) {
+    conjunction();
+    out << schema.dimensions[f.dimension].name << " IN (";
+    for (size_t i = 0; i < f.values.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << f.values[i];
+    }
+    out << ")";
+  }
+  for (const JoinFilter& f : query.join_filters) {
+    conjunction();
+    if (f.lo == f.hi) {
+      out << join_ref(f.join) << " = " << f.lo;
+    } else if (f.hi == std::numeric_limits<uint32_t>::max()) {
+      out << join_ref(f.join) << " >= " << f.lo;
+    } else {
+      out << join_ref(f.join) << " BETWEEN " << f.lo << " AND " << f.hi;
+    }
+  }
+  if (!query.group_by.empty() || !query.group_by_joins.empty()) {
+    out << " GROUP BY ";
+    bool first_group = true;
+    for (int dim : query.group_by) {
+      if (!first_group) out << ", ";
+      out << schema.dimensions[dim].name;
+      first_group = false;
+    }
+    for (int join_index : query.group_by_joins) {
+      if (!first_group) out << ", ";
+      out << join_ref(join_index);
+      first_group = false;
+    }
+  }
+  if (query.order_by >= 0 &&
+      query.order_by < static_cast<int>(query.aggregations.size())) {
+    const Aggregation& agg = query.aggregations[query.order_by];
+    out << " ORDER BY " << AggOpName(agg.op) << "(";
+    if (agg.op == AggOp::kCount) {
+      out << "*";
+    } else {
+      out << schema.metrics[agg.metric].name;
+    }
+    out << ")" << (query.descending ? " DESC" : " ASC");
+  }
+  if (query.limit > 0) {
+    out << " LIMIT " << query.limit;
+  }
+  return out.str();
+}
+
+}  // namespace scalewall::cubrick

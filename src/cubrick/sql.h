@@ -1,0 +1,59 @@
+// A SQL front-end for Cubrick queries.
+//
+// Cubrick powers dashboards and interactive exploration tools; the query
+// coordinator is responsible for "query parsing, compilation and
+// distribution" (Section IV-C). This parser covers the aggregation
+// dialect those tools issue:
+//
+//   SELECT [col,]... AGG(metric)[, AGG(metric)...]
+//   FROM table [JOIN dim_table ON fact_dim]...
+//   [WHERE col = N | col < N | col <= N | col > N | col >= N
+//        | col BETWEEN N AND N | dim IN (N, N, ...) [AND ...]]
+//   [GROUP BY col[, col...]]
+//   [ORDER BY AGG(metric) [ASC|DESC]] [LIMIT n]
+//
+// where `col` is a fact dimension name or, when the table was joined, a
+// qualified `dim_table.attribute` reference (resolved through the
+// catalog). Aggregates: SUM, COUNT (COUNT(*) allowed), MIN, MAX, AVG.
+// Columns referenced bare in the SELECT list must appear in GROUP BY.
+// Dimension literals are dictionary codes (integers); use
+// cubrick::Dictionary to encode string domains.
+//
+// Example:
+//   auto q = ParseQuery(
+//       "SELECT campaigns.advertiser, SUM(spend) FROM ad_facts "
+//       "JOIN campaigns ON campaign "
+//       "WHERE day BETWEEN 60 AND 89 AND campaigns.vertical = 2 "
+//       "GROUP BY campaigns.advertiser ORDER BY SUM(spend) DESC LIMIT 5",
+//       schema, &catalog);
+
+#ifndef SCALEWALL_CUBRICK_SQL_H_
+#define SCALEWALL_CUBRICK_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "cubrick/catalog.h"
+#include "cubrick/query.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::cubrick {
+
+// Parses `sql` against `schema` (column names resolve to indices).
+// The table name in FROM is recorded in Query::table but not checked
+// here — catalogs differ per deployment. JOIN clauses need `catalog` to
+// resolve dimension tables and their attributes; without one, JOIN is a
+// parse error.
+Result<Query> ParseQuery(std::string_view sql, const TableSchema& schema,
+                         const Catalog* catalog = nullptr);
+
+// Renders a Query back to its SQL text (column indices resolved through
+// `schema`, joined attribute names through `catalog` when provided);
+// useful for logging and query tracing at the proxy.
+std::string FormatQuery(const Query& query, const TableSchema& schema,
+                        const Catalog* catalog = nullptr);
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_SQL_H_

@@ -1,0 +1,129 @@
+#include "discovery/datastore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scalewall::discovery {
+
+SessionId Datastore::CreateSession(const std::string& owner) {
+  SessionId id = next_session_++;
+  sessions_.emplace(id, Session{owner, simulation_->now(), {}});
+  ArmExpiryCheck(id);
+  return id;
+}
+
+void Datastore::ArmExpiryCheck(SessionId session) {
+  simulation_->ScheduleAfter(session_timeout_, [this, session] {
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;  // closed cleanly
+    if (simulation_->now() - it->second.last_heartbeat >= session_timeout_) {
+      ExpireSession(session);
+    } else {
+      // Re-check when the current lease would lapse.
+      ArmExpiryCheck(session);
+    }
+  });
+}
+
+Status Datastore::Heartbeat(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session expired or closed");
+  }
+  it->second.last_heartbeat = simulation_->now();
+  return Status::Ok();
+}
+
+Status Datastore::CloseSession(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session not found");
+  }
+  for (const std::string& key : it->second.ephemeral_keys) {
+    auto dit = data_.find(key);
+    if (dit != data_.end() && dit->second.second == session) {
+      data_.erase(dit);
+      NotifyWatchers({WatchEvent::Type::kDelete, key, "", session});
+    }
+  }
+  sessions_.erase(it);
+  return Status::Ok();
+}
+
+void Datastore::ExpireSession(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  std::string owner = it->second.owner;
+  SCALEWALL_LOG(kInfo) << "datastore session expired: " << owner;
+  for (const std::string& key : it->second.ephemeral_keys) {
+    auto dit = data_.find(key);
+    if (dit != data_.end() && dit->second.second == session) {
+      data_.erase(dit);
+      NotifyWatchers({WatchEvent::Type::kDelete, key, "", session});
+    }
+  }
+  sessions_.erase(it);
+  WatchEvent event{WatchEvent::Type::kSessionExpired, owner, "", session};
+  NotifyWatchers(event);
+}
+
+Status Datastore::Put(const std::string& key, const std::string& value,
+                      SessionId session) {
+  if (session != kInvalidSession) {
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Status::NotFound("session expired or closed");
+    }
+    auto& keys = it->second.ephemeral_keys;
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+    }
+  }
+  data_[key] = {value, session};
+  NotifyWatchers({WatchEvent::Type::kPut, key, value, session});
+  return Status::Ok();
+}
+
+Result<std::string> Datastore::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return Status::NotFound("key " + key);
+  }
+  return it->second.first;
+}
+
+Status Datastore::Delete(const std::string& key) {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return Status::NotFound("key " + key);
+  }
+  SessionId session = it->second.second;
+  data_.erase(it);
+  NotifyWatchers({WatchEvent::Type::kDelete, key, "", session});
+  return Status::Ok();
+}
+
+std::vector<std::string> Datastore::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void Datastore::Watch(const std::string& prefix, Watcher watcher) {
+  watchers_.emplace_back(prefix, std::move(watcher));
+}
+
+void Datastore::NotifyWatchers(const WatchEvent& event) {
+  for (auto& [prefix, watcher] : watchers_) {
+    if (event.type == WatchEvent::Type::kSessionExpired ||
+        event.key.compare(0, prefix.size(), prefix) == 0) {
+      watcher(event);
+    }
+  }
+}
+
+}  // namespace scalewall::discovery

@@ -1,0 +1,107 @@
+// Datastore: a Zookeeper/Zeus-like coordination store (simulated).
+//
+// Shard Manager "uses Zookeeper to store SM server's persistent state and
+// collect heartbeats from Application Server libraries. If heartbeats
+// stop, SM Server gets notified by Zookeeper and a shard failover
+// operation might be triggered" (Section III-A). We implement the two
+// facilities SM relies on:
+//
+//  * a persistent key-value namespace with prefix watches;
+//  * ephemeral sessions kept alive by heartbeats; when a session expires,
+//    its ephemeral keys are deleted and watchers are notified.
+//
+// Consensus/replication internals of Zookeeper are irrelevant to every
+// result in the paper and are not modeled.
+
+#ifndef SCALEWALL_DISCOVERY_DATASTORE_H_
+#define SCALEWALL_DISCOVERY_DATASTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "sim/simulation.h"
+
+namespace scalewall::discovery {
+
+using SessionId = uint64_t;
+inline constexpr SessionId kInvalidSession = 0;
+
+// Event delivered to watchers.
+struct WatchEvent {
+  enum class Type { kPut, kDelete, kSessionExpired };
+  Type type;
+  std::string key;
+  std::string value;      // for kPut
+  SessionId session = 0;  // for kSessionExpired
+};
+
+class Datastore {
+ public:
+  using Watcher = std::function<void(const WatchEvent&)>;
+
+  Datastore(sim::Simulation* simulation, SimDuration session_timeout)
+      : simulation_(simulation), session_timeout_(session_timeout) {}
+
+  // --- Sessions & heartbeats ---
+
+  // Opens a session; the owner must Heartbeat() at least every
+  // session_timeout or the session expires.
+  SessionId CreateSession(const std::string& owner);
+
+  // Renews the session lease. Returns NOT_FOUND if already expired/closed.
+  Status Heartbeat(SessionId session);
+
+  // Closes a session cleanly (ephemeral keys removed, no expiry event).
+  Status CloseSession(SessionId session);
+
+  bool SessionAlive(SessionId session) const {
+    return sessions_.count(session) > 0;
+  }
+
+  // --- Key-value namespace ---
+
+  // Writes `key`. If `session` != kInvalidSession the key is ephemeral and
+  // disappears when the session ends.
+  Status Put(const std::string& key, const std::string& value,
+             SessionId session = kInvalidSession);
+  Result<std::string> Get(const std::string& key) const;
+  Status Delete(const std::string& key);
+
+  // All keys with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // Registers a watcher on a key prefix. Watchers also receive
+  // kSessionExpired events (key = owner name) for any session expiry.
+  void Watch(const std::string& prefix, Watcher watcher);
+
+  size_t num_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::string owner;
+    SimTime last_heartbeat;
+    std::vector<std::string> ephemeral_keys;
+  };
+
+  void ArmExpiryCheck(SessionId session);
+  void ExpireSession(SessionId session);
+  void NotifyWatchers(const WatchEvent& event);
+
+  sim::Simulation* simulation_;
+  SimDuration session_timeout_;
+  SessionId next_session_ = 1;
+  std::unordered_map<SessionId, Session> sessions_;
+  std::map<std::string, std::pair<std::string, SessionId>> data_;
+  std::vector<std::pair<std::string, Watcher>> watchers_;
+};
+
+}  // namespace scalewall::discovery
+
+#endif  // SCALEWALL_DISCOVERY_DATASTORE_H_

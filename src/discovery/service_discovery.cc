@@ -1,0 +1,86 @@
+#include "discovery/service_discovery.h"
+
+#include <cmath>
+
+namespace scalewall::discovery {
+
+void ServiceDiscovery::Append(const Key& key, cluster::ServerId server) {
+  auto& versions = entries_[key];
+  versions.push_back(Version{server, simulation_->now(), ++publish_seq_});
+  if (static_cast<int>(versions.size()) > options_.max_versions) {
+    versions.erase(versions.begin());
+  }
+}
+
+void ServiceDiscovery::Publish(const std::string& service, uint32_t shard,
+                               cluster::ServerId server) {
+  Append(Key{service, shard}, server);
+}
+
+void ServiceDiscovery::Unpublish(const std::string& service, uint32_t shard) {
+  Append(Key{service, shard}, cluster::kInvalidServer);
+}
+
+SimDuration ServiceDiscovery::PropagationDelay(
+    uint64_t publish_seq, cluster::ServerId viewer) const {
+  // Deterministic per (publish, viewer): derive a private RNG stream.
+  Rng rng(HashCombine(HashCombine(seed_, HashInt(publish_seq)),
+                      HashInt(viewer)));
+  double mu = std::log(static_cast<double>(options_.hop_median));
+  double hop1 = rng.NextLognormal(mu, options_.hop_sigma);
+  double hop2 = rng.NextLognormal(mu, options_.hop_sigma);
+  return static_cast<SimDuration>(hop1 + hop2);
+}
+
+SimDuration ServiceDiscovery::SampleDelay(Rng& rng) const {
+  double mu = std::log(static_cast<double>(options_.hop_median));
+  double hop1 = rng.NextLognormal(mu, options_.hop_sigma);
+  double hop2 = rng.NextLognormal(mu, options_.hop_sigma);
+  return static_cast<SimDuration>(hop1 + hop2);
+}
+
+Result<cluster::ServerId> ServiceDiscovery::Resolve(
+    const std::string& service, uint32_t shard,
+    cluster::ServerId viewer) const {
+  auto it = entries_.find(Key{service, shard});
+  if (it == entries_.end() || it->second.empty()) {
+    return Status::NotFound("no mapping for " + service + "#" +
+                            std::to_string(shard));
+  }
+  const std::vector<Version>& versions = it->second;
+  SimTime now = simulation_->now();
+  // Walk from newest to oldest; take the newest fully-propagated version.
+  for (auto v = versions.rbegin(); v != versions.rend(); ++v) {
+    if (v->published_at + PropagationDelay(v->seq, viewer) <= now) {
+      if (v->server == cluster::kInvalidServer) {
+        return Status::NotFound("mapping removed for " + service + "#" +
+                                std::to_string(shard));
+      }
+      return v->server;
+    }
+  }
+  // Nothing has reached this viewer yet. If history was truncated, the
+  // oldest retained version is treated as fully propagated.
+  if (static_cast<int>(versions.size()) == options_.max_versions) {
+    if (versions.front().server == cluster::kInvalidServer) {
+      return Status::NotFound("mapping removed");
+    }
+    return versions.front().server;
+  }
+  return Status::NotFound("mapping not yet propagated to viewer");
+}
+
+Result<cluster::ServerId> ServiceDiscovery::ResolveAuthoritative(
+    const std::string& service, uint32_t shard) const {
+  auto it = entries_.find(Key{service, shard});
+  if (it == entries_.end() || it->second.empty()) {
+    return Status::NotFound("no mapping");
+  }
+  cluster::ServerId server = it->second.back().server;
+  if (server == cluster::kInvalidServer) {
+    return Status::NotFound("mapping removed");
+  }
+  return server;
+}
+
+}  // namespace scalewall::discovery

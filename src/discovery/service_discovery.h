@@ -1,0 +1,118 @@
+// ServiceDiscovery: an SMC-like shard->server mapping service (simulated).
+//
+// "Facebook's service discovery system is called Services Management
+// Configuration (SMC). Since service discovery is heavily used by
+// application clients and the number of clients can be large, SMC uses a
+// multi-level data distribution tree to cache and propagate this data.
+// However, this can add a small delay to how long it takes for clients to
+// learn about changes to shard assignment" (Section III-A). Figure 4c
+// measures that propagation delay (seconds).
+//
+// We keep the authoritative (root) mapping plus a bounded version history
+// per shard. Each publish propagates through a two-hop distribution tree;
+// the delay experienced by a given viewer host is a deterministic sample
+// keyed on (publish sequence, viewer), so per-host staleness is modeled
+// without materializing per-host caches. Resolution from a viewer host
+// returns the newest version whose propagation to that host has completed
+// — exactly the stale-read behaviour the graceful shard migration protocol
+// (Section IV-E) has to tolerate.
+
+#ifndef SCALEWALL_DISCOVERY_SERVICE_DISCOVERY_H_
+#define SCALEWALL_DISCOVERY_SERVICE_DISCOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/server.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "sim/simulation.h"
+
+namespace scalewall::discovery {
+
+struct ServiceDiscoveryOptions {
+  // Per-hop delay: lognormal with this median and sigma. Two hops (root ->
+  // distribution tier -> local proxy) yield the seconds-scale end-to-end
+  // delays of Figure 4c.
+  SimDuration hop_median = 900 * kMillisecond;
+  double hop_sigma = 0.55;
+  // Versions retained per shard; older versions are assumed fully
+  // propagated everywhere.
+  int max_versions = 8;
+};
+
+class ServiceDiscovery {
+ public:
+  ServiceDiscovery(sim::Simulation* simulation,
+                   ServiceDiscoveryOptions options = {})
+      : simulation_(simulation),
+        options_(options),
+        seed_(simulation->rng().Fork(/*stream=*/0x5AC0).Next()) {}
+
+  // Publishes (service, shard) -> server at the root. Propagation to local
+  // proxies completes host-by-host over the next seconds.
+  void Publish(const std::string& service, uint32_t shard,
+               cluster::ServerId server);
+
+  // Removes the mapping at the root (propagates like a publish).
+  void Unpublish(const std::string& service, uint32_t shard);
+
+  // Resolution as seen from `viewer` host's local proxy: newest version
+  // that has propagated to this viewer. NOT_FOUND if the viewer has not
+  // yet seen any mapping (or has seen the unpublish).
+  Result<cluster::ServerId> Resolve(const std::string& service,
+                                    uint32_t shard,
+                                    cluster::ServerId viewer) const;
+
+  // The authoritative root value (what SM server just wrote).
+  Result<cluster::ServerId> ResolveAuthoritative(const std::string& service,
+                                                 uint32_t shard) const;
+
+  // End-to-end propagation delay for publish `seq` to `viewer`. Exposed so
+  // experiments can sample the distribution (Figure 4c).
+  SimDuration PropagationDelay(uint64_t publish_seq,
+                               cluster::ServerId viewer) const;
+
+  // Draws one end-to-end delay sample using an external RNG (for plotting
+  // the model's distribution directly).
+  SimDuration SampleDelay(Rng& rng) const;
+
+  uint64_t publish_count() const { return publish_seq_; }
+
+ private:
+  struct Version {
+    cluster::ServerId server;  // kInvalidServer encodes an unpublish
+    SimTime published_at;
+    uint64_t seq;
+  };
+
+  struct Key {
+    std::string service;
+    uint32_t shard;
+    bool operator==(const Key& other) const {
+      return shard == other.shard && service == other.service;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          HashCombine(HashString(k.service), HashInt(k.shard)));
+    }
+  };
+
+  void Append(const Key& key, cluster::ServerId server);
+
+  sim::Simulation* simulation_;
+  ServiceDiscoveryOptions options_;
+  uint64_t seed_;
+  uint64_t publish_seq_ = 0;
+  std::unordered_map<Key, std::vector<Version>, KeyHash> entries_;
+};
+
+}  // namespace scalewall::discovery
+
+#endif  // SCALEWALL_DISCOVERY_SERVICE_DISCOVERY_H_

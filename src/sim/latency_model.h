@@ -1,0 +1,122 @@
+// Latency and failure models.
+//
+// The paper's scalability-wall model assumes "servers have a 0.01% chance
+// of failure at any given time" (Figures 1-2) and attributes the fan-out
+// latency blowup (Figure 5) to "non-deterministic sources of tail latency"
+// [Dean & Barroso, The Tail at Scale]. We model:
+//
+//  * per-request service latency: lognormal body with probability
+//    `tail_probability` of being replaced by a Pareto-tailed hiccup
+//    (GC pause, network retransmit, co-tenant interference);
+//  * per-request transient failure: Bernoulli with the per-host failure
+//    probability (the paper's p);
+//  * network hop latency: lognormal.
+//
+// All draws come from an Rng stream owned by the caller so experiments are
+// reproducible.
+
+#ifndef SCALEWALL_SIM_LATENCY_MODEL_H_
+#define SCALEWALL_SIM_LATENCY_MODEL_H_
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/time.h"
+
+namespace scalewall::sim {
+
+// Parameters of the per-request service latency distribution.
+struct LatencyModelOptions {
+  // Median of the lognormal body.
+  SimDuration median = 20 * kMillisecond;
+  // Lognormal sigma; ~0.3 gives a tight interactive-query distribution.
+  double sigma = 0.3;
+  // Probability a request hits a slow-path hiccup.
+  double tail_probability = 0.01;
+  // Pareto scale (minimum hiccup latency) and shape. Shape ~1.5 gives the
+  // heavy tail observed in production tail-latency studies.
+  SimDuration tail_scale = 200 * kMillisecond;
+  double tail_shape = 1.5;
+  // Hard cap so a single sample cannot run past any realistic timeout.
+  SimDuration max = 60 * kSecond;
+};
+
+// Draws per-request service latencies.
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelOptions options = {})
+      : options_(options), mu_(std::log(static_cast<double>(options.median))) {}
+
+  const LatencyModelOptions& options() const { return options_; }
+
+  // One service-latency sample.
+  SimDuration Sample(Rng& rng) const {
+    double v;
+    if (rng.NextBool(options_.tail_probability)) {
+      v = rng.NextPareto(static_cast<double>(options_.tail_scale),
+                         options_.tail_shape);
+    } else {
+      v = rng.NextLognormal(mu_, options_.sigma);
+    }
+    if (v > static_cast<double>(options_.max)) {
+      v = static_cast<double>(options_.max);
+    }
+    if (v < 1.0) v = 1.0;
+    return static_cast<SimDuration>(v);
+  }
+
+ private:
+  LatencyModelOptions options_;
+  double mu_;
+};
+
+// Parameters of a single network hop.
+struct NetworkModelOptions {
+  SimDuration median = 300;  // 300us intra-datacenter
+  double sigma = 0.25;
+  SimDuration cross_region_extra = 30 * kMillisecond;  // WAN RTT component
+};
+
+// Draws network hop latencies; cross-region hops add a WAN component.
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkModelOptions options = {})
+      : options_(options), mu_(std::log(static_cast<double>(options.median))) {}
+
+  SimDuration SampleHop(Rng& rng, bool cross_region = false) const {
+    double v = rng.NextLognormal(mu_, options_.sigma);
+    if (cross_region) v += static_cast<double>(options_.cross_region_extra);
+    if (v < 1.0) v = 1.0;
+    return static_cast<SimDuration>(v);
+  }
+
+ private:
+  NetworkModelOptions options_;
+  double mu_;
+};
+
+// Transient per-request failure model: each server touched by a request
+// independently fails it with probability p ("0.01% chance of failure at
+// any given instant"). This is the process behind Figures 1 and 2.
+class TransientFailureModel {
+ public:
+  explicit TransientFailureModel(double per_host_probability)
+      : p_(per_host_probability) {}
+
+  double probability() const { return p_; }
+
+  // True if this host fails the request.
+  bool Fails(Rng& rng) const { return rng.NextBool(p_); }
+
+  // Analytic probability that a query touching `fanout` hosts succeeds.
+  double AnalyticSuccess(int fanout) const {
+    return std::pow(1.0 - p_, fanout);
+  }
+
+ private:
+  double p_;
+};
+
+}  // namespace scalewall::sim
+
+#endif  // SCALEWALL_SIM_LATENCY_MODEL_H_

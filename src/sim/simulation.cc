@@ -1,0 +1,92 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace scalewall::sim {
+
+EventId Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  SCALEWALL_CHECK(when >= now_) << "scheduling into the past: " << when
+                                << " < " << now_;
+  EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulation::SchedulePeriodic(SimDuration initial_delay,
+                                     SimDuration period,
+                                     std::function<void()> fn) {
+  SCALEWALL_CHECK(period > 0) << "periodic event needs positive period";
+  EventId id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(fn)});
+  queue_.push(Event{now_ + initial_delay, next_seq_++, id});
+  // Periodic events keep their id across firings; the callback map entry
+  // is a trampoline that re-arms itself.
+  callbacks_.emplace(id, [] {});  // placeholder; Dispatch special-cases it.
+  return id;
+}
+
+void Simulation::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it != callbacks_.end()) {
+    callbacks_.erase(it);
+    ++stale_cancelled_;
+  }
+  periodics_.erase(id);
+}
+
+void Simulation::Dispatch(const Event& ev) {
+  auto pit = periodics_.find(ev.id);
+  if (pit != periodics_.end()) {
+    // Re-arm before running so the callback may Cancel() itself.
+    queue_.push(Event{now_ + pit->second.period, next_seq_++, ev.id});
+    ++events_executed_;
+    pit->second.fn();
+    return;
+  }
+  auto it = callbacks_.find(ev.id);
+  if (it == callbacks_.end()) {
+    // Cancelled.
+    if (stale_cancelled_ > 0) --stale_cancelled_;
+    return;
+  }
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++events_executed_;
+  fn();
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    // Skip cancelled one-shot events without advancing time for them...
+    // actually time must advance to the event's slot to stay monotonic.
+    bool is_periodic = periodics_.count(ev.id) > 0;
+    bool is_live = is_periodic || callbacks_.count(ev.id) > 0;
+    if (!is_live) {
+      if (stale_cancelled_ > 0) --stale_cancelled_;
+      continue;
+    }
+    now_ = ev.when;
+    Dispatch(ev);
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+}  // namespace scalewall::sim

@@ -1,0 +1,62 @@
+// AppServer: the endpoint contract an application implements to run under
+// Shard Manager.
+//
+// "Application Servers are fully responsible for implementing the business
+// logic of addShard() and dropShard() endpoints. On a stateful service,
+// the addShard() implementation would be responsible for discovering what
+// data needs to be recovered, where to recover it from, and the actual
+// recovery process" (Section III-A). The graceful-migration endpoints
+// prepareAddShard()/prepareDropShard() come from Section IV-E, and the
+// metric/capacity exports from Section III-A3.
+
+#ifndef SCALEWALL_SM_APP_SERVER_H_
+#define SCALEWALL_SM_APP_SERVER_H_
+
+#include <string_view>
+
+#include "cluster/server.h"
+#include "common/status.h"
+#include "sm/types.h"
+
+namespace scalewall::sm {
+
+class AppServer {
+ public:
+  virtual ~AppServer() = default;
+
+  // The cluster server this application instance runs on.
+  virtual cluster::ServerId server_id() const = 0;
+
+  // Takes ownership of `shard` in `role`. On a failover the application
+  // must recover the shard's data itself (e.g., Cubrick copies it from a
+  // healthy region). Returning kNonRetryable tells SM this server can
+  // never host this shard (e.g., it would create a shard collision) and
+  // that placement should be retried elsewhere.
+  virtual Status AddShard(ShardId shard, ShardRole role) = 0;
+
+  // Releases `shard`, dropping its data and metadata.
+  virtual Status DropShard(ShardId shard) = 0;
+
+  // Graceful migration, step 1: prepare to take over `shard` currently on
+  // `from` (copy data/metadata from the healthy old server). After this
+  // returns OK the server must be able to answer requests for the shard
+  // if they are forwarded by the old server.
+  virtual Status PrepareAddShard(ShardId shard, cluster::ServerId from) = 0;
+
+  // Graceful migration, step 2 (on the old server): start forwarding all
+  // requests for `shard` to `to`.
+  virtual Status PrepareDropShard(ShardId shard, cluster::ServerId to) = 0;
+
+  // Per-shard weight for the named load-balancing metric. Shards not
+  // hosted here report 0.
+  virtual double ShardLoad(ShardId shard, std::string_view metric) const = 0;
+
+  // Total capacity of this host for the named metric. "SM also allows
+  // application servers to periodically export (and change) the current
+  // capacity of a host" — SM re-reads this every balancing cycle.
+  virtual double Capacity(std::string_view metric) const = 0;
+};
+
+}  // namespace scalewall::sm
+
+#endif  // SCALEWALL_SM_APP_SERVER_H_

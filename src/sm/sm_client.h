@@ -1,0 +1,64 @@
+// SmClient: the client-side library used to reach application servers.
+//
+// "When required to interact with AS, AS clients need to provide a service
+// name and a shard number to SM Client library. SM Client library will
+// resolve the pair (service, shard) to a hostname by leveraging the
+// service discovery system SMC. SMC is backed by Zookeeper and cached by a
+// service running locally on every single server in the fleet" (Section
+// III-A). Resolution therefore happens against the *viewer host's* local
+// proxy view, which can be seconds stale after a migration (Figure 4c) —
+// callers must be prepared for kUnavailable and retry after re-resolving.
+
+#ifndef SCALEWALL_SM_SM_CLIENT_H_
+#define SCALEWALL_SM_SM_CLIENT_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "discovery/service_discovery.h"
+#include "sm/types.h"
+
+namespace scalewall::sm {
+
+class SmClient {
+ public:
+  // `viewer` is the host this client runs on (its local SMC proxy view);
+  // use cluster::kInvalidServer for an off-fleet client, which then sees
+  // the slowest-propagating view deterministically keyed to id 0.
+  SmClient(const discovery::ServiceDiscovery* service_discovery,
+           const cluster::Cluster* cluster, cluster::ServerId viewer)
+      : service_discovery_(service_discovery),
+        cluster_(cluster),
+        viewer_(viewer == cluster::kInvalidServer ? 0 : viewer) {}
+
+  // Resolves (service, shard) to the hosting server as visible from this
+  // client's local discovery proxy.
+  Result<cluster::ServerId> Resolve(const std::string& service,
+                                    ShardId shard) const {
+    return service_discovery_->Resolve(service, shard, viewer_);
+  }
+
+  // Resolves and additionally checks the target is currently serving;
+  // returns kUnavailable for mapped-but-dead servers so callers retry.
+  Result<cluster::ServerId> ResolveServing(const std::string& service,
+                                           ShardId shard) const {
+    auto result = Resolve(service, shard);
+    if (!result.ok()) return result;
+    if (!cluster_->Contains(*result) || !cluster_->Get(*result).IsServing()) {
+      return Status::Unavailable("shard " + std::to_string(shard) +
+                                 " mapped to dead server " +
+                                 std::to_string(*result));
+    }
+    return result;
+  }
+
+ private:
+  const discovery::ServiceDiscovery* service_discovery_;
+  const cluster::Cluster* cluster_;
+  cluster::ServerId viewer_;
+};
+
+}  // namespace scalewall::sm
+
+#endif  // SCALEWALL_SM_SM_CLIENT_H_

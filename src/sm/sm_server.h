@@ -1,0 +1,212 @@
+// SmServer: the central Shard Manager scheduler (Section III-A).
+//
+// One SmServer instance manages one service (Cubrick deploys three
+// independent primary-only services, one per region — Section IV-D). It:
+//
+//  * registers application servers and keeps a datastore session alive for
+//    each (the "SM library" heartbeat); session expiry triggers failover;
+//  * places shards on servers subject to capacity, health and spread
+//    constraints, retrying elsewhere when the application rejects a
+//    placement with a non-retryable error (shard collision, Section IV-A);
+//  * runs the periodic load balancer: collects per-shard metrics and host
+//    capacities from application servers and migrates shards from hot to
+//    cold hosts, throttled per run (Section III-A3);
+//  * executes graceful live shard migrations (prepareAddShard ->
+//    prepareDropShard -> addShard -> publish -> delayed dropShard,
+//    Section IV-E) and failovers (single addShard on the new server);
+//  * integrates with automation: draining servers have their shards
+//    migrated away gracefully (Section IV-G).
+
+#ifndef SCALEWALL_SM_SM_SERVER_H_
+#define SCALEWALL_SM_SM_SERVER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "discovery/datastore.h"
+#include "discovery/service_discovery.h"
+#include "sim/simulation.h"
+#include "sm/app_server.h"
+#include "sm/types.h"
+
+namespace scalewall::sm {
+
+struct SmServerOptions {
+  // Data-copy bandwidth used to model migration/recovery durations, in
+  // metric units (bytes) per second.
+  double copy_bandwidth_per_sec = 200e6;
+  // Latency of one control-plane step (endpoint call round trip).
+  SimDuration control_latency = 50 * kMillisecond;
+  // Grace period between addShard on the new server and dropShard on the
+  // old one: SMC's usual propagation delay, so clients drain off the old
+  // mapping before data disappears (Section IV-E).
+  SimDuration drop_delay = 10 * kSecond;
+  // How many alternative targets to try when placements are rejected
+  // (shard collisions can disqualify most of a region for wide tables).
+  int max_placement_attempts = 64;
+};
+
+class SmServer {
+ public:
+  // All pointers must outlive the SmServer. The datastore session timeout
+  // should exceed config.heartbeat_interval.
+  SmServer(sim::Simulation* simulation, cluster::Cluster* cluster,
+           discovery::Datastore* datastore,
+           discovery::ServiceDiscovery* service_discovery,
+           ServiceConfig config, SmServerOptions options = {});
+
+  SmServer(const SmServer&) = delete;
+  SmServer& operator=(const SmServer&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+  const std::string& service_name() const { return config_.name; }
+
+  // Registers the application server running on app->server_id(). Starts
+  // its heartbeat session. The AppServer must outlive this SmServer (or be
+  // unregistered first).
+  Status RegisterAppServer(AppServer* app);
+  void UnregisterAppServer(cluster::ServerId server);
+
+  // Starts periodic duties (load balancing). Registration and placement
+  // work without Start(); Start() arms the balancer clock.
+  void Start();
+
+  // Ensures `shard` has a full replica set placed; no-op when already
+  // assigned. This is the lazy-placement entry point used when tables are
+  // created.
+  Status EnsureShard(ShardId shard);
+
+  // Authoritative assignment (SM server view; clients should resolve via
+  // service discovery, which propagates with delay).
+  const ShardAssignment* GetAssignment(ShardId shard) const;
+  std::vector<ShardId> ShardsOnServer(cluster::ServerId server) const;
+  size_t num_assigned_shards() const { return assignments_.size(); }
+
+  // Reads the assignment persisted in the datastore ("Zookeeper is used
+  // to store SM server's persistent state", Section III-A) — what a
+  // restarted SM server would recover, and what tooling inspects.
+  Result<ShardAssignment> LoadPersistedAssignment(ShardId shard) const;
+
+  // Requests a graceful migration of one replica of `shard` off `from`
+  // (manual intervention entry point).
+  Status RequestMigration(ShardId shard, cluster::ServerId from,
+                          MigrationReason reason);
+
+  // Migrates everything off `server` gracefully (drain workflow).
+  void DrainServer(cluster::ServerId server);
+
+  // Runs one load-balancer pass; returns the number of migrations started.
+  int RunLoadBalancer();
+
+  // Current utilization (load/capacity) per registered, serving server,
+  // as measured with the configured metric.
+  std::map<cluster::ServerId, double> Utilization() const;
+
+  struct Stats {
+    int64_t placements = 0;
+    int64_t placement_rejections = 0;  // non-retryable AddShard refusals
+    int64_t live_migrations = 0;
+    int64_t failovers = 0;
+    int64_t lb_runs = 0;
+    int64_t lb_migrations = 0;
+    int64_t drain_migrations = 0;
+    int64_t aborted_migrations = 0;
+    // Simulated day index -> migrations started that day (Figure 4d).
+    std::map<int64_t, int> migrations_per_day;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct HostState {
+    AppServer* app = nullptr;
+    discovery::SessionId session = discovery::kInvalidSession;
+    sim::EventId heartbeat_task = 0;
+    std::set<ShardId> shards;  // replicas hosted here (any role)
+  };
+
+  struct Migration {
+    ShardId shard;
+    cluster::ServerId from;
+    cluster::ServerId to;
+    ShardRole role;
+    MigrationReason reason;
+    // Targets that already rejected this migration (shard collisions).
+    std::vector<cluster::ServerId> rejected;
+  };
+
+  // Eligible servers for hosting a new replica of `shard`, cheapest
+  // (lowest projected utilization) first.
+  std::vector<cluster::ServerId> RankedCandidates(
+      ShardId shard, const std::unordered_set<cluster::ServerId>& exclude,
+      double shard_load) const;
+
+  // True if adding a replica on `server` satisfies the spread constraint
+  // w.r.t. the shard's other replicas.
+  bool SpreadAllows(const ShardAssignment& assignment,
+                    cluster::ServerId server) const;
+
+  // Spread check for moving a replica from `from` to `to` (ignores the
+  // replica being moved).
+  bool SpreadAllowsMove(const ShardAssignment& assignment,
+                        cluster::ServerId from, cluster::ServerId to) const;
+
+  double ServerLoad(cluster::ServerId server) const;
+  double ServerCapacity(cluster::ServerId server) const;
+
+  // Replicas a fully-assigned shard carries under the configured model.
+  size_t RequiredReplicas() const {
+    return config_.replication == ReplicationModel::kPrimaryOnly
+               ? 1
+               : static_cast<size_t>(config_.replication_factor) + 1;
+  }
+
+  // Places one new replica; walks candidates until one accepts.
+  Result<cluster::ServerId> PlaceReplica(
+      ShardId shard, ShardRole role,
+      const std::unordered_set<cluster::ServerId>& exclude);
+
+  void StartGracefulMigration(const Migration& migration);
+  void MigrationPrepareStep(ShardId shard);
+  void ContinueMigrationCopy(ShardId shard);
+  void AbortMigration(ShardId shard);
+  void FailoverShardsOn(cluster::ServerId dead);
+  void FailoverReplica(ShardId shard, ShardRole role, cluster::ServerId dead);
+  void OnSessionExpired(cluster::ServerId server);
+  void PublishAssignment(ShardId shard);
+  void RecordMigrationStart(MigrationReason reason);
+
+  // Replica bookkeeping helpers.
+  void AttachReplica(ShardId shard, cluster::ServerId server, ShardRole role);
+  void DetachReplica(ShardId shard, cluster::ServerId server);
+
+  sim::Simulation* simulation_;
+  cluster::Cluster* cluster_;
+  discovery::Datastore* datastore_;
+  discovery::ServiceDiscovery* service_discovery_;
+  ServiceConfig config_;
+  SmServerOptions options_;
+  Rng rng_;
+
+  std::unordered_map<cluster::ServerId, HostState> hosts_;
+  std::unordered_map<ShardId, ShardAssignment> assignments_;
+  // In-flight graceful migrations keyed by shard; steps of the workflow
+  // abandon themselves when their entry disappears (cancellation).
+  std::unordered_map<ShardId, Migration> active_migrations_;
+  // Last observed per-shard weight (refreshed by the balancer's metric
+  // collection); used to model copy/recovery durations.
+  std::unordered_map<ShardId, double> shard_load_cache_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace scalewall::sm
+
+#endif  // SCALEWALL_SM_SM_SERVER_H_

@@ -1,0 +1,122 @@
+// Shard Manager core types: shard ids, roles, replication models, service
+// configuration (Section III-A).
+
+#ifndef SCALEWALL_SM_TYPES_H_
+#define SCALEWALL_SM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/server.h"
+#include "common/time.h"
+
+namespace scalewall::sm {
+
+// SM provides a flat key space for shards: [0..maxShards). A usual
+// deployment utilizes between 100k and 1M total shards (Section IV-A).
+using ShardId = uint32_t;
+inline constexpr ShardId kInvalidShard = static_cast<ShardId>(-1);
+
+// Roles a shard replica may play (Section III-A1).
+enum class ShardRole {
+  kPrimary,
+  kSecondary,
+};
+
+// Fault tolerance models supported by SM (Section III-A1).
+enum class ReplicationModel {
+  // Single replica per shard; no redundancy (replication factor zero).
+  kPrimaryOnly,
+  // One primary (writes + replication coordination) plus secondaries.
+  kPrimarySecondary,
+  // All replicas play the same role.
+  kSecondaryOnly,
+};
+
+// Failure domain granularity for replica spread (Section III-A1): replicas
+// of one shard must land in distinct domains of this kind.
+enum class SpreadDomain {
+  kServer,
+  kRack,
+  kRegion,
+};
+
+// One replica of a shard: which server hosts it and in which role.
+struct Replica {
+  cluster::ServerId server = cluster::kInvalidServer;
+  ShardRole role = ShardRole::kPrimary;
+
+  bool operator==(const Replica& other) const {
+    return server == other.server && role == other.role;
+  }
+};
+
+// Load-balancing knobs (Section III-A3).
+struct LoadBalancingConfig {
+  // Name of the application metric used as shard weight / server capacity.
+  // Cubrick's generations: "memory_footprint" (gen 1), "decompressed_size"
+  // (gen 2), "ssd_footprint" (gen 3).
+  std::string metric = "memory_footprint";
+  // How often the SM server collects metrics and runs the balancer.
+  SimDuration interval = 10 * kMinute;
+  // Max shard migrations allowed on a single load balancing run
+  // ("throttling load balancing migrations").
+  int max_migrations_per_run = 8;
+  // Balancer triggers when (max - min) server utilization exceeds this.
+  double imbalance_threshold = 0.10;
+  // Never place a shard on a server whose projected utilization would
+  // exceed this fraction of capacity.
+  double max_utilization = 0.95;
+};
+
+// Per-service configuration registered with the SM server.
+struct ServiceConfig {
+  std::string name;
+  // Size of the flat shard key space.
+  uint32_t max_shards = 100000;
+  ReplicationModel replication = ReplicationModel::kPrimaryOnly;
+  // Number of secondary replicas (0 => primary-only).
+  int replication_factor = 0;
+  SpreadDomain spread = SpreadDomain::kServer;
+  LoadBalancingConfig load_balancing;
+  // App-server heartbeat period; the datastore session timeout is a small
+  // multiple of this.
+  SimDuration heartbeat_interval = 5 * kSecond;
+  // Only place shards when first referenced (keeps 100k-shard key spaces
+  // cheap to simulate; unreferenced shards hold no data anyway).
+  bool lazy_placement = true;
+};
+
+// Assignment of one shard: all its current replicas.
+struct ShardAssignment {
+  ShardId shard = kInvalidShard;
+  std::vector<Replica> replicas;
+
+  const Replica* PrimaryReplica() const {
+    for (const Replica& r : replicas) {
+      if (r.role == ShardRole::kPrimary) return &r;
+    }
+    return nullptr;
+  }
+  bool HostedOn(cluster::ServerId server) const {
+    for (const Replica& r : replicas) {
+      if (r.server == server) return true;
+    }
+    return false;
+  }
+};
+
+// Reasons a shard migration can be triggered (Section IV-E).
+enum class MigrationReason {
+  kLoadBalancing,
+  kDrain,
+  kFailover,
+  kManual,
+};
+
+std::string_view MigrationReasonName(MigrationReason reason);
+
+}  // namespace scalewall::sm
+
+#endif  // SCALEWALL_SM_TYPES_H_

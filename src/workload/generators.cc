@@ -1,0 +1,139 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalewall::workload {
+
+cubrick::TableSchema MakeSchema(int dims, uint32_t cardinality,
+                                uint32_t range_size, int metrics) {
+  cubrick::TableSchema schema;
+  for (int d = 0; d < dims; ++d) {
+    schema.dimensions.push_back(cubrick::Dimension{
+        "dim" + std::to_string(d), cardinality, range_size});
+  }
+  for (int m = 0; m < metrics; ++m) {
+    schema.metrics.push_back(cubrick::Metric{"metric" + std::to_string(m)});
+  }
+  return schema;
+}
+
+cubrick::TableSchema AdEventsSchema() {
+  cubrick::TableSchema schema;
+  schema.dimensions = {
+      cubrick::Dimension{"day", 365, 16},
+      cubrick::Dimension{"country", 200, 32},
+      cubrick::Dimension{"platform", 8, 4},
+      cubrick::Dimension{"campaign", 4096, 512},
+  };
+  schema.metrics = {
+      cubrick::Metric{"impressions"},
+      cubrick::Metric{"clicks"},
+      cubrick::Metric{"spend"},
+  };
+  return schema;
+}
+
+std::vector<TableSpec> GenerateTablePopulation(
+    const TablePopulationOptions& options, Rng& rng) {
+  std::vector<TableSpec> tables;
+  tables.reserve(options.num_tables);
+  for (int i = 0; i < options.num_tables; ++i) {
+    double rows = rng.NextLognormal(options.log_mean, options.log_sigma);
+    uint64_t count = static_cast<uint64_t>(
+        std::min(rows, static_cast<double>(options.max_rows)));
+    if (count == 0) count = 1;
+    tables.push_back(
+        TableSpec{options.name_prefix + std::to_string(i), count});
+  }
+  return tables;
+}
+
+std::vector<cubrick::Row> GenerateRows(const cubrick::TableSchema& schema,
+                                       uint64_t count, Rng& rng,
+                                       RowGenOptions options) {
+  std::vector<cubrick::Row> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    cubrick::Row row;
+    row.dims.reserve(schema.dimensions.size());
+    for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+      const cubrick::Dimension& dim = schema.dimensions[d];
+      uint32_t v;
+      if (d == 0 && options.recency_skew && rng.NextBool(0.5)) {
+        // Half the rows land in the most recent 10% of the first
+        // dimension ("more recently loaded data is usually queried more
+        // frequently than old data").
+        uint32_t recent = std::max<uint32_t>(1, dim.cardinality / 10);
+        v = dim.cardinality - 1 -
+            static_cast<uint32_t>(rng.NextBounded(recent));
+      } else if (options.zipf_s > 0) {
+        v = static_cast<uint32_t>(
+            rng.NextZipf(dim.cardinality, options.zipf_s));
+      } else {
+        v = static_cast<uint32_t>(rng.NextBounded(dim.cardinality));
+      }
+      row.dims.push_back(v);
+    }
+    row.metrics.reserve(schema.metrics.size());
+    for (size_t m = 0; m < schema.metrics.size(); ++m) {
+      row.metrics.push_back(std::floor(rng.NextLognormal(2.0, 1.0)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+cubrick::Query GenerateQuery(const std::string& table,
+                             const cubrick::TableSchema& schema, Rng& rng,
+                             QueryGenOptions options) {
+  cubrick::Query query;
+  query.table = table;
+  for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+    if (!rng.NextBool(options.filter_probability)) continue;
+    const cubrick::Dimension& dim = schema.dimensions[d];
+    uint32_t lo;
+    uint32_t width;
+    if (options.recency_bias && d == 0) {
+      // Dashboards overwhelmingly query recent time ranges.
+      uint32_t recent = std::max<uint32_t>(
+          1, static_cast<uint32_t>(static_cast<double>(dim.cardinality) *
+                                   options.recency_fraction));
+      lo = dim.cardinality - recent;
+      width = recent - 1;
+    } else {
+      lo = static_cast<uint32_t>(rng.NextBounded(dim.cardinality));
+      width = static_cast<uint32_t>(
+          rng.NextBounded(std::max<uint32_t>(1, dim.cardinality / 4)));
+    }
+    uint32_t hi = std::min<uint64_t>(static_cast<uint64_t>(lo) + width,
+                                     dim.cardinality - 1);
+    query.filters.push_back(
+        cubrick::FilterRange{static_cast<int>(d), lo, hi});
+  }
+  if (rng.NextBool(options.group_by_probability)) {
+    query.group_by.push_back(static_cast<int>(
+        rng.NextBounded(schema.dimensions.size())));
+  }
+  int metric = schema.metrics.empty()
+                   ? 0
+                   : static_cast<int>(rng.NextBounded(schema.metrics.size()));
+  query.aggregations.push_back(cubrick::Aggregation{metric, cubrick::AggOp::kSum});
+  query.aggregations.push_back(cubrick::Aggregation{0, cubrick::AggOp::kCount});
+  return query;
+}
+
+cubrick::Query FixedProbeQuery(const std::string& table,
+                               const cubrick::TableSchema& schema) {
+  cubrick::Query query;
+  query.table = table;
+  const cubrick::Dimension& dim = schema.dimensions[0];
+  // A selective filter over the top quarter of the first dimension.
+  query.filters.push_back(cubrick::FilterRange{
+      0, dim.cardinality - std::max<uint32_t>(1, dim.cardinality / 4),
+      dim.cardinality - 1});
+  query.aggregations.push_back(cubrick::Aggregation{0, cubrick::AggOp::kSum});
+  return query;
+}
+
+}  // namespace scalewall::workload

@@ -1,0 +1,97 @@
+// Synthetic workload generators.
+//
+// The paper's evaluation runs against production workloads we cannot
+// ship: thousands of multi-tenant tables with a heavy-tailed size
+// distribution (Figure 4b), a skewed block-access pattern separating hot
+// and cold data (Figure 4e), and a fixed dashboard query fired every
+// 500 ms for a week (Figure 5). These generators produce the closest
+// synthetic equivalents, parameterized so benches can sweep them.
+
+#ifndef SCALEWALL_WORKLOAD_GENERATORS_H_
+#define SCALEWALL_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cubrick/query.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::workload {
+
+// --- schemas ---
+
+// A dashboard-style schema: `dims` dimensions with the given cardinality
+// and range size, `metrics` metric columns.
+cubrick::TableSchema MakeSchema(int dims, uint32_t cardinality,
+                                uint32_t range_size, int metrics);
+
+// The quickstart "ad events" schema used by examples: dimensions
+// (day, country, platform, campaign) and metrics (impressions, clicks,
+// spend).
+cubrick::TableSchema AdEventsSchema();
+
+// --- tables ---
+
+// Heavy-tailed multi-tenant table population: row counts drawn lognormal
+// so that "the vast majority of tables ... never hit the size threshold"
+// while ~10% repartition (Section IV-B).
+struct TablePopulationOptions {
+  int num_tables = 1000;
+  // exp(mu) is the median row count.
+  double log_mean = 8.5;
+  double log_sigma = 1.8;
+  uint64_t max_rows = 6000000;  // the paper caps dataset size (~1TB)
+  std::string name_prefix = "tenant_table_";
+};
+
+struct TableSpec {
+  std::string name;
+  uint64_t rows;
+};
+
+std::vector<TableSpec> GenerateTablePopulation(
+    const TablePopulationOptions& options, Rng& rng);
+
+// --- rows ---
+
+struct RowGenOptions {
+  // Zipf exponent for dimension-value skew (0 = uniform).
+  double zipf_s = 1.05;
+  // Fraction of rows concentrated in the most recent "day" dimension
+  // bucket when the schema's first dimension models time.
+  bool recency_skew = false;
+};
+
+// Generates `count` rows valid under `schema`.
+std::vector<cubrick::Row> GenerateRows(const cubrick::TableSchema& schema,
+                                       uint64_t count, Rng& rng,
+                                       RowGenOptions options = {});
+
+// --- queries ---
+
+struct QueryGenOptions {
+  // Probability a query carries a range filter on each dimension.
+  double filter_probability = 0.5;
+  // Probability of grouping by some dimension.
+  double group_by_probability = 0.5;
+  // With recency bias, filters concentrate on high dimension values
+  // (recent data), producing the hot/cold separation of Figure 4e.
+  bool recency_bias = false;
+  double recency_fraction = 0.2;  // filters target the top 20% of values
+};
+
+// A random dashboard aggregation over `table`.
+cubrick::Query GenerateQuery(const std::string& table,
+                             const cubrick::TableSchema& schema, Rng& rng,
+                             QueryGenOptions options = {});
+
+// The fixed "simple query" of the fan-out experiment (Figure 5): a global
+// SUM with one selective filter.
+cubrick::Query FixedProbeQuery(const std::string& table,
+                               const cubrick::TableSchema& schema);
+
+}  // namespace scalewall::workload
+
+#endif  // SCALEWALL_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,210 @@
+// Unit tests for the fleet model and the failure injector.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "sim/simulation.h"
+
+namespace scalewall::cluster {
+namespace {
+
+TEST(ClusterTest, BuildTopology) {
+  ClusterTopology topo;
+  topo.regions = 3;
+  topo.racks_per_region = 4;
+  topo.servers_per_rack = 5;
+  Cluster cluster = Cluster::Build(topo);
+  EXPECT_EQ(cluster.size(), 60u);
+  EXPECT_EQ(cluster.Regions().size(), 3u);
+  for (RegionId r : cluster.Regions()) {
+    EXPECT_EQ(cluster.ServersInRegion(r).size(), 20u);
+    EXPECT_EQ(cluster.HealthyServers(r).size(), 20u);
+  }
+}
+
+TEST(ClusterTest, RacksAreGlobal) {
+  Cluster cluster = Cluster::Build({.regions = 2,
+                                    .racks_per_region = 2,
+                                    .servers_per_rack = 2});
+  std::set<RackId> racks;
+  for (ServerId id : cluster.AllServers()) {
+    racks.insert(cluster.Get(id).rack);
+  }
+  EXPECT_EQ(racks.size(), 4u);  // rack ids unique across regions
+}
+
+TEST(ClusterTest, HealthTransitionsNotifyListeners) {
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 1,
+                                    .servers_per_rack = 2});
+  int notifications = 0;
+  ServerHealth last_new = ServerHealth::kHealthy;
+  cluster.AddHealthListener(
+      [&](ServerId, ServerHealth, ServerHealth new_health) {
+        ++notifications;
+        last_new = new_health;
+      });
+  EXPECT_TRUE(cluster.SetHealth(0, ServerHealth::kDown).ok());
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(last_new, ServerHealth::kDown);
+  // No-op transition does not notify.
+  EXPECT_TRUE(cluster.SetHealth(0, ServerHealth::kDown).ok());
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(ClusterTest, SetHealthUnknownServer) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.SetHealth(99, ServerHealth::kDown).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ClusterTest, ServingAndPlaceablePredicates) {
+  ServerInfo info;
+  info.health = ServerHealth::kHealthy;
+  EXPECT_TRUE(info.IsServing());
+  EXPECT_TRUE(info.IsPlaceable());
+  info.health = ServerHealth::kDraining;
+  EXPECT_TRUE(info.IsServing());
+  EXPECT_FALSE(info.IsPlaceable());
+  info.health = ServerHealth::kDown;
+  EXPECT_FALSE(info.IsServing());
+  info.health = ServerHealth::kRepairing;
+  EXPECT_FALSE(info.IsServing());
+}
+
+TEST(ClusterTest, RemoveRequiresDrainedOrDown) {
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 1,
+                                    .servers_per_rack = 2});
+  EXPECT_EQ(cluster.RemoveServer(0).code(), StatusCode::kFailedPrecondition);
+  cluster.SetHealth(0, ServerHealth::kDraining);
+  EXPECT_TRUE(cluster.RemoveServer(0).ok());
+  EXPECT_FALSE(cluster.Contains(0));
+  EXPECT_EQ(cluster.RemoveServer(0).code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterTest, HealthyServersExcludesUnhealthy) {
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 1,
+                                    .servers_per_rack = 4});
+  cluster.SetHealth(1, ServerHealth::kDown);
+  cluster.SetHealth(2, ServerHealth::kDraining);
+  auto healthy = cluster.HealthyServers(0);
+  EXPECT_EQ(healthy.size(), 2u);
+  EXPECT_EQ(cluster.ServersInRegion(0).size(), 4u);
+}
+
+TEST(ClusterTest, HostnamesEncodeRegion) {
+  Cluster cluster = Cluster::Build({.regions = 2,
+                                    .racks_per_region = 1,
+                                    .servers_per_rack = 1});
+  EXPECT_NE(cluster.Get(0).hostname.find("region0"), std::string::npos);
+  EXPECT_NE(cluster.Get(1).hostname.find("region1"), std::string::npos);
+}
+
+// --- failure injector ---
+
+TEST(FailureInjectorTest, PermanentFailuresAndRepairs) {
+  sim::Simulation sim(21);
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 10,
+                                    .servers_per_rack = 10});
+  FailureInjectorOptions options;
+  options.mean_time_between_failures = 10 * kDay;  // aggressive for test
+  options.mean_repair_time = 1 * kDay;
+  options.enable_drains = false;
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  sim.RunFor(14 * kDay);
+
+  // ~100 servers x 14 days / 10-day MTBF => on the order of 100+ failures.
+  EXPECT_GT(injector.total_permanent_failures(), 50);
+  EXPECT_LT(injector.total_permanent_failures(), 400);
+  // Per-day counts sum to the total.
+  int64_t sum = 0;
+  for (const auto& [day, count] : injector.repairs_per_day()) {
+    EXPECT_GE(day, 0);
+    EXPECT_LE(day, 14);
+    sum += count;
+  }
+  EXPECT_EQ(sum, injector.total_permanent_failures());
+  // Repairs bring servers back: most of the fleet should be healthy.
+  auto counts = cluster.HealthCounts();
+  EXPECT_GT(counts[ServerHealth::kHealthy], 80);
+}
+
+TEST(FailureInjectorTest, FailServerImmediate) {
+  sim::Simulation sim(3);
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 1,
+                                    .servers_per_rack = 2});
+  FailureInjectorOptions options;
+  options.enable_drains = false;
+  options.mean_time_between_failures = 10000 * kDay;  // no spontaneous ones
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  injector.FailServer(0);
+  EXPECT_EQ(cluster.Get(0).health, ServerHealth::kDown);
+  EXPECT_EQ(injector.total_permanent_failures(), 1);
+  // After the repair pipeline completes, the server is healthy again.
+  sim.RunFor(30 * kDay);
+  EXPECT_EQ(cluster.Get(0).health, ServerHealth::kHealthy);
+}
+
+TEST(FailureInjectorTest, DrainRackTakesRackOfflineTemporarily) {
+  sim::Simulation sim(3);
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 2,
+                                    .servers_per_rack = 3});
+  FailureInjectorOptions options;
+  options.enable_drains = false;
+  options.mean_time_between_failures = 10000 * kDay;
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  injector.DrainRack(/*rack=*/0, /*duration=*/2 * kHour);
+  int draining = 0;
+  for (ServerId id : cluster.AllServers()) {
+    if (cluster.Get(id).health == ServerHealth::kDraining) ++draining;
+  }
+  EXPECT_EQ(draining, 3);
+  sim.RunFor(3 * kHour);
+  EXPECT_EQ(cluster.HealthyServers(0).size(), 6u);
+}
+
+TEST(FailureInjectorTest, DrainRegionDisasterExercise) {
+  sim::Simulation sim(3);
+  Cluster cluster = Cluster::Build({.regions = 2,
+                                    .racks_per_region = 2,
+                                    .servers_per_rack = 2});
+  FailureInjectorOptions options;
+  options.enable_drains = false;
+  options.mean_time_between_failures = 10000 * kDay;
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  injector.DrainRegion(/*region=*/1, /*duration=*/1 * kHour);
+  EXPECT_EQ(cluster.HealthyServers(1).size(), 0u);
+  EXPECT_EQ(cluster.HealthyServers(0).size(), 4u);
+  sim.RunFor(2 * kHour);
+  EXPECT_EQ(cluster.HealthyServers(1).size(), 4u);
+}
+
+TEST(FailureInjectorTest, PlannedDrainsOccur) {
+  sim::Simulation sim(17);
+  Cluster cluster = Cluster::Build({.regions = 1,
+                                    .racks_per_region = 5,
+                                    .servers_per_rack = 5});
+  FailureInjectorOptions options;
+  options.mean_time_between_failures = 10000 * kDay;
+  options.mean_time_between_drains = 5 * kDay;
+  options.drain_duration = 1 * kHour;
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  sim.RunFor(10 * kDay);
+  EXPECT_GT(injector.total_drains(), 10);
+  // Drains are temporary: fleet largely healthy at the end.
+  EXPECT_GT(cluster.HealthyServers(0).size(), 20u);
+}
+
+}  // namespace
+}  // namespace scalewall::cluster

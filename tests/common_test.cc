@@ -1,0 +1,409 @@
+// Unit tests for the common module: Status/Result, Rng, hashing,
+// histograms, time formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace scalewall {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, RetryableTaxonomy) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::NonRetryable("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kUnavailable,
+        StatusCode::kNonRetryable, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kDeadlineExceeded,
+        StatusCode::kInternal, StatusCode::kPermissionDenied,
+        StatusCode::kCancelled}) {
+    EXPECT_NE(StatusCodeName(code), "UNKNOWN");
+    EXPECT_FALSE(StatusCodeName(code).empty());
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  SCALEWALL_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  SCALEWALL_ASSIGN_OR_RETURN(int doubled, Doubled(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, Macros) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+  auto ok = UsesAssignOrReturn(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_EQ(UsesAssignOrReturn(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(99);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.NextNormal(10.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextPareto(3.0, 1.5), 3.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(5);
+  const uint64_t n = 1000;
+  int rank0 = 0, total = 100000;
+  for (int i = 0; i < total; ++i) {
+    uint64_t r = rng.NextZipf(n, 1.1);
+    EXPECT_LT(r, n);
+    if (r == 0) ++rank0;
+  }
+  // Rank 0 must be far more likely than uniform (0.1%).
+  EXPECT_GT(rank0, total / 100);
+}
+
+TEST(RngTest, ZipfDegenerateCases) {
+  Rng rng(5);
+  EXPECT_EQ(rng.NextZipf(0, 1.1), 0u);
+  EXPECT_EQ(rng.NextZipf(1, 1.1), 0u);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng root(42);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  EXPECT_NE(a.Next(), b.Next());
+  // Forking is deterministic: same stream id -> same sequence.
+  Rng root2(42);
+  Rng a2 = root2.Fork(1);
+  Rng a3(42);
+  EXPECT_EQ(a3.Fork(1).Next(), a2.Next());
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- hashing ---
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(HashString("dim_users#0"), HashString("dim_users#0"));
+  EXPECT_NE(HashString("dim_users#0"), HashString("dim_users#1"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashTest, IntMixAvalanche) {
+  // Consecutive integers should map to very different values.
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(HashInt(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(ConsistentHashRingTest, EmptyRingReturnsEmpty) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.GetBucket("key"), "");
+}
+
+TEST(ConsistentHashRingTest, SingleBucketTakesAll) {
+  ConsistentHashRing ring;
+  ring.AddBucket("only");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.GetBucket("key" + std::to_string(i)), "only");
+  }
+}
+
+TEST(ConsistentHashRingTest, RemovalOnlyMovesAffectedKeys) {
+  ConsistentHashRing ring(128);
+  for (int b = 0; b < 10; ++b) ring.AddBucket("bucket" + std::to_string(b));
+  std::vector<std::string> before;
+  for (int i = 0; i < 1000; ++i) {
+    before.push_back(ring.GetBucket("key" + std::to_string(i)));
+  }
+  ring.RemoveBucket("bucket3");
+  int moved = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string now = ring.GetBucket("key" + std::to_string(i));
+    EXPECT_NE(now, "bucket3");
+    if (now != before[i]) {
+      ++moved;
+      EXPECT_EQ(before[i], "bucket3");  // only bucket3's keys moved
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHashRingTest, RoughlyBalanced) {
+  ConsistentHashRing ring(256);
+  const int buckets = 8;
+  for (int b = 0; b < buckets; ++b) {
+    ring.AddBucket("bucket" + std::to_string(b));
+  }
+  std::map<std::string, int> counts;
+  const int keys = 20000;
+  for (int i = 0; i < keys; ++i) {
+    counts[ring.GetBucket("key" + std::to_string(i))]++;
+  }
+  for (const auto& [bucket, count] : counts) {
+    EXPECT_GT(count, keys / buckets / 2) << bucket;
+    EXPECT_LT(count, keys / buckets * 2) << bucket;
+  }
+}
+
+// --- histogram ---
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.Quantile(0.5), 42.0, 1.0);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniform) {
+  Histogram h(0.5);
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.P50(), 5000, 150);
+  EXPECT_NEAR(h.P90(), 9000, 200);
+  EXPECT_NEAR(h.P99(), 9900, 250);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextLognormal(3.0, 1.0));
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombined) {
+  Histogram a, b, combined;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    double v1 = rng.NextLognormal(2.0, 0.5);
+    double v2 = rng.NextLognormal(4.0, 0.5);
+    a.Add(v1);
+    combined.Add(v1);
+    b.Add(v2);
+    combined.Add(v2);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.P50(), combined.P50(), combined.P50() * 0.02 + 1e-9);
+  EXPECT_NEAR(a.P99(), combined.P99(), combined.P99() * 0.02 + 1e-9);
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(HistogramTest, UnderflowCounted) {
+  Histogram h(/*min_value=*/1.0);
+  h.Add(0.001);
+  h.Add(10.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Quantile(0.0), 1.0);
+}
+
+TEST(RunningStatTest, Moments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 100; ++i) e.Add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(EwmaTest, SmoothsSpikes) {
+  Ewma e(0.1);
+  for (int i = 0; i < 50; ++i) e.Add(10.0);
+  e.Add(1000.0);  // one spike
+  EXPECT_LT(e.value(), 120.0);
+  EXPECT_GT(e.value(), 10.0);
+}
+
+// --- time ---
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(FromMillis(1.5), 1500);
+  EXPECT_EQ(FromSeconds(2.0), 2000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(ToMillis(kSecond), 1000.0);
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(1500), "1.50ms");
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2.00s");
+  EXPECT_EQ(FormatDuration(90 * kSecond), "1.5m");
+  EXPECT_EQ(FormatDuration(2 * kHour), "2.0h");
+  EXPECT_EQ(FormatDuration(3 * kDay), "3.0d");
+}
+
+}  // namespace
+}  // namespace scalewall

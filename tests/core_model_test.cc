@@ -1,0 +1,87 @@
+// Unit tests for the analytic scalability-wall model (Figures 1 and 2).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/scalability_model.h"
+
+namespace scalewall::core {
+namespace {
+
+TEST(ScalabilityModelTest, SuccessRatioBasics) {
+  EXPECT_DOUBLE_EQ(QuerySuccessRatio(0.0001, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QuerySuccessRatio(0.0, 1000), 1.0);
+  EXPECT_NEAR(QuerySuccessRatio(0.0001, 1), 0.9999, 1e-12);
+  EXPECT_NEAR(QuerySuccessRatio(0.0001, 100), 0.990049, 1e-5);
+  EXPECT_NEAR(QuerySuccessRatio(0.0001, 1000), 0.904833, 1e-5);
+}
+
+TEST(ScalabilityModelTest, SuccessRatioMonotoneInFanout) {
+  double prev = 1.1;
+  for (int n : {1, 2, 5, 10, 50, 100, 500, 1000, 5000}) {
+    double s = QuerySuccessRatio(0.0005, n);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ScalabilityModelTest, PaperHeadlineNumber) {
+  // "Assuming that servers have a 0.01% chance of failure at any given
+  // time, a system with 99% query success SLA will hit the scalability
+  // wall at about 100 servers" (Figure 1).
+  int wall = ScalabilityWall(0.0001, 0.99);
+  EXPECT_GE(wall, 95);
+  EXPECT_LE(wall, 105);
+}
+
+TEST(ScalabilityModelTest, WallShrinksWithWorseHardware) {
+  // Figure 2: higher failure probability -> earlier wall.
+  int wall_good = ScalabilityWall(0.00001, 0.99);
+  int wall_mid = ScalabilityWall(0.0001, 0.99);
+  int wall_bad = ScalabilityWall(0.001, 0.99);
+  EXPECT_GT(wall_good, wall_mid);
+  EXPECT_GT(wall_mid, wall_bad);
+  EXPECT_NEAR(static_cast<double>(wall_good) / wall_mid, 10.0, 1.0);
+}
+
+TEST(ScalabilityModelTest, WallEdgeCases) {
+  EXPECT_EQ(ScalabilityWall(0.0, 0.99), std::numeric_limits<int>::max());
+  EXPECT_EQ(ScalabilityWall(0.5, 1.0), 1);
+}
+
+TEST(ScalabilityModelTest, WallIsTight) {
+  // At the wall the SLA is violated; one server earlier it is not.
+  double p = 0.0001, sla = 0.99;
+  int wall = ScalabilityWall(p, sla);
+  EXPECT_LT(QuerySuccessRatio(p, wall), sla);
+  EXPECT_GE(QuerySuccessRatio(p, wall - 1), sla);
+}
+
+TEST(ScalabilityModelTest, RetriesRecoverSuccessRatio) {
+  // The proxy's cross-region retry (Section IV-D): three regions turn a
+  // 90% single-attempt success into ~99.9%.
+  EXPECT_NEAR(SuccessWithRetries(0.9, 3), 0.999, 1e-9);
+  EXPECT_DOUBLE_EQ(SuccessWithRetries(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(SuccessWithRetries(0.0, 3), 0.0);
+}
+
+TEST(ScalabilityModelTest, SuccessCurveShape) {
+  auto curve = SuccessCurve(0.0001, 10000, 40);
+  ASSERT_EQ(curve.size(), 40u);
+  EXPECT_EQ(curve.front().fanout, 1);
+  EXPECT_EQ(curve.back().fanout, 10000);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].fanout, curve[i - 1].fanout);
+    EXPECT_LT(curve[i].success_ratio, curve[i - 1].success_ratio);
+  }
+  EXPECT_NEAR(curve.back().success_ratio, 0.3679, 0.01);  // ~e^-1
+}
+
+TEST(ScalabilityModelTest, SuccessCurveDegenerateInputs) {
+  EXPECT_TRUE(SuccessCurve(0.0001, 0, 10).empty());
+  EXPECT_TRUE(SuccessCurve(0.0001, 100, 1).empty());
+}
+
+}  // namespace
+}  // namespace scalewall::core

@@ -1,0 +1,245 @@
+// Unit and property tests for the shard mapper (Section IV-A) and the
+// catalog / shard reverse index.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "cubrick/catalog.h"
+#include "cubrick/shard_mapper.h"
+#include "workload/generators.h"
+
+namespace scalewall::cubrick {
+namespace {
+
+TEST(ShardMapperTest, PartitionNameUsesHashSeparator) {
+  EXPECT_EQ(PartitionName("dim_users", 0), "dim_users#0");
+  EXPECT_EQ(PartitionName("dim_users", 3), "dim_users#3");
+}
+
+TEST(ShardMapperTest, HashPartitionZeroIsMonotonic) {
+  // "Cubrick's current shard mapping function hashes only partition zero,
+  // and monotonically increments the remaining partitions."
+  ShardMapper mapper(100000, ShardMappingStrategy::kHashPartitionZero);
+  sm::ShardId base = mapper.ShardFor("test_table", 0);
+  for (uint32_t p = 1; p < 60; ++p) {
+    EXPECT_EQ(mapper.ShardFor("test_table", p), (base + p) % 100000);
+  }
+}
+
+TEST(ShardMapperTest, HashPartitionZeroWrapsKeySpace) {
+  ShardMapper mapper(100, ShardMappingStrategy::kHashPartitionZero);
+  sm::ShardId base = mapper.ShardFor("t", 0);
+  EXPECT_EQ(mapper.ShardFor("t", 99), (base + 99) % 100);
+  EXPECT_LT(mapper.ShardFor("t", 99), 100u);
+}
+
+TEST(ShardMapperTest, ReplicaBasedMapsAllPartitionsToOneShard) {
+  ShardMapper mapper(100000, ShardMappingStrategy::kReplicaBased);
+  sm::ShardId shard = mapper.ShardFor("t", 0);
+  for (uint32_t p = 1; p < 16; ++p) {
+    EXPECT_EQ(mapper.ShardFor("t", p), shard);
+  }
+}
+
+TEST(ShardMapperTest, SaltRerollsBaseDeterministically) {
+  ShardMapper mapper(100000, ShardMappingStrategy::kHashPartitionZero);
+  sm::ShardId base0 = mapper.ShardFor("t", 0);
+  sm::ShardId base0_again = mapper.ShardFor("t", 0, 0);
+  EXPECT_EQ(base0, base0_again);  // salt 0 == production mapping
+  sm::ShardId base1 = mapper.ShardFor("t", 0, 1);
+  EXPECT_NE(base1, base0);
+  EXPECT_EQ(mapper.ShardFor("t", 0, 1), base1);  // deterministic
+  // Salted mappings stay monotonic within the table.
+  for (uint32_t p = 1; p < 8; ++p) {
+    EXPECT_EQ(mapper.ShardFor("t", p, 1), (base1 + p) % 100000);
+  }
+}
+
+TEST(ShardMapperTest, StrategyNames) {
+  EXPECT_EQ(ShardMappingStrategyName(ShardMappingStrategy::kNaiveHash),
+            "naive_hash");
+  EXPECT_EQ(
+      ShardMappingStrategyName(ShardMappingStrategy::kHashPartitionZero),
+      "hash_partition_zero");
+  EXPECT_EQ(ShardMappingStrategyName(ShardMappingStrategy::kReplicaBased),
+            "replica_based");
+}
+
+// Property: the production mapping prevents same-table collisions for any
+// table with <= maxShards partitions; the naive mapping does not.
+class MapperPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MapperPropertyTest, ProductionMappingHasNoSameTableCollisions) {
+  Rng rng(GetParam());
+  ShardMapper mapper(100000, ShardMappingStrategy::kHashPartitionZero);
+  for (int t = 0; t < 200; ++t) {
+    std::string table = "tbl_" + std::to_string(rng.Next() % 1000000);
+    uint32_t partitions = 1 + static_cast<uint32_t>(rng.NextBounded(64));
+    std::set<sm::ShardId> shards;
+    for (uint32_t p = 0; p < partitions; ++p) {
+      shards.insert(mapper.ShardFor(table, p));
+    }
+    EXPECT_EQ(shards.size(), partitions) << table;
+  }
+}
+
+TEST_P(MapperPropertyTest, NaiveMappingCollidesAtScale) {
+  Rng rng(GetParam());
+  // Small key space so collisions are frequent enough to observe.
+  ShardMapper mapper(1000, ShardMappingStrategy::kNaiveHash);
+  int tables_with_collision = 0;
+  for (int t = 0; t < 200; ++t) {
+    std::string table = "tbl_" + std::to_string(rng.Next() % 1000000);
+    std::set<sm::ShardId> shards;
+    for (uint32_t p = 0; p < 40; ++p) {
+      shards.insert(mapper.ShardFor(table, p));
+    }
+    if (shards.size() < 40) ++tables_with_collision;
+  }
+  // 40 partitions into 1000 shards: ~54% of tables collide (birthday).
+  EXPECT_GT(tables_with_collision, 50);
+}
+
+TEST_P(MapperPropertyTest, MappingIsUniformish) {
+  Rng rng(GetParam());
+  ShardMapper mapper(997, ShardMappingStrategy::kHashPartitionZero);
+  std::unordered_map<sm::ShardId, int> counts;
+  const int tables = 5000;
+  for (int t = 0; t < tables; ++t) {
+    counts[mapper.ShardFor("t" + std::to_string(rng.Next()), 0)]++;
+  }
+  int max_count = 0;
+  for (const auto& [shard, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Expected ~5 per shard; a badly skewed hash would pile up far more.
+  EXPECT_LT(max_count, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- catalog ---
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : catalog_(100000) {}
+  TableSchema Schema() { return workload::MakeSchema(2, 100, 10, 1); }
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, MappingSaltPersistsInMetadata) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema(), 8, /*mapping_salt=*/3).ok());
+  auto info = catalog_.GetTable("t");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->mapping_salt, 3u);
+  // Forward/reverse mappings agree under the salt.
+  auto shard = catalog_.ShardForPartition("t", 2);
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ(*shard, catalog_.mapper().ShardFor("t", 2, 3));
+  auto refs = catalog_.PartitionsForShard(*shard);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].partition, 2u);
+  // Repartition keeps the salt.
+  ASSERT_TRUE(catalog_.SetNumPartitions("t", 16).ok());
+  EXPECT_EQ(catalog_.GetTable("t")->mapping_salt, 3u);
+  EXPECT_EQ(*catalog_.ShardForPartition("t", 12),
+            catalog_.mapper().ShardFor("t", 12, 3));
+}
+
+TEST_F(CatalogTest, CreateUsesEightPartitionsByDefault) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema()).ok());
+  auto info = catalog_.GetTable("t");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_partitions, 8u);
+  EXPECT_TRUE(catalog_.HasTable("t"));
+  EXPECT_EQ(catalog_.num_tables(), 1u);
+}
+
+TEST_F(CatalogTest, CreateRejectsDuplicatesAndBadNames) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema()).ok());
+  EXPECT_EQ(catalog_.CreateTable("t", Schema()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog_.CreateTable("bad#name", Schema()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog_.CreateTable("", Schema()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog_.CreateTable("u", Schema(), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, DropTableCleansIndex) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema()).ok());
+  auto shards = catalog_.ShardsForTable("t");
+  ASSERT_EQ(shards.size(), 8u);
+  ASSERT_TRUE(catalog_.DropTable("t").ok());
+  EXPECT_FALSE(catalog_.HasTable("t"));
+  for (sm::ShardId shard : shards) {
+    EXPECT_TRUE(catalog_.PartitionsForShard(shard).empty());
+  }
+  EXPECT_EQ(catalog_.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, ReverseIndexMatchesForwardMapping) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema(), 16).ok());
+  for (uint32_t p = 0; p < 16; ++p) {
+    auto shard = catalog_.ShardForPartition("t", p);
+    ASSERT_TRUE(shard.ok());
+    auto refs = catalog_.PartitionsForShard(*shard);
+    ASSERT_EQ(refs.size(), 1u);
+    EXPECT_EQ(refs[0].table, "t");
+    EXPECT_EQ(refs[0].partition, p);
+  }
+}
+
+TEST_F(CatalogTest, ShardForPartitionBoundsChecked) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema()).ok());
+  EXPECT_EQ(catalog_.ShardForPartition("t", 8).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog_.ShardForPartition("nope", 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, SetNumPartitionsReindexes) {
+  ASSERT_TRUE(catalog_.CreateTable("t", Schema(), 8).ok());
+  auto old_shards = catalog_.ShardsForTable("t");
+  ASSERT_TRUE(catalog_.SetNumPartitions("t", 16).ok());
+  auto new_shards = catalog_.ShardsForTable("t");
+  EXPECT_EQ(new_shards.size(), 16u);
+  // Monotonic mapping: the first 8 shards are unchanged.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(new_shards[i], old_shards[i]);
+  // The reverse index covers exactly the new partitions.
+  int indexed = 0;
+  for (sm::ShardId shard : new_shards) {
+    indexed += static_cast<int>(catalog_.PartitionsForShard(shard).size());
+  }
+  EXPECT_EQ(indexed, 16);
+}
+
+TEST_F(CatalogTest, CrossTablePartitionCollisionsShareShard) {
+  // Force a collision with the naive strategy on a tiny key space.
+  Catalog catalog(4, ShardMappingStrategy::kNaiveHash);
+  ASSERT_TRUE(catalog.CreateTable("a", Schema(), 4).ok());
+  ASSERT_TRUE(catalog.CreateTable("b", Schema(), 4).ok());
+  // 8 partitions in 4 shards: every shard carries two refs.
+  int total = 0;
+  for (sm::ShardId shard = 0; shard < 4; ++shard) {
+    total += static_cast<int>(catalog.PartitionsForShard(shard).size());
+  }
+  EXPECT_EQ(total, 8);
+}
+
+TEST_F(CatalogTest, TableNamesSorted) {
+  catalog_.CreateTable("zeta", Schema());
+  catalog_.CreateTable("alpha", Schema());
+  auto names = catalog_.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace scalewall::cubrick

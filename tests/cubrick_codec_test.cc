@@ -1,0 +1,168 @@
+// Unit and property tests for the columnar codecs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "cubrick/codec.h"
+
+namespace scalewall::cubrick {
+namespace {
+
+TEST(VarintTest, Roundtrip32EdgeValues) {
+  std::vector<uint8_t> buf;
+  std::vector<uint32_t> values{0, 1, 127, 128, 16383, 16384,
+                               std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : values) PutVarint32(buf, v);
+  size_t pos = 0;
+  for (uint32_t v : values) {
+    auto got = GetVarint32(buf, pos);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, Roundtrip64EdgeValues) {
+  std::vector<uint8_t> buf;
+  std::vector<uint64_t> values{0, 1, 127, 128, (1ULL << 35),
+                               std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) PutVarint64(buf, v);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    auto got = GetVarint64(buf, pos);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::vector<uint8_t> buf;
+  PutVarint32(buf, 1 << 20);
+  buf.pop_back();
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint32(buf, pos).ok());
+}
+
+TEST(DimCodecTest, RoundtripEmpty) {
+  auto encoded = EncodeDimColumn({});
+  auto decoded = DecodeDimColumn(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(DimCodecTest, RoundtripSimple) {
+  std::vector<uint32_t> values{5, 5, 5, 7, 0, 0, 42};
+  auto decoded = DecodeDimColumn(EncodeDimColumn(values));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(DimCodecTest, RleCompressesRuns) {
+  std::vector<uint32_t> values(10000, 3);  // one long run
+  auto encoded = EncodeDimColumn(values);
+  EXPECT_LT(encoded.size(), 16u);
+}
+
+TEST(DimCodecTest, CorruptInputFails) {
+  std::vector<uint8_t> garbage{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(DecodeDimColumn(garbage).ok());
+}
+
+TEST(MetricCodecTest, RoundtripEmpty) {
+  auto decoded = DecodeMetricColumn(EncodeMetricColumn({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(MetricCodecTest, RoundtripSpecialValues) {
+  std::vector<double> values{0.0, -0.0, 1.0, -1.5,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             1e308, -1e-308};
+  auto decoded = DecodeMetricColumn(EncodeMetricColumn(values));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*decoded)[i], values[i]) << i;
+  }
+}
+
+TEST(MetricCodecTest, RepeatedValuesCompressWell) {
+  std::vector<double> values(10000, 123.456);
+  auto encoded = EncodeMetricColumn(values);
+  // XOR-prev collapses repeats to 1 byte each (+header).
+  EXPECT_LT(encoded.size(), values.size() * 2);
+}
+
+TEST(MetricCodecTest, TruncatedFails) {
+  std::vector<double> values{1.0, 2.0, 3.0};
+  auto encoded = EncodeMetricColumn(values);
+  encoded.resize(encoded.size() / 2);
+  EXPECT_FALSE(DecodeMetricColumn(encoded).ok());
+}
+
+// Property sweep: random columns of several shapes roundtrip exactly.
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, DimRoundtripRandom) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = rng.NextBounded(2000);
+    uint32_t cardinality = 1 + static_cast<uint32_t>(rng.NextBounded(1000));
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) {
+      v = static_cast<uint32_t>(rng.NextBounded(cardinality));
+    }
+    auto decoded = DecodeDimColumn(EncodeDimColumn(values));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, values);
+  }
+}
+
+TEST_P(CodecPropertyTest, MetricRoundtripRandom) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = rng.NextBounded(2000);
+    std::vector<double> values(n);
+    for (auto& v : values) {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          v = rng.NextNormal(0, 1e6);
+          break;
+        case 1:
+          v = std::floor(rng.NextLognormal(3, 2));
+          break;
+        default:
+          v = static_cast<double>(rng.Next());
+          break;
+      }
+    }
+    auto decoded = DecodeMetricColumn(EncodeMetricColumn(values));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_DOUBLE_EQ((*decoded)[i], values[i]);
+    }
+  }
+}
+
+TEST_P(CodecPropertyTest, ZipfColumnsCompress) {
+  Rng rng(GetParam());
+  std::vector<uint32_t> values(20000);
+  for (auto& v : values) {
+    v = static_cast<uint32_t>(rng.NextZipf(64, 1.3));
+  }
+  std::sort(values.begin(), values.end());  // clustered, like brick columns
+  auto encoded = EncodeDimColumn(values);
+  EXPECT_LT(encoded.size(), values.size() * sizeof(uint32_t) / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace scalewall::cubrick

@@ -1,0 +1,252 @@
+// Unit tests for ExecuteDistributed (the query-coordinator role) and a
+// parameterized sweep over the proxy's coordinator-location strategies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "core/deployment.h"
+#include "cubrick/coordinator.h"
+#include "cubrick/server.h"
+#include "discovery/service_discovery.h"
+#include "sim/simulation.h"
+#include "workload/generators.h"
+
+namespace scalewall::cubrick {
+namespace {
+
+class MapDirectory : public ServerDirectory {
+ public:
+  void Add(CubrickServer* server) { servers_[server->server_id()] = server; }
+  CubrickServer* Lookup(cluster::ServerId id) const override {
+    auto it = servers_.find(id);
+    return it == servers_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<cluster::ServerId, CubrickServer*> servers_;
+};
+
+// A hand-wired single-region setup: 4 servers, one 4-partition table with
+// one partition per server, authoritative discovery mappings.
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  CoordinatorTest()
+      : sim_(71),
+        cluster_(cluster::Cluster::Build({.regions = 1,
+                                          .racks_per_region = 1,
+                                          .servers_per_rack = 5})),
+        sd_(&sim_),
+        catalog_(1000) {
+    schema_ = workload::MakeSchema(2, 64, 8, 1);
+    catalog_.CreateTable("t", schema_, /*initial_partitions=*/4);
+    for (cluster::ServerId id : cluster_.AllServers()) {
+      servers_.push_back(std::make_unique<CubrickServer>(
+          &sim_, &cluster_, &catalog_, id, CubrickServerOptions{}));
+      servers_.back()->SetDirectory(&directory_);
+      directory_.Add(servers_.back().get());
+    }
+    Rng rng(5);
+    rows_ = workload::GenerateRows(schema_, 400, rng);
+    for (uint32_t p = 0; p < 4; ++p) {
+      sm::ShardId shard = *catalog_.ShardForPartition("t", p);
+      servers_[p]->AddShard(shard, sm::ShardRole::kPrimary);
+      sd_.Publish("svc", shard, p);
+      // Round-robin rows across partitions for the test.
+      std::vector<Row> bucket;
+      for (size_t i = p; i < rows_.size(); i += 4) bucket.push_back(rows_[i]);
+      servers_[p]->InsertRows("t", p, bucket);
+    }
+    sim_.RunFor(1 * kMinute);  // discovery propagation
+
+    context_.region = 0;
+    context_.service = "svc";
+    context_.simulation = &sim_;
+    context_.cluster = &cluster_;
+    context_.catalog = &catalog_;
+    context_.directory = &directory_;
+    context_.discovery = &sd_;
+    context_.failure_model = sim::TransientFailureModel(0.0);
+  }
+
+  Query CountQuery() {
+    Query q;
+    q.table = "t";
+    q.aggregations = {Aggregation{0, AggOp::kCount}};
+    return q;
+  }
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  discovery::ServiceDiscovery sd_;
+  Catalog catalog_;
+  MapDirectory directory_;
+  std::vector<std::unique_ptr<CubrickServer>> servers_;
+  std::vector<Row> rows_;
+  TableSchema schema_;
+  RegionContext context_;
+};
+
+TEST_F(CoordinatorTest, MergesAllPartials) {
+  Rng rng(1);
+  DistributedOutcome outcome =
+      ExecuteDistributed(context_, CountQuery(), /*coordinator=*/0, rng);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+  EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, AggOp::kCount), 400.0);
+  EXPECT_EQ(outcome.fanout, 4);
+  EXPECT_EQ(outcome.num_partitions, 4u);
+  EXPECT_GT(outcome.latency, 0);
+}
+
+TEST_F(CoordinatorTest, UnknownTableFails) {
+  Query q = CountQuery();
+  q.table = "ghost";
+  Rng rng(1);
+  EXPECT_EQ(ExecuteDistributed(context_, q, 0, rng).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CoordinatorTest, InvalidQueryRejectedBeforeFanout) {
+  Query q = CountQuery();
+  q.filters = {FilterRange{7, 0, 1}};
+  Rng rng(1);
+  EXPECT_EQ(ExecuteDistributed(context_, q, 0, rng).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, DeadCoordinatorUnavailable) {
+  cluster_.SetHealth(0, cluster::ServerHealth::kDown);
+  Rng rng(1);
+  EXPECT_EQ(ExecuteDistributed(context_, CountQuery(), 0, rng).status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(CoordinatorTest, DeadPartitionHostFailsRegionAttempt) {
+  cluster_.SetHealth(2, cluster::ServerHealth::kDown);
+  Rng rng(1);
+  DistributedOutcome outcome =
+      ExecuteDistributed(context_, CountQuery(), 0, rng);
+  // "all table partitions required by the query are required to be
+  // available within that region": the attempt fails, retryable.
+  EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(outcome.status.IsRetryable());
+}
+
+TEST_F(CoordinatorTest, TransientFailureReportsFailedServer) {
+  context_.failure_model = sim::TransientFailureModel(1.0);  // always fail
+  Rng rng(1);
+  DistributedOutcome outcome =
+      ExecuteDistributed(context_, CountQuery(), 0, rng);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(outcome.failed_server, cluster::kInvalidServer);
+}
+
+TEST_F(CoordinatorTest, ForwardedPartitionsStillAnswer) {
+  // Move partition 1's shard from server 1 to the spare server 4
+  // manually, leaving server 1 in the forwarding window (discovery still
+  // points at it). Server 0 would refuse: it already holds t#0 (shard
+  // collision).
+  sm::ShardId shard = *catalog_.ShardForPartition("t", 1);
+  EXPECT_EQ(servers_[0]->PrepareAddShard(shard, 1).code(),
+            StatusCode::kNonRetryable);
+  ASSERT_TRUE(servers_[4]->PrepareAddShard(shard, 1).ok());
+  ASSERT_TRUE(servers_[1]->PrepareDropShard(shard, 4).ok());
+  ASSERT_TRUE(servers_[4]->AddShard(shard, sm::ShardRole::kPrimary).ok());
+  // Discovery deliberately not updated: clients resolve to server 1,
+  // which forwards.
+  Rng rng(1);
+  DistributedOutcome outcome =
+      ExecuteDistributed(context_, CountQuery(), 2, rng);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+  EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, AggOp::kCount), 400.0);
+  EXPECT_GT(servers_[1]->stats().forwarded_requests, 0);
+}
+
+TEST_F(CoordinatorTest, GroupByMergedAcrossPartitions) {
+  Query q = CountQuery();
+  q.group_by = {1};
+  Rng rng(1);
+  DistributedOutcome outcome = ExecuteDistributed(context_, q, 0, rng);
+  ASSERT_TRUE(outcome.status.ok());
+  std::map<uint32_t, double> expected;
+  for (const Row& r : rows_) expected[r.dims[1]] += 1;
+  ASSERT_EQ(outcome.result.num_groups(), expected.size());
+  for (const auto& [key, count] : expected) {
+    EXPECT_DOUBLE_EQ(*outcome.result.Value({key}, 0, AggOp::kCount), count);
+  }
+}
+
+// --- coordinator-location strategy sweep through the proxy ---
+
+class StrategySweepTest
+    : public ::testing::TestWithParam<CoordinatorStrategy> {};
+
+TEST_P(StrategySweepTest, BalancedOrConcentratedAsDocumented) {
+  core::DeploymentOptions options;
+  options.seed = 31;
+  options.topology.regions = 1;
+  options.topology.racks_per_region = 4;
+  options.topology.servers_per_rack = 4;
+  options.max_shards = 5000;
+  options.per_host_failure_probability = 0.0;  // isolate strategy effects
+  options.proxy_options.strategy = GetParam();
+  core::Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema).ok());
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 1000, rng));
+  // Generous warmup: discovery propagation has a long tail (Figure 4c)
+  // and there is only one region here, so no retry can mask a stale view.
+  dep.RunFor(60 * kSecond);
+
+  cubrick::Query q;
+  q.table = "t";
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kCount}};
+  const int n = 400;
+  int ok = 0;
+  for (int i = 0; i < n; ++i) {
+    if (dep.Query(q).status.ok()) ++ok;
+    dep.RunFor(50 * kMillisecond);
+  }
+  EXPECT_EQ(ok, n);  // every strategy answers correctly
+
+  const cubrick::CubrickProxy::Stats& stats = dep.proxy().stats();
+  int64_t max_picks = 0;
+  for (const auto& [server, picks] : stats.coordinator_picks) {
+    max_picks = std::max(max_picks, picks);
+  }
+  if (GetParam() == CoordinatorStrategy::kPartitionZero) {
+    // All picks land on partition 0's host.
+    EXPECT_EQ(stats.coordinator_picks.size(), 1u);
+    EXPECT_EQ(max_picks, n);
+  } else {
+    // Balanced: spread over the table's 8 partition hosts.
+    EXPECT_GT(stats.coordinator_picks.size(), 4u);
+    EXPECT_LT(max_picks, n / 2);
+  }
+  if (GetParam() == CoordinatorStrategy::kForwardFromZero) {
+    EXPECT_EQ(stats.extra_hops, n);
+  } else {
+    EXPECT_EQ(stats.extra_hops, 0);
+  }
+  if (GetParam() == CoordinatorStrategy::kLookupThenRandom) {
+    EXPECT_EQ(stats.extra_roundtrips, n);
+  } else if (GetParam() == CoordinatorStrategy::kCachedRandom) {
+    EXPECT_EQ(stats.extra_roundtrips, 1);  // cold cache only
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategySweepTest,
+    ::testing::Values(CoordinatorStrategy::kPartitionZero,
+                      CoordinatorStrategy::kForwardFromZero,
+                      CoordinatorStrategy::kLookupThenRandom,
+                      CoordinatorStrategy::kCachedRandom),
+    [](const ::testing::TestParamInfo<CoordinatorStrategy>& info) {
+      return std::string(CoordinatorStrategyName(info.param));
+    });
+
+}  // namespace
+}  // namespace scalewall::cubrick

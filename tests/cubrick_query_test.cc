@@ -1,0 +1,185 @@
+// Unit tests for query validation, aggregation states, and result merging
+// (the coordinator's partial-result merge, Section IV-C).
+
+#include <gtest/gtest.h>
+
+#include "cubrick/query.h"
+#include "cubrick/schema.h"
+
+namespace scalewall::cubrick {
+namespace {
+
+TableSchema Schema() {
+  TableSchema schema;
+  schema.dimensions = {Dimension{"d0", 10, 2}, Dimension{"d1", 10, 2}};
+  schema.metrics = {Metric{"m0"}};
+  return schema;
+}
+
+TEST(SchemaTest, ValidateAcceptsGoodSchema) {
+  EXPECT_TRUE(Schema().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsBadSchemas) {
+  TableSchema empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  TableSchema zero_card = Schema();
+  zero_card.dimensions[0].cardinality = 0;
+  EXPECT_FALSE(zero_card.Validate().ok());
+
+  TableSchema zero_range = Schema();
+  zero_range.dimensions[0].range_size = 0;
+  EXPECT_FALSE(zero_range.Validate().ok());
+
+  TableSchema dup = Schema();
+  dup.metrics.push_back(Metric{"d0"});
+  EXPECT_FALSE(dup.Validate().ok());
+
+  TableSchema hash = Schema();
+  hash.dimensions[0].name = "bad#name";
+  EXPECT_FALSE(hash.Validate().ok());
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  TableSchema schema = Schema();
+  EXPECT_EQ(schema.DimensionIndex("d1"), 1);
+  EXPECT_EQ(schema.DimensionIndex("nope"), -1);
+  EXPECT_EQ(schema.MetricIndex("m0"), 0);
+  EXPECT_EQ(schema.MetricIndex("d0"), -1);
+}
+
+TEST(QueryValidateTest, CatchesBadIndices) {
+  TableSchema schema = Schema();
+  Query q;
+  q.table = "t";
+  q.aggregations = {Aggregation{0, AggOp::kSum}};
+  EXPECT_TRUE(q.Validate(schema).ok());
+
+  Query bad_filter = q;
+  bad_filter.filters = {FilterRange{2, 0, 1}};
+  EXPECT_FALSE(bad_filter.Validate(schema).ok());
+
+  Query inverted = q;
+  inverted.filters = {FilterRange{0, 5, 1}};
+  EXPECT_FALSE(inverted.Validate(schema).ok());
+
+  Query bad_group = q;
+  bad_group.group_by = {7};
+  EXPECT_FALSE(bad_group.Validate(schema).ok());
+
+  Query bad_metric = q;
+  bad_metric.aggregations = {Aggregation{3, AggOp::kSum}};
+  EXPECT_FALSE(bad_metric.Validate(schema).ok());
+
+  Query no_aggs = q;
+  no_aggs.aggregations.clear();
+  EXPECT_FALSE(no_aggs.Validate(schema).ok());
+
+  // COUNT ignores the metric index.
+  Query count_any = q;
+  count_any.aggregations = {Aggregation{99, AggOp::kCount}};
+  EXPECT_TRUE(count_any.Validate(schema).ok());
+}
+
+TEST(AggStateTest, FinalizeAllOps) {
+  AggState s;
+  for (double v : {4.0, 1.0, 7.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggOp::kSum), 12.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggOp::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggOp::kMin), 1.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggOp::kMax), 7.0);
+  EXPECT_DOUBLE_EQ(s.Finalize(AggOp::kAvg), 4.0);
+}
+
+TEST(AggStateTest, EmptyAvgIsZero) {
+  AggState s;
+  EXPECT_DOUBLE_EQ(s.Finalize(AggOp::kAvg), 0.0);
+}
+
+TEST(AggStateTest, MergeEqualsCombinedStream) {
+  AggState a, b, combined;
+  for (double v : {1.0, 2.0, 3.0}) {
+    a.Add(v);
+    combined.Add(v);
+  }
+  for (double v : {10.0, -5.0}) {
+    b.Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  for (AggOp op : {AggOp::kSum, AggOp::kCount, AggOp::kMin, AggOp::kMax,
+                   AggOp::kAvg}) {
+    EXPECT_DOUBLE_EQ(a.Finalize(op), combined.Finalize(op));
+  }
+}
+
+TEST(QueryResultTest, AccumulateAndValue) {
+  QueryResult r(2);
+  r.Accumulate({1}, 0, 5.0);
+  r.Accumulate({1}, 0, 3.0);
+  r.Accumulate({1}, 1, 1.0);
+  r.Accumulate({2}, 0, 7.0);
+  EXPECT_EQ(r.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(*r.Value({1}, 0, AggOp::kSum), 8.0);
+  EXPECT_DOUBLE_EQ(*r.Value({2}, 0, AggOp::kSum), 7.0);
+  EXPECT_EQ(r.Value({3}, 0, AggOp::kSum).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(r.Value({1}, 5, AggOp::kSum).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryResultTest, MergePartialResults) {
+  // Two "partitions" each contribute partials; merge must equal a single
+  // pass over all data.
+  QueryResult p1(1), p2(1), merged(1), reference(1);
+  p1.Accumulate({0}, 0, 1.0);
+  p1.Accumulate({1}, 0, 2.0);
+  p2.Accumulate({1}, 0, 3.0);
+  p2.Accumulate({2}, 0, 4.0);
+  for (double v : {1.0}) reference.Accumulate({0}, 0, v);
+  for (double v : {2.0, 3.0}) reference.Accumulate({1}, 0, v);
+  for (double v : {4.0}) reference.Accumulate({2}, 0, v);
+
+  merged.Merge(p1);
+  merged.Merge(p2);
+  EXPECT_EQ(merged.num_groups(), reference.num_groups());
+  for (const auto& [key, states] : reference.groups()) {
+    EXPECT_DOUBLE_EQ(*merged.Value(key, 0, AggOp::kSum),
+                     states[0].Finalize(AggOp::kSum));
+    EXPECT_DOUBLE_EQ(*merged.Value(key, 0, AggOp::kMin),
+                     states[0].Finalize(AggOp::kMin));
+  }
+}
+
+TEST(QueryResultTest, MergeAccumulatesDiagnostics) {
+  QueryResult a(1), b(1);
+  a.rows_scanned = 10;
+  a.bricks_scanned = 2;
+  b.rows_scanned = 5;
+  b.bricks_pruned = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.rows_scanned, 15);
+  EXPECT_EQ(a.bricks_scanned, 2);
+  EXPECT_EQ(a.bricks_pruned, 3);
+}
+
+TEST(QueryResultTest, MergeIntoEmptyAdoptsShape) {
+  QueryResult empty(0);
+  QueryResult other(2);
+  other.Accumulate({}, 1, 3.0);
+  empty.Merge(other);
+  EXPECT_EQ(empty.num_aggregations(), 2u);
+  EXPECT_DOUBLE_EQ(*empty.Value({}, 1, AggOp::kSum), 3.0);
+}
+
+TEST(AggOpTest, Names) {
+  EXPECT_EQ(AggOpName(AggOp::kSum), "SUM");
+  EXPECT_EQ(AggOpName(AggOp::kCount), "COUNT");
+  EXPECT_EQ(AggOpName(AggOp::kMin), "MIN");
+  EXPECT_EQ(AggOpName(AggOp::kMax), "MAX");
+  EXPECT_EQ(AggOpName(AggOp::kAvg), "AVG");
+}
+
+}  // namespace
+}  // namespace scalewall::cubrick

@@ -1,0 +1,371 @@
+// Unit tests for the SQL front-end, dictionary encoding, and IN-filter
+// execution/pruning.
+
+#include <gtest/gtest.h>
+
+#include "cubrick/dictionary.h"
+#include "cubrick/partition.h"
+#include "cubrick/sql.h"
+#include "workload/generators.h"
+
+namespace scalewall::cubrick {
+namespace {
+
+TableSchema AdSchema() { return workload::AdEventsSchema(); }
+
+TEST(SqlParserTest, MinimalQuery) {
+  auto q = ParseQuery("SELECT SUM(spend) FROM ad_events", AdSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->table, "ad_events");
+  ASSERT_EQ(q->aggregations.size(), 1u);
+  EXPECT_EQ(q->aggregations[0].op, AggOp::kSum);
+  EXPECT_EQ(q->aggregations[0].metric, 2);  // spend
+  EXPECT_TRUE(q->filters.empty());
+  EXPECT_TRUE(q->group_by.empty());
+}
+
+TEST(SqlParserTest, FullQuery) {
+  auto q = ParseQuery(
+      "SELECT platform, SUM(spend), COUNT(*) FROM ad_events "
+      "WHERE day BETWEEN 335 AND 364 AND country = 7 AND platform IN (0, 2) "
+      "GROUP BY platform",
+      AdSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->aggregations.size(), 2u);
+  EXPECT_EQ(q->aggregations[1].op, AggOp::kCount);
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].dimension, 0);
+  EXPECT_EQ(q->filters[0].lo, 335u);
+  EXPECT_EQ(q->filters[0].hi, 364u);
+  EXPECT_EQ(q->filters[1].lo, 7u);
+  EXPECT_EQ(q->filters[1].hi, 7u);
+  ASSERT_EQ(q->in_filters.size(), 1u);
+  EXPECT_EQ(q->in_filters[0].dimension, 2);
+  EXPECT_EQ(q->in_filters[0].values, (std::vector<uint32_t>{0, 2}));
+  ASSERT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->group_by[0], 2);
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery(
+      "select sum(spend) from t where day >= 100 group by platform",
+      AdSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->filters[0].lo, 100u);
+}
+
+TEST(SqlParserTest, ComparisonOperators) {
+  TableSchema schema = AdSchema();
+  struct Case {
+    const char* sql;
+    uint32_t lo, hi;
+  };
+  // day has cardinality 365, so open upper bounds clamp to 364.
+  for (const Case& c : std::initializer_list<Case>{
+           {"SELECT SUM(spend) FROM t WHERE day = 5", 5, 5},
+           {"SELECT SUM(spend) FROM t WHERE day < 5", 0, 4},
+           {"SELECT SUM(spend) FROM t WHERE day <= 5", 0, 5},
+           {"SELECT SUM(spend) FROM t WHERE day > 5", 6, 364},
+           {"SELECT SUM(spend) FROM t WHERE day >= 5", 5, 364}}) {
+    auto q = ParseQuery(c.sql, schema);
+    ASSERT_TRUE(q.ok()) << c.sql << ": " << q.status();
+    EXPECT_EQ(q->filters[0].lo, c.lo) << c.sql;
+    EXPECT_EQ(q->filters[0].hi, c.hi) << c.sql;
+  }
+}
+
+TEST(SqlParserTest, AllAggregates) {
+  auto q = ParseQuery(
+      "SELECT SUM(spend), MIN(clicks), MAX(clicks), AVG(impressions), "
+      "COUNT(*) FROM t",
+      AdSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->aggregations.size(), 5u);
+  EXPECT_EQ(q->aggregations[0].op, AggOp::kSum);
+  EXPECT_EQ(q->aggregations[1].op, AggOp::kMin);
+  EXPECT_EQ(q->aggregations[2].op, AggOp::kMax);
+  EXPECT_EQ(q->aggregations[3].op, AggOp::kAvg);
+  EXPECT_EQ(q->aggregations[4].op, AggOp::kCount);
+}
+
+TEST(SqlParserTest, Errors) {
+  TableSchema schema = AdSchema();
+  // Each case must fail with INVALID_ARGUMENT.
+  for (const char* sql : {
+           "SUM(spend) FROM t",                           // missing SELECT
+           "SELECT FROM t",                               // empty list
+           "SELECT SUM(spend)",                           // missing FROM
+           "SELECT SUM(nope) FROM t",                     // unknown metric
+           "SELECT SUM(spend) FROM t WHERE nope = 1",     // unknown dim
+           "SELECT SUM(spend) FROM t WHERE day ! 1",      // bad char
+           "SELECT SUM(spend) FROM t WHERE day BETWEEN 1",// bad BETWEEN
+           "SELECT SUM(spend) FROM t WHERE day IN ()",    // empty IN
+           "SELECT SUM(spend) FROM t WHERE day < 0",      // empty range
+           "SELECT SUM(*) FROM t",                        // * not COUNT
+           "SELECT day, SUM(spend) FROM t",               // no GROUP BY
+           "SELECT day FROM t",                           // no aggregate
+           "SELECT SUM(spend) FROM t trailing",           // trailing junk
+           "SELECT SUM(spend) FROM t WHERE day = 99999999999",  // overflow
+       }) {
+    auto q = ParseQuery(sql, schema);
+    EXPECT_FALSE(q.ok()) << sql;
+  }
+}
+
+TEST(SqlParserTest, ParsedQueryExecutes) {
+  TableSchema schema = AdSchema();
+  TablePartition part("ad_events", 0, schema);
+  // day, country, platform, campaign; impressions, clicks, spend
+  part.Insert(Row{{100, 1, 0, 10}, {10, 1, 5.0}});
+  part.Insert(Row{{200, 1, 1, 10}, {20, 2, 7.0}});
+  part.Insert(Row{{300, 1, 0, 10}, {30, 3, 9.0}});
+  auto q = ParseQuery(
+      "SELECT SUM(spend), COUNT(*) FROM ad_events WHERE day >= 150",
+      schema);
+  ASSERT_TRUE(q.ok());
+  QueryResult result(2);
+  ASSERT_TRUE(part.Execute(*q, result).ok());
+  EXPECT_DOUBLE_EQ(*result.Value({}, 0, AggOp::kSum), 16.0);
+  EXPECT_DOUBLE_EQ(*result.Value({}, 1, AggOp::kCount), 2.0);
+}
+
+TEST(SqlFormatterTest, RoundtripThroughParser) {
+  TableSchema schema = AdSchema();
+  auto q = ParseQuery(
+      "SELECT platform, SUM(spend), COUNT(*) FROM ad_events "
+      "WHERE day BETWEEN 335 AND 364 AND platform IN (0, 2) "
+      "GROUP BY platform",
+      schema);
+  ASSERT_TRUE(q.ok());
+  std::string sql = FormatQuery(*q, schema);
+  auto q2 = ParseQuery(sql, schema);
+  ASSERT_TRUE(q2.ok()) << sql << " -> " << q2.status();
+  EXPECT_EQ(q2->filters.size(), q->filters.size());
+  EXPECT_EQ(q2->in_filters.size(), q->in_filters.size());
+  EXPECT_EQ(q2->group_by, q->group_by);
+  EXPECT_EQ(q2->aggregations.size(), q->aggregations.size());
+}
+
+TEST(SqlFormatterTest, EqualityRendersAsEquals) {
+  TableSchema schema = AdSchema();
+  auto q = ParseQuery("SELECT SUM(spend) FROM t WHERE country = 9", schema);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(FormatQuery(*q, schema).find("country = 9"), std::string::npos);
+}
+
+// --- ORDER BY / LIMIT ---
+
+TEST(SqlParserTest, OrderByAndLimit) {
+  auto q = ParseQuery(
+      "SELECT platform, SUM(spend), COUNT(*) FROM t GROUP BY platform "
+      "ORDER BY SUM(spend) DESC LIMIT 3",
+      AdSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->order_by, 0);
+  EXPECT_TRUE(q->descending);
+  EXPECT_EQ(q->limit, 3u);
+
+  auto asc = ParseQuery(
+      "SELECT SUM(spend) FROM t ORDER BY SUM(spend) ASC", AdSchema());
+  ASSERT_TRUE(asc.ok());
+  EXPECT_FALSE(asc->descending);
+
+  auto implicit = ParseQuery(
+      "SELECT SUM(spend) FROM t ORDER BY SUM(spend)", AdSchema());
+  ASSERT_TRUE(implicit.ok());
+  EXPECT_FALSE(implicit->descending);  // SQL default: ascending
+
+  auto count_star = ParseQuery(
+      "SELECT platform, COUNT(*) FROM t GROUP BY platform "
+      "ORDER BY COUNT(*) DESC LIMIT 1",
+      AdSchema());
+  ASSERT_TRUE(count_star.ok());
+  EXPECT_EQ(count_star->order_by, 0);
+}
+
+TEST(SqlParserTest, OrderByErrors) {
+  // Not in the SELECT list.
+  EXPECT_FALSE(ParseQuery("SELECT SUM(spend) FROM t ORDER BY MAX(spend)",
+                          AdSchema())
+                   .ok());
+  // Not an aggregate.
+  EXPECT_FALSE(
+      ParseQuery("SELECT SUM(spend) FROM t ORDER BY day", AdSchema()).ok());
+  // Zero limit.
+  EXPECT_FALSE(
+      ParseQuery("SELECT SUM(spend) FROM t LIMIT 0", AdSchema()).ok());
+}
+
+TEST(MaterializeRowsTest, TopNOrdering) {
+  TableSchema schema = workload::MakeSchema(1, 16, 4, 1);
+  TablePartition part("t", 0, schema);
+  // value v appears v+1 times with metric v.
+  for (uint32_t v = 0; v < 8; ++v) {
+    for (uint32_t i = 0; i <= v; ++i) {
+      part.Insert(Row{{v}, {static_cast<double>(v)}});
+    }
+  }
+  Query q;
+  q.table = "t";
+  q.group_by = {0};
+  q.aggregations = {Aggregation{0, AggOp::kSum}};
+  q.order_by = 0;
+  q.descending = true;
+  q.limit = 3;
+  QueryResult result(1);
+  ASSERT_TRUE(part.Execute(q, result).ok());
+  auto rows = MaterializeRows(result, q);
+  ASSERT_EQ(rows.size(), 3u);
+  // SUM for value v is v*(v+1): 56, 42, 30 for v = 7, 6, 5.
+  EXPECT_EQ(rows[0].key[0], 7u);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 56.0);
+  EXPECT_EQ(rows[1].key[0], 6u);
+  EXPECT_EQ(rows[2].key[0], 5u);
+}
+
+TEST(MaterializeRowsTest, AscendingAndUnordered) {
+  Query q;
+  q.table = "t";
+  q.group_by = {0};
+  q.aggregations = {Aggregation{0, AggOp::kSum}};
+  QueryResult result(1);
+  result.Accumulate({2}, 0, 5.0);
+  result.Accumulate({1}, 0, 9.0);
+  result.Accumulate({3}, 0, 1.0);
+  // No ORDER BY: group-key order (std::map order).
+  auto rows = MaterializeRows(result, q);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key[0], 1u);
+  // Ascending by aggregate.
+  q.order_by = 0;
+  q.descending = false;
+  rows = MaterializeRows(result, q);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[2].values[0], 9.0);
+}
+
+TEST(SqlFormatterTest, OrderByLimitRoundtrip) {
+  TableSchema schema = AdSchema();
+  auto q = ParseQuery(
+      "SELECT platform, SUM(spend) FROM t GROUP BY platform "
+      "ORDER BY SUM(spend) DESC LIMIT 5",
+      schema);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(FormatQuery(*q, schema), schema);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->order_by, q->order_by);
+  EXPECT_EQ(q2->descending, q->descending);
+  EXPECT_EQ(q2->limit, q->limit);
+}
+
+// --- IN filter execution ---
+
+TEST(InFilterTest, ExecutionMatchesMembership) {
+  TableSchema schema = workload::MakeSchema(1, 64, 8, 1);
+  TablePartition part("t", 0, schema);
+  for (uint32_t v = 0; v < 64; ++v) {
+    part.Insert(Row{{v}, {1.0}});
+  }
+  Query q;
+  q.table = "t";
+  q.in_filters = {FilterIn{0, {3, 17, 45, 63}}};
+  q.aggregations = {Aggregation{0, AggOp::kCount}};
+  QueryResult result(1);
+  ASSERT_TRUE(part.Execute(q, result).ok());
+  EXPECT_DOUBLE_EQ(*result.Value({}, 0, AggOp::kCount), 4.0);
+}
+
+TEST(InFilterTest, PruningSkipsBricksWithoutValues) {
+  TableSchema schema = workload::MakeSchema(1, 64, 8, 1);  // 8 bricks
+  TablePartition part("t", 0, schema);
+  for (uint32_t v = 0; v < 64; ++v) part.Insert(Row{{v}, {1.0}});
+  Query q;
+  q.table = "t";
+  q.in_filters = {FilterIn{0, {3, 5}}};  // both in brick 0
+  q.aggregations = {Aggregation{0, AggOp::kCount}};
+  QueryResult result(1);
+  ASSERT_TRUE(part.Execute(q, result).ok());
+  EXPECT_EQ(result.bricks_scanned, 1);
+  EXPECT_EQ(result.bricks_pruned, 7);
+  EXPECT_DOUBLE_EQ(*result.Value({}, 0, AggOp::kCount), 2.0);
+}
+
+TEST(InFilterTest, ValidationErrors) {
+  TableSchema schema = workload::MakeSchema(1, 64, 8, 1);
+  Query q;
+  q.table = "t";
+  q.aggregations = {Aggregation{0, AggOp::kCount}};
+  q.in_filters = {FilterIn{5, {1}}};
+  EXPECT_FALSE(q.Validate(schema).ok());
+  q.in_filters = {FilterIn{0, {}}};
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+// --- dictionary ---
+
+TEST(DictionaryTest, EncodeAssignsDenseCodes) {
+  Dictionary dict(4);
+  EXPECT_EQ(*dict.Encode("US"), 0u);
+  EXPECT_EQ(*dict.Encode("BR"), 1u);
+  EXPECT_EQ(*dict.Encode("US"), 0u);  // stable
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(*dict.Decode(1), "BR");
+  EXPECT_EQ(*dict.Lookup("BR"), 1u);
+  EXPECT_EQ(dict.Lookup("JP").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dict.Decode(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, CapacityEnforced) {
+  Dictionary dict(2);
+  ASSERT_TRUE(dict.Encode("a").ok());
+  ASSERT_TRUE(dict.Encode("b").ok());
+  EXPECT_EQ(dict.Encode("c").status().code(),
+            StatusCode::kResourceExhausted);
+  // Existing values still encode fine.
+  EXPECT_EQ(*dict.Encode("a"), 0u);
+}
+
+TEST(DictionaryEncoderTest, RowRoundtrip) {
+  TableSchema schema = AdSchema();
+  DictionaryEncoder encoder(schema);
+  auto row = encoder.EncodeRow({"2021-03-01", "US", "ios", "campaign_7"},
+                               {100.0, 3.0, 1.25});
+  ASSERT_TRUE(row.ok()) << row.status();
+  EXPECT_EQ(row->dims.size(), 4u);
+  EXPECT_EQ(row->metrics[2], 1.25);
+  auto decoded = encoder.DecodeDims(*row);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[1], "US");
+  EXPECT_EQ((*decoded)[2], "ios");
+}
+
+TEST(DictionaryEncoderTest, ArityChecked) {
+  DictionaryEncoder encoder(AdSchema());
+  EXPECT_FALSE(encoder.EncodeRow({"a", "b"}, {1, 2, 3}).ok());
+  EXPECT_FALSE(encoder.EncodeRow({"a", "b", "c", "d"}, {1}).ok());
+}
+
+TEST(DictionaryEncoderTest, EncodedRowsQueryable) {
+  TableSchema schema = AdSchema();
+  DictionaryEncoder encoder(schema);
+  TablePartition part("ad_events", 0, schema);
+  const char* countries[] = {"US", "BR", "US", "JP", "US"};
+  for (int i = 0; i < 5; ++i) {
+    auto row = encoder.EncodeRow(
+        {"day0", countries[i], "ios", "c1"}, {1.0, 0.0, 2.0});
+    ASSERT_TRUE(row.ok());
+    ASSERT_TRUE(part.Insert(*row).ok());
+  }
+  // Filter country = 'US' via the dictionary.
+  Query q;
+  q.table = "ad_events";
+  uint32_t us = *encoder.dictionary(1).Lookup("US");
+  q.filters = {FilterRange{1, us, us}};
+  q.aggregations = {Aggregation{2, AggOp::kSum}};
+  QueryResult result(1);
+  ASSERT_TRUE(part.Execute(q, result).ok());
+  EXPECT_DOUBLE_EQ(*result.Value({}, 0, AggOp::kSum), 6.0);
+}
+
+}  // namespace
+}  // namespace scalewall::cubrick

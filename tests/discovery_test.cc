@@ -1,0 +1,219 @@
+// Unit tests for the coordination datastore and the SMC-like service
+// discovery tree.
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "discovery/datastore.h"
+#include "discovery/service_discovery.h"
+#include "sim/simulation.h"
+
+namespace scalewall::discovery {
+namespace {
+
+class DatastoreTest : public ::testing::Test {
+ protected:
+  DatastoreTest() : sim_(1), store_(&sim_, /*session_timeout=*/15 * kSecond) {}
+  sim::Simulation sim_;
+  Datastore store_;
+};
+
+TEST_F(DatastoreTest, PutGetDelete) {
+  EXPECT_TRUE(store_.Put("/a/b", "value").ok());
+  auto got = store_.Get("/a/b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+  EXPECT_TRUE(store_.Delete("/a/b").ok());
+  EXPECT_EQ(store_.Get("/a/b").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_.Delete("/a/b").code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatastoreTest, ListByPrefix) {
+  store_.Put("/svc/a", "1");
+  store_.Put("/svc/b", "2");
+  store_.Put("/other/c", "3");
+  auto keys = store_.List("/svc/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "/svc/a");
+  EXPECT_EQ(keys[1], "/svc/b");
+}
+
+TEST_F(DatastoreTest, SessionStaysAliveWithHeartbeats) {
+  SessionId session = store_.CreateSession("host1");
+  // Heartbeat every 5s, well within the 15s timeout.
+  sim_.SchedulePeriodic(5 * kSecond, 5 * kSecond,
+                        [&] { store_.Heartbeat(session); });
+  sim_.RunFor(2 * kMinute);
+  EXPECT_TRUE(store_.SessionAlive(session));
+}
+
+TEST_F(DatastoreTest, SessionExpiresWithoutHeartbeats) {
+  SessionId session = store_.CreateSession("host1");
+  bool expired = false;
+  store_.Watch("", [&](const WatchEvent& event) {
+    if (event.type == WatchEvent::Type::kSessionExpired &&
+        event.session == session) {
+      expired = true;
+      EXPECT_EQ(event.key, "host1");
+    }
+  });
+  sim_.RunFor(1 * kMinute);
+  EXPECT_FALSE(store_.SessionAlive(session));
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(store_.Heartbeat(session).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatastoreTest, EphemeralKeysVanishOnExpiry) {
+  SessionId session = store_.CreateSession("host1");
+  store_.Put("/eph/k", "v", session);
+  store_.Put("/persistent", "v");
+  sim_.RunFor(1 * kMinute);
+  EXPECT_EQ(store_.Get("/eph/k").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store_.Get("/persistent").ok());
+}
+
+TEST_F(DatastoreTest, CloseSessionRemovesEphemeralsWithoutExpiryEvent) {
+  SessionId session = store_.CreateSession("host1");
+  store_.Put("/eph/k", "v", session);
+  bool expired = false;
+  store_.Watch("", [&](const WatchEvent& event) {
+    if (event.type == WatchEvent::Type::kSessionExpired) expired = true;
+  });
+  EXPECT_TRUE(store_.CloseSession(session).ok());
+  EXPECT_EQ(store_.Get("/eph/k").status().code(), StatusCode::kNotFound);
+  sim_.RunFor(1 * kMinute);
+  EXPECT_FALSE(expired);
+}
+
+TEST_F(DatastoreTest, WatchFiltersByPrefix) {
+  int svc_events = 0, all_events = 0;
+  store_.Watch("/svc/", [&](const WatchEvent&) { ++svc_events; });
+  store_.Watch("", [&](const WatchEvent&) { ++all_events; });
+  store_.Put("/svc/a", "1");
+  store_.Put("/other/b", "2");
+  EXPECT_EQ(svc_events, 1);
+  EXPECT_EQ(all_events, 2);
+}
+
+TEST_F(DatastoreTest, PutOnExpiredSessionFails) {
+  SessionId session = store_.CreateSession("host1");
+  sim_.RunFor(1 * kMinute);
+  EXPECT_EQ(store_.Put("/k", "v", session).code(), StatusCode::kNotFound);
+}
+
+// --- service discovery ---
+
+class ServiceDiscoveryTest : public ::testing::Test {
+ protected:
+  ServiceDiscoveryTest() : sim_(7), sd_(&sim_) {}
+  sim::Simulation sim_;
+  ServiceDiscovery sd_;
+};
+
+TEST_F(ServiceDiscoveryTest, UnknownShardNotFound) {
+  EXPECT_EQ(sd_.Resolve("svc", 1, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sd_.ResolveAuthoritative("svc", 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ServiceDiscoveryTest, AuthoritativeIsImmediate) {
+  sd_.Publish("svc", 1, 42);
+  auto got = sd_.ResolveAuthoritative("svc", 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 42u);
+}
+
+TEST_F(ServiceDiscoveryTest, PropagationDelaysViewers) {
+  sd_.Publish("svc", 1, 42);
+  // Immediately after the publish nothing has propagated.
+  EXPECT_FALSE(sd_.Resolve("svc", 1, 5).ok());
+  // After a generous interval every viewer sees it.
+  sim_.RunFor(2 * kMinute);
+  for (cluster::ServerId viewer = 0; viewer < 50; ++viewer) {
+    auto got = sd_.Resolve("svc", 1, viewer);
+    ASSERT_TRUE(got.ok()) << viewer;
+    EXPECT_EQ(*got, 42u);
+  }
+}
+
+TEST_F(ServiceDiscoveryTest, ViewersSeeOldValueDuringPropagation) {
+  sd_.Publish("svc", 1, 10);
+  sim_.RunFor(2 * kMinute);  // v1 fully propagated
+  sd_.Publish("svc", 1, 20);
+  // Right after the second publish, viewers still resolve the old server.
+  int old_view = 0, new_view = 0;
+  for (cluster::ServerId viewer = 0; viewer < 100; ++viewer) {
+    auto got = sd_.Resolve("svc", 1, viewer);
+    ASSERT_TRUE(got.ok());
+    if (*got == 10u) ++old_view;
+    if (*got == 20u) ++new_view;
+  }
+  EXPECT_EQ(old_view, 100);
+  sim_.RunFor(2 * kMinute);
+  for (cluster::ServerId viewer = 0; viewer < 100; ++viewer) {
+    EXPECT_EQ(*sd_.Resolve("svc", 1, viewer), 20u);
+  }
+}
+
+TEST_F(ServiceDiscoveryTest, StaggeredVisibilityAcrossViewers) {
+  sd_.Publish("svc", 1, 10);
+  sim_.RunFor(2 * kMinute);
+  sd_.Publish("svc", 1, 20);
+  // Partway through propagation, some viewers see the new mapping and
+  // some the old (seconds-scale delays; ~1.8s median end-to-end).
+  sim_.RunFor(1800 * kMillisecond);
+  int old_view = 0, new_view = 0;
+  for (cluster::ServerId viewer = 0; viewer < 200; ++viewer) {
+    auto got = sd_.Resolve("svc", 1, viewer);
+    ASSERT_TRUE(got.ok());
+    (*got == 10u ? old_view : new_view)++;
+  }
+  EXPECT_GT(old_view, 10);
+  EXPECT_GT(new_view, 10);
+}
+
+TEST_F(ServiceDiscoveryTest, UnpublishPropagates) {
+  sd_.Publish("svc", 1, 10);
+  sim_.RunFor(2 * kMinute);
+  sd_.Unpublish("svc", 1);
+  EXPECT_TRUE(sd_.Resolve("svc", 1, 3).ok());  // still visible (stale)
+  sim_.RunFor(2 * kMinute);
+  EXPECT_EQ(sd_.Resolve("svc", 1, 3).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(sd_.ResolveAuthoritative("svc", 1).ok());
+}
+
+TEST_F(ServiceDiscoveryTest, DelayDistributionIsSecondsScale) {
+  Rng rng(3);
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    h.Add(ToSeconds(sd_.SampleDelay(rng)));
+  }
+  // Two lognormal hops with 0.9s median each: median ~1.8s, long tail.
+  EXPECT_GT(h.P50(), 1.0);
+  EXPECT_LT(h.P50(), 3.5);
+  EXPECT_GT(h.P999(), h.P50() * 2);
+}
+
+TEST_F(ServiceDiscoveryTest, PropagationDelayDeterministicPerViewer) {
+  SimDuration d1 = sd_.PropagationDelay(1, 7);
+  SimDuration d2 = sd_.PropagationDelay(1, 7);
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(sd_.PropagationDelay(1, 7), sd_.PropagationDelay(2, 7));
+}
+
+TEST_F(ServiceDiscoveryTest, VersionHistoryTruncationStillResolves) {
+  ServiceDiscoveryOptions options;
+  options.max_versions = 4;
+  ServiceDiscovery sd(&sim_, options);
+  for (int i = 0; i < 20; ++i) {
+    sd.Publish("svc", 1, static_cast<cluster::ServerId>(i));
+  }
+  // Even with every version "in flight", truncation guarantees viewers
+  // resolve something.
+  auto got = sd.Resolve("svc", 1, 9);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GE(*got, 16u);  // one of the retained versions
+}
+
+}  // namespace
+}  // namespace scalewall::discovery

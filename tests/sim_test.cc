@@ -1,0 +1,227 @@
+// Unit tests for the discrete-event simulation engine and the latency /
+// failure models.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "sim/latency_model.h"
+#include "sim/simulation.h"
+
+namespace scalewall::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim(1);
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulationTest, TiesRunInSchedulingOrder) {
+  Simulation sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
+  Simulation sim(1);
+  SimTime inner = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { inner = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner, 150);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim(1);
+  bool ran = false;
+  EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelFromInsideEvent) {
+  Simulation sim(1);
+  bool ran = false;
+  EventId victim = sim.ScheduleAt(20, [&] { ran = true; });
+  sim.ScheduleAt(10, [&] { sim.Cancel(victim); });
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, PeriodicFiresRepeatedly) {
+  Simulation sim(1);
+  int fires = 0;
+  sim.SchedulePeriodic(10, 10, [&] { ++fires; });
+  sim.RunUntil(95);
+  EXPECT_EQ(fires, 9);  // t=10..90
+  EXPECT_EQ(sim.now(), 95);
+}
+
+TEST(SimulationTest, PeriodicCancelStops) {
+  Simulation sim(1);
+  int fires = 0;
+  EventId id = sim.SchedulePeriodic(10, 10, [&] { ++fires; });
+  sim.ScheduleAt(35, [&] { sim.Cancel(id); });
+  sim.RunUntil(200);
+  EXPECT_EQ(fires, 3);  // t=10,20,30
+}
+
+TEST(SimulationTest, PeriodicCanCancelItself) {
+  Simulation sim(1);
+  int fires = 0;
+  EventId id = 0;
+  id = sim.SchedulePeriodic(10, 10, [&] {
+    if (++fires == 2) sim.Cancel(id);
+  });
+  sim.RunUntil(500);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim(1);
+  sim.RunUntil(1234);
+  EXPECT_EQ(sim.now(), 1234);
+}
+
+TEST(SimulationTest, RunForIsRelative) {
+  Simulation sim(1);
+  sim.RunFor(100);
+  sim.RunFor(100);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(SimulationTest, StepExecutesSingleEvent) {
+  Simulation sim(1);
+  int count = 0;
+  sim.ScheduleAt(10, [&] { ++count; });
+  sim.ScheduleAt(20, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim(1);
+  std::vector<SimTime> times;
+  std::function<void(int)> chain = [&](int depth) {
+    times.push_back(sim.now());
+    if (depth < 5) {
+      sim.ScheduleAfter(7, [&chain, depth] { chain(depth + 1); });
+    }
+  };
+  sim.ScheduleAt(0, [&] { chain(0); });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{0, 7, 14, 21, 28, 35}));
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> draws;
+    sim.SchedulePeriodic(5, 5, [&] {
+      draws.push_back(sim.rng().Next());
+      if (draws.size() >= 20) return;
+    });
+    sim.RunUntil(200);
+    return draws;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+// --- latency model ---
+
+TEST(LatencyModelTest, SamplesPositiveAndCapped) {
+  LatencyModelOptions options;
+  options.max = 2 * kSecond;
+  LatencyModel model(options);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    SimDuration v = model.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, options.max);
+  }
+}
+
+TEST(LatencyModelTest, MedianNearConfigured) {
+  LatencyModelOptions options;
+  options.median = 20 * kMillisecond;
+  options.tail_probability = 0;  // body only
+  LatencyModel model(options);
+  Rng rng(1);
+  Histogram h;
+  for (int i = 0; i < 50000; ++i) {
+    h.Add(static_cast<double>(model.Sample(rng)));
+  }
+  EXPECT_NEAR(h.P50(), static_cast<double>(options.median),
+              static_cast<double>(options.median) * 0.05);
+}
+
+TEST(LatencyModelTest, TailProbabilityInflatesHighPercentiles) {
+  LatencyModelOptions no_tail;
+  no_tail.tail_probability = 0;
+  LatencyModelOptions tail;
+  tail.tail_probability = 0.05;
+  Rng rng1(1), rng2(1);
+  Histogram h1, h2;
+  for (int i = 0; i < 50000; ++i) {
+    h1.Add(static_cast<double>(LatencyModel(no_tail).Sample(rng1)));
+    h2.Add(static_cast<double>(LatencyModel(tail).Sample(rng2)));
+  }
+  EXPECT_GT(h2.P99(), h1.P99() * 2);
+  // Medians stay comparable: the tail affects only the upper quantiles.
+  EXPECT_NEAR(h2.P50(), h1.P50(), h1.P50() * 0.1);
+}
+
+TEST(NetworkModelTest, CrossRegionAddsWanComponent) {
+  NetworkModel model;
+  Rng rng(1);
+  RunningStat local, cross;
+  for (int i = 0; i < 10000; ++i) {
+    local.Add(static_cast<double>(model.SampleHop(rng, false)));
+    cross.Add(static_cast<double>(model.SampleHop(rng, true)));
+  }
+  EXPECT_GT(cross.mean(), local.mean() + 25.0 * kMillisecond);
+}
+
+TEST(TransientFailureModelTest, FrequencyMatchesProbability) {
+  TransientFailureModel model(0.01);
+  Rng rng(1);
+  int failures = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (model.Fails(rng)) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.01, 0.002);
+}
+
+TEST(TransientFailureModelTest, AnalyticSuccessFormula) {
+  TransientFailureModel model(0.0001);
+  EXPECT_DOUBLE_EQ(model.AnalyticSuccess(0), 1.0);
+  EXPECT_NEAR(model.AnalyticSuccess(1), 0.9999, 1e-12);
+  EXPECT_NEAR(model.AnalyticSuccess(100), 0.99004933, 1e-6);
+}
+
+}  // namespace
+}  // namespace scalewall::sim

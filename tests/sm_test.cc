@@ -1,0 +1,668 @@
+// Unit tests for the Shard Manager: registration, placement, replication
+// models, spread constraints, non-retryable rejections, heartbeat-driven
+// failover, drains, graceful migration, and load balancing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "discovery/datastore.h"
+#include "discovery/service_discovery.h"
+#include "sim/simulation.h"
+#include "sm/app_server.h"
+#include "sm/sm_client.h"
+#include "sm/sm_server.h"
+
+namespace scalewall::sm {
+namespace {
+
+// A scriptable application server for exercising SmServer.
+class MockAppServer : public AppServer {
+ public:
+  explicit MockAppServer(cluster::ServerId id) : id_(id) {}
+
+  cluster::ServerId server_id() const override { return id_; }
+
+  Status AddShard(ShardId shard, ShardRole role) override {
+    if (reject_all_) return Status::NonRetryable("scripted rejection");
+    if (rejected_shards_.count(shard) > 0) {
+      return Status::NonRetryable("scripted rejection for shard");
+    }
+    shards_[shard] = role;
+    log_.push_back("add:" + std::to_string(shard));
+    return Status::Ok();
+  }
+
+  Status DropShard(ShardId shard) override {
+    shards_.erase(shard);
+    staged_.erase(shard);
+    log_.push_back("drop:" + std::to_string(shard));
+    return Status::Ok();
+  }
+
+  Status PrepareAddShard(ShardId shard, cluster::ServerId from) override {
+    if (reject_all_ || rejected_shards_.count(shard) > 0) {
+      return Status::NonRetryable("scripted rejection");
+    }
+    staged_.insert(shard);
+    log_.push_back("prepare_add:" + std::to_string(shard) + ":from" +
+                   std::to_string(from));
+    return Status::Ok();
+  }
+
+  Status PrepareDropShard(ShardId shard, cluster::ServerId to) override {
+    log_.push_back("prepare_drop:" + std::to_string(shard) + ":to" +
+                   std::to_string(to));
+    return Status::Ok();
+  }
+
+  double ShardLoad(ShardId shard, std::string_view) const override {
+    auto it = loads_.find(shard);
+    if (it != loads_.end()) return it->second;
+    return shards_.count(shard) > 0 ? default_load_ : 0.0;
+  }
+
+  double Capacity(std::string_view) const override { return capacity_; }
+
+  // Scripting knobs.
+  void set_capacity(double c) { capacity_ = c; }
+  void set_default_load(double l) { default_load_ = l; }
+  void set_shard_load(ShardId s, double l) { loads_[s] = l; }
+  void reject_all() { reject_all_ = true; }
+  void reject_shard(ShardId s) { rejected_shards_.insert(s); }
+
+  bool Hosts(ShardId s) const { return shards_.count(s) > 0; }
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  cluster::ServerId id_;
+  double capacity_ = 1000.0;
+  double default_load_ = 10.0;
+  bool reject_all_ = false;
+  std::set<ShardId> rejected_shards_;
+  std::map<ShardId, ShardRole> shards_;
+  std::set<ShardId> staged_;
+  std::map<ShardId, double> loads_;
+  std::vector<std::string> log_;
+};
+
+class SmServerTest : public ::testing::Test {
+ protected:
+  SmServerTest()
+      : sim_(11),
+        cluster_(cluster::Cluster::Build({.regions = 1,
+                                          .racks_per_region = 4,
+                                          .servers_per_rack = 2})),
+        datastore_(&sim_, /*session_timeout=*/15 * kSecond),
+        sd_(&sim_) {}
+
+  std::unique_ptr<SmServer> MakeServer(ServiceConfig config,
+                                       SmServerOptions options = {}) {
+    config.name = "test_service";
+    config.max_shards = 1000;
+    config.heartbeat_interval = 5 * kSecond;
+    return std::make_unique<SmServer>(&sim_, &cluster_, &datastore_, &sd_,
+                                      config, options);
+  }
+
+  // Registers one mock per cluster server.
+  void RegisterAll(SmServer& sm) {
+    for (cluster::ServerId id : cluster_.AllServers()) {
+      apps_.push_back(std::make_unique<MockAppServer>(id));
+      ASSERT_TRUE(sm.RegisterAppServer(apps_.back().get()).ok());
+    }
+  }
+
+  MockAppServer* app(cluster::ServerId id) {
+    for (auto& a : apps_) {
+      if (a->server_id() == id) return a.get();
+    }
+    return nullptr;
+  }
+
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  discovery::Datastore datastore_;
+  discovery::ServiceDiscovery sd_;
+  std::vector<std::unique_ptr<MockAppServer>> apps_;
+};
+
+TEST_F(SmServerTest, RegisterRejectsDuplicatesAndUnknownHosts) {
+  auto sm = MakeServer({});
+  MockAppServer a(0);
+  EXPECT_TRUE(sm->RegisterAppServer(&a).ok());
+  EXPECT_EQ(sm->RegisterAppServer(&a).code(), StatusCode::kAlreadyExists);
+  MockAppServer ghost(999);
+  EXPECT_EQ(sm->RegisterAppServer(&ghost).code(), StatusCode::kNotFound);
+  sm->UnregisterAppServer(0);
+  EXPECT_TRUE(sm->RegisterAppServer(&a).ok());
+}
+
+TEST_F(SmServerTest, EnsureShardPlacesPrimaryOnly) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  const ShardAssignment* assignment = sm->GetAssignment(7);
+  ASSERT_NE(assignment, nullptr);
+  ASSERT_EQ(assignment->replicas.size(), 1u);
+  EXPECT_EQ(assignment->replicas[0].role, ShardRole::kPrimary);
+  EXPECT_TRUE(app(assignment->replicas[0].server)->Hosts(7));
+  // Idempotent.
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  EXPECT_EQ(sm->GetAssignment(7)->replicas.size(), 1u);
+  EXPECT_EQ(sm->stats().placements, 1);
+}
+
+TEST_F(SmServerTest, EnsureShardRejectsOutOfKeySpace) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  EXPECT_EQ(sm->EnsureShard(100000).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SmServerTest, PublishesAssignmentToDiscovery) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  auto resolved = sd_.ResolveAuthoritative("test_service", 7);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, sm->GetAssignment(7)->replicas[0].server);
+}
+
+TEST_F(SmServerTest, PrimarySecondaryReplicationPlacesAllReplicas) {
+  ServiceConfig config;
+  config.replication = ReplicationModel::kPrimarySecondary;
+  config.replication_factor = 2;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(3).ok());
+  const ShardAssignment* assignment = sm->GetAssignment(3);
+  ASSERT_EQ(assignment->replicas.size(), 3u);
+  int primaries = 0;
+  std::set<cluster::ServerId> servers;
+  for (const Replica& r : assignment->replicas) {
+    if (r.role == ShardRole::kPrimary) ++primaries;
+    servers.insert(r.server);
+  }
+  EXPECT_EQ(primaries, 1);
+  EXPECT_EQ(servers.size(), 3u);  // spread across distinct servers
+}
+
+TEST_F(SmServerTest, SecondaryOnlyReplication) {
+  ServiceConfig config;
+  config.replication = ReplicationModel::kSecondaryOnly;
+  config.replication_factor = 2;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(3).ok());
+  const ShardAssignment* assignment = sm->GetAssignment(3);
+  ASSERT_EQ(assignment->replicas.size(), 3u);
+  for (const Replica& r : assignment->replicas) {
+    EXPECT_EQ(r.role, ShardRole::kSecondary);
+  }
+}
+
+TEST_F(SmServerTest, RackSpreadConstraint) {
+  ServiceConfig config;
+  config.replication = ReplicationModel::kSecondaryOnly;
+  config.replication_factor = 2;
+  config.spread = SpreadDomain::kRack;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(3).ok());
+  std::set<cluster::RackId> racks;
+  for (const Replica& r : sm->GetAssignment(3)->replicas) {
+    racks.insert(cluster_.Get(r.server).rack);
+  }
+  EXPECT_EQ(racks.size(), 3u);
+}
+
+TEST_F(SmServerTest, SpreadImpossibleFailsPlacement) {
+  // 4 racks but replication needs 5 distinct racks.
+  ServiceConfig config;
+  config.replication = ReplicationModel::kSecondaryOnly;
+  config.replication_factor = 4;
+  config.spread = SpreadDomain::kRack;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  EXPECT_EQ(sm->EnsureShard(3).code(), StatusCode::kResourceExhausted);
+  // Rolled back: nothing assigned, no replicas left behind.
+  EXPECT_EQ(sm->GetAssignment(3), nullptr);
+  for (auto& a : apps_) EXPECT_EQ(a->num_shards(), 0u);
+}
+
+TEST_F(SmServerTest, NonRetryableRejectionTriesOtherServers) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  // Script every server except id 5 to reject shard 9 (collision).
+  for (auto& a : apps_) {
+    if (a->server_id() != 5) a->reject_shard(9);
+  }
+  ASSERT_TRUE(sm->EnsureShard(9).ok());
+  EXPECT_EQ(sm->GetAssignment(9)->replicas[0].server, 5u);
+  EXPECT_GT(sm->stats().placement_rejections, 0);
+}
+
+TEST_F(SmServerTest, AllServersRejectingExhaustsPlacement) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (auto& a : apps_) a->reject_all();
+  EXPECT_EQ(sm->EnsureShard(9).code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SmServerTest, PlacementPrefersLeastUtilizedServer) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  // Preload every server except 2 with heavy shards.
+  for (auto& a : apps_) {
+    a->set_default_load(100.0);
+    a->set_capacity(1000.0);
+  }
+  for (ShardId s = 100; s < 130; ++s) {
+    ASSERT_TRUE(sm->EnsureShard(s).ok());
+  }
+  // Shards must be spread around: no server hugely overloaded.
+  size_t max_shards = 0;
+  for (auto& a : apps_) max_shards = std::max(max_shards, a->num_shards());
+  EXPECT_LE(max_shards, 6u);
+}
+
+TEST_F(SmServerTest, CapacityLimitBlocksOverfill) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (auto& a : apps_) {
+    a->set_default_load(100.0);
+    a->set_capacity(300.0);  // max ~2 shards per server (95% cap)
+  }
+  // A new shard is assumed empty at placement time (its weight is not
+  // yet known), so a server qualifies while its *existing* load stays
+  // under 95% of capacity: up to 3 shards per server (300/300 would
+  // exceed it for the 4th). 8 servers x 3 = 24; the rest must fail.
+  int placed = 0;
+  for (ShardId s = 0; s < 30; ++s) {
+    if (sm->EnsureShard(s).ok()) ++placed;
+  }
+  EXPECT_EQ(placed, 24);
+  EXPECT_EQ(sm->EnsureShard(31).code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SmServerTest, EagerPlacementFillsKeySpace) {
+  ServiceConfig config;
+  config.lazy_placement = false;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  // Empty shards weigh next to nothing; placement must not be capacity
+  // bound. MakeServer fixes max_shards at 1000.
+  for (auto& a : apps_) a->set_default_load(0.5);
+  sm->Start();
+  EXPECT_EQ(sm->num_assigned_shards(), 1000u);
+  // Every shard resolvable, and roughly evenly spread over 8 servers.
+  size_t min_shards = 10000, max_shards = 0;
+  for (auto& a : apps_) {
+    min_shards = std::min(min_shards, a->num_shards());
+    max_shards = std::max(max_shards, a->num_shards());
+  }
+  EXPECT_GE(min_shards, 100u);
+  EXPECT_LE(max_shards, 150u);
+}
+
+TEST_F(SmServerTest, HeartbeatExpiryTriggersFailover) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  cluster::ServerId victim = sm->GetAssignment(7)->replicas[0].server;
+  // Heartbeats only run once Start()-like periodic tasks fire; they were
+  // armed at registration. Kill the host: heartbeats stop, session
+  // expires, SM fails the shard over.
+  cluster_.SetHealth(victim, cluster::ServerHealth::kDown);
+  sim_.RunFor(2 * kMinute);
+  const ShardAssignment* assignment = sm->GetAssignment(7);
+  ASSERT_NE(assignment, nullptr);
+  ASSERT_EQ(assignment->replicas.size(), 1u);
+  EXPECT_NE(assignment->replicas[0].server, victim);
+  EXPECT_EQ(sm->stats().failovers, 1);
+  // Discovery now points at the new server.
+  EXPECT_EQ(*sd_.ResolveAuthoritative("test_service", 7),
+            assignment->replicas[0].server);
+}
+
+TEST_F(SmServerTest, HealthyServersKeepHeartbeating) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  cluster::ServerId owner = sm->GetAssignment(7)->replicas[0].server;
+  sim_.RunFor(10 * kMinute);
+  EXPECT_EQ(sm->GetAssignment(7)->replicas[0].server, owner);
+  EXPECT_EQ(sm->stats().failovers, 0);
+}
+
+TEST_F(SmServerTest, DrainMigratesShardsGracefully) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (ShardId s = 0; s < 8; ++s) ASSERT_TRUE(sm->EnsureShard(s).ok());
+  // Find a server hosting at least one shard and drain it.
+  cluster::ServerId victim = sm->GetAssignment(0)->replicas[0].server;
+  cluster_.SetHealth(victim, cluster::ServerHealth::kDraining);
+  sim_.RunFor(5 * kMinute);
+  EXPECT_TRUE(sm->ShardsOnServer(victim).empty());
+  for (ShardId s = 0; s < 8; ++s) {
+    const ShardAssignment* assignment = sm->GetAssignment(s);
+    ASSERT_EQ(assignment->replicas.size(), 1u);
+    EXPECT_NE(assignment->replicas[0].server, victim);
+  }
+  EXPECT_GT(sm->stats().drain_migrations, 0);
+  EXPECT_EQ(sm->stats().failovers, 0);
+  // The drained app server saw the graceful endpoint sequence.
+  bool saw_prepare_drop = false;
+  for (const std::string& entry : app(victim)->log()) {
+    if (entry.rfind("prepare_drop:0", 0) == 0) saw_prepare_drop = true;
+  }
+  EXPECT_TRUE(saw_prepare_drop);
+}
+
+TEST_F(SmServerTest, GracefulMigrationEndpointOrder) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(1).ok());
+  cluster::ServerId from = sm->GetAssignment(1)->replicas[0].server;
+  ASSERT_TRUE(sm->RequestMigration(1, from, MigrationReason::kManual).ok());
+  sim_.RunFor(1 * kMinute);
+  const ShardAssignment* assignment = sm->GetAssignment(1);
+  cluster::ServerId to = assignment->replicas[0].server;
+  EXPECT_NE(to, from);
+  // Target saw prepare_add then add.
+  const auto& to_log = app(to)->log();
+  auto prepare_pos = std::find(to_log.begin(), to_log.end(),
+                               "prepare_add:1:from" + std::to_string(from));
+  auto add_pos = std::find(to_log.begin(), to_log.end(), "add:1");
+  ASSERT_NE(prepare_pos, to_log.end());
+  ASSERT_NE(add_pos, to_log.end());
+  EXPECT_LT(prepare_pos, add_pos);
+  // Source saw prepare_drop then (delayed) drop, and no longer hosts.
+  const auto& from_log = app(from)->log();
+  EXPECT_NE(std::find(from_log.begin(), from_log.end(),
+                      "prepare_drop:1:to" + std::to_string(to)),
+            from_log.end());
+  EXPECT_NE(std::find(from_log.begin(), from_log.end(), "drop:1"),
+            from_log.end());
+  EXPECT_FALSE(app(from)->Hosts(1));
+  EXPECT_TRUE(app(to)->Hosts(1));
+  EXPECT_EQ(sm->stats().live_migrations, 1);
+}
+
+TEST_F(SmServerTest, MigrationOfUnknownShardFails) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  EXPECT_EQ(sm->RequestMigration(5, 0, MigrationReason::kManual).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SmServerTest, MigrationRetriesPastCollidingTarget) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(1).ok());
+  cluster::ServerId from = sm->GetAssignment(1)->replicas[0].server;
+  // Every other server rejects shard 1 except exactly one.
+  cluster::ServerId haven = (from + 1) % 8;
+  for (auto& a : apps_) {
+    if (a->server_id() != from && a->server_id() != haven) {
+      a->reject_shard(1);
+    }
+  }
+  ASSERT_TRUE(sm->RequestMigration(1, from, MigrationReason::kManual).ok());
+  sim_.RunFor(2 * kMinute);
+  EXPECT_EQ(sm->GetAssignment(1)->replicas[0].server, haven);
+}
+
+TEST_F(SmServerTest, LoadBalancerEvensOutUtilization) {
+  ServiceConfig config;
+  config.load_balancing.imbalance_threshold = 0.05;
+  config.load_balancing.max_migrations_per_run = 4;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  for (auto& a : apps_) {
+    a->set_capacity(1000.0);
+    a->set_default_load(50.0);
+  }
+  for (ShardId s = 0; s < 16; ++s) ASSERT_TRUE(sm->EnsureShard(s).ok());
+  // Make one server's shards suddenly hot.
+  cluster::ServerId hot = sm->GetAssignment(0)->replicas[0].server;
+  for (ShardId s : sm->ShardsOnServer(hot)) {
+    app(hot)->set_shard_load(s, 400.0);
+  }
+  int migrations = sm->RunLoadBalancer();
+  EXPECT_GT(migrations, 0);
+  EXPECT_LE(migrations, 4);  // throttled
+  sim_.RunFor(2 * kMinute);
+  // The hot server must have shed at least one shard.
+  EXPECT_LT(sm->ShardsOnServer(hot).size(), 3u);
+  EXPECT_GT(sm->stats().lb_migrations, 0);
+}
+
+TEST_F(SmServerTest, LoadBalancerRespectsThreshold) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (auto& a : apps_) {
+    a->set_capacity(1000.0);
+    a->set_default_load(10.0);
+  }
+  for (ShardId s = 0; s < 16; ++s) ASSERT_TRUE(sm->EnsureShard(s).ok());
+  sim_.RunFor(1 * kMinute);
+  // Balanced cluster: no migrations needed.
+  EXPECT_EQ(sm->RunLoadBalancer(), 0);
+}
+
+TEST_F(SmServerTest, TargetDeathMidMigrationAborts) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  // A heavy shard so the data-copy phase takes ~25s of simulated time.
+  for (auto& a : apps_) a->set_capacity(1e10);
+  ASSERT_TRUE(sm->EnsureShard(1).ok());
+  cluster::ServerId from = sm->GetAssignment(1)->replicas[0].server;
+  app(from)->set_shard_load(1, 5e9);
+  ASSERT_TRUE(sm->RequestMigration(1, from, MigrationReason::kManual).ok());
+  // Let the prepare step start, then kill whichever target was chosen.
+  sim_.RunFor(200 * kMillisecond);
+  cluster::ServerId to = kInvalidShard;
+  for (auto& a : apps_) {
+    if (a->server_id() != from) {
+      for (const std::string& entry : a->log()) {
+        if (entry.rfind("prepare_add:1", 0) == 0) to = a->server_id();
+      }
+    }
+  }
+  ASSERT_NE(to, static_cast<cluster::ServerId>(kInvalidShard));
+  cluster_.SetHealth(to, cluster::ServerHealth::kDown);
+  sim_.RunFor(5 * kMinute);
+  // The shard must end up somewhere healthy — either the migration
+  // aborted (stays on `from`) or the failover machinery re-placed it.
+  const ShardAssignment* assignment = sm->GetAssignment(1);
+  ASSERT_NE(assignment, nullptr);
+  ASSERT_EQ(assignment->replicas.size(), 1u);
+  EXPECT_NE(assignment->replicas[0].server, to);
+  EXPECT_TRUE(cluster_.Get(assignment->replicas[0].server).IsServing());
+  // No leaked copies: only the final owner hosts the shard.
+  int holders = 0;
+  for (auto& a : apps_) {
+    if (a->Hosts(1)) ++holders;
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST_F(SmServerTest, SourceDeathMidMigrationFailsOver) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (auto& a : apps_) a->set_capacity(1e10);
+  ASSERT_TRUE(sm->EnsureShard(1).ok());
+  cluster::ServerId from = sm->GetAssignment(1)->replicas[0].server;
+  app(from)->set_shard_load(1, 5e9);  // ~25s copy phase
+  ASSERT_TRUE(sm->RequestMigration(1, from, MigrationReason::kManual).ok());
+  sim_.RunFor(200 * kMillisecond);
+  cluster_.SetHealth(from, cluster::ServerHealth::kDown);
+  sim_.RunFor(5 * kMinute);
+  const ShardAssignment* assignment = sm->GetAssignment(1);
+  ASSERT_NE(assignment, nullptr);
+  ASSERT_EQ(assignment->replicas.size(), 1u);
+  EXPECT_NE(assignment->replicas[0].server, from);
+  EXPECT_GE(sm->stats().failovers, 1);
+  // Exactly one *live* holder (the dead source's memory image lingers in
+  // the mock; a real host wipes it on restart — Deployment::Reset path).
+  int holders = 0;
+  for (auto& a : apps_) {
+    if (a->Hosts(1) && cluster_.Get(a->server_id()).IsServing()) ++holders;
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST_F(SmServerTest, MigrationsPerDayRecorded) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(1).ok());
+  cluster::ServerId from = sm->GetAssignment(1)->replicas[0].server;
+  ASSERT_TRUE(sm->RequestMigration(1, from, MigrationReason::kManual).ok());
+  sim_.RunFor(1 * kMinute);
+  int64_t total = 0;
+  for (const auto& [day, count] : sm->stats().migrations_per_day) {
+    total += count;
+  }
+  EXPECT_EQ(total, 1);
+}
+
+TEST_F(SmServerTest, UtilizationReportsLoadOverCapacity) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (auto& a : apps_) {
+    a->set_capacity(200.0);
+    a->set_default_load(50.0);
+  }
+  ASSERT_TRUE(sm->EnsureShard(1).ok());
+  cluster::ServerId owner = sm->GetAssignment(1)->replicas[0].server;
+  auto utilization = sm->Utilization();
+  EXPECT_DOUBLE_EQ(utilization[owner], 0.25);
+}
+
+TEST_F(SmServerTest, HeterogeneousServersGetProportionalLoad) {
+  // "SM allows application servers to export the total capacity for a
+  // particular host" — a big host should absorb proportionally more
+  // shards than small ones.
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  for (auto& a : apps_) {
+    a->set_capacity(a->server_id() == 0 ? 4000.0 : 1000.0);
+    a->set_default_load(100.0);
+  }
+  for (ShardId s = 0; s < 40; ++s) sm->EnsureShard(s);
+  size_t big = app(0)->num_shards();
+  size_t total_small = 0;
+  for (auto& a : apps_) {
+    if (a->server_id() != 0) total_small += a->num_shards();
+  }
+  // The big host should hold several times the average small host.
+  EXPECT_GT(big, total_small / 7 * 2);
+}
+
+TEST_F(SmServerTest, DynamicCapacityChangeShiftsBalancing) {
+  // "SM also allows application servers to periodically export (and
+  // change) the current capacity of a host": shrinking a host's capacity
+  // turns it into the hottest host and the balancer drains it.
+  ServiceConfig config;
+  config.load_balancing.imbalance_threshold = 0.05;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  for (auto& a : apps_) {
+    a->set_capacity(1000.0);
+    a->set_default_load(50.0);
+  }
+  for (ShardId s = 0; s < 24; ++s) ASSERT_TRUE(sm->EnsureShard(s).ok());
+  size_t before = app(2)->num_shards();
+  app(2)->set_capacity(120.0);  // now badly over-utilized
+  sm->RunLoadBalancer();
+  sim_.RunFor(2 * kMinute);
+  EXPECT_LT(app(2)->num_shards(), before);
+}
+
+TEST_F(SmServerTest, RegionSpreadAcrossMultiRegionService) {
+  // A single SM service spanning regions with kRegion spread: replicas
+  // of one shard land in distinct regions (the conceptual secondary-only
+  // model of Section IV-D).
+  cluster_ = cluster::Cluster::Build(
+      {.regions = 3, .racks_per_region = 2, .servers_per_rack = 2});
+  ServiceConfig config;
+  config.replication = ReplicationModel::kSecondaryOnly;
+  config.replication_factor = 2;
+  config.spread = SpreadDomain::kRegion;
+  auto sm = MakeServer(config);
+  apps_.clear();
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(5).ok());
+  std::set<cluster::RegionId> regions;
+  for (const Replica& r : sm->GetAssignment(5)->replicas) {
+    regions.insert(cluster_.Get(r.server).region);
+  }
+  EXPECT_EQ(regions.size(), 3u);
+}
+
+TEST_F(SmServerTest, AssignmentsPersistedToDatastore) {
+  ServiceConfig config;
+  config.replication = ReplicationModel::kPrimarySecondary;
+  config.replication_factor = 1;
+  auto sm = MakeServer(config);
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  auto persisted = sm->LoadPersistedAssignment(7);
+  ASSERT_TRUE(persisted.ok()) << persisted.status();
+  const ShardAssignment* live = sm->GetAssignment(7);
+  ASSERT_EQ(persisted->replicas.size(), live->replicas.size());
+  for (size_t i = 0; i < live->replicas.size(); ++i) {
+    EXPECT_EQ(persisted->replicas[i], live->replicas[i]);
+  }
+  EXPECT_EQ(sm->LoadPersistedAssignment(99).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SmServerTest, PersistedAssignmentFollowsMigration) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(3).ok());
+  cluster::ServerId from = sm->GetAssignment(3)->replicas[0].server;
+  ASSERT_TRUE(sm->RequestMigration(3, from, MigrationReason::kManual).ok());
+  sim_.RunFor(1 * kMinute);
+  auto persisted = sm->LoadPersistedAssignment(3);
+  ASSERT_TRUE(persisted.ok());
+  ASSERT_EQ(persisted->replicas.size(), 1u);
+  EXPECT_EQ(persisted->replicas[0].server,
+            sm->GetAssignment(3)->replicas[0].server);
+  EXPECT_NE(persisted->replicas[0].server, from);
+}
+
+TEST_F(SmServerTest, SmClientResolvesAfterPropagation) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  sim_.RunFor(1 * kMinute);
+  SmClient client(&sd_, &cluster_, /*viewer=*/3);
+  auto got = client.ResolveServing("test_service", 7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, sm->GetAssignment(7)->replicas[0].server);
+}
+
+TEST_F(SmServerTest, SmClientReportsDeadMappedServer) {
+  auto sm = MakeServer({});
+  RegisterAll(*sm);
+  ASSERT_TRUE(sm->EnsureShard(7).ok());
+  sim_.RunFor(1 * kMinute);
+  cluster::ServerId owner = sm->GetAssignment(7)->replicas[0].server;
+  // Kill the owner; before failover republishes, clients see UNAVAILABLE
+  // (mapped-but-dead), which is their signal to retry elsewhere.
+  cluster_.SetHealth(owner, cluster::ServerHealth::kDown);
+  SmClient client(&sd_, &cluster_, /*viewer=*/3);
+  EXPECT_EQ(client.ResolveServing("test_service", 7).status().code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace scalewall::sm

@@ -1,0 +1,140 @@
+// Unit tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/generators.h"
+
+namespace scalewall::workload {
+namespace {
+
+TEST(MakeSchemaTest, ShapeMatchesArguments) {
+  cubrick::TableSchema schema = MakeSchema(3, 100, 10, 2);
+  ASSERT_EQ(schema.dimensions.size(), 3u);
+  ASSERT_EQ(schema.metrics.size(), 2u);
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.dimensions[0].num_buckets(), 10u);
+}
+
+TEST(AdEventsSchemaTest, IsValid) {
+  cubrick::TableSchema schema = AdEventsSchema();
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.DimensionIndex("day"), 0);
+  EXPECT_EQ(schema.MetricIndex("spend"), 2);
+}
+
+TEST(TablePopulationTest, HeavyTailedSizes) {
+  Rng rng(1);
+  TablePopulationOptions options;
+  options.num_tables = 2000;
+  auto tables = GenerateTablePopulation(options, rng);
+  ASSERT_EQ(tables.size(), 2000u);
+  uint64_t max_rows = 0;
+  int tiny = 0;
+  for (const TableSpec& t : tables) {
+    EXPECT_GE(t.rows, 1u);
+    EXPECT_LE(t.rows, options.max_rows);
+    max_rows = std::max(max_rows, t.rows);
+    if (t.rows < 10000) ++tiny;
+  }
+  // Heavy tail: some tables near the cap, most small.
+  EXPECT_GT(max_rows, 1000000u);
+  EXPECT_GT(tiny, 1000);
+  // Distinct names.
+  EXPECT_EQ(tables[0].name, "tenant_table_0");
+  EXPECT_EQ(tables[1999].name, "tenant_table_1999");
+}
+
+TEST(GenerateRowsTest, RowsRespectSchemaDomains) {
+  cubrick::TableSchema schema = MakeSchema(3, 50, 5, 2);
+  Rng rng(2);
+  auto rows = GenerateRows(schema, 5000, rng);
+  ASSERT_EQ(rows.size(), 5000u);
+  for (const cubrick::Row& r : rows) {
+    ASSERT_EQ(r.dims.size(), 3u);
+    ASSERT_EQ(r.metrics.size(), 2u);
+    for (uint32_t v : r.dims) EXPECT_LT(v, 50u);
+    for (double m : r.metrics) EXPECT_GE(m, 0.0);
+  }
+}
+
+TEST(GenerateRowsTest, ZipfSkewConcentratesValues) {
+  cubrick::TableSchema schema = MakeSchema(1, 1000, 10, 1);
+  Rng rng(3);
+  RowGenOptions options;
+  options.zipf_s = 1.2;
+  auto rows = GenerateRows(schema, 20000, rng, options);
+  int low = 0;
+  for (const cubrick::Row& r : rows) {
+    if (r.dims[0] < 10) ++low;
+  }
+  // Top-10 values take far more than the uniform 1%.
+  EXPECT_GT(low, 2000);
+}
+
+TEST(GenerateRowsTest, RecencySkewFillsRecentBuckets) {
+  cubrick::TableSchema schema = MakeSchema(1, 100, 10, 1);
+  Rng rng(4);
+  RowGenOptions options;
+  options.recency_skew = true;
+  auto rows = GenerateRows(schema, 20000, rng, options);
+  int recent = 0;
+  for (const cubrick::Row& r : rows) {
+    if (r.dims[0] >= 90) ++recent;
+  }
+  EXPECT_GT(recent, 8000);  // ~half land in the top 10%
+}
+
+TEST(GenerateQueryTest, QueriesValidate) {
+  cubrick::TableSchema schema = MakeSchema(4, 64, 8, 3);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    cubrick::Query q = GenerateQuery("t", schema, rng);
+    EXPECT_EQ(q.table, "t");
+    EXPECT_TRUE(q.Validate(schema).ok()) << i;
+    EXPECT_GE(q.aggregations.size(), 1u);
+  }
+}
+
+TEST(GenerateQueryTest, RecencyBiasTargetsRecentValues) {
+  cubrick::TableSchema schema = MakeSchema(2, 100, 10, 1);
+  Rng rng(6);
+  QueryGenOptions options;
+  options.filter_probability = 1.0;
+  options.recency_bias = true;
+  int recent_filters = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    cubrick::Query q = GenerateQuery("t", schema, rng, options);
+    for (const cubrick::FilterRange& f : q.filters) {
+      if (f.dimension != 0) continue;
+      ++total;
+      if (f.lo >= 80) ++recent_filters;
+    }
+  }
+  EXPECT_EQ(recent_filters, total);
+}
+
+TEST(FixedProbeQueryTest, ShapeAndValidity) {
+  cubrick::TableSchema schema = AdEventsSchema();
+  cubrick::Query q = FixedProbeQuery("t", schema);
+  EXPECT_TRUE(q.Validate(schema).ok());
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].dimension, 0);
+  ASSERT_EQ(q.aggregations.size(), 1u);
+  EXPECT_EQ(q.aggregations[0].op, cubrick::AggOp::kSum);
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameOutput) {
+  cubrick::TableSchema schema = MakeSchema(2, 64, 8, 1);
+  Rng rng1(9), rng2(9);
+  auto rows1 = GenerateRows(schema, 100, rng1);
+  auto rows2 = GenerateRows(schema, 100, rng2);
+  for (size_t i = 0; i < rows1.size(); ++i) {
+    EXPECT_EQ(rows1[i].dims, rows2[i].dims);
+    EXPECT_EQ(rows1[i].metrics, rows2[i].metrics);
+  }
+}
+
+}  // namespace
+}  // namespace scalewall::workload
