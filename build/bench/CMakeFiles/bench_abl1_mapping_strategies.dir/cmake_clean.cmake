@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl1_mapping_strategies.dir/bench_abl1_mapping_strategies.cc.o"
+  "CMakeFiles/bench_abl1_mapping_strategies.dir/bench_abl1_mapping_strategies.cc.o.d"
+  "bench_abl1_mapping_strategies"
+  "bench_abl1_mapping_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl1_mapping_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl2_coordinator_strategies.dir/bench_abl2_coordinator_strategies.cc.o"
+  "CMakeFiles/bench_abl2_coordinator_strategies.dir/bench_abl2_coordinator_strategies.cc.o.d"
+  "bench_abl2_coordinator_strategies"
+  "bench_abl2_coordinator_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl2_coordinator_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

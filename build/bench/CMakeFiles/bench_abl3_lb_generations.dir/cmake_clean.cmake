@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl3_lb_generations.dir/bench_abl3_lb_generations.cc.o"
+  "CMakeFiles/bench_abl3_lb_generations.dir/bench_abl3_lb_generations.cc.o.d"
+  "bench_abl3_lb_generations"
+  "bench_abl3_lb_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl3_lb_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

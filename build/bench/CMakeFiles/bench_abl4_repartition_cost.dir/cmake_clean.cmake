@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl4_repartition_cost.dir/bench_abl4_repartition_cost.cc.o"
+  "CMakeFiles/bench_abl4_repartition_cost.dir/bench_abl4_repartition_cost.cc.o.d"
+  "bench_abl4_repartition_cost"
+  "bench_abl4_repartition_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl4_repartition_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl4_repartition_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_scalability_wall.dir/bench_fig1_scalability_wall.cc.o"
+  "CMakeFiles/bench_fig1_scalability_wall.dir/bench_fig1_scalability_wall.cc.o.d"
+  "bench_fig1_scalability_wall"
+  "bench_fig1_scalability_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_scalability_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_collisions.dir/bench_fig4a_collisions.cc.o"
+  "CMakeFiles/bench_fig4a_collisions.dir/bench_fig4a_collisions.cc.o.d"
+  "bench_fig4a_collisions"
+  "bench_fig4a_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4c_discovery_propagation.
+# This may be replaced when dependencies are built.

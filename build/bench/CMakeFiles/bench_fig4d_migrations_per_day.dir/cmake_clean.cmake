@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4d_migrations_per_day.dir/bench_fig4d_migrations_per_day.cc.o"
+  "CMakeFiles/bench_fig4d_migrations_per_day.dir/bench_fig4d_migrations_per_day.cc.o.d"
+  "bench_fig4d_migrations_per_day"
+  "bench_fig4d_migrations_per_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4d_migrations_per_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

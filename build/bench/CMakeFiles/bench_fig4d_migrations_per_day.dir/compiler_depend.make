@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4d_migrations_per_day.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4f_host_repairs.dir/bench_fig4f_host_repairs.cc.o"
+  "CMakeFiles/bench_fig4f_host_repairs.dir/bench_fig4f_host_repairs.cc.o.d"
+  "bench_fig4f_host_repairs"
+  "bench_fig4f_host_repairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4f_host_repairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

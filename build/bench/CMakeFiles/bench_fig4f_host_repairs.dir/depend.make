@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4f_host_repairs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl1_shard_mapping.dir/bench_tbl1_shard_mapping.cc.o"
+  "CMakeFiles/bench_tbl1_shard_mapping.dir/bench_tbl1_shard_mapping.cc.o.d"
+  "bench_tbl1_shard_mapping"
+  "bench_tbl1_shard_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl1_shard_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

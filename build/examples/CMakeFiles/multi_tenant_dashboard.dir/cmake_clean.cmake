@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_dashboard.dir/multi_tenant_dashboard.cpp.o"
+  "CMakeFiles/multi_tenant_dashboard.dir/multi_tenant_dashboard.cpp.o.d"
+  "multi_tenant_dashboard"
+  "multi_tenant_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

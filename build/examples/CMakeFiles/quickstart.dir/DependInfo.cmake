@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scalewall_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scalewall_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cubrick/CMakeFiles/scalewall_cubrick.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/scalewall_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/scalewall_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scalewall_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scalewall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scalewall_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

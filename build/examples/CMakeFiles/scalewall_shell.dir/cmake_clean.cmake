@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_shell.dir/scalewall_shell.cpp.o"
+  "CMakeFiles/scalewall_shell.dir/scalewall_shell.cpp.o.d"
+  "scalewall_shell"
+  "scalewall_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_join.dir/star_schema_join.cpp.o"
+  "CMakeFiles/star_schema_join.dir/star_schema_join.cpp.o.d"
+  "star_schema_join"
+  "star_schema_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

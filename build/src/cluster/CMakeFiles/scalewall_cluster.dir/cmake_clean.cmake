@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_cluster.dir/cluster.cc.o"
+  "CMakeFiles/scalewall_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/scalewall_cluster.dir/failure_injector.cc.o"
+  "CMakeFiles/scalewall_cluster.dir/failure_injector.cc.o.d"
+  "libscalewall_cluster.a"
+  "libscalewall_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

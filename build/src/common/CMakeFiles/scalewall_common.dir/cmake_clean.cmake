@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_common.dir/hash.cc.o"
+  "CMakeFiles/scalewall_common.dir/hash.cc.o.d"
+  "CMakeFiles/scalewall_common.dir/histogram.cc.o"
+  "CMakeFiles/scalewall_common.dir/histogram.cc.o.d"
+  "CMakeFiles/scalewall_common.dir/logging.cc.o"
+  "CMakeFiles/scalewall_common.dir/logging.cc.o.d"
+  "CMakeFiles/scalewall_common.dir/random.cc.o"
+  "CMakeFiles/scalewall_common.dir/random.cc.o.d"
+  "CMakeFiles/scalewall_common.dir/status.cc.o"
+  "CMakeFiles/scalewall_common.dir/status.cc.o.d"
+  "CMakeFiles/scalewall_common.dir/time.cc.o"
+  "CMakeFiles/scalewall_common.dir/time.cc.o.d"
+  "libscalewall_common.a"
+  "libscalewall_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

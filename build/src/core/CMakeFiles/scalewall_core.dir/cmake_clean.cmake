@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_core.dir/deployment.cc.o"
+  "CMakeFiles/scalewall_core.dir/deployment.cc.o.d"
+  "CMakeFiles/scalewall_core.dir/metrics.cc.o"
+  "CMakeFiles/scalewall_core.dir/metrics.cc.o.d"
+  "CMakeFiles/scalewall_core.dir/scalability_model.cc.o"
+  "CMakeFiles/scalewall_core.dir/scalability_model.cc.o.d"
+  "libscalewall_core.a"
+  "libscalewall_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cubrick/brick.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/brick.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/brick.cc.o.d"
+  "/root/repo/src/cubrick/catalog.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/catalog.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/catalog.cc.o.d"
+  "/root/repo/src/cubrick/codec.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/codec.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/codec.cc.o.d"
+  "/root/repo/src/cubrick/coordinator.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/coordinator.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/coordinator.cc.o.d"
+  "/root/repo/src/cubrick/dictionary.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/dictionary.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/dictionary.cc.o.d"
+  "/root/repo/src/cubrick/partition.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/partition.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/partition.cc.o.d"
+  "/root/repo/src/cubrick/proxy.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/proxy.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/proxy.cc.o.d"
+  "/root/repo/src/cubrick/query.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/query.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/query.cc.o.d"
+  "/root/repo/src/cubrick/replicated_table.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/replicated_table.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/replicated_table.cc.o.d"
+  "/root/repo/src/cubrick/schema.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/schema.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/schema.cc.o.d"
+  "/root/repo/src/cubrick/server.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/server.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/server.cc.o.d"
+  "/root/repo/src/cubrick/shard_mapper.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/shard_mapper.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/shard_mapper.cc.o.d"
+  "/root/repo/src/cubrick/sql.cc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/sql.cc.o" "gcc" "src/cubrick/CMakeFiles/scalewall_cubrick.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scalewall_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scalewall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/scalewall_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/scalewall_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/scalewall_sm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

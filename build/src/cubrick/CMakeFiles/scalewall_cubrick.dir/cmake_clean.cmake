@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_cubrick.dir/brick.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/brick.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/catalog.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/catalog.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/codec.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/codec.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/coordinator.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/coordinator.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/dictionary.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/dictionary.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/partition.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/partition.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/proxy.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/proxy.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/query.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/query.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/replicated_table.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/replicated_table.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/schema.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/schema.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/server.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/server.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/shard_mapper.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/shard_mapper.cc.o.d"
+  "CMakeFiles/scalewall_cubrick.dir/sql.cc.o"
+  "CMakeFiles/scalewall_cubrick.dir/sql.cc.o.d"
+  "libscalewall_cubrick.a"
+  "libscalewall_cubrick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_cubrick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

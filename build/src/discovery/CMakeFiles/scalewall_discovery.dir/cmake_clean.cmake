@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_discovery.dir/datastore.cc.o"
+  "CMakeFiles/scalewall_discovery.dir/datastore.cc.o.d"
+  "CMakeFiles/scalewall_discovery.dir/service_discovery.cc.o"
+  "CMakeFiles/scalewall_discovery.dir/service_discovery.cc.o.d"
+  "libscalewall_discovery.a"
+  "libscalewall_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscalewall_discovery.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_sim.dir/simulation.cc.o"
+  "CMakeFiles/scalewall_sim.dir/simulation.cc.o.d"
+  "libscalewall_sim.a"
+  "libscalewall_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

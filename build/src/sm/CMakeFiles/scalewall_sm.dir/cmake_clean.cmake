@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_sm.dir/sm_server.cc.o"
+  "CMakeFiles/scalewall_sm.dir/sm_server.cc.o.d"
+  "libscalewall_sm.a"
+  "libscalewall_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalewall_workload.dir/generators.cc.o"
+  "CMakeFiles/scalewall_workload.dir/generators.cc.o.d"
+  "libscalewall_workload.a"
+  "libscalewall_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalewall_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

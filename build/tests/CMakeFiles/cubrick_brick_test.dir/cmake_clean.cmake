@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_brick_test.dir/cubrick_brick_test.cc.o"
+  "CMakeFiles/cubrick_brick_test.dir/cubrick_brick_test.cc.o.d"
+  "cubrick_brick_test"
+  "cubrick_brick_test.pdb"
+  "cubrick_brick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_brick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_catalog_test.dir/cubrick_catalog_test.cc.o"
+  "CMakeFiles/cubrick_catalog_test.dir/cubrick_catalog_test.cc.o.d"
+  "cubrick_catalog_test"
+  "cubrick_catalog_test.pdb"
+  "cubrick_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

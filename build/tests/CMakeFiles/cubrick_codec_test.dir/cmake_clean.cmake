@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_codec_test.dir/cubrick_codec_test.cc.o"
+  "CMakeFiles/cubrick_codec_test.dir/cubrick_codec_test.cc.o.d"
+  "cubrick_codec_test"
+  "cubrick_codec_test.pdb"
+  "cubrick_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_coordinator_test.dir/cubrick_coordinator_test.cc.o"
+  "CMakeFiles/cubrick_coordinator_test.dir/cubrick_coordinator_test.cc.o.d"
+  "cubrick_coordinator_test"
+  "cubrick_coordinator_test.pdb"
+  "cubrick_coordinator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_coordinator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cubrick_coordinator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_join_test.dir/cubrick_join_test.cc.o"
+  "CMakeFiles/cubrick_join_test.dir/cubrick_join_test.cc.o.d"
+  "cubrick_join_test"
+  "cubrick_join_test.pdb"
+  "cubrick_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_partition_test.dir/cubrick_partition_test.cc.o"
+  "CMakeFiles/cubrick_partition_test.dir/cubrick_partition_test.cc.o.d"
+  "cubrick_partition_test"
+  "cubrick_partition_test.pdb"
+  "cubrick_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_query_test.dir/cubrick_query_test.cc.o"
+  "CMakeFiles/cubrick_query_test.dir/cubrick_query_test.cc.o.d"
+  "cubrick_query_test"
+  "cubrick_query_test.pdb"
+  "cubrick_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_server_test.dir/cubrick_server_test.cc.o"
+  "CMakeFiles/cubrick_server_test.dir/cubrick_server_test.cc.o.d"
+  "cubrick_server_test"
+  "cubrick_server_test.pdb"
+  "cubrick_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

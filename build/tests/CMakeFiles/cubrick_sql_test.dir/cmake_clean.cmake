@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubrick_sql_test.dir/cubrick_sql_test.cc.o"
+  "CMakeFiles/cubrick_sql_test.dir/cubrick_sql_test.cc.o.d"
+  "cubrick_sql_test"
+  "cubrick_sql_test.pdb"
+  "cubrick_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubrick_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/sm_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_brick_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_query_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_coordinator_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_join_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_server_test[1]_include.cmake")
+include("/root/repo/build/tests/cubrick_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/deployment_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
