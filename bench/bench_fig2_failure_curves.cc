@@ -58,10 +58,59 @@ int main() {
                 static_cast<double>(ok) / trials);
   }
 
+  // The reliability layer's counter-move: retrying a failed subquery
+  // in-region (against the shard's re-resolved replica) turns the
+  // per-host failure probability from p into p^(1+retries), which moves
+  // the wall outward by orders of magnitude. Both series share the same
+  // underlying failure draws: a trial that succeeds without retries
+  // always succeeds with them, so the retried curve dominates pointwise.
+  bench::Section(
+      "monte-carlo with subquery retry + hedging layer (p=0.05%)");
+  Rng retry_rng(11);
+  std::printf("%8s %12s %12s %12s %16s\n", "fanout", "baseline", "retry=1",
+              "retry=2", "analytic(r=2)");
+  for (int n : {10, 100, 1000, 5000}) {
+    int ok0 = 0, ok1 = 0, ok2 = 0;
+    for (int t = 0; t < trials; ++t) {
+      bool s0 = true, s1 = true, s2 = true;
+      for (int h = 0; h < n; ++h) {
+        if (!retry_rng.NextBool(0.0005)) continue;  // first send ok
+        s0 = false;
+        if (!retry_rng.NextBool(0.0005)) continue;  // first retry ok
+        s1 = false;
+        if (!retry_rng.NextBool(0.0005)) continue;  // second retry ok
+        s2 = false;
+        break;
+      }
+      if (s0) ++ok0;
+      if (s1) ++ok1;
+      if (s2) ++ok2;
+    }
+    double p_eff = 0.0005 * 0.0005 * 0.0005;  // p^(1+2)
+    std::printf("%8d %12.6f %12.6f %12.6f %16.9f\n", n,
+                static_cast<double>(ok0) / trials,
+                static_cast<double>(ok1) / trials,
+                static_cast<double>(ok2) / trials,
+                core::QuerySuccessRatio(p_eff, n));
+  }
+
+  bench::Section("scalability wall with subquery retries (SLA=99%)");
+  std::printf("%12s %12s %12s %12s\n", "p(failure)", "retries=0", "retries=1",
+              "retries=2");
+  for (double p : probabilities) {
+    std::printf("%11.3f%% %12d %12d %12d\n", p * 100,
+                core::ScalabilityWall(p, 0.99),
+                core::ScalabilityWall(p * p, 0.99),
+                core::ScalabilityWall(p * p * p, 0.99));
+  }
+
   bench::PaperNote(
       "Figure 2's shape: every curve decays exponentially with fan-out; a "
       "10x worse failure probability pulls the wall in by 10x. All "
       "fully-sharded systems are bound to hit the wall if enough scale is "
-      "required.");
+      "required. The subquery-retry layer breaches it: each in-region "
+      "retry squares the effective per-host failure probability, so the "
+      "same fleet sustains orders of magnitude more fan-out inside the "
+      "99% SLA.");
   return 0;
 }

@@ -36,9 +36,11 @@ void Histogram::Add(double value) {
   ++buckets_[b];
 }
 
-void Histogram::Merge(const Histogram& other) {
-  // Requires identical bucketing parameters.
-  if (other.count_ == 0) return;
+bool Histogram::Merge(const Histogram& other) {
+  if (min_value_ != other.min_value_ || log_growth_ != other.log_growth_) {
+    return false;
+  }
+  if (other.count_ == 0) return true;
   if (count_ == 0) {
     min_seen_ = other.min_seen_;
     max_seen_ = other.max_seen_;
@@ -55,6 +57,7 @@ void Histogram::Merge(const Histogram& other) {
   for (size_t i = 0; i < other.buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
+  return true;
 }
 
 double Histogram::Quantile(double q) const {
@@ -62,15 +65,20 @@ double Histogram::Quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
   uint64_t seen = 0;
-  if (target < underflow_) return min_value_;
+  // Underflow samples are below the histogram floor; the best estimate
+  // for a rank landing there is the smallest value actually observed.
+  if (target < underflow_) return min_seen_;
   seen = underflow_;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
     if (seen + buckets_[i] > target) {
-      // Linear interpolation within the bucket.
-      double frac = static_cast<double>(target - seen + 1) /
+      // Linear interpolation within the bucket: rank 0 of n sits at the
+      // bucket's lower edge, rank n-1 just below its upper edge (so a
+      // single-sample bucket reports its lower bound, not an inflated
+      // upper bound).
+      double frac = static_cast<double>(target - seen) /
                     static_cast<double>(buckets_[i]);
-      double lo = BucketLower(i);
+      double lo = std::max(BucketLower(i), min_seen_);
       double hi = std::min(BucketUpper(i), max_seen_);
       if (hi < lo) hi = lo;
       return lo + frac * (hi - lo);

@@ -23,7 +23,12 @@ class Histogram {
   explicit Histogram(double min_value = 1e-6, double growth = 1.01);
 
   void Add(double value);
-  void Merge(const Histogram& other);
+
+  // Merges `other` into this histogram. Both histograms must have been
+  // constructed with identical bucketing parameters (min_value, growth);
+  // merging histograms with different bucket boundaries would silently
+  // misattribute counts, so such a merge is refused and returns false.
+  bool Merge(const Histogram& other);
 
   uint64_t count() const { return count_; }
   double min() const { return count_ ? min_seen_ : 0; }

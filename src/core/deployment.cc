@@ -50,6 +50,7 @@ Deployment::Deployment(DeploymentOptions options)
     region->context.network_model = sim::NetworkModel(options_.network);
     region->context.failure_model =
         sim::TransientFailureModel(options_.per_host_failure_probability);
+    region->context.policy = options_.subquery_policy;
 
     regions_.push_back(std::move(region));
   }

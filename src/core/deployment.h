@@ -77,6 +77,9 @@ struct DeploymentOptions {
   // Per-host transient failure probability per query ("0.01% chance of
   // failure at any given time" = 0.0001).
   double per_host_failure_probability = 0.0001;
+  // Subquery-level retry/hedging policy applied by every region's
+  // coordinators (disabled by default: legacy whole-attempt failure).
+  cubrick::SubqueryPolicy subquery_policy;
   // Stochastic permanent failures / drains.
   bool enable_failure_injector = false;
   cluster::FailureInjectorOptions failure_injector;

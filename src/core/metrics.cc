@@ -1,6 +1,7 @@
 #include "core/metrics.h"
 
 #include <sstream>
+#include <utility>
 
 namespace scalewall::core {
 
@@ -82,6 +83,27 @@ std::string ExportMetricsText(Deployment& deployment) {
        static_cast<double>(proxy.cross_region_retries));
   Emit(out, "scalewall_proxy_blacklist_hits_total", "",
        static_cast<double>(proxy.blacklist_hits));
+
+  // Subquery reliability layer (per-stage retry/hedge/deadline counters).
+  Emit(out, "scalewall_proxy_subquery_retries_total", "",
+       static_cast<double>(proxy.subquery_retries));
+  Emit(out, "scalewall_proxy_hedges_total", "result=\"fired\"",
+       static_cast<double>(proxy.hedges_fired));
+  Emit(out, "scalewall_proxy_hedges_total", "result=\"won\"",
+       static_cast<double>(proxy.hedge_wins));
+  Emit(out, "scalewall_proxy_deadline_exceeded_total", "",
+       static_cast<double>(proxy.deadline_exceeded));
+  for (const auto& [q, name] :
+       {std::pair<double, const char*>{0.5, "0.5"},
+        std::pair<double, const char*>{0.99, "0.99"},
+        std::pair<double, const char*>{0.999, "0.999"}}) {
+    Emit(out, "scalewall_proxy_attempt_latency_ms",
+         std::string("quantile=\"") + name + "\"",
+         proxy.attempt_latency_ms.Quantile(q));
+    Emit(out, "scalewall_proxy_query_latency_ms",
+         std::string("quantile=\"") + name + "\"",
+         proxy.query_latency_ms.Quantile(q));
+  }
 
   // Storage engine, aggregated over the fleet.
   int64_t partial_queries = 0, compressed = 0, decompressed = 0,

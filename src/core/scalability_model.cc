@@ -17,6 +17,11 @@ int ScalabilityWall(double per_server_failure_probability, double sla) {
   if (sla >= 1.0) return 1;
   // (1-p)^n < sla  <=>  n > log(sla) / log(1-p)
   double n = std::log(sla) / std::log(1.0 - per_server_failure_probability);
+  // Tiny p (e.g. a retried p^3) can push the wall past INT_MAX; the
+  // double->int cast would be undefined, so saturate instead.
+  if (n >= static_cast<double>(std::numeric_limits<int>::max())) {
+    return std::numeric_limits<int>::max();
+  }
   return static_cast<int>(std::ceil(n));
 }
 

@@ -1,6 +1,7 @@
 #include "cubrick/coordinator.h"
 
 #include <algorithm>
+#include <map>
 
 #include "sm/sm_client.h"
 
@@ -8,7 +9,8 @@ namespace scalewall::cubrick {
 
 DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
                                       cluster::ServerId coordinator,
-                                      Rng& rng) {
+                                      Rng& rng,
+                                      SimDuration deadline_budget) {
   DistributedOutcome outcome;
   auto table = ctx.catalog->GetTable(query.table);
   if (!table.ok()) {
@@ -64,6 +66,12 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       return outcome;
     }
     auto server = client.ResolveServing(ctx.service, *shard);
+    if (!server.ok() && ctx.policy.enabled()) {
+      // The local discovery view can be seconds stale (Figure 4c); before
+      // giving up on the region, re-resolve against the authoritative
+      // root, which already knows a just-published failover replica.
+      server = client.ResolveServingFresh(ctx.service, *shard);
+    }
     if (!server.ok()) {
       // Partition unavailable in this region: fail so the proxy retries
       // against a different region.
@@ -79,41 +87,98 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
   }
   outcome.fanout = static_cast<int>(distinct.size());
 
+  const SubqueryPolicy& policy = ctx.policy;
+  // Converts a failure surfacing at `spent` into the status the client
+  // actually observes: past the deadline the caller has already hung up,
+  // so the attempt reports kDeadlineExceeded capped at the budget.
+  auto deadline_capped = [&](SimDuration spent, Status status) {
+    if (deadline_budget > 0 && spent >= deadline_budget) {
+      outcome.status = Status::DeadlineExceeded(
+          "attempt exceeded remaining deadline budget of " +
+          FormatDuration(deadline_budget));
+      outcome.latency = deadline_budget;
+    } else {
+      outcome.status = std::move(status);
+      outcome.latency = spent;
+    }
+  };
+
   // Per-host transient failure draws: each participating server
   // independently fails the request with probability p (Figures 1-2).
+  // Instead of failing the whole in-region attempt on the first bad
+  // draw, the coordinator retries the host's subqueries with exponential
+  // backoff — re-resolved below through the authoritative SmClient view,
+  // so a shard that failed over mid-query lands on its new replica.
+  // Retries push the effective per-host failure probability down from p
+  // to p^(1+retries), which directly moves the Figure 1/2 wall outward.
+  std::map<cluster::ServerId, SimDuration> host_penalty;
+  std::set<cluster::ServerId> reresolve;
   for (cluster::ServerId server : distinct) {
-    if (ctx.failure_model.Fails(rng)) {
-      outcome.status = Status::Unavailable(
-          "server " + std::to_string(server) +
-          " failed during query execution");
-      outcome.failed_server = server;
+    SimDuration penalty = 0;
+    int tries = 0;
+    while (ctx.failure_model.Fails(rng)) {
       // The failure surfaces roughly when the subquery would have
       // completed (or timed out).
-      outcome.latency = ctx.network_model.SampleHop(rng) +
-                        ctx.latency_model.Sample(rng);
-      return outcome;
+      penalty += ctx.network_model.SampleHop(rng) +
+                 ctx.latency_model.Sample(rng);
+      if (tries >= policy.max_subquery_retries) {
+        deadline_capped(penalty,
+                        Status::Unavailable(
+                            "server " + std::to_string(server) +
+                            " failed during query execution"));
+        outcome.failed_server = server;
+        return outcome;
+      }
+      penalty += policy.retry_backoff << tries;
+      ++tries;
+      ++outcome.subquery_retries;
+      reresolve.insert(server);
+      if (deadline_budget > 0 && penalty >= deadline_budget) {
+        outcome.status = Status::DeadlineExceeded(
+            "subquery retries exhausted the remaining deadline budget of " +
+            FormatDuration(deadline_budget));
+        outcome.latency = deadline_budget;
+        outcome.failed_server = server;
+        return outcome;
+      }
     }
+    if (penalty > 0) host_penalty[server] = penalty;
   }
 
   // Execute subqueries (in parallel in simulated time): the distributed
-  // latency is the max over per-partition (hop + service).
+  // latency is the max over per-partition (retry penalty + hop +
+  // service). Subqueries still outstanding at the hedge quantile of the
+  // latency model get a duplicate dispatch; the first completion wins,
+  // taming the max-over-N tail that drives Figure 5.
+  const SimDuration hedge_delay =
+      policy.hedge_quantile > 0.0
+          ? ctx.latency_model.Quantile(policy.hedge_quantile)
+          : 0;
   SimDuration slowest = 0;
   for (const Subquery& sub : subqueries) {
-    CubrickServer* server = ctx.directory->Lookup(sub.server);
+    cluster::ServerId exec_server = sub.server;
+    if (reresolve.count(sub.server) > 0) {
+      auto shard = ctx.catalog->ShardForPartition(query.table, sub.partition);
+      if (shard.ok()) {
+        auto fresh = client.ResolveServingFresh(ctx.service, *shard);
+        if (fresh.ok()) exec_server = *fresh;
+      }
+    }
+    CubrickServer* server = ctx.directory->Lookup(exec_server);
     if (server == nullptr) {
       outcome.status = Status::Unavailable("server instance missing");
-      outcome.failed_server = sub.server;
+      outcome.failed_server = exec_server;
       return outcome;
     }
     auto partial = server->ExecutePartial(query, sub.partition);
     if (!partial.ok()) {
       outcome.status = partial.status();
-      outcome.failed_server = sub.server;
+      outcome.failed_server = exec_server;
       outcome.latency = ctx.network_model.SampleHop(rng) +
                         ctx.latency_model.Sample(rng);
       return outcome;
     }
-    SimDuration hop = sub.server == coordinator
+    SimDuration hop = exec_server == coordinator
                           ? 0
                           : ctx.network_model.SampleHop(rng);
     // Forwarded requests (graceful-migration window) pay extra hops.
@@ -121,10 +186,32 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       hop += ctx.network_model.SampleHop(rng);
     }
     SimDuration service = ctx.latency_model.Sample(rng);
-    slowest = std::max(slowest, hop + service);
+    SimDuration chain = hop + service;
+    if (hedge_delay > 0 && chain > hedge_delay) {
+      ++outcome.hedges_fired;
+      SimDuration hedged = hedge_delay + ctx.network_model.SampleHop(rng) +
+                           ctx.latency_model.Sample(rng);
+      if (hedged < chain) {
+        ++outcome.hedge_wins;
+        chain = hedged;
+      }
+    }
+    auto it = host_penalty.find(sub.server);
+    if (it != host_penalty.end()) chain += it->second;
+    slowest = std::max(slowest, chain);
     outcome.result.Merge(partial->result);
   }
   outcome.latency = slowest + ctx.merge_overhead;
+  if (deadline_budget > 0 && outcome.latency > deadline_budget) {
+    // The merged answer arrived after the client's deadline: it is
+    // discarded, not returned late.
+    outcome.status = Status::DeadlineExceeded(
+        "attempt completed after the remaining deadline budget of " +
+        FormatDuration(deadline_budget));
+    outcome.latency = deadline_budget;
+    outcome.result = QueryResult(query.aggregations.size());
+    return outcome;
+  }
   outcome.status = Status::Ok();
   return outcome;
 }

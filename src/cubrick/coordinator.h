@@ -37,6 +37,32 @@
 
 namespace scalewall::cubrick {
 
+// Subquery-level reliability policy (the mechanism that moves the
+// scalability wall rather than measuring it). A query fanning out to N
+// hosts fails with probability 1-(1-p)^N; whole-query retries stop
+// helping once N is large, so the coordinator instead retries and hedges
+// *individual* subqueries, pushing the effective per-host p down to
+// p^(1+retries) and taming the max-over-N latency tail.
+struct SubqueryPolicy {
+  // Failed per-host draws are retried this many times against the
+  // shard's current owner, re-resolved through SmClient's authoritative
+  // view (so a just-published failover replica is found even while the
+  // local discovery cache is stale). 0 = legacy behaviour: the first
+  // per-host failure fails the whole in-region attempt.
+  int max_subquery_retries = 0;
+  // Backoff before the k-th subquery retry: retry_backoff << k of
+  // simulated time, added to that subquery chain's latency.
+  SimDuration retry_backoff = 2 * kMillisecond;
+  // When > 0, a duplicate of any subquery still outstanding at this
+  // quantile of the service-latency body is dispatched and the first
+  // completion wins (tied-request hedging, Dean & Barroso). 0 disables.
+  double hedge_quantile = 0.0;
+
+  bool enabled() const {
+    return max_subquery_retries > 0 || hedge_quantile > 0.0;
+  }
+};
+
 // Everything a coordinator in one region needs to execute queries.
 struct RegionContext {
   cluster::RegionId region = 0;
@@ -51,6 +77,8 @@ struct RegionContext {
   sim::TransientFailureModel failure_model{0.0};
   // Fixed cost of merging partial results on the coordinator.
   SimDuration merge_overhead = 1 * kMillisecond;
+  // Subquery retry/hedging policy applied by coordinators in this region.
+  SubqueryPolicy policy;
 };
 
 // Outcome of one in-region distributed execution attempt.
@@ -67,14 +95,22 @@ struct DistributedOutcome {
   uint32_t num_partitions = 0;
   // The server that failed the attempt, if any (for proxy blacklisting).
   cluster::ServerId failed_server = cluster::kInvalidServer;
+  // Reliability-layer activity during this attempt.
+  int subquery_retries = 0;
+  int hedges_fired = 0;
+  int hedge_wins = 0;
 };
 
 // Executes `query` with the coordinator running on `coordinator`, fanning
 // out to every partition of the table as resolved through the
-// coordinator's local discovery view.
+// coordinator's local discovery view. Per-host transient failures are
+// retried and slow subqueries hedged per `ctx.policy`; `deadline_budget`
+// (0 = unlimited) caps the attempt's wall time — once retries, backoff
+// and hedges would run past it the attempt stops with kDeadlineExceeded.
 DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
                                       cluster::ServerId coordinator,
-                                      Rng& rng);
+                                      Rng& rng,
+                                      SimDuration deadline_budget = 0);
 
 }  // namespace scalewall::cubrick
 

@@ -72,6 +72,35 @@ bool CubrickProxy::Blacklisted(cluster::ServerId server) const {
   return it != blacklist_.end() && it->second > simulation_->now();
 }
 
+void CubrickProxy::RecordFailure(cluster::ServerId server) {
+  // Blacklist only on a failure streak: one transient error is not a
+  // dead host, but several within a window very likely is.
+  SimTime now = simulation_->now();
+  auto& [count, since] = failures_[server];
+  if (count == 0 || now - since > options_.blacklist_duration) {
+    // First failure, or the previous streak aged out: (re)arm the window.
+    count = 1;
+    since = now;
+  } else if (++count >= options_.blacklist_threshold) {
+    blacklist_[server] = now + options_.blacklist_duration;
+    // Drop the streak entirely so the next failure after the blacklist
+    // expires starts a *fresh* window instead of comparing against the
+    // old streak's stale `since`.
+    failures_.erase(server);
+  }
+}
+
+void CubrickProxy::SweepExpired() {
+  SimTime now = simulation_->now();
+  if (now - last_sweep_ < options_.blacklist_duration) return;
+  last_sweep_ = now;
+  std::erase_if(blacklist_,
+                [now](const auto& entry) { return entry.second <= now; });
+  std::erase_if(failures_, [this, now](const auto& entry) {
+    return now - entry.second.second > options_.blacklist_duration;
+  });
+}
+
 Result<cluster::ServerId> CubrickProxy::PickCoordinator(
     RegionContext& ctx, const Query& query, SimDuration& extra_latency) {
   auto table = catalog_->GetTable(query.table);
@@ -170,6 +199,11 @@ QueryOutcome CubrickProxy::Submit(const Query& query,
     trace.status = outcome.status.code();
     trace.latency = outcome.latency;
     trace.fanout = outcome.fanout;
+    trace.subquery_retries = outcome.subquery_retries;
+    trace.hedges_fired = outcome.hedges_fired;
+    trace.hedge_wins = outcome.hedge_wins;
+    trace.deadline =
+        query.deadline > 0 ? query.deadline : options_.default_deadline;
     traces_.push_back(std::move(trace));
     if (traces_.size() > options_.trace_capacity) traces_.pop_front();
   }
@@ -180,6 +214,7 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
                                           cluster::RegionId preferred_region) {
   QueryOutcome outcome;
   ++stats_.submitted;
+  SweepExpired();
   if (!Admit()) {
     ++stats_.rejected;
     outcome.status =
@@ -201,10 +236,36 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
     if (ctx->region != preferred_region) order.push_back(ctx);
   }
 
+  // The end-to-end deadline budget this query runs under (0 = none):
+  // every hop and attempt decrements it, so retries and hedges can never
+  // run past the SLA the client was promised.
+  const SimDuration deadline =
+      query.deadline > 0 ? query.deadline : options_.default_deadline;
+
+  // Regions are cycled (not visited at most once) until the attempt
+  // budget runs out: with two regions and max_attempts = 3, the third
+  // attempt returns to the preferred region — a transient in-region
+  // failure is retried in-region instead of being forfeited.
   Status last_error = Status::Unavailable("no region available");
-  for (RegionContext* ctx : order) {
-    if (outcome.attempts >= options_.max_attempts) break;
-    if (!RegionAvailable(*ctx)) continue;
+  size_t cursor = 0;
+  while (outcome.attempts < options_.max_attempts) {
+    RegionContext* ctx = nullptr;
+    for (size_t i = 0; i < order.size(); ++i) {
+      RegionContext* candidate = order[(cursor + i) % order.size()];
+      if (RegionAvailable(*candidate)) {
+        ctx = candidate;
+        cursor = (cursor + i + 1) % order.size();
+        break;
+      }
+    }
+    if (ctx == nullptr) break;  // no region currently available
+    if (deadline > 0 && outcome.latency >= deadline) {
+      last_error = Status::DeadlineExceeded(
+          "deadline budget of " + FormatDuration(deadline) +
+          " exhausted after " + std::to_string(outcome.attempts) +
+          " attempts");
+      break;
+    }
     ++outcome.attempts;
     outcome.region = ctx->region;
     // Client -> proxy -> coordinator network legs.
@@ -214,17 +275,40 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
     if (!coordinator.ok()) {
       outcome.latency += attempt_latency;
       last_error = coordinator.status();
+      if (!coordinator.status().IsRetryable()) break;
       continue;
     }
-    DistributedOutcome attempt =
-        ExecuteDistributed(*ctx, query, *coordinator, rng_);
-    outcome.latency += attempt_latency + attempt.latency;
-    if (attempt.num_partitions > 0) {
-      // "the number of partitions per table is always included as part of
-      // query results metadata, and updates the proxy's cache".
-      partition_cache_[query.table] = attempt.num_partitions;
+    // The coordinator gets whatever budget remains after the time already
+    // burned by earlier attempts and this attempt's network legs.
+    SimDuration remaining = 0;
+    if (deadline > 0) {
+      remaining = deadline - outcome.latency - attempt_latency;
+      if (remaining <= 0) {
+        outcome.latency = deadline;
+        last_error = Status::DeadlineExceeded(
+            "deadline budget of " + FormatDuration(deadline) +
+            " exhausted before dispatch");
+        break;
+      }
     }
+    DistributedOutcome attempt =
+        ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining);
+    outcome.latency += attempt_latency + attempt.latency;
+    outcome.subquery_retries += attempt.subquery_retries;
+    outcome.hedges_fired += attempt.hedges_fired;
+    outcome.hedge_wins += attempt.hedge_wins;
+    stats_.subquery_retries += attempt.subquery_retries;
+    stats_.hedges_fired += attempt.hedges_fired;
+    stats_.hedge_wins += attempt.hedge_wins;
+    stats_.attempt_latency_ms.Add(ToMillis(attempt_latency + attempt.latency));
     if (attempt.status.ok()) {
+      // "the number of partitions per table is always included as part of
+      // query results metadata, and updates the proxy's cache" — the
+      // metadata travels with *results*, so only successful attempts
+      // refresh the cache (a failed attempt has no results to carry it).
+      if (attempt.num_partitions > 0) {
+        partition_cache_[query.table] = attempt.num_partitions;
+      }
       ++stats_.succeeded;
       if (outcome.attempts > 1) {
         ++stats_.retried;
@@ -235,26 +319,24 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
       outcome.rows = MaterializeRows(outcome.result, query);
       outcome.fanout = attempt.fanout;
       outcome.num_partitions = attempt.num_partitions;
+      stats_.query_latency_ms.Add(ToMillis(outcome.latency));
       return outcome;
     }
     last_error = attempt.status;
     if (attempt.failed_server != cluster::kInvalidServer) {
-      // Blacklist only on a failure streak: one transient error is not a
-      // dead host, but several within a window very likely is.
-      SimTime now = simulation_->now();
-      auto& [count, since] = failures_[attempt.failed_server];
-      if (count == 0 || now - since > options_.blacklist_duration) {
-        count = 1;
-        since = now;
-      } else if (++count >= options_.blacklist_threshold) {
-        blacklist_[attempt.failed_server] =
-            now + options_.blacklist_duration;
-        count = 0;
-      }
+      RecordFailure(attempt.failed_server);
+    }
+    if (attempt.status.code() == StatusCode::kDeadlineExceeded) {
+      // The budget is spent; further attempts would only answer late.
+      outcome.latency = deadline > 0 ? deadline : outcome.latency;
+      break;
     }
     if (!attempt.status.IsRetryable()) break;
   }
   ++stats_.failed;
+  if (last_error.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_exceeded;
+  }
   outcome.status = last_error;
   return outcome;
 }

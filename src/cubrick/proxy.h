@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "cubrick/coordinator.h"
@@ -51,8 +52,15 @@ std::string_view CoordinatorStrategyName(CoordinatorStrategy strategy);
 
 struct ProxyOptions {
   CoordinatorStrategy strategy = CoordinatorStrategy::kCachedRandom;
-  // Retry budget across regions (first attempt included).
+  // Retry budget across regions (first attempt included). Regions are
+  // cycled in proximity order until the budget is exhausted, so with two
+  // regions and max_attempts = 3 a transient in-region failure is
+  // retried in-region on the third attempt.
   int max_attempts = 3;
+  // End-to-end latency budget stamped on queries that do not carry their
+  // own (Query::deadline). Decremented per hop and per attempt;
+  // coordinators stop retrying/hedging when it runs out. 0 = unlimited.
+  SimDuration default_deadline = 0;
   // Servers that failed a query are avoided as coordinators for this long.
   SimDuration blacklist_duration = 30 * kSecond;
   // A server is only blacklisted after this many failures within one
@@ -77,6 +85,12 @@ struct QueryTrace {
   StatusCode status = StatusCode::kOk;
   SimDuration latency = 0;
   int fanout = 0;
+  // Reliability-layer activity: subquery retries and hedges across all
+  // attempts, and the deadline budget the query ran under (0 = none).
+  int subquery_retries = 0;
+  int hedges_fired = 0;
+  int hedge_wins = 0;
+  SimDuration deadline = 0;
 };
 
 // Final outcome of a proxied query.
@@ -94,6 +108,10 @@ struct QueryOutcome {
   // Fan-out of the successful attempt.
   int fanout = 0;
   uint32_t num_partitions = 0;
+  // Reliability-layer activity summed over all attempts.
+  int subquery_retries = 0;
+  int hedges_fired = 0;
+  int hedge_wins = 0;
 };
 
 class CubrickProxy {
@@ -125,10 +143,27 @@ class CubrickProxy {
     int64_t blacklist_hits = 0;
     int64_t extra_hops = 0;        // strategy-2 forwards
     int64_t extra_roundtrips = 0;  // strategy-3 lookups
+    // Reliability layer (subquery retry / hedging / deadline stages).
+    int64_t subquery_retries = 0;   // failed host draws retried in-region
+    int64_t hedges_fired = 0;       // duplicate subqueries dispatched
+    int64_t hedge_wins = 0;         // hedges that beat the primary
+    int64_t deadline_exceeded = 0;  // queries failed on their budget
+    // Per-stage latency histograms (milliseconds).
+    Histogram attempt_latency_ms{/*min_value=*/0.001};  // every attempt
+    Histogram query_latency_ms{/*min_value=*/0.001};    // successful e2e
     // Coordinator picks per server (coordinator balance ablation).
     std::map<cluster::ServerId, int64_t> coordinator_picks;
   };
   const Stats& stats() const { return stats_; }
+
+  // True while `server` is blacklisted as a coordinator choice.
+  bool Blacklisted(cluster::ServerId server) const;
+
+  // Bookkeeping sizes (tests/diagnostics): entries currently held in the
+  // blacklist and failure-streak maps. Expired entries are swept
+  // periodically so week-long simulations do not accumulate state.
+  size_t blacklist_size() const { return blacklist_.size(); }
+  size_t failure_streaks() const { return failures_.size(); }
 
  private:
   QueryOutcome SubmitInternal(const Query& query,
@@ -142,7 +177,13 @@ class CubrickProxy {
                                             const Query& query,
                                             SimDuration& extra_latency);
 
-  bool Blacklisted(cluster::ServerId server) const;
+  // Records a failure against `server`'s streak, blacklisting it when the
+  // streak reaches the threshold within one window.
+  void RecordFailure(cluster::ServerId server);
+
+  // Erases expired blacklist entries and stale failure streaks (amortized
+  // to at most one sweep per blacklist window).
+  void SweepExpired();
 
   sim::Simulation* simulation_;
   cluster::Cluster* cluster_;
@@ -154,6 +195,8 @@ class CubrickProxy {
   std::unordered_map<cluster::ServerId, SimTime> blacklist_;
   // Recent failure streaks: server -> (count, first failure time).
   std::unordered_map<cluster::ServerId, std::pair<int, SimTime>> failures_;
+  // Last time expired blacklist/failure-streak entries were swept.
+  SimTime last_sweep_ = 0;
   // Admission window: timestamps of queries admitted in the last second.
   std::deque<SimTime> admitted_;
   std::deque<QueryTrace> traces_;

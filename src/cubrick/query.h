@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time.h"
 #include "cubrick/schema.h"
 
 namespace scalewall::cubrick {
@@ -84,6 +85,12 @@ struct Query {
   int order_by = -1;
   bool descending = true;
   uint32_t limit = 0;
+  // End-to-end latency budget for this query (0 = use the proxy's
+  // default, which may itself be unlimited). The proxy stamps the budget
+  // on admission and decrements it per hop / attempt; coordinators stop
+  // retrying and hedging once the remaining budget is exhausted and the
+  // query fails with kDeadlineExceeded instead of blowing the SLA.
+  SimDuration deadline = 0;
 
   // Checks column indices against `schema`.
   Status Validate(const TableSchema& schema) const;

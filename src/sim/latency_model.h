@@ -25,6 +25,46 @@
 
 namespace scalewall::sim {
 
+namespace detail {
+
+// Acklam's rational approximation of the inverse normal CDF (relative
+// error < 1.15e-9 over the open unit interval).
+inline double InverseNormalCdf(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace detail
+
 // Parameters of the per-request service latency distribution.
 struct LatencyModelOptions {
   // Median of the lognormal body.
@@ -58,6 +98,21 @@ class LatencyModel {
     } else {
       v = rng.NextLognormal(mu_, options_.sigma);
     }
+    if (v > static_cast<double>(options_.max)) {
+      v = static_cast<double>(options_.max);
+    }
+    if (v < 1.0) v = 1.0;
+    return static_cast<SimDuration>(v);
+  }
+
+  // Analytic quantile of the lognormal *body* of the distribution (the
+  // Pareto tail only displaces quantiles above 1 - tail_probability).
+  // Hedging policies use this to decide when a subquery has been
+  // outstanding long enough that a duplicate dispatch is worthwhile
+  // [Dean & Barroso, The Tail at Scale].
+  SimDuration Quantile(double q) const {
+    q = std::min(std::max(q, 1e-6), 1.0 - 1e-6);
+    double v = std::exp(mu_ + options_.sigma * detail::InverseNormalCdf(q));
     if (v > static_cast<double>(options_.max)) {
       v = static_cast<double>(options_.max);
     }

@@ -43,7 +43,24 @@ class SmClient {
   // returns kUnavailable for mapped-but-dead servers so callers retry.
   Result<cluster::ServerId> ResolveServing(const std::string& service,
                                            ShardId shard) const {
-    auto result = Resolve(service, shard);
+    return CheckServing(Resolve(service, shard), shard);
+  }
+
+  // Re-resolution path for retries: consults the authoritative SMC root
+  // instead of the (possibly seconds-stale, Figure 4c) local proxy view.
+  // A subquery that just failed because its shard moved — e.g. SM
+  // published a failover replica the local cache has not absorbed yet —
+  // finds the new owner here. Costs an extra metadata roundtrip, so it is
+  // reserved for the retry path, never first sends.
+  Result<cluster::ServerId> ResolveServingFresh(const std::string& service,
+                                                ShardId shard) const {
+    return CheckServing(
+        service_discovery_->ResolveAuthoritative(service, shard), shard);
+  }
+
+ private:
+  Result<cluster::ServerId> CheckServing(Result<cluster::ServerId> result,
+                                         ShardId shard) const {
     if (!result.ok()) return result;
     if (!cluster_->Contains(*result) || !cluster_->Get(*result).IsServing()) {
       return Status::Unavailable("shard " + std::to_string(shard) +
@@ -53,7 +70,6 @@ class SmClient {
     return result;
   }
 
- private:
   const discovery::ServiceDiscovery* service_discovery_;
   const cluster::Cluster* cluster_;
   cluster::ServerId viewer_;

@@ -361,6 +361,42 @@ TEST(HistogramTest, UnderflowCounted) {
   EXPECT_LE(h.Quantile(0.0), 1.0);
 }
 
+TEST(HistogramTest, SingleValueQuantileZeroNotInflated) {
+  // A single-sample bucket must not interpolate to its *upper* bound:
+  // q=0 over one observation is that observation, not ~1% above it.
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, UnderflowQuantileReturnsMinSeen) {
+  Histogram h(/*min_value=*/1.0);
+  h.Add(0.25);  // below the histogram floor
+  h.Add(10.0);
+  h.Add(20.0);
+  // The rank-0 sample is the underflow value, not the bucket floor.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBucketing) {
+  Histogram a(/*min_value=*/1e-6, /*growth=*/1.01);
+  Histogram b(/*min_value=*/0.5, /*growth=*/1.05);
+  b.Add(3.0);
+  b.Add(4.0);
+  // Different bucket boundaries: merging would corrupt counts, so the
+  // merge is refused and the target left untouched.
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.count(), 0u);
+
+  Histogram c(/*min_value=*/0.5, /*growth=*/1.05);
+  c.Add(1.0);
+  EXPECT_TRUE(c.Merge(b));
+  EXPECT_EQ(c.count(), 3u);
+}
+
 TEST(RunningStatTest, Moments) {
   RunningStat s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);

@@ -1,0 +1,323 @@
+// Tests for the query reliability pipeline: the proxy's cross-region
+// retry budget, partition-cache update rules, blacklist hygiene, deadline
+// propagation, and the coordinator's subquery retry + hedging layer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/deployment.h"
+#include "workload/generators.h"
+
+namespace scalewall::core {
+namespace {
+
+cubrick::Query CountQuery(const std::string& table) {
+  cubrick::Query q;
+  q.table = table;
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kCount},
+                    cubrick::Aggregation{0, cubrick::AggOp::kSum}};
+  return q;
+}
+
+DeploymentOptions SmallOptions(uint64_t seed, int regions) {
+  DeploymentOptions options;
+  options.seed = seed;
+  options.topology.regions = regions;
+  options.topology.racks_per_region = 2;
+  options.topology.servers_per_rack = 5;
+  options.max_shards = 5000;
+  options.per_host_failure_probability = 0.0;
+  return options;
+}
+
+// Regression for the broken retry budget: the old region loop visited
+// each region at most once, so with 2 regions and max_attempts = 3 the
+// third attempt could never happen and a transient in-region failure was
+// never retried in-region.
+TEST(ProxyRetryBudgetTest, CyclesRegionsUntilBudgetExhausted) {
+  DeploymentOptions options = SmallOptions(/*seed=*/11, /*regions=*/2);
+  options.proxy_options.max_attempts = 3;
+  // Keep blacklisting out of the way: this test is about the budget.
+  options.proxy_options.blacklist_threshold = 1 << 20;
+  Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema, TableOptions{.partitions = 1}).ok());
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 100, rng));
+  dep.RunFor(60 * kSecond);
+
+  // Every attempt in every region fails: all three attempts must be
+  // spent (the old code stopped at two — one per region).
+  dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
+  dep.region_context(1).failure_model = sim::TransientFailureModel(1.0);
+  auto outcome = dep.Query(CountQuery("t"));
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.attempts, 3);
+}
+
+TEST(ProxyRetryBudgetTest, SingleRegionRetriesInRegion) {
+  DeploymentOptions options = SmallOptions(/*seed=*/12, /*regions=*/1);
+  options.proxy_options.max_attempts = 3;
+  options.proxy_options.blacklist_threshold = 1 << 20;
+  Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema, TableOptions{.partitions = 1}).ok());
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 100, rng));
+  dep.RunFor(60 * kSecond);
+
+  dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
+  auto outcome = dep.Query(CountQuery("t"));
+  EXPECT_FALSE(outcome.status.ok());
+  // The old loop gave a single region exactly one attempt.
+  EXPECT_EQ(outcome.attempts, 3);
+}
+
+// Acceptance criterion: with max_attempts = 3 and 2 regions, a query
+// observing two transient failures and then a healthy attempt succeeds.
+TEST(ProxyRetryBudgetTest, TwoTransientFailuresThenHealthySucceeds) {
+  DeploymentOptions options = SmallOptions(/*seed=*/13, /*regions=*/2);
+  options.proxy_options.max_attempts = 3;
+  options.proxy_options.blacklist_threshold = 1 << 20;
+  Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema, TableOptions{.partitions = 1}).ok());
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 100, rng));
+  dep.RunFor(60 * kSecond);
+
+  // Each attempt touches one host and fails with probability 0.5, so
+  // (fail, fail, success) sequences occur with probability 1/8 per
+  // query; with 200 queries and a fixed seed several must occur — and
+  // they can only succeed if the third attempt exists.
+  dep.region_context(0).failure_model = sim::TransientFailureModel(0.5);
+  dep.region_context(1).failure_model = sim::TransientFailureModel(0.5);
+  int third_attempt_successes = 0;
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto outcome = dep.Query(CountQuery("t"));
+    if (outcome.status.ok()) {
+      ++successes;
+      if (outcome.attempts == 3) ++third_attempt_successes;
+    }
+    dep.RunFor(100 * kMillisecond);
+  }
+  EXPECT_GT(third_attempt_successes, 0);
+  // 1 - 0.5^3 = 87.5% expected success overall.
+  EXPECT_GT(successes, 150);
+}
+
+// The partition count is returned "as part of query results metadata"
+// (Section IV-C): failed attempts return no results, so they must not
+// refresh the cache.
+TEST(ProxyCacheTest, OnlySuccessfulAttemptsUpdatePartitionCache) {
+  DeploymentOptions options = SmallOptions(/*seed=*/14, /*regions=*/1);
+  options.topology.racks_per_region = 4;  // 20 servers >= 16 partitions
+  Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema).ok());  // 8 partitions
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 200, rng));
+  dep.RunFor(60 * kSecond);
+
+  ASSERT_TRUE(dep.Query(CountQuery("t")).status.ok());
+  EXPECT_EQ(dep.proxy().CachedPartitions("t"), 8u);
+
+  ASSERT_TRUE(dep.Repartition("t", 16).ok());
+  dep.RunFor(2 * kMinute);  // placements + discovery propagation
+
+  // A failing attempt sees the new count in the catalog but must not
+  // leak it into the cache.
+  dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
+  auto failed = dep.Query(CountQuery("t"));
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_EQ(dep.proxy().CachedPartitions("t"), 8u);
+
+  dep.region_context(0).failure_model = sim::TransientFailureModel(0.0);
+  auto ok = dep.Query(CountQuery("t"));
+  ASSERT_TRUE(ok.status.ok()) << ok.status;
+  EXPECT_EQ(ok.num_partitions, 16u);
+  EXPECT_EQ(dep.proxy().CachedPartitions("t"), 16u);
+}
+
+// Blacklist hygiene: streak windows re-arm after aging out, expired
+// entries are swept (week-long simulations must not accumulate state).
+TEST(ProxyBlacklistTest, StreakWindowsAndExpirySweep) {
+  DeploymentOptions options = SmallOptions(/*seed=*/15, /*regions=*/1);
+  options.proxy_options.max_attempts = 1;  // one failure record per query
+  options.proxy_options.blacklist_threshold = 3;
+  options.proxy_options.blacklist_duration = 30 * kSecond;
+  Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema, TableOptions{.partitions = 1}).ok());
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 100, rng));
+  dep.RunFor(60 * kSecond);
+
+  // The single partition's owner is the host every failure lands on.
+  sm::ShardId shard = *dep.catalog().ShardForPartition("t", 0);
+  cluster::ServerId host =
+      *dep.discovery(0).ResolveAuthoritative("cubrick.region0", shard);
+
+  dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
+  cubrick::Query q = CountQuery("t");
+
+  // Two failures: a streak, but below the threshold.
+  dep.Query(q);
+  dep.Query(q);
+  EXPECT_FALSE(dep.proxy().Blacklisted(host));
+  EXPECT_EQ(dep.proxy().failure_streaks(), 1u);
+
+  // The streak ages out; two more failures must start a fresh window
+  // rather than extending the stale one to the threshold.
+  dep.RunFor(31 * kSecond);
+  dep.Query(q);
+  dep.Query(q);
+  EXPECT_FALSE(dep.proxy().Blacklisted(host));
+
+  // Third failure within the fresh window: blacklisted, streak dropped.
+  dep.Query(q);
+  EXPECT_TRUE(dep.proxy().Blacklisted(host));
+  EXPECT_EQ(dep.proxy().failure_streaks(), 0u);
+  EXPECT_EQ(dep.proxy().blacklist_size(), 1u);
+
+  // After expiry the entry no longer blacklists, and the sweep erases
+  // it (plus any stale streaks) from the maps entirely.
+  dep.region_context(0).failure_model = sim::TransientFailureModel(0.0);
+  dep.RunFor(31 * kSecond);
+  EXPECT_FALSE(dep.proxy().Blacklisted(host));
+  ASSERT_TRUE(dep.Query(q).status.ok());
+  EXPECT_EQ(dep.proxy().blacklist_size(), 0u);
+  EXPECT_EQ(dep.proxy().failure_streaks(), 0u);
+}
+
+// Deadline propagation: the proxy stamps a budget, coordinators decrement
+// it per hop, and retries/hedges never run past it.
+TEST(DeadlineTest, BudgetCapsAttemptsAndLatency) {
+  DeploymentOptions options = SmallOptions(/*seed=*/16, /*regions=*/1);
+  options.proxy_options.max_attempts = 5;
+  options.proxy_options.blacklist_threshold = 1 << 20;
+  options.proxy_options.default_deadline = 100 * kMillisecond;
+  options.subquery_policy.max_subquery_retries = 5;
+  Deployment dep(options);
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("t", schema, TableOptions{.partitions = 1}).ok());
+  Rng rng(3);
+  dep.LoadRows("t", workload::GenerateRows(schema, 100, rng));
+  dep.RunFor(60 * kSecond);
+
+  dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
+  auto outcome = dep.Query(CountQuery("t"));
+  EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded)
+      << outcome.status;
+  EXPECT_LE(outcome.latency, 100 * kMillisecond);
+  EXPECT_GE(dep.proxy().stats().deadline_exceeded, 1);
+
+  // A per-query deadline overrides the proxy default.
+  cubrick::Query q = CountQuery("t");
+  q.deadline = 40 * kMillisecond;
+  auto tight = dep.Query(q);
+  EXPECT_EQ(tight.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LE(tight.latency, 40 * kMillisecond);
+
+  // A healthy query under a generous budget is unaffected.
+  dep.region_context(0).failure_model = sim::TransientFailureModel(0.0);
+  cubrick::Query roomy = CountQuery("t");
+  roomy.deadline = 10 * kSecond;
+  auto ok = dep.Query(roomy);
+  EXPECT_TRUE(ok.status.ok()) << ok.status;
+}
+
+// Chaos-style acceptance: at fan-out 100 under the Figure-2 failure
+// model (p=0.1% per host), subquery retry + hedging raise the query
+// success rate over the baseline under identical seeds.
+TEST(SubqueryReliabilityTest, RetryAndHedgingRaiseSuccessAtFanout100) {
+  auto make_options = [] {
+    DeploymentOptions options;
+    options.seed = 7;
+    options.topology.regions = 1;
+    options.topology.racks_per_region = 13;
+    options.topology.servers_per_rack = 8;  // 104 servers >= 100 partitions
+    options.max_shards = 20000;
+    options.per_host_failure_probability = 0.001;  // Figure 2's 0.1% curve
+    options.proxy_options.max_attempts = 1;  // isolate the subquery layer
+    options.proxy_options.blacklist_threshold = 1 << 20;
+    return options;
+  };
+  auto run = [](Deployment& dep) {
+    cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+    EXPECT_TRUE(
+        dep.CreateTable("wide", schema, TableOptions{.partitions = 100}).ok());
+    Rng rng(3);
+    dep.LoadRows("wide", workload::GenerateRows(schema, 2000, rng));
+    dep.RunFor(2 * kMinute);
+    int ok = 0;
+    for (int i = 0; i < 120; ++i) {
+      if (dep.Query(CountQuery("wide")).status.ok()) ++ok;
+      dep.RunFor(200 * kMillisecond);
+    }
+    return ok;
+  };
+
+  Deployment baseline(make_options());
+  int baseline_ok = run(baseline);
+
+  DeploymentOptions reliable_options = make_options();
+  reliable_options.subquery_policy.max_subquery_retries = 2;
+  reliable_options.subquery_policy.hedge_quantile = 0.95;
+  Deployment reliable(reliable_options);
+  int reliable_ok = run(reliable);
+
+  // p=0.001 at fan-out ~100 gives ~90% baseline success; two in-region
+  // retries push the effective per-host p to 1e-9.
+  EXPECT_LT(baseline_ok, 120);
+  EXPECT_GT(reliable_ok, baseline_ok);
+  EXPECT_EQ(reliable_ok, 120);
+
+  const cubrick::CubrickProxy::Stats& stats = reliable.proxy().stats();
+  EXPECT_GT(stats.subquery_retries, 0);
+  EXPECT_GT(stats.hedges_fired, 0);
+  EXPECT_GT(stats.hedge_wins, 0);
+  EXPECT_EQ(stats.failed, 0);
+
+  // The reliability layer's activity is visible in query traces.
+  bool traced = false;
+  for (const cubrick::QueryTrace& trace : reliable.proxy().RecentTraces()) {
+    if (trace.hedges_fired > 0 || trace.subquery_retries > 0) traced = true;
+  }
+  EXPECT_TRUE(traced);
+}
+
+// Same seed, same operations => identical outcomes, with the reliability
+// layer enabled (hedging and retries must not break determinism).
+TEST(SubqueryReliabilityTest, HedgedExecutionIsDeterministic) {
+  auto run = [] {
+    DeploymentOptions options = SmallOptions(/*seed=*/21, /*regions=*/1);
+    options.per_host_failure_probability = 0.01;
+    options.subquery_policy.max_subquery_retries = 2;
+    options.subquery_policy.hedge_quantile = 0.9;
+    Deployment dep(options);
+    cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+    EXPECT_TRUE(dep.CreateTable("t", schema).ok());
+    Rng rng(3);
+    dep.LoadRows("t", workload::GenerateRows(schema, 500, rng));
+    dep.RunFor(60 * kSecond);
+    SimDuration total_latency = 0;
+    int ok = 0;
+    for (int i = 0; i < 40; ++i) {
+      auto outcome = dep.Query(CountQuery("t"));
+      total_latency += outcome.latency;
+      if (outcome.status.ok()) ++ok;
+      dep.RunFor(100 * kMillisecond);
+    }
+    return std::pair<SimDuration, int>(total_latency, ok);
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace scalewall::core
