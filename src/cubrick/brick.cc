@@ -36,6 +36,35 @@ uint64_t BrickSpace(const TableSchema& schema) {
   return total;
 }
 
+Brick::Brick(Brick&& other) noexcept
+    : id_(other.id_),
+      state_(other.state_.load(std::memory_order_relaxed)),
+      num_rows_(other.num_rows_),
+      hotness_(other.hotness_.load(std::memory_order_relaxed)),
+      dims_(std::move(other.dims_)),
+      metrics_(std::move(other.metrics_)),
+      rollup_index_(std::move(other.rollup_index_)),
+      rollup_index_valid_(other.rollup_index_valid_),
+      encoded_dims_(std::move(other.encoded_dims_)),
+      encoded_metrics_(std::move(other.encoded_metrics_)) {}
+
+Brick& Brick::operator=(Brick&& other) noexcept {
+  if (this == &other) return *this;
+  id_ = other.id_;
+  state_.store(other.state_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  num_rows_ = other.num_rows_;
+  hotness_.store(other.hotness_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  dims_ = std::move(other.dims_);
+  metrics_ = std::move(other.metrics_);
+  rollup_index_ = std::move(other.rollup_index_);
+  rollup_index_valid_ = other.rollup_index_valid_;
+  encoded_dims_ = std::move(other.encoded_dims_);
+  encoded_metrics_ = std::move(other.encoded_metrics_);
+  return *this;
+}
+
 void Brick::Append(const std::vector<uint32_t>& dims,
                    const std::vector<double>& metrics) {
   EnsureUncompressed(nullptr);
@@ -94,21 +123,41 @@ bool Brick::AppendOrMerge(const std::vector<uint32_t>& dims,
   return false;
 }
 
-void Brick::EnsureUncompressed(int64_t* decompressions) {
-  if (state_ == BrickState::kUncompressed) return;
-  if (state_ == BrickState::kOnSsd) LoadFromSsd();
+void Brick::EnsureUncompressed(std::atomic<int64_t>* decompressions) {
+  // Fast path: already raw. The release store at the end of the slow
+  // path makes the decoded columns visible to any thread that observes
+  // kUncompressed here.
+  if (state_.load(std::memory_order_acquire) == BrickState::kUncompressed) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(decompress_mu_);
+  if (state_.load(std::memory_order_acquire) == BrickState::kUncompressed) {
+    return;  // another morsel decompressed while we queued on the latch
+  }
+  if (state() == BrickState::kOnSsd) LoadFromSsd();
   Decompress();
-  if (decompressions != nullptr) ++(*decompressions);
+  if (decompressions != nullptr) {
+    decompressions->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Brick::Scan(const TableSchema& schema, const Query& query,
-                 QueryResult& result, int64_t* decompressions,
+                 QueryResult& result, std::atomic<int64_t>* decompressions,
                  const JoinContext* join) {
   Touch();
+  ++result.bricks_scanned;
+  ScanRange(schema, query, result, decompressions, join, 0, num_rows_);
+}
+
+void Brick::ScanRange(const TableSchema& schema, const Query& query,
+                      QueryResult& result,
+                      std::atomic<int64_t>* decompressions,
+                      const JoinContext* join, size_t row_begin,
+                      size_t row_end) {
   EnsureUncompressed(decompressions);
   QueryResult::GroupKey key(query.group_by.size() +
                             query.group_by_joins.size());
-  for (size_t row = 0; row < num_rows_; ++row) {
+  for (size_t row = row_begin; row < row_end; ++row) {
     bool pass = true;
     for (const FilterRange& f : query.filters) {
       uint32_t v = dims_[f.dimension][row];
@@ -156,8 +205,7 @@ void Brick::Scan(const TableSchema& schema, const Query& query,
       result.Accumulate(key, a, v);
     }
   }
-  result.rows_scanned += static_cast<int64_t>(num_rows_);
-  ++result.bricks_scanned;
+  result.rows_scanned += static_cast<int64_t>(row_end - row_begin);
   (void)schema;
 }
 

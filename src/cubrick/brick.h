@@ -11,7 +11,9 @@
 #ifndef SCALEWALL_CUBRICK_BRICK_H_
 #define SCALEWALL_CUBRICK_BRICK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -49,8 +51,16 @@ class Brick {
   Brick(BrickId id, size_t num_dims, size_t num_metrics)
       : id_(id), dims_(num_dims), metrics_(num_metrics) {}
 
+  // Movable (bricks live in maps built single-threaded); the
+  // decompression latch is never moved — the destination gets a fresh
+  // one. Not copyable.
+  Brick(Brick&& other) noexcept;
+  Brick& operator=(Brick&& other) noexcept;
+  Brick(const Brick&) = delete;
+  Brick& operator=(const Brick&) = delete;
+
   BrickId id() const { return id_; }
-  BrickState state() const { return state_; }
+  BrickState state() const { return state_.load(std::memory_order_acquire); }
   size_t num_rows() const { return num_rows_; }
 
   // Appends one row (must belong to this brick). Appending to a
@@ -71,8 +81,18 @@ class Brick {
   // query.joins when the query joins replicated tables (inner-join
   // semantics: rows with unmatched keys are dropped).
   void Scan(const TableSchema& schema, const Query& query,
-            QueryResult& result, int64_t* decompressions,
+            QueryResult& result, std::atomic<int64_t>* decompressions,
             const JoinContext* join = nullptr);
+
+  // Morsel scan: rows [row_begin, row_end) only, accumulating group
+  // states and rows_scanned into `result` (bricks_scanned and the
+  // hotness bump are the caller's business — a brick split into many
+  // morsels is still one brick scanned once). Safe to call concurrently
+  // with other ScanRange calls on the same brick: decompression is
+  // serialized behind a latch and the scan itself only reads.
+  void ScanRange(const TableSchema& schema, const Query& query,
+                 QueryResult& result, std::atomic<int64_t>* decompressions,
+                 const JoinContext* join, size_t row_begin, size_t row_end);
 
   // --- adaptive compression ---
 
@@ -87,11 +107,16 @@ class Brick {
   void LoadFromSsd();
 
   // Hotness counter: incremented on access, stochastically decayed by the
-  // memory monitor (Section IV-F2).
-  uint32_t hotness() const { return hotness_; }
-  void Touch() { ++hotness_; }
+  // memory monitor (Section IV-F2). Atomic so concurrent read-scans can
+  // bump it without tearing; Decay stays deterministic — it is driven by
+  // the monitor's RNG, never by scan interleaving.
+  uint32_t hotness() const { return hotness_.load(std::memory_order_relaxed); }
+  void Touch() { hotness_.fetch_add(1, std::memory_order_relaxed); }
   void Decay() {
-    if (hotness_ > 0) --hotness_;
+    uint32_t h = hotness_.load(std::memory_order_relaxed);
+    while (h > 0 && !hotness_.compare_exchange_weak(
+                        h, h - 1, std::memory_order_relaxed)) {
+    }
   }
 
   // --- size accounting ---
@@ -108,12 +133,18 @@ class Brick {
   void ExportRows(std::vector<Row>& out) const;
 
  private:
-  void EnsureUncompressed(int64_t* decompressions);
+  // Transparent decompression ahead of a scan. Concurrent morsels race
+  // here, so the state check + decode runs behind `decompress_mu_` with
+  // a lock-free fast path for the (overwhelmingly common) already-
+  // uncompressed case; exactly one morsel pays the decode and the
+  // counter bump.
+  void EnsureUncompressed(std::atomic<int64_t>* decompressions);
 
   BrickId id_;
-  BrickState state_ = BrickState::kUncompressed;
+  std::atomic<BrickState> state_{BrickState::kUncompressed};
   size_t num_rows_ = 0;
-  uint32_t hotness_ = 0;
+  std::atomic<uint32_t> hotness_{0};
+  std::mutex decompress_mu_;
 
   // Returns the row index holding exactly `dims`, or -1. Builds the
   // rollup index on first use.

@@ -88,11 +88,18 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
   outcome.fanout = static_cast<int>(distinct.size());
 
   const SubqueryPolicy& policy = ctx.policy;
+  // Host-side cooperative cancellation (scalewall::exec): every partial
+  // execution below shares this token; the moment the attempt's deadline
+  // budget is spent the coordinator cancels it, so hosts running
+  // morsel-parallel scans stop scheduling work the proxy has already
+  // given up on instead of burning cores on a dead query.
+  exec::CancelToken cancel;
   // Converts a failure surfacing at `spent` into the status the client
   // actually observes: past the deadline the caller has already hung up,
   // so the attempt reports kDeadlineExceeded capped at the budget.
   auto deadline_capped = [&](SimDuration spent, Status status) {
     if (deadline_budget > 0 && spent >= deadline_budget) {
+      cancel.RequestCancel();
       outcome.status = Status::DeadlineExceeded(
           "attempt exceeded remaining deadline budget of " +
           FormatDuration(deadline_budget));
@@ -134,6 +141,7 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       ++outcome.subquery_retries;
       reresolve.insert(server);
       if (deadline_budget > 0 && penalty >= deadline_budget) {
+        cancel.RequestCancel();
         outcome.status = Status::DeadlineExceeded(
             "subquery retries exhausted the remaining deadline budget of " +
             FormatDuration(deadline_budget));
@@ -170,7 +178,8 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       outcome.failed_server = exec_server;
       return outcome;
     }
-    auto partial = server->ExecutePartial(query, sub.partition);
+    auto partial = server->ExecutePartial(query, sub.partition,
+                                          /*hop_budget=*/-1, &cancel);
     if (!partial.ok()) {
       outcome.status = partial.status();
       outcome.failed_server = exec_server;
@@ -205,6 +214,7 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
   if (deadline_budget > 0 && outcome.latency > deadline_budget) {
     // The merged answer arrived after the client's deadline: it is
     // discarded, not returned late.
+    cancel.RequestCancel();
     outcome.status = Status::DeadlineExceeded(
         "attempt completed after the remaining deadline budget of " +
         FormatDuration(deadline_budget));

@@ -2,7 +2,88 @@
 
 #include <algorithm>
 
+#include "exec/morsel.h"
+
 namespace scalewall::cubrick {
+
+namespace {
+
+// Granular-partitioning pruning, hoisted: a range filter [lo, hi] on
+// dimension d admits exactly the bricks whose bucket on d lies in
+// [lo / range, hi / range]; an IN filter admits the buckets its values
+// fall into. Both translations depend only on the query, so they are
+// computed once here instead of per brick per filter.
+struct PruningPlan {
+  struct RangeBuckets {
+    int dimension;
+    uint32_t lo;
+    uint32_t hi;
+  };
+  struct InBuckets {
+    int dimension;
+    std::vector<uint32_t> buckets;  // sorted, deduplicated
+  };
+  std::vector<RangeBuckets> ranges;
+  std::vector<InBuckets> ins;
+
+  bool empty() const { return ranges.empty() && ins.empty(); }
+};
+
+PruningPlan BuildPruningPlan(const TableSchema& schema, const Query& query) {
+  PruningPlan plan;
+  plan.ranges.reserve(query.filters.size());
+  for (const FilterRange& f : query.filters) {
+    const uint32_t range = schema.dimensions[f.dimension].range_size;
+    plan.ranges.push_back(
+        PruningPlan::RangeBuckets{f.dimension, f.lo / range, f.hi / range});
+  }
+  plan.ins.reserve(query.in_filters.size());
+  for (const FilterIn& f : query.in_filters) {
+    const uint32_t range = schema.dimensions[f.dimension].range_size;
+    PruningPlan::InBuckets in;
+    in.dimension = f.dimension;
+    in.buckets.reserve(f.values.size());
+    for (uint32_t v : f.values) in.buckets.push_back(v / range);
+    std::sort(in.buckets.begin(), in.buckets.end());
+    in.buckets.erase(std::unique(in.buckets.begin(), in.buckets.end()),
+                     in.buckets.end());
+    plan.ins.push_back(std::move(in));
+  }
+  return plan;
+}
+
+// Decodes every per-dimension bucket digit of `id` in one mixed-radix
+// walk (BrickBucket per filter would redo the walk each time).
+void DecodeBrickDigits(const TableSchema& schema, BrickId id,
+                       std::vector<uint32_t>& digits) {
+  for (int d = static_cast<int>(schema.dimensions.size()) - 1; d >= 0; --d) {
+    uint32_t buckets = schema.dimensions[d].num_buckets();
+    digits[static_cast<size_t>(d)] = static_cast<uint32_t>(id % buckets);
+    id /= buckets;
+  }
+}
+
+// True if the brick's bucket combination cannot satisfy the plan.
+// `digits` is caller-provided scratch (one allocation per query, not
+// per brick).
+bool PruneBrick(const TableSchema& schema, const PruningPlan& plan,
+                BrickId id, std::vector<uint32_t>& digits) {
+  if (plan.empty()) return false;
+  DecodeBrickDigits(schema, id, digits);
+  for (const PruningPlan::RangeBuckets& f : plan.ranges) {
+    const uint32_t bucket = digits[static_cast<size_t>(f.dimension)];
+    if (bucket < f.lo || bucket > f.hi) return true;
+  }
+  for (const PruningPlan::InBuckets& f : plan.ins) {
+    const uint32_t bucket = digits[static_cast<size_t>(f.dimension)];
+    if (!std::binary_search(f.buckets.begin(), f.buckets.end(), bucket)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 Status TablePartition::Insert(const Row& row) {
   if (row.dims.size() != schema_.dimensions.size()) {
@@ -35,7 +116,8 @@ Status TablePartition::Insert(const Row& row) {
 }
 
 Status TablePartition::Execute(const Query& query, QueryResult& result,
-                               const JoinContext* join) {
+                               const JoinContext* join,
+                               const exec::ExecOptions* exec) {
   SCALEWALL_RETURN_IF_ERROR(query.Validate(schema_));
   if (!query.joins.empty()) {
     if (join == nullptr || join->tables.size() != query.joins.size()) {
@@ -49,44 +131,62 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
       }
     }
   }
+
+  const PruningPlan plan = BuildPruningPlan(schema_, query);
+  std::vector<uint32_t> digits(schema_.dimensions.size());
+  std::vector<Brick*> survivors;
+  survivors.reserve(bricks_.size());
   for (auto& [id, brick] : bricks_) {
-    // Granular-partitioning pruning: the brick's bucket on dimension d
-    // covers values [bucket*range, bucket*range + range), so any filter
-    // disjoint from that interval rules the whole brick out.
-    bool pruned = false;
-    for (const FilterRange& f : query.filters) {
-      const Dimension& dim = schema_.dimensions[f.dimension];
-      uint32_t bucket = BrickBucket(schema_, id, f.dimension);
-      uint64_t lo = static_cast<uint64_t>(bucket) * dim.range_size;
-      uint64_t hi = lo + dim.range_size - 1;
-      if (f.hi < lo || f.lo > hi) {
-        pruned = true;
-        break;
-      }
-    }
-    // An IN filter prunes the brick when none of its values falls into
-    // the brick's range on that dimension.
-    for (const FilterIn& f : query.in_filters) {
-      if (pruned) break;
-      const Dimension& dim = schema_.dimensions[f.dimension];
-      uint32_t bucket = BrickBucket(schema_, id, f.dimension);
-      uint64_t lo = static_cast<uint64_t>(bucket) * dim.range_size;
-      uint64_t hi = lo + dim.range_size - 1;
-      bool any = false;
-      for (uint32_t v : f.values) {
-        if (v >= lo && v <= hi) {
-          any = true;
-          break;
-        }
-      }
-      pruned = !any;
-    }
-    if (pruned) {
+    if (PruneBrick(schema_, plan, id, digits)) {
       ++result.bricks_pruned;
       continue;
     }
-    brick.Scan(schema_, query, result, &decompressions_, join);
+    survivors.push_back(&brick);
   }
+
+  const exec::CancelToken* cancel =
+      exec != nullptr ? exec->cancel : nullptr;
+  const bool parallel = exec != nullptr && exec->pool != nullptr &&
+                        exec->num_workers > 1 && !survivors.empty();
+  if (!parallel) {
+    for (Brick* brick : survivors) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return Status::Cancelled("partition scan cancelled: " + table_ +
+                                 "/" + std::to_string(partition_));
+      }
+      brick->Scan(schema_, query, result, &decompressions_, join);
+    }
+    return Status::Ok();
+  }
+
+  // Morsel-driven parallel scan. The decomposition (survivor bricks in
+  // brick-id order, each split at fixed morsel_rows boundaries) and the
+  // merge order below are functions of the data and the query only, so
+  // the combined result is identical for any worker count and any
+  // scheduling — see DESIGN.md § Execution subsystem.
+  std::vector<size_t> brick_rows(survivors.size());
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    brick_rows[i] = survivors[i]->num_rows();
+  }
+  const std::vector<exec::MorselRange> morsels =
+      exec::SplitMorsels(brick_rows, exec->morsel_rows);
+  std::vector<QueryResult> partials(morsels.size(),
+                                    QueryResult(query.aggregations.size()));
+  // One hotness bump per brick per execution, exactly like the serial
+  // path — never one per morsel.
+  for (Brick* brick : survivors) brick->Touch();
+  SCALEWALL_RETURN_IF_ERROR(exec::ForEachMorsel(
+      exec->pool, exec->num_workers, morsels.size(),
+      [&](size_t i) {
+        const exec::MorselRange& m = morsels[i];
+        survivors[m.item]->ScanRange(schema_, query, partials[i],
+                                     &decompressions_, join, m.begin, m.end);
+      },
+      cancel));
+  for (const QueryResult& partial : partials) {
+    result.Merge(partial);
+  }
+  result.bricks_scanned += static_cast<int64_t>(survivors.size());
   return Status::Ok();
 }
 

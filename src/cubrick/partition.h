@@ -11,6 +11,7 @@
 #ifndef SCALEWALL_CUBRICK_PARTITION_H_
 #define SCALEWALL_CUBRICK_PARTITION_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +22,10 @@
 #include "cubrick/query.h"
 #include "cubrick/schema.h"
 
+namespace scalewall::exec {
+struct ExecOptions;
+}  // namespace scalewall::exec
+
 namespace scalewall::cubrick {
 
 class TablePartition {
@@ -29,6 +34,19 @@ class TablePartition {
       : table_(std::move(table)),
         partition_(partition),
         schema_(std::move(schema)) {}
+
+  // Movable (partitions are materialized then moved into the server's
+  // map, always single-threaded); not copyable.
+  TablePartition(TablePartition&& other) noexcept
+      : table_(std::move(other.table_)),
+        partition_(other.partition_),
+        schema_(std::move(other.schema_)),
+        bricks_(std::move(other.bricks_)),
+        num_rows_(other.num_rows_),
+        decompressions_(
+            other.decompressions_.load(std::memory_order_relaxed)) {}
+  TablePartition(const TablePartition&) = delete;
+  TablePartition& operator=(const TablePartition&) = delete;
 
   const std::string& table() const { return table_; }
   uint32_t partition() const { return partition_; }
@@ -41,8 +59,15 @@ class TablePartition {
   // Bricks whose range combination cannot satisfy the filters are pruned
   // without being touched (no hotness bump, no decompression). Queries
   // with joins need a JoinContext aligned with query.joins.
+  //
+  // With `exec` carrying a pool and num_workers > 1, the surviving
+  // bricks are split into row-range morsels scanned in parallel into
+  // per-morsel partials, which are then merged in fixed (brick, range)
+  // order — so the result is identical regardless of scheduling and
+  // worker count. `exec->cancel` aborts between morsels with kCancelled.
   Status Execute(const Query& query, QueryResult& result,
-                 const JoinContext* join = nullptr);
+                 const JoinContext* join = nullptr,
+                 const exec::ExecOptions* exec = nullptr);
 
   // --- migration / recovery support ---
 
@@ -64,7 +89,9 @@ class TablePartition {
 
   size_t num_rows() const { return num_rows_; }
   size_t num_bricks() const { return bricks_.size(); }
-  int64_t decompressions() const { return decompressions_; }
+  int64_t decompressions() const {
+    return decompressions_.load(std::memory_order_relaxed);
+  }
 
   // All bricks (for stats/experiments).
   const std::map<BrickId, Brick>& bricks() const { return bricks_; }
@@ -76,7 +103,9 @@ class TablePartition {
   TableSchema schema_;
   std::map<BrickId, Brick> bricks_;
   size_t num_rows_ = 0;
-  int64_t decompressions_ = 0;
+  // Atomic: concurrent morsels racing a compressed brick record their
+  // decompression through this counter without tearing.
+  std::atomic<int64_t> decompressions_{0};
 };
 
 }  // namespace scalewall::cubrick

@@ -1,6 +1,7 @@
 #include "cubrick/server.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -15,7 +16,11 @@ CubrickServer::CubrickServer(sim::Simulation* simulation,
       catalog_(catalog),
       server_(server),
       options_(options),
-      rng_(simulation->rng().Fork(0xC0B1000ULL + server)) {}
+      rng_(simulation->rng().Fork(0xC0B1000ULL + server)) {
+  if (options_.scan_workers > 1) {
+    exec_pool_ = std::make_unique<exec::ThreadPool>(options_.scan_workers);
+  }
+}
 
 void CubrickServer::StartMonitors() {
   if (monitors_started_) return;
@@ -191,6 +196,15 @@ double CubrickServer::ShardLoad(sm::ShardId shard,
       load += static_cast<double>(it->second.DecompressedSize());
     } else if (metric == "ssd_footprint") {
       load += static_cast<double>(it->second.SsdFootprint());
+    } else if (metric == "scan_micros") {
+      // Measured scan time spent serving this shard's partitions — a
+      // compute-load signal complementing the three size generations.
+      std::lock_guard<std::mutex> lock(scan_stats_mu_);
+      auto micros = partition_scan_micros_.find(
+          PartitionRef{ref.table, ref.partition});
+      if (micros != partition_scan_micros_.end()) {
+        load += static_cast<double>(micros->second);
+      }
     }
   }
   return load;
@@ -254,9 +268,9 @@ Status CubrickServer::InsertRows(const std::string& table, uint32_t partition,
   return Status::Ok();
 }
 
-Result<PartialResult> CubrickServer::ExecutePartial(const Query& query,
-                                                    uint32_t partition,
-                                                    int hop_budget) {
+Result<PartialResult> CubrickServer::ExecutePartial(
+    const Query& query, uint32_t partition, int hop_budget,
+    const exec::CancelToken* cancel) {
   if (hop_budget < 0) hop_budget = options_.max_forward_hops;
   auto shard = catalog_->ShardForPartition(query.table, partition);
   if (!shard.ok()) return shard.status();
@@ -271,7 +285,7 @@ Result<PartialResult> CubrickServer::ExecutePartial(const Query& query,
     if (target != nullptr) {
       ++stats_.forwarded_requests;
       auto forwarded =
-          target->ExecutePartial(query, partition, hop_budget - 1);
+          target->ExecutePartial(query, partition, hop_budget - 1, cancel);
       if (!forwarded.ok()) return forwarded;
       forwarded->forward_hops += 1;
       return forwarded;
@@ -319,9 +333,59 @@ Result<PartialResult> CubrickServer::ExecutePartial(const Query& query,
   }
   PartialResult partial;
   partial.result = QueryResult(query.aggregations.size());
-  SCALEWALL_RETURN_IF_ERROR(it->second.Execute(
-      query, partial.result, query.joins.empty() ? nullptr : &join));
+  exec::ExecOptions exec_options;
+  exec_options.num_workers = options_.scan_workers;
+  exec_options.morsel_rows = options_.morsel_rows;
+  exec_options.pool = exec_pool_.get();
+  exec_options.cancel = cancel;
+  const auto scan_start = std::chrono::steady_clock::now();
+  SCALEWALL_RETURN_IF_ERROR(
+      it->second.Execute(query, partial.result,
+                         query.joins.empty() ? nullptr : &join,
+                         &exec_options));
+  const int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - scan_start)
+                             .count();
+  stats_.scan_micros.fetch_add(micros, std::memory_order_relaxed);
+  if (exec_pool_ != nullptr && options_.scan_workers > 1) {
+    stats_.parallel_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(scan_stats_mu_);
+    partition_scan_micros_[PartitionRef{query.table, partition}] += micros;
+  }
   return partial;
+}
+
+Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
+    const Query& query, const std::vector<uint32_t>& partitions,
+    const exec::CancelToken* cancel) {
+  std::vector<PartialResult> results(partitions.size());
+  if (exec_pool_ == nullptr || partitions.size() <= 1) {
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      auto partial = ExecutePartial(query, partitions[i], -1, cancel);
+      if (!partial.ok()) return partial.status();
+      results[i] = std::move(*partial);
+    }
+    return results;
+  }
+  std::vector<Status> statuses(partitions.size(), Status::Ok());
+  exec::TaskGroup group(exec_pool_.get());
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    group.Run([this, &query, &partitions, &results, &statuses, cancel, i] {
+      auto partial = ExecutePartial(query, partitions[i], -1, cancel);
+      if (partial.ok()) {
+        results[i] = std::move(*partial);
+      } else {
+        statuses[i] = partial.status();
+      }
+    });
+  }
+  group.Wait();
+  for (const Status& status : statuses) {
+    SCALEWALL_RETURN_IF_ERROR(status);
+  }
+  return results;
 }
 
 void CubrickServer::SetReplicatedTable(const ReplicatedTable& table) {
@@ -394,6 +458,8 @@ void CubrickServer::Reset() {
   owned_shards_.clear();
   staged_shards_.clear();
   forwarding_.clear();
+  std::lock_guard<std::mutex> lock(scan_stats_mu_);
+  partition_scan_micros_.clear();
 }
 
 size_t CubrickServer::MemoryUsage() const {

@@ -22,8 +22,11 @@
 #ifndef SCALEWALL_CUBRICK_SERVER_H_
 #define SCALEWALL_CUBRICK_SERVER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -33,6 +36,9 @@
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "cubrick/catalog.h"
+#include "exec/cancel.h"
+#include "exec/morsel.h"
+#include "exec/thread_pool.h"
 #include "cubrick/partition.h"
 #include "cubrick/query.h"
 #include "cubrick/replicated_table.h"
@@ -73,6 +79,14 @@ struct CubrickServerOptions {
   bool enable_ssd_eviction = false;
   // Cap on chained request forwarding (migration races).
   int max_forward_hops = 4;
+  // Intra-host parallel execution (scalewall::exec): worker threads for
+  // morsel-driven partition scans. 0 or 1 keeps the serial path (and
+  // spawns no pool); > 1 creates a work-stealing pool the server fans
+  // partition scans and their morsels across. Results are identical to
+  // the serial path regardless of the setting (fixed-order merge).
+  int scan_workers = 0;
+  // Rows per morsel on the parallel path.
+  size_t morsel_rows = exec::kDefaultMorselRows;
 };
 
 // Result of a partition-local (partial) query execution.
@@ -133,10 +147,27 @@ class CubrickServer : public sm::AppServer {
   void DropReplicatedTable(const std::string& name);
   const ReplicatedTable* GetReplicatedTable(const std::string& name) const;
 
-  // Executes the partial query for `partition` of query.table.
-  Result<PartialResult> ExecutePartial(const Query& query,
-                                       uint32_t partition,
-                                       int hop_budget = -1);
+  // Executes the partial query for `partition` of query.table. With
+  // scan_workers > 1 the partition's bricks are scanned morsel-parallel
+  // on the server's pool; `cancel` (e.g. the coordinator's
+  // deadline-budget token) aborts between morsels with kCancelled.
+  Result<PartialResult> ExecutePartial(
+      const Query& query, uint32_t partition, int hop_budget = -1,
+      const exec::CancelToken* cancel = nullptr);
+
+  // Executes partials for several partitions of one query (the shards
+  // this host owns), fanning the per-partition scans across the exec
+  // pool — each partition task then splits its bricks into morsels on
+  // the same pool (nested task groups; the work-stealing deques keep
+  // every worker busy either way). Results are returned in the order of
+  // `partitions`; the first failure in that order wins. Falls back to a
+  // sequential loop when no pool is configured.
+  Result<std::vector<PartialResult>> ExecutePartialMany(
+      const Query& query, const std::vector<uint32_t>& partitions,
+      const exec::CancelToken* cancel = nullptr);
+
+  // The server's exec pool (null when scan_workers <= 1).
+  exec::ThreadPool* exec_pool() { return exec_pool_.get(); }
 
   // True if this server holds data for the partition (owned or staged).
   bool HasPartition(const std::string& table, uint32_t partition) const;
@@ -190,8 +221,16 @@ class CubrickServer : public sm::AppServer {
   void RunHotnessDecay();
 
   struct Stats {
-    int64_t partial_queries = 0;
-    int64_t forwarded_requests = 0;
+    // Counters bumped on the query path are atomic: ExecutePartialMany
+    // runs partition scans on pool workers concurrently.
+    std::atomic<int64_t> partial_queries{0};
+    std::atomic<int64_t> forwarded_requests{0};
+    // Measured (wall-clock) partition-scan time, microseconds, summed
+    // over all partial queries — the per-host service-time ground truth
+    // behind the latency distributions.
+    std::atomic<int64_t> scan_micros{0};
+    // Partial queries that took the morsel-parallel path.
+    std::atomic<int64_t> parallel_scans{0};
     int64_t bricks_compressed = 0;
     int64_t bricks_decompressed = 0;
     int64_t bricks_evicted = 0;
@@ -220,6 +259,14 @@ class CubrickServer : public sm::AppServer {
   Rng rng_;
   const ServerDirectory* directory_ = nullptr;
   RecoverySource recovery_source_;
+
+  // Work-stealing pool for morsel-parallel scans (scan_workers > 1).
+  std::unique_ptr<exec::ThreadPool> exec_pool_;
+  // Measured scan time per hosted partition (exported per shard through
+  // ShardLoad("scan_micros")). Guarded: partition tasks report
+  // concurrently.
+  mutable std::mutex scan_stats_mu_;
+  std::map<PartitionRef, int64_t> partition_scan_micros_;
 
   std::set<sm::ShardId> owned_shards_;
   std::set<sm::ShardId> staged_shards_;  // prepared (data copied), not owned

@@ -1,0 +1,37 @@
+// Cooperative cancellation for intra-host query execution.
+//
+// A CancelToken is shared between whoever owns a query's deadline (the
+// coordinator attempt, wired to the proxy's propagated budget) and the
+// workers scanning morsels on its behalf. Cancellation is cooperative:
+// the morsel driver checks the token between morsels, so a host stops
+// scheduling work the moment the caller has given up — it never
+// interrupts a morsel mid-scan, keeping every data structure in a
+// well-defined state.
+
+#ifndef SCALEWALL_EXEC_CANCEL_H_
+#define SCALEWALL_EXEC_CANCEL_H_
+
+#include <atomic>
+
+namespace scalewall::exec {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation. Idempotent; safe from any thread.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace scalewall::exec
+
+#endif  // SCALEWALL_EXEC_CANCEL_H_

@@ -1,0 +1,77 @@
+// Morsel-driven parallel execution (Leis et al., "Morsel-Driven
+// Parallelism"): work is split into fixed-size morsels — contiguous row
+// ranges of one data block — that workers pull from a shared counter.
+// The *decomposition* is a pure function of the input (block sizes and
+// morsel_rows), never of the scheduling, so a caller that combines
+// per-morsel partial results in morsel-index order gets a result that is
+// independent of thread count and interleaving.
+
+#ifndef SCALEWALL_EXEC_MORSEL_H_
+#define SCALEWALL_EXEC_MORSEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cancel.h"
+#include "exec/thread_pool.h"
+
+namespace scalewall::exec {
+
+// Default morsel size: large enough that per-morsel dispatch (an atomic
+// increment plus a deque push) is amortized to noise, small enough that
+// a skewed block still splits into enough pieces to balance and that
+// cancellation latency stays in the sub-millisecond range.
+inline constexpr size_t kDefaultMorselRows = 16384;
+
+// Per-query knobs for the parallel scan path. A null pool or
+// num_workers <= 1 selects the serial path (still honouring `cancel`).
+struct ExecOptions {
+  int num_workers = 0;
+  size_t morsel_rows = kDefaultMorselRows;
+  ThreadPool* pool = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
+// One morsel: rows [begin, end) of input item `item`.
+struct MorselRange {
+  size_t item = 0;
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool operator==(const MorselRange&) const = default;
+};
+
+// Splits items with the given row counts into morsels of at most
+// `morsel_rows` rows, in (item, begin) order. An empty item still yields
+// one empty morsel so per-item side effects (touch counters, state
+// transitions) happen exactly once regardless of row count.
+std::vector<MorselRange> SplitMorsels(const std::vector<size_t>& item_rows,
+                                      size_t morsel_rows);
+
+// Execution accounting for one ForEachMorsel call.
+struct MorselMetrics {
+  int64_t executed = 0;  // morsels whose body ran to completion
+  int64_t skipped = 0;   // morsels never scheduled (cancellation)
+};
+
+// Runs body(i) for every i in [0, count), fanning out over `pool` with
+// at most `max_tasks` concurrent workers (a shared atomic index hands
+// out morsels, so finished workers immediately pull the next one —
+// work-stealing at morsel granularity on top of the pool's deques).
+//
+// `cancel` is checked before each morsel: once cancelled, no further
+// morsel starts and the call returns kCancelled. Morsels already running
+// complete normally (cooperative cancellation). With a null or
+// single-thread pool, or max_tasks <= 1, the loop runs serially on the
+// calling thread under the same cancellation contract.
+Status ForEachMorsel(ThreadPool* pool, int max_tasks, size_t count,
+                     const std::function<void(size_t)>& body,
+                     const CancelToken* cancel = nullptr,
+                     MorselMetrics* metrics = nullptr);
+
+}  // namespace scalewall::exec
+
+#endif  // SCALEWALL_EXEC_MORSEL_H_

@@ -1,0 +1,158 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+
+namespace scalewall::exec {
+
+namespace {
+// Identifies the pool (and worker slot) the current thread belongs to,
+// so Submit can push to the caller's own deque and CurrentWorkerIndex
+// works across nested pools.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::CurrentWorkerIndex() const {
+  return tls_pool == this ? tls_worker : -1;
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  int index = CurrentWorkerIndex();
+  if (index < 0) {
+    index = static_cast<int>(
+        next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[index]->mu);
+    workers_[index]->tasks.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_.notify_one();
+}
+
+bool ThreadPool::PopOwn(int index, std::function<void()>& out) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  out = std::move(w.tasks.back());
+  w.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::StealFrom(int index, std::function<void()>& out) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  out = std::move(w.tasks.front());
+  w.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::FindWork(int self, std::function<void()>& out) {
+  if (self >= 0 && PopOwn(self, out)) return true;
+  const int n = num_threads();
+  // Sweep starting just past our own slot so thieves spread out.
+  const int start = self >= 0 ? self + 1
+                              : static_cast<int>(next_queue_.load(
+                                    std::memory_order_relaxed));
+  for (int k = 0; k < n; ++k) {
+    int victim = (start + k) % n;
+    if (victim == self) continue;
+    if (StealFrom(victim, out)) {
+      if (self >= 0) steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  if (!FindWork(CurrentWorkerIndex(), task)) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker = index;
+  std::function<void()> task;
+  while (true) {
+    if (FindWork(index, task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      task = nullptr;  // release captures before sleeping
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    wake_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire)) break;
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_release);
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    // Decrement and notify under mu_: Wait() only declares the group
+    // done while holding mu_, so the group cannot be destroyed between
+    // our decrement and the notify (condvar/mutex use-after-free).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  while (true) {
+    {
+      // The done decision must be made under mu_ — it mutually excludes
+      // the completing task's decrement+notify above, so once Wait
+      // returns no task will ever touch this group again.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.load(std::memory_order_acquire) == 0) return;
+    }
+    if (pool_->TryRunOne()) continue;
+    // No runnable task anywhere: the group's remaining tasks are being
+    // executed by other threads right now. Park briefly; the timeout
+    // (rather than a pure wait) re-arms helping in case new tasks were
+    // spawned by the in-flight ones.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+}  // namespace scalewall::exec

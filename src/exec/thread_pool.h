@@ -1,0 +1,115 @@
+// Work-stealing thread pool for intra-host parallel query execution.
+//
+// Each worker owns a deque: it pushes and pops its own tasks LIFO (hot
+// caches, bounded memory for recursively spawned work) and steals FIFO
+// from the front of other workers' deques when its own runs dry (the
+// oldest task is the one most likely to represent a large untouched
+// chunk of work). External threads submit round-robin across workers.
+//
+// TaskGroup is the structured-concurrency barrier used by the morsel
+// driver and by CubrickServer's partition fan-out: Run() schedules a
+// task, Wait() blocks until every task of the group finished. Wait()
+// *helps*: while the group is open it keeps executing pool tasks on the
+// calling thread, so nested groups (a partition task whose brick scan
+// opens its own group) cannot deadlock even on a pool of one worker.
+
+#ifndef SCALEWALL_EXEC_THREAD_POOL_H_
+#define SCALEWALL_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scalewall::exec {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules `fn` for execution. Called from a worker of this pool, the
+  // task lands on that worker's own deque; otherwise it is distributed
+  // round-robin.
+  void Submit(std::function<void()> fn);
+
+  // Runs one pending task on the calling thread, if any. Returns false
+  // when every deque was empty. Used by TaskGroup::Wait to help.
+  bool TryRunOne();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Index of the calling thread within this pool, or -1 for external
+  // threads.
+  int CurrentWorkerIndex() const;
+
+  // --- introspection (tests/benches) ---
+  int64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int index);
+  // Pops from the back of worker `index`'s own deque.
+  bool PopOwn(int index, std::function<void()>& out);
+  // Steals from the front of worker `index`'s deque.
+  bool StealFrom(int index, std::function<void()>& out);
+  // Finds work anywhere: own deque first (if `self` >= 0), then a sweep
+  // over the other workers.
+  bool FindWork(int self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery: workers park on `wake_` when the pool is dry.
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> steals_{0};
+};
+
+// A barrier over a set of tasks scheduled on one pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Schedules `fn` as part of this group.
+  void Run(std::function<void()> fn);
+
+  // Blocks until every task scheduled via Run() has finished, executing
+  // pool tasks on the calling thread while it waits.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<int64_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable done_;
+};
+
+}  // namespace scalewall::exec
+
+#endif  // SCALEWALL_EXEC_THREAD_POOL_H_

@@ -68,7 +68,7 @@ class BrickTest : public ::testing::Test {
 
 TEST_F(BrickTest, ScanAggregatesAll) {
   QueryResult result(1);
-  int64_t decompressions = 0;
+  std::atomic<int64_t> decompressions{0};
   brick_.Scan(schema_, SumQuery(), result, &decompressions);
   EXPECT_EQ(*result.Value({}, 0, AggOp::kSum), 7.0);
   EXPECT_EQ(result.rows_scanned, 3);
@@ -79,7 +79,7 @@ TEST_F(BrickTest, ScanAppliesRowFilters) {
   Query q = SumQuery();
   q.filters = {FilterRange{0, 21, 26}};  // only x=23, x=25 pass
   QueryResult result(1);
-  int64_t decompressions = 0;
+  std::atomic<int64_t> decompressions{0};
   brick_.Scan(schema_, q, result, &decompressions);
   EXPECT_EQ(*result.Value({}, 0, AggOp::kSum), 3.0);
 }
@@ -88,7 +88,7 @@ TEST_F(BrickTest, ScanGroupBy) {
   Query q = SumQuery();
   q.group_by = {1};  // y
   QueryResult result(1);
-  int64_t decompressions = 0;
+  std::atomic<int64_t> decompressions{0};
   brick_.Scan(schema_, q, result, &decompressions);
   EXPECT_EQ(result.num_groups(), 3u);
   EXPECT_EQ(*result.Value({17}, 0, AggOp::kSum), 1.0);
@@ -99,7 +99,7 @@ TEST_F(BrickTest, ScanGroupBy) {
 TEST_F(BrickTest, ScanBumpsHotness) {
   EXPECT_EQ(brick_.hotness(), 0u);
   QueryResult result(1);
-  int64_t d = 0;
+  std::atomic<int64_t> d{0};
   brick_.Scan(schema_, SumQuery(), result, &d);
   brick_.Scan(schema_, SumQuery(), result, &d);
   EXPECT_EQ(brick_.hotness(), 2u);
@@ -119,7 +119,7 @@ TEST_F(BrickTest, CompressShrinksMemoryAndScanRestores) {
   EXPECT_EQ(brick_.DecompressedSize(), raw);  // logical size unchanged
 
   QueryResult result(1);
-  int64_t decompressions = 0;
+  std::atomic<int64_t> decompressions{0};
   brick_.Scan(schema_, SumQuery(), result, &decompressions);
   EXPECT_EQ(decompressions, 1);
   EXPECT_EQ(brick_.state(), BrickState::kUncompressed);
@@ -142,7 +142,7 @@ TEST_F(BrickTest, AppendToCompressedBrickDecompressesFirst) {
   EXPECT_EQ(brick_.state(), BrickState::kUncompressed);
   EXPECT_EQ(brick_.num_rows(), 4u);
   QueryResult result(1);
-  int64_t d = 0;
+  std::atomic<int64_t> d{0};
   brick_.Scan(schema_, SumQuery(), result, &d);
   EXPECT_EQ(*result.Value({}, 0, AggOp::kSum), 15.0);
 }
@@ -158,7 +158,7 @@ TEST_F(BrickTest, SsdEvictionLifecycle) {
   EXPECT_EQ(brick_.SsdFootprint(), compressed);
   // Scanning an SSD brick loads + decompresses transparently.
   QueryResult result(1);
-  int64_t decompressions = 0;
+  std::atomic<int64_t> decompressions{0};
   brick_.Scan(schema_, SumQuery(), result, &decompressions);
   EXPECT_EQ(brick_.state(), BrickState::kUncompressed);
   EXPECT_EQ(brick_.SsdFootprint(), 0u);

@@ -348,5 +348,139 @@ TEST_F(CubrickServerTest, ExportPartitionAndDropTableData) {
   EXPECT_FALSE(server(0).HasPartition("t", 0));
 }
 
+// --- morsel-parallel execution (scalewall::exec integration) ---
+
+// Key + finalized-value equality between two materialized result sets.
+bool SameRows(const std::vector<ResultRow>& a,
+              const std::vector<ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].values != b[i].values) return false;
+  }
+  return true;
+}
+
+TEST_F(CubrickServerTest, ParallelScanMatchesSerialAndExportsScanMicros) {
+  auto shards = MakeTable("t");
+  ASSERT_TRUE(server(0).AddShard(shards[0], sm::ShardRole::kPrimary).ok());
+  ASSERT_TRUE(server(0).InsertRows("t", 0, MakeRows(2000)).ok());
+
+  // A second host with a 4-worker pool and tiny morsels, loaded with the
+  // same rows.
+  CubrickServerOptions popts = options_;
+  popts.scan_workers = 4;
+  popts.morsel_rows = 64;
+  CubrickServer parallel(&sim_, &cluster_, &catalog_, /*server=*/5, popts);
+  ASSERT_NE(parallel.exec_pool(), nullptr);
+  EXPECT_EQ(parallel.exec_pool()->num_threads(), 4);
+  ASSERT_TRUE(parallel.AddShard(shards[0], sm::ShardRole::kPrimary).ok());
+  ASSERT_TRUE(parallel.InsertRows("t", 0, MakeRows(2000)).ok());
+
+  Query q;
+  q.table = "t";
+  q.group_by = {0};
+  q.aggregations = {Aggregation{0, AggOp::kSum},
+                    Aggregation{0, AggOp::kCount}};
+  auto serial = server(0).ExecutePartial(q, 0);
+  auto par = parallel.ExecutePartial(q, 0);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_TRUE(SameRows(MaterializeRows(serial->result, q),
+                       MaterializeRows(par->result, q)));
+  EXPECT_EQ(par->result.rows_scanned, serial->result.rows_scanned);
+
+  // The parallel host counted the scan and exports its measured time.
+  EXPECT_EQ(parallel.stats().parallel_scans.load(), 1);
+  EXPECT_EQ(server(0).stats().parallel_scans.load(), 0);
+  EXPECT_GE(parallel.stats().scan_micros.load(), 0);
+  EXPECT_GE(parallel.ShardLoad(shards[0], "scan_micros"), 0.0);
+}
+
+TEST_F(CubrickServerTest, ExecutePartialCancelledByToken) {
+  auto shards = MakeTable("t");
+  CubrickServerOptions popts = options_;
+  popts.scan_workers = 4;
+  CubrickServer parallel(&sim_, &cluster_, &catalog_, /*server=*/5, popts);
+  ASSERT_TRUE(parallel.AddShard(shards[0], sm::ShardRole::kPrimary).ok());
+  ASSERT_TRUE(parallel.InsertRows("t", 0, MakeRows(500)).ok());
+
+  Query q;
+  q.table = "t";
+  q.aggregations = {Aggregation{0, AggOp::kSum}};
+  exec::CancelToken cancel;
+  cancel.RequestCancel();  // deadline budget already spent
+  auto partial = parallel.ExecutePartial(q, 0, /*hop_budget=*/-1, &cancel);
+  EXPECT_EQ(partial.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(CubrickServerTest, ExecutePartialManyFansPartitionsAcrossPool) {
+  // Under naive-hash mapping two partitions of one table can land in
+  // the same shard — and a host may legally own both (same shard, so no
+  // collision). That is the multi-partition fan-out case
+  // ExecutePartialMany parallelizes. (The fixture catalog's
+  // kHashPartitionZero strategy spreads partitions over distinct shards
+  // by construction, so this test builds its own naive-hash catalog.)
+  Catalog hash_catalog(100, ShardMappingStrategy::kNaiveHash);
+  TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(hash_catalog.CreateTable("many", schema, 100).ok());
+  std::vector<sm::ShardId> shards = hash_catalog.ShardsForTable("many");
+  std::set<sm::ShardId> distinct(shards.begin(), shards.end());
+  std::vector<uint32_t> parts;
+  sm::ShardId multi = 0;
+  for (sm::ShardId s : distinct) {
+    std::vector<uint32_t> here;
+    for (const PartitionRef& ref : hash_catalog.PartitionsForShard(s)) {
+      if (ref.table == "many") here.push_back(ref.partition);
+    }
+    if (here.size() >= 2) {
+      multi = s;
+      parts = here;
+      break;
+    }
+  }
+  if (parts.empty()) GTEST_SKIP() << "no shard drew two partitions";
+
+  CubrickServerOptions popts = options_;
+  popts.scan_workers = 4;
+  popts.morsel_rows = 128;
+  CubrickServer host(&sim_, &cluster_, &hash_catalog, /*server=*/5, popts);
+  ASSERT_TRUE(host.AddShard(multi, sm::ShardRole::kPrimary).ok());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    ASSERT_TRUE(
+        host.InsertRows("many", parts[i], MakeRows(300, /*seed=*/40 + i))
+            .ok());
+  }
+
+  Query q;
+  q.table = "many";
+  q.group_by = {1};
+  q.aggregations = {Aggregation{0, AggOp::kSum},
+                    Aggregation{0, AggOp::kCount}};
+  auto many = host.ExecutePartialMany(q, parts);
+  ASSERT_TRUE(many.ok());
+  ASSERT_EQ(many->size(), parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    auto single = host.ExecutePartial(q, parts[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_TRUE(SameRows(MaterializeRows(single->result, q),
+                         MaterializeRows((*many)[i].result, q)))
+        << "partition " << parts[i];
+  }
+}
+
+TEST_F(CubrickServerTest, ExecutePartialManySerialFallbackWithoutPool) {
+  auto shards = MakeTable("t");
+  ASSERT_TRUE(server(0).AddShard(shards[0], sm::ShardRole::kPrimary).ok());
+  ASSERT_TRUE(server(0).InsertRows("t", 0, MakeRows(100)).ok());
+  Query q;
+  q.table = "t";
+  q.aggregations = {Aggregation{0, AggOp::kSum}};
+  ASSERT_EQ(server(0).exec_pool(), nullptr);
+  auto many = server(0).ExecutePartialMany(q, {0});
+  ASSERT_TRUE(many.ok());
+  ASSERT_EQ(many->size(), 1u);
+  EXPECT_EQ((*many)[0].result.rows_scanned, 100);
+}
+
 }  // namespace
 }  // namespace scalewall::cubrick
