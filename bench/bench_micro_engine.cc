@@ -13,11 +13,13 @@
 #include "bench_util.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "core/deployment.h"
 #include "cubrick/codec.h"
 #include "cubrick/partition.h"
 #include "cubrick/shard_mapper.h"
 #include "exec/morsel.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "workload/generators.h"
 
 using namespace scalewall;
@@ -281,9 +283,74 @@ void RunThreadScalingSeries() {
   std::printf("\n");
 }
 
+// --- trace dump (--trace_json=PATH, ISSUE 3) ---
+
+// Runs one traced query through a tiny deployment (morsel-parallel
+// scans) and writes the Chrome trace-event JSON to `path` — load it in
+// chrome://tracing or Perfetto to see the proxy attempt -> subquery ->
+// partition -> morsel breakdown behind the latency numbers above.
+int DumpQueryTrace(const std::string& path) {
+  core::DeploymentOptions options;
+  options.seed = 7;
+  options.topology.regions = 1;
+  options.topology.racks_per_region = 2;
+  options.topology.servers_per_rack = 5;
+  options.max_shards = 5000;
+  options.per_host_failure_probability = 0.0;
+  options.enable_query_tracing = true;
+  options.trace_options.max_spans_per_trace = 1 << 16;  // keep every morsel
+  options.server_options.scan_workers = 2;
+  options.server_options.morsel_rows = 512;
+  core::Deployment dep(options);
+
+  cubrick::TableSchema schema = BenchSchema();
+  if (!dep.CreateTable("bench", schema).ok()) return 1;
+  Rng rng(7);
+  if (!dep.LoadRows("bench", workload::GenerateRows(schema, 20000, rng))
+           .ok()) {
+    return 1;
+  }
+  dep.RunFor(15 * kSecond);
+  cubrick::Query q;
+  q.table = "bench";
+  q.group_by = {1};
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum}};
+  auto outcome = dep.Query(q);
+  if (!outcome.status.ok()) return 1;
+
+  obs::TraceSink& sink = dep.trace_sink();
+  std::string json = sink.ExportChromeTrace(sink.LastTraceId());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %zu bytes of Chrome trace JSON to %s (%zu spans)\n",
+              json.size(), path.c_str(),
+              sink.NumSpans(sink.LastTraceId()));
+  std::fputs(sink.ExportTextTree(sink.LastTraceId()).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip our own flag before google-benchmark sees the argument list.
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kFlag[] = "--trace_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      trace_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!trace_path.empty()) return DumpQueryTrace(trace_path);
+
   RunThreadScalingSeries();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

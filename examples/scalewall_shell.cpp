@@ -8,7 +8,9 @@
 //   \tables                   list tables and their partition counts
 //   \fleet                    fleet health summary
 //   \shards <table>           partition -> shard -> server (region 0)
-//   \trace                    recent query traces from the proxy
+//   \trace                    recent query traces, newest first
+//   \tracetree                span tree of the last query (proxy attempt
+//                             -> subquery -> partition -> morsel)
 //   \metrics                  Prometheus-style metrics dump
 //   \run <seconds>            advance simulated time
 //   \kill <server id>         fail a server (watch failover handle it)
@@ -35,7 +37,8 @@ namespace {
 void PrintHelp() {
   std::printf(
       "commands: SQL | \\tables | \\fleet | \\shards <t> | \\trace | "
-      "\\metrics | \\run <s> | \\kill <id> | \\drain <id> | \\help\n");
+      "\\tracetree | \\metrics | \\run <s> | \\kill <id> | \\drain <id> | "
+      "\\help\n");
 }
 
 void PrintOutcome(const cubrick::QueryOutcome& outcome,
@@ -72,6 +75,10 @@ int main() {
   options.topology.racks_per_region = 4;
   options.topology.servers_per_rack = 4;
   options.max_shards = 20000;
+  // Record span trees for \tracetree; morsel-parallel scans give the
+  // trees their deepest layer.
+  options.enable_query_tracing = true;
+  options.server_options.scan_workers = 2;
   core::Deployment dep(options);
 
   // Preload the star schema from the quickstart/join examples.
@@ -144,14 +151,22 @@ int main() {
           }
         }
       } else if (cmd == "\\trace") {
+        // Newest first, capped so a long session stays readable.
         for (const cubrick::QueryTrace& trace :
-             dep.proxy().RecentTraces()) {
+             dep.proxy().RecentTraces(20)) {
           std::printf("t=%-10s %-16s region %d attempts %d %-12s %s\n",
                       FormatDuration(trace.time).c_str(),
                       trace.table.c_str(), static_cast<int>(trace.region),
                       trace.attempts,
                       std::string(StatusCodeName(trace.status)).c_str(),
                       FormatDuration(trace.latency).c_str());
+        }
+      } else if (cmd == "\\tracetree") {
+        uint64_t trace_id = dep.trace_sink().LastTraceId();
+        if (trace_id == 0) {
+          std::printf("no traced queries yet — run a SELECT first\n");
+        } else {
+          std::printf("%s", dep.trace_sink().ExportTextTree(trace_id).c_str());
         }
       } else if (cmd == "\\metrics") {
         std::printf("%s", core::ExportMetricsText(dep).c_str());

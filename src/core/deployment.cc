@@ -12,11 +12,20 @@ namespace scalewall::core {
 
 Deployment::Deployment(DeploymentOptions options)
     : options_(std::move(options)),
+      trace_sink_(options_.trace_options),
       simulation_(options_.seed),
       cluster_(cluster::Cluster::Build(options_.topology)),
       catalog_(std::make_unique<cubrick::Catalog>(options_.max_shards,
                                                   options_.mapping)),
       load_rng_(simulation_.rng().Fork(/*stream=*/0x10AD)) {
+  // Every component's Stats counters register into the deployment-wide
+  // registry; the proxy additionally records span trees into the trace
+  // sink when query tracing is on.
+  options_.server_options.metrics = &metrics_;
+  options_.proxy_options.metrics = &metrics_;
+  if (options_.enable_query_tracing) {
+    options_.proxy_options.trace_sink = &trace_sink_;
+  }
   // One independent primary-only SM service per region (Section IV-D).
   for (cluster::RegionId r : cluster_.Regions()) {
     auto region = std::make_unique<Region>();
@@ -35,9 +44,12 @@ Deployment::Deployment(DeploymentOptions options)
     config.spread = sm::SpreadDomain::kServer;
     config.load_balancing = options_.load_balancing;
     config.heartbeat_interval = options_.heartbeat_interval;
+    sm::SmServerOptions sm_options = options_.sm_options;
+    sm_options.metrics = &metrics_;
+    sm_options.metric_labels = {{"region", std::to_string(r)}};
     region->sm = std::make_unique<sm::SmServer>(
         &simulation_, &cluster_, region->datastore.get(),
-        region->service_discovery.get(), config, options_.sm_options);
+        region->service_discovery.get(), config, sm_options);
 
     region->context.region = r;
     region->context.service = region->service;

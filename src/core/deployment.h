@@ -33,6 +33,8 @@
 #include "cubrick/server.h"
 #include "discovery/datastore.h"
 #include "discovery/service_discovery.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/latency_model.h"
 #include "sim/simulation.h"
 #include "sm/sm_server.h"
@@ -85,6 +87,11 @@ struct DeploymentOptions {
   cluster::FailureInjectorOptions failure_injector;
   // Arm per-server memory monitors and hotness decay.
   bool start_server_monitors = false;
+  // Record a distributed span tree (proxy attempt -> coordinator
+  // subquery -> server partition -> morsel) for every proxied query,
+  // retained in the deployment's TraceSink.
+  bool enable_query_tracing = false;
+  obs::TraceSinkOptions trace_options;
 };
 
 // Per-table creation overrides.
@@ -180,6 +187,13 @@ class Deployment : public cubrick::ServerDirectory {
   }
   size_t num_regions() const { return regions_.size(); }
   const DeploymentOptions& options() const { return options_; }
+  // Unified metrics registry every component's Stats counters live in;
+  // rendered by core::ExportMetricsText alongside the deployment-level
+  // metrics.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Distributed-tracing sink (spans recorded only when
+  // options.enable_query_tracing is set).
+  obs::TraceSink& trace_sink() { return trace_sink_; }
 
   // cubrick::ServerDirectory: resolves any fleet server to its Cubrick
   // instance (regions never cross-reference shards, so a global directory
@@ -255,6 +269,10 @@ class Deployment : public cubrick::ServerDirectory {
   void MaybeRepartition(const std::string& name);
 
   DeploymentOptions options_;
+  // Declared before every component so the registry/sink outlive the
+  // handles and contexts the components hold into them.
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_sink_;
   sim::Simulation simulation_;
   cluster::Cluster cluster_;
   std::unique_ptr<cubrick::Catalog> catalog_;

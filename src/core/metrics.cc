@@ -36,23 +36,13 @@ std::string ExportMetricsText(Deployment& deployment) {
   Emit(out, "scalewall_repartitions_total", "",
        static_cast<double>(deployment.repartitions()));
 
-  // Per-region shard manager.
+  // Per-region shard-manager state that is *derived* (not a counter):
+  // current assignment size and the balancer's utilization spread. The SM
+  // counters themselves (placements, failovers, migrations, ...) now
+  // come from the unified registry below.
   for (size_t r = 0; r < deployment.num_regions(); ++r) {
     auto region = static_cast<cluster::RegionId>(r);
-    const sm::SmServer::Stats& stats = deployment.sm(region).stats();
     std::string label = "region=\"" + std::to_string(r) + "\"";
-    Emit(out, "scalewall_sm_placements_total", label,
-         static_cast<double>(stats.placements));
-    Emit(out, "scalewall_sm_placement_rejections_total", label,
-         static_cast<double>(stats.placement_rejections));
-    Emit(out, "scalewall_sm_live_migrations_total", label,
-         static_cast<double>(stats.live_migrations));
-    Emit(out, "scalewall_sm_failovers_total", label,
-         static_cast<double>(stats.failovers));
-    Emit(out, "scalewall_sm_lb_runs_total", label,
-         static_cast<double>(stats.lb_runs));
-    Emit(out, "scalewall_sm_aborted_migrations_total", label,
-         static_cast<double>(stats.aborted_migrations));
     Emit(out, "scalewall_sm_assigned_shards", label,
          static_cast<double>(deployment.sm(region).num_assigned_shards()));
 
@@ -69,49 +59,16 @@ std::string ExportMetricsText(Deployment& deployment) {
     Emit(out, "scalewall_sm_utilization_max", label, max_util);
   }
 
-  // Proxy traffic.
-  const cubrick::CubrickProxy::Stats& proxy = deployment.proxy().stats();
-  Emit(out, "scalewall_proxy_queries_total", "result=\"submitted\"",
-       static_cast<double>(proxy.submitted));
-  Emit(out, "scalewall_proxy_queries_total", "result=\"succeeded\"",
-       static_cast<double>(proxy.succeeded));
-  Emit(out, "scalewall_proxy_queries_total", "result=\"failed\"",
-       static_cast<double>(proxy.failed));
-  Emit(out, "scalewall_proxy_queries_total", "result=\"rejected\"",
-       static_cast<double>(proxy.rejected));
-  Emit(out, "scalewall_proxy_cross_region_retries_total", "",
-       static_cast<double>(proxy.cross_region_retries));
-  Emit(out, "scalewall_proxy_blacklist_hits_total", "",
-       static_cast<double>(proxy.blacklist_hits));
-
-  // Subquery reliability layer (per-stage retry/hedge/deadline counters).
-  Emit(out, "scalewall_proxy_subquery_retries_total", "",
-       static_cast<double>(proxy.subquery_retries));
-  Emit(out, "scalewall_proxy_hedges_total", "result=\"fired\"",
-       static_cast<double>(proxy.hedges_fired));
-  Emit(out, "scalewall_proxy_hedges_total", "result=\"won\"",
-       static_cast<double>(proxy.hedge_wins));
-  Emit(out, "scalewall_proxy_deadline_exceeded_total", "",
-       static_cast<double>(proxy.deadline_exceeded));
-  for (const auto& [q, name] :
-       {std::pair<double, const char*>{0.5, "0.5"},
-        std::pair<double, const char*>{0.99, "0.99"},
-        std::pair<double, const char*>{0.999, "0.999"}}) {
-    Emit(out, "scalewall_proxy_attempt_latency_ms",
-         std::string("quantile=\"") + name + "\"",
-         proxy.attempt_latency_ms.Quantile(q));
-    Emit(out, "scalewall_proxy_query_latency_ms",
-         std::string("quantile=\"") + name + "\"",
-         proxy.query_latency_ms.Quantile(q));
-  }
-
-  // Storage engine, aggregated over the fleet.
+  // Storage engine, aggregated over the fleet (per-server series live in
+  // the registry; the fleet-wide sums keep the one-glance view). Also the
+  // moment exec pools mirror their queue/steal counters into gauges.
   int64_t partial_queries = 0, compressed = 0, decompressed = 0,
           evicted = 0, recoveries = 0, forwarded = 0, collisions = 0;
   double memory = 0;
   for (cluster::ServerId id : deployment.cluster().AllServers()) {
     cubrick::CubrickServer* server = deployment.Lookup(id);
     if (server == nullptr) continue;
+    server->RefreshExecMetrics();
     const cubrick::CubrickServer::Stats& stats = server->stats();
     partial_queries += stats.partial_queries;
     compressed += stats.bricks_compressed;
@@ -135,6 +92,11 @@ std::string ExportMetricsText(Deployment& deployment) {
   Emit(out, "scalewall_engine_forwarded_requests_total", "",
        static_cast<double>(forwarded));
   Emit(out, "scalewall_engine_memory_bytes", "", memory);
+
+  // Everything registered in the unified registry: proxy and SM
+  // counters/histograms (under their pre-registry names), per-server
+  // engine counters, morsel counts, exec-pool gauges.
+  out << deployment.metrics().ExportText();
 
   return out.str();
 }

@@ -10,7 +10,16 @@ namespace scalewall::cubrick {
 DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
                                       cluster::ServerId coordinator,
                                       Rng& rng,
-                                      SimDuration deadline_budget) {
+                                      SimDuration deadline_budget,
+                                      obs::TraceContext trace,
+                                      SimTime dispatch_time) {
+  // Sim-time anchor for every child span: the engine runs at one frozen
+  // instant, so span boundaries are computed from the same arithmetic
+  // that produces the attempt's latency.
+  const SimTime t0 =
+      dispatch_time >= 0
+          ? dispatch_time
+          : (ctx.simulation != nullptr ? ctx.simulation->now() : 0);
   DistributedOutcome outcome;
   auto table = ctx.catalog->GetTable(query.table);
   if (!table.ok()) {
@@ -126,9 +135,14 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     while (ctx.failure_model.Fails(rng)) {
       // The failure surfaces roughly when the subquery would have
       // completed (or timed out).
+      const SimDuration failed_at = penalty;
       penalty += ctx.network_model.SampleHop(rng) +
                  ctx.latency_model.Sample(rng);
       if (tries >= policy.max_subquery_retries) {
+        obs::TraceContext fspan = trace.Child(
+            "failure s" + std::to_string(server), t0 + failed_at);
+        fspan.Annotate("server", std::to_string(server));
+        fspan.End(t0 + penalty);
         deadline_capped(penalty,
                         Status::Unavailable(
                             "server " + std::to_string(server) +
@@ -137,6 +151,13 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
         return outcome;
       }
       penalty += policy.retry_backoff << tries;
+      // Span covering the failed draw plus the backoff before the retry
+      // re-dispatches against the re-resolved replica.
+      obs::TraceContext rspan = trace.Child(
+          "retry s" + std::to_string(server) + " t" + std::to_string(tries),
+          t0 + failed_at);
+      rspan.Annotate("server", std::to_string(server));
+      rspan.End(t0 + penalty);
       ++tries;
       ++outcome.subquery_retries;
       reresolve.insert(server);
@@ -178,13 +199,23 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       outcome.failed_server = exec_server;
       return outcome;
     }
+    // Subquery span: opened before dispatch so the server's partition
+    // (and morsel) spans nest under it; its extent is fixed below once
+    // the chain latency is known.
+    obs::TraceContext sspan = trace.Child(
+        "subquery p" + std::to_string(sub.partition), t0);
+    sspan.Annotate("server", std::to_string(exec_server));
     auto partial = server->ExecutePartial(query, sub.partition,
-                                          /*hop_budget=*/-1, &cancel);
+                                          /*hop_budget=*/-1, &cancel, sspan,
+                                          t0);
     if (!partial.ok()) {
       outcome.status = partial.status();
       outcome.failed_server = exec_server;
       outcome.latency = ctx.network_model.SampleHop(rng) +
                         ctx.latency_model.Sample(rng);
+      sspan.Annotate("status",
+                     std::string(StatusCodeName(partial.status().code())));
+      sspan.End(t0 + outcome.latency);
       return outcome;
     }
     SimDuration hop = exec_server == coordinator
@@ -200,6 +231,9 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       ++outcome.hedges_fired;
       SimDuration hedged = hedge_delay + ctx.network_model.SampleHop(rng) +
                            ctx.latency_model.Sample(rng);
+      obs::TraceContext hspan = sspan.Child("hedge", t0 + hedge_delay);
+      hspan.Annotate("won", hedged < chain ? "true" : "false");
+      hspan.End(t0 + hedged);
       if (hedged < chain) {
         ++outcome.hedge_wins;
         chain = hedged;
@@ -208,6 +242,7 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     auto it = host_penalty.find(sub.server);
     if (it != host_penalty.end()) chain += it->second;
     slowest = std::max(slowest, chain);
+    sspan.End(t0 + chain);
     outcome.result.Merge(partial->result);
   }
   outcome.latency = slowest + ctx.merge_overhead;

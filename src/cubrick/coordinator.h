@@ -32,6 +32,7 @@
 #include "cubrick/query.h"
 #include "cubrick/server.h"
 #include "discovery/service_discovery.h"
+#include "obs/trace.h"
 #include "sim/latency_model.h"
 #include "sim/simulation.h"
 
@@ -107,10 +108,17 @@ struct DistributedOutcome {
 // retried and slow subqueries hedged per `ctx.policy`; `deadline_budget`
 // (0 = unlimited) caps the attempt's wall time — once retries, backoff
 // and hedges would run past it the attempt stops with kDeadlineExceeded.
+//
+// `trace` (optional) is the parent span — per-subquery, retry and hedge
+// child spans are recorded under it, anchored at `dispatch_time` (the
+// sim-time this attempt reaches the coordinator; -1 = the simulation's
+// current time).
 DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
                                       cluster::ServerId coordinator,
                                       Rng& rng,
-                                      SimDuration deadline_budget = 0);
+                                      SimDuration deadline_budget = 0,
+                                      obs::TraceContext trace = {},
+                                      SimTime dispatch_time = -1);
 
 }  // namespace scalewall::cubrick
 

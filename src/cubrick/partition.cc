@@ -146,15 +146,29 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
 
   const exec::CancelToken* cancel =
       exec != nullptr ? exec->cancel : nullptr;
+  const obs::TraceContext trace =
+      exec != nullptr ? exec->trace : obs::TraceContext{};
+  const SimTime trace_time = exec != nullptr ? exec->trace_time : 0;
+  exec::MorselMetrics* metrics =
+      exec != nullptr ? exec->morsel_metrics : nullptr;
   const bool parallel = exec != nullptr && exec->pool != nullptr &&
                         exec->num_workers > 1 && !survivors.empty();
   if (!parallel) {
-    for (Brick* brick : survivors) {
+    for (size_t i = 0; i < survivors.size(); ++i) {
       if (cancel != nullptr && cancel->cancelled()) {
+        if (metrics != nullptr) {
+          metrics->skipped += static_cast<int64_t>(survivors.size() - i);
+        }
         return Status::Cancelled("partition scan cancelled: " + table_ +
                                  "/" + std::to_string(partition_));
       }
+      Brick* brick = survivors[i];
+      obs::TraceContext bspan =
+          trace.Child("brick " + std::to_string(brick->id()), trace_time);
+      bspan.Annotate("rows", std::to_string(brick->num_rows()));
+      bspan.End(trace_time);
       brick->Scan(schema_, query, result, &decompressions_, join);
+      if (metrics != nullptr) ++metrics->executed;
     }
     return Status::Ok();
   }
@@ -179,10 +193,18 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
       exec->pool, exec->num_workers, morsels.size(),
       [&](size_t i) {
         const exec::MorselRange& m = morsels[i];
+        // Morsel spans are recorded from pool workers concurrently; the
+        // sink serializes writes and exports canonicalize the order, so
+        // the trace stays byte-stable regardless of scheduling.
+        obs::TraceContext mspan =
+            trace.Child("morsel " + std::to_string(i), trace_time);
+        mspan.Annotate("brick", std::to_string(survivors[m.item]->id()));
+        mspan.Annotate("rows", std::to_string(m.end - m.begin));
+        mspan.End(trace_time);
         survivors[m.item]->ScanRange(schema_, query, partials[i],
                                      &decompressions_, join, m.begin, m.end);
       },
-      cancel));
+      cancel, metrics));
   for (const QueryResult& partial : partials) {
     result.Merge(partial);
   }

@@ -21,6 +21,39 @@ std::string_view CoordinatorStrategyName(CoordinatorStrategy strategy) {
   return "?";
 }
 
+CubrickProxy::Stats::Stats(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  // Registered under the exact names the hand-written exporter used, so
+  // the scrape output is unchanged by the migration.
+  submitted = registry->GetCounter("scalewall_proxy_queries_total",
+                                   {{"result", "submitted"}});
+  succeeded = registry->GetCounter("scalewall_proxy_queries_total",
+                                   {{"result", "succeeded"}});
+  failed = registry->GetCounter("scalewall_proxy_queries_total",
+                                {{"result", "failed"}});
+  rejected = registry->GetCounter("scalewall_proxy_queries_total",
+                                  {{"result", "rejected"}});
+  retried = registry->GetCounter("scalewall_proxy_retried_queries_total");
+  cross_region_retries =
+      registry->GetCounter("scalewall_proxy_cross_region_retries_total");
+  blacklist_hits = registry->GetCounter("scalewall_proxy_blacklist_hits_total");
+  extra_hops = registry->GetCounter("scalewall_proxy_extra_hops_total");
+  extra_roundtrips =
+      registry->GetCounter("scalewall_proxy_extra_roundtrips_total");
+  subquery_retries =
+      registry->GetCounter("scalewall_proxy_subquery_retries_total");
+  hedges_fired = registry->GetCounter("scalewall_proxy_hedges_total",
+                                      {{"result", "fired"}});
+  hedge_wins = registry->GetCounter("scalewall_proxy_hedges_total",
+                                    {{"result", "won"}});
+  deadline_exceeded =
+      registry->GetCounter("scalewall_proxy_deadline_exceeded_total");
+  attempt_latency_ms = registry->GetHistogram(
+      "scalewall_proxy_attempt_latency_ms", {}, /*min_value=*/0.001);
+  query_latency_ms = registry->GetHistogram("scalewall_proxy_query_latency_ms",
+                                            {}, /*min_value=*/0.001);
+}
+
 CubrickProxy::CubrickProxy(sim::Simulation* simulation,
                            cluster::Cluster* cluster, Catalog* catalog,
                            ProxyOptions options)
@@ -28,7 +61,8 @@ CubrickProxy::CubrickProxy(sim::Simulation* simulation,
       cluster_(cluster),
       catalog_(catalog),
       options_(options),
-      rng_(simulation->rng().Fork(/*stream=*/0x9C0A7)) {}
+      rng_(simulation->rng().Fork(/*stream=*/0x9C0A7)),
+      stats_(options_.metrics) {}
 
 void CubrickProxy::AddRegion(RegionContext* context) {
   regions_.push_back(context);
@@ -183,13 +217,34 @@ Result<cluster::ServerId> CubrickProxy::PickCoordinator(
                              std::to_string(ctx.region));
 }
 
-std::vector<QueryTrace> CubrickProxy::RecentTraces() const {
-  return {traces_.begin(), traces_.end()};
+std::vector<QueryTrace> CubrickProxy::RecentTraces(size_t limit) const {
+  // Newest first; copies only the requested window instead of the whole
+  // ring buffer.
+  size_t n = traces_.size();
+  if (limit > 0 && limit < n) n = limit;
+  std::vector<QueryTrace> out;
+  out.reserve(n);
+  for (auto it = traces_.rbegin(); it != traces_.rend() && out.size() < n;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
 }
 
 QueryOutcome CubrickProxy::Submit(const Query& query,
                                   cluster::RegionId preferred_region) {
-  QueryOutcome outcome = SubmitInternal(query, preferred_region);
+  const SimTime start = simulation_->now();
+  obs::TraceContext root;
+  if (options_.trace_sink != nullptr) {
+    root = options_.trace_sink->StartTrace("query " + query.table, start);
+  }
+  QueryOutcome outcome = SubmitInternal(query, preferred_region, start, root);
+  if (root.active()) {
+    root.Annotate("status", std::string(StatusCodeName(outcome.status.code())));
+    root.Annotate("attempts", std::to_string(outcome.attempts));
+    root.Annotate("fanout", std::to_string(outcome.fanout));
+    root.End(start + outcome.latency);
+  }
   if (options_.trace_capacity > 0) {
     QueryTrace trace;
     trace.time = simulation_->now();
@@ -204,14 +259,19 @@ QueryOutcome CubrickProxy::Submit(const Query& query,
     trace.hedge_wins = outcome.hedge_wins;
     trace.deadline =
         query.deadline > 0 ? query.deadline : options_.default_deadline;
+    trace.trace_id = root.trace;
+    // Cap *before* pushing so the deque never exceeds trace_capacity,
+    // even transiently (and shrinks promptly if the cap is lowered).
+    while (traces_.size() >= options_.trace_capacity) traces_.pop_front();
     traces_.push_back(std::move(trace));
-    if (traces_.size() > options_.trace_capacity) traces_.pop_front();
   }
   return outcome;
 }
 
 QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
-                                          cluster::RegionId preferred_region) {
+                                          cluster::RegionId preferred_region,
+                                          SimTime start,
+                                          const obs::TraceContext& root) {
   QueryOutcome outcome;
   ++stats_.submitted;
   SweepExpired();
@@ -268,6 +328,13 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
     }
     ++outcome.attempts;
     outcome.region = ctx->region;
+    // Span for this attempt, anchored at the sim-time the attempt begins
+    // (submission time plus everything earlier attempts already burned).
+    const SimTime attempt_start = start + outcome.latency;
+    obs::TraceContext aspan =
+        root.Child("attempt " + std::to_string(outcome.attempts),
+                   attempt_start);
+    aspan.Annotate("region", std::to_string(ctx->region));
     // Client -> proxy -> coordinator network legs.
     SimDuration attempt_latency = ctx->network_model.SampleHop(rng_) +
                                   ctx->network_model.SampleHop(rng_);
@@ -275,9 +342,13 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
     if (!coordinator.ok()) {
       outcome.latency += attempt_latency;
       last_error = coordinator.status();
+      aspan.Annotate("status",
+                     std::string(StatusCodeName(last_error.code())));
+      aspan.End(attempt_start + attempt_latency);
       if (!coordinator.status().IsRetryable()) break;
       continue;
     }
+    aspan.Annotate("coordinator", std::to_string(*coordinator));
     // The coordinator gets whatever budget remains after the time already
     // burned by earlier attempts and this attempt's network legs.
     SimDuration remaining = 0;
@@ -288,12 +359,19 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
         last_error = Status::DeadlineExceeded(
             "deadline budget of " + FormatDuration(deadline) +
             " exhausted before dispatch");
+        aspan.Annotate("status",
+                       std::string(StatusCodeName(last_error.code())));
+        aspan.End(start + deadline);
         break;
       }
     }
     DistributedOutcome attempt =
-        ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining);
+        ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining, aspan,
+                           attempt_start + attempt_latency);
     outcome.latency += attempt_latency + attempt.latency;
+    aspan.Annotate("status",
+                   std::string(StatusCodeName(attempt.status.code())));
+    aspan.End(attempt_start + attempt_latency + attempt.latency);
     outcome.subquery_retries += attempt.subquery_retries;
     outcome.hedges_fired += attempt.hedges_fired;
     outcome.hedge_wins += attempt.hedge_wins;

@@ -31,6 +31,8 @@
 #include "common/status.h"
 #include "cubrick/coordinator.h"
 #include "cubrick/query.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace scalewall::cubrick {
 
@@ -73,6 +75,13 @@ struct ProxyOptions {
   double min_region_availability = 0.5;
   // Query traces retained in the ring buffer (0 disables tracing).
   size_t trace_capacity = 1024;
+  // Unified metrics registry the proxy's Stats counters register into
+  // (null = standalone counters, visible only through stats()).
+  obs::MetricsRegistry* metrics = nullptr;
+  // Distributed-tracing sink: when set, every submitted query opens a
+  // span tree (query -> attempt -> subquery -> partition -> morsel)
+  // propagated down through coordinator and servers.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 // One entry of the proxy's query trace ring buffer ("the proxy is also
@@ -91,6 +100,9 @@ struct QueryTrace {
   int hedges_fired = 0;
   int hedge_wins = 0;
   SimDuration deadline = 0;
+  // Distributed trace id in the deployment's TraceSink (0 = tracing was
+  // off or the trace has been evicted).
+  uint64_t trace_id = 0;
 };
 
 // Final outcome of a proxied query.
@@ -130,27 +142,34 @@ class CubrickProxy {
   // Cached partition count for a table (kCachedRandom strategy), or 0.
   uint32_t CachedPartitions(const std::string& table) const;
 
-  // Most recent query traces, oldest first.
-  std::vector<QueryTrace> RecentTraces() const;
+  // Most recent query traces, newest first, at most `limit` entries
+  // (0 = all retained traces).
+  std::vector<QueryTrace> RecentTraces(size_t limit = 0) const;
 
+  // Counters live in obs handles so a registry-attached proxy exports
+  // them by name; with no registry they are standalone cells and this
+  // struct behaves exactly like the plain-int64 version it replaced
+  // (Counter converts implicitly and supports ++/+=/load).
   struct Stats {
-    int64_t submitted = 0;
-    int64_t succeeded = 0;
-    int64_t failed = 0;
-    int64_t retried = 0;        // queries needing >1 attempt
-    int64_t rejected = 0;       // admission control
-    int64_t cross_region_retries = 0;
-    int64_t blacklist_hits = 0;
-    int64_t extra_hops = 0;        // strategy-2 forwards
-    int64_t extra_roundtrips = 0;  // strategy-3 lookups
+    explicit Stats(obs::MetricsRegistry* registry = nullptr);
+
+    obs::Counter submitted;
+    obs::Counter succeeded;
+    obs::Counter failed;
+    obs::Counter retried;   // queries needing >1 attempt
+    obs::Counter rejected;  // admission control
+    obs::Counter cross_region_retries;
+    obs::Counter blacklist_hits;
+    obs::Counter extra_hops;        // strategy-2 forwards
+    obs::Counter extra_roundtrips;  // strategy-3 lookups
     // Reliability layer (subquery retry / hedging / deadline stages).
-    int64_t subquery_retries = 0;   // failed host draws retried in-region
-    int64_t hedges_fired = 0;       // duplicate subqueries dispatched
-    int64_t hedge_wins = 0;         // hedges that beat the primary
-    int64_t deadline_exceeded = 0;  // queries failed on their budget
+    obs::Counter subquery_retries;   // failed host draws retried in-region
+    obs::Counter hedges_fired;       // duplicate subqueries dispatched
+    obs::Counter hedge_wins;         // hedges that beat the primary
+    obs::Counter deadline_exceeded;  // queries failed on their budget
     // Per-stage latency histograms (milliseconds).
-    Histogram attempt_latency_ms{/*min_value=*/0.001};  // every attempt
-    Histogram query_latency_ms{/*min_value=*/0.001};    // successful e2e
+    obs::HistogramMetric attempt_latency_ms{/*min_value=*/0.001};
+    obs::HistogramMetric query_latency_ms{/*min_value=*/0.001};
     // Coordinator picks per server (coordinator balance ablation).
     std::map<cluster::ServerId, int64_t> coordinator_picks;
   };
@@ -167,7 +186,8 @@ class CubrickProxy {
 
  private:
   QueryOutcome SubmitInternal(const Query& query,
-                              cluster::RegionId preferred_region);
+                              cluster::RegionId preferred_region,
+                              SimTime start, const obs::TraceContext& root);
   bool RegionAvailable(const RegionContext& ctx) const;
   bool Admit();
 

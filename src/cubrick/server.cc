@@ -7,6 +7,36 @@
 
 namespace scalewall::cubrick {
 
+CubrickServer::Stats::Stats(obs::MetricsRegistry* registry,
+                            cluster::ServerId server) {
+  if (registry == nullptr) return;
+  const obs::MetricLabels labels = {{"server", std::to_string(server)}};
+  partial_queries =
+      registry->GetCounter("scalewall_server_partial_queries_total", labels);
+  forwarded_requests =
+      registry->GetCounter("scalewall_server_forwarded_requests_total", labels);
+  parallel_scans =
+      registry->GetCounter("scalewall_server_parallel_scans_total", labels);
+  morsels_executed = registry->GetCounter(
+      "scalewall_exec_morsels_total",
+      {{"server", std::to_string(server)}, {"result", "executed"}});
+  morsels_skipped = registry->GetCounter(
+      "scalewall_exec_morsels_total",
+      {{"server", std::to_string(server)}, {"result", "skipped"}});
+  bricks_compressed =
+      registry->GetCounter("scalewall_server_bricks_compressed_total", labels);
+  bricks_decompressed = registry->GetCounter(
+      "scalewall_server_bricks_decompressed_total", labels);
+  bricks_evicted =
+      registry->GetCounter("scalewall_server_bricks_evicted_total", labels);
+  recoveries =
+      registry->GetCounter("scalewall_server_recoveries_total", labels);
+  collision_rejections = registry->GetCounter(
+      "scalewall_server_collision_rejections_total", labels);
+  // scan_micros stays standalone: it is measured wall-clock time, which
+  // would make the exported text nondeterministic across runs.
+}
+
 CubrickServer::CubrickServer(sim::Simulation* simulation,
                              cluster::Cluster* cluster, Catalog* catalog,
                              cluster::ServerId server,
@@ -16,10 +46,32 @@ CubrickServer::CubrickServer(sim::Simulation* simulation,
       catalog_(catalog),
       server_(server),
       options_(options),
-      rng_(simulation->rng().Fork(0xC0B1000ULL + server)) {
+      rng_(simulation->rng().Fork(0xC0B1000ULL + server)),
+      stats_(options_.metrics, server) {
   if (options_.scan_workers > 1) {
     exec_pool_ = std::make_unique<exec::ThreadPool>(options_.scan_workers);
   }
+}
+
+void CubrickServer::RefreshExecMetrics() {
+  if (exec_pool_ == nullptr || options_.metrics == nullptr) return;
+  if (!exec_gauges_registered_) {
+    const obs::MetricLabels labels = {{"server", std::to_string(server_)}};
+    exec_queue_depth_ =
+        options_.metrics->GetGauge("scalewall_exec_pool_queue_depth", labels);
+    exec_steals_ =
+        options_.metrics->GetGauge("scalewall_exec_pool_steals_total", labels);
+    exec_tasks_submitted_ = options_.metrics->GetGauge(
+        "scalewall_exec_pool_tasks_submitted_total", labels);
+    exec_tasks_executed_ = options_.metrics->GetGauge(
+        "scalewall_exec_pool_tasks_executed_total", labels);
+    exec_gauges_registered_ = true;
+  }
+  exec_queue_depth_.Set(static_cast<double>(exec_pool_->queue_depth()));
+  exec_steals_.Set(static_cast<double>(exec_pool_->steals()));
+  exec_tasks_submitted_.Set(
+      static_cast<double>(exec_pool_->tasks_submitted()));
+  exec_tasks_executed_.Set(static_cast<double>(exec_pool_->tasks_executed()));
 }
 
 void CubrickServer::StartMonitors() {
@@ -270,8 +322,10 @@ Status CubrickServer::InsertRows(const std::string& table, uint32_t partition,
 
 Result<PartialResult> CubrickServer::ExecutePartial(
     const Query& query, uint32_t partition, int hop_budget,
-    const exec::CancelToken* cancel) {
+    const exec::CancelToken* cancel, obs::TraceContext trace,
+    SimTime trace_time) {
   if (hop_budget < 0) hop_budget = options_.max_forward_hops;
+  if (trace.active() && trace_time < 0) trace_time = simulation_->now();
   auto shard = catalog_->ShardForPartition(query.table, partition);
   if (!shard.ok()) return shard.status();
 
@@ -284,8 +338,13 @@ Result<PartialResult> CubrickServer::ExecutePartial(
     CubrickServer* target = directory_->Lookup(forward->second);
     if (target != nullptr) {
       ++stats_.forwarded_requests;
-      auto forwarded =
-          target->ExecutePartial(query, partition, hop_budget - 1, cancel);
+      obs::TraceContext fspan =
+          trace.Child("forward s" + std::to_string(forward->second),
+                      trace_time);
+      auto forwarded = target->ExecutePartial(query, partition,
+                                              hop_budget - 1, cancel, fspan,
+                                              trace_time);
+      fspan.End(trace_time);
       if (!forwarded.ok()) return forwarded;
       forwarded->forward_hops += 1;
       return forwarded;
@@ -333,16 +392,32 @@ Result<PartialResult> CubrickServer::ExecutePartial(
   }
   PartialResult partial;
   partial.result = QueryResult(query.aggregations.size());
+  // Partition span: the engine runs at one frozen sim-instant, so the
+  // span is a point at trace_time; its row/morsel weight is annotated.
+  obs::TraceContext pspan = trace.Child(
+      "partition " + query.table + "/p" + std::to_string(partition),
+      trace_time);
+  pspan.Annotate("server", std::to_string(server_));
+  pspan.Annotate("rows", std::to_string(it->second.num_rows()));
+  exec::MorselMetrics morsel_metrics;
   exec::ExecOptions exec_options;
   exec_options.num_workers = options_.scan_workers;
   exec_options.morsel_rows = options_.morsel_rows;
   exec_options.pool = exec_pool_.get();
   exec_options.cancel = cancel;
+  exec_options.trace = pspan;
+  exec_options.trace_time = trace_time;
+  exec_options.morsel_metrics = &morsel_metrics;
   const auto scan_start = std::chrono::steady_clock::now();
-  SCALEWALL_RETURN_IF_ERROR(
+  Status scan_status =
       it->second.Execute(query, partial.result,
                          query.joins.empty() ? nullptr : &join,
-                         &exec_options));
+                         &exec_options);
+  stats_.morsels_executed += morsel_metrics.executed;
+  stats_.morsels_skipped += morsel_metrics.skipped;
+  pspan.Annotate("morsels", std::to_string(morsel_metrics.executed));
+  pspan.End(trace_time);
+  SCALEWALL_RETURN_IF_ERROR(scan_status);
   const int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - scan_start)
                              .count();
@@ -359,11 +434,14 @@ Result<PartialResult> CubrickServer::ExecutePartial(
 
 Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
     const Query& query, const std::vector<uint32_t>& partitions,
-    const exec::CancelToken* cancel) {
+    const exec::CancelToken* cancel, obs::TraceContext trace,
+    SimTime trace_time) {
+  if (trace.active() && trace_time < 0) trace_time = simulation_->now();
   std::vector<PartialResult> results(partitions.size());
   if (exec_pool_ == nullptr || partitions.size() <= 1) {
     for (size_t i = 0; i < partitions.size(); ++i) {
-      auto partial = ExecutePartial(query, partitions[i], -1, cancel);
+      auto partial =
+          ExecutePartial(query, partitions[i], -1, cancel, trace, trace_time);
       if (!partial.ok()) return partial.status();
       results[i] = std::move(*partial);
     }
@@ -372,8 +450,10 @@ Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
   std::vector<Status> statuses(partitions.size(), Status::Ok());
   exec::TaskGroup group(exec_pool_.get());
   for (size_t i = 0; i < partitions.size(); ++i) {
-    group.Run([this, &query, &partitions, &results, &statuses, cancel, i] {
-      auto partial = ExecutePartial(query, partitions[i], -1, cancel);
+    group.Run([this, &query, &partitions, &results, &statuses, cancel, trace,
+               trace_time, i] {
+      auto partial =
+          ExecutePartial(query, partitions[i], -1, cancel, trace, trace_time);
       if (partial.ok()) {
         results[i] = std::move(*partial);
       } else {

@@ -39,6 +39,8 @@
 #include "exec/cancel.h"
 #include "exec/morsel.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "cubrick/partition.h"
 #include "cubrick/query.h"
 #include "cubrick/replicated_table.h"
@@ -87,6 +89,9 @@ struct CubrickServerOptions {
   int scan_workers = 0;
   // Rows per morsel on the parallel path.
   size_t morsel_rows = exec::kDefaultMorselRows;
+  // Unified metrics registry this server's Stats counters register into,
+  // labeled server="<id>" (null = standalone counters).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Result of a partition-local (partial) query execution.
@@ -151,9 +156,14 @@ class CubrickServer : public sm::AppServer {
   // scan_workers > 1 the partition's bricks are scanned morsel-parallel
   // on the server's pool; `cancel` (e.g. the coordinator's
   // deadline-budget token) aborts between morsels with kCancelled.
+  // `trace` (optional) is the coordinator's subquery span: the server
+  // records a partition span (and, on the parallel path, per-morsel
+  // spans) under it, anchored at sim-time `trace_time` (-1 = the
+  // simulation's current time).
   Result<PartialResult> ExecutePartial(
       const Query& query, uint32_t partition, int hop_budget = -1,
-      const exec::CancelToken* cancel = nullptr);
+      const exec::CancelToken* cancel = nullptr,
+      obs::TraceContext trace = {}, SimTime trace_time = -1);
 
   // Executes partials for several partitions of one query (the shards
   // this host owns), fanning the per-partition scans across the exec
@@ -164,7 +174,8 @@ class CubrickServer : public sm::AppServer {
   // sequential loop when no pool is configured.
   Result<std::vector<PartialResult>> ExecutePartialMany(
       const Query& query, const std::vector<uint32_t>& partitions,
-      const exec::CancelToken* cancel = nullptr);
+      const exec::CancelToken* cancel = nullptr,
+      obs::TraceContext trace = {}, SimTime trace_time = -1);
 
   // The server's exec pool (null when scan_workers <= 1).
   exec::ThreadPool* exec_pool() { return exec_pool_.get(); }
@@ -220,24 +231,40 @@ class CubrickServer : public sm::AppServer {
   // Runs one hotness decay round immediately.
   void RunHotnessDecay();
 
+  // Counters live in obs handles (atomic cells): the query path bumps
+  // them from pool workers concurrently. With a registry they export as
+  // scalewall_server_*{server="<id>"} series; without one they are
+  // standalone cells with the same int64-like interface as before.
   struct Stats {
-    // Counters bumped on the query path are atomic: ExecutePartialMany
-    // runs partition scans on pool workers concurrently.
-    std::atomic<int64_t> partial_queries{0};
-    std::atomic<int64_t> forwarded_requests{0};
+    explicit Stats(obs::MetricsRegistry* registry = nullptr,
+                   cluster::ServerId server = 0);
+
+    obs::Counter partial_queries;
+    obs::Counter forwarded_requests;
     // Measured (wall-clock) partition-scan time, microseconds, summed
     // over all partial queries — the per-host service-time ground truth
-    // behind the latency distributions.
-    std::atomic<int64_t> scan_micros{0};
+    // behind the latency distributions. Deliberately NOT registered:
+    // wall-clock time varies run to run and would break the exporter's
+    // byte-stability across seeded runs.
+    obs::Counter scan_micros;
     // Partial queries that took the morsel-parallel path.
-    std::atomic<int64_t> parallel_scans{0};
-    int64_t bricks_compressed = 0;
-    int64_t bricks_decompressed = 0;
-    int64_t bricks_evicted = 0;
-    int64_t recoveries = 0;        // partitions recovered cross-region
-    int64_t collision_rejections = 0;
+    obs::Counter parallel_scans;
+    // Morsel accounting from the exec layer (parallel and serial paths).
+    obs::Counter morsels_executed;
+    obs::Counter morsels_skipped;  // cancelled before being scheduled
+    obs::Counter bricks_compressed;
+    obs::Counter bricks_decompressed;
+    obs::Counter bricks_evicted;
+    obs::Counter recoveries;  // partitions recovered cross-region
+    obs::Counter collision_rejections;
   };
   const Stats& stats() const { return stats_; }
+
+  // Copies the exec pool's counters (queue depth, steals, submitted,
+  // executed) into the registry's scalewall_exec_pool_* gauges. Called
+  // by the metrics exporter before rendering; a no-op without a pool or
+  // registry.
+  void RefreshExecMetrics();
 
  private:
   // Returns kNonRetryable if taking `shard` here would co-locate two
@@ -277,6 +304,12 @@ class CubrickServer : public sm::AppServer {
   // table -> partitions hosted here (collision detection).
   std::unordered_map<std::string, std::set<uint32_t>> hosted_partitions_;
   Stats stats_;
+  // Exec-pool gauges (registered lazily by RefreshExecMetrics).
+  obs::Gauge exec_queue_depth_;
+  obs::Gauge exec_steals_;
+  obs::Gauge exec_tasks_submitted_;
+  obs::Gauge exec_tasks_executed_;
+  bool exec_gauges_registered_ = false;
   bool monitors_started_ = false;
 };
 

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/time.h"
 #include "exec/cancel.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 
 namespace scalewall::exec {
 
@@ -26,6 +28,8 @@ namespace scalewall::exec {
 // cancellation latency stays in the sub-millisecond range.
 inline constexpr size_t kDefaultMorselRows = 16384;
 
+struct MorselMetrics;
+
 // Per-query knobs for the parallel scan path. A null pool or
 // num_workers <= 1 selects the serial path (still honouring `cancel`).
 struct ExecOptions {
@@ -33,6 +37,15 @@ struct ExecOptions {
   size_t morsel_rows = kDefaultMorselRows;
   ThreadPool* pool = nullptr;
   const CancelToken* cancel = nullptr;
+
+  // Observability (all optional). `trace` is the parent span under which
+  // the scan records per-morsel child spans, stamped at `trace_time`
+  // (simulated time — the engine runs at one frozen instant per query).
+  // `morsel_metrics`, when set, accumulates executed/skipped counts for
+  // the caller's Stats.
+  obs::TraceContext trace;
+  SimTime trace_time = 0;
+  MorselMetrics* morsel_metrics = nullptr;
 };
 
 // One morsel: rows [begin, end) of input item `item`.

@@ -49,6 +49,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     workers_[index]->tasks.push_back(std::move(fn));
   }
   pending_.fetch_add(1, std::memory_order_release);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   wake_.notify_one();
 }
 

@@ -52,11 +52,21 @@ class ThreadPool {
   // threads.
   int CurrentWorkerIndex() const;
 
-  // --- introspection (tests/benches) ---
+  // --- introspection (tests/benches/metrics registry) ---
+  // All counters are relaxed atomics: they are statistics, read
+  // concurrently with execution, and carry no ordering guarantees.
   int64_t tasks_executed() const {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
   int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  int64_t tasks_submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  // Tasks submitted but not yet picked up by any thread. A point-in-time
+  // snapshot; can be momentarily stale while workers are mid-dequeue.
+  int64_t queue_depth() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Worker {
@@ -85,6 +95,7 @@ class ThreadPool {
 
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> submitted_{0};
 };
 
 // A barrier over a set of tasks scheduled on one pool.

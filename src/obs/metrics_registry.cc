@@ -1,0 +1,102 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scalewall::obs {
+
+namespace {
+
+MetricLabels Normalize(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void EmitSeriesName(std::ostringstream& out, const std::string& name,
+                    const MetricLabels& labels,
+                    const char* extra_key = nullptr,
+                    const char* extra_value = nullptr) {
+  out << name;
+  if (!labels.empty() || extra_key != nullptr) {
+    out << "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+      if (!first) out << ",";
+      out << key << "=\"" << value << "\"";
+      first = false;
+    }
+    if (extra_key != nullptr) {
+      if (!first) out << ",";
+      out << extra_key << "=\"" << extra_value << "\"";
+    }
+    out << "}";
+  }
+}
+
+}  // namespace
+
+Counter MetricsRegistry::GetCounter(const std::string& name,
+                                    MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = series_[SeriesKey{name, Normalize(std::move(labels))}];
+  series.kind = Series::Kind::kCounter;
+  return series.counter;
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = series_[SeriesKey{name, Normalize(std::move(labels))}];
+  series.kind = Series::Kind::kGauge;
+  return series.gauge;
+}
+
+HistogramMetric MetricsRegistry::GetHistogram(const std::string& name,
+                                              MetricLabels labels,
+                                              double min_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SeriesKey key{name, Normalize(std::move(labels))};
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(std::move(key), Series{}).first;
+    it->second.histogram = HistogramMetric(min_value);
+  }
+  it->second.kind = Series::Kind::kHistogram;
+  return it->second.histogram;
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Series::Kind::kCounter:
+        EmitSeriesName(out, key.name, key.labels);
+        out << " " << series.counter.load() << "\n";
+        break;
+      case Series::Kind::kGauge:
+        EmitSeriesName(out, key.name, key.labels);
+        out << " " << series.gauge.value() << "\n";
+        break;
+      case Series::Kind::kHistogram: {
+        for (const auto& [q, qname] :
+             {std::pair<double, const char*>{0.5, "0.5"},
+              std::pair<double, const char*>{0.99, "0.99"},
+              std::pair<double, const char*>{0.999, "0.999"}}) {
+          EmitSeriesName(out, key.name, key.labels, "quantile", qname);
+          out << " " << series.histogram.Quantile(q) << "\n";
+        }
+        EmitSeriesName(out, key.name + "_count", key.labels);
+        out << " " << series.histogram.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+size_t MetricsRegistry::num_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+}  // namespace scalewall::obs

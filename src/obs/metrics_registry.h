@@ -1,0 +1,154 @@
+// Unified metrics registry (scalewall::obs).
+//
+// Before this module, proxy, server and SM each grew an ad-hoc `Stats`
+// struct with divergent field conventions, and core::ExportMetricsText
+// hand-rendered each one. The registry unifies them: a component asks
+// for a Counter / Gauge / HistogramMetric handle by (name, labels) and
+// the registry renders every registered series in one sorted
+// Prometheus-style text block.
+//
+// Handles are value types over shared cells: a default-constructed
+// handle owns a private standalone cell, so Stats structs stay directly
+// constructible in unit tests with no registry attached — registration
+// just makes the same cell visible to ExportText. Counter mimics enough
+// of int64/std::atomic<int64_t> (operator++, +=, fetch_add, load,
+// implicit conversion) that existing call sites and tests compile
+// unchanged after migration.
+
+#ifndef SCALEWALL_OBS_METRICS_REGISTRY_H_
+#define SCALEWALL_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace scalewall::obs {
+
+// Label sets are small (0-2 pairs); kept sorted by key for identity.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonic integer counter. Thread-safe; all operations are relaxed
+// atomics — counters are statistics, never synchronization.
+class Counter {
+ public:
+  Counter() : cell_(std::make_shared<std::atomic<int64_t>>(0)) {}
+
+  void Add(int64_t delta) { cell_->fetch_add(delta, std::memory_order_relaxed); }
+  Counter& operator++() {
+    Add(1);
+    return *this;
+  }
+  Counter& operator+=(int64_t delta) {
+    Add(delta);
+    return *this;
+  }
+  int64_t fetch_add(int64_t delta,
+                    std::memory_order order = std::memory_order_relaxed) {
+    return cell_->fetch_add(delta, order);
+  }
+  int64_t load(std::memory_order order = std::memory_order_relaxed) const {
+    return cell_->load(order);
+  }
+  int64_t value() const { return load(); }
+  operator int64_t() const { return load(); }  // NOLINT(runtime/explicit)
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<std::atomic<int64_t>> cell_;
+};
+
+// Last-write-wins double value (queue depth, utilization, ...).
+class Gauge {
+ public:
+  Gauge() : cell_(std::make_shared<std::atomic<double>>(0.0)) {}
+
+  void Set(double value) { cell_->store(value, std::memory_order_relaxed); }
+  double value() const { return cell_->load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::shared_ptr<std::atomic<double>> cell_;
+};
+
+// Registry-visible wrapper over common::Histogram (log-bucketed).
+// Thread-safe via an internal mutex; Add is rare (per-query, not
+// per-row), so a mutex is fine.
+class HistogramMetric {
+ public:
+  HistogramMetric() : cell_(std::make_shared<Cell>(0.001)) {}
+  explicit HistogramMetric(double min_value)
+      : cell_(std::make_shared<Cell>(min_value)) {}
+
+  void Add(double value) {
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    cell_->histogram.Add(value);
+  }
+  double Quantile(double q) const {
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->histogram.Quantile(q);
+  }
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return static_cast<int64_t>(cell_->histogram.count());
+  }
+
+ private:
+  friend class MetricsRegistry;
+  struct Cell {
+    explicit Cell(double min_value) : histogram(min_value) {}
+    mutable std::mutex mu;
+    Histogram histogram;
+  };
+  std::shared_ptr<Cell> cell_;
+};
+
+// Name+labels -> shared cell. Getting the same (name, labels) twice
+// returns handles over the same cell; distinct label sets are distinct
+// series. ExportText renders all series sorted by (name, labels) as
+//   name{k="v",...} value
+// with counters as plain integers (matching the pre-registry exporter)
+// and histograms as quantile series (0.5/0.99/0.999) plus a _count line.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter GetCounter(const std::string& name, MetricLabels labels = {});
+  Gauge GetGauge(const std::string& name, MetricLabels labels = {});
+  HistogramMetric GetHistogram(const std::string& name, MetricLabels labels = {},
+                               double min_value = 0.001);
+
+  std::string ExportText() const;
+  size_t num_series() const;
+
+ private:
+  struct SeriesKey {
+    std::string name;
+    MetricLabels labels;
+    bool operator<(const SeriesKey& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+  struct Series {
+    Counter counter;
+    Gauge gauge;
+    HistogramMetric histogram;
+    enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  };
+
+  mutable std::mutex mu_;
+  std::map<SeriesKey, Series> series_;
+};
+
+}  // namespace scalewall::obs
+
+#endif  // SCALEWALL_OBS_METRICS_REGISTRY_H_

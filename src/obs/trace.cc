@@ -1,0 +1,295 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace scalewall::obs {
+
+TraceContext TraceContext::Child(std::string name, SimTime start) const {
+  if (!sink) return {};
+  return sink->StartSpan(*this, std::move(name), start);
+}
+
+void TraceContext::Annotate(std::string key, std::string value) const {
+  if (sink) sink->Annotate(*this, std::move(key), std::move(value));
+}
+
+void TraceContext::End(SimTime end) const {
+  if (sink) sink->EndSpan(*this, end);
+}
+
+TraceSink::TraceSink(TraceSinkOptions options) : options_(options) {}
+
+TraceContext TraceSink::StartTrace(std::string name, SimTime start) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_traces == 0) return {};
+  while (traces_.size() >= options_.max_traces) traces_.pop_front();
+  Trace& trace = traces_.emplace_back();
+  trace.id = next_trace_++;
+  SpanRecord root;
+  root.id = trace.next_span++;
+  root.parent = 0;
+  root.name = std::move(name);
+  root.start = start;
+  root.end = start;
+  trace.index[root.id] = trace.spans.size();
+  trace.spans.push_back(std::move(root));
+  return {this, trace.id, 1};
+}
+
+TraceContext TraceSink::StartSpan(const TraceContext& parent, std::string name,
+                                  SimTime start) {
+  if (!parent.active()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace* trace = Find(parent.trace);
+  if (trace == nullptr) return {};  // evicted while the query was running
+  if (trace->spans.size() >= options_.max_spans_per_trace) {
+    ++dropped_spans_;
+    return {};
+  }
+  SpanRecord span;
+  span.id = trace->next_span++;
+  span.parent = parent.span;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = start;
+  trace->index[span.id] = trace->spans.size();
+  trace->spans.push_back(std::move(span));
+  return {this, trace->id, span.id};
+}
+
+void TraceSink::Annotate(const TraceContext& ctx, std::string key,
+                         std::string value) {
+  if (!ctx.active()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace* trace = Find(ctx.trace);
+  if (trace == nullptr) return;
+  auto it = trace->index.find(ctx.span);
+  if (it == trace->index.end()) return;
+  trace->spans[it->second].tags.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSink::EndSpan(const TraceContext& ctx, SimTime end) {
+  if (!ctx.active()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace* trace = Find(ctx.trace);
+  if (trace == nullptr) return;
+  auto it = trace->index.find(ctx.span);
+  if (it == trace->index.end()) return;
+  trace->spans[it->second].end = end;
+}
+
+size_t TraceSink::num_traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::vector<uint64_t> TraceSink::TraceIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(traces_.size());
+  for (const Trace& trace : traces_) ids.push_back(trace.id);
+  return ids;
+}
+
+uint64_t TraceSink::LastTraceId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.empty() ? 0 : traces_.back().id;
+}
+
+size_t TraceSink::NumSpans(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Trace* trace = Find(trace_id);
+  return trace == nullptr ? 0 : trace->spans.size();
+}
+
+int64_t TraceSink::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_spans_;
+}
+
+TraceSink::Trace* TraceSink::Find(uint64_t trace_id) {
+  for (Trace& trace : traces_) {
+    if (trace.id == trace_id) return &trace;
+  }
+  return nullptr;
+}
+
+const TraceSink::Trace* TraceSink::Find(uint64_t trace_id) const {
+  for (const Trace& trace : traces_) {
+    if (trace.id == trace_id) return &trace;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Canonicalization: spans were recorded under a mutex but possibly from
+// several pool workers, so raw ids and vector order depend on thread
+// interleaving. Sorting each sibling list by (start, end, name, raw id)
+// and renumbering in DFS pre-order yields an ordering and id assignment
+// that depend only on the simulated execution, never on the host.
+struct CanonicalTree {
+  // Indices into the raw span vector, DFS pre-order.
+  std::vector<size_t> order;
+  // Parallel to `order`: canonical id (= position in `order` + 1) of the
+  // parent, 0 for the root.
+  std::vector<uint64_t> parent;
+  // Parallel to `order`: depth of the span (root = 0).
+  std::vector<int> depth;
+};
+
+CanonicalTree Canonicalize(const std::vector<SpanRecord>& spans) {
+  std::unordered_map<uint64_t, std::vector<size_t>> children;
+  std::vector<size_t> roots;
+  std::unordered_map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != 0 && by_id.count(spans[i].parent)) {
+      children[spans[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  auto sort_siblings = [&spans](std::vector<size_t>& list) {
+    std::sort(list.begin(), list.end(), [&spans](size_t a, size_t b) {
+      const SpanRecord& x = spans[a];
+      const SpanRecord& y = spans[b];
+      if (x.start != y.start) return x.start < y.start;
+      if (x.end != y.end) return x.end < y.end;
+      if (x.name != y.name) return x.name < y.name;
+      return x.id < y.id;
+    });
+  };
+  sort_siblings(roots);
+  for (auto& [id, list] : children) sort_siblings(list);
+
+  CanonicalTree tree;
+  tree.order.reserve(spans.size());
+  std::function<void(size_t, uint64_t, int)> visit = [&](size_t idx,
+                                                         uint64_t parent_canon,
+                                                         int depth) {
+    tree.order.push_back(idx);
+    tree.parent.push_back(parent_canon);
+    tree.depth.push_back(depth);
+    uint64_t canon = tree.order.size();  // 1-based canonical id
+    auto it = children.find(spans[idx].id);
+    if (it != children.end()) {
+      for (size_t child : it->second) visit(child, canon, depth + 1);
+    }
+  };
+  for (size_t root : roots) visit(root, 0, 0);
+  return tree;
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SpanRecord> TraceSink::Spans(uint64_t trace_id) const {
+  std::vector<SpanRecord> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Trace* trace = Find(trace_id);
+    if (trace == nullptr) return {};
+    raw = trace->spans;
+  }
+  CanonicalTree tree = Canonicalize(raw);
+  std::vector<SpanRecord> out;
+  out.reserve(tree.order.size());
+  for (size_t i = 0; i < tree.order.size(); ++i) {
+    SpanRecord span = raw[tree.order[i]];
+    span.id = i + 1;
+    span.parent = tree.parent[i];
+    out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::string TraceSink::ExportChromeTrace(uint64_t trace_id) const {
+  std::vector<SpanRecord> spans = Spans(trace_id);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, span.name);
+    out += "\",\"cat\":\"scalewall\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(span.start);
+    out += ",\"dur\":";
+    out += std::to_string(span.end > span.start ? span.end - span.start : 0);
+    out += ",\"pid\":";
+    out += std::to_string(trace_id);
+    out += ",\"tid\":";
+    out += std::to_string(span.id);
+    out += ",\"args\":{\"span\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    for (const auto& [key, value] : span.tags) {
+      out += ",\"";
+      AppendJsonEscaped(out, key);
+      out += "\":\"";
+      AppendJsonEscaped(out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceSink::ExportTextTree(uint64_t trace_id) const {
+  std::vector<SpanRecord> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Trace* trace = Find(trace_id);
+    if (trace == nullptr) return "";
+    raw = trace->spans;
+  }
+  CanonicalTree tree = Canonicalize(raw);
+  std::ostringstream out;
+  for (size_t i = 0; i < tree.order.size(); ++i) {
+    const SpanRecord& span = raw[tree.order[i]];
+    for (int d = 0; d < tree.depth[i]; ++d) out << "  ";
+    SimDuration dur = span.end > span.start ? span.end - span.start : 0;
+    out << span.name << " [start=" << span.start << " dur=" << dur << "]";
+    for (const auto& [key, value] : span.tags) {
+      out << " " << key << "=" << value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace scalewall::obs

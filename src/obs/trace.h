@@ -1,0 +1,143 @@
+// Distributed query tracing (scalewall::obs).
+//
+// The paper leans on SM's "full-fledged management consoles and
+// monitoring dashboards" (Section IV) for its operational story; this
+// module is the cross-layer half of that capability for the
+// reproduction. A TraceContext — trace id, span id — is propagated down
+// the whole query path (proxy attempt → coordinator subquery → server
+// partition → morsel) and every layer records spans into a bounded
+// in-memory TraceSink.
+//
+// All timestamps are *simulated* time, so a trace is a pure function of
+// the deployment seed: two runs with the same seed export byte-identical
+// traces. Span *recording* may happen concurrently (morsel spans are
+// emitted from exec-pool workers), so the sink serializes writes and the
+// exporters canonicalize span order and ids — insertion order and raw id
+// assignment never leak into the output.
+//
+// Exports: a Chrome trace-event JSON document (load in chrome://tracing
+// or Perfetto) and an indented text tree (tests, CLI).
+
+#ifndef SCALEWALL_OBS_TRACE_H_
+#define SCALEWALL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace scalewall::obs {
+
+class TraceSink;
+
+// A handle naming one open span of one trace. Copyable and cheap; an
+// inactive context (default-constructed, or returned when the sink
+// dropped the span) turns every operation into a no-op, so call sites
+// never branch on whether tracing is enabled.
+struct TraceContext {
+  TraceSink* sink = nullptr;
+  uint64_t trace = 0;
+  uint64_t span = 0;
+
+  bool active() const { return sink != nullptr; }
+
+  // Opens a child span at `start` (simulated time). Returns an inactive
+  // context when this context is inactive or the sink refused the span.
+  TraceContext Child(std::string name, SimTime start) const;
+  // Attaches a key=value annotation to this span.
+  void Annotate(std::string key, std::string value) const;
+  // Closes the span at `end`. A span never explicitly ended exports
+  // with end == start.
+  void End(SimTime end) const;
+};
+
+// One finished (or still open) span as stored/exported. In exported
+// form, `id` and `parent` are canonical: spans are renumbered in
+// deterministic tree order, so ids are stable across runs regardless of
+// the thread interleaving that recorded them.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  std::string name;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+struct TraceSinkOptions {
+  // Traces retained; starting one more evicts the oldest whole trace.
+  size_t max_traces = 64;
+  // Spans retained per trace; once reached, StartSpan returns an
+  // inactive context (the span and its would-be subtree are dropped and
+  // counted in dropped_spans()).
+  size_t max_spans_per_trace = 4096;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions options = {});
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Opens a new trace with one root span. Trace ids are sequential from
+  // 1 in call order (deterministic under the simulator).
+  TraceContext StartTrace(std::string name, SimTime start);
+
+  // Opens a child span; prefer TraceContext::Child.
+  TraceContext StartSpan(const TraceContext& parent, std::string name,
+                         SimTime start);
+  void Annotate(const TraceContext& ctx, std::string key, std::string value);
+  void EndSpan(const TraceContext& ctx, SimTime end);
+
+  // --- introspection ---
+  size_t num_traces() const;
+  // Retained trace ids, oldest first.
+  std::vector<uint64_t> TraceIds() const;
+  // Most recently started trace id, or 0 when none is retained.
+  uint64_t LastTraceId() const;
+  size_t NumSpans(uint64_t trace_id) const;
+  int64_t dropped_spans() const;
+
+  // Spans of one trace in canonical order (deterministic DFS: children
+  // sorted by start time, then end, then name) with canonical ids.
+  // Empty when the trace is unknown/evicted.
+  std::vector<SpanRecord> Spans(uint64_t trace_id) const;
+
+  // Chrome trace-event JSON for one trace ("X" complete events,
+  // microsecond timestamps). Loadable in chrome://tracing / Perfetto.
+  std::string ExportChromeTrace(uint64_t trace_id) const;
+
+  // Indented text rendering of the span tree:
+  //   query t [start=0 dur=1234] status=OK
+  //     attempt 1 [start=0 dur=1234] region=0
+  std::string ExportTextTree(uint64_t trace_id) const;
+
+ private:
+  struct Trace {
+    uint64_t id = 0;
+    uint64_t next_span = 1;
+    std::vector<SpanRecord> spans;  // insertion order, raw ids
+    // raw span id -> index into `spans`.
+    std::unordered_map<uint64_t, size_t> index;
+  };
+
+  // Both return nullptr when the trace is not retained. Callers hold mu_.
+  Trace* Find(uint64_t trace_id);
+  const Trace* Find(uint64_t trace_id) const;
+
+  mutable std::mutex mu_;
+  TraceSinkOptions options_;
+  uint64_t next_trace_ = 1;
+  int64_t dropped_spans_ = 0;
+  std::deque<Trace> traces_;
+};
+
+}  // namespace scalewall::obs
+
+#endif  // SCALEWALL_OBS_TRACE_H_

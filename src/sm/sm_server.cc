@@ -21,6 +21,26 @@ std::string_view MigrationReasonName(MigrationReason reason) {
   return "?";
 }
 
+SmServer::Stats::Stats(obs::MetricsRegistry* registry,
+                       const obs::MetricLabels& labels) {
+  if (registry == nullptr) return;
+  // Registered under the exact names the hand-written exporter used, so
+  // the scrape output is unchanged by the migration.
+  placements = registry->GetCounter("scalewall_sm_placements_total", labels);
+  placement_rejections =
+      registry->GetCounter("scalewall_sm_placement_rejections_total", labels);
+  live_migrations =
+      registry->GetCounter("scalewall_sm_live_migrations_total", labels);
+  failovers = registry->GetCounter("scalewall_sm_failovers_total", labels);
+  lb_runs = registry->GetCounter("scalewall_sm_lb_runs_total", labels);
+  lb_migrations =
+      registry->GetCounter("scalewall_sm_lb_migrations_total", labels);
+  drain_migrations =
+      registry->GetCounter("scalewall_sm_drain_migrations_total", labels);
+  aborted_migrations =
+      registry->GetCounter("scalewall_sm_aborted_migrations_total", labels);
+}
+
 SmServer::SmServer(sim::Simulation* simulation, cluster::Cluster* cluster,
                    discovery::Datastore* datastore,
                    discovery::ServiceDiscovery* service_discovery,
@@ -31,7 +51,8 @@ SmServer::SmServer(sim::Simulation* simulation, cluster::Cluster* cluster,
       service_discovery_(service_discovery),
       config_(std::move(config)),
       options_(options),
-      rng_(simulation->rng().Fork(HashString(config_.name))) {
+      rng_(simulation->rng().Fork(HashString(config_.name))),
+      stats_(options_.metrics, options_.metric_labels) {
   // Failure detection: the datastore notifies us when an application
   // server's heartbeat session expires.
   datastore_->Watch("", [this](const discovery::WatchEvent& event) {

@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "discovery/datastore.h"
 #include "discovery/service_discovery.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulation.h"
 #include "sm/app_server.h"
 #include "sm/types.h"
@@ -52,6 +53,11 @@ struct SmServerOptions {
   // How many alternative targets to try when placements are rejected
   // (shard collisions can disqualify most of a region for wide tables).
   int max_placement_attempts = 64;
+  // Unified metrics registry the Stats counters register into, with
+  // `metric_labels` (e.g. {{"region","0"}}) on every series. Null =
+  // standalone counters.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::MetricLabels metric_labels;
 };
 
 class SmServer {
@@ -110,15 +116,21 @@ class SmServer {
   // as measured with the configured metric.
   std::map<cluster::ServerId, double> Utilization() const;
 
+  // Counters live in obs handles so a registry-attached SM exports them
+  // as scalewall_sm_*{<metric_labels>} series; without a registry they
+  // behave exactly like the plain-int64 fields they replaced.
   struct Stats {
-    int64_t placements = 0;
-    int64_t placement_rejections = 0;  // non-retryable AddShard refusals
-    int64_t live_migrations = 0;
-    int64_t failovers = 0;
-    int64_t lb_runs = 0;
-    int64_t lb_migrations = 0;
-    int64_t drain_migrations = 0;
-    int64_t aborted_migrations = 0;
+    explicit Stats(obs::MetricsRegistry* registry = nullptr,
+                   const obs::MetricLabels& labels = {});
+
+    obs::Counter placements;
+    obs::Counter placement_rejections;  // non-retryable AddShard refusals
+    obs::Counter live_migrations;
+    obs::Counter failovers;
+    obs::Counter lb_runs;
+    obs::Counter lb_migrations;
+    obs::Counter drain_migrations;
+    obs::Counter aborted_migrations;
     // Simulated day index -> migrations started that day (Figure 4d).
     std::map<int64_t, int> migrations_per_day;
   };

@@ -28,6 +28,24 @@ TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
   EXPECT_GE(pool.tasks_executed(), 100);
 }
 
+TEST(ThreadPoolTest, TracksSubmissionsAndQueueDepth) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.tasks_submitted(), 0);
+  EXPECT_EQ(pool.queue_depth(), 0);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 64);
+  // TaskGroup::Run goes through Submit, so every task is counted; the
+  // group tasks plus possible helper-executed ones all drain.
+  EXPECT_GE(pool.tasks_submitted(), 64);
+  EXPECT_EQ(pool.queue_depth(), 0);
+  EXPECT_GE(pool.tasks_executed() + pool.steals(), 0);
+}
+
 TEST(ThreadPoolTest, SingleWorkerPoolStillCompletes) {
   ThreadPool pool(1);
   std::atomic<int> counter{0};
