@@ -11,12 +11,15 @@
 #include <utility>
 
 #include "bench_util.h"
+#include "cluster/cluster.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "core/deployment.h"
 #include "cubrick/codec.h"
 #include "cubrick/partition.h"
+#include "cubrick/server.h"
 #include "cubrick/shard_mapper.h"
+#include "sim/simulation.h"
 #include "exec/morsel.h"
 #include "exec/thread_pool.h"
 #include "obs/trace.h"
@@ -190,6 +193,72 @@ void BM_RowInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows.size());
 }
 BENCHMARK(BM_RowInsert);
+
+// --- partial-result cache series (epoch-invalidated caching) ---
+
+// One standalone server hosting a 100k-row partition with the
+// partial-result cache on. Cached vs uncached is the identical query
+// run under kDefault (a validated hit after the first scan) vs kBypass
+// (always rescans): the gap is the brick scan the cache replaces.
+struct CachedServerBench {
+  CachedServerBench()
+      : sim(11),
+        cluster(cluster::Cluster::Build({.regions = 1,
+                                         .racks_per_region = 1,
+                                         .servers_per_rack = 1,
+                                         .memory_bytes = 1u << 30,
+                                         .ssd_bytes = 1u << 30})),
+        catalog(1000) {
+    cubrick::CubrickServerOptions options;
+    options.result_cache_bytes = 32u << 20;
+    server = std::make_unique<cubrick::CubrickServer>(&sim, &cluster,
+                                                      &catalog, 0, options);
+    cubrick::TableSchema schema = BenchSchema();
+    catalog.CreateTable("bench", schema, /*partitions=*/1);
+    server->AddShard(catalog.ShardsForTable("bench")[0],
+                     sm::ShardRole::kPrimary);
+    Rng rng(7);
+    server->InsertRows("bench", 0,
+                       workload::GenerateRows(schema, 100000, rng));
+  }
+
+  static cubrick::Query GroupByQuery() {
+    cubrick::Query q;
+    q.table = "bench";
+    q.group_by = {1};
+    q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum},
+                      cubrick::Aggregation{1, cubrick::AggOp::kMax}};
+    return q;
+  }
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  cubrick::Catalog catalog;
+  std::unique_ptr<cubrick::CubrickServer> server;
+};
+
+void BM_ServerPartialScan(benchmark::State& state) {
+  CachedServerBench bench;
+  cubrick::Query q = CachedServerBench::GroupByQuery();
+  const cache::CachePolicy policy = state.range(0) != 0
+                                        ? cache::CachePolicy::kDefault
+                                        : cache::CachePolicy::kBypass;
+  for (auto _ : state) {
+    auto result = bench.server->ExecutePartial(q, /*partition=*/0,
+                                               /*hop_budget=*/-1,
+                                               /*cancel=*/nullptr, {},
+                                               /*trace_time=*/-1, policy);
+    benchmark::DoNotOptimize(result);
+  }
+  auto snap = bench.server->ResultCacheSnapshot();
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(snap.hits));
+  state.counters["cache_misses"] =
+      benchmark::Counter(static_cast<double>(snap.misses));
+  state.SetLabel(state.range(0) != 0 ? "cached" : "uncached");
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ServerPartialScan)->Arg(0)->Arg(1);
 
 // --- thread-scaling series (morsel-driven execution, ISSUE 2) ---
 

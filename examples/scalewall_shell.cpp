@@ -12,6 +12,9 @@
 //   \tracetree                span tree of the last query (proxy attempt
 //                             -> subquery -> partition -> morsel)
 //   \metrics                  Prometheus-style metrics dump
+//   \cache                    result-cache statistics (proxy + servers)
+//   \cachepolicy [p]          get/set the session's cache policy
+//                             (default | bypass | refresh | allow_stale)
 //   \run <seconds>            advance simulated time
 //   \kill <server id>         fail a server (watch failover handle it)
 //   \drain <server id>        drain a server (graceful migrations)
@@ -37,8 +40,8 @@ namespace {
 void PrintHelp() {
   std::printf(
       "commands: SQL | \\tables | \\fleet | \\shards <t> | \\trace | "
-      "\\tracetree | \\metrics | \\run <s> | \\kill <id> | \\drain <id> | "
-      "\\help\n");
+      "\\tracetree | \\metrics | \\cache | \\cachepolicy [p] | \\run <s> | "
+      "\\kill <id> | \\drain <id> | \\help\n");
 }
 
 void PrintOutcome(const cubrick::QueryOutcome& outcome,
@@ -60,10 +63,17 @@ void PrintOutcome(const cubrick::QueryOutcome& outcome,
     }
     std::printf("%s\n", line.c_str());
   }
-  std::printf("(%zu rows; %s, fan-out %d, region %d, %d attempt%s)\n",
+  std::string cache_note;
+  if (outcome.served_stale) {
+    cache_note = ", STALE (cached; every region failed)";
+  } else if (outcome.cache_hits > 0 && outcome.attempts == 0) {
+    cache_note = ", cached";
+  }
+  std::printf("(%zu rows; %s, fan-out %d, region %d, %d attempt%s%s)\n",
               outcome.rows.size(), FormatDuration(outcome.latency).c_str(),
               outcome.fanout, static_cast<int>(outcome.region),
-              outcome.attempts, outcome.attempts == 1 ? "" : "s");
+              outcome.attempts, outcome.attempts == 1 ? "" : "s",
+              cache_note.c_str());
 }
 
 }  // namespace
@@ -79,7 +89,11 @@ int main() {
   // trees their deepest layer.
   options.enable_query_tracing = true;
   options.server_options.scan_workers = 2;
+  // Epoch-invalidated result caching: repeated dashboard queries come
+  // back from the merged cache after a cheap validation roundtrip.
+  options.enable_result_caching = true;
   core::Deployment dep(options);
+  cache::CachePolicy session_policy = cache::CachePolicy::kDefault;
 
   // Preload the star schema from the quickstart/join examples.
   cubrick::TableSchema schema = workload::AdEventsSchema();
@@ -170,6 +184,62 @@ int main() {
         }
       } else if (cmd == "\\metrics") {
         std::printf("%s", core::ExportMetricsText(dep).c_str());
+      } else if (cmd == "\\cache") {
+        auto merged = dep.proxy().MergedCacheSnapshot();
+        std::printf(
+            "proxy merged cache: %zu entries, %zu bytes; %lld hits, "
+            "%lld misses, %lld evictions, %lld invalidations\n",
+            merged.entries, merged.bytes,
+            static_cast<long long>(merged.hits),
+            static_cast<long long>(merged.misses),
+            static_cast<long long>(merged.evictions),
+            static_cast<long long>(merged.invalidations));
+        std::printf("  validated hits %lld, validation failures %lld, "
+                    "stale serves %lld\n",
+                    static_cast<long long>(dep.proxy().stats().cache_hits),
+                    static_cast<long long>(
+                        dep.proxy().stats().cache_validation_failures),
+                    static_cast<long long>(
+                        dep.proxy().stats().cache_stale_serves));
+        cubrick::PartialResultCache::Snapshot totals;
+        for (cluster::ServerId id : dep.cluster().AllServers()) {
+          cubrick::CubrickServer* server = dep.Lookup(id);
+          if (server == nullptr) continue;
+          auto snap = server->ResultCacheSnapshot();
+          totals.hits += snap.hits;
+          totals.misses += snap.misses;
+          totals.evictions += snap.evictions;
+          totals.invalidations += snap.invalidations;
+          totals.entries += snap.entries;
+          totals.bytes += snap.bytes;
+        }
+        std::printf(
+            "server partial caches (fleet total): %zu entries, %zu bytes; "
+            "%lld hits, %lld misses, %lld evictions, %lld invalidations\n",
+            totals.entries, totals.bytes,
+            static_cast<long long>(totals.hits),
+            static_cast<long long>(totals.misses),
+            static_cast<long long>(totals.evictions),
+            static_cast<long long>(totals.invalidations));
+      } else if (cmd == "\\cachepolicy") {
+        if (!arg.empty()) {
+          if (arg == "default") {
+            session_policy = cache::CachePolicy::kDefault;
+          } else if (arg == "bypass") {
+            session_policy = cache::CachePolicy::kBypass;
+          } else if (arg == "refresh") {
+            session_policy = cache::CachePolicy::kRefresh;
+          } else if (arg == "allow_stale") {
+            session_policy = cache::CachePolicy::kAllowStale;
+          } else {
+            std::printf(
+                "unknown policy %s (default|bypass|refresh|allow_stale)\n",
+                arg.c_str());
+          }
+        }
+        std::printf("cache policy: %s\n",
+                    std::string(cache::CachePolicyName(session_policy))
+                        .c_str());
       } else if (cmd == "\\run") {
         double seconds = arg.empty() ? 60 : std::stod(arg);
         dep.RunFor(FromSeconds(seconds));
@@ -214,7 +284,9 @@ int main() {
       for (char& c : upper) c = static_cast<char>(std::toupper(c));
       if (upper == "FROM" && (words >> table)) break;
     }
-    PrintOutcome(dep.QuerySql(statement), dep, table);
+    cubrick::QueryRequest request;
+    request.cache_policy = session_policy;
+    PrintOutcome(dep.QuerySql(statement, request), dep, table);
     statement.clear();
   }
   std::printf("\nbye.\n");

@@ -1,0 +1,19 @@
+#include "cache/cache.h"
+
+namespace scalewall::cache {
+
+std::string_view CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kDefault:
+      return "default";
+    case CachePolicy::kBypass:
+      return "bypass";
+    case CachePolicy::kRefresh:
+      return "refresh";
+    case CachePolicy::kAllowStale:
+      return "allow_stale";
+  }
+  return "?";
+}
+
+}  // namespace scalewall::cache

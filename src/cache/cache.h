@@ -1,0 +1,40 @@
+// Result-caching policy knobs (scalewall::cache).
+//
+// The repeated-query workload of Figure 5 (the same probe query every
+// 500 ms for a week) re-executes identical scans >1M times; caching
+// partial and merged results is where that latency is won. Cubrick's
+// exact-correctness guarantee (DESIGN.md §5) shapes the design: a hit
+// is only served when it is provably as fresh as a re-scan (partition
+// epochs match), and anything staler must be explicitly requested — and
+// is flagged — by the client.
+
+#ifndef SCALEWALL_CACHE_CACHE_H_
+#define SCALEWALL_CACHE_CACHE_H_
+
+#include <string_view>
+
+namespace scalewall::cache {
+
+// Per-query caching behaviour, carried by cubrick::QueryRequest.
+enum class CachePolicy {
+  // Serve epoch-validated hits; fall through to execution on any doubt.
+  // Never serves a stale result.
+  kDefault,
+  // Ignore caches entirely: neither read nor write. The ground-truth
+  // execution path (chaos correctness checks, cache ablations).
+  kBypass,
+  // Skip the lookup but store the fresh result: forces re-execution
+  // while warming the cache (dashboards refreshing a pinned query).
+  kRefresh,
+  // Like kDefault, but when *every* region fails, a previously cached
+  // merged result may be served as a last resort — clearly flagged via
+  // QueryOutcome::served_stale (the LinkedIn-style graceful-degradation
+  // escape hatch; exactness is traded away only on explicit request).
+  kAllowStale,
+};
+
+std::string_view CachePolicyName(CachePolicy policy);
+
+}  // namespace scalewall::cache
+
+#endif  // SCALEWALL_CACHE_CACHE_H_

@@ -26,6 +26,15 @@ Deployment::Deployment(DeploymentOptions options)
   if (options_.enable_query_tracing) {
     options_.proxy_options.trace_sink = &trace_sink_;
   }
+  if (options_.enable_result_caching) {
+    // Explicitly-set nested budgets win over the deployment defaults.
+    if (options_.server_options.result_cache_bytes == 0) {
+      options_.server_options.result_cache_bytes = options_.result_cache_bytes;
+    }
+    if (options_.proxy_options.merged_cache_bytes == 0) {
+      options_.proxy_options.merged_cache_bytes = options_.merged_cache_bytes;
+    }
+  }
   // One independent primary-only SM service per region (Section IV-D).
   for (cluster::RegionId r : cluster_.Regions()) {
     auto region = std::make_unique<Region>();
@@ -657,17 +666,44 @@ Status Deployment::Repartition(const std::string& name,
   return Status::Ok();
 }
 
+cubrick::QueryOutcome Deployment::Query(
+    const cubrick::QueryRequest& request) {
+  return proxy_->Submit(request);
+}
+
 cubrick::QueryOutcome Deployment::Query(const cubrick::Query& query,
                                         cluster::RegionId preferred_region) {
   return proxy_->Submit(query, preferred_region);
 }
 
+cubrick::QueryOutcome Deployment::QuerySql(const std::string& sql,
+                                           cubrick::QueryRequest request) {
+  cubrick::QueryOutcome outcome;
+  auto parsed = ParseSqlToQuery(sql);
+  if (!parsed.ok()) {
+    outcome.status = parsed.status();
+    return outcome;
+  }
+  request.query = std::move(*parsed);
+  return proxy_->Submit(request);
+}
+
 cubrick::QueryOutcome Deployment::QuerySql(
     const std::string& sql, cluster::RegionId preferred_region) {
+  cubrick::QueryOutcome outcome;
+  auto parsed = ParseSqlToQuery(sql);
+  if (!parsed.ok()) {
+    outcome.status = parsed.status();
+    return outcome;
+  }
+  return proxy_->Submit(*parsed, preferred_region);
+}
+
+Result<cubrick::Query> Deployment::ParseSqlToQuery(
+    const std::string& sql) const {
   // Resolve the schema by parsing just the FROM clause first: the parser
   // needs column names, which live in the catalog. A light scan for the
   // table name keeps the grammar in one place (cubrick/sql.cc).
-  cubrick::QueryOutcome outcome;
   std::istringstream words(sql);
   std::string word, table;
   while (words >> word) {
@@ -677,20 +713,11 @@ cubrick::QueryOutcome Deployment::QuerySql(
     if (upper == "FROM" && (words >> table)) break;
   }
   if (table.empty()) {
-    outcome.status = Status::InvalidArgument("missing FROM clause");
-    return outcome;
+    return Status::InvalidArgument("missing FROM clause");
   }
   auto info = catalog_->GetTable(table);
-  if (!info.ok()) {
-    outcome.status = info.status();
-    return outcome;
-  }
-  auto query = cubrick::ParseQuery(sql, info->schema, catalog_.get());
-  if (!query.ok()) {
-    outcome.status = query.status();
-    return outcome;
-  }
-  return proxy_->Submit(*query, preferred_region);
+  SCALEWALL_RETURN_IF_ERROR(info.status());
+  return cubrick::ParseQuery(sql, info->schema, catalog_.get());
 }
 
 Deployment::CollisionCensus Deployment::MeasureCollisions(

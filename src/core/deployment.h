@@ -92,6 +92,14 @@ struct DeploymentOptions {
   // retained in the deployment's TraceSink.
   bool enable_query_tracing = false;
   obs::TraceSinkOptions trace_options;
+  // Epoch-invalidated result caching (DESIGN.md §10): turns on both the
+  // per-server partial-result cache and the proxy's merged-result cache
+  // with the budgets below — unless the nested
+  // server_options.result_cache_bytes / proxy_options.merged_cache_bytes
+  // were already set explicitly, which always win.
+  bool enable_result_caching = false;
+  size_t result_cache_bytes = 32u << 20;  // per server
+  size_t merged_cache_bytes = 8u << 20;   // proxy-wide
 };
 
 // Per-table creation overrides.
@@ -158,6 +166,13 @@ class Deployment : public cubrick::ServerDirectory {
   Status DecommissionServer(cluster::ServerId server);
 
   // --- queries ---
+
+  // Primary entry point of the redesigned API: submits the request's
+  // query with its per-submission overrides (preferred region, deadline
+  // budget, tracing, cache policy).
+  cubrick::QueryOutcome Query(const cubrick::QueryRequest& request);
+
+  // Compatibility overload: submits with default per-query overrides.
   cubrick::QueryOutcome Query(const cubrick::Query& query,
                               cluster::RegionId preferred_region = 0);
 
@@ -165,6 +180,12 @@ class Deployment : public cubrick::ServerDirectory {
   // (See cubrick/sql.h for the dialect.)
   cubrick::QueryOutcome QuerySql(const std::string& sql,
                                  cluster::RegionId preferred_region = 0);
+
+  // SQL with per-submission overrides: `request.query` is replaced by
+  // the parsed statement; everything else (region, deadline, tracing,
+  // cache policy) applies as given.
+  cubrick::QueryOutcome QuerySql(const std::string& sql,
+                                 cubrick::QueryRequest request);
 
   // --- time ---
   void RunFor(SimDuration duration) { simulation_.RunFor(duration); }
@@ -262,6 +283,10 @@ class Deployment : public cubrick::ServerDirectory {
   // Appends rows a region failed to accept to its write-behind buffer.
   void DeferWrite(cluster::RegionId region, const std::string& table,
                   const std::vector<cubrick::Row>& rows);
+
+  // Shared SQL front-end for both QuerySql overloads: scans the FROM
+  // clause for the table, resolves its schema and parses the statement.
+  Result<cubrick::Query> ParseSqlToQuery(const std::string& sql) const;
 
   Status EnsureTableShards(const std::string& name);
   uint32_t PartitionForRow(const cubrick::Row& row, uint32_t num_partitions,

@@ -69,6 +69,7 @@ std::string ExportMetricsText(Deployment& deployment) {
     cubrick::CubrickServer* server = deployment.Lookup(id);
     if (server == nullptr) continue;
     server->RefreshExecMetrics();
+    server->RefreshCacheMetrics();
     const cubrick::CubrickServer::Stats& stats = server->stats();
     partial_queries += stats.partial_queries;
     compressed += stats.bricks_compressed;
@@ -95,7 +96,9 @@ std::string ExportMetricsText(Deployment& deployment) {
 
   // Everything registered in the unified registry: proxy and SM
   // counters/histograms (under their pre-registry names), per-server
-  // engine counters, morsel counts, exec-pool gauges.
+  // engine counters, morsel counts, exec-pool gauges, and the proxy's
+  // per-coordinator pick gauges refreshed just below.
+  deployment.proxy().RefreshCoordinatorMetrics();
   out << deployment.metrics().ExportText();
 
   return out.str();

@@ -7,12 +7,39 @@
 
 namespace scalewall::cubrick {
 
+Result<std::vector<uint64_t>> CollectPartitionEpochs(
+    RegionContext& ctx, const std::string& table) {
+  auto info = ctx.catalog->GetTable(table);
+  if (!info.ok()) return info.status();
+  sm::SmClient client(ctx.discovery, ctx.cluster, /*viewer=*/0);
+  std::vector<uint64_t> epochs(info->num_partitions, 0);
+  for (uint32_t p = 0; p < info->num_partitions; ++p) {
+    auto shard = ctx.catalog->ShardForPartition(table, p);
+    if (!shard.ok()) return shard.status();
+    auto server = client.ResolveServing(ctx.service, *shard);
+    if (!server.ok()) return server.status();
+    CubrickServer* instance =
+        ctx.directory != nullptr ? ctx.directory->Lookup(*server) : nullptr;
+    if (instance == nullptr || !ctx.cluster->Contains(*server) ||
+        !ctx.cluster->Get(*server).IsServing()) {
+      return Status::Unavailable("epoch check: host for partition " +
+                                 PartitionName(table, p) + " unavailable");
+    }
+    auto epoch = instance->PartitionEpoch(table, p);
+    if (!epoch.ok()) return epoch.status();
+    epochs[p] = *epoch;
+  }
+  return epochs;
+}
+
 DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
                                       cluster::ServerId coordinator,
                                       Rng& rng,
                                       SimDuration deadline_budget,
                                       obs::TraceContext trace,
-                                      SimTime dispatch_time) {
+                                      SimTime dispatch_time,
+                                      cache::CachePolicy cache_policy,
+                                      const std::string* fingerprint) {
   // Sim-time anchor for every child span: the engine runs at one frozen
   // instant, so span boundaries are computed from the same arithmetic
   // that produces the attempt's latency.
@@ -27,6 +54,7 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     return outcome;
   }
   outcome.num_partitions = table->num_partitions;
+  outcome.partition_epochs.assign(table->num_partitions, 0);
   outcome.result = QueryResult(query.aggregations.size());
 
   Status valid = query.Validate(table->schema);
@@ -207,7 +235,7 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     sspan.Annotate("server", std::to_string(exec_server));
     auto partial = server->ExecutePartial(query, sub.partition,
                                           /*hop_budget=*/-1, &cancel, sspan,
-                                          t0);
+                                          t0, cache_policy, fingerprint);
     if (!partial.ok()) {
       outcome.status = partial.status();
       outcome.failed_server = exec_server;
@@ -243,6 +271,7 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     if (it != host_penalty.end()) chain += it->second;
     slowest = std::max(slowest, chain);
     sspan.End(t0 + chain);
+    outcome.partition_epochs[sub.partition] = partial->epoch;
     outcome.result.Merge(partial->result);
   }
   outcome.latency = slowest + ctx.merge_overhead;

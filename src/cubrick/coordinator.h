@@ -24,6 +24,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/random.h"
@@ -82,8 +83,38 @@ struct RegionContext {
   SubqueryPolicy policy;
 };
 
+// Reliability-layer activity counters, shared by every layer that
+// reports them: DistributedOutcome and QueryOutcome/QueryTrace (plain
+// ints) and the proxy's Stats (obs::Counter handles) all embed this one
+// struct by inheritance, so field access stays flat (`outcome.hedge_wins`)
+// and a new counter — like the cache ones below — is added in exactly
+// one place.
+template <typename C>
+struct ReliabilityCountersT {
+  C subquery_retries{};  // failed host draws retried in-region
+  C hedges_fired{};      // duplicate subqueries dispatched
+  C hedge_wins{};        // hedges that beat the primary
+  // Result-cache activity at the proxy: validated merged-result hits
+  // served without a fan-out, and stale results served (flagged) after
+  // every region failed.
+  C cache_hits{};
+  C cache_stale_serves{};
+
+  // Adds another instance's values (any counter type convertible via
+  // +=, e.g. accumulating per-attempt ints into obs::Counter handles).
+  template <typename Other>
+  void AccumulateReliability(const Other& other) {
+    subquery_retries += other.subquery_retries;
+    hedges_fired += other.hedges_fired;
+    hedge_wins += other.hedge_wins;
+    cache_hits += other.cache_hits;
+    cache_stale_serves += other.cache_stale_serves;
+  }
+};
+using ReliabilityCounters = ReliabilityCountersT<int>;
+
 // Outcome of one in-region distributed execution attempt.
-struct DistributedOutcome {
+struct DistributedOutcome : ReliabilityCounters {
   Status status;
   QueryResult result;
   // Wall time of this attempt (meaningful for failures too: time until
@@ -94,12 +125,12 @@ struct DistributedOutcome {
   // Current partition count of the table — returned "as part of query
   // results metadata" to keep the proxy cache fresh (Section IV-C).
   uint32_t num_partitions = 0;
+  // Per-partition freshness epochs observed by this attempt (indexed by
+  // partition; only meaningful on success). The proxy's merged-result
+  // cache validates against these with a cheap epoch-check roundtrip.
+  std::vector<uint64_t> partition_epochs;
   // The server that failed the attempt, if any (for proxy blacklisting).
   cluster::ServerId failed_server = cluster::kInvalidServer;
-  // Reliability-layer activity during this attempt.
-  int subquery_retries = 0;
-  int hedges_fired = 0;
-  int hedge_wins = 0;
 };
 
 // Executes `query` with the coordinator running on `coordinator`, fanning
@@ -113,12 +144,24 @@ struct DistributedOutcome {
 // child spans are recorded under it, anchored at `dispatch_time` (the
 // sim-time this attempt reaches the coordinator; -1 = the simulation's
 // current time).
-DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
-                                      cluster::ServerId coordinator,
-                                      Rng& rng,
-                                      SimDuration deadline_budget = 0,
-                                      obs::TraceContext trace = {},
-                                      SimTime dispatch_time = -1);
+// `cache_policy` and `fingerprint` (a precomputed
+// CanonicalQueryFingerprint, optional) are forwarded to every server's
+// partial-result cache lookup.
+DistributedOutcome ExecuteDistributed(
+    RegionContext& ctx, const Query& query, cluster::ServerId coordinator,
+    Rng& rng, SimDuration deadline_budget = 0, obs::TraceContext trace = {},
+    SimTime dispatch_time = -1,
+    cache::CachePolicy cache_policy = cache::CachePolicy::kDefault,
+    const std::string* fingerprint = nullptr);
+
+// Resolves every partition of `table` in ctx's region and collects the
+// current freshness epochs without scanning anything — the cheap
+// validation probe behind the proxy's merged-result cache: a metadata
+// roundtrip instead of a full fan-out execution. Fails if any partition
+// is unresolvable or its host is gone (the caller falls back to a full
+// execution).
+Result<std::vector<uint64_t>> CollectPartitionEpochs(RegionContext& ctx,
+                                                     const std::string& table);
 
 }  // namespace scalewall::cubrick
 

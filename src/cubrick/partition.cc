@@ -6,6 +6,11 @@
 
 namespace scalewall::cubrick {
 
+uint64_t NextPartitionEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace {
 
 // Granular-partitioning pruning, hoisted: a range filter [lo, hi] on
@@ -112,6 +117,8 @@ Status TablePartition::Insert(const Row& row) {
     it->second.Append(row.dims, row.metrics);
     ++num_rows_;
   }
+  // Even a rollup merge changed aggregate contents: always advance.
+  epoch_.store(NextPartitionEpoch(), std::memory_order_release);
   return Status::Ok();
 }
 

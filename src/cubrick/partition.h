@@ -28,6 +28,16 @@ struct ExecOptions;
 
 namespace scalewall::cubrick {
 
+// Draws the next value from a process-global monotonic epoch counter
+// (never 0). Every TablePartition is constructed with — and every
+// mutation advances to — a *globally unique* value, so no
+// (table, partition) pair can ever observe the same epoch for two
+// different contents: repartition splits, migration re-syncs and
+// failover recoveries all build new TablePartition objects, which makes
+// their epochs new too, and cached results keyed on the old epoch
+// become unreachable instead of silently stale.
+uint64_t NextPartitionEpoch();
+
 class TablePartition {
  public:
   TablePartition(std::string table, uint32_t partition, TableSchema schema)
@@ -44,7 +54,8 @@ class TablePartition {
         bricks_(std::move(other.bricks_)),
         num_rows_(other.num_rows_),
         decompressions_(
-            other.decompressions_.load(std::memory_order_relaxed)) {}
+            other.decompressions_.load(std::memory_order_relaxed)),
+        epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
   TablePartition(const TablePartition&) = delete;
   TablePartition& operator=(const TablePartition&) = delete;
 
@@ -89,6 +100,11 @@ class TablePartition {
 
   size_t num_rows() const { return num_rows_; }
   size_t num_bricks() const { return bricks_.size(); }
+  // Freshness epoch for result caching: advanced on every ingested row,
+  // unique per object (see NextPartitionEpoch). Compression state
+  // changes do NOT advance it — they never change the logical content,
+  // so cached results stay valid across compress/decompress/evict.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   int64_t decompressions() const {
     return decompressions_.load(std::memory_order_relaxed);
   }
@@ -106,6 +122,8 @@ class TablePartition {
   // Atomic: concurrent morsels racing a compressed brick record their
   // decompression through this counter without tearing.
   std::atomic<int64_t> decompressions_{0};
+  // Atomic: read by concurrent cache lookups while ingestion advances it.
+  std::atomic<uint64_t> epoch_{NextPartitionEpoch()};
 };
 
 }  // namespace scalewall::cubrick

@@ -21,6 +21,30 @@ std::string_view CoordinatorStrategyName(CoordinatorStrategy strategy) {
   return "?";
 }
 
+namespace {
+
+// Approximate bytes of a materialized row set — the presentation half
+// of a merged-cache entry's cost.
+size_t ApproxRowsBytes(const std::vector<ResultRow>& rows) {
+  size_t bytes = 0;
+  for (const ResultRow& row : rows) {
+    bytes += 48 + row.key.size() * sizeof(uint32_t) +
+             row.values.size() * sizeof(double);
+  }
+  return bytes;
+}
+
+// Deadline resolution order: per-request override, then the query's own
+// deadline, then the proxy default (0 = unlimited).
+SimDuration EffectiveDeadline(const QueryRequest& request,
+                              const ProxyOptions& options) {
+  if (request.deadline > 0) return request.deadline;
+  if (request.query.deadline > 0) return request.query.deadline;
+  return options.default_deadline;
+}
+
+}  // namespace
+
 CubrickProxy::Stats::Stats(obs::MetricsRegistry* registry) {
   if (registry == nullptr) return;
   // Registered under the exact names the hand-written exporter used, so
@@ -48,6 +72,14 @@ CubrickProxy::Stats::Stats(obs::MetricsRegistry* registry) {
                                     {{"result", "won"}});
   deadline_exceeded =
       registry->GetCounter("scalewall_proxy_deadline_exceeded_total");
+  cache_hits = registry->GetCounter("scalewall_proxy_cache_total",
+                                    {{"result", "validated_hit"}});
+  cache_misses = registry->GetCounter("scalewall_proxy_cache_total",
+                                      {{"result", "miss"}});
+  cache_validation_failures = registry->GetCounter(
+      "scalewall_proxy_cache_total", {{"result", "validation_failure"}});
+  cache_stale_serves = registry->GetCounter("scalewall_proxy_cache_total",
+                                            {{"result", "stale_serve"}});
   attempt_latency_ms = registry->GetHistogram(
       "scalewall_proxy_attempt_latency_ms", {}, /*min_value=*/0.001);
   query_latency_ms = registry->GetHistogram("scalewall_proxy_query_latency_ms",
@@ -62,7 +94,33 @@ CubrickProxy::CubrickProxy(sim::Simulation* simulation,
       catalog_(catalog),
       options_(options),
       rng_(simulation->rng().Fork(/*stream=*/0x9C0A7)),
-      stats_(options_.metrics) {}
+      stats_(options_.metrics) {
+  if (options_.merged_cache_bytes > 0) {
+    merged_cache_ =
+        std::make_unique<MergedResultCache>(options_.merged_cache_bytes);
+  }
+}
+
+MergedResultCache::Snapshot CubrickProxy::MergedCacheSnapshot() const {
+  if (merged_cache_ == nullptr) return {};
+  return merged_cache_->snapshot();
+}
+
+void CubrickProxy::RefreshCoordinatorMetrics() {
+  if (options_.metrics == nullptr) return;
+  for (const auto& [server, picks] : stats_.coordinator_picks) {
+    auto it = pick_gauges_.find(server);
+    if (it == pick_gauges_.end()) {
+      it = pick_gauges_
+               .emplace(server,
+                        options_.metrics->GetGauge(
+                            "scalewall_proxy_coordinator_picks",
+                            {{"server", std::to_string(server)}}))
+               .first;
+    }
+    it->second.Set(static_cast<double>(picks));
+  }
+}
 
 void CubrickProxy::AddRegion(RegionContext* context) {
   regions_.push_back(context);
@@ -231,14 +289,14 @@ std::vector<QueryTrace> CubrickProxy::RecentTraces(size_t limit) const {
   return out;
 }
 
-QueryOutcome CubrickProxy::Submit(const Query& query,
-                                  cluster::RegionId preferred_region) {
+QueryOutcome CubrickProxy::Submit(const QueryRequest& request) {
+  const Query& query = request.query;
   const SimTime start = simulation_->now();
   obs::TraceContext root;
-  if (options_.trace_sink != nullptr) {
+  if (options_.trace_sink != nullptr && request.tracing) {
     root = options_.trace_sink->StartTrace("query " + query.table, start);
   }
-  QueryOutcome outcome = SubmitInternal(query, preferred_region, start, root);
+  QueryOutcome outcome = SubmitInternal(request, start, root);
   if (root.active()) {
     root.Annotate("status", std::string(StatusCodeName(outcome.status.code())));
     root.Annotate("attempts", std::to_string(outcome.attempts));
@@ -254,11 +312,9 @@ QueryOutcome CubrickProxy::Submit(const Query& query,
     trace.status = outcome.status.code();
     trace.latency = outcome.latency;
     trace.fanout = outcome.fanout;
-    trace.subquery_retries = outcome.subquery_retries;
-    trace.hedges_fired = outcome.hedges_fired;
-    trace.hedge_wins = outcome.hedge_wins;
-    trace.deadline =
-        query.deadline > 0 ? query.deadline : options_.default_deadline;
+    trace.AccumulateReliability(outcome);
+    trace.served_stale = outcome.served_stale;
+    trace.deadline = EffectiveDeadline(request, options_);
     trace.trace_id = root.trace;
     // Cap *before* pushing so the deque never exceeds trace_capacity,
     // even transiently (and shrinks promptly if the cap is lowered).
@@ -268,10 +324,86 @@ QueryOutcome CubrickProxy::Submit(const Query& query,
   return outcome;
 }
 
-QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
-                                          cluster::RegionId preferred_region,
+bool CubrickProxy::TryServeValidated(const QueryRequest& request,
+                                     const std::string& fingerprint,
+                                     const obs::TraceContext& root,
+                                     QueryOutcome& outcome) {
+  MergedCacheEntry entry;
+  if (!merged_cache_->Get(fingerprint, &entry)) {
+    ++stats_.cache_misses;
+    return false;
+  }
+  // Validation needs the cached region's live view: its epoch vector is
+  // only comparable against the same region's copy.
+  RegionContext* ctx = nullptr;
+  for (RegionContext* candidate : regions_) {
+    if (candidate->region == entry.region) {
+      ctx = candidate;
+      break;
+    }
+  }
+  if (ctx == nullptr || !RegionAvailable(*ctx)) {
+    ++stats_.cache_validation_failures;
+    return false;
+  }
+  // One metadata roundtrip (proxy -> region -> proxy) instead of the
+  // full fan-out: this is where repeated queries breach the wall — two
+  // network hops against a service-latency-dominated execution.
+  const SimDuration check_latency =
+      ctx->network_model.SampleHop(rng_) + ctx->network_model.SampleHop(rng_);
+  outcome.latency += check_latency;
+  auto epochs = CollectPartitionEpochs(*ctx, request.query.table);
+  if (!epochs.ok() || *epochs != entry.epochs) {
+    // Data moved or changed under the entry; the probe's cost is paid
+    // and the query falls through to a full execution (which refreshes
+    // the entry on success).
+    ++stats_.cache_validation_failures;
+    return false;
+  }
+  outcome.status = Status::Ok();
+  outcome.result = std::move(entry.result);
+  outcome.rows = std::move(entry.rows);
+  outcome.region = entry.region;
+  outcome.fanout = entry.fanout;
+  outcome.num_partitions = entry.num_partitions;
+  outcome.cache_hits = 1;
+  ++stats_.cache_hits;
+  ++stats_.succeeded;
+  stats_.query_latency_ms.Add(ToMillis(outcome.latency));
+  if (root.active()) root.Annotate("cache", "validated_hit");
+  return true;
+}
+
+bool CubrickProxy::TryServeStale(const QueryRequest& request,
+                                 const std::string& fingerprint,
+                                 const obs::TraceContext& root,
+                                 QueryOutcome& outcome) {
+  (void)request;
+  MergedCacheEntry entry;
+  if (!merged_cache_->Get(fingerprint, &entry)) return false;
+  // Every region failed but the client asked for graceful degradation:
+  // serve the last known answer, *clearly flagged* — the one path where
+  // a result may lag the data, and only ever on explicit request.
+  outcome.status = Status::Ok();
+  outcome.result = std::move(entry.result);
+  outcome.rows = std::move(entry.rows);
+  outcome.region = entry.region;
+  outcome.fanout = entry.fanout;
+  outcome.num_partitions = entry.num_partitions;
+  outcome.served_stale = true;
+  outcome.cache_stale_serves = 1;
+  ++stats_.cache_stale_serves;
+  ++stats_.succeeded;
+  stats_.query_latency_ms.Add(ToMillis(outcome.latency));
+  if (root.active()) root.Annotate("cache", "stale_serve");
+  return true;
+}
+
+QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
                                           SimTime start,
                                           const obs::TraceContext& root) {
+  const Query& query = request.query;
+  const cluster::RegionId preferred_region = request.preferred_region;
   QueryOutcome outcome;
   ++stats_.submitted;
   SweepExpired();
@@ -283,6 +415,22 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
   }
   if (regions_.empty()) {
     outcome.status = Status::FailedPrecondition("proxy has no regions");
+    return outcome;
+  }
+
+  // Merged-result cache. Join queries are excluded: joined dimension
+  // tables update without bumping partition epochs, so their entries
+  // could never be validated (DESIGN.md §10). When only the server-side
+  // caches exist the fingerprint stays empty and servers canonicalize
+  // for themselves.
+  const bool merged_cacheable =
+      merged_cache_ != nullptr && query.joins.empty() &&
+      request.cache_policy != cache::CachePolicy::kBypass;
+  std::string fingerprint;
+  if (merged_cacheable) fingerprint = CanonicalQueryFingerprint(query);
+  if (merged_cacheable &&
+      request.cache_policy != cache::CachePolicy::kRefresh &&
+      TryServeValidated(request, fingerprint, root, outcome)) {
     return outcome;
   }
 
@@ -299,8 +447,7 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
   // The end-to-end deadline budget this query runs under (0 = none):
   // every hop and attempt decrements it, so retries and hedges can never
   // run past the SLA the client was promised.
-  const SimDuration deadline =
-      query.deadline > 0 ? query.deadline : options_.default_deadline;
+  const SimDuration deadline = EffectiveDeadline(request, options_);
 
   // Regions are cycled (not visited at most once) until the attempt
   // budget runs out: with two regions and max_attempts = 3, the third
@@ -367,17 +514,15 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
     }
     DistributedOutcome attempt =
         ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining, aspan,
-                           attempt_start + attempt_latency);
+                           attempt_start + attempt_latency,
+                           request.cache_policy,
+                           fingerprint.empty() ? nullptr : &fingerprint);
     outcome.latency += attempt_latency + attempt.latency;
     aspan.Annotate("status",
                    std::string(StatusCodeName(attempt.status.code())));
     aspan.End(attempt_start + attempt_latency + attempt.latency);
-    outcome.subquery_retries += attempt.subquery_retries;
-    outcome.hedges_fired += attempt.hedges_fired;
-    outcome.hedge_wins += attempt.hedge_wins;
-    stats_.subquery_retries += attempt.subquery_retries;
-    stats_.hedges_fired += attempt.hedges_fired;
-    stats_.hedge_wins += attempt.hedge_wins;
+    outcome.AccumulateReliability(attempt);
+    stats_.AccumulateReliability(attempt);
     stats_.attempt_latency_ms.Add(ToMillis(attempt_latency + attempt.latency));
     if (attempt.status.ok()) {
       // "the number of partitions per table is always included as part of
@@ -397,6 +542,21 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
       outcome.rows = MaterializeRows(outcome.result, query);
       outcome.fanout = attempt.fanout;
       outcome.num_partitions = attempt.num_partitions;
+      if (merged_cacheable) {
+        // Refresh the merged cache with this answer and the epoch
+        // vector it was computed against (kRefresh lands here too).
+        MergedCacheEntry entry;
+        entry.region = ctx->region;
+        entry.epochs = std::move(attempt.partition_epochs);
+        entry.result = outcome.result;
+        entry.rows = outcome.rows;
+        entry.fanout = outcome.fanout;
+        entry.num_partitions = outcome.num_partitions;
+        merged_cache_->Put(fingerprint, std::move(entry),
+                           ApproxResultBytes(outcome.result) +
+                               ApproxRowsBytes(outcome.rows) +
+                               fingerprint.size());
+      }
       stats_.query_latency_ms.Add(ToMillis(outcome.latency));
       return outcome;
     }
@@ -410,6 +570,13 @@ QueryOutcome CubrickProxy::SubmitInternal(const Query& query,
       break;
     }
     if (!attempt.status.IsRetryable()) break;
+  }
+  // Every region failed (or none was available). Under kAllowStale a
+  // previously cached merged result is the graceful-degradation answer.
+  if (merged_cacheable &&
+      request.cache_policy == cache::CachePolicy::kAllowStale &&
+      TryServeStale(request, fingerprint, root, outcome)) {
+    return outcome;
   }
   ++stats_.failed;
   if (last_error.code() == StatusCode::kDeadlineExceeded) {

@@ -21,16 +21,20 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cache/cache.h"
+#include "cache/lru_cache.h"
 #include "cluster/cluster.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "cubrick/coordinator.h"
 #include "cubrick/query.h"
+#include "cubrick/request.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -75,6 +79,12 @@ struct ProxyOptions {
   double min_region_availability = 0.5;
   // Query traces retained in the ring buffer (0 disables tracing).
   size_t trace_capacity = 1024;
+  // Merged-result cache budget in (approximate) bytes; 0 disables it.
+  // Entries are keyed by canonical query fingerprint and validated with
+  // a cheap per-partition epoch check (one metadata roundtrip instead
+  // of a full fan-out); under CachePolicy::kAllowStale a cached result
+  // is also served — flagged — when every region fails.
+  size_t merged_cache_bytes = 0;
   // Unified metrics registry the proxy's Stats counters register into
   // (null = standalone counters, visible only through stats()).
   obs::MetricsRegistry* metrics = nullptr;
@@ -85,8 +95,10 @@ struct ProxyOptions {
 };
 
 // One entry of the proxy's query trace ring buffer ("the proxy is also
-// responsible for ... logging and query tracing").
-struct QueryTrace {
+// responsible for ... logging and query tracing"). The inherited
+// ReliabilityCounters cover subquery retries, hedges and cache activity
+// across all attempts.
+struct QueryTrace : ReliabilityCounters {
   SimTime time = 0;
   std::string table;
   cluster::RegionId region = 0;
@@ -94,19 +106,19 @@ struct QueryTrace {
   StatusCode status = StatusCode::kOk;
   SimDuration latency = 0;
   int fanout = 0;
-  // Reliability-layer activity: subquery retries and hedges across all
-  // attempts, and the deadline budget the query ran under (0 = none).
-  int subquery_retries = 0;
-  int hedges_fired = 0;
-  int hedge_wins = 0;
+  // The deadline budget the query ran under (0 = none).
   SimDuration deadline = 0;
+  // Whether a stale cached result was served (kAllowStale fallback).
+  bool served_stale = false;
   // Distributed trace id in the deployment's TraceSink (0 = tracing was
   // off or the trace has been evicted).
   uint64_t trace_id = 0;
 };
 
-// Final outcome of a proxied query.
-struct QueryOutcome {
+// Final outcome of a proxied query. Inherits the per-query
+// ReliabilityCounters (retries, hedges, cache activity) summed over all
+// attempts.
+struct QueryOutcome : ReliabilityCounters {
   Status status;
   QueryResult result;
   // Presentation rows: the merged result with the query's ORDER BY /
@@ -120,11 +132,28 @@ struct QueryOutcome {
   // Fan-out of the successful attempt.
   int fanout = 0;
   uint32_t num_partitions = 0;
-  // Reliability-layer activity summed over all attempts.
-  int subquery_retries = 0;
-  int hedges_fired = 0;
-  int hedge_wins = 0;
+  // THE stale-serve flag: true iff this result came from the merged
+  // cache *without* epoch validation, served under
+  // CachePolicy::kAllowStale because every region failed. A successful
+  // outcome with served_stale == false is always exact — the
+  // correctness guarantee of DESIGN.md §5 is never silently weakened.
+  bool served_stale = false;
 };
+
+// One merged-result cache entry: the fully merged and materialized
+// answer from the last successful execution, plus the per-partition
+// epoch vector it was computed against and the metadata the outcome
+// reports. A validated hit replays all of it.
+struct MergedCacheEntry {
+  cluster::RegionId region = 0;
+  std::vector<uint64_t> epochs;
+  QueryResult result;
+  std::vector<ResultRow> rows;
+  int fanout = 0;
+  uint32_t num_partitions = 0;
+};
+// Keyed by canonical query fingerprint (exact string equality).
+using MergedResultCache = cache::LruCache<std::string, MergedCacheEntry>;
 
 class CubrickProxy {
  public:
@@ -135,9 +164,17 @@ class CubrickProxy {
   // proximity order starting from the client's preferred region.
   void AddRegion(RegionContext* context);
 
-  // Submits a query on behalf of a client near `preferred_region`.
+  // Submits a request: the query plus its per-submission overrides
+  // (preferred region, deadline budget, tracing, cache policy). The
+  // primary entry point of the redesigned API.
+  QueryOutcome Submit(const QueryRequest& request);
+
+  // Compatibility overload for pre-QueryRequest call sites: submits
+  // with all per-query overrides at their defaults.
   QueryOutcome Submit(const Query& query,
-                      cluster::RegionId preferred_region = 0);
+                      cluster::RegionId preferred_region = 0) {
+    return Submit(QueryRequest(query, preferred_region));
+  }
 
   // Cached partition count for a table (kCachedRandom strategy), or 0.
   uint32_t CachedPartitions(const std::string& table) const;
@@ -150,7 +187,10 @@ class CubrickProxy {
   // them by name; with no registry they are standalone cells and this
   // struct behaves exactly like the plain-int64 version it replaced
   // (Counter converts implicitly and supports ++/+=/load).
-  struct Stats {
+  // Inherits the reliability counters (subquery_retries, hedges_fired,
+  // hedge_wins, cache_hits, cache_stale_serves) as obs::Counter handles
+  // — the same field names the per-query outcomes use as plain ints.
+  struct Stats : ReliabilityCountersT<obs::Counter> {
     explicit Stats(obs::MetricsRegistry* registry = nullptr);
 
     obs::Counter submitted;
@@ -162,18 +202,30 @@ class CubrickProxy {
     obs::Counter blacklist_hits;
     obs::Counter extra_hops;        // strategy-2 forwards
     obs::Counter extra_roundtrips;  // strategy-3 lookups
-    // Reliability layer (subquery retry / hedging / deadline stages).
-    obs::Counter subquery_retries;   // failed host draws retried in-region
-    obs::Counter hedges_fired;       // duplicate subqueries dispatched
-    obs::Counter hedge_wins;         // hedges that beat the primary
     obs::Counter deadline_exceeded;  // queries failed on their budget
+    // Merged-cache outcomes beyond the inherited hit/stale counters:
+    // lookups that found nothing, and entries whose epoch validation
+    // failed (changed data or unreachable hosts -> full re-execution).
+    obs::Counter cache_misses;
+    obs::Counter cache_validation_failures;
     // Per-stage latency histograms (milliseconds).
     obs::HistogramMetric attempt_latency_ms{/*min_value=*/0.001};
     obs::HistogramMetric query_latency_ms{/*min_value=*/0.001};
     // Coordinator picks per server (coordinator balance ablation).
+    // Exported as scalewall_proxy_coordinator_picks{server=...} gauges,
+    // refreshed by RefreshCoordinatorMetrics on export.
     std::map<cluster::ServerId, int64_t> coordinator_picks;
   };
   const Stats& stats() const { return stats_; }
+
+  // Copies stats().coordinator_picks into labeled
+  // scalewall_proxy_coordinator_picks{server="<id>"} gauges (like the
+  // servers' exec-pool gauges: refreshed on export, registered lazily).
+  // A no-op without a registry.
+  void RefreshCoordinatorMetrics();
+
+  // The merged-result cache's internal counters (zeros when disabled).
+  MergedResultCache::Snapshot MergedCacheSnapshot() const;
 
   // True while `server` is blacklisted as a coordinator choice.
   bool Blacklisted(cluster::ServerId server) const;
@@ -185,9 +237,20 @@ class CubrickProxy {
   size_t failure_streaks() const { return failures_.size(); }
 
  private:
-  QueryOutcome SubmitInternal(const Query& query,
-                              cluster::RegionId preferred_region,
-                              SimTime start, const obs::TraceContext& root);
+  QueryOutcome SubmitInternal(const QueryRequest& request, SimTime start,
+                              const obs::TraceContext& root);
+
+  // Merged-cache helpers (no-ops / misses when the cache is disabled or
+  // the policy forbids them). TryServeValidated serves a hit only after
+  // the epoch-check roundtrip confirms every partition unchanged;
+  // TryServeStale is the all-regions-failed kAllowStale fallback.
+  bool TryServeValidated(const QueryRequest& request,
+                         const std::string& fingerprint,
+                         const obs::TraceContext& root, QueryOutcome& outcome);
+  bool TryServeStale(const QueryRequest& request,
+                     const std::string& fingerprint,
+                     const obs::TraceContext& root, QueryOutcome& outcome);
+
   bool RegionAvailable(const RegionContext& ctx) const;
   bool Admit();
 
@@ -220,7 +283,11 @@ class CubrickProxy {
   // Admission window: timestamps of queries admitted in the last second.
   std::deque<SimTime> admitted_;
   std::deque<QueryTrace> traces_;
+  // Merged-result cache (null when merged_cache_bytes == 0).
+  std::unique_ptr<MergedResultCache> merged_cache_;
   Stats stats_;
+  // Coordinator-pick gauges (registered lazily on first refresh).
+  std::map<cluster::ServerId, obs::Gauge> pick_gauges_;
 };
 
 }  // namespace scalewall::cubrick

@@ -121,6 +121,49 @@ std::vector<ResultRow> MaterializeRows(const QueryResult& result,
   return rows;
 }
 
+std::string CanonicalQueryFingerprint(const Query& query) {
+  std::string fp;
+  fp.reserve(64 + query.table.size());
+  fp += query.table;
+  for (const FilterRange& f : query.filters) {
+    fp += "|f:" + std::to_string(f.dimension) + "," + std::to_string(f.lo) +
+          "," + std::to_string(f.hi);
+  }
+  for (const FilterIn& f : query.in_filters) {
+    fp += "|in:" + std::to_string(f.dimension) + "=";
+    for (uint32_t v : f.values) fp += std::to_string(v) + "+";
+  }
+  fp += "|g:";
+  for (int d : query.group_by) fp += std::to_string(d) + ",";
+  for (const Join& j : query.joins) {
+    fp += "|j:" + std::to_string(j.fact_dimension) + "," + j.dimension_table +
+          "," + std::to_string(j.attribute);
+  }
+  fp += "|gj:";
+  for (int j : query.group_by_joins) fp += std::to_string(j) + ",";
+  for (const JoinFilter& f : query.join_filters) {
+    fp += "|jf:" + std::to_string(f.join) + "," + std::to_string(f.lo) + "," +
+          std::to_string(f.hi);
+  }
+  fp += "|a:";
+  for (const Aggregation& a : query.aggregations) {
+    fp += std::to_string(a.metric) + std::string(AggOpName(a.op)) + ",";
+  }
+  fp += "|ob:" + std::to_string(query.order_by) +
+        (query.descending ? "d" : "a") + std::to_string(query.limit);
+  return fp;
+}
+
+size_t ApproxResultBytes(const QueryResult& result) {
+  size_t bytes = sizeof(QueryResult);
+  for (const auto& [key, states] : result.groups()) {
+    // Map node + key vector + AggState vector, plus allocator overhead.
+    bytes += 64 + key.size() * sizeof(uint32_t) +
+             states.size() * sizeof(AggState);
+  }
+  return bytes;
+}
+
 void QueryResult::Merge(const QueryResult& other) {
   if (num_aggregations_ == 0) num_aggregations_ = other.num_aggregations_;
   for (const auto& [key, states] : other.groups_) {

@@ -183,6 +183,20 @@ struct ResultRow {
 std::vector<ResultRow> MaterializeRows(const QueryResult& result,
                                        const Query& query);
 
+// Canonical fingerprint of a query's *semantic* shape: every field that
+// affects the result (table, filters, joins, group-by, aggregations,
+// presentation) encoded into one deterministic string; `deadline` is
+// deliberately excluded (it affects when a query gives up, never what
+// it computes). Used verbatim as the result-cache key — exact string
+// equality, so two queries share a cache entry iff they compute the
+// same thing; no hash, no collision risk to the exact-correctness
+// guarantee.
+std::string CanonicalQueryFingerprint(const Query& query);
+
+// Approximate in-memory cost of a result, in bytes — the charge a
+// cached entry pays against the LRU bytes budget.
+size_t ApproxResultBytes(const QueryResult& result);
+
 }  // namespace scalewall::cubrick
 
 #endif  // SCALEWALL_CUBRICK_QUERY_H_

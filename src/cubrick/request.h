@@ -1,0 +1,43 @@
+// QueryRequest: the submission envelope of the redesigned query API.
+//
+// The original entry points took a bare Query plus a preferred region;
+// every new per-query knob (deadline budgets, tracing, cache policy)
+// would have widened those signatures again. QueryRequest bundles the
+// query with its per-submission overrides; CubrickProxy::Submit and
+// core::Deployment::Query take it directly (thin Submit(Query, region)
+// compatibility overloads remain for existing call sites).
+
+#ifndef SCALEWALL_CUBRICK_REQUEST_H_
+#define SCALEWALL_CUBRICK_REQUEST_H_
+
+#include <utility>
+
+#include "cache/cache.h"
+#include "cluster/cluster.h"
+#include "common/time.h"
+#include "cubrick/query.h"
+
+namespace scalewall::cubrick {
+
+struct QueryRequest {
+  Query query;
+  // Region "closest to the client"; the proxy tries it first.
+  cluster::RegionId preferred_region = 0;
+  // Per-submission latency budget. Overrides Query::deadline when > 0
+  // (which in turn overrides the proxy's default; 0 = inherit).
+  SimDuration deadline = 0;
+  // When false, this query records no distributed span tree even if the
+  // deployment has a TraceSink (high-QPS benches opt noisy probes out).
+  bool tracing = true;
+  // Result-cache behaviour for this submission (server partial cache
+  // and proxy merged cache both honor it).
+  cache::CachePolicy cache_policy = cache::CachePolicy::kDefault;
+
+  QueryRequest() = default;
+  explicit QueryRequest(Query q, cluster::RegionId region = 0)
+      : query(std::move(q)), preferred_region(region) {}
+};
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_REQUEST_H_

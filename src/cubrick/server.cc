@@ -33,6 +33,15 @@ CubrickServer::Stats::Stats(obs::MetricsRegistry* registry,
       registry->GetCounter("scalewall_server_recoveries_total", labels);
   collision_rejections = registry->GetCounter(
       "scalewall_server_collision_rejections_total", labels);
+  cache_hits = registry->GetCounter(
+      "scalewall_server_result_cache_total",
+      {{"server", std::to_string(server)}, {"result", "hit"}});
+  cache_misses = registry->GetCounter(
+      "scalewall_server_result_cache_total",
+      {{"server", std::to_string(server)}, {"result", "miss"}});
+  cache_invalidations = registry->GetCounter(
+      "scalewall_server_result_cache_total",
+      {{"server", std::to_string(server)}, {"result", "invalidated"}});
   // scan_micros stays standalone: it is measured wall-clock time, which
   // would make the exported text nondeterministic across runs.
 }
@@ -51,6 +60,33 @@ CubrickServer::CubrickServer(sim::Simulation* simulation,
   if (options_.scan_workers > 1) {
     exec_pool_ = std::make_unique<exec::ThreadPool>(options_.scan_workers);
   }
+  if (options_.result_cache_bytes > 0) {
+    result_cache_ =
+        std::make_unique<PartialResultCache>(options_.result_cache_bytes);
+  }
+}
+
+PartialResultCache::Snapshot CubrickServer::ResultCacheSnapshot() const {
+  if (result_cache_ == nullptr) return {};
+  return result_cache_->snapshot();
+}
+
+void CubrickServer::RefreshCacheMetrics() {
+  if (result_cache_ == nullptr || options_.metrics == nullptr) return;
+  if (!cache_gauges_registered_) {
+    const obs::MetricLabels labels = {{"server", std::to_string(server_)}};
+    cache_entries_ = options_.metrics->GetGauge(
+        "scalewall_server_result_cache_entries", labels);
+    cache_bytes_ = options_.metrics->GetGauge(
+        "scalewall_server_result_cache_bytes", labels);
+    cache_evictions_ = options_.metrics->GetGauge(
+        "scalewall_server_result_cache_evictions_total", labels);
+    cache_gauges_registered_ = true;
+  }
+  const auto snapshot = result_cache_->snapshot();
+  cache_entries_.Set(static_cast<double>(snapshot.entries));
+  cache_bytes_.Set(static_cast<double>(snapshot.bytes));
+  cache_evictions_.Set(static_cast<double>(snapshot.evictions));
 }
 
 void CubrickServer::RefreshExecMetrics() {
@@ -323,7 +359,8 @@ Status CubrickServer::InsertRows(const std::string& table, uint32_t partition,
 Result<PartialResult> CubrickServer::ExecutePartial(
     const Query& query, uint32_t partition, int hop_budget,
     const exec::CancelToken* cancel, obs::TraceContext trace,
-    SimTime trace_time) {
+    SimTime trace_time, cache::CachePolicy cache_policy,
+    const std::string* fingerprint) {
   if (hop_budget < 0) hop_budget = options_.max_forward_hops;
   if (trace.active() && trace_time < 0) trace_time = simulation_->now();
   auto shard = catalog_->ShardForPartition(query.table, partition);
@@ -343,7 +380,8 @@ Result<PartialResult> CubrickServer::ExecutePartial(
                       trace_time);
       auto forwarded = target->ExecutePartial(query, partition,
                                               hop_budget - 1, cancel, fspan,
-                                              trace_time);
+                                              trace_time, cache_policy,
+                                              fingerprint);
       fspan.End(trace_time);
       if (!forwarded.ok()) return forwarded;
       forwarded->forward_hops += 1;
@@ -392,6 +430,10 @@ Result<PartialResult> CubrickServer::ExecutePartial(
   }
   PartialResult partial;
   partial.result = QueryResult(query.aggregations.size());
+  // Epoch read *before* the scan: if ingestion races in mid-scan the
+  // cached entry carries the older epoch and is conservatively
+  // invalidated on its next lookup — never the other way around.
+  partial.epoch = it->second.epoch();
   // Partition span: the engine runs at one frozen sim-instant, so the
   // span is a point at trace_time; its row/morsel weight is annotated.
   obs::TraceContext pspan = trace.Child(
@@ -399,6 +441,48 @@ Result<PartialResult> CubrickServer::ExecutePartial(
       trace_time);
   pspan.Annotate("server", std::to_string(server_));
   pspan.Annotate("rows", std::to_string(it->second.num_rows()));
+
+  // Partial-result cache lookup. Join queries are never cached: joined
+  // attributes resolve against replicated dimension tables whose
+  // updates do not bump partition epochs, so a hit could not be proven
+  // fresh (see DESIGN.md §10).
+  const bool cacheable = result_cache_ != nullptr && query.joins.empty() &&
+                         cache_policy != cache::CachePolicy::kBypass;
+  std::string local_fp;
+  PartialCacheKey cache_key;
+  if (cacheable) {
+    if (fingerprint == nullptr) {
+      local_fp = CanonicalQueryFingerprint(query);
+      fingerprint = &local_fp;
+    }
+    cache_key = PartialCacheKey{*fingerprint, partition};
+    if (cache_policy != cache::CachePolicy::kRefresh) {
+      // Cancel-safe: a caller that already gave up gets kCancelled, not
+      // a hit it would discard anyway.
+      if (cancel != nullptr && cancel->cancelled()) {
+        pspan.Annotate("cancelled", "true");
+        pspan.End(trace_time);
+        return Status::Cancelled("partial execution cancelled");
+      }
+      CachedPartial hit;
+      if (result_cache_->Get(cache_key, &hit)) {
+        if (hit.epoch == partial.epoch) {
+          ++stats_.cache_hits;
+          pspan.Annotate("cache_hit", "true");
+          pspan.End(trace_time);
+          partial.result = std::move(hit.result);
+          partial.cache_hit = true;
+          return partial;
+        }
+        // The partition changed since this entry was produced: provably
+        // stale, drop it and fall through to a fresh scan.
+        result_cache_->Erase(cache_key);
+        ++stats_.cache_invalidations;
+      }
+      ++stats_.cache_misses;
+    }
+    pspan.Annotate("cache_hit", "false");
+  }
   exec::MorselMetrics morsel_metrics;
   exec::ExecOptions exec_options;
   exec_options.num_workers = options_.scan_workers;
@@ -429,19 +513,36 @@ Result<PartialResult> CubrickServer::ExecutePartial(
     std::lock_guard<std::mutex> lock(scan_stats_mu_);
     partition_scan_micros_[PartitionRef{query.table, partition}] += micros;
   }
+  if (cacheable && !(cancel != nullptr && cancel->cancelled())) {
+    // A scan that raced a cancellation may have stopped between morsels
+    // with a partial answer; only complete, uncancelled results are
+    // cached. kRefresh lands here too: re-executed, then stored.
+    result_cache_->Put(cache_key, CachedPartial{partial.epoch, partial.result},
+                       ApproxResultBytes(partial.result) +
+                           cache_key.first.size());
+  }
   return partial;
 }
 
 Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
     const Query& query, const std::vector<uint32_t>& partitions,
     const exec::CancelToken* cancel, obs::TraceContext trace,
-    SimTime trace_time) {
+    SimTime trace_time, cache::CachePolicy cache_policy) {
   if (trace.active() && trace_time < 0) trace_time = simulation_->now();
+  // Canonicalize the fingerprint once for the whole fan-out; each
+  // per-partition task keys the cache with it directly.
+  std::string fp;
+  const std::string* fpp = nullptr;
+  if (result_cache_ != nullptr && query.joins.empty() &&
+      cache_policy != cache::CachePolicy::kBypass) {
+    fp = CanonicalQueryFingerprint(query);
+    fpp = &fp;
+  }
   std::vector<PartialResult> results(partitions.size());
   if (exec_pool_ == nullptr || partitions.size() <= 1) {
     for (size_t i = 0; i < partitions.size(); ++i) {
-      auto partial =
-          ExecutePartial(query, partitions[i], -1, cancel, trace, trace_time);
+      auto partial = ExecutePartial(query, partitions[i], -1, cancel, trace,
+                                    trace_time, cache_policy, fpp);
       if (!partial.ok()) return partial.status();
       results[i] = std::move(*partial);
     }
@@ -451,9 +552,9 @@ Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
   exec::TaskGroup group(exec_pool_.get());
   for (size_t i = 0; i < partitions.size(); ++i) {
     group.Run([this, &query, &partitions, &results, &statuses, cancel, trace,
-               trace_time, i] {
-      auto partial =
-          ExecutePartial(query, partitions[i], -1, cancel, trace, trace_time);
+               trace_time, cache_policy, fpp, i] {
+      auto partial = ExecutePartial(query, partitions[i], -1, cancel, trace,
+                                    trace_time, cache_policy, fpp);
       if (partial.ok()) {
         results[i] = std::move(*partial);
       } else {
@@ -466,6 +567,34 @@ Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
     SCALEWALL_RETURN_IF_ERROR(status);
   }
   return results;
+}
+
+Result<uint64_t> CubrickServer::PartitionEpoch(const std::string& table,
+                                               uint32_t partition,
+                                               int hop_budget) const {
+  if (hop_budget < 0) hop_budget = options_.max_forward_hops;
+  auto shard = catalog_->ShardForPartition(table, partition);
+  if (!shard.ok()) return shard.status();
+  auto forward = forwarding_.find(*shard);
+  if (forward != forwarding_.end() && directory_ != nullptr &&
+      hop_budget > 0) {
+    const CubrickServer* target = directory_->Lookup(forward->second);
+    if (target != nullptr) {
+      return target->PartitionEpoch(table, partition, hop_budget - 1);
+    }
+  }
+  auto it = partitions_.find(PartitionRef{table, partition});
+  if (it == partitions_.end()) {
+    if (owned_shards_.count(*shard) > 0) {
+      // Owned but never materialized: the canonical "empty" epoch, which
+      // matches the 0 ExecutePartial stamps on its empty fast path.
+      return static_cast<uint64_t>(0);
+    }
+    return Status::Unavailable("partition " + PartitionName(table, partition) +
+                               " not hosted on server " +
+                               std::to_string(server_));
+  }
+  return it->second.epoch();
 }
 
 void CubrickServer::SetReplicatedTable(const ReplicatedTable& table) {
@@ -529,9 +658,22 @@ void CubrickServer::DropTableData(const std::string& table) {
     }
   }
   hosted_partitions_.erase(table);
+  // Fresh epochs on any rebuilt partitions already make the old entries
+  // unreachable; clearing just releases their budget promptly. Table
+  // drops and repartitions are rare, so wiping everything is fine.
+  if (result_cache_ != nullptr) {
+    stats_.cache_invalidations +=
+        static_cast<int64_t>(result_cache_->size());
+    result_cache_->Clear();
+  }
 }
 
 void CubrickServer::Reset() {
+  if (result_cache_ != nullptr) {
+    stats_.cache_invalidations +=
+        static_cast<int64_t>(result_cache_->size());
+    result_cache_->Clear();
+  }
   partitions_.clear();
   replicated_.clear();
   hosted_partitions_.clear();

@@ -33,6 +33,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cache/cache.h"
+#include "cache/lru_cache.h"
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "cubrick/catalog.h"
@@ -89,6 +91,12 @@ struct CubrickServerOptions {
   int scan_workers = 0;
   // Rows per morsel on the parallel path.
   size_t morsel_rows = exec::kDefaultMorselRows;
+  // Partial-result cache budget in (approximate) bytes; 0 disables the
+  // cache. Entries are keyed (canonical query fingerprint, partition)
+  // and stamped with the partition's epoch at scan time: a hit whose
+  // epoch no longer matches is provably stale and treated as a miss
+  // (plus invalidation), so a hit is always byte-identical to a re-scan.
+  size_t result_cache_bytes = 0;
   // Unified metrics registry this server's Stats counters register into,
   // labeled server="<id>" (null = standalone counters).
   obs::MetricsRegistry* metrics = nullptr;
@@ -100,7 +108,26 @@ struct PartialResult {
   // Extra network hops taken because the request was forwarded by a
   // server that had handed the shard off (graceful migration window).
   int forward_hops = 0;
+  // The partition's freshness epoch observed when this partial was
+  // produced (0 for an empty never-materialized partition). The
+  // coordinator assembles these into the epoch vector the proxy's
+  // merged-result cache validates against.
+  uint64_t epoch = 0;
+  // Whether this partial was served from the server's result cache.
+  bool cache_hit = false;
 };
+
+// One partial-result cache entry: the partition's epoch at scan time
+// plus the partial aggregation state it produced.
+struct CachedPartial {
+  uint64_t epoch = 0;
+  QueryResult result;
+};
+// (canonical query fingerprint, partition) — the epoch lives in the
+// value and mismatches invalidate, so the key space stays bounded by
+// the distinct-query working set instead of growing with every bump.
+using PartialCacheKey = std::pair<std::string, uint32_t>;
+using PartialResultCache = cache::LruCache<PartialCacheKey, CachedPartial>;
 
 class CubrickServer : public sm::AppServer {
  public:
@@ -160,10 +187,19 @@ class CubrickServer : public sm::AppServer {
   // records a partition span (and, on the parallel path, per-morsel
   // spans) under it, anchored at sim-time `trace_time` (-1 = the
   // simulation's current time).
+  // With a result cache configured (result_cache_bytes > 0) the scan is
+  // preceded by a cache lookup honoring `cache_policy`; `fingerprint`
+  // (optional) is the precomputed CanonicalQueryFingerprint(query) so
+  // coordinators fanning one query across many partitions canonicalize
+  // it once. The lookup is cancel-safe: a cancelled token short-circuits
+  // to kCancelled before a hit is served, and a scan that raced a
+  // cancellation never populates the cache.
   Result<PartialResult> ExecutePartial(
       const Query& query, uint32_t partition, int hop_budget = -1,
       const exec::CancelToken* cancel = nullptr,
-      obs::TraceContext trace = {}, SimTime trace_time = -1);
+      obs::TraceContext trace = {}, SimTime trace_time = -1,
+      cache::CachePolicy cache_policy = cache::CachePolicy::kDefault,
+      const std::string* fingerprint = nullptr);
 
   // Executes partials for several partitions of one query (the shards
   // this host owns), fanning the per-partition scans across the exec
@@ -175,7 +211,16 @@ class CubrickServer : public sm::AppServer {
   Result<std::vector<PartialResult>> ExecutePartialMany(
       const Query& query, const std::vector<uint32_t>& partitions,
       const exec::CancelToken* cancel = nullptr,
-      obs::TraceContext trace = {}, SimTime trace_time = -1);
+      obs::TraceContext trace = {}, SimTime trace_time = -1,
+      cache::CachePolicy cache_policy = cache::CachePolicy::kDefault);
+
+  // Current freshness epoch of one hosted partition, following
+  // forwarding like ExecutePartial (0 = owned but never materialized).
+  // The cheap validation probe behind the proxy's merged-result cache:
+  // one metadata roundtrip instead of a full fan-out scan.
+  Result<uint64_t> PartitionEpoch(const std::string& table,
+                                  uint32_t partition,
+                                  int hop_budget = -1) const;
 
   // The server's exec pool (null when scan_workers <= 1).
   exec::ThreadPool* exec_pool() { return exec_pool_.get(); }
@@ -257,14 +302,30 @@ class CubrickServer : public sm::AppServer {
     obs::Counter bricks_evicted;
     obs::Counter recoveries;  // partitions recovered cross-region
     obs::Counter collision_rejections;
+    // Partial-result cache outcomes (registered as
+    // scalewall_server_result_cache_total{server=...,result=...}).
+    obs::Counter cache_hits;
+    obs::Counter cache_misses;
+    // Epoch-mismatched entries dropped on lookup, plus entries cleared
+    // by Reset/DropTableData.
+    obs::Counter cache_invalidations;
   };
   const Stats& stats() const { return stats_; }
+
+  // The partial-result cache's internal counters (zeros when no cache
+  // is configured).
+  PartialResultCache::Snapshot ResultCacheSnapshot() const;
 
   // Copies the exec pool's counters (queue depth, steals, submitted,
   // executed) into the registry's scalewall_exec_pool_* gauges. Called
   // by the metrics exporter before rendering; a no-op without a pool or
   // registry.
   void RefreshExecMetrics();
+
+  // Copies the partial-result cache's size/eviction counters into
+  // scalewall_server_result_cache_{entries,bytes,evictions} gauges.
+  // Called by the metrics exporter; a no-op without a cache or registry.
+  void RefreshCacheMetrics();
 
  private:
   // Returns kNonRetryable if taking `shard` here would co-locate two
@@ -289,6 +350,9 @@ class CubrickServer : public sm::AppServer {
 
   // Work-stealing pool for morsel-parallel scans (scan_workers > 1).
   std::unique_ptr<exec::ThreadPool> exec_pool_;
+  // Partial-result cache (null when result_cache_bytes == 0). Its own
+  // mutex makes it safe under ExecutePartialMany's pool-worker fan-out.
+  std::unique_ptr<PartialResultCache> result_cache_;
   // Measured scan time per hosted partition (exported per shard through
   // ShardLoad("scan_micros")). Guarded: partition tasks report
   // concurrently.
@@ -310,6 +374,11 @@ class CubrickServer : public sm::AppServer {
   obs::Gauge exec_tasks_submitted_;
   obs::Gauge exec_tasks_executed_;
   bool exec_gauges_registered_ = false;
+  // Result-cache gauges (registered lazily by RefreshCacheMetrics).
+  obs::Gauge cache_entries_;
+  obs::Gauge cache_bytes_;
+  obs::Gauge cache_evictions_;
+  bool cache_gauges_registered_ = false;
   bool monitors_started_ = false;
 };
 

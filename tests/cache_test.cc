@@ -1,0 +1,168 @@
+// Unit tests for scalewall::cache: the cost-budgeted LRU container both
+// result caches are built on, and the CachePolicy names.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/lru_cache.h"
+
+namespace scalewall::cache {
+namespace {
+
+using StringCache = LruCache<std::string, std::string>;
+
+TEST(LruCacheTest, PutGetRoundTrip) {
+  StringCache cache(100);
+  EXPECT_TRUE(cache.Put("a", "alpha", 10));
+  std::string out;
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out, "alpha");
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 10u);
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.hits, 1);
+  EXPECT_EQ(snap.misses, 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  StringCache cache(30);
+  cache.Put("a", "1", 10);
+  cache.Put("b", "2", 10);
+  cache.Put("c", "3", 10);
+  // Touch "a" so "b" becomes the LRU entry.
+  std::string out;
+  ASSERT_TRUE(cache.Get("a", &out));
+  cache.Put("d", "4", 10);  // over budget: one eviction
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+  EXPECT_EQ(cache.snapshot().evictions, 1);
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+}
+
+TEST(LruCacheTest, EvictsMultipleEntriesForOneLargeInsert) {
+  StringCache cache(30);
+  cache.Put("a", "1", 10);
+  cache.Put("b", "2", 10);
+  cache.Put("c", "3", 10);
+  cache.Put("big", "4", 25);  // must push out a, b and c (LRU order)
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains("big"));
+  EXPECT_EQ(cache.snapshot().evictions, 3);
+}
+
+TEST(LruCacheTest, RefusesEntriesLargerThanBudget) {
+  StringCache cache(20);
+  cache.Put("a", "1", 10);
+  EXPECT_FALSE(cache.Put("huge", "x", 21));
+  EXPECT_FALSE(cache.Contains("huge"));
+  // The working set is untouched.
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_EQ(cache.snapshot().evictions, 0);
+}
+
+TEST(LruCacheTest, ZeroBudgetDisablesInsertion) {
+  StringCache cache(0);
+  EXPECT_FALSE(cache.Put("a", "1", 0));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesValueAndCost) {
+  StringCache cache(100);
+  cache.Put("a", "old", 40);
+  cache.Put("a", "new", 10);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 10u);
+  std::string out;
+  ASSERT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out, "new");
+}
+
+TEST(LruCacheTest, EraseCountsAsInvalidation) {
+  StringCache cache(100);
+  cache.Put("a", "1", 10);
+  EXPECT_TRUE(cache.Erase("a"));
+  EXPECT_FALSE(cache.Erase("a"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.invalidations, 1);
+  EXPECT_EQ(snap.evictions, 0);
+}
+
+TEST(LruCacheTest, ClearInvalidatesEverything) {
+  StringCache cache(100);
+  cache.Put("a", "1", 10);
+  cache.Put("b", "2", 10);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.snapshot().invalidations, 2);
+}
+
+TEST(LruCacheTest, ByteAccountingStaysExactAcrossChurn) {
+  StringCache cache(50);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("k" + std::to_string(i % 7), "v", 1 + (i % 13));
+  }
+  size_t total = 0;
+  for (int i = 0; i < 7; ++i) {
+    std::string out;
+    if (cache.Get("k" + std::to_string(i), &out)) total += 1;
+  }
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+  EXPECT_EQ(cache.size(), cache.snapshot().entries);
+  EXPECT_EQ(cache.bytes(), cache.snapshot().bytes);
+}
+
+TEST(LruCacheTest, ConcurrentMixedOperationsSmoke) {
+  StringCache cache(1000);
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &start, t] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string((t * 31 + i) % 20);
+        std::string out;
+        switch (i % 4) {
+          case 0:
+            cache.Put(key, "v" + std::to_string(i), 10 + i % 50);
+            break;
+          case 1:
+            cache.Get(key, &out);
+            break;
+          case 2:
+            cache.Erase(key);
+            break;
+          default:
+            cache.snapshot();
+            break;
+        }
+      }
+    });
+  }
+  start.store(true);
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+  auto snap = cache.snapshot();
+  EXPECT_EQ(snap.entries, cache.size());
+}
+
+TEST(CachePolicyTest, Names) {
+  EXPECT_EQ(CachePolicyName(CachePolicy::kDefault), "default");
+  EXPECT_EQ(CachePolicyName(CachePolicy::kBypass), "bypass");
+  EXPECT_EQ(CachePolicyName(CachePolicy::kRefresh), "refresh");
+  EXPECT_EQ(CachePolicyName(CachePolicy::kAllowStale), "allow_stale");
+}
+
+}  // namespace
+}  // namespace scalewall::cache

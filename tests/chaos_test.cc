@@ -7,6 +7,12 @@
 //     like Scuba, Section II-C);
 //   * after the fleet quiesces, queries succeed again and all data is
 //     intact in every region.
+//
+// The caching variant runs the same chaos with epoch-invalidated result
+// caching enabled and additionally cross-checks every successful
+// non-stale-flagged answer byte-identically against a cache-bypass
+// execution of the same query: the caches must be invisible to exact
+// correctness under ingestion, repartitions, migrations and failovers.
 
 #include <gtest/gtest.h>
 
@@ -20,11 +26,29 @@
 namespace scalewall::core {
 namespace {
 
-class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+// Exact equality of two merged results (keys and raw AggState values).
+bool SameResult(const cubrick::QueryResult& a, const cubrick::QueryResult& b) {
+  if (a.num_groups() != b.num_groups()) return false;
+  auto it_b = b.groups().begin();
+  for (auto it_a = a.groups().begin(); it_a != a.groups().end();
+       ++it_a, ++it_b) {
+    if (it_a->first != it_b->first) return false;
+    if (it_a->second.size() != it_b->second.size()) return false;
+    for (size_t i = 0; i < it_a->second.size(); ++i) {
+      const cubrick::AggState& x = it_a->second[i];
+      const cubrick::AggState& y = it_b->second[i];
+      if (x.sum != y.sum || x.count != y.count || x.min != y.min ||
+          x.max != y.max) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
-TEST_P(ChaosTest, RandomOperationsPreserveConsistency) {
+void RunChaos(uint64_t seed, bool caching) {
   DeploymentOptions options;
-  options.seed = GetParam();
+  options.seed = seed;
   options.topology.regions = 3;
   options.topology.racks_per_region = 3;
   options.topology.servers_per_rack = 4;  // 36 servers
@@ -38,10 +62,11 @@ TEST_P(ChaosTest, RandomOperationsPreserveConsistency) {
   // table has partitions, which correctly blocks placement until repairs
   // return capacity.
   options.failure_injector.mean_repair_time = 1 * kHour;
+  options.enable_result_caching = caching;
   Deployment dep(options);
 
   cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
-  Rng rng(GetParam() * 7919 + 1);
+  Rng rng(seed * 7919 + 1);
 
   // A replicated dimension table mapping dim1 codes (0..63) to one of 4
   // groups; join queries run alongside plain ones throughout the chaos.
@@ -75,9 +100,29 @@ TEST_P(ChaosTest, RandomOperationsPreserveConsistency) {
       q.joins = {cubrick::Join{1, "groups", 0}};
       q.group_by_joins = {0};
     }
-    auto outcome = dep.Query(
+    cubrick::QueryRequest request(
         q, static_cast<cluster::RegionId>(rng.NextBounded(3)));
+    if (caching && rng.NextBool(0.3)) {
+      request.cache_policy = cache::CachePolicy::kAllowStale;
+    }
+    auto outcome = dep.Query(request);
     if (!outcome.status.ok()) return false;  // failing is allowed mid-chaos
+    if (outcome.served_stale) {
+      // The one path allowed to lag the data — and only when asked for.
+      EXPECT_EQ(request.cache_policy, cache::CachePolicy::kAllowStale);
+      return true;
+    }
+    if (caching) {
+      // Every successful non-stale answer must be byte-identical to a
+      // cache-bypass execution of the same query, mid-chaos included.
+      cubrick::QueryRequest bypass = request;
+      bypass.cache_policy = cache::CachePolicy::kBypass;
+      auto uncached = dep.Query(bypass);
+      if (uncached.status.ok()) {
+        EXPECT_TRUE(SameResult(outcome.result, uncached.result))
+            << "cached answer diverged from re-execution for " << table;
+      }
+    }
     const Reference& ref = reference.at(table);
     if (ref.count == 0) {
       EXPECT_EQ(outcome.result.num_groups(), 0u) << table;
@@ -221,9 +266,26 @@ TEST_P(ChaosTest, RandomOperationsPreserveConsistency) {
   }
 }
 
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, RandomOperationsPreserveConsistency) {
+  RunChaos(GetParam(), /*caching=*/false);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
                                            11, 12, 13, 14, 15, 16));
+
+// Same chaos, with both result caches on and byte-identical
+// cross-checks against bypass executions after every probe.
+class ChaosCacheTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosCacheTest, CachingPreservesExactCorrectness) {
+  RunChaos(GetParam(), /*caching=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosCacheTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
 }  // namespace scalewall::core
