@@ -51,7 +51,7 @@ StrategyResult RunStrategy(cubrick::CoordinatorStrategy strategy,
   Histogram latency(0.1);
   int failures = 0;
   for (int i = 0; i < queries; ++i) {
-    auto outcome = dep.Query(q);
+    auto outcome = dep.Query(cubrick::QueryRequest(q));
     if (outcome.status.ok()) {
       latency.Add(ToMillis(outcome.latency));
     } else {

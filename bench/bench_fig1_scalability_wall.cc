@@ -90,7 +90,7 @@ int main() {
     cubrick::Query q = workload::FixedProbeQuery(table, schema);
     int ok = 0;
     for (int i = 0; i < queries; ++i) {
-      auto outcome = dep.Query(q);
+      auto outcome = dep.Query(cubrick::QueryRequest(q));
       if (outcome.status.ok()) ++ok;
       dep.RunFor(20 * kMillisecond);
     }

@@ -94,7 +94,7 @@ ProbeResult RunProbes(core::Deployment& dep, int probes) {
   }
   for (int i = 0; i < probes; ++i) {
     for (size_t t = 0; t < kFanouts.size(); ++t) {
-      auto outcome = dep.Query(queries[t]);
+      auto outcome = dep.Query(cubrick::QueryRequest(queries[t]));
       if (outcome.status.ok()) {
         out.latency[t].Add(ToMillis(outcome.latency));
       } else {

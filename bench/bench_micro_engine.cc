@@ -384,7 +384,7 @@ int DumpQueryTrace(const std::string& path) {
   q.table = "bench";
   q.group_by = {1};
   q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum}};
-  auto outcome = dep.Query(q);
+  auto outcome = dep.Query(cubrick::QueryRequest(q));
   if (!outcome.status.ok()) return 1;
 
   obs::TraceSink& sink = dep.trace_sink();

@@ -1,0 +1,338 @@
+// ADM1: overload shedding and per-tenant fairness under open-loop load.
+//
+// The paper's proxy is "responsible for a list of features such as
+// admission control"; this bench measures what that buys. Three tenants
+// (alpha, weight 2; beta and gamma, weight 1) submit an open-loop
+// Poisson stream — arrivals never slow down to match the backend, which
+// is precisely how interactive dashboards behave when a cluster
+// degrades. Each server models a bounded scan capacity
+// (virtual_scan_slots): work admitted beyond it queues, and the queueing
+// delay compounds, so a backend pushed past saturation collapses instead
+// of serving unbounded concurrency for free.
+//
+// Phase 1 (correctness): at <= 1x capacity the admission pipeline must
+// be invisible — every query admitted, zero rejections, and every
+// result byte-identical to the same schedule run with admission off.
+//
+// Phase 2 (overload sweep, 1x/2x/4x): with admission ON, excess load is
+// shed at the proxy door (rejection latency ~0: no network hops, no
+// backend work) while admitted queries keep meeting their deadline; the
+// no-admission baseline dispatches everything, drives the scan queues
+// into a regime where waits exceed the deadline, and its in-deadline
+// goodput collapses. At 4x every tenant saturates its share, so served
+// throughput must split in proportion to the configured weights
+// (2:1:1), within 15% of the weighted max-min fair share.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "admit/admit.h"
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "core/deployment.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+constexpr int kNumTenants = 3;
+const char* kTenantNames[kNumTenants] = {"alpha", "beta", "gamma"};
+const double kTenantWeights[kNumTenants] = {2.0, 1.0, 1.0};
+
+// Backend capacity of the configuration below: every query fans out to
+// all 8 partitions, so each partition-holding server sees the full
+// submission rate; at 6 virtual scan slots and ~80 ms median service a
+// server sustains ~75 scans/s. "1x" offered load (30 qps total) sits at
+// ~40% of that; 4x (120 qps) is ~1.6x capacity — open-loop overload.
+constexpr double kBaseRatePerTenant = 10.0;  // 30 qps total at 1x
+constexpr SimDuration kDeadline = 500 * kMillisecond;
+
+core::DeploymentOptions BaseOptions(bool admission, SimDuration deadline) {
+  core::DeploymentOptions options;
+  options.seed = 61;
+  options.topology.regions = 1;
+  options.topology.racks_per_region = 4;
+  options.topology.servers_per_rack = 4;  // 16 servers
+  options.default_partitions = 8;
+  options.repartition_threshold_rows = 1u << 30;  // keep fan-out fixed
+  options.per_host_failure_probability = 0.0;     // isolate overload
+  options.latency.median = 80 * kMillisecond;
+  options.latency.sigma = 0.3;
+  options.latency.tail_probability = 0.005;
+  options.latency.tail_scale = 300 * kMillisecond;
+  options.proxy_options.max_attempts = 1;
+  options.proxy_options.default_deadline = deadline;
+  options.virtual_scan_slots = 6;
+  if (admission) {
+    options.proxy_options.enable_admission = true;
+    // Concurrency budget sized to the backend's real capacity (~10
+    // queries in flight saturate the scan slots); under saturation the
+    // weighted fair-queueing slice splits the 14-slot wait queue
+    // 7/3.5/3.5, so served throughput converges to the 2:1:1 weights.
+    options.proxy_options.admission.max_concurrency = 10;
+    options.proxy_options.admission.max_queued = 14;
+  }
+  return options;
+}
+
+struct RunResult {
+  int64_t submitted = 0;
+  int64_t served = 0;    // status.ok()
+  int64_t rejected = 0;  // ResourceExhausted from admission
+  int64_t failed = 0;    // everything else (deadline, unavailability)
+  int64_t in_deadline = 0;
+  std::vector<int64_t> tenant_served = std::vector<int64_t>(kNumTenants, 0);
+  std::vector<int64_t> tenant_rejected = std::vector<int64_t>(kNumTenants, 0);
+  Histogram served_ms{0.001};
+  Histogram rejected_ms{0.001};
+  std::map<std::string, int64_t> reject_reasons;
+  // Result fingerprints per arrival sequence (identity check).
+  std::vector<std::string> row_digests;
+};
+
+std::string DigestRows(const std::vector<cubrick::ResultRow>& rows) {
+  std::string digest;
+  char buf[64];
+  for (const auto& row : rows) {
+    for (uint32_t k : row.key) {
+      std::snprintf(buf, sizeof(buf), "%u,", k);
+      digest += buf;
+    }
+    for (double v : row.values) {
+      std::snprintf(buf, sizeof(buf), "%.17g;", v);
+      digest += buf;
+    }
+    digest += '|';
+  }
+  return digest;
+}
+
+RunResult RunSchedule(const std::vector<workload::Arrival>& arrivals,
+                      const std::vector<cubrick::Query>& queries,
+                      bool admission, SimDuration deadline,
+                      bool keep_digests) {
+  core::Deployment dep(BaseOptions(admission, deadline));
+  const cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 2);
+  if (!dep.CreateTable("events", schema).ok()) return {};
+  Rng row_rng(7);
+  (void)dep.LoadRows("events", workload::GenerateRows(schema, 8000, row_rng));
+  dep.RunFor(10 * kSecond);  // discovery/LB settle
+  if (admission) {
+    for (int t = 0; t < kNumTenants; ++t) {
+      admit::TenantOptions tenant;
+      tenant.weight = kTenantWeights[t];
+      dep.proxy().ConfigureTenant(kTenantNames[t], tenant);
+    }
+  }
+
+  RunResult result;
+  const SimTime epoch = dep.now();
+  for (const workload::Arrival& arrival : arrivals) {
+    const SimTime due = epoch + arrival.at;
+    if (due > dep.now()) dep.RunFor(due - dep.now());
+    cubrick::QueryRequest request(queries[arrival.sequence]);
+    request.tenant_id = kTenantNames[arrival.tenant_index];
+    auto outcome = dep.Query(request);
+    ++result.submitted;
+    if (outcome.status.ok()) {
+      ++result.served;
+      ++result.tenant_served[arrival.tenant_index];
+      result.served_ms.Add(ToMillis(outcome.latency));
+      if (deadline == 0 || outcome.latency <= deadline) ++result.in_deadline;
+      if (keep_digests) result.row_digests.push_back(DigestRows(outcome.rows));
+    } else if (outcome.status.code() == StatusCode::kResourceExhausted) {
+      ++result.rejected;
+      ++result.tenant_rejected[arrival.tenant_index];
+      // The shed happens at the proxy door before any network hop: the
+      // rejection's latency is whatever the outcome accumulated (0).
+      result.rejected_ms.Add(ToMillis(outcome.latency));
+      if (keep_digests) result.row_digests.push_back("<rejected>");
+    } else {
+      ++result.failed;
+      if (keep_digests) result.row_digests.push_back("<failed>");
+    }
+  }
+  if (admission && dep.proxy().admission() != nullptr) {
+    const auto& stats = dep.proxy().admission()->stats();
+    for (int r = 1; r < admit::kNumRejectReasons; ++r) {
+      const int64_t count = stats.rejected_reason[r].value();
+      if (count > 0) {
+        result.reject_reasons[std::string(admit::RejectReasonName(
+            static_cast<admit::RejectReason>(r)))] = count;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<cubrick::Query> PregenerateQueries(size_t count) {
+  const cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 2);
+  Rng rng(1234);
+  workload::QueryGenOptions options;
+  options.filter_probability = 0.6;
+  options.group_by_probability = 0.5;
+  std::vector<cubrick::Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(workload::GenerateQuery("events", schema, rng, options));
+  }
+  return queries;
+}
+
+std::vector<workload::Arrival> MakeSchedule(double multiplier,
+                                            SimDuration horizon) {
+  std::vector<workload::TenantLoadSpec> tenants;
+  for (int t = 0; t < kNumTenants; ++t) {
+    workload::TenantLoadSpec spec;
+    spec.tenant = kTenantNames[t];
+    spec.rate = kBaseRatePerTenant * multiplier;
+    spec.weight = kTenantWeights[t];
+    tenants.push_back(spec);
+  }
+  Rng rng(99);
+  return workload::GenerateOpenLoopArrivals(tenants, horizon, rng);
+}
+
+void PrintRun(const char* label, const RunResult& run, double seconds) {
+  std::printf(
+      "%-14s submitted=%-6lld served=%-6lld rejected=%-6lld failed=%-5lld "
+      "in-deadline=%.1f/s\n",
+      label, static_cast<long long>(run.submitted),
+      static_cast<long long>(run.served),
+      static_cast<long long>(run.rejected),
+      static_cast<long long>(run.failed),
+      static_cast<double>(run.in_deadline) / seconds);
+  if (run.served_ms.count() > 0) {
+    std::printf("               served latency ms: p50=%.1f p99=%.1f\n",
+                run.served_ms.P50(), run.served_ms.P99());
+  }
+  if (run.rejected_ms.count() > 0) {
+    std::printf("               rejection latency ms: p50=%.3f p99=%.3f\n",
+                run.rejected_ms.P50(), run.rejected_ms.P99());
+  }
+  if (!run.reject_reasons.empty()) {
+    std::printf("               reject reasons:");
+    for (const auto& [reason, count] : run.reject_reasons) {
+      std::printf(" %s=%lld", reason.c_str(), static_cast<long long>(count));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("ADM1", "admission control: overload shedding & fairness");
+  const bool quick = bench::QuickMode();
+  const SimDuration horizon = (quick ? 15 : 40) * kSecond;
+  const double seconds =
+      static_cast<double>(horizon) / static_cast<double>(kSecond);
+
+  // --- Phase 1: low-load transparency -------------------------------
+  bench::Section("phase 1: <=1x load, admission must be invisible");
+  {
+    auto schedule = MakeSchedule(1.0, horizon);
+    auto queries = PregenerateQueries(schedule.size());
+    // No deadline here: the identity claim is about result bytes.
+    auto with = RunSchedule(schedule, queries, /*admission=*/true,
+                            /*deadline=*/0, /*keep_digests=*/true);
+    auto without = RunSchedule(schedule, queries, /*admission=*/false,
+                               /*deadline=*/0, /*keep_digests=*/true);
+    PrintRun("admission", with, seconds);
+    PrintRun("baseline", without, seconds);
+    size_t identical = 0;
+    const size_t n = std::min(with.row_digests.size(),
+                              without.row_digests.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (with.row_digests[i] == without.row_digests[i]) ++identical;
+    }
+    std::printf("byte-identical results: %zu/%zu  rejections: %lld\n",
+                identical, n, static_cast<long long>(with.rejected));
+    std::printf("[check] %s\n",
+                identical == n && with.rejected == 0 ? "PASS" : "FAIL");
+  }
+
+  // --- Phase 2: overload sweep --------------------------------------
+  const std::vector<double> multipliers = quick
+                                              ? std::vector<double>{1.0, 4.0}
+                                              : std::vector<double>{1.0, 2.0,
+                                                                    4.0};
+  RunResult at4x_with, at4x_without;
+  std::vector<workload::Arrival> at4x_schedule;
+  for (double m : multipliers) {
+    char title[64];
+    std::snprintf(title, sizeof(title),
+                  "phase 2: %.0fx offered load, %lld ms deadline", m,
+                  static_cast<long long>(kDeadline / kMillisecond));
+    bench::Section(title);
+    auto schedule = MakeSchedule(m, horizon);
+    auto queries = PregenerateQueries(schedule.size());
+    auto with = RunSchedule(schedule, queries, /*admission=*/true, kDeadline,
+                            /*keep_digests=*/false);
+    auto without = RunSchedule(schedule, queries, /*admission=*/false,
+                               kDeadline, /*keep_digests=*/false);
+    PrintRun("admission", with, seconds);
+    PrintRun("baseline", without, seconds);
+    std::printf(
+        "in-deadline goodput: admission %.1f/s vs baseline %.1f/s (%s)\n",
+        static_cast<double>(with.in_deadline) / seconds,
+        static_cast<double>(without.in_deadline) / seconds,
+        with.in_deadline >= without.in_deadline ? "admission >= baseline"
+                                                : "baseline wins");
+    if (m == 4.0) {
+      at4x_with = with;
+      at4x_without = without;
+      at4x_schedule = std::move(schedule);
+    }
+  }
+
+  // --- Fairness at 4x ------------------------------------------------
+  bench::Section("per-tenant goodput at 4x vs weighted fair share");
+  {
+    std::vector<double> offered(kNumTenants, 0.0);
+    for (const auto& arrival : at4x_schedule) {
+      offered[arrival.tenant_index] += 1.0 / seconds;
+    }
+    const double total_goodput =
+        static_cast<double>(at4x_with.served) / seconds;
+    std::vector<admit::ShareRequest> requests;
+    for (int t = 0; t < kNumTenants; ++t) {
+      requests.push_back(admit::ShareRequest{kTenantWeights[t], offered[t]});
+    }
+    const std::vector<double> shares =
+        admit::WeightedFairShares(total_goodput, requests);
+    bool fair = true;
+    for (int t = 0; t < kNumTenants; ++t) {
+      const double goodput =
+          static_cast<double>(at4x_with.tenant_served[t]) / seconds;
+      const double deviation =
+          shares[t] > 0 ? (goodput - shares[t]) / shares[t] : 0.0;
+      if (deviation < -0.15 || deviation > 0.15) fair = false;
+      std::printf(
+          "%-6s weight=%.0f offered=%5.1f/s served=%5.1f/s "
+          "fair-share=%5.1f/s deviation=%+5.1f%%  %s\n",
+          kTenantNames[t], kTenantWeights[t], offered[t], goodput, shares[t],
+          deviation * 100.0, bench::Bar(goodput / total_goodput).c_str());
+    }
+    std::printf("[check] fairness within 15%%: %s\n", fair ? "PASS" : "FAIL");
+    const bool shed_cheap =
+        at4x_with.rejected_ms.count() == 0 ||
+        at4x_with.rejected_ms.P99() < at4x_with.served_ms.P50();
+    std::printf("[check] p99 rejection latency < served p50: %s\n",
+                shed_cheap ? "PASS" : "FAIL");
+    std::printf("[check] 4x in-deadline goodput beats baseline: %s\n",
+                at4x_with.in_deadline > at4x_without.in_deadline ? "PASS"
+                                                                 : "FAIL");
+  }
+
+  bench::PaperNote(
+      "The proxy's admission control turns open-loop overload from a "
+      "latency collapse into bounded shedding: rejections cost ~0 ms at "
+      "the proxy door, admitted queries keep meeting the deadline, and "
+      "scarce backend capacity splits across tenants in proportion to "
+      "their configured weights.");
+  return 0;
+}

@@ -26,7 +26,7 @@ double Probe(core::Deployment& dep, const cubrick::Query& query, int n,
              cluster::RegionId preferred) {
   int ok = 0;
   for (int i = 0; i < n; ++i) {
-    if (dep.Query(query, preferred).status.ok()) ++ok;
+    if (dep.Query(cubrick::QueryRequest(query, preferred)).status.ok()) ++ok;
     dep.RunFor(100 * kMillisecond);
   }
   return static_cast<double>(ok) / n;
@@ -34,7 +34,7 @@ double Probe(core::Deployment& dep, const cubrick::Query& query, int n,
 
 bool CheckCount(core::Deployment& dep, const cubrick::Query& query,
                 double expected, cluster::RegionId preferred) {
-  auto outcome = dep.Query(query, preferred);
+  auto outcome = dep.Query(cubrick::QueryRequest(query, preferred));
   if (!outcome.status.ok()) {
     std::printf("   query FAILED: %s\n", outcome.status.ToString().c_str());
     return false;

@@ -82,8 +82,8 @@ int main() {
     if (!dep.catalog().HasTable(spec.name)) continue;
     cubrick::Query q =
         workload::GenerateQuery(spec.name, schema, query_rng, query_options);
-    auto outcome = dep.Query(
-        q, static_cast<cluster::RegionId>(query_rng.NextBounded(3)));
+    auto outcome = dep.Query(cubrick::QueryRequest(
+        q, static_cast<cluster::RegionId>(query_rng.NextBounded(3))));
     ++queries;
     if (outcome.status.ok()) {
       latency.Add(ToMillis(outcome.latency));

@@ -70,7 +70,7 @@ int main() {
       cubrick::Aggregation{0, cubrick::AggOp::kCount},  // COUNT(*)
   };
 
-  cubrick::QueryOutcome outcome = dep.Query(query);
+  cubrick::QueryOutcome outcome = dep.Query(cubrick::QueryRequest(query));
   if (!outcome.status.ok()) {
     std::printf("query failed: %s\n", outcome.status.ToString().c_str());
     return 1;
@@ -96,7 +96,8 @@ int main() {
   auto sql = dep.QuerySql(
       "SELECT platform, SUM(spend), COUNT(*) FROM ad_events "
       "WHERE day BETWEEN 335 AND 364 "
-      "GROUP BY platform ORDER BY SUM(spend) DESC LIMIT 3");
+      "GROUP BY platform ORDER BY SUM(spend) DESC LIMIT 3",
+      cubrick::QueryRequest{});
   if (sql.status.ok()) {
     std::printf("\ntop 3 platforms by spend (SQL):\n");
     for (const cubrick::ResultRow& row : sql.rows) {

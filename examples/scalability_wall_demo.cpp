@@ -50,7 +50,7 @@ RunResult RunMode(core::ShardingMode mode, int servers_per_region,
   Histogram latency(0.1);
   int failures = 0, fanout = 0;
   for (int i = 0; i < queries; ++i) {
-    auto outcome = dep.Query(q);
+    auto outcome = dep.Query(cubrick::QueryRequest(q));
     if (outcome.status.ok()) {
       latency.Add(ToMillis(outcome.latency));
       fanout = std::max(fanout, outcome.fanout);

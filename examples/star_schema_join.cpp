@@ -72,7 +72,7 @@ int main() {
   q.order_by = 0;
   q.descending = true;
   q.limit = 5;
-  auto outcome = dep.Query(q);
+  auto outcome = dep.Query(cubrick::QueryRequest(q));
   if (!outcome.status.ok()) {
     std::printf("query failed: %s\n", outcome.status.ToString().c_str());
     return 1;
@@ -98,7 +98,7 @@ int main() {
   q2.join_filters = {cubrick::JoinFilter{0, 3, 3}};  // advertiser = 3
   q2.group_by_joins = {1};                           // by vertical
   q2.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum}};
-  auto outcome2 = dep.Query(q2);
+  auto outcome2 = dep.Query(cubrick::QueryRequest(q2));
   if (outcome2.status.ok()) {
     std::printf("\nadvertiser 3 spend by vertical:\n");
     for (const cubrick::ResultRow& row : outcome2.rows) {

@@ -1,0 +1,453 @@
+#include "admit/admit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalewall::admit {
+
+std::string_view PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "?";
+}
+
+std::string_view RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kRateLimit:
+      return "rate_limit";
+    case RejectReason::kOverload:
+      return "overload";
+    case RejectReason::kTenantLimit:
+      return "tenant_limit";
+    case RejectReason::kBytesLimit:
+      return "bytes_limit";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kFairShare:
+      return "fair_share";
+    case RejectReason::kQueueWait:
+      return "queue_wait";
+    case RejectReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+std::vector<double> WeightedFairShares(
+    double capacity, const std::vector<ShareRequest>& requests) {
+  std::vector<double> alloc(requests.size(), 0.0);
+  if (capacity <= 0.0 || requests.empty()) return alloc;
+  constexpr double kEps = 1e-12;
+  std::vector<size_t> active;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].weight > 0.0 && requests[i].demand > 0.0) {
+      active.push_back(i);
+    }
+  }
+  double remaining = capacity;
+  while (!active.empty() && remaining > kEps) {
+    double total_weight = 0.0;
+    for (size_t i : active) total_weight += requests[i].weight;
+    // Water level this round: remaining capacity per unit of weight.
+    const double level = remaining / total_weight;
+    std::vector<size_t> unsatisfied;
+    bool saturated_any = false;
+    for (size_t i : active) {
+      const double offer = level * requests[i].weight;
+      const double want = requests[i].demand - alloc[i];
+      if (want <= offer + kEps) {
+        // Demand met below the water level: cap at demand and re-pour
+        // the slack over the rest next round.
+        alloc[i] = requests[i].demand;
+        remaining -= want;
+        saturated_any = true;
+      } else {
+        unsatisfied.push_back(i);
+      }
+    }
+    if (!saturated_any) {
+      // Everyone still wants more than the level: final pour.
+      for (size_t i : unsatisfied) alloc[i] += level * requests[i].weight;
+      break;
+    }
+    active = std::move(unsatisfied);
+  }
+  return alloc;
+}
+
+ServiceTimeEstimator::ServiceTimeEstimator(size_t window, SimDuration seed)
+    : window_(window == 0 ? 1 : window), seed_(seed) {
+  ring_.reserve(window_);
+}
+
+void ServiceTimeEstimator::Record(SimDuration service) {
+  if (service < 0) service = 0;
+  if (ring_.size() < window_) {
+    ring_.push_back(service);
+    sum_ += service;
+  } else {
+    sum_ += service - ring_[next_];
+    ring_[next_] = service;
+  }
+  next_ = (next_ + 1) % window_;
+}
+
+SimDuration ServiceTimeEstimator::Predict() const {
+  if (ring_.empty()) return seed_;
+  return static_cast<SimDuration>(sum_ /
+                                  static_cast<int64_t>(ring_.size()));
+}
+
+AdmissionController::Stats::Stats(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  admitted = registry->GetCounter("scalewall_admit_requests_total",
+                                  {{"result", "admitted"}});
+  rejected = registry->GetCounter("scalewall_admit_requests_total",
+                                  {{"result", "rejected"}});
+  queued = registry->GetCounter("scalewall_admit_queued_total");
+  completed = registry->GetCounter("scalewall_admit_completed_total");
+  // All reason series registered eagerly so the export is stable from
+  // the first scrape (kNone is never incremented but keeps indices
+  // aligned with the enum).
+  for (int r = 1; r < kNumRejectReasons; ++r) {
+    rejected_reason[r] = registry->GetCounter(
+        "scalewall_admit_rejected_total",
+        {{"reason",
+          std::string(RejectReasonName(static_cast<RejectReason>(r)))}});
+  }
+  queue_wait_ms = registry->GetHistogram("scalewall_admit_queue_wait_ms", {},
+                                         /*min_value=*/0.001);
+}
+
+AdmissionController::AdmissionController(AdmitOptions options)
+    : options_(std::move(options)),
+      estimator_(options_.estimator_window, options_.estimator_seed),
+      stats_(options_.metrics) {
+  tokens_ = BurstLocked();
+  if (options_.metrics != nullptr) {
+    inflight_gauge_ = options_.metrics->GetGauge("scalewall_admit_inflight");
+    inflight_bytes_gauge_ =
+        options_.metrics->GetGauge("scalewall_admit_inflight_bytes");
+    predicted_service_gauge_ =
+        options_.metrics->GetGauge("scalewall_admit_predicted_service_ms");
+  }
+}
+
+AdmissionController::TenantState& AdmissionController::TenantLocked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantState state;
+  auto configured = options_.tenants.find(tenant);
+  if (configured != options_.tenants.end()) {
+    state.options = configured->second;
+  } else {
+    state.options.weight = options_.default_weight;
+  }
+  if (options_.metrics != nullptr) {
+    // The anonymous tenant exports under tenant="default".
+    const std::string label = tenant.empty() ? "default" : tenant;
+    state.admitted =
+        options_.metrics->GetCounter("scalewall_admit_tenant_queries_total",
+                                     {{"result", "admitted"}, {"tenant", label}});
+    state.rejected =
+        options_.metrics->GetCounter("scalewall_admit_tenant_queries_total",
+                                     {{"result", "rejected"}, {"tenant", label}});
+    state.completed =
+        options_.metrics->GetCounter("scalewall_admit_tenant_queries_total",
+                                     {{"result", "completed"}, {"tenant", label}});
+  }
+  return tenants_.emplace(tenant, std::move(state)).first->second;
+}
+
+void AdmissionController::CloseTicketLocked(uint64_t id) {
+  auto it = tickets_.find(id);
+  if (it == tickets_.end()) return;
+  const Ticket& ticket = it->second;
+  auto tenant = tenants_.find(ticket.tenant);
+  if (tenant != tenants_.end()) {
+    tenant->second.inflight = std::max(0, tenant->second.inflight - 1);
+    tenant->second.inflight_bytes -=
+        std::min(tenant->second.inflight_bytes, ticket.bytes);
+  }
+  inflight_bytes_ -= std::min(inflight_bytes_, ticket.bytes);
+  releases_.erase({ticket.release, id});
+  tickets_.erase(it);
+}
+
+void AdmissionController::ReleaseExpiredLocked(SimTime now) {
+  while (!releases_.empty() && releases_.begin()->first <= now) {
+    CloseTicketLocked(releases_.begin()->second);
+  }
+}
+
+double AdmissionController::BurstLocked() const {
+  if (options_.burst > 0.0) return options_.burst;
+  return std::max(1.0, options_.max_rate);
+}
+
+void AdmissionController::RefillTokensLocked(SimTime now) {
+  if (now <= tokens_at_) return;
+  const double elapsed_seconds =
+      static_cast<double>(now - tokens_at_) / static_cast<double>(kSecond);
+  tokens_ = std::min(BurstLocked(), tokens_ + options_.max_rate * elapsed_seconds);
+  tokens_at_ = now;
+}
+
+double AdmissionController::FairShareLocked(const std::string& tenant,
+                                            double capacity) const {
+  // Strict weighted entitlement over *active* tenants (inflight > 0, or
+  // the requester itself). Deliberately NOT demand-capped water-filling:
+  // re-pouring a momentarily under-share tenant's slack to its peers
+  // lets an equal-rate peer camp above its entitlement, and the slot
+  // composition random-walks at equal shares instead of converging to
+  // the weighted split. A genuinely idle tenant still frees its share —
+  // zero inflight drops it from the denominator — and under light load
+  // this path never runs at all (the caller gates on the concurrency
+  // budget being full).
+  double total_weight = 0.0;
+  double requester_weight = options_.default_weight;
+  for (const auto& [name, state] : tenants_) {
+    if (state.inflight <= 0 && name != tenant) continue;
+    total_weight += state.options.weight;
+    if (name == tenant) requester_weight = state.options.weight;
+  }
+  if (total_weight <= 0.0) return capacity;
+  return capacity * requester_weight / total_weight;
+}
+
+int AdmissionController::QueuedCountLocked(const std::string& tenant) const {
+  // Tickets beyond the max_concurrency earliest releases are (virtually)
+  // still waiting for a slot.
+  int queued = 0;
+  size_t rank = 0;
+  for (const auto& [release, id] : releases_) {
+    if (rank++ < static_cast<size_t>(options_.max_concurrency)) continue;
+    auto it = tickets_.find(id);
+    if (it != tickets_.end() && it->second.tenant == tenant) ++queued;
+  }
+  return queued;
+}
+
+SimDuration AdmissionController::PredictedWaitLocked(SimTime now) const {
+  // All max_concurrency slots are busy: the new arrival starts when the
+  // k-th earliest reservation releases, where k queued-or-running
+  // reservations beyond the slot count stand ahead of it.
+  const size_t ahead = releases_.size() -
+                       static_cast<size_t>(options_.max_concurrency);
+  auto it = releases_.begin();
+  std::advance(it, ahead);
+  return std::max<SimDuration>(it->first - now, 0);
+}
+
+void AdmissionController::UpdateGaugesLocked() {
+  inflight_gauge_.Set(static_cast<double>(tickets_.size()));
+  inflight_bytes_gauge_.Set(static_cast<double>(inflight_bytes_));
+  predicted_service_gauge_.Set(ToMillis(estimator_.Predict()));
+}
+
+Decision AdmissionController::Admit(const RequestInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SimTime now = info.now;
+  ReleaseExpiredLocked(now);
+  const int tier = static_cast<int>(info.priority);
+  TenantState& tenant = TenantLocked(info.tenant);
+  const size_t bytes =
+      info.bytes > 0 ? info.bytes : options_.default_query_bytes;
+
+  Decision decision;
+  decision.predicted_service = estimator_.Predict();
+
+  auto reject = [&](RejectReason reason, SimDuration retry_after) {
+    decision.admitted = false;
+    decision.reason = reason;
+    decision.retry_after = std::max<SimDuration>(retry_after, kMillisecond);
+    ++stats_.rejected;
+    ++stats_.rejected_reason[static_cast<int>(reason)];
+    ++tenant.rejected;
+    UpdateGaugesLocked();
+    return decision;
+  };
+
+  // 1. Token-bucket rate limit (the legacy max_qps window maps here).
+  if (options_.max_rate > 0.0) {
+    RefillTokensLocked(now);
+    if (tokens_ < 1.0) {
+      const double deficit_seconds = (1.0 - tokens_) / options_.max_rate;
+      return reject(RejectReason::kRateLimit,
+                    static_cast<SimDuration>(deficit_seconds *
+                                             static_cast<double>(kSecond)));
+    }
+  }
+
+  // 2. Priority-tiered shedding on the backend overload signal: the
+  // backend is drowning in work already admitted, so the less important
+  // tiers stop adding to it.
+  if (options_.shed_overload[tier] > 0.0 &&
+      info.backend_overload >= options_.shed_overload[tier]) {
+    // The backlog drains at roughly one service time per slot: suggest
+    // coming back after the excess above the shed threshold clears.
+    const double excess =
+        info.backend_overload - options_.shed_overload[tier] + 1.0;
+    return reject(RejectReason::kOverload,
+                  static_cast<SimDuration>(
+                      excess * static_cast<double>(decision.predicted_service)));
+  }
+
+  // 3. Hard per-tenant and in-flight-bytes budgets.
+  if (tenant.options.max_concurrency > 0 &&
+      tenant.inflight >= tenant.options.max_concurrency) {
+    return reject(RejectReason::kTenantLimit, decision.predicted_service);
+  }
+  if (tenant.options.max_inflight_bytes > 0 &&
+      tenant.inflight_bytes + bytes > tenant.options.max_inflight_bytes) {
+    return reject(RejectReason::kBytesLimit, decision.predicted_service);
+  }
+  if (options_.max_inflight_bytes > 0 &&
+      inflight_bytes_ + bytes > options_.max_inflight_bytes) {
+    return reject(RejectReason::kBytesLimit, decision.predicted_service);
+  }
+
+  // 4. Concurrency budget: take a free slot, queue (virtually) for one,
+  // or shed. The fairness check runs only under contention — an idle
+  // system admits any tenant straight through.
+  const int inflight = static_cast<int>(tickets_.size());
+  if (options_.max_concurrency > 0 && inflight >= options_.max_concurrency) {
+    const int max_queued =
+        options_.max_queued < 0 ? options_.max_concurrency : options_.max_queued;
+    // Weight-proportional slice of the *wait queue*: slots drain FIFO,
+    // so whoever occupies the queue owns the throughput, and capping
+    // each tenant's queued tickets at its weighted slice makes long-run
+    // goodput track the weights. Fairness deliberately does not look at
+    // running tickets: a burst that momentarily fills the slots while
+    // the queue is empty must stay invisible (no tenant gets shed for
+    // holding slots nobody else was waiting for). Checked *before* the
+    // tenant-blind queue-full cap — otherwise, once the queue
+    // saturates, every arrival is shed blindly and an over-share
+    // tenant's tickets keep crowding the queue forever. The cap is
+    // strict (no rounding up): rounding a 3.5-slot slice to 4 lets
+    // every tenant refill to the same rounded boundary, and the queue
+    // composition never converges to the weighted split. A requester
+    // whose slice is the whole queue (it is the only active tenant)
+    // falls through to the queue-full check — the honest reason then.
+    const double queue_budget = static_cast<double>(max_queued);
+    const double slice = FairShareLocked(info.tenant, queue_budget);
+    if (slice < queue_budget - 1e-9 &&
+        static_cast<double>(QueuedCountLocked(info.tenant)) + 1.0 >
+            slice + 1e-9) {
+      return reject(RejectReason::kFairShare, decision.predicted_service);
+    }
+    if (inflight >= options_.max_concurrency + max_queued) {
+      return reject(RejectReason::kQueueFull, decision.predicted_service);
+    }
+    decision.queue_wait = PredictedWaitLocked(now);
+    // Deadline-aware admission: reject *now* instead of serving late.
+    if (info.deadline > 0 &&
+        decision.queue_wait + decision.predicted_service > info.deadline) {
+      return reject(RejectReason::kDeadline, decision.queue_wait);
+    }
+    if (decision.queue_wait > options_.max_queue_wait[tier]) {
+      return reject(RejectReason::kQueueWait,
+                    decision.queue_wait - options_.max_queue_wait[tier]);
+    }
+  }
+
+  // Admitted: charge the token, open the reservation.
+  if (options_.max_rate > 0.0) tokens_ -= 1.0;
+  decision.admitted = true;
+  decision.ticket = next_ticket_++;
+  Ticket ticket;
+  ticket.tenant = info.tenant;
+  ticket.bytes = bytes;
+  ticket.admit_time = now;
+  ticket.queue_wait = decision.queue_wait;
+  // Provisional completion time so requests arriving before OnComplete
+  // (same instant) see this slot taken; re-timed by OnComplete.
+  ticket.release = now + decision.queue_wait + decision.predicted_service;
+  releases_.insert({ticket.release, decision.ticket});
+  tickets_.emplace(decision.ticket, std::move(ticket));
+  ++tenant.inflight;
+  tenant.inflight_bytes += bytes;
+  inflight_bytes_ += bytes;
+  ++tenant.admitted;
+  ++stats_.admitted;
+  if (decision.queue_wait > 0) {
+    ++stats_.queued;
+    stats_.queue_wait_ms.Add(ToMillis(decision.queue_wait));
+  }
+  UpdateGaugesLocked();
+  return decision;
+}
+
+void AdmissionController::OnComplete(uint64_t ticket_id, SimDuration service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  estimator_.Record(service);
+  ++stats_.completed;
+  auto it = tickets_.find(ticket_id);
+  if (it == tickets_.end()) {
+    UpdateGaugesLocked();
+    return;
+  }
+  Ticket& ticket = it->second;
+  auto tenant = tenants_.find(ticket.tenant);
+  if (tenant != tenants_.end()) ++tenant->second.completed;
+  // Re-time the reservation from the predicted to the actual service
+  // time; it releases lazily as the callers' clock advances past it.
+  releases_.erase({ticket.release, ticket_id});
+  ticket.release = ticket.admit_time + ticket.queue_wait +
+                   std::max<SimDuration>(service, 0);
+  releases_.insert({ticket.release, ticket_id});
+  UpdateGaugesLocked();
+}
+
+void AdmissionController::ConfigureTenant(const std::string& tenant,
+                                          TenantOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.tenants[tenant] = options;
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) it->second.options = options;
+}
+
+std::vector<AdmissionController::TenantSnapshot>
+AdmissionController::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantSnapshot> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) {
+    TenantSnapshot snapshot;
+    snapshot.tenant = name;
+    snapshot.weight = state.options.weight;
+    snapshot.inflight = state.inflight;
+    snapshot.inflight_bytes = state.inflight_bytes;
+    snapshot.admitted = state.admitted;
+    snapshot.rejected = state.rejected;
+    snapshot.completed = state.completed;
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tickets_.size());
+}
+
+size_t AdmissionController::inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bytes_;
+}
+
+SimDuration AdmissionController::PredictedService() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return estimator_.Predict();
+}
+
+}  // namespace scalewall::admit

@@ -35,6 +35,17 @@ Deployment::Deployment(DeploymentOptions options)
       options_.proxy_options.merged_cache_bytes = options_.merged_cache_bytes;
     }
   }
+  if (options_.enable_admission && !options_.proxy_options.enable_admission) {
+    // Deployment-level convenience knob; an explicitly-configured nested
+    // proxy_options.admission always wins.
+    options_.proxy_options.enable_admission = true;
+    options_.proxy_options.admission.max_concurrency =
+        options_.admission_max_concurrency;
+  }
+  if (options_.virtual_scan_slots > 0 &&
+      options_.server_options.virtual_scan_slots == 0) {
+    options_.server_options.virtual_scan_slots = options_.virtual_scan_slots;
+  }
   // One independent primary-only SM service per region (Section IV-D).
   for (cluster::RegionId r : cluster_.Regions()) {
     auto region = std::make_unique<Region>();
@@ -673,7 +684,7 @@ cubrick::QueryOutcome Deployment::Query(
 
 cubrick::QueryOutcome Deployment::Query(const cubrick::Query& query,
                                         cluster::RegionId preferred_region) {
-  return proxy_->Submit(query, preferred_region);
+  return proxy_->Submit(cubrick::QueryRequest(query, preferred_region));
 }
 
 cubrick::QueryOutcome Deployment::QuerySql(const std::string& sql,
@@ -696,7 +707,8 @@ cubrick::QueryOutcome Deployment::QuerySql(
     outcome.status = parsed.status();
     return outcome;
   }
-  return proxy_->Submit(*parsed, preferred_region);
+  return proxy_->Submit(
+      cubrick::QueryRequest(std::move(*parsed), preferred_region));
 }
 
 Result<cubrick::Query> Deployment::ParseSqlToQuery(

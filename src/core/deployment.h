@@ -100,6 +100,21 @@ struct DeploymentOptions {
   bool enable_result_caching = false;
   size_t result_cache_bytes = 32u << 20;  // per server
   size_t merged_cache_bytes = 8u << 20;   // proxy-wide
+  // Admission control & scheduling (DESIGN.md §11): turns on the proxy's
+  // admission pipeline (scalewall::admit) — per-tenant weighted-fair
+  // concurrency sharing with priority tiers, deadline-aware queue-wait
+  // rejection and backend-overload shedding — with the nested
+  // proxy_options.admission knobs (which always win when
+  // proxy_options.enable_admission was already set explicitly).
+  bool enable_admission = false;
+  // Convenience mirror of proxy_options.admission.max_concurrency used
+  // when enable_admission is set here (0 = rate-only pipeline).
+  int admission_max_concurrency = 64;
+  // Per-server virtual scan-queue depth
+  // (server_options.virtual_scan_slots); > 0 makes backends degrade
+  // under overload instead of serving unbounded concurrency for free.
+  // Left 0 (disabled) unless set — the seed behaviour.
+  int virtual_scan_slots = 0;
 };
 
 // Per-table creation overrides.
@@ -173,11 +188,15 @@ class Deployment : public cubrick::ServerDirectory {
   cubrick::QueryOutcome Query(const cubrick::QueryRequest& request);
 
   // Compatibility overload: submits with default per-query overrides.
+  [[deprecated(
+      "construct a cubrick::QueryRequest and call Query(request)")]]
   cubrick::QueryOutcome Query(const cubrick::Query& query,
                               cluster::RegionId preferred_region = 0);
 
   // SQL entry point: parses against the table's schema and submits.
   // (See cubrick/sql.h for the dialect.)
+  [[deprecated(
+      "construct a cubrick::QueryRequest and call QuerySql(sql, request)")]]
   cubrick::QueryOutcome QuerySql(const std::string& sql,
                                  cluster::RegionId preferred_region = 0);
 

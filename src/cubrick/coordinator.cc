@@ -254,9 +254,17 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       hop += ctx.network_model.SampleHop(rng);
     }
     SimDuration service = ctx.latency_model.Sample(rng);
-    SimDuration chain = hop + service;
+    // Charge the scan against the host's virtual scan queue: under
+    // overload all slots are busy and the subquery waits for one, which
+    // is exactly how real backends degrade — and the backlog this builds
+    // is the overload signal the proxy's admission control sheds on.
+    // A no-op (0 wait) when the server's virtual_scan_slots is 0.
+    const SimDuration scan_wait = server->EnqueueScan(t0 + hop, service);
+    SimDuration chain = hop + scan_wait + service;
     if (hedge_delay > 0 && chain > hedge_delay) {
       ++outcome.hedges_fired;
+      // The hedge goes to a duplicate replica, not back into this host's
+      // scan queue — it is left uncharged in the overload model.
       SimDuration hedged = hedge_delay + ctx.network_model.SampleHop(rng) +
                            ctx.latency_model.Sample(rng);
       obs::TraceContext hspan = sspan.Child("hedge", t0 + hedge_delay);

@@ -99,6 +99,26 @@ CubrickProxy::CubrickProxy(sim::Simulation* simulation,
     merged_cache_ =
         std::make_unique<MergedResultCache>(options_.merged_cache_bytes);
   }
+  // Legacy max_qps alone maps onto a rate-only admission pipeline: the
+  // token bucket reproduces the old per-second window (burst = rate)
+  // without its O(window) deque scan, and no concurrency/fairness
+  // machinery engages — existing configurations behave as before.
+  if (!options_.enable_admission && options_.max_qps > 0) {
+    options_.enable_admission = true;
+    options_.admission = admit::AdmitOptions{};
+    options_.admission.max_concurrency = 0;
+    options_.admission.max_rate = options_.max_qps;
+  }
+  if (options_.enable_admission) {
+    if (options_.max_qps > 0 && options_.admission.max_rate <= 0.0) {
+      options_.admission.max_rate = options_.max_qps;
+    }
+    if (options_.admission.metrics == nullptr) {
+      options_.admission.metrics = options_.metrics;
+    }
+    admission_ =
+        std::make_unique<admit::AdmissionController>(options_.admission);
+  }
 }
 
 MergedResultCache::Snapshot CubrickProxy::MergedCacheSnapshot() const {
@@ -148,15 +168,40 @@ bool CubrickProxy::RegionAvailable(const RegionContext& ctx) const {
          options_.min_region_availability;
 }
 
-bool CubrickProxy::Admit() {
-  if (options_.max_qps <= 0) return true;
-  SimTime now = simulation_->now();
-  while (!admitted_.empty() && admitted_.front() <= now - kSecond) {
-    admitted_.pop_front();
+double CubrickProxy::BackendOverload(cluster::RegionId preferred_region) {
+  if (options_.overload_sample_servers <= 0 || regions_.empty()) return 0.0;
+  const SimTime now = simulation_->now();
+  OverloadSample& sample = overload_samples_[preferred_region];
+  if (sample.valid && now - sample.at < options_.overload_refresh) {
+    return sample.score;
   }
-  if (static_cast<int>(admitted_.size()) >= options_.max_qps) return false;
-  admitted_.push_back(now);
-  return true;
+  // The preferred region's context (fall back to the first registered
+  // one — the shed decision needs *a* backend signal, not a perfect
+  // one).
+  RegionContext* ctx = regions_.front();
+  for (RegionContext* candidate : regions_) {
+    if (candidate->region == preferred_region) {
+      ctx = candidate;
+      break;
+    }
+  }
+  // Deterministic subset: the first N servers of the region in fleet
+  // order. Sampling draws no randomness, so polling the signal never
+  // perturbs query execution.
+  double total = 0.0;
+  int polled = 0;
+  for (cluster::ServerId id : cluster_->ServersInRegion(ctx->region)) {
+    if (polled >= options_.overload_sample_servers) break;
+    CubrickServer* server =
+        ctx->directory != nullptr ? ctx->directory->Lookup(id) : nullptr;
+    if (server == nullptr) continue;
+    total += server->CurrentOverload(now).score;
+    ++polled;
+  }
+  sample.valid = true;
+  sample.at = now;
+  sample.score = polled > 0 ? total / polled : 0.0;
+  return sample.score;
 }
 
 bool CubrickProxy::Blacklisted(cluster::ServerId server) const {
@@ -295,8 +340,66 @@ QueryOutcome CubrickProxy::Submit(const QueryRequest& request) {
   obs::TraceContext root;
   if (options_.trace_sink != nullptr && request.tracing) {
     root = options_.trace_sink->StartTrace("query " + query.table, start);
+    if (!request.tenant_id.empty()) {
+      root.Annotate("tenant", request.tenant_id);
+    }
   }
-  QueryOutcome outcome = SubmitInternal(request, start, root);
+  ++stats_.submitted;
+  SweepExpired();
+
+  // Admission pipeline: every submission passes the front door before
+  // any cache lookup or region work. A rejection costs no network hops
+  // and no backend work — that is the point of shedding at the proxy.
+  QueryOutcome outcome;
+  bool execute = true;
+  uint64_t ticket = 0;
+  SimDuration queue_wait = 0;
+  if (admission_ != nullptr) {
+    admit::RequestInfo info;
+    info.now = start;
+    info.tenant = request.tenant_id;
+    info.priority = request.priority;
+    info.deadline = EffectiveDeadline(request, options_);
+    info.backend_overload = BackendOverload(request.preferred_region);
+    const admit::Decision decision = admission_->Admit(info);
+    if (!decision.admitted) {
+      ++stats_.rejected;
+      std::string message =
+          "admission control: " +
+          std::string(admit::RejectReasonName(decision.reason));
+      if (decision.retry_after > 0) {
+        message += "; retry after " + FormatDuration(decision.retry_after);
+      }
+      outcome.status = Status::ResourceExhausted(message);
+      outcome.retry_after = decision.retry_after;
+      if (root.active()) {
+        root.Annotate("admission",
+                      std::string(admit::RejectReasonName(decision.reason)));
+      }
+      execute = false;
+    } else {
+      ticket = decision.ticket;
+      queue_wait = decision.queue_wait;
+      if (queue_wait > 0 && root.active()) {
+        // The virtual wait for a concurrency slot, visible in the trace
+        // as a span between submission and the first attempt.
+        obs::TraceContext qspan = root.Child("admission queue", start);
+        qspan.Annotate("predicted_service",
+                       FormatDuration(decision.predicted_service));
+        qspan.End(start + queue_wait);
+      }
+    }
+  }
+  if (execute) {
+    outcome = SubmitInternal(request, start, root, queue_wait);
+    outcome.queue_wait = queue_wait;
+    if (admission_ != nullptr) {
+      // Feed the estimator the service time net of the admission wait
+      // (waiting for a slot is not backend work), and re-time this
+      // query's reservation to when it actually completes.
+      admission_->OnComplete(ticket, outcome.latency - queue_wait);
+    }
+  }
   if (root.active()) {
     root.Annotate("status", std::string(StatusCodeName(outcome.status.code())));
     root.Annotate("attempts", std::to_string(outcome.attempts));
@@ -316,6 +419,9 @@ QueryOutcome CubrickProxy::Submit(const QueryRequest& request) {
     trace.served_stale = outcome.served_stale;
     trace.deadline = EffectiveDeadline(request, options_);
     trace.trace_id = root.trace;
+    trace.tenant = request.tenant_id;
+    trace.priority = request.priority;
+    trace.queue_wait = queue_wait;
     // Cap *before* pushing so the deque never exceeds trace_capacity,
     // even transiently (and shrinks promptly if the cap is lowered).
     while (traces_.size() >= options_.trace_capacity) traces_.pop_front();
@@ -401,18 +507,15 @@ bool CubrickProxy::TryServeStale(const QueryRequest& request,
 
 QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
                                           SimTime start,
-                                          const obs::TraceContext& root) {
+                                          const obs::TraceContext& root,
+                                          SimDuration queue_wait) {
   const Query& query = request.query;
   const cluster::RegionId preferred_region = request.preferred_region;
   QueryOutcome outcome;
-  ++stats_.submitted;
-  SweepExpired();
-  if (!Admit()) {
-    ++stats_.rejected;
-    outcome.status =
-        Status::ResourceExhausted("admission control: QPS limit reached");
-    return outcome;
-  }
+  // The admission queue wait is part of the client-observed latency and
+  // of the deadline budget: a query that waited 300ms for a slot has
+  // 300ms less to execute in.
+  outcome.latency = queue_wait;
   if (regions_.empty()) {
     outcome.status = Status::FailedPrecondition("proxy has no regions");
     return outcome;

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "admit/admit.h"
 #include "cache/cache.h"
 #include "cache/lru_cache.h"
 #include "cluster/cluster.h"
@@ -72,8 +73,25 @@ struct ProxyOptions {
   // A server is only blacklisted after this many failures within one
   // blacklist window (a single transient failure is not a dead host).
   int blacklist_threshold = 3;
-  // Admission control: max queries admitted per second (0 = unlimited).
+  // Legacy admission knob: max queries admitted per second
+  // (0 = unlimited). Maps onto the admission pipeline's token bucket
+  // (admission.max_rate) — setting it alone turns on a rate-only
+  // AdmissionController, reproducing the old per-second window without
+  // its O(window) deque scan per Submit.
   int max_qps = 0;
+  // The real admission pipeline (scalewall::admit): token-bucket rate
+  // limiting, per-tenant weighted-fair concurrency sharing with
+  // priority tiers, in-flight-bytes budgets, deadline-aware queue-wait
+  // prediction and backend-overload shedding. Rejections return
+  // Status::ResourceExhausted with a retry-after hint
+  // (QueryOutcome::retry_after).
+  bool enable_admission = false;
+  admit::AdmitOptions admission;
+  // Backend overload fold-in: servers of the preferred region sampled
+  // for their overload score per refresh (0 disables the fold-in), and
+  // how long a sampled score is reused before re-polling.
+  int overload_sample_servers = 4;
+  SimDuration overload_refresh = 250 * kMillisecond;
   // A region is eligible only if at least this fraction of its servers is
   // serving (regions can be down or drained entirely).
   double min_region_availability = 0.5;
@@ -113,6 +131,11 @@ struct QueryTrace : ReliabilityCounters {
   // Distributed trace id in the deployment's TraceSink (0 = tracing was
   // off or the trace has been evicted).
   uint64_t trace_id = 0;
+  // Tenant and scheduling tier the submission carried.
+  std::string tenant;
+  admit::Priority priority = admit::Priority::kInteractive;
+  // Virtual admission queue wait included in `latency` (0 = none).
+  SimDuration queue_wait = 0;
 };
 
 // Final outcome of a proxied query. Inherits the per-query
@@ -138,6 +161,14 @@ struct QueryOutcome : ReliabilityCounters {
   // outcome with served_stale == false is always exact — the
   // correctness guarantee of DESIGN.md §5 is never silently weakened.
   bool served_stale = false;
+  // On a ResourceExhausted rejection: the admission controller's
+  // backoff hint — resubmitting earlier will very likely be shed again.
+  // Clients honoring it (the reliability layer's backoff, the overload
+  // bench's retry loop) converge instead of hammering.
+  SimDuration retry_after = 0;
+  // Virtual admission queue wait included in `latency` (0 = admitted
+  // straight into a free slot).
+  SimDuration queue_wait = 0;
 };
 
 // One merged-result cache entry: the fully merged and materialized
@@ -171,9 +202,21 @@ class CubrickProxy {
 
   // Compatibility overload for pre-QueryRequest call sites: submits
   // with all per-query overrides at their defaults.
+  [[deprecated("construct a QueryRequest and call Submit(request)")]]
   QueryOutcome Submit(const Query& query,
                       cluster::RegionId preferred_region = 0) {
     return Submit(QueryRequest(query, preferred_region));
+  }
+
+  // The admission controller (null unless enable_admission / max_qps
+  // configured one). Exposed for tenant configuration and tests.
+  admit::AdmissionController* admission() { return admission_.get(); }
+
+  // (Re)configures one tenant's fair-share weight and hard caps. A
+  // no-op without admission control.
+  void ConfigureTenant(const std::string& tenant,
+                       admit::TenantOptions options) {
+    if (admission_ != nullptr) admission_->ConfigureTenant(tenant, options);
   }
 
   // Cached partition count for a table (kCachedRandom strategy), or 0.
@@ -237,8 +280,12 @@ class CubrickProxy {
   size_t failure_streaks() const { return failures_.size(); }
 
  private:
+  // `queue_wait` is the virtual admission-queue delay already charged
+  // to this query; it seeds the outcome's latency so the deadline
+  // budget shrinks by the time spent waiting for a slot.
   QueryOutcome SubmitInternal(const QueryRequest& request, SimTime start,
-                              const obs::TraceContext& root);
+                              const obs::TraceContext& root,
+                              SimDuration queue_wait);
 
   // Merged-cache helpers (no-ops / misses when the cache is disabled or
   // the policy forbids them). TryServeValidated serves a hit only after
@@ -252,7 +299,12 @@ class CubrickProxy {
                      const obs::TraceContext& root, QueryOutcome& outcome);
 
   bool RegionAvailable(const RegionContext& ctx) const;
-  bool Admit();
+
+  // Samples the preferred region's servers for their overload score
+  // (exec-pool queue depth + modeled scan backlog), averaged over a
+  // deterministic subset and cached for overload_refresh. 0 when the
+  // fold-in is disabled or no server is reachable.
+  double BackendOverload(cluster::RegionId preferred_region);
 
   // Picks a coordinator server per the configured strategy. Returns the
   // extra latency the strategy incurred before execution starts.
@@ -280,8 +332,16 @@ class CubrickProxy {
   std::unordered_map<cluster::ServerId, std::pair<int, SimTime>> failures_;
   // Last time expired blacklist/failure-streak entries were swept.
   SimTime last_sweep_ = 0;
-  // Admission window: timestamps of queries admitted in the last second.
-  std::deque<SimTime> admitted_;
+  // Admission pipeline (null = admit everything, the pre-admission
+  // behaviour). Replaces the old per-second timestamp deque.
+  std::unique_ptr<admit::AdmissionController> admission_;
+  // Cached backend overload score per preferred region.
+  struct OverloadSample {
+    bool valid = false;
+    SimTime at = 0;
+    double score = 0.0;
+  };
+  std::map<cluster::RegionId, OverloadSample> overload_samples_;
   std::deque<QueryTrace> traces_;
   // Merged-result cache (null when merged_cache_bytes == 0).
   std::unique_ptr<MergedResultCache> merged_cache_;

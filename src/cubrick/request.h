@@ -10,8 +10,10 @@
 #ifndef SCALEWALL_CUBRICK_REQUEST_H_
 #define SCALEWALL_CUBRICK_REQUEST_H_
 
+#include <string>
 #include <utility>
 
+#include "admit/admit.h"
 #include "cache/cache.h"
 #include "cluster/cluster.h"
 #include "common/time.h"
@@ -32,6 +34,13 @@ struct QueryRequest {
   // Result-cache behaviour for this submission (server partial cache
   // and proxy merged cache both honor it).
   cache::CachePolicy cache_policy = cache::CachePolicy::kDefault;
+  // Tenant this submission is attributed to ("" = the shared anonymous
+  // tenant): admission control fair-shares the concurrency budget per
+  // tenant, and traces/metrics are keyed by it end to end.
+  std::string tenant_id;
+  // Scheduling tier: under backend overload best-effort sheds first,
+  // then batch; interactive is shed last (scalewall::admit).
+  admit::Priority priority = admit::Priority::kInteractive;
 
   QueryRequest() = default;
   explicit QueryRequest(Query q, cluster::RegionId region = 0)

@@ -101,6 +101,8 @@ void CubrickServer::RefreshExecMetrics() {
         "scalewall_exec_pool_tasks_submitted_total", labels);
     exec_tasks_executed_ = options_.metrics->GetGauge(
         "scalewall_exec_pool_tasks_executed_total", labels);
+    exec_queue_depth_peak_ = options_.metrics->GetGauge(
+        "scalewall_exec_pool_queue_depth_peak", labels);
     exec_gauges_registered_ = true;
   }
   exec_queue_depth_.Set(static_cast<double>(exec_pool_->queue_depth()));
@@ -108,6 +110,57 @@ void CubrickServer::RefreshExecMetrics() {
   exec_tasks_submitted_.Set(
       static_cast<double>(exec_pool_->tasks_submitted()));
   exec_tasks_executed_.Set(static_cast<double>(exec_pool_->tasks_executed()));
+  exec_queue_depth_peak_.Set(
+      static_cast<double>(exec_pool_->peak_queue_depth()));
+}
+
+SimDuration CubrickServer::EnqueueScan(SimTime now, SimDuration service) {
+  if (options_.virtual_scan_slots <= 0) return 0;
+  std::lock_guard<std::mutex> lock(scan_queue_mu_);
+  // Completed reservations release their slots lazily, whenever modeled
+  // time has moved past their busy-until instant.
+  while (!scan_queue_.empty() && *scan_queue_.begin() <= now) {
+    scan_queue_.erase(scan_queue_.begin());
+  }
+  SimDuration wait = 0;
+  const size_t slots = static_cast<size_t>(options_.virtual_scan_slots);
+  if (scan_queue_.size() >= slots) {
+    // All slots busy: this scan starts when the (backlog - slots + 1)-th
+    // earliest reservation releases one.
+    auto it = scan_queue_.begin();
+    std::advance(it, scan_queue_.size() - slots);
+    wait = std::max<SimDuration>(*it - now, 0);
+  }
+  scan_queue_.insert(now + wait + service);
+  return wait;
+}
+
+OverloadSignal CubrickServer::CurrentOverload(SimTime now) {
+  OverloadSignal signal;
+  {
+    std::lock_guard<std::mutex> lock(scan_queue_mu_);
+    while (!scan_queue_.empty() && *scan_queue_.begin() <= now) {
+      scan_queue_.erase(scan_queue_.begin());
+    }
+    signal.scan_backlog = scan_queue_.size();
+  }
+  if (exec_pool_ != nullptr) {
+    signal.queue_depth =
+        static_cast<size_t>(std::max<int64_t>(exec_pool_->queue_depth(), 0));
+  }
+  // Backlog relative to service capacity. Without the virtual-queue
+  // model the backlog is always 0 and the (usually idle) pool queue is
+  // the only — typically silent — contributor, so the score stays 0 and
+  // admission never sheds on backend state: exactly the seed behaviour.
+  if (options_.virtual_scan_slots > 0) {
+    signal.score = static_cast<double>(signal.scan_backlog) /
+                   static_cast<double>(options_.virtual_scan_slots);
+  }
+  if (options_.scan_workers > 1 && signal.queue_depth > 0) {
+    signal.score += static_cast<double>(signal.queue_depth) /
+                    static_cast<double>(options_.scan_workers);
+  }
+  return signal;
 }
 
 void CubrickServer::StartMonitors() {

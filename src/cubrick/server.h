@@ -100,6 +100,29 @@ struct CubrickServerOptions {
   // Unified metrics registry this server's Stats counters register into,
   // labeled server="<id>" (null = standalone counters).
   obs::MetricsRegistry* metrics = nullptr;
+  // Virtual scan-queue depth: how many partition scans this host can
+  // service concurrently in *modeled* time. When > 0 every subquery
+  // dispatched here reserves a slot for its sampled service time; a
+  // dispatch that finds all slots busy waits for the earliest release,
+  // and that wait is charged to the query's latency. This is what makes
+  // the backend degrade under overload (waits compound) instead of
+  // serving unlimited concurrent scans for free — and the queue length
+  // is the overload signal the proxy's admission control sheds on.
+  // 0 disables the model entirely (the seed behaviour).
+  int virtual_scan_slots = 0;
+};
+
+// Point-in-time overload signal a server exports to the proxy's
+// admission pipeline (CubrickServer::CurrentOverload).
+struct OverloadSignal {
+  // Scans still occupying / waiting for virtual scan slots.
+  size_t scan_backlog = 0;
+  // Exec-pool task queue depth (0 without a pool; the pool drains
+  // between queries in simulated time, so backlog dominates).
+  size_t queue_depth = 0;
+  // Combined score: backlog (and pool queue) relative to the host's
+  // service capacity. 0 = idle, 1 ≈ saturated, > 1 = queue building.
+  double score = 0.0;
 };
 
 // Result of a partition-local (partial) query execution.
@@ -224,6 +247,20 @@ class CubrickServer : public sm::AppServer {
 
   // The server's exec pool (null when scan_workers <= 1).
   exec::ThreadPool* exec_pool() { return exec_pool_.get(); }
+
+  // --- virtual scan queue (overload model) ---
+
+  // Reserves a virtual scan slot for a subquery dispatched at `now`
+  // taking `service` of modeled time, returning how long the dispatch
+  // had to wait for a free slot (0 with free slots, or when the model
+  // is disabled). Deterministic: driven purely by sim-time and the
+  // sampled service durations, never by wall-clock measurements.
+  SimDuration EnqueueScan(SimTime now, SimDuration service);
+
+  // The server's current overload signal: virtual-scan backlog plus
+  // exec-pool queue depth, folded into a single score the proxy's
+  // admission control sheds on. Purges completed reservations first.
+  OverloadSignal CurrentOverload(SimTime now);
 
   // True if this server holds data for the partition (owned or staged).
   bool HasPartition(const std::string& table, uint32_t partition) const;
@@ -358,6 +395,11 @@ class CubrickServer : public sm::AppServer {
   // concurrently.
   mutable std::mutex scan_stats_mu_;
   std::map<PartitionRef, int64_t> partition_scan_micros_;
+  // Virtual scan queue (virtual_scan_slots > 0): busy-until times of
+  // reservations, ordered. Guarded separately: the coordinator enqueues
+  // from the query path while the proxy polls CurrentOverload.
+  mutable std::mutex scan_queue_mu_;
+  std::multiset<SimTime> scan_queue_;
 
   std::set<sm::ShardId> owned_shards_;
   std::set<sm::ShardId> staged_shards_;  // prepared (data copied), not owned
@@ -373,6 +415,7 @@ class CubrickServer : public sm::AppServer {
   obs::Gauge exec_steals_;
   obs::Gauge exec_tasks_submitted_;
   obs::Gauge exec_tasks_executed_;
+  obs::Gauge exec_queue_depth_peak_;
   bool exec_gauges_registered_ = false;
   // Result-cache gauges (registered lazily by RefreshCacheMetrics).
   obs::Gauge cache_entries_;

@@ -48,7 +48,13 @@ void ThreadPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(workers_[index]->mu);
     workers_[index]->tasks.push_back(std::move(fn));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  const int64_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  // Lock-free running max; losing a race only means another thread saw a
+  // deeper queue and recorded that instead.
+  int64_t peak = peak_pending_.load(std::memory_order_relaxed);
+  while (depth > peak && !peak_pending_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   wake_.notify_one();
 }

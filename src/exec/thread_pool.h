@@ -67,6 +67,13 @@ class ThreadPool {
   int64_t queue_depth() const {
     return pending_.load(std::memory_order_relaxed);
   }
+  // High-water mark of queue_depth() over the pool's lifetime. Unlike
+  // the instantaneous depth (usually 0 by the time a poller looks), the
+  // peak survives the burst that caused it — the overload evidence an
+  // exporter scraping between queries can actually see.
+  int64_t peak_queue_depth() const {
+    return peak_pending_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Worker {
@@ -90,6 +97,7 @@ class ThreadPool {
   std::mutex wake_mu_;
   std::condition_variable wake_;
   std::atomic<int64_t> pending_{0};
+  std::atomic<int64_t> peak_pending_{0};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_queue_{0};
 

@@ -136,4 +136,38 @@ cubrick::Query FixedProbeQuery(const std::string& table,
   return query;
 }
 
+std::vector<Arrival> GenerateOpenLoopArrivals(
+    const std::vector<TenantLoadSpec>& tenants, SimDuration horizon,
+    Rng& rng) {
+  std::vector<Arrival> arrivals;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const TenantLoadSpec& spec = tenants[i];
+    if (spec.rate <= 0.0) continue;
+    // Each tenant's process gets its own stream keyed by index, so the
+    // schedules compose: tenant k's arrival times are identical whether
+    // it runs alone or alongside any other mix.
+    Rng stream = rng.Fork(/*stream=*/0xA881 + i);
+    double t_seconds = 0.0;
+    const double horizon_seconds =
+        static_cast<double>(horizon) / static_cast<double>(kSecond);
+    while (true) {
+      t_seconds += stream.NextExponential(spec.rate);
+      if (t_seconds >= horizon_seconds) break;
+      Arrival arrival;
+      arrival.at = static_cast<SimTime>(t_seconds * kSecond);
+      arrival.tenant_index = i;
+      arrivals.push_back(arrival);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              // Tenant index breaks sim-time ties so the merged order is
+              // total (and therefore reproducible).
+              return a.at != b.at ? a.at < b.at
+                                  : a.tenant_index < b.tenant_index;
+            });
+  for (size_t i = 0; i < arrivals.size(); ++i) arrivals[i].sequence = i;
+  return arrivals;
+}
+
 }  // namespace scalewall::workload

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "admit/admit.h"
 #include "common/random.h"
 #include "cubrick/query.h"
 #include "cubrick/schema.h"
@@ -91,6 +92,38 @@ cubrick::Query GenerateQuery(const std::string& table,
 // SUM with one selective filter.
 cubrick::Query FixedProbeQuery(const std::string& table,
                                const cubrick::TableSchema& schema);
+
+// --- open-loop multi-tenant load (admission-control experiments) ---
+
+// One tenant's open-loop traffic: queries arrive Poisson at `rate` per
+// second regardless of how the backend is doing — the arrival process
+// never slows down to match service capacity, which is exactly what
+// makes open-loop overload collapse (and admission control necessary).
+struct TenantLoadSpec {
+  std::string tenant;
+  // Mean arrivals per second.
+  double rate = 1.0;
+  admit::Priority priority = admit::Priority::kInteractive;
+  // Fair-share weight this tenant is configured with at the proxy.
+  double weight = 1.0;
+};
+
+// One scheduled submission of the generated arrival process.
+struct Arrival {
+  SimTime at = 0;
+  // Index into the TenantLoadSpec vector the schedule was built from.
+  size_t tenant_index = 0;
+  // Global sequence number in arrival order (deterministic query pick).
+  uint64_t sequence = 0;
+};
+
+// Merges every tenant's Poisson process into one time-ordered arrival
+// schedule covering [0, horizon). Deterministic for a given rng state;
+// each tenant draws from its own forked stream so adding a tenant never
+// perturbs the others' schedules.
+std::vector<Arrival> GenerateOpenLoopArrivals(
+    const std::vector<TenantLoadSpec>& tenants, SimDuration horizon,
+    Rng& rng);
 
 }  // namespace scalewall::workload
 

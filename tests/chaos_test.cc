@@ -105,7 +105,7 @@ void RunChaos(uint64_t seed, bool caching) {
     if (caching && rng.NextBool(0.3)) {
       request.cache_policy = cache::CachePolicy::kAllowStale;
     }
-    auto outcome = dep.Query(request);
+    auto outcome = dep.Query(cubrick::QueryRequest(request));
     if (!outcome.status.ok()) return false;  // failing is allowed mid-chaos
     if (outcome.served_stale) {
       // The one path allowed to lag the data — and only when asked for.
@@ -117,7 +117,7 @@ void RunChaos(uint64_t seed, bool caching) {
       // cache-bypass execution of the same query, mid-chaos included.
       cubrick::QueryRequest bypass = request;
       bypass.cache_policy = cache::CachePolicy::kBypass;
-      auto uncached = dep.Query(bypass);
+      auto uncached = dep.Query(cubrick::QueryRequest(bypass));
       if (uncached.status.ok()) {
         EXPECT_TRUE(SameResult(outcome.result, uncached.result))
             << "cached answer diverged from re-execution for " << table;
@@ -252,7 +252,7 @@ void RunChaos(uint64_t seed, bool caching) {
       q.table = table;
       q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kCount},
                         cubrick::Aggregation{0, cubrick::AggOp::kSum}};
-      auto outcome = dep.Query(q, region);
+      auto outcome = dep.Query(cubrick::QueryRequest(q, region));
       ASSERT_TRUE(outcome.status.ok())
           << table << " in region " << region << ": " << outcome.status;
       if (ref.count > 0) {
@@ -286,6 +286,117 @@ TEST_P(ChaosCacheTest, CachingPreservesExactCorrectness) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosCacheTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Overload chaos: a hot tenant floods an admission-controlled
+// deployment at many times its fair rate while servers fail and repair
+// underneath. Admission may shed at the door, but it must never starve
+// what it admits: every outcome — served, shed, or failed — returns
+// within a bounded time, and the well-behaved tenants keep getting real
+// goodput through both the flood and the failures.
+TEST(ChaosOverloadTest, AdmittedQueriesAreNeverStarved) {
+  DeploymentOptions options;
+  options.seed = 17;
+  options.topology.regions = 1;
+  options.topology.racks_per_region = 4;
+  options.topology.servers_per_rack = 4;  // 16 servers
+  options.default_partitions = 8;
+  options.repartition_threshold_rows = 1u << 30;
+  options.per_host_failure_probability = 0.0;  // failures are injected
+  options.enable_failure_injector = true;
+  options.failure_injector.enable_drains = false;
+  options.failure_injector.mean_time_between_failures = 100000 * kDay;
+  options.failure_injector.mean_repair_time = 5 * kSecond;
+  options.latency.median = 60 * kMillisecond;
+  options.latency.sigma = 0.3;
+  options.virtual_scan_slots = 6;
+  options.proxy_options.enable_admission = true;
+  options.proxy_options.admission.max_concurrency = 10;
+  options.proxy_options.admission.max_queued = 14;
+  // Interactive traffic carries a deadline; it both engages the
+  // deadline-aware admission path and bounds how long execution may
+  // retry through the injected failures.
+  options.proxy_options.default_deadline = 2 * kSecond;
+  Deployment dep(options);
+
+  cubrick::TableSchema schema = workload::MakeSchema(2, 64, 8, 1);
+  ASSERT_TRUE(dep.CreateTable("events", schema).ok());
+  Rng rng(4242);
+  ASSERT_TRUE(
+      dep.LoadRows("events", workload::GenerateRows(schema, 4000, rng)).ok());
+  dep.RunFor(10 * kSecond);  // discovery/LB settle
+
+  // One flood tenant at ~10x the rate of each of two normal tenants,
+  // all with equal weights: without fair queueing the flood would own
+  // every slot.
+  std::vector<workload::TenantLoadSpec> tenants(3);
+  tenants[0].tenant = "flood";
+  tenants[0].rate = 60.0;
+  tenants[1].tenant = "norm1";
+  tenants[1].rate = 6.0;
+  tenants[2].tenant = "norm2";
+  tenants[2].rate = 6.0;
+  const SimDuration horizon = 12 * kSecond;
+  auto arrivals = workload::GenerateOpenLoopArrivals(tenants, horizon, rng);
+
+  // Kill a couple of healthy servers mid-flood; the repair pipeline
+  // brings them back before the end of the run.
+  auto servers = dep.cluster().AllServers();
+  dep.simulation().ScheduleAfter(3 * kSecond, [&dep, servers] {
+    dep.failure_injector()->FailServer(servers[2]);
+  });
+  dep.simulation().ScheduleAfter(6 * kSecond, [&dep, servers] {
+    dep.failure_injector()->FailServer(servers[7]);
+  });
+
+  // No outcome may take longer than the admission queue-wait cap plus a
+  // generous allowance for retried execution during failovers.
+  const SimDuration starvation_bound = 6 * kSecond;
+  std::vector<int64_t> served(tenants.size(), 0);
+  std::vector<int64_t> rejected(tenants.size(), 0);
+  const SimTime epoch = dep.now();
+  for (const auto& arrival : arrivals) {
+    const SimTime due = epoch + arrival.at;
+    if (due > dep.now()) dep.RunFor(due - dep.now());
+    cubrick::Query q;
+    q.table = "events";
+    q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum},
+                      cubrick::Aggregation{0, cubrick::AggOp::kCount}};
+    cubrick::QueryRequest request(q);
+    request.tenant_id = tenants[arrival.tenant_index].tenant;
+    auto outcome = dep.Query(request);
+    EXPECT_LE(outcome.latency, starvation_bound)
+        << "outcome for " << request.tenant_id << " at t=" << arrival.at;
+    if (outcome.status.ok()) {
+      ++served[arrival.tenant_index];
+    } else if (outcome.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected[arrival.tenant_index];
+      // Shedding happens at the proxy door, before any backend work.
+      EXPECT_EQ(outcome.latency, 0) << "rejection did backend work";
+    }
+  }
+
+  // The flood is shed, not served; the normal tenants ride through both
+  // the flood and the host failures with most of their queries served.
+  EXPECT_GT(rejected[0], 0);
+  for (size_t t = 1; t < tenants.size(); ++t) {
+    const int64_t submitted = served[t] + rejected[t];
+    EXPECT_GT(submitted, 0);
+    EXPECT_GE(served[t], submitted / 2)
+        << tenants[t].tenant << " starved: served " << served[t] << " of "
+        << submitted;
+  }
+  // Fair queueing kept the flood from owning the backend: the normal
+  // tenants' served fraction must beat the flood's.
+  const double flood_frac =
+      static_cast<double>(served[0]) /
+      static_cast<double>(served[0] + rejected[0]);
+  for (size_t t = 1; t < tenants.size(); ++t) {
+    const double frac =
+        static_cast<double>(served[t]) /
+        static_cast<double>(served[t] + rejected[t] + 1);
+    EXPECT_GT(frac, flood_frac) << tenants[t].tenant;
+  }
+}
 
 }  // namespace
 }  // namespace scalewall::core

@@ -358,10 +358,10 @@ TEST_F(ProxyCacheTest, ValidatedHitSkipsFanoutAndCutsLatency) {
   Make(CachingOptions());
   Setup("t", 4000);
   cubrick::QueryRequest request(CountSum("t"));
-  auto first = dep_->Query(request);
+  auto first = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(first.status.ok()) << first.status;
   EXPECT_EQ(first.cache_hits, 0);
-  auto second = dep_->Query(request);
+  auto second = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(second.status.ok()) << second.status;
   EXPECT_EQ(second.cache_hits, 1);
   EXPECT_FALSE(second.served_stale);
@@ -378,13 +378,13 @@ TEST_F(ProxyCacheTest, IngestionFailsValidationAndServesFreshData) {
   Make(CachingOptions());
   auto rows = Setup("t", 3000);
   cubrick::QueryRequest request(CountSum("t"));
-  ASSERT_TRUE(dep_->Query(request).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
   // New rows bump the written partitions' epochs: the cached entry must
   // not be served.
   Rng rng(8);
   auto more = workload::GenerateRows(schema_, 500, rng);
   ASSERT_TRUE(dep_->LoadRows("t", more).ok());
-  auto after = dep_->Query(request);
+  auto after = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(after.status.ok()) << after.status;
   EXPECT_EQ(after.cache_hits, 0);
   EXPECT_FALSE(after.served_stale);
@@ -392,7 +392,7 @@ TEST_F(ProxyCacheTest, IngestionFailsValidationAndServesFreshData) {
                    3500.0);
   EXPECT_GE(dep_->proxy().stats().cache_validation_failures, 1);
   // The full execution refreshed the entry; it validates again now.
-  auto third = dep_->Query(request);
+  auto third = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(third.status.ok());
   EXPECT_EQ(third.cache_hits, 1);
   EXPECT_TRUE(cubrick::SameResult(after.result, third.result));
@@ -402,11 +402,11 @@ TEST_F(ProxyCacheTest, RepartitionFailsValidation) {
   Make(CachingOptions());
   Setup("t", 3000);
   cubrick::QueryRequest request(CountSum("t"));
-  ASSERT_TRUE(dep_->Query(request).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
   // 12 servers per region caps the partition count at 12.
   ASSERT_TRUE(dep_->Repartition("t", 12).ok());
   dep_->RunFor(15 * kSecond);
-  auto after = dep_->Query(request);
+  auto after = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(after.status.ok()) << after.status;
   // The whole physical layout changed (fresh partitions, fresh epochs):
   // provably stale, so the entry cannot be served.
@@ -419,19 +419,19 @@ TEST_F(ProxyCacheTest, StaleServeOnlyUnderAllowStaleWhenAllRegionsFail) {
   Make(CachingOptions());
   Setup("t", 2000);
   cubrick::QueryRequest request(CountSum("t"));
-  auto cached = dep_->Query(request);
+  auto cached = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(cached.status.ok());
   // Take every server down: no region can run (or even validate) a query.
   for (cluster::ServerId id : dep_->cluster().AllServers()) {
     dep_->cluster().SetHealth(id, cluster::ServerHealth::kDown);
   }
-  auto failed = dep_->Query(request);
+  auto failed = dep_->Query(cubrick::QueryRequest(request));
   EXPECT_FALSE(failed.status.ok());
   EXPECT_FALSE(failed.served_stale);
   // kAllowStale degrades gracefully — flagged, never silent.
   cubrick::QueryRequest stale_ok = request;
   stale_ok.cache_policy = cache::CachePolicy::kAllowStale;
-  auto stale = dep_->Query(stale_ok);
+  auto stale = dep_->Query(cubrick::QueryRequest(stale_ok));
   ASSERT_TRUE(stale.status.ok()) << stale.status;
   EXPECT_TRUE(stale.served_stale);
   EXPECT_EQ(stale.cache_stale_serves, 1);
@@ -444,8 +444,8 @@ TEST_F(ProxyCacheTest, BypassPolicyNeverTouchesTheCache) {
   Setup("t", 2000);
   cubrick::QueryRequest request(CountSum("t"));
   request.cache_policy = cache::CachePolicy::kBypass;
-  ASSERT_TRUE(dep_->Query(request).status.ok());
-  ASSERT_TRUE(dep_->Query(request).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
   EXPECT_EQ(dep_->proxy().MergedCacheSnapshot().entries, 0u);
   EXPECT_EQ(dep_->proxy().stats().cache_hits, 0);
 }
@@ -456,7 +456,7 @@ TEST_F(ProxyCacheTest, RequestDeadlineApplies) {
   cubrick::QueryRequest request(CountSum("t"));
   request.cache_policy = cache::CachePolicy::kBypass;  // force execution
   request.deadline = 1 * kMicrosecond;
-  auto outcome = dep_->Query(request);
+  auto outcome = dep_->Query(cubrick::QueryRequest(request));
   EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
 }
 
@@ -468,10 +468,10 @@ TEST_F(ProxyCacheTest, PerRequestTracingToggle) {
   size_t before = dep_->trace_sink().num_traces();
   cubrick::QueryRequest quiet(CountSum("t"));
   quiet.tracing = false;
-  ASSERT_TRUE(dep_->Query(quiet).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(quiet)).status.ok());
   EXPECT_EQ(dep_->trace_sink().num_traces(), before);
   cubrick::QueryRequest traced(CountSum("t"));
-  ASSERT_TRUE(dep_->Query(traced).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(traced)).status.ok());
   EXPECT_EQ(dep_->trace_sink().num_traces(), before + 1);
 }
 
@@ -492,8 +492,8 @@ TEST_F(ProxyCacheTest, MetricsExportCarriesCacheAndCoordinatorSeries) {
   Make(CachingOptions());
   Setup("t", 2000);
   cubrick::QueryRequest request(CountSum("t"));
-  ASSERT_TRUE(dep_->Query(request).status.ok());
-  ASSERT_TRUE(dep_->Query(request).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
   std::string text = ExportMetricsText(*dep_);
   EXPECT_NE(text.find("scalewall_proxy_cache_total"), std::string::npos);
   EXPECT_NE(text.find("result=\"validated_hit\""), std::string::npos);
@@ -509,8 +509,8 @@ TEST_F(ProxyCacheTest, ReliabilityCountersAccumulateIntoStats) {
   Make(CachingOptions());
   Setup("t", 2000);
   cubrick::QueryRequest request(CountSum("t"));
-  ASSERT_TRUE(dep_->Query(request).status.ok());
-  auto hit = dep_->Query(request);
+  ASSERT_TRUE(dep_->Query(cubrick::QueryRequest(request)).status.ok());
+  auto hit = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(hit.status.ok());
   EXPECT_EQ(hit.cache_hits, 1);
   // The proxy's Stats embed the same ReliabilityCounters struct the

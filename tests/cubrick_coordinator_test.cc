@@ -207,7 +207,7 @@ TEST_P(StrategySweepTest, BalancedOrConcentratedAsDocumented) {
   const int n = 400;
   int ok = 0;
   for (int i = 0; i < n; ++i) {
-    if (dep.Query(q).status.ok()) ++ok;
+    if (dep.Query(cubrick::QueryRequest(q)).status.ok()) ++ok;
     dep.RunFor(50 * kMillisecond);
   }
   EXPECT_EQ(ok, n);  // every strategy answers correctly

@@ -332,7 +332,7 @@ TEST_F(DeploymentJoinTest, DistributedJoinMatchesReference) {
   q.joins = {Join{1, "campaigns", 0}};
   q.group_by_joins = {0};
   q.aggregations = {Aggregation{0, AggOp::kCount}};
-  auto outcome = dep_->Query(q);
+  auto outcome = dep_->Query(cubrick::QueryRequest(q));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   ASSERT_EQ(outcome.result.num_groups(), 4u);
   // 12 mapped campaigns x 32 days / 4 advertisers = 96 rows each.
@@ -346,10 +346,10 @@ TEST_F(DeploymentJoinTest, JoinAgainstUnknownDimensionTableFails) {
   q.table = "facts";
   q.joins = {Join{1, "ghost", 0}};
   q.aggregations = {Aggregation{0, AggOp::kCount}};
-  EXPECT_EQ(dep_->Query(q).status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(dep_->Query(cubrick::QueryRequest(q)).status.code(), StatusCode::kNotFound);
 
   q.joins = {Join{1, "campaigns", 7}};
-  EXPECT_EQ(dep_->Query(q).status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dep_->Query(cubrick::QueryRequest(q)).status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(DeploymentJoinTest, JoinSurvivesFailover) {
@@ -365,7 +365,7 @@ TEST_F(DeploymentJoinTest, JoinSurvivesFailover) {
   q.joins = {Join{1, "campaigns", 0}};
   q.group_by_joins = {0};
   q.aggregations = {Aggregation{0, AggOp::kCount}};
-  auto outcome = dep_->Query(q, 0);
+  auto outcome = dep_->Query(cubrick::QueryRequest(q, 0));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_DOUBLE_EQ(*outcome.result.Value({0}, 0, AggOp::kCount), 96.0);
 }
@@ -381,7 +381,7 @@ TEST_F(DeploymentJoinTest, DimensionUpdatesVisibleEverywhere) {
   q.group_by_joins = {0};
   q.aggregations = {Aggregation{0, AggOp::kCount}};
   for (cluster::RegionId region = 0; region < 3; ++region) {
-    auto outcome = dep_->Query(q, region);
+    auto outcome = dep_->Query(cubrick::QueryRequest(q, region));
     ASSERT_TRUE(outcome.status.ok());
     EXPECT_DOUBLE_EQ(*outcome.result.Value({0}, 0, AggOp::kCount), 128.0);
   }

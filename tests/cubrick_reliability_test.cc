@@ -51,7 +51,7 @@ TEST(ProxyRetryBudgetTest, CyclesRegionsUntilBudgetExhausted) {
   // spent (the old code stopped at two — one per region).
   dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
   dep.region_context(1).failure_model = sim::TransientFailureModel(1.0);
-  auto outcome = dep.Query(CountQuery("t"));
+  auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
   EXPECT_FALSE(outcome.status.ok());
   EXPECT_EQ(outcome.attempts, 3);
 }
@@ -68,7 +68,7 @@ TEST(ProxyRetryBudgetTest, SingleRegionRetriesInRegion) {
   dep.RunFor(60 * kSecond);
 
   dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
-  auto outcome = dep.Query(CountQuery("t"));
+  auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
   EXPECT_FALSE(outcome.status.ok());
   // The old loop gave a single region exactly one attempt.
   EXPECT_EQ(outcome.attempts, 3);
@@ -96,7 +96,7 @@ TEST(ProxyRetryBudgetTest, TwoTransientFailuresThenHealthySucceeds) {
   int third_attempt_successes = 0;
   int successes = 0;
   for (int i = 0; i < 200; ++i) {
-    auto outcome = dep.Query(CountQuery("t"));
+    auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
     if (outcome.status.ok()) {
       ++successes;
       if (outcome.attempts == 3) ++third_attempt_successes;
@@ -121,7 +121,7 @@ TEST(ProxyCacheTest, OnlySuccessfulAttemptsUpdatePartitionCache) {
   dep.LoadRows("t", workload::GenerateRows(schema, 200, rng));
   dep.RunFor(60 * kSecond);
 
-  ASSERT_TRUE(dep.Query(CountQuery("t")).status.ok());
+  ASSERT_TRUE(dep.Query(cubrick::QueryRequest(CountQuery("t"))).status.ok());
   EXPECT_EQ(dep.proxy().CachedPartitions("t"), 8u);
 
   ASSERT_TRUE(dep.Repartition("t", 16).ok());
@@ -130,12 +130,12 @@ TEST(ProxyCacheTest, OnlySuccessfulAttemptsUpdatePartitionCache) {
   // A failing attempt sees the new count in the catalog but must not
   // leak it into the cache.
   dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
-  auto failed = dep.Query(CountQuery("t"));
+  auto failed = dep.Query(cubrick::QueryRequest(CountQuery("t")));
   EXPECT_FALSE(failed.status.ok());
   EXPECT_EQ(dep.proxy().CachedPartitions("t"), 8u);
 
   dep.region_context(0).failure_model = sim::TransientFailureModel(0.0);
-  auto ok = dep.Query(CountQuery("t"));
+  auto ok = dep.Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(ok.status.ok()) << ok.status;
   EXPECT_EQ(ok.num_partitions, 16u);
   EXPECT_EQ(dep.proxy().CachedPartitions("t"), 16u);
@@ -164,20 +164,20 @@ TEST(ProxyBlacklistTest, StreakWindowsAndExpirySweep) {
   cubrick::Query q = CountQuery("t");
 
   // Two failures: a streak, but below the threshold.
-  dep.Query(q);
-  dep.Query(q);
+  dep.Query(cubrick::QueryRequest(q));
+  dep.Query(cubrick::QueryRequest(q));
   EXPECT_FALSE(dep.proxy().Blacklisted(host));
   EXPECT_EQ(dep.proxy().failure_streaks(), 1u);
 
   // The streak ages out; two more failures must start a fresh window
   // rather than extending the stale one to the threshold.
   dep.RunFor(31 * kSecond);
-  dep.Query(q);
-  dep.Query(q);
+  dep.Query(cubrick::QueryRequest(q));
+  dep.Query(cubrick::QueryRequest(q));
   EXPECT_FALSE(dep.proxy().Blacklisted(host));
 
   // Third failure within the fresh window: blacklisted, streak dropped.
-  dep.Query(q);
+  dep.Query(cubrick::QueryRequest(q));
   EXPECT_TRUE(dep.proxy().Blacklisted(host));
   EXPECT_EQ(dep.proxy().failure_streaks(), 0u);
   EXPECT_EQ(dep.proxy().blacklist_size(), 1u);
@@ -187,7 +187,7 @@ TEST(ProxyBlacklistTest, StreakWindowsAndExpirySweep) {
   dep.region_context(0).failure_model = sim::TransientFailureModel(0.0);
   dep.RunFor(31 * kSecond);
   EXPECT_FALSE(dep.proxy().Blacklisted(host));
-  ASSERT_TRUE(dep.Query(q).status.ok());
+  ASSERT_TRUE(dep.Query(cubrick::QueryRequest(q)).status.ok());
   EXPECT_EQ(dep.proxy().blacklist_size(), 0u);
   EXPECT_EQ(dep.proxy().failure_streaks(), 0u);
 }
@@ -208,7 +208,7 @@ TEST(DeadlineTest, BudgetCapsAttemptsAndLatency) {
   dep.RunFor(60 * kSecond);
 
   dep.region_context(0).failure_model = sim::TransientFailureModel(1.0);
-  auto outcome = dep.Query(CountQuery("t"));
+  auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
   EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded)
       << outcome.status;
   EXPECT_LE(outcome.latency, 100 * kMillisecond);
@@ -217,7 +217,7 @@ TEST(DeadlineTest, BudgetCapsAttemptsAndLatency) {
   // A per-query deadline overrides the proxy default.
   cubrick::Query q = CountQuery("t");
   q.deadline = 40 * kMillisecond;
-  auto tight = dep.Query(q);
+  auto tight = dep.Query(cubrick::QueryRequest(q));
   EXPECT_EQ(tight.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_LE(tight.latency, 40 * kMillisecond);
 
@@ -225,7 +225,7 @@ TEST(DeadlineTest, BudgetCapsAttemptsAndLatency) {
   dep.region_context(0).failure_model = sim::TransientFailureModel(0.0);
   cubrick::Query roomy = CountQuery("t");
   roomy.deadline = 10 * kSecond;
-  auto ok = dep.Query(roomy);
+  auto ok = dep.Query(cubrick::QueryRequest(roomy));
   EXPECT_TRUE(ok.status.ok()) << ok.status;
 }
 
@@ -254,7 +254,7 @@ TEST(SubqueryReliabilityTest, RetryAndHedgingRaiseSuccessAtFanout100) {
     dep.RunFor(2 * kMinute);
     int ok = 0;
     for (int i = 0; i < 120; ++i) {
-      if (dep.Query(CountQuery("wide")).status.ok()) ++ok;
+      if (dep.Query(cubrick::QueryRequest(CountQuery("wide"))).status.ok()) ++ok;
       dep.RunFor(200 * kMillisecond);
     }
     return ok;
@@ -306,7 +306,7 @@ TEST(SubqueryReliabilityTest, HedgedExecutionIsDeterministic) {
     SimDuration total_latency = 0;
     int ok = 0;
     for (int i = 0; i < 40; ++i) {
-      auto outcome = dep.Query(CountQuery("t"));
+      auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
       total_latency += outcome.latency;
       if (outcome.status.ok()) ++ok;
       dep.RunFor(100 * kMillisecond);

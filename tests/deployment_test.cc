@@ -57,7 +57,7 @@ class DeploymentTest : public ::testing::Test {
 TEST_F(DeploymentTest, CreateLoadQueryRoundtrip) {
   Make(SmallOptions());
   auto rows = Setup("t", 5000);
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
                    5000.0);
@@ -73,7 +73,7 @@ TEST_F(DeploymentTest, CreateLoadQueryRoundtrip) {
 TEST_F(DeploymentTest, PartialShardingLimitsFanout) {
   Make(SmallOptions());
   Setup("t", 2000);
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok());
   // 48 servers but only 8 partitions: fan-out capped by partial sharding.
   EXPECT_LE(outcome.fanout, 8);
@@ -85,7 +85,7 @@ TEST_F(DeploymentTest, FullShardingSpansRegion) {
   options.sharding = ShardingMode::kFull;
   Make(options);
   Setup("t", 5000);
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok());
   EXPECT_EQ(outcome.num_partitions, 16u);  // all 16 servers of a region
   EXPECT_GT(outcome.fanout, 8);
@@ -100,7 +100,7 @@ TEST_F(DeploymentTest, DuplicateTableRejected) {
 
 TEST_F(DeploymentTest, QueryUnknownTableFails) {
   Make(SmallOptions());
-  auto outcome = dep_->Query(CountQuery("ghost"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("ghost")));
   EXPECT_FALSE(outcome.status.ok());
 }
 
@@ -110,7 +110,7 @@ TEST_F(DeploymentTest, GroupByMatchesReference) {
   cubrick::Query q = CountQuery("t");
   q.group_by = {1};
   q.filters = {cubrick::FilterRange{0, 10, 40}};
-  auto outcome = dep_->Query(q);
+  auto outcome = dep_->Query(cubrick::QueryRequest(q));
   ASSERT_TRUE(outcome.status.ok());
   std::map<uint32_t, double> expected;
   for (const auto& r : rows) {
@@ -145,7 +145,7 @@ TEST_F(DeploymentTest, FailoverRecoversDataCrossRegion) {
   EXPECT_EQ(dep_->sm(0).stats().failovers, 1);
 
   // Region 0 queries answer with the full data again.
-  auto outcome = dep_->Query(CountQuery("t"), /*preferred_region=*/0);
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t"), /*preferred_region=*/0));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
                    4000.0);
@@ -160,7 +160,7 @@ TEST_F(DeploymentTest, QueriesRetryCrossRegionDuringFailover) {
   dep_->cluster().SetHealth(victim, cluster::ServerHealth::kDown);
   // Immediately (before failover finishes), a query preferring region 0
   // must transparently retry on another region and still succeed.
-  auto outcome = dep_->Query(CountQuery("t"), /*preferred_region=*/0);
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t"), /*preferred_region=*/0));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_GT(outcome.attempts, 1);
   EXPECT_NE(outcome.region, 0);
@@ -177,7 +177,7 @@ TEST_F(DeploymentTest, RegionDrainRoutesElsewhere) {
   Setup("t", 1000);
   // Disaster-preparedness exercise: take all of region 0 offline.
   dep_->failure_injector()->DrainRegion(0, 1 * kHour);
-  auto outcome = dep_->Query(CountQuery("t"), /*preferred_region=*/0);
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t"), /*preferred_region=*/0));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_NE(outcome.region, 0);
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
@@ -196,7 +196,7 @@ TEST_F(DeploymentTest, DrainMigratesShardsAndDataSurvives) {
   EXPECT_TRUE(dep_->sm(0).ShardsOnServer(victim).empty());
   EXPECT_GT(dep_->sm(0).stats().drain_migrations, 0);
   // Query still returns every row from region 0.
-  auto outcome = dep_->Query(CountQuery("t"), /*preferred_region=*/0);
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t"), /*preferred_region=*/0));
   ASSERT_TRUE(outcome.status.ok());
   EXPECT_EQ(outcome.region, 0);
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
@@ -208,7 +208,7 @@ TEST_F(DeploymentTest, RepartitionPreservesQueryResults) {
   auto rows = Setup("t", 4000);
   cubrick::Query q = CountQuery("t");
   q.filters = {cubrick::FilterRange{0, 0, 31}};
-  auto before = dep_->Query(q);
+  auto before = dep_->Query(cubrick::QueryRequest(q));
   ASSERT_TRUE(before.status.ok());
 
   ASSERT_TRUE(dep_->Repartition("t", 16).ok());
@@ -216,7 +216,7 @@ TEST_F(DeploymentTest, RepartitionPreservesQueryResults) {
   auto info = dep_->catalog().GetTable("t");
   EXPECT_EQ(info->num_partitions, 16u);
 
-  auto after = dep_->Query(q);
+  auto after = dep_->Query(cubrick::QueryRequest(q));
   ASSERT_TRUE(after.status.ok()) << after.status;
   EXPECT_DOUBLE_EQ(*after.result.Value({}, 0, cubrick::AggOp::kCount),
                    *before.result.Value({}, 0, cubrick::AggOp::kCount));
@@ -237,7 +237,7 @@ TEST_F(DeploymentTest, AutomaticRepartitionOnGrowth) {
   auto info = dep_->catalog().GetTable("t");
   EXPECT_GT(info->num_partitions, 8u);
   dep_->RunFor(15 * kSecond);
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok());
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
                    4000.0);
@@ -246,11 +246,11 @@ TEST_F(DeploymentTest, AutomaticRepartitionOnGrowth) {
 TEST_F(DeploymentTest, ProxyCacheTracksRepartition) {
   Make(SmallOptions());
   Setup("t", 1000);
-  dep_->Query(CountQuery("t"));
+  dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   EXPECT_EQ(dep_->proxy().CachedPartitions("t"), 8u);
   ASSERT_TRUE(dep_->Repartition("t", 16).ok());
   dep_->RunFor(15 * kSecond);
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok());
   EXPECT_EQ(dep_->proxy().CachedPartitions("t"), 16u);
 }
@@ -261,7 +261,8 @@ TEST_F(DeploymentTest, SqlQueriesEndToEnd) {
   // Schema from MakeSchema(2, 64, 8, 1): dim0, dim1; metric0.
   auto outcome = dep_->QuerySql(
       "SELECT dim1, SUM(metric0), COUNT(*) FROM events "
-      "WHERE dim0 BETWEEN 0 AND 31 GROUP BY dim1");
+      "WHERE dim0 BETWEEN 0 AND 31 GROUP BY dim1",
+      cubrick::QueryRequest{});
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   std::map<uint32_t, double> expected;
   for (const auto& r : rows) {
@@ -277,20 +278,22 @@ TEST_F(DeploymentTest, SqlQueriesEndToEnd) {
 TEST_F(DeploymentTest, SqlErrorsSurfaceCleanly) {
   Make(SmallOptions());
   Setup("events", 10);
-  EXPECT_EQ(dep_->QuerySql("SELECT SUM(metric0) FROM ghost").status.code(),
+  EXPECT_EQ(dep_->QuerySql("SELECT SUM(metric0) FROM ghost", cubrick::QueryRequest{})
+          .status.code(),
             StatusCode::kNotFound);
-  EXPECT_EQ(dep_->QuerySql("garbage query").status.code(),
+  EXPECT_EQ(dep_->QuerySql("garbage query", cubrick::QueryRequest{}).status.code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      dep_->QuerySql("SELECT SUM(nope) FROM events").status.code(),
+      dep_->QuerySql("SELECT SUM(nope) FROM events", cubrick::QueryRequest{})
+          .status.code(),
       StatusCode::kInvalidArgument);
 }
 
 TEST_F(DeploymentTest, ProxyTracesQueries) {
   Make(SmallOptions());
   Setup("t", 100);
-  dep_->Query(CountQuery("t"));
-  dep_->QuerySql("SELECT COUNT(*) FROM t");
+  dep_->Query(cubrick::QueryRequest(CountQuery("t")));
+  dep_->QuerySql("SELECT COUNT(*) FROM t", cubrick::QueryRequest{});
   auto traces = dep_->proxy().RecentTraces();
   ASSERT_EQ(traces.size(), 2u);
   EXPECT_EQ(traces[0].table, "t");
@@ -304,7 +307,7 @@ TEST_F(DeploymentTest, DropTableRemovesEverything) {
   Setup("t", 500);
   ASSERT_TRUE(dep_->DropTable("t").ok());
   EXPECT_FALSE(dep_->catalog().HasTable("t"));
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   EXPECT_FALSE(outcome.status.ok());
   EXPECT_EQ(dep_->DropTable("t").code(), StatusCode::kNotFound);
 }
@@ -318,7 +321,7 @@ TEST_F(DeploymentTest, TransientFailuresDegradeSingleAttemptSuccess) {
   int failures = 0;
   const int n = 400;
   for (int i = 0; i < n; ++i) {
-    auto outcome = dep_->Query(CountQuery("t"));
+    auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
     if (!outcome.status.ok()) ++failures;
     dep_->RunFor(500 * kMillisecond);
   }
@@ -336,7 +339,7 @@ TEST_F(DeploymentTest, CrossRegionRetriesMaskTransientFailures) {
   int failures = 0;
   const int n = 400;
   for (int i = 0; i < n; ++i) {
-    auto outcome = dep_->Query(CountQuery("t"));
+    auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
     if (!outcome.status.ok()) ++failures;
     dep_->RunFor(500 * kMillisecond);
   }
@@ -363,13 +366,13 @@ TEST_F(DeploymentTest, AdmissionControlRejectsOverLimit) {
   Setup("t", 100);
   int rejected = 0;
   for (int i = 0; i < 20; ++i) {
-    auto outcome = dep_->Query(CountQuery("t"));
+    auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
     if (outcome.status.code() == StatusCode::kResourceExhausted) ++rejected;
   }
   EXPECT_EQ(rejected, 15);
   // After a second, capacity is back.
   dep_->RunFor(2 * kSecond);
-  EXPECT_TRUE(dep_->Query(CountQuery("t")).status.ok());
+  EXPECT_TRUE(dep_->Query(cubrick::QueryRequest(CountQuery("t"))).status.ok());
 }
 
 TEST_F(DeploymentTest, SqlJoinEndToEnd) {
@@ -387,7 +390,8 @@ TEST_F(DeploymentTest, SqlJoinEndToEnd) {
   auto outcome = dep_->QuerySql(
       "SELECT dim1_groups.bucket, COUNT(*) FROM t "
       "JOIN dim1_groups ON dim1 GROUP BY dim1_groups.bucket "
-      "ORDER BY COUNT(*) DESC");
+      "ORDER BY COUNT(*) DESC",
+      cubrick::QueryRequest{});
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_EQ(outcome.result.num_groups(), 4u);
   std::map<uint32_t, double> expected;
@@ -427,7 +431,7 @@ TEST_F(DeploymentTest, WriteBehindHealsSkippedRegion) {
   for (cluster::RegionId r = 0; r < 3; ++r) {
     EXPECT_EQ(dep_->PendingWriteRows(r, "t"), 0u) << r;
   }
-  auto outcome = dep_->Query(CountQuery("t"), 1);
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t"), 1));
   ASSERT_TRUE(outcome.status.ok());
   EXPECT_EQ(outcome.region, 1);
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
@@ -456,7 +460,7 @@ TEST_F(DeploymentTest, RepartitionRefusedWithoutCompleteCopy) {
 TEST_F(DeploymentTest, MetricsExportCoversSubsystems) {
   Make(SmallOptions());
   Setup("t", 500);
-  dep_->Query(CountQuery("t"));
+  dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   std::string text = ExportMetricsText(*dep_);
   for (const char* metric : {
            "scalewall_fleet_servers{state=\"healthy\"} 48",
@@ -481,7 +485,7 @@ TEST_F(DeploymentTest, ClusterResizeAddServers) {
   // New servers are live members: queries keep working and the balancer
   // may use them.
   dep_->RunFor(1 * kHour);
-  auto outcome = dep_->Query(CountQuery("t"));
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok());
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
                    2000.0);
@@ -504,7 +508,7 @@ TEST_F(DeploymentTest, ClusterResizeDecommission) {
   ASSERT_NE(assignment, nullptr);
   ASSERT_EQ(assignment->replicas.size(), 1u);
   EXPECT_NE(assignment->replicas[0].server, victim);
-  auto outcome = dep_->Query(CountQuery("t"), 0);
+  auto outcome = dep_->Query(cubrick::QueryRequest(CountQuery("t"), 0));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, cubrick::AggOp::kCount),
                    2000.0);
@@ -521,7 +525,7 @@ TEST_F(DeploymentTest, DeterministicAcrossIdenticalRuns) {
     Rng rng(1);
     dep.LoadRows("t", workload::GenerateRows(schema, 500, rng));
     dep.RunFor(30 * kSecond);
-    auto outcome = dep.Query(CountQuery("t"));
+    auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
     return std::make_pair(outcome.latency, outcome.fanout);
   };
   EXPECT_EQ(run(77), run(77));

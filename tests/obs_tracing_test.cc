@@ -77,7 +77,7 @@ TEST(QueryTracingTest, SingleQueryProducesFullDepthSpanTree) {
   ASSERT_TRUE(dep.LoadRows("t", workload::GenerateRows(schema, 4000, rng)).ok());
   dep.RunFor(15 * kSecond);
 
-  auto outcome = dep.Query(CountQuery("t"));
+  auto outcome = dep.Query(cubrick::QueryRequest(CountQuery("t")));
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
 
   obs::TraceSink& sink = dep.trace_sink();
@@ -140,7 +140,7 @@ TEST(QueryTracingTest, RetryAndHedgeSpansHaveCorrectParentage) {
   dep.RunFor(60 * kSecond);
 
   for (int i = 0; i < 80; ++i) {
-    dep.Query(CountQuery("t"));
+    dep.Query(cubrick::QueryRequest(CountQuery("t")));
     dep.RunFor(200 * kMillisecond);
   }
   // The reliability layer did fire (fan-out 16 at p=0.01 per host).
@@ -187,7 +187,7 @@ TEST(QueryTracingTest, ExportsAreByteIdenticalAcrossSameSeedRuns) {
         dep.LoadRows("t", workload::GenerateRows(schema, 3000, rng)).ok());
     dep.RunFor(15 * kSecond);
     for (int i = 0; i < 5; ++i) {
-      dep.Query(CountQuery("t"));
+      dep.Query(cubrick::QueryRequest(CountQuery("t")));
       dep.RunFor(100 * kMillisecond);
     }
     std::string all;
@@ -210,7 +210,7 @@ TEST(QueryTracingTest, RecentTracesReturnsNewestFirstCapped) {
   Rng rng(5);
   ASSERT_TRUE(dep.LoadRows("t", workload::GenerateRows(schema, 500, rng)).ok());
   dep.RunFor(15 * kSecond);
-  for (int i = 0; i < 4; ++i) dep.Query(CountQuery("t"));
+  for (int i = 0; i < 4; ++i) dep.Query(cubrick::QueryRequest(CountQuery("t")));
 
   auto all = dep.proxy().RecentTraces();
   ASSERT_EQ(all.size(), 4u);
@@ -239,7 +239,7 @@ TEST(QueryTracingTest, MetricsExportCoversAllLayersAndIsStable) {
     EXPECT_TRUE(
         dep.LoadRows("t", workload::GenerateRows(schema, 2000, rng)).ok());
     dep.RunFor(15 * kSecond);
-    dep.Query(CountQuery("t"));
+    dep.Query(cubrick::QueryRequest(CountQuery("t")));
     return ExportMetricsText(dep);
   };
   std::string text = run();
@@ -278,7 +278,7 @@ TEST(QueryTracingTest, ExecPoolCountersExportedWhenPoolPresent) {
   Rng rng(7);
   ASSERT_TRUE(dep.LoadRows("t", workload::GenerateRows(schema, 4000, rng)).ok());
   dep.RunFor(15 * kSecond);
-  ASSERT_TRUE(dep.Query(CountQuery("t")).status.ok());
+  ASSERT_TRUE(dep.Query(cubrick::QueryRequest(CountQuery("t"))).status.ok());
 
   std::string text = ExportMetricsText(dep);
   EXPECT_NE(text.find("scalewall_exec_pool_tasks_submitted_total{server=\""),
