@@ -7,8 +7,10 @@
 
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "cluster/cluster.h"
@@ -87,6 +89,26 @@ void BM_PartitionGroupBy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_PartitionGroupBy);
+
+// The row-at-a-time oracle on the identical workload: the ratio of this
+// to BM_PartitionGroupBy is the vectorization speedup that
+// scripts/check_perf_regression.py gates on.
+void BM_PartitionGroupByInterpreted(benchmark::State& state) {
+  cubrick::TablePartition part = MakePartition(100000);
+  exec::ExecOptions opts;
+  opts.scan_path = exec::ScanPath::kInterpreted;
+  cubrick::Query q;
+  q.table = "bench";
+  q.group_by = {1};
+  q.aggregations = {cubrick::Aggregation{0, cubrick::AggOp::kSum}};
+  for (auto _ : state) {
+    cubrick::QueryResult result(1);
+    part.Execute(q, result, nullptr, &opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PartitionGroupByInterpreted);
 
 void BM_PartitionGroupByParallel(benchmark::State& state) {
   cubrick::TablePartition part = MakePartition(100000);
@@ -326,6 +348,15 @@ void RunThreadScalingSeries() {
   };
 
   auto [serial_ms, serial] = time_execute(nullptr);
+  // Cross-check the vectorized kernels against the interpreted oracle on
+  // this workload before reporting scaling numbers built on top of them.
+  exec::ExecOptions interp_opts;
+  interp_opts.scan_path = exec::ScanPath::kInterpreted;
+  auto [interp_ms, interp] = time_execute(&interp_opts);
+  std::printf("vectorized == interpreted: %s (%.2fms vs %.2fms, %.2fx)\n",
+              SameFinalizedRows(serial, interp, q) ? "PASS" : "FAIL",
+              serial_ms, interp_ms,
+              serial_ms > 0 ? interp_ms / serial_ms : 0.0);
   std::printf("%-8s %10s %9s %s\n", "workers", "best_ms", "speedup",
               "result");
   std::printf("%-8s %10.2f %9s %s\n", "serial", serial_ms, "1.00x",
@@ -421,8 +452,24 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) return DumpQueryTrace(trace_path);
 
   RunThreadScalingSeries();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Emit machine-readable results by default so tooling (the perf
+  // regression gate) can parse them; explicit --benchmark_out wins.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  char default_out[] = "--benchmark_out=BENCH_micro_engine.json";
+  char default_fmt[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(default_out);
+    args.push_back(default_fmt);
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -25,6 +25,9 @@
 
 namespace scalewall::cubrick {
 
+struct VecScanPlan;
+struct VecExecState;
+
 using BrickId = uint64_t;
 
 // Computes the brick id for a row's dimension values under `schema`
@@ -93,6 +96,25 @@ class Brick {
   void ScanRange(const TableSchema& schema, const Query& query,
                  QueryResult& result, std::atomic<int64_t>* decompressions,
                  const JoinContext* join, size_t row_begin, size_t row_end);
+
+  // Vectorized morsel scan (defined in vec_scan.cc): evaluates the
+  // compiled `plan` over rows [row_begin, row_end) batch-at-a-time,
+  // accumulating into `state`. Selection vectors stay in ascending row
+  // order, so each group's aggregation state receives exactly the Add()
+  // sequence ScanRange would issue — results are byte-identical. Same
+  // concurrency contract as ScanRange.
+  void ScanRangeVec(const VecScanPlan& plan, VecExecState& state,
+                    std::atomic<int64_t>* decompressions, size_t row_begin,
+                    size_t row_end);
+
+  // RLE prefilter (defined in vec_scan.cc): for a *compressed* brick,
+  // walks the run-length encoded dimension columns that carry filters,
+  // evaluating each predicate once per run, and returns true when no row
+  // can pass — the caller may then skip the brick without decompressing
+  // it. Returns false for uncompressed/SSD bricks, filterless plans, and
+  // on any decode problem (never-skip is always safe). Takes the
+  // decompression latch, so it is safe against concurrent state changes.
+  bool CanSkipCompressed(const VecScanPlan& plan);
 
   // --- adaptive compression ---
 

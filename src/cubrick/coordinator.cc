@@ -39,7 +39,8 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
                                       obs::TraceContext trace,
                                       SimTime dispatch_time,
                                       cache::CachePolicy cache_policy,
-                                      const std::string* fingerprint) {
+                                      const std::string* fingerprint,
+                                      exec::ScanPath scan_path) {
   // Sim-time anchor for every child span: the engine runs at one frozen
   // instant, so span boundaries are computed from the same arithmetic
   // that produces the attempt's latency.
@@ -235,7 +236,8 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     sspan.Annotate("server", std::to_string(exec_server));
     auto partial = server->ExecutePartial(query, sub.partition,
                                           /*hop_budget=*/-1, &cancel, sspan,
-                                          t0, cache_policy, fingerprint);
+                                          t0, cache_policy, fingerprint,
+                                          scan_path);
     if (!partial.ok()) {
       outcome.status = partial.status();
       outcome.failed_server = exec_server;

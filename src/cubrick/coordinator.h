@@ -146,13 +146,15 @@ struct DistributedOutcome : ReliabilityCounters {
 // current time).
 // `cache_policy` and `fingerprint` (a precomputed
 // CanonicalQueryFingerprint, optional) are forwarded to every server's
-// partial-result cache lookup.
+// partial-result cache lookup; `scan_path` selects the brick-scan
+// implementation on every server (vectorized by default).
 DistributedOutcome ExecuteDistributed(
     RegionContext& ctx, const Query& query, cluster::ServerId coordinator,
     Rng& rng, SimDuration deadline_budget = 0, obs::TraceContext trace = {},
     SimTime dispatch_time = -1,
     cache::CachePolicy cache_policy = cache::CachePolicy::kDefault,
-    const std::string* fingerprint = nullptr);
+    const std::string* fingerprint = nullptr,
+    exec::ScanPath scan_path = exec::ScanPath::kVectorized);
 
 // Resolves every partition of `table` in ctx's region and collects the
 // current freshness epochs without scanning anything — the cheap

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cubrick/vec_scan.h"
 #include "exec/morsel.h"
 
 namespace scalewall::cubrick {
@@ -160,7 +161,46 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
       exec != nullptr ? exec->morsel_metrics : nullptr;
   const bool parallel = exec != nullptr && exec->pool != nullptr &&
                         exec->num_workers > 1 && !survivors.empty();
+  const bool vectorized =
+      exec == nullptr || exec->scan_path == exec::ScanPath::kVectorized;
   if (!parallel) {
+    if (vectorized) {
+      // Vectorized serial scan: ONE state accumulates across all bricks
+      // (flushed once at the end), so every group's aggregation state
+      // receives exactly the Add() sequence the interpreted serial loop
+      // would issue — byte-identical results, including float effects.
+      const VecScanPlan plan = BuildVecScanPlan(schema_, query, join);
+      VecExecState vstate(plan);
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          if (metrics != nullptr) {
+            metrics->skipped += static_cast<int64_t>(survivors.size() - i);
+          }
+          vstate.Flush(result);  // completed bricks, like the interpreter
+          return Status::Cancelled("partition scan cancelled: " + table_ +
+                                   "/" + std::to_string(partition_));
+        }
+        Brick* brick = survivors[i];
+        obs::TraceContext bspan =
+            trace.Child("brick " + std::to_string(brick->id()), trace_time);
+        bspan.Annotate("rows", std::to_string(brick->num_rows()));
+        bspan.End(trace_time);
+        brick->Touch();
+        ++result.bricks_scanned;
+        if (brick->CanSkipCompressed(plan)) {
+          // RLE prefilter: the compressed runs prove no row matches.
+          // Skip the brick *without decompressing it*; scan accounting
+          // (hotness, bricks/rows scanned) stays identical to a scan.
+          result.rows_scanned += static_cast<int64_t>(brick->num_rows());
+        } else {
+          brick->ScanRangeVec(plan, vstate, &decompressions_, 0,
+                              brick->num_rows());
+        }
+        if (metrics != nullptr) ++metrics->executed;
+      }
+      vstate.Flush(result);
+      return Status::Ok();
+    }
     for (size_t i = 0; i < survivors.size(); ++i) {
       if (cancel != nullptr && cancel->cancelled()) {
         if (metrics != nullptr) {
@@ -185,6 +225,58 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
   // merge order below are functions of the data and the query only, so
   // the combined result is identical for any worker count and any
   // scheduling — see DESIGN.md § Execution subsystem.
+  //
+  // One hotness bump per brick per execution, exactly like the serial
+  // path — never one per morsel.
+  for (Brick* brick : survivors) brick->Touch();
+  if (vectorized) {
+    const VecScanPlan plan = BuildVecScanPlan(schema_, query, join);
+    // RLE prefilter before the morsel split: bricks whose compressed
+    // runs prove no row matches are accounted as scanned but never
+    // decompressed and spawn no morsels. The decomposition is still a
+    // pure function of data + query, so determinism is preserved.
+    std::vector<Brick*> scan_bricks;
+    scan_bricks.reserve(survivors.size());
+    for (Brick* brick : survivors) {
+      if (brick->CanSkipCompressed(plan)) {
+        result.rows_scanned += static_cast<int64_t>(brick->num_rows());
+      } else {
+        scan_bricks.push_back(brick);
+      }
+    }
+    std::vector<size_t> brick_rows(scan_bricks.size());
+    for (size_t i = 0; i < scan_bricks.size(); ++i) {
+      brick_rows[i] = scan_bricks[i]->num_rows();
+    }
+    const std::vector<exec::MorselRange> morsels =
+        exec::SplitMorsels(brick_rows, exec->morsel_rows);
+    std::vector<QueryResult> partials(
+        morsels.size(), QueryResult(query.aggregations.size()));
+    SCALEWALL_RETURN_IF_ERROR(exec::ForEachMorsel(
+        exec->pool, exec->num_workers, morsels.size(),
+        [&](size_t i) {
+          const exec::MorselRange& m = morsels[i];
+          obs::TraceContext mspan =
+              trace.Child("morsel " + std::to_string(i), trace_time);
+          mspan.Annotate("brick", std::to_string(scan_bricks[m.item]->id()));
+          mspan.Annotate("rows", std::to_string(m.end - m.begin));
+          mspan.End(trace_time);
+          // Per-morsel state, flushed into this morsel's partial: the
+          // partial holds exactly what the interpreted ScanRange would
+          // have accumulated, and the fixed-order merge below does the
+          // rest.
+          VecExecState vstate(plan);
+          scan_bricks[m.item]->ScanRangeVec(plan, vstate, &decompressions_,
+                                            m.begin, m.end);
+          vstate.Flush(partials[i]);
+        },
+        cancel, metrics));
+    for (const QueryResult& partial : partials) {
+      result.Merge(partial);
+    }
+    result.bricks_scanned += static_cast<int64_t>(survivors.size());
+    return Status::Ok();
+  }
   std::vector<size_t> brick_rows(survivors.size());
   for (size_t i = 0; i < survivors.size(); ++i) {
     brick_rows[i] = survivors[i]->num_rows();
@@ -193,9 +285,6 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
       exec::SplitMorsels(brick_rows, exec->morsel_rows);
   std::vector<QueryResult> partials(morsels.size(),
                                     QueryResult(query.aggregations.size()));
-  // One hotness bump per brick per execution, exactly like the serial
-  // path — never one per morsel.
-  for (Brick* brick : survivors) brick->Touch();
   SCALEWALL_RETURN_IF_ERROR(exec::ForEachMorsel(
       exec->pool, exec->num_workers, morsels.size(),
       [&](size_t i) {

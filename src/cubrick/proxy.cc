@@ -619,7 +619,8 @@ QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
         ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining, aspan,
                            attempt_start + attempt_latency,
                            request.cache_policy,
-                           fingerprint.empty() ? nullptr : &fingerprint);
+                           fingerprint.empty() ? nullptr : &fingerprint,
+                           request.scan_path);
     outcome.latency += attempt_latency + attempt.latency;
     aspan.Annotate("status",
                    std::string(StatusCodeName(attempt.status.code())));

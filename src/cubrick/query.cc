@@ -1,6 +1,7 @@
 #include "cubrick/query.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace scalewall::cubrick {
 
@@ -106,14 +107,21 @@ std::vector<ResultRow> MaterializeRows(const QueryResult& result,
   if (query.order_by >= 0) {
     size_t agg = static_cast<size_t>(query.order_by);
     bool desc = query.descending;
-    std::stable_sort(rows.begin(), rows.end(),
-                     [agg, desc](const ResultRow& a, const ResultRow& b) {
-                       if (a.values[agg] != b.values[agg]) {
-                         return desc ? a.values[agg] > b.values[agg]
-                                     : a.values[agg] < b.values[agg];
-                       }
-                       return a.key < b.key;
-                     });
+    std::stable_sort(
+        rows.begin(), rows.end(),
+        [agg, desc](const ResultRow& a, const ResultRow& b) {
+          // NaN finalized values (e.g. a NaN metric summed) would make
+          // the raw comparisons non-strict-weak — UB in
+          // stable_sort. Order NaN after every number deterministically,
+          // ties (including NaN vs NaN) by group key.
+          const double av = a.values[agg];
+          const double bv = b.values[agg];
+          const bool an = std::isnan(av);
+          const bool bn = std::isnan(bv);
+          if (an != bn) return bn;  // the non-NaN row sorts first
+          if (!an && av != bv) return desc ? av > bv : av < bv;
+          return a.key < b.key;
+        });
   }
   if (query.limit > 0 && rows.size() > query.limit) {
     rows.resize(query.limit);
@@ -124,6 +132,11 @@ std::vector<ResultRow> MaterializeRows(const QueryResult& result,
 std::string CanonicalQueryFingerprint(const Query& query) {
   std::string fp;
   fp.reserve(64 + query.table.size());
+  // Length-prefix the (only free-form) table name so no table name can
+  // collide with a different query's encoding — e.g. table "t|f:1,2,3"
+  // versus a filtered query on table "t".
+  fp += std::to_string(query.table.size());
+  fp += ':';
   fp += query.table;
   for (const FilterRange& f : query.filters) {
     fp += "|f:" + std::to_string(f.dimension) + "," + std::to_string(f.lo) +
@@ -136,8 +149,11 @@ std::string CanonicalQueryFingerprint(const Query& query) {
   fp += "|g:";
   for (int d : query.group_by) fp += std::to_string(d) + ",";
   for (const Join& j : query.joins) {
-    fp += "|j:" + std::to_string(j.fact_dimension) + "," + j.dimension_table +
-          "," + std::to_string(j.attribute);
+    // Dimension-table names are free-form too: length-prefixed like the
+    // fact table.
+    fp += "|j:" + std::to_string(j.fact_dimension) + "," +
+          std::to_string(j.dimension_table.size()) + ":" +
+          j.dimension_table + "," + std::to_string(j.attribute);
   }
   fp += "|gj:";
   for (int j : query.group_by_joins) fp += std::to_string(j) + ",";
@@ -147,7 +163,10 @@ std::string CanonicalQueryFingerprint(const Query& query) {
   }
   fp += "|a:";
   for (const Aggregation& a : query.aggregations) {
-    fp += std::to_string(a.metric) + std::string(AggOpName(a.op)) + ",";
+    // COUNT ignores its metric index, so COUNT(m0) and COUNT(m1) compute
+    // the same thing — normalize to 0 so they share a cache entry.
+    const int metric = a.op == AggOp::kCount ? 0 : a.metric;
+    fp += std::to_string(metric) + std::string(AggOpName(a.op)) + ",";
   }
   fp += "|ob:" + std::to_string(query.order_by) +
         (query.descending ? "d" : "a") + std::to_string(query.limit);

@@ -122,9 +122,12 @@ struct AggState {
       case AggOp::kCount:
         return static_cast<double>(count);
       case AggOp::kMin:
-        return min;
+        // A zero-count state never saw a value; its min/max are still
+        // the ±infinity identities, which must not leak into results
+        // (finalize to 0.0, the same convention kAvg uses).
+        return count > 0 ? min : 0.0;
       case AggOp::kMax:
-        return max;
+        return count > 0 ? max : 0.0;
       case AggOp::kAvg:
         return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
@@ -148,6 +151,18 @@ class QueryResult {
     auto& states = groups_[key];
     if (states.size() < num_aggregations_) states.resize(num_aggregations_);
     states[agg].Add(value);
+  }
+
+  // Folds a fully accumulated state into aggregation `agg` under `key`.
+  // Merging into the freshly created default state reproduces `state`
+  // bit-for-bit (sums seeded at +0.0 never produce -0.0, min/max copy
+  // verbatim), which is what lets the vectorized scan accumulate into
+  // flat slot arrays and still emit byte-identical results.
+  void AccumulateState(const GroupKey& key, size_t agg,
+                       const AggState& state) {
+    auto& states = groups_[key];
+    if (states.size() < num_aggregations_) states.resize(num_aggregations_);
+    states[agg].Merge(state);
   }
 
   // Merges another partial result (same query shape).

@@ -58,6 +58,17 @@ class ReplicatedTable {
     return columns_[attribute][key];
   }
 
+  // Raw attribute column (key_cardinality entries, kNoAttribute where
+  // unset), or nullptr when `attribute` does not exist — the vectorized
+  // probe kernels treat a null column as "no key matches", mirroring
+  // Attribute()'s kNoAttribute for bad attribute indices.
+  const uint32_t* column_data(int attribute) const {
+    if (attribute < 0 || attribute >= static_cast<int>(columns_.size())) {
+      return nullptr;
+    }
+    return columns_[attribute].data();
+  }
+
   size_t num_entries() const { return num_entries_; }
   size_t MemoryFootprint() const {
     return columns_.size() * key_cardinality_ * sizeof(uint32_t);

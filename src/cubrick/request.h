@@ -18,6 +18,7 @@
 #include "cluster/cluster.h"
 #include "common/time.h"
 #include "cubrick/query.h"
+#include "exec/scan_path.h"
 
 namespace scalewall::cubrick {
 
@@ -41,6 +42,11 @@ struct QueryRequest {
   // Scheduling tier: under backend overload best-effort sheds first,
   // then batch; interactive is shed last (scalewall::admit).
   admit::Priority priority = admit::Priority::kInteractive;
+  // Brick-scan implementation for this submission. kInterpreted runs the
+  // row-at-a-time oracle; results are byte-identical to the vectorized
+  // default, so this only matters for differential testing (pair it with
+  // CachePolicy::kBypass so the oracle actually scans).
+  exec::ScanPath scan_path = exec::ScanPath::kVectorized;
 
   QueryRequest() = default;
   explicit QueryRequest(Query q, cluster::RegionId region = 0)

@@ -1,5 +1,6 @@
 #include "cubrick/schema.h"
 
+#include <limits>
 #include <unordered_set>
 
 namespace scalewall::cubrick {
@@ -37,6 +38,20 @@ Status TableSchema::Validate() const {
     if (!names.insert(m.name).second) {
       return Status::InvalidArgument("duplicate column name " + m.name);
     }
+  }
+  // Brick ids are the mixed-radix product of per-dimension bucket
+  // counts; a wide schema can overflow uint64, making distinct bucket
+  // combinations alias the same brick id (silent data mixing). Reject
+  // such schemas at creation instead.
+  uint64_t brick_space = 1;
+  for (const Dimension& d : dimensions) {
+    const uint64_t buckets = d.num_buckets();
+    if (brick_space > std::numeric_limits<uint64_t>::max() / buckets) {
+      return Status::InvalidArgument(
+          "brick id space overflows uint64 (product of per-dimension "
+          "bucket counts); use coarser range_size or fewer dimensions");
+    }
+    brick_space *= buckets;
   }
   return Status::Ok();
 }

@@ -413,7 +413,7 @@ Result<PartialResult> CubrickServer::ExecutePartial(
     const Query& query, uint32_t partition, int hop_budget,
     const exec::CancelToken* cancel, obs::TraceContext trace,
     SimTime trace_time, cache::CachePolicy cache_policy,
-    const std::string* fingerprint) {
+    const std::string* fingerprint, exec::ScanPath scan_path) {
   if (hop_budget < 0) hop_budget = options_.max_forward_hops;
   if (trace.active() && trace_time < 0) trace_time = simulation_->now();
   auto shard = catalog_->ShardForPartition(query.table, partition);
@@ -434,7 +434,7 @@ Result<PartialResult> CubrickServer::ExecutePartial(
       auto forwarded = target->ExecutePartial(query, partition,
                                               hop_budget - 1, cancel, fspan,
                                               trace_time, cache_policy,
-                                              fingerprint);
+                                              fingerprint, scan_path);
       fspan.End(trace_time);
       if (!forwarded.ok()) return forwarded;
       forwarded->forward_hops += 1;
@@ -545,6 +545,7 @@ Result<PartialResult> CubrickServer::ExecutePartial(
   exec_options.trace = pspan;
   exec_options.trace_time = trace_time;
   exec_options.morsel_metrics = &morsel_metrics;
+  exec_options.scan_path = scan_path;
   const auto scan_start = std::chrono::steady_clock::now();
   Status scan_status =
       it->second.Execute(query, partial.result,
@@ -580,7 +581,8 @@ Result<PartialResult> CubrickServer::ExecutePartial(
 Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
     const Query& query, const std::vector<uint32_t>& partitions,
     const exec::CancelToken* cancel, obs::TraceContext trace,
-    SimTime trace_time, cache::CachePolicy cache_policy) {
+    SimTime trace_time, cache::CachePolicy cache_policy,
+    exec::ScanPath scan_path) {
   if (trace.active() && trace_time < 0) trace_time = simulation_->now();
   // Canonicalize the fingerprint once for the whole fan-out; each
   // per-partition task keys the cache with it directly.
@@ -595,7 +597,7 @@ Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
   if (exec_pool_ == nullptr || partitions.size() <= 1) {
     for (size_t i = 0; i < partitions.size(); ++i) {
       auto partial = ExecutePartial(query, partitions[i], -1, cancel, trace,
-                                    trace_time, cache_policy, fpp);
+                                    trace_time, cache_policy, fpp, scan_path);
       if (!partial.ok()) return partial.status();
       results[i] = std::move(*partial);
     }
@@ -605,9 +607,9 @@ Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
   exec::TaskGroup group(exec_pool_.get());
   for (size_t i = 0; i < partitions.size(); ++i) {
     group.Run([this, &query, &partitions, &results, &statuses, cancel, trace,
-               trace_time, cache_policy, fpp, i] {
+               trace_time, cache_policy, fpp, scan_path, i] {
       auto partial = ExecutePartial(query, partitions[i], -1, cancel, trace,
-                                    trace_time, cache_policy, fpp);
+                                    trace_time, cache_policy, fpp, scan_path);
       if (partial.ok()) {
         results[i] = std::move(*partial);
       } else {

@@ -217,12 +217,16 @@ class CubrickServer : public sm::AppServer {
   // it once. The lookup is cancel-safe: a cancelled token short-circuits
   // to kCancelled before a hit is served, and a scan that raced a
   // cancellation never populates the cache.
+  // `scan_path` selects the brick-scan implementation (vectorized
+  // kernels by default; kInterpreted runs the row-at-a-time oracle —
+  // differential tests pair it with CachePolicy::kBypass).
   Result<PartialResult> ExecutePartial(
       const Query& query, uint32_t partition, int hop_budget = -1,
       const exec::CancelToken* cancel = nullptr,
       obs::TraceContext trace = {}, SimTime trace_time = -1,
       cache::CachePolicy cache_policy = cache::CachePolicy::kDefault,
-      const std::string* fingerprint = nullptr);
+      const std::string* fingerprint = nullptr,
+      exec::ScanPath scan_path = exec::ScanPath::kVectorized);
 
   // Executes partials for several partitions of one query (the shards
   // this host owns), fanning the per-partition scans across the exec
@@ -235,7 +239,8 @@ class CubrickServer : public sm::AppServer {
       const Query& query, const std::vector<uint32_t>& partitions,
       const exec::CancelToken* cancel = nullptr,
       obs::TraceContext trace = {}, SimTime trace_time = -1,
-      cache::CachePolicy cache_policy = cache::CachePolicy::kDefault);
+      cache::CachePolicy cache_policy = cache::CachePolicy::kDefault,
+      exec::ScanPath scan_path = exec::ScanPath::kVectorized);
 
   // Current freshness epoch of one hosted partition, following
   // forwarding like ExecutePartial (0 = owned but never materialized).

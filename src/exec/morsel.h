@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "exec/cancel.h"
+#include "exec/scan_path.h"
 #include "exec/thread_pool.h"
 #include "obs/trace.h"
 
@@ -37,6 +38,9 @@ struct ExecOptions {
   size_t morsel_rows = kDefaultMorselRows;
   ThreadPool* pool = nullptr;
   const CancelToken* cancel = nullptr;
+  // Which scan implementation to run (vectorized kernels by default; the
+  // interpreted path is the byte-identical correctness oracle).
+  ScanPath scan_path = ScanPath::kVectorized;
 
   // Observability (all optional). `trace` is the parent span under which
   // the scan records per-morsel child spans, stamped at `trace_time`

@@ -1,0 +1,101 @@
+// Grouped-aggregation accumulation kernels.
+//
+// Templated over the aggregation-state type (the engine instantiates
+// them with cubrick::AggState) so the *arithmetic* is byte-for-byte the
+// interpreter's Add(); only the loop structure changes: one tight pass
+// per aggregation over the chunk's surviving rows, states addressed by
+// precomputed slot — no per-row map lookups, no per-row dispatch.
+//
+// Every kernel visits rows in selection order (ascending row index), so
+// each group's state receives the same values in the same order as a
+// row-at-a-time scan — the bit-identity contract.
+
+#ifndef SCALEWALL_VEC_AGG_H_
+#define SCALEWALL_VEC_AGG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scalewall::vec {
+
+// states[slots[i] * stride + offset].Add(column[rows[i]]) for each
+// selected row.
+template <typename State>
+inline void AccumulateColumn(State* states, size_t stride, size_t offset,
+                             const uint32_t* slots, const uint32_t* rows,
+                             size_t n, const double* column) {
+  for (size_t i = 0; i < n; ++i) {
+    states[static_cast<size_t>(slots[i]) * stride + offset].Add(
+        column[rows[i]]);
+  }
+}
+
+// COUNT: every selected row contributes the constant 1.0.
+template <typename State>
+inline void AccumulateConst(State* states, size_t stride, size_t offset,
+                            const uint32_t* slots, size_t n, double value) {
+  for (size_t i = 0; i < n; ++i) {
+    states[static_cast<size_t>(slots[i]) * stride + offset].Add(value);
+  }
+}
+
+// Dense variants: no selection, rows [begin, begin + n) with slots
+// aligned to the range (slots[i] is row begin + i's slot).
+template <typename State>
+inline void AccumulateColumnDense(State* states, size_t stride,
+                                  size_t offset, const uint32_t* slots,
+                                  uint32_t begin, size_t n,
+                                  const double* column) {
+  for (size_t i = 0; i < n; ++i) {
+    states[static_cast<size_t>(slots[i]) * stride + offset].Add(
+        column[begin + i]);
+  }
+}
+
+// Fused single-group-column fast path: the group column's value *is* the
+// slot (stride-1 layout), so no slot array is materialized at all.
+template <typename State>
+inline void AccumulateColumnBySlotColumn(State* states, size_t stride,
+                                         size_t offset,
+                                         const uint32_t* slot_col,
+                                         uint32_t begin, size_t n,
+                                         const double* column) {
+  for (size_t i = 0; i < n; ++i) {
+    states[static_cast<size_t>(slot_col[begin + i]) * stride + offset].Add(
+        column[begin + i]);
+  }
+}
+
+template <typename State>
+inline void AccumulateConstBySlotColumn(State* states, size_t stride,
+                                        size_t offset,
+                                        const uint32_t* slot_col,
+                                        uint32_t begin, size_t n,
+                                        double value) {
+  for (size_t i = 0; i < n; ++i) {
+    states[static_cast<size_t>(slot_col[begin + i]) * stride + offset].Add(
+        value);
+  }
+}
+
+// Ungrouped (single global state) variants.
+template <typename State>
+inline void AccumulateColumnGlobal(State& state, const uint32_t* rows,
+                                   size_t n, const double* column) {
+  for (size_t i = 0; i < n; ++i) state.Add(column[rows[i]]);
+}
+
+template <typename State>
+inline void AccumulateColumnGlobalDense(State& state, uint32_t begin,
+                                        size_t n, const double* column) {
+  for (size_t i = 0; i < n; ++i) state.Add(column[begin + i]);
+}
+
+template <typename State>
+inline void AccumulateConstGlobal(State& state, size_t n, double value) {
+  for (size_t i = 0; i < n; ++i) state.Add(value);
+}
+
+}  // namespace scalewall::vec
+
+#endif  // SCALEWALL_VEC_AGG_H_

@@ -1,0 +1,36 @@
+// Selection vectors: the currency of the vectorized scan kernels.
+//
+// A selection vector is a strictly ascending list of row indices that
+// survived every predicate applied so far. Kernels either *initialize* a
+// selection (from a raw column and a predicate, or as the identity over a
+// row range) or *refine* one in place (each refinement compacts the
+// surviving indices to the front). Because every kernel preserves the
+// ascending order, downstream aggregation kernels visit rows in exactly
+// the order a row-at-a-time interpreter would — which is what makes the
+// vectorized engine bit-identical to the interpreted oracle even for
+// non-associative float accumulation.
+
+#ifndef SCALEWALL_VEC_SELVEC_H_
+#define SCALEWALL_VEC_SELVEC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scalewall::vec {
+
+// Row index within one data chunk (brick row ranges are < 2^32).
+using RowIndex = uint32_t;
+
+// Ascending list of surviving row indices.
+using SelVec = std::vector<RowIndex>;
+
+// Initializes `sel` to the identity selection [begin, end).
+inline void SelIota(RowIndex begin, RowIndex end, SelVec& sel) {
+  sel.clear();
+  sel.reserve(end - begin);
+  for (RowIndex i = begin; i < end; ++i) sel.push_back(i);
+}
+
+}  // namespace scalewall::vec
+
+#endif  // SCALEWALL_VEC_SELVEC_H_

@@ -123,6 +123,21 @@ void RunChaos(uint64_t seed, bool caching) {
             << "cached answer diverged from re-execution for " << table;
       }
     }
+    // Half the probes additionally re-run on the interpreted scan oracle
+    // (cache bypassed so it really scans): the vectorized default must
+    // stay byte-identical mid-chaos — across compression states,
+    // repartitions, failovers and joins.
+    if (rng.NextBool(0.5)) {
+      cubrick::QueryRequest oracle = request;
+      oracle.cache_policy = cache::CachePolicy::kBypass;
+      oracle.scan_path = exec::ScanPath::kInterpreted;
+      auto interpreted = dep.Query(cubrick::QueryRequest(oracle));
+      if (interpreted.status.ok()) {
+        EXPECT_TRUE(SameResult(outcome.result, interpreted.result))
+            << "vectorized answer diverged from the interpreted oracle for "
+            << table << (joined ? " (joined)" : "");
+      }
+    }
     const Reference& ref = reference.at(table);
     if (ref.count == 0) {
       EXPECT_EQ(outcome.result.num_groups(), 0u) << table;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -102,6 +103,52 @@ TEST(MetricCodecTest, TruncatedFails) {
   std::vector<double> values{1.0, 2.0, 3.0};
   auto encoded = EncodeMetricColumn(values);
   encoded.resize(encoded.size() / 2);
+  EXPECT_FALSE(DecodeMetricColumn(encoded).ok());
+}
+
+TEST(DimCodecTest, SingleRunRoundtrip) {
+  // One run covering the whole column: the smallest nontrivial RLE shape.
+  std::vector<uint32_t> values(4097, 9);
+  auto encoded = EncodeDimColumn(values);
+  auto decoded = DecodeDimColumn(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+  // And a single-element column (run length 1).
+  decoded = DecodeDimColumn(EncodeDimColumn({7}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (std::vector<uint32_t>{7}));
+}
+
+TEST(DimCodecTest, TruncatedRunPayloadFails) {
+  std::vector<uint32_t> values{1, 1, 2, 2, 2, 3};
+  auto encoded = EncodeDimColumn(values);
+  // Drop the tail so the declared row count can never be satisfied.
+  encoded.resize(encoded.size() - 1);
+  EXPECT_FALSE(DecodeDimColumn(encoded).ok());
+  // An empty buffer is missing even the row-count varint.
+  EXPECT_FALSE(DecodeDimColumn(std::vector<uint8_t>{}).ok());
+}
+
+TEST(MetricCodecTest, NanRoundtripsBitExact) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> values{qnan, 1.0, qnan, -0.0,
+                             std::numeric_limits<double>::infinity()};
+  auto decoded = DecodeMetricColumn(EncodeMetricColumn(values));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Bit compare: EXPECT_DOUBLE_EQ cannot express NaN == NaN, and the
+    // codec must preserve the exact payload (including -0.0's sign).
+    EXPECT_EQ(std::memcmp(&(*decoded)[i], &values[i], sizeof(double)), 0)
+        << i;
+  }
+}
+
+TEST(MetricCodecTest, TruncatedHeaderByteFails) {
+  std::vector<double> values{1.0};
+  auto encoded = EncodeMetricColumn(values);
+  // Keep only the row-count varint: the first value's header is gone.
+  encoded.resize(1);
   EXPECT_FALSE(DecodeMetricColumn(encoded).ok());
 }
 
