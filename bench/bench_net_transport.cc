@@ -1,0 +1,195 @@
+// Transport microbench: what does scalewall::net cost?
+//
+// Three measurements:
+//  1. Sim-backend mediation overhead — the same deployment workload run
+//     with direct in-process calls vs TransportMode::kSim. The results
+//     are byte-identical by construction (that's the test suite's job);
+//     here we report the wall-clock cost of serializing every
+//     coordinator/proxy hop through the wire codecs, plus the frames
+//     and bytes a query actually puts on the (virtual) wire.
+//  2. Epoll loopback RTT — real sockets, one echo round-trip per call,
+//     p50/p99/p99.9 over many calls on a single multiplexed connection.
+//  3. Epoll cluster query latency — an in-process ProxyNode + two
+//     ServerNodes; end-to-end client-query latency over real sockets,
+//     fan-out 2, including scan + merge + materialization.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "core/deployment.h"
+#include "cubrick/sql.h"
+#include "net/epoll_transport.h"
+#include "node/dataset.h"
+#include "node/node.h"
+#include "workload/generators.h"
+
+using namespace scalewall;
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+core::DeploymentOptions Options(core::TransportMode transport) {
+  core::DeploymentOptions options;
+  options.seed = 7;
+  options.topology.regions = 2;
+  options.topology.racks_per_region = 2;
+  options.topology.servers_per_rack = 4;
+  options.max_shards = 5000;
+  options.transport = transport;
+  return options;
+}
+
+// Runs `queries` dashboard-style probes and returns wall-clock micros.
+int64_t RunSimWorkload(core::Deployment& dep, int queries) {
+  const node::DatasetOptions dataset;
+  dep.CreateTable(node::DatasetTable(), node::DatasetSchema());
+  dep.LoadRows(node::DatasetTable(), node::GenerateRows(dataset));
+  dep.RunFor(30 * kSecond);
+  auto query = cubrick::ParseQuery(
+      "SELECT day, SUM(spend), COUNT(clicks) FROM ads "
+      "WHERE region < 6 GROUP BY day ORDER BY SUM(spend) DESC LIMIT 8",
+      node::DatasetSchema());
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    std::exit(1);
+  }
+  cubrick::QueryRequest request(*query);
+  request.cache_policy = cache::CachePolicy::kBypass;  // scan every time
+  const int64_t start = WallMicros();
+  for (int i = 0; i < queries; ++i) {
+    auto outcome = dep.Query(request);
+    if (!outcome.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   outcome.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return WallMicros() - start;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("BENCH_net", "scalewall::net transport cost");
+  const bool quick = bench::QuickMode();
+  const int kSimQueries = quick ? 50 : 400;
+  const int kEchoCalls = quick ? 500 : 5000;
+  const int kClusterQueries = quick ? 20 : 200;
+
+  // --- 1: sim mediation overhead ---
+  bench::Section("sim transport vs direct calls (same workload)");
+  core::Deployment direct(Options(core::TransportMode::kDirect));
+  core::Deployment mediated(Options(core::TransportMode::kSim));
+  const int64_t direct_micros = RunSimWorkload(direct, kSimQueries);
+  const int64_t mediated_micros = RunSimWorkload(mediated, kSimQueries);
+  const net::TransportStats& stats = mediated.sim_network()->stats();
+  std::printf("queries                 %d\n", kSimQueries);
+  std::printf("direct    us/query      %.1f\n",
+              static_cast<double>(direct_micros) / kSimQueries);
+  std::printf("mediated  us/query      %.1f\n",
+              static_cast<double>(mediated_micros) / kSimQueries);
+  std::printf("serialization overhead  %.1f%%\n",
+              100.0 * (static_cast<double>(mediated_micros) - direct_micros) /
+                  static_cast<double>(direct_micros));
+  std::printf("wire frames/query       %.1f\n",
+              static_cast<double>(stats.frames_out.value()) / kSimQueries);
+  std::printf("wire bytes/query        %.0f\n",
+              static_cast<double>(stats.bytes_out.value()) / kSimQueries);
+
+  // --- 2: epoll loopback RTT ---
+  bench::Section("epoll loopback round-trip (single connection)");
+  {
+    net::EpollTransport server;
+    server.SetHandler(
+        [](const net::Message& m, const net::CallSideband&)
+            -> Result<net::Message> {
+          return net::Message{net::FrameType::kPong, m.payload};
+        });
+    server.Start();
+    if (!server.Listen("127.0.0.1:0").ok()) return 1;
+    net::EpollTransport client;
+    client.Start();
+    client.MapPeer("server",
+                   "127.0.0.1:" + std::to_string(server.listen_port()));
+    Histogram rtt_us(0.1, 1.02);
+    const std::string payload(256, 'x');
+    for (int i = 0; i < kEchoCalls; ++i) {
+      const int64_t t0 = WallMicros();
+      auto response = client.Call(
+          "server", net::Message{net::FrameType::kSubqueryRequest, payload});
+      if (!response.ok()) return 1;
+      rtt_us.Add(static_cast<double>(WallMicros() - t0));
+    }
+    std::printf("calls       %d  (256 B payload)\n", kEchoCalls);
+    std::printf("rtt p50     %.1f us\n", rtt_us.P50());
+    std::printf("rtt p99     %.1f us\n", rtt_us.P99());
+    std::printf("rtt p99.9   %.1f us\n", rtt_us.P999());
+    std::printf("rtt max     %.1f us\n", rtt_us.max());
+    client.Stop();
+    server.Stop();
+  }
+
+  // --- 3: epoll cluster query latency ---
+  bench::Section("epoll cluster client-query latency (1 proxy + 2 servers)");
+  {
+    node::NodeOptions s_options;
+    s_options.num_servers = 2;
+    s_options.server_id = 0;
+    node::ServerNode s0(s_options);
+    s_options.server_id = 1;
+    node::ServerNode s1(s_options);
+    if (!s0.Start().ok() || !s1.Start().ok()) return 1;
+    node::NodeOptions p_options;
+    p_options.num_servers = 2;
+    node::ProxyNode proxy(
+        p_options,
+        {{"s0", "127.0.0.1:" + std::to_string(s0.port())},
+         {"s1", "127.0.0.1:" + std::to_string(s1.port())}});
+    if (!proxy.Start().ok()) return 1;
+    net::EpollTransport client;
+    client.Start();
+    client.MapPeer("proxy", "127.0.0.1:" + std::to_string(proxy.port()));
+
+    auto query = cubrick::ParseQuery(
+        "SELECT region, SUM(spend) FROM ads GROUP BY region "
+        "ORDER BY SUM(spend) DESC LIMIT 4",
+        node::DatasetSchema());
+    if (!query.ok()) return 1;
+    cubrick::QueryRequest request(*query);
+    Histogram latency_us(1.0, 1.02);
+    for (int i = 0; i < kClusterQueries; ++i) {
+      const int64_t t0 = WallMicros();
+      auto rows = node::SubmitClientQuery(client, "proxy", request);
+      if (!rows.ok()) return 1;
+      latency_us.Add(static_cast<double>(WallMicros() - t0));
+    }
+    std::printf("queries     %d  (fan-out 2, %u partitions)\n",
+                kClusterQueries, node::DatasetOptions().num_partitions);
+    std::printf("latency p50 %.0f us\n", latency_us.P50());
+    std::printf("latency p99 %.0f us\n", latency_us.P99());
+    std::printf("latency max %.0f us\n", latency_us.max());
+    client.Stop();
+    proxy.Stop();
+    s0.Stop();
+    s1.Stop();
+  }
+
+  bench::PaperNote(
+      "The scalability wall is a tail phenomenon: every hop a query fans "
+      "out across is a chance to catch a straggler. The transport keeps "
+      "per-hop overhead to one length-prefixed frame each way; the sim "
+      "backend pays only serialization (measured above) and stays "
+      "byte-identical to direct calls, so reliability experiments run on "
+      "the exact bytes the epoll backend puts on real sockets.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Smoke test for the deployable scalewall_node cluster: boots one proxy
+# and two servers as real processes on loopback, runs a handful of
+# queries through the proxy over real sockets, and byte-compares each
+# result against the single-process oracle over the same deterministic
+# dataset. Exits nonzero on any mismatch.
+#
+# Usage: scripts/run_local_cluster.sh [path/to/scalewall_node]
+set -u
+
+BIN="${1:-build/src/node/scalewall_node}"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found or not executable (build first:" \
+       "cmake --build build --target scalewall_node)" >&2
+  exit 2
+fi
+
+SEED=42
+ROWS=20000
+PARTITIONS=8
+BASE_PORT=$(( 17000 + RANDOM % 1000 ))
+S0_PORT=$BASE_PORT
+S1_PORT=$(( BASE_PORT + 1 ))
+PROXY_PORT=$(( BASE_PORT + 2 ))
+DATA_FLAGS=(--seed="$SEED" --rows="$ROWS" --partitions="$PARTITIONS")
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "== starting 2 servers + 1 proxy (ports $S0_PORT-$PROXY_PORT) =="
+"$BIN" --role=server --listen="127.0.0.1:$S0_PORT" --server-id=0 \
+       --num-servers=2 "${DATA_FLAGS[@]}" >"$WORKDIR/s0.log" 2>&1 &
+PIDS+=($!)
+"$BIN" --role=server --listen="127.0.0.1:$S1_PORT" --server-id=1 \
+       --num-servers=2 "${DATA_FLAGS[@]}" >"$WORKDIR/s1.log" 2>&1 &
+PIDS+=($!)
+"$BIN" --role=proxy --listen="127.0.0.1:$PROXY_PORT" --num-servers=2 \
+       --peers="s0=127.0.0.1:$S0_PORT,s1=127.0.0.1:$S1_PORT" \
+       "${DATA_FLAGS[@]}" >"$WORKDIR/proxy.log" 2>&1 &
+PIDS+=($!)
+
+QUERIES=(
+  "SELECT SUM(spend), COUNT(clicks) FROM ads"
+  "SELECT region, SUM(spend) FROM ads GROUP BY region ORDER BY SUM(spend) DESC LIMIT 4"
+  "SELECT day, AVG(spend), MAX(clicks) FROM ads WHERE day BETWEEN 5 AND 20 GROUP BY day ORDER BY AVG(spend) DESC LIMIT 10"
+  "SELECT product, MIN(spend), SUM(clicks) FROM ads WHERE product IN (3, 17, 40, 63) GROUP BY product"
+)
+
+FAIL=0
+for i in "${!QUERIES[@]}"; do
+  sql="${QUERIES[$i]}"
+  echo "-- query $i: $sql"
+  # The client retries while the cluster is still coming up.
+  if ! "$BIN" --role=client --connect="127.0.0.1:$PROXY_PORT" \
+       --sql="$sql" --retries=50 "${DATA_FLAGS[@]}" \
+       >"$WORKDIR/cluster.$i" 2>"$WORKDIR/client.$i.err"; then
+    echo "   FAIL: client query failed" >&2
+    cat "$WORKDIR/client.$i.err" >&2
+    FAIL=1
+    continue
+  fi
+  "$BIN" --role=oracle --sql="$sql" "${DATA_FLAGS[@]}" >"$WORKDIR/oracle.$i"
+  if diff -u "$WORKDIR/oracle.$i" "$WORKDIR/cluster.$i" >"$WORKDIR/diff.$i"; then
+    echo "   OK: $(wc -l < "$WORKDIR/cluster.$i") rows, byte-identical to oracle"
+  else
+    echo "   FAIL: cluster result differs from oracle:" >&2
+    cat "$WORKDIR/diff.$i" >&2
+    FAIL=1
+  fi
+done
+
+if [[ "$FAIL" -ne 0 ]]; then
+  echo "== SMOKE FAILED ==" >&2
+  exit 1
+fi
+echo "== SMOKE OK: all queries byte-identical to the oracle =="

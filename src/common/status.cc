@@ -28,8 +28,56 @@ std::string_view StatusCodeName(StatusCode code) {
       return "PERMISSION_DENIED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
   }
   return "UNKNOWN";
+}
+
+StatusCode StatusCodeFromInt(int code, bool* known) {
+  if (known != nullptr) *known = true;
+  switch (code) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kAlreadyExists;
+    case 4:
+      return StatusCode::kUnavailable;
+    case 5:
+      return StatusCode::kNonRetryable;
+    case 6:
+      return StatusCode::kResourceExhausted;
+    case 7:
+      return StatusCode::kFailedPrecondition;
+    case 8:
+      return StatusCode::kDeadlineExceeded;
+    case 9:
+      return StatusCode::kInternal;
+    case 10:
+      return StatusCode::kPermissionDenied;
+    case 11:
+      return StatusCode::kCancelled;
+    case 12:
+      return StatusCode::kUnimplemented;
+    default:
+      if (known != nullptr) *known = false;
+      return StatusCode::kInternal;
+  }
+}
+
+Status Status::FromCode(int code, std::string msg) {
+  bool known = false;
+  StatusCode mapped = StatusCodeFromInt(code, &known);
+  if (!known) {
+    msg = "unknown wire status code " + std::to_string(code) +
+          (msg.empty() ? "" : ": " + msg);
+  }
+  if (mapped == StatusCode::kOk) return Status::Ok();
+  return Status(mapped, std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -19,37 +19,54 @@
 
 namespace scalewall {
 
+// Integer values are part of the wire protocol (scalewall::net encodes
+// a status as its integer code): they are STABLE — never renumber or
+// reuse a value, only append. StatusCodeFromInt maps unknown integers
+// (a newer peer's codes) to kInternal rather than misclassifying them.
 enum class StatusCode {
   kOk = 0,
   // The request arguments were malformed or violate an API contract.
-  kInvalidArgument,
+  kInvalidArgument = 1,
   // The named entity (table, shard, server, key) does not exist.
-  kNotFound,
+  kNotFound = 2,
   // The entity being created already exists.
-  kAlreadyExists,
+  kAlreadyExists = 3,
   // A transient failure: the operation may succeed if retried, possibly
   // against a different replica/region (hardware fault, timeout, drain).
-  kUnavailable,
+  kUnavailable = 4,
   // A permanent rejection: retrying against the *same* target can never
   // succeed. SM interprets this as "place the shard somewhere else".
-  kNonRetryable,
+  kNonRetryable = 5,
   // A resource limit was hit (server capacity, admission control, memory).
-  kResourceExhausted,
+  kResourceExhausted = 6,
   // The operation is not valid in the current state (e.g., dropping a
   // shard mid-migration).
-  kFailedPrecondition,
+  kFailedPrecondition = 7,
   // The operation took longer than its deadline.
-  kDeadlineExceeded,
+  kDeadlineExceeded = 8,
   // An invariant was violated; indicates a bug.
-  kInternal,
+  kInternal = 9,
   // The caller was rejected by admission control / blacklisting.
-  kPermissionDenied,
+  kPermissionDenied = 10,
   // The operation was cancelled (e.g., simulation stopped).
-  kCancelled,
+  kCancelled = 11,
+  // The peer does not implement the requested operation (e.g., an
+  // unknown frame type at a transport endpoint).
+  kUnimplemented = 12,
 };
 
 // Returns a stable human-readable name, e.g. "NOT_FOUND".
 std::string_view StatusCodeName(StatusCode code);
+
+// The stable integer for a code (what goes on the wire).
+constexpr int StatusCodeToInt(StatusCode code) {
+  return static_cast<int>(code);
+}
+
+// The code for a stable integer. Unknown integers (from a newer peer)
+// decode to kInternal; `known`, when non-null, reports whether the
+// integer mapped exactly.
+StatusCode StatusCodeFromInt(int code, bool* known = nullptr);
 
 // A cheap value type carrying a code and an optional message.
 // Ok statuses never allocate.
@@ -93,6 +110,16 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  // Reconstructs a status from its wire form: a stable integer code
+  // (StatusCodeToInt) plus the message. Integers that do not map to a
+  // known code — a newer peer speaking a newer protocol — become
+  // kInternal with the original code noted in the message, so a bogus
+  // code can never masquerade as kOk or as a retryable failure class.
+  static Status FromCode(int code, std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

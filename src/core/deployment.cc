@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "cubrick/net_service.h"
 #include "cubrick/sql.h"
 
 namespace scalewall::core {
@@ -46,6 +47,9 @@ Deployment::Deployment(DeploymentOptions options)
       options_.server_options.virtual_scan_slots == 0) {
     options_.server_options.virtual_scan_slots = options_.virtual_scan_slots;
   }
+  if (options_.transport == TransportMode::kSim) {
+    sim_network_ = std::make_unique<net::SimNetwork>(&simulation_, &metrics_);
+  }
   // One independent primary-only SM service per region (Section IV-D).
   for (cluster::RegionId r : cluster_.Regions()) {
     auto region = std::make_unique<Region>();
@@ -83,6 +87,13 @@ Deployment::Deployment(DeploymentOptions options)
     region->context.failure_model =
         sim::TransientFailureModel(options_.per_host_failure_probability);
     region->context.policy = options_.subquery_policy;
+    if (sim_network_ != nullptr) {
+      // The proxy/coordinator side calls out through one shared client
+      // node; the region's epoch endpoint answers merged-cache probes.
+      region->context.transport = sim_network_->Node("proxy");
+      sim_network_->Node(cubrick::RegionPeerName(r))
+          ->SetHandler(cubrick::MakeRegionNodeHandler(&region->context));
+    }
 
     regions_.push_back(std::move(region));
   }
@@ -155,6 +166,11 @@ void Deployment::ProvisionServer(cluster::ServerId id) {
     server->SetReplicatedTable(master);
   }
   regions_[region]->sm->RegisterAppServer(server.get());
+  if (sim_network_ != nullptr) {
+    sim_network_->Node(cubrick::NodePeerName(id))
+        ->SetHandler(cubrick::MakeServerNodeHandler(
+            server.get(), id, &regions_[region]->context));
+  }
   servers_.emplace(id, std::move(server));
 }
 
@@ -239,6 +255,11 @@ Status Deployment::DecommissionServer(cluster::ServerId server) {
         // may still be scheduled) but is empty and unreachable.
         auto it = servers_.find(server);
         if (it != servers_.end()) it->second->Reset();
+        // Its node endpoint goes with it: subsequent transport calls to
+        // this server fail kUnavailable instead of reaching a ghost.
+        if (sim_network_ != nullptr) {
+          sim_network_->RemoveNode(cubrick::NodePeerName(server));
+        }
         simulation_.Cancel(*done);
       });
   return Status::Ok();

@@ -33,6 +33,7 @@
 #include "cubrick/server.h"
 #include "discovery/datastore.h"
 #include "discovery/service_discovery.h"
+#include "net/sim_transport.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "sim/latency_model.h"
@@ -49,6 +50,19 @@ enum class ShardingMode {
   // Full sharding: every table is sharded across all servers of a region
   // (the legacy fully-sharded Cubrick that hit the scalability wall).
   kFull,
+};
+
+// Which path the query hops (proxy -> coordinator -> partition hosts,
+// plus the merged-cache epoch probe) take (DESIGN.md §13).
+enum class TransportMode {
+  // Direct in-process method calls — the seed behaviour.
+  kDirect,
+  // scalewall::net sim backend: every hop's request and response passes
+  // through the length-prefixed wire codecs (serialization exercised on
+  // the real data path) while completing inline on the simulated clock —
+  // results, latencies and RNG draws stay byte-identical to kDirect,
+  // and transport metrics/spans are recorded.
+  kSim,
 };
 
 struct DeploymentOptions {
@@ -115,6 +129,8 @@ struct DeploymentOptions {
   // under overload instead of serving unbounded concurrency for free.
   // Left 0 (disabled) unless set — the seed behaviour.
   int virtual_scan_slots = 0;
+  // Transport mediating the query path's hops (DESIGN.md §13).
+  TransportMode transport = TransportMode::kDirect;
 };
 
 // Per-table creation overrides.
@@ -234,6 +250,8 @@ class Deployment : public cubrick::ServerDirectory {
   // Distributed-tracing sink (spans recorded only when
   // options.enable_query_tracing is set).
   obs::TraceSink& trace_sink() { return trace_sink_; }
+  // The in-process network (null unless options.transport == kSim).
+  net::SimNetwork* sim_network() { return sim_network_.get(); }
 
   // cubrick::ServerDirectory: resolves any fleet server to its Cubrick
   // instance (regions never cross-reference shards, so a global directory
@@ -320,6 +338,12 @@ class Deployment : public cubrick::ServerDirectory {
   sim::Simulation simulation_;
   cluster::Cluster cluster_;
   std::unique_ptr<cubrick::Catalog> catalog_;
+  // In-process sim network (TransportMode::kSim): regions' contexts
+  // point their `transport` at nodes owned here, and node handlers
+  // capture server/context pointers. Declared before regions_/servers_
+  // so it outlives both — a handler is never invoked during teardown,
+  // but the contexts' transport pointers stay valid for their lifetime.
+  std::unique_ptr<net::SimNetwork> sim_network_;
   std::vector<std::unique_ptr<Region>> regions_;
   std::unordered_map<cluster::ServerId,
                      std::unique_ptr<cubrick::CubrickServer>>

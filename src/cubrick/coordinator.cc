@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "cubrick/net_service.h"
 #include "sm/sm_client.h"
 
 namespace scalewall::cubrick {
@@ -234,10 +235,19 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     obs::TraceContext sspan = trace.Child(
         "subquery p" + std::to_string(sub.partition), t0);
     sspan.Annotate("server", std::to_string(exec_server));
-    auto partial = server->ExecutePartial(query, sub.partition,
-                                          /*hop_budget=*/-1, &cancel, sspan,
-                                          t0, cache_policy, fingerprint,
-                                          scan_path);
+    // With a transport attached, the subquery crosses the wire: the
+    // query and the partial-result aggregation states are serialized and
+    // deserialized on every hop. The modeled latency arithmetic below is
+    // untouched (the sim backend completes inline), so results, timing
+    // and RNG draws stay byte-identical to the direct path.
+    auto partial =
+        ctx.transport != nullptr
+            ? CallSubquery(*ctx.transport, exec_server, query, sub.partition,
+                           deadline_budget, cache_policy, scan_path,
+                           fingerprint, &cancel, sspan, t0)
+            : server->ExecutePartial(query, sub.partition,
+                                     /*hop_budget=*/-1, &cancel, sspan, t0,
+                                     cache_policy, fingerprint, scan_path);
     if (!partial.ok()) {
       outcome.status = partial.status();
       outcome.failed_server = exec_server;
@@ -281,6 +291,12 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     if (it != host_penalty.end()) chain += it->second;
     slowest = std::max(slowest, chain);
     sspan.End(t0 + chain);
+    if (ctx.transport != nullptr) {
+      // The RTT histogram records the modeled chain latency, which is
+      // only known now — after hedging and retry penalties resolved —
+      // not at Call time.
+      ctx.transport->RecordModeledRtt(static_cast<double>(chain) / 1000.0);
+    }
     outcome.partition_epochs[sub.partition] = partial->epoch;
     outcome.result.Merge(partial->result);
   }

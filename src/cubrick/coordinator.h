@@ -33,6 +33,7 @@
 #include "cubrick/query.h"
 #include "cubrick/server.h"
 #include "discovery/service_discovery.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "sim/latency_model.h"
 #include "sim/simulation.h"
@@ -81,6 +82,13 @@ struct RegionContext {
   SimDuration merge_overhead = 1 * kMillisecond;
   // Subquery retry/hedging policy applied by coordinators in this region.
   SubqueryPolicy policy;
+  // When set, the query path's hops (proxy -> coordinator -> partition
+  // hosts, plus the epoch-validation probe) are mediated by this
+  // transport: requests and responses pass through the wire codecs
+  // instead of direct method calls. Null (the default) keeps the seed's
+  // direct-pointer path. The sim backend is byte-identical to direct;
+  // scalewall_node processes plug in the epoll backend.
+  net::Transport* transport = nullptr;
 };
 
 // Reliability-layer activity counters, shared by every layer that

@@ -1,0 +1,194 @@
+#include "cubrick/net_service.h"
+
+#include <utility>
+
+#include "cubrick/wire.h"
+
+namespace scalewall::cubrick {
+
+std::string NodePeerName(cluster::ServerId server) {
+  return "s" + std::to_string(server);
+}
+
+std::string RegionPeerName(cluster::RegionId region) {
+  return "r" + std::to_string(region);
+}
+
+namespace {
+
+Result<net::Message> HandleSubquery(CubrickServer* server,
+                                    const net::Message& request,
+                                    const net::CallSideband& sideband) {
+  auto envelope = wire::DecodeSubqueryRequest(request.payload);
+  if (!envelope.ok()) return envelope.status();
+  const std::string* fingerprint =
+      envelope->fingerprint.empty() ? nullptr : &envelope->fingerprint;
+  auto partial = server->ExecutePartial(
+      envelope->query, envelope->partition, /*hop_budget=*/-1, sideband.cancel,
+      sideband.trace, sideband.trace_time, envelope->cache_policy, fingerprint,
+      envelope->scan_path);
+  if (!partial.ok()) return partial.status();
+  return net::Message{net::FrameType::kSubqueryResponse,
+                      wire::EncodeSubqueryResponse(*partial)};
+}
+
+Result<net::Message> HandleCoordinate(cluster::ServerId server_id,
+                                      RegionContext* ctx,
+                                      const net::Message& request,
+                                      const net::CallSideband& sideband) {
+  auto envelope = wire::DecodeCoordinateRequest(request.payload);
+  if (!envelope.ok()) return envelope.status();
+  auto* coordinate = static_cast<CoordinateSideband*>(sideband.cookie);
+  if (coordinate == nullptr || coordinate->rng == nullptr) {
+    // Over real sockets there is no shared RNG stream; node deployments
+    // fan subqueries out from the proxy role instead of delegating a
+    // whole coordinated attempt.
+    return Status::FailedPrecondition(
+        "coordinate calls require the in-process RNG side-band");
+  }
+  const std::string* fingerprint =
+      envelope->fingerprint.empty() ? nullptr : &envelope->fingerprint;
+  DistributedOutcome outcome = ExecuteDistributed(
+      *ctx, envelope->query, server_id, *coordinate->rng,
+      envelope->remaining_budget, sideband.trace, envelope->dispatch_time,
+      envelope->cache_policy, fingerprint, envelope->scan_path);
+  return net::Message{net::FrameType::kCoordinateResponse,
+                      wire::EncodeCoordinateResponse(outcome)};
+}
+
+Result<net::Message> HandleEpochs(RegionContext* ctx,
+                                  const net::Message& request) {
+  auto table = wire::DecodeEpochRequest(request.payload);
+  if (!table.ok()) return table.status();
+  auto epochs = CollectPartitionEpochs(*ctx, *table);
+  if (!epochs.ok()) return epochs.status();
+  return net::Message{net::FrameType::kEpochResponse,
+                      wire::EncodeEpochResponse(*epochs)};
+}
+
+}  // namespace
+
+net::Handler MakeServerNodeHandler(CubrickServer* server,
+                                   cluster::ServerId server_id,
+                                   RegionContext* ctx) {
+  return [server, server_id, ctx](
+             const net::Message& request,
+             const net::CallSideband& sideband) -> Result<net::Message> {
+    switch (request.type) {
+      case net::FrameType::kSubqueryRequest:
+        return HandleSubquery(server, request, sideband);
+      case net::FrameType::kCoordinateRequest:
+        return HandleCoordinate(server_id, ctx, request, sideband);
+      case net::FrameType::kEpochRequest:
+        return HandleEpochs(ctx, request);
+      default:
+        return Status::Unimplemented(
+            "server node does not serve frame type " +
+            std::string(net::FrameTypeName(request.type)));
+    }
+  };
+}
+
+net::Handler MakeRegionNodeHandler(RegionContext* ctx) {
+  return [ctx](const net::Message& request,
+               const net::CallSideband& sideband) -> Result<net::Message> {
+    (void)sideband;
+    if (request.type != net::FrameType::kEpochRequest) {
+      return Status::Unimplemented(
+          "region node does not serve frame type " +
+          std::string(net::FrameTypeName(request.type)));
+    }
+    return HandleEpochs(ctx, request);
+  };
+}
+
+Result<PartialResult> CallSubquery(
+    net::Transport& transport, cluster::ServerId server, const Query& query,
+    uint32_t partition, SimDuration remaining_budget,
+    cache::CachePolicy cache_policy, exec::ScanPath scan_path,
+    const std::string* fingerprint, const exec::CancelToken* cancel,
+    obs::TraceContext trace, SimTime trace_time) {
+  wire::SubqueryEnvelope envelope;
+  envelope.query = query;
+  envelope.partition = partition;
+  envelope.cache_policy = cache_policy;
+  envelope.scan_path = scan_path;
+  if (fingerprint != nullptr) envelope.fingerprint = *fingerprint;
+  envelope.remaining_budget = remaining_budget;
+
+  net::CallOptions options;
+  options.sideband.cancel = cancel;
+  options.sideband.trace = trace;
+  options.sideband.trace_time = trace_time;
+  auto response = transport.Call(
+      NodePeerName(server),
+      net::Message{net::FrameType::kSubqueryRequest,
+                   wire::EncodeSubqueryRequest(envelope)},
+      options);
+  if (!response.ok()) return response.status();
+  if (response->type != net::FrameType::kSubqueryResponse) {
+    return Status::Internal("unexpected frame type in subquery response: " +
+                            std::string(net::FrameTypeName(response->type)));
+  }
+  return wire::DecodeSubqueryResponse(response->payload);
+}
+
+DistributedOutcome CallCoordinate(
+    net::Transport& transport, cluster::ServerId coordinator,
+    const Query& query, SimDuration remaining_budget,
+    cache::CachePolicy cache_policy, exec::ScanPath scan_path,
+    const std::string* fingerprint, SimTime dispatch_time, Rng& rng,
+    obs::TraceContext trace) {
+  wire::CoordinateEnvelope envelope;
+  envelope.query = query;
+  envelope.cache_policy = cache_policy;
+  envelope.scan_path = scan_path;
+  if (fingerprint != nullptr) envelope.fingerprint = *fingerprint;
+  envelope.remaining_budget = remaining_budget;
+  envelope.dispatch_time = dispatch_time;
+
+  CoordinateSideband coordinate{&rng};
+  net::CallOptions options;
+  options.sideband.trace = trace;
+  options.sideband.trace_time = dispatch_time;
+  options.sideband.cookie = &coordinate;
+  auto response = transport.Call(
+      NodePeerName(coordinator),
+      net::Message{net::FrameType::kCoordinateRequest,
+                   wire::EncodeCoordinateRequest(envelope)},
+      options);
+  DistributedOutcome outcome;
+  if (!response.ok()) {
+    outcome.status = response.status();
+    return outcome;
+  }
+  if (response->type != net::FrameType::kCoordinateResponse) {
+    outcome.status =
+        Status::Internal("unexpected frame type in coordinate response: " +
+                         std::string(net::FrameTypeName(response->type)));
+    return outcome;
+  }
+  auto decoded = wire::DecodeCoordinateResponse(response->payload);
+  if (!decoded.ok()) {
+    outcome.status = decoded.status();
+    return outcome;
+  }
+  return std::move(decoded).value();
+}
+
+Result<std::vector<uint64_t>> CallEpochs(net::Transport& transport,
+                                         cluster::RegionId region,
+                                         const std::string& table) {
+  auto response = transport.Call(
+      RegionPeerName(region),
+      net::Message{net::FrameType::kEpochRequest,
+                   wire::EncodeEpochRequest(table)});
+  if (!response.ok()) return response.status();
+  if (response->type != net::FrameType::kEpochResponse) {
+    return Status::Internal("unexpected frame type in epoch response: " +
+                            std::string(net::FrameTypeName(response->type)));
+  }
+  return wire::DecodeEpochResponse(response->payload);
+}
+
+}  // namespace scalewall::cubrick

@@ -1,0 +1,78 @@
+// Transport endpoints for the cubrick query path.
+//
+// This module binds cubrick's hop logic to scalewall::net: it names the
+// peers, builds the server-side request handlers, and wraps each hop's
+// encode → Call → decode round-trip in a typed helper. Three hops are
+// transport-mediated when a RegionContext carries a transport:
+//
+//   proxy --kCoordinateRequest--> coordinator   (SubmitInternal)
+//   coordinator --kSubqueryRequest--> partition host (ExecuteDistributed)
+//   proxy --kEpochRequest--> region             (merged-cache validation)
+//
+// Under the sim backend these calls complete inline on the simulated
+// clock and are byte-identical to the direct-pointer path: the wire
+// codecs are lossless, partials merge in the same ascending-partition
+// order, and the only RNG involved is the caller's own stream, passed
+// through the in-process side-band (it has no wire form — draw order is
+// what defines an experiment's reproducibility). Over real sockets the
+// same frames flow between scalewall_node processes.
+
+#ifndef SCALEWALL_CUBRICK_NET_SERVICE_H_
+#define SCALEWALL_CUBRICK_NET_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "cubrick/coordinator.h"
+#include "cubrick/server.h"
+#include "net/transport.h"
+
+namespace scalewall::cubrick {
+
+// Logical peer names: transports address endpoints by these; the epoll
+// backend additionally maps them to socket addresses (MapPeer).
+std::string NodePeerName(cluster::ServerId server);    // "s<id>"
+std::string RegionPeerName(cluster::RegionId region);  // "r<id>"
+
+// In-process side-band for coordinate calls (sim backend only): the
+// proxy's RNG stream, which the coordinator's failure/latency draws
+// must consume in exactly the order the direct path would. Carried via
+// CallSideband::cookie — it has no wire representation by design.
+struct CoordinateSideband {
+  Rng* rng = nullptr;
+};
+
+// Handler for one server's node endpoint. Serves kSubqueryRequest
+// (ExecutePartial on `server`), kCoordinateRequest (ExecuteDistributed
+// with `server_id` as the coordinator; requires the in-process RNG
+// side-band) and kEpochRequest. `ctx` must outlive the handler.
+net::Handler MakeServerNodeHandler(CubrickServer* server,
+                                   cluster::ServerId server_id,
+                                   RegionContext* ctx);
+
+// Handler for a region's metadata endpoint: kEpochRequest only.
+net::Handler MakeRegionNodeHandler(RegionContext* ctx);
+
+// --- typed call wrappers (client side of each hop) ---
+
+Result<PartialResult> CallSubquery(
+    net::Transport& transport, cluster::ServerId server, const Query& query,
+    uint32_t partition, SimDuration remaining_budget,
+    cache::CachePolicy cache_policy, exec::ScanPath scan_path,
+    const std::string* fingerprint, const exec::CancelToken* cancel,
+    obs::TraceContext trace, SimTime trace_time);
+
+DistributedOutcome CallCoordinate(
+    net::Transport& transport, cluster::ServerId coordinator,
+    const Query& query, SimDuration remaining_budget,
+    cache::CachePolicy cache_policy, exec::ScanPath scan_path,
+    const std::string* fingerprint, SimTime dispatch_time, Rng& rng,
+    obs::TraceContext trace);
+
+Result<std::vector<uint64_t>> CallEpochs(net::Transport& transport,
+                                         cluster::RegionId region,
+                                         const std::string& table);
+
+}  // namespace scalewall::cubrick
+
+#endif  // SCALEWALL_CUBRICK_NET_SERVICE_H_

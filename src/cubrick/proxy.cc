@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "cubrick/net_service.h"
 #include "sm/sm_client.h"
 
 namespace scalewall::cubrick {
@@ -458,7 +459,15 @@ bool CubrickProxy::TryServeValidated(const QueryRequest& request,
   const SimDuration check_latency =
       ctx->network_model.SampleHop(rng_) + ctx->network_model.SampleHop(rng_);
   outcome.latency += check_latency;
-  auto epochs = CollectPartitionEpochs(*ctx, request.query.table);
+  // With a transport attached the probe is a real metadata roundtrip to
+  // the region's epoch endpoint; otherwise the direct in-process walk.
+  auto epochs =
+      ctx->transport != nullptr
+          ? CallEpochs(*ctx->transport, ctx->region, request.query.table)
+          : CollectPartitionEpochs(*ctx, request.query.table);
+  if (ctx->transport != nullptr) {
+    ctx->transport->RecordModeledRtt(ToMillis(check_latency));
+  }
   if (!epochs.ok() || *epochs != entry.epochs) {
     // Data moved or changed under the entry; the probe's cost is paid
     // and the query falls through to a full execution (which refreshes
@@ -615,13 +624,26 @@ QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
         break;
       }
     }
+    // With a transport attached the whole coordinated attempt is a wire
+    // call to the coordinator's node endpoint (the proxy's RNG rides the
+    // in-process side-band so draw order matches the direct path);
+    // otherwise the coordinator logic runs by direct call.
     DistributedOutcome attempt =
-        ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining, aspan,
-                           attempt_start + attempt_latency,
-                           request.cache_policy,
-                           fingerprint.empty() ? nullptr : &fingerprint,
-                           request.scan_path);
+        ctx->transport != nullptr
+            ? CallCoordinate(*ctx->transport, *coordinator, query, remaining,
+                             request.cache_policy, request.scan_path,
+                             fingerprint.empty() ? nullptr : &fingerprint,
+                             attempt_start + attempt_latency, rng_, aspan)
+            : ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining,
+                                 aspan, attempt_start + attempt_latency,
+                                 request.cache_policy,
+                                 fingerprint.empty() ? nullptr : &fingerprint,
+                                 request.scan_path);
     outcome.latency += attempt_latency + attempt.latency;
+    if (ctx->transport != nullptr) {
+      ctx->transport->RecordModeledRtt(
+          ToMillis(attempt_latency + attempt.latency));
+    }
     aspan.Annotate("status",
                    std::string(StatusCodeName(attempt.status.code())));
     aspan.End(attempt_start + attempt_latency + attempt.latency);

@@ -1,0 +1,408 @@
+#include "cubrick/wire.h"
+
+#include <utility>
+
+namespace scalewall::cubrick::wire {
+
+namespace {
+
+// Vectors of int (dimension/join indices) travel as u32-count + i32s.
+void EncodeIntVec(net::WireWriter& w, const std::vector<int>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (int x : v) w.I32(x);
+}
+
+std::vector<int> DecodeIntVec(net::WireReader& r) {
+  const uint32_t n = r.U32();
+  if (!r.CheckCount(n, 4)) return {};
+  std::vector<int> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) v.push_back(r.I32());
+  return v;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed wire payload: ") +
+                                 what);
+}
+
+// Finishes a fixed-shape decode: the payload must be fully consumed.
+Status CheckExhausted(const net::WireReader& r, const char* what) {
+  if (!r.ok()) return Malformed(what);
+  if (!r.exhausted()) {
+    return Status::InvalidArgument(std::string("trailing garbage after ") +
+                                   what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeQuery(net::WireWriter& w, const Query& query) {
+  w.Str(query.table);
+  w.U32(static_cast<uint32_t>(query.filters.size()));
+  for (const FilterRange& f : query.filters) {
+    w.I32(f.dimension);
+    w.U32(f.lo);
+    w.U32(f.hi);
+  }
+  w.U32(static_cast<uint32_t>(query.in_filters.size()));
+  for (const FilterIn& f : query.in_filters) {
+    w.I32(f.dimension);
+    w.U32Vec(f.values);
+  }
+  EncodeIntVec(w, query.group_by);
+  w.U32(static_cast<uint32_t>(query.joins.size()));
+  for (const Join& j : query.joins) {
+    w.I32(j.fact_dimension);
+    w.Str(j.dimension_table);
+    w.I32(j.attribute);
+  }
+  EncodeIntVec(w, query.group_by_joins);
+  w.U32(static_cast<uint32_t>(query.join_filters.size()));
+  for (const JoinFilter& f : query.join_filters) {
+    w.I32(f.join);
+    w.U32(f.lo);
+    w.U32(f.hi);
+  }
+  w.U32(static_cast<uint32_t>(query.aggregations.size()));
+  for (const Aggregation& a : query.aggregations) {
+    w.I32(a.metric);
+    w.U8(static_cast<uint8_t>(a.op));
+  }
+  w.I32(query.order_by);
+  w.Bool(query.descending);
+  w.U32(query.limit);
+  w.I64(query.deadline);
+}
+
+Result<Query> DecodeQuery(net::WireReader& r) {
+  Query query;
+  query.table = r.Str();
+  uint32_t n = r.U32();
+  if (!r.CheckCount(n, 12)) return Malformed("query filters");
+  query.filters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    FilterRange f;
+    f.dimension = r.I32();
+    f.lo = r.U32();
+    f.hi = r.U32();
+    query.filters.push_back(f);
+  }
+  n = r.U32();
+  if (!r.CheckCount(n, 8)) return Malformed("query in_filters");
+  query.in_filters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    FilterIn f;
+    f.dimension = r.I32();
+    f.values = r.U32Vec();
+    query.in_filters.push_back(std::move(f));
+  }
+  query.group_by = DecodeIntVec(r);
+  n = r.U32();
+  if (!r.CheckCount(n, 12)) return Malformed("query joins");
+  query.joins.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Join j;
+    j.fact_dimension = r.I32();
+    j.dimension_table = r.Str();
+    j.attribute = r.I32();
+    query.joins.push_back(std::move(j));
+  }
+  query.group_by_joins = DecodeIntVec(r);
+  n = r.U32();
+  if (!r.CheckCount(n, 12)) return Malformed("query join_filters");
+  query.join_filters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    JoinFilter f;
+    f.join = r.I32();
+    f.lo = r.U32();
+    f.hi = r.U32();
+    query.join_filters.push_back(f);
+  }
+  n = r.U32();
+  if (!r.CheckCount(n, 5)) return Malformed("query aggregations");
+  query.aggregations.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Aggregation a;
+    a.metric = r.I32();
+    a.op = static_cast<AggOp>(r.U8());
+    query.aggregations.push_back(a);
+  }
+  query.order_by = r.I32();
+  query.descending = r.Bool();
+  query.limit = r.U32();
+  query.deadline = r.I64();
+  if (!r.ok()) return Malformed("query");
+  return query;
+}
+
+void EncodeQueryResult(net::WireWriter& w, const QueryResult& result) {
+  w.U32(static_cast<uint32_t>(result.num_aggregations()));
+  w.I64(result.rows_scanned);
+  w.I64(result.bricks_scanned);
+  w.I64(result.bricks_pruned);
+  w.U32(static_cast<uint32_t>(result.num_groups()));
+  // groups() is a sorted map: iteration (and thus the byte stream) is
+  // deterministic, and decode re-inserts in the same order.
+  for (const auto& [key, states] : result.groups()) {
+    w.U32Vec(key);
+    w.U32(static_cast<uint32_t>(states.size()));
+    for (const AggState& s : states) {
+      w.F64(s.sum);
+      w.I64(s.count);
+      w.F64(s.min);
+      w.F64(s.max);
+    }
+  }
+}
+
+Result<QueryResult> DecodeQueryResult(net::WireReader& r) {
+  const uint32_t num_aggs = r.U32();
+  QueryResult result(num_aggs);
+  result.rows_scanned = r.I64();
+  result.bricks_scanned = r.I64();
+  result.bricks_pruned = r.I64();
+  const uint32_t num_groups = r.U32();
+  if (!r.CheckCount(num_groups, 8)) return Malformed("result groups");
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    QueryResult::GroupKey key = r.U32Vec();
+    const uint32_t num_states = r.U32();
+    if (!r.CheckCount(num_states, 32)) return Malformed("result states");
+    for (uint32_t a = 0; a < num_states; ++a) {
+      AggState state;
+      state.sum = r.F64();
+      state.count = r.I64();
+      state.min = r.F64();
+      state.max = r.F64();
+      // Merging into the freshly created default state reproduces the
+      // encoded state bit-for-bit (see QueryResult::AccumulateState).
+      result.AccumulateState(key, a, state);
+    }
+  }
+  if (!r.ok()) return Malformed("query result");
+  return result;
+}
+
+void EncodeResultRows(net::WireWriter& w, const std::vector<ResultRow>& rows) {
+  w.U32(static_cast<uint32_t>(rows.size()));
+  for (const ResultRow& row : rows) {
+    w.U32Vec(row.key);
+    w.F64Vec(row.values);
+  }
+}
+
+Result<std::vector<ResultRow>> DecodeResultRows(net::WireReader& r) {
+  const uint32_t n = r.U32();
+  if (!r.CheckCount(n, 8)) return Malformed("result rows");
+  std::vector<ResultRow> rows;
+  rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ResultRow row;
+    row.key = r.U32Vec();
+    row.values = r.F64Vec();
+    rows.push_back(std::move(row));
+  }
+  if (!r.ok()) return Malformed("result rows");
+  return rows;
+}
+
+std::string EncodeSubqueryRequest(const SubqueryEnvelope& envelope) {
+  net::WireWriter w;
+  // The wire deadline is the *remaining budget*; the absolute deadline
+  // never crosses a clock-domain boundary.
+  Query query = envelope.query;
+  query.deadline = 0;
+  EncodeQuery(w, query);
+  w.U32(envelope.partition);
+  w.U8(static_cast<uint8_t>(envelope.cache_policy));
+  w.U8(static_cast<uint8_t>(envelope.scan_path));
+  w.Str(envelope.fingerprint);
+  w.I64(envelope.remaining_budget);
+  return std::move(w).str();
+}
+
+Result<SubqueryEnvelope> DecodeSubqueryRequest(std::string_view payload) {
+  net::WireReader r(payload);
+  SubqueryEnvelope envelope;
+  auto query = DecodeQuery(r);
+  if (!query.ok()) return query.status();
+  envelope.query = std::move(query).value();
+  envelope.partition = r.U32();
+  envelope.cache_policy = static_cast<cache::CachePolicy>(r.U8());
+  envelope.scan_path = static_cast<exec::ScanPath>(r.U8());
+  envelope.fingerprint = r.Str();
+  envelope.remaining_budget = r.I64();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "subquery request"));
+  return envelope;
+}
+
+std::string EncodeSubqueryResponse(const PartialResult& partial) {
+  net::WireWriter w;
+  EncodeQueryResult(w, partial.result);
+  w.I32(partial.forward_hops);
+  w.U64(partial.epoch);
+  w.Bool(partial.cache_hit);
+  return std::move(w).str();
+}
+
+Result<PartialResult> DecodeSubqueryResponse(std::string_view payload) {
+  net::WireReader r(payload);
+  PartialResult partial;
+  auto result = DecodeQueryResult(r);
+  if (!result.ok()) return result.status();
+  partial.result = std::move(result).value();
+  partial.forward_hops = r.I32();
+  partial.epoch = r.U64();
+  partial.cache_hit = r.Bool();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "subquery response"));
+  return partial;
+}
+
+std::string EncodeCoordinateRequest(const CoordinateEnvelope& envelope) {
+  net::WireWriter w;
+  Query query = envelope.query;
+  query.deadline = 0;  // remaining budget travels instead
+  EncodeQuery(w, query);
+  w.U8(static_cast<uint8_t>(envelope.cache_policy));
+  w.U8(static_cast<uint8_t>(envelope.scan_path));
+  w.Str(envelope.fingerprint);
+  w.I64(envelope.remaining_budget);
+  w.I64(envelope.dispatch_time);
+  return std::move(w).str();
+}
+
+Result<CoordinateEnvelope> DecodeCoordinateRequest(std::string_view payload) {
+  net::WireReader r(payload);
+  CoordinateEnvelope envelope;
+  auto query = DecodeQuery(r);
+  if (!query.ok()) return query.status();
+  envelope.query = std::move(query).value();
+  envelope.cache_policy = static_cast<cache::CachePolicy>(r.U8());
+  envelope.scan_path = static_cast<exec::ScanPath>(r.U8());
+  envelope.fingerprint = r.Str();
+  envelope.remaining_budget = r.I64();
+  envelope.dispatch_time = r.I64();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "coordinate request"));
+  return envelope;
+}
+
+std::string EncodeCoordinateResponse(const DistributedOutcome& outcome) {
+  net::WireWriter w;
+  net::EncodeStatus(w, outcome.status);
+  w.I64(outcome.latency);
+  w.I32(outcome.fanout);
+  w.U32(outcome.num_partitions);
+  w.U64Vec(outcome.partition_epochs);
+  w.U32(outcome.failed_server);
+  w.I64(outcome.subquery_retries);
+  w.I64(outcome.hedges_fired);
+  w.I64(outcome.hedge_wins);
+  w.I64(outcome.cache_hits);
+  w.I64(outcome.cache_stale_serves);
+  EncodeQueryResult(w, outcome.result);
+  return std::move(w).str();
+}
+
+Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload) {
+  net::WireReader r(payload);
+  DistributedOutcome outcome;
+  outcome.status = net::DecodeStatus(r);
+  outcome.latency = r.I64();
+  outcome.fanout = r.I32();
+  outcome.num_partitions = r.U32();
+  outcome.partition_epochs = r.U64Vec();
+  outcome.failed_server = r.U32();
+  outcome.subquery_retries = static_cast<int>(r.I64());
+  outcome.hedges_fired = static_cast<int>(r.I64());
+  outcome.hedge_wins = static_cast<int>(r.I64());
+  outcome.cache_hits = static_cast<int>(r.I64());
+  outcome.cache_stale_serves = static_cast<int>(r.I64());
+  auto result = DecodeQueryResult(r);
+  if (!result.ok()) return result.status();
+  outcome.result = std::move(result).value();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "coordinate response"));
+  return outcome;
+}
+
+std::string EncodeEpochRequest(const std::string& table) {
+  net::WireWriter w;
+  w.Str(table);
+  return std::move(w).str();
+}
+
+Result<std::string> DecodeEpochRequest(std::string_view payload) {
+  net::WireReader r(payload);
+  std::string table = r.Str();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "epoch request"));
+  return table;
+}
+
+std::string EncodeEpochResponse(const std::vector<uint64_t>& epochs) {
+  net::WireWriter w;
+  w.U64Vec(epochs);
+  return std::move(w).str();
+}
+
+Result<std::vector<uint64_t>> DecodeEpochResponse(std::string_view payload) {
+  net::WireReader r(payload);
+  std::vector<uint64_t> epochs = r.U64Vec();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "epoch response"));
+  return epochs;
+}
+
+std::string EncodeClientQuery(const QueryRequest& request) {
+  net::WireWriter w;
+  EncodeQuery(w, request.query);
+  w.U16(request.preferred_region);
+  w.I64(request.deadline);
+  w.Bool(request.tracing);
+  w.U8(static_cast<uint8_t>(request.cache_policy));
+  w.Str(request.tenant_id);
+  w.U8(static_cast<uint8_t>(request.priority));
+  w.U8(static_cast<uint8_t>(request.scan_path));
+  return std::move(w).str();
+}
+
+Result<QueryRequest> DecodeClientQuery(std::string_view payload) {
+  net::WireReader r(payload);
+  QueryRequest request;
+  auto query = DecodeQuery(r);
+  if (!query.ok()) return query.status();
+  request.query = std::move(query).value();
+  request.preferred_region = r.U16();
+  request.deadline = r.I64();
+  request.tracing = r.Bool();
+  request.cache_policy = static_cast<cache::CachePolicy>(r.U8());
+  request.tenant_id = r.Str();
+  request.priority = static_cast<admit::Priority>(r.U8());
+  request.scan_path = static_cast<exec::ScanPath>(r.U8());
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "client query"));
+  return request;
+}
+
+std::string EncodeClientRows(const ClientRowsEnvelope& envelope) {
+  net::WireWriter w;
+  EncodeResultRows(w, envelope.rows);
+  w.U16(envelope.region);
+  w.I32(envelope.attempts);
+  w.I32(envelope.fanout);
+  w.I64(envelope.latency);
+  return std::move(w).str();
+}
+
+Result<ClientRowsEnvelope> DecodeClientRows(std::string_view payload) {
+  net::WireReader r(payload);
+  ClientRowsEnvelope envelope;
+  auto rows = DecodeResultRows(r);
+  if (!rows.ok()) return rows.status();
+  envelope.rows = std::move(rows).value();
+  envelope.region = r.U16();
+  envelope.attempts = r.I32();
+  envelope.fanout = r.I32();
+  envelope.latency = r.I64();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "client rows"));
+  return envelope;
+}
+
+}  // namespace scalewall::cubrick::wire

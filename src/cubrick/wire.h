@@ -1,0 +1,115 @@
+// Wire codecs for cubrick structures (scalewall::net payloads).
+//
+// scalewall_net owns the frame layout and the primitive field encoders
+// (net/wire.h) but sits *below* cubrick in the dependency order, so the
+// codecs for cubrick's own types — Query, QueryResult, PartialResult,
+// the per-hop request/response envelopes — live here, built on
+// net::WireWriter / net::WireReader.
+//
+// Encoding invariants:
+//  * Every codec is lossless for the fields it carries. QueryResult
+//    serializes each AggState as its four raw components (sum/count/
+//    min/max) with doubles as IEEE-754 bit patterns, and the decoder
+//    folds them in via QueryResult::AccumulateState — merging into a
+//    fresh default state, which reproduces the encoded state
+//    bit-for-bit. Group iteration follows the result's sorted map
+//    order, so encoding is deterministic and decode preserves merge
+//    order. This is what makes a transport-mediated fan-out
+//    byte-identical to a direct one.
+//  * Deadlines cross the wire as *remaining budget* (microseconds),
+//    computed at serialization time: the request envelopes zero
+//    Query::deadline and carry `deadline_budget_micros` beside it, so
+//    an absolute deadline from one clock domain can never extend (or
+//    truncate) the budget in another.
+//  * Decoders validate with WireReader poisoning plus an exhausted()
+//    check: short, oversized and trailing-garbage payloads all fail
+//    with kInvalidArgument instead of misdecoding.
+
+#ifndef SCALEWALL_CUBRICK_WIRE_H_
+#define SCALEWALL_CUBRICK_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "cubrick/coordinator.h"
+#include "cubrick/query.h"
+#include "cubrick/request.h"
+#include "cubrick/server.h"
+#include "net/wire.h"
+
+namespace scalewall::cubrick::wire {
+
+// --- core structures (faithful round-trips) ---
+
+void EncodeQuery(net::WireWriter& w, const Query& query);
+Result<Query> DecodeQuery(net::WireReader& r);
+
+void EncodeQueryResult(net::WireWriter& w, const QueryResult& result);
+Result<QueryResult> DecodeQueryResult(net::WireReader& r);
+
+void EncodeResultRows(net::WireWriter& w, const std::vector<ResultRow>& rows);
+Result<std::vector<ResultRow>> DecodeResultRows(net::WireReader& r);
+
+// --- hop envelopes ---
+
+// coordinator -> partition host. `remaining_budget` (microseconds of
+// budget left at serialization time, 0 = unlimited) travels beside the
+// query; the query's own absolute deadline is zeroed in the envelope.
+struct SubqueryEnvelope {
+  Query query;
+  uint32_t partition = 0;
+  cache::CachePolicy cache_policy = cache::CachePolicy::kDefault;
+  exec::ScanPath scan_path = exec::ScanPath::kVectorized;
+  std::string fingerprint;  // "" = none precomputed
+  SimDuration remaining_budget = 0;
+};
+std::string EncodeSubqueryRequest(const SubqueryEnvelope& envelope);
+Result<SubqueryEnvelope> DecodeSubqueryRequest(std::string_view payload);
+
+// Successful response: the partial. Failures travel as kError frames.
+std::string EncodeSubqueryResponse(const PartialResult& partial);
+Result<PartialResult> DecodeSubqueryResponse(std::string_view payload);
+
+// proxy -> coordinator: run the whole in-region distributed attempt.
+struct CoordinateEnvelope {
+  Query query;
+  cache::CachePolicy cache_policy = cache::CachePolicy::kDefault;
+  exec::ScanPath scan_path = exec::ScanPath::kVectorized;
+  std::string fingerprint;
+  SimDuration remaining_budget = 0;  // micros left, 0 = unlimited
+  SimTime dispatch_time = -1;        // sim-time anchor for spans
+};
+std::string EncodeCoordinateRequest(const CoordinateEnvelope& envelope);
+Result<CoordinateEnvelope> DecodeCoordinateRequest(std::string_view payload);
+
+// The full DistributedOutcome round-trips (status included): a failed
+// attempt still carries latency, counters and the failed server, which
+// the proxy's retry/blacklist logic consumes.
+std::string EncodeCoordinateResponse(const DistributedOutcome& outcome);
+Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload);
+
+// proxy -> region: collect partition epochs (merged-cache validation).
+std::string EncodeEpochRequest(const std::string& table);
+Result<std::string> DecodeEpochRequest(std::string_view payload);
+std::string EncodeEpochResponse(const std::vector<uint64_t>& epochs);
+Result<std::vector<uint64_t>> DecodeEpochResponse(std::string_view payload);
+
+// client -> node proxy: a full QueryRequest (the one envelope where the
+// absolute deadline survives — the node proxy is the budget's origin).
+std::string EncodeClientQuery(const QueryRequest& request);
+Result<QueryRequest> DecodeClientQuery(std::string_view payload);
+
+// node proxy -> client: materialized rows plus result metadata.
+struct ClientRowsEnvelope {
+  std::vector<ResultRow> rows;
+  cluster::RegionId region = 0;
+  int attempts = 0;
+  int fanout = 0;
+  SimDuration latency = 0;
+};
+std::string EncodeClientRows(const ClientRowsEnvelope& envelope);
+Result<ClientRowsEnvelope> DecodeClientRows(std::string_view payload);
+
+}  // namespace scalewall::cubrick::wire
+
+#endif  // SCALEWALL_CUBRICK_WIRE_H_

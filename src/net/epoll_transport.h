@@ -1,0 +1,188 @@
+// Real-socket transport backend (scalewall::net).
+//
+// EpollTransport speaks the scalewall wire format over nonblocking TCP
+// sockets multiplexed by one edge-triggered EventLoop. It is the
+// backend `scalewall_node` processes use; the query path is identical
+// to the sim backend's — same frames, same codecs — so a fan-out query
+// returns byte-identical rows over either.
+//
+// Concurrency model: every connection and call-routing structure is
+// owned by the event-loop thread. Public entry points (Call, CallAsync)
+// post into the loop; completion callbacks run on the loop thread (or a
+// handler worker). The blocking Call is a condition-variable wait
+// around CallAsync.
+//
+// Flow control, per logical peer:
+//  * at most `connections_per_peer` TCP connections, calls multiplexed
+//    over them by correlation id (round-robin);
+//  * at most `max_inflight_per_peer` calls awaiting responses; further
+//    calls queue, up to `max_queued_per_peer`;
+//  * beyond that, calls fail kResourceExhausted immediately — visible
+//    backpressure instead of an invisible unbounded queue.
+// Writes that would block park in a per-connection buffer flushed on
+// EPOLLOUT edges, so a slow peer stalls its own connection only.
+//
+// Every call carries a deadline (options.timeout, else the default):
+// a timer on the loop fails the call kDeadlineExceeded and a late
+// response is dropped by its stale correlation id.
+
+#ifndef SCALEWALL_NET_EPOLL_TRANSPORT_H_
+#define SCALEWALL_NET_EPOLL_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/transport.h"
+
+namespace scalewall::net {
+
+struct EpollTransportOptions {
+  // Applied when CallOptions.timeout == 0. Microseconds, wall clock.
+  int64_t default_timeout_micros = 5'000'000;
+  int64_t connect_timeout_micros = 2'000'000;
+  int max_inflight_per_peer = 32;
+  int max_queued_per_peer = 256;
+  int connections_per_peer = 1;
+  // 0 = run the request handler on the loop thread (fine for tests and
+  // light handlers). N > 0 = a pool of N worker threads executes
+  // handlers so long scans never stall the event loop.
+  int handler_threads = 0;
+};
+
+class EpollTransport : public Transport {
+ public:
+  explicit EpollTransport(obs::MetricsRegistry* metrics = nullptr,
+                          EpollTransportOptions options = {});
+  ~EpollTransport() override;
+
+  // Starts the event loop (and handler workers). Must precede any call.
+  bool Start();
+  // Fails every pending and queued call kUnavailable, closes all
+  // sockets, joins workers and the loop thread. Idempotent.
+  void Stop();
+
+  // Binds + listens on `address` ("ip:port"; port 0 picks a free port).
+  // Call after Start. The bound port is `listen_port()`.
+  Status Listen(const std::string& address);
+  int listen_port() const { return listen_port_; }
+
+  // Maps a logical peer name (e.g. "s3") to a socket address. Calls to
+  // an unmapped name treat the name itself as "ip:port".
+  void MapPeer(const std::string& name, const std::string& address);
+
+  // Transport interface. CallSideband is in-process-only context and
+  // does not cross sockets; handlers here receive an empty one.
+  Result<Message> Call(const std::string& peer, Message request,
+                       const CallOptions& options = {}) override;
+  void CallAsync(const std::string& peer, Message request,
+                 const CallOptions& options,
+                 std::function<void(Result<Message>)> done) override;
+  void SetHandler(Handler handler) override;  // set before Start
+  std::string_view backend() const override { return "epoll"; }
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    bool outbound = false;
+    bool connected = false;  // outbound: TCP handshake finished
+    std::string peer;        // outbound: logical peer name
+    FrameDecoder decoder;
+    std::string write_buf;
+    size_t write_off = 0;
+    bool want_write = false;
+    EventLoop::TimerId connect_timer = 0;
+  };
+
+  struct QueuedCall {
+    Message request;
+    int64_t timeout_micros = 0;
+    std::function<void(Result<Message>)> done;
+  };
+
+  struct PeerState {
+    std::vector<uint64_t> conns;
+    size_t next_conn = 0;
+    int inflight = 0;
+    std::deque<QueuedCall> queue;
+  };
+
+  struct PendingCall {
+    std::string peer;
+    uint64_t conn_id = 0;
+    std::function<void(Result<Message>)> done;
+    EventLoop::TimerId timer = 0;
+    int64_t start_micros = 0;
+  };
+
+  // --- loop-thread-only ---
+  void StartOrQueue(const std::string& peer, Message request,
+                    int64_t timeout_micros,
+                    std::function<void(Result<Message>)> done);
+  void DispatchCall(const std::string& peer, Message request,
+                    int64_t timeout_micros,
+                    std::function<void(Result<Message>)> done);
+  void CompleteCall(uint64_t correlation, Result<Message> result);
+  void PumpPeerQueue(const std::string& peer);
+  Connection* GetPeerConnection(const std::string& peer);
+  Connection* ConnectTo(const std::string& peer);
+  void OnConnectWritable(uint64_t conn_id);
+  void OnReadable(uint64_t conn_id);
+  void OnWritable(uint64_t conn_id);
+  void HandleInboundFrame(uint64_t conn_id, Frame frame);
+  void HandleResponseFrame(Frame frame);
+  void RespondTo(uint64_t conn_id, FrameType type, uint64_t correlation,
+                 std::string_view payload);
+  void SendBytes(Connection* conn, std::string bytes);
+  void FlushWrites(Connection* conn);
+  void CloseConnection(uint64_t conn_id, const Status& reason);
+  void UpdateQueueGauge();
+
+  void RunHandlerJob(uint64_t conn_id, Frame frame);
+  void WorkerMain();
+
+  EpollTransportOptions options_;
+  TransportStats stats_;
+  EventLoop loop_;
+  Handler handler_;
+  bool started_ = false;
+
+  int listen_fd_ = -1;
+  int listen_port_ = 0;
+
+  std::mutex peer_map_mu_;
+  std::map<std::string, std::string> peer_addresses_;
+
+  // Loop-thread-only routing state.
+  uint64_t next_conn_id_ = 1;
+  uint64_t next_correlation_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  std::map<std::string, PeerState> peers_;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  int total_inflight_ = 0;
+
+  // Handler worker pool.
+  struct Job {
+    uint64_t conn_id = 0;
+    Frame frame;
+  };
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scalewall::net
+
+#endif  // SCALEWALL_NET_EPOLL_TRANSPORT_H_

@@ -1,0 +1,184 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace scalewall::net {
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() { Stop(); }
+
+bool EventLoop::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return false;
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return false;
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    close(wake_fd_);
+    close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return false;
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void EventLoop::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+  fd_callbacks_.clear();
+  timer_callbacks_.clear();
+  while (!timer_heap_.empty()) timer_heap_.pop();
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.clear();
+  }
+  close(wake_fd_);
+  close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+bool EventLoop::InLoopThread() const {
+  return thread_.get_id() == std::this_thread::get_id();
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void EventLoop::RunInLoop(std::function<void()> task) {
+  if (InLoopThread()) {
+    task();
+  } else {
+    Post(std::move(task));
+  }
+}
+
+bool EventLoop::AddFd(int fd, uint32_t events, FdCallback callback) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  fd_callbacks_[fd] = std::move(callback);
+  return true;
+}
+
+bool EventLoop::ModFd(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  return epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::RemoveFd(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_callbacks_.erase(fd);
+}
+
+EventLoop::TimerId EventLoop::ScheduleAfter(int64_t delay_micros,
+                                            std::function<void()> fn) {
+  TimerId id = next_timer_id_++;
+  timer_callbacks_[id] = std::move(fn);
+  timer_heap_.push(Timer{NowMicros() + delay_micros, id});
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) { timer_callbacks_.erase(id); }
+
+int64_t EventLoop::NowMicros() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::FireDueTimers() {
+  const int64_t now = NowMicros();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline_micros <= now) {
+    Timer t = timer_heap_.top();
+    timer_heap_.pop();
+    auto it = timer_callbacks_.find(t.id);
+    if (it == timer_callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    timer_callbacks_.erase(it);
+    fn();
+  }
+}
+
+int EventLoop::NextTimeoutMillis() const {
+  // Cancelled timers leave stale heap entries; they only shorten the
+  // wait (we wake, find no callback, re-sleep), never lengthen it.
+  if (timer_heap_.empty()) return 1000;
+  const int64_t delta = timer_heap_.top().deadline_micros - NowMicros();
+  if (delta <= 0) return 0;
+  const int64_t millis = delta / 1000 + 1;  // round up: never fire early
+  return millis > 1000 ? 1000 : static_cast<int>(millis);
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents,
+                             NextTimeoutMillis());
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t buf;
+        while (read(wake_fd_, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto it = fd_callbacks_.find(fd);
+      if (it == fd_callbacks_.end()) continue;
+      // Copy the handle: the callback may RemoveFd(fd) (tearing down its
+      // own connection), which erases the map entry under it.
+      FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+    FireDueTimers();
+    DrainPosted();
+  }
+}
+
+}  // namespace scalewall::net

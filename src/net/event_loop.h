@@ -1,0 +1,111 @@
+// Single-threaded epoll event loop (scalewall::net).
+//
+// One EventLoop owns one epoll instance and one thread. Everything that
+// touches a registered fd — registration, modification, the readiness
+// callbacks themselves, timers — runs on that thread, so connection
+// state needs no locking. Other threads interact with the loop only
+// through Post(), which enqueues a task and wakes the loop via an
+// eventfd.
+//
+// Fds are registered edge-triggered (EPOLLET): a callback must drain
+// its fd until EAGAIN, because the readiness edge will not be reported
+// again until new bytes (or buffer space) arrive. Timers are a binary
+// heap over CLOCK_MONOTONIC deadlines; the epoll_wait timeout is the
+// earliest pending deadline.
+
+#ifndef SCALEWALL_NET_EVENT_LOOP_H_
+#define SCALEWALL_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace scalewall::net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t epoll_events)>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Starts the loop thread. Returns false if epoll/eventfd setup failed.
+  bool Start();
+  // Stops and joins the loop thread; pending timers and posted tasks are
+  // discarded. Registered fds are deregistered but NOT closed — their
+  // owners close them.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool InLoopThread() const;
+
+  // Enqueues `task` to run on the loop thread. Thread-safe. Tasks posted
+  // from the loop thread itself still go through the queue (run after
+  // the current callback returns), which makes re-entrancy impossible.
+  void Post(std::function<void()> task);
+  // Post, but runs inline immediately when already on the loop thread.
+  void RunInLoop(std::function<void()> task);
+
+  // --- loop-thread-only operations ---
+
+  // Registers `fd` edge-triggered for `events` (EPOLLIN/EPOLLOUT/...).
+  // The callback receives the ready event mask.
+  bool AddFd(int fd, uint32_t events, FdCallback callback);
+  // Changes the interest set of a registered fd.
+  bool ModFd(int fd, uint32_t events);
+  // Deregisters; the callback is dropped. Does not close the fd.
+  void RemoveFd(int fd);
+
+  // One-shot timer `delay_micros` from now. Returns an id for Cancel.
+  TimerId ScheduleAfter(int64_t delay_micros, std::function<void()> fn);
+  void CancelTimer(TimerId id);
+
+  // CLOCK_MONOTONIC now, in microseconds.
+  static int64_t NowMicros();
+
+ private:
+  void Run();
+  void DrainPosted();
+  void FireDueTimers();
+  int NextTimeoutMillis() const;
+
+  struct Timer {
+    int64_t deadline_micros;
+    TimerId id;
+    bool operator>(const Timer& other) const {
+      if (deadline_micros != other.deadline_micros) {
+        return deadline_micros > other.deadline_micros;
+      }
+      return id > other.id;
+    }
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, FdCallback> fd_callbacks_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timer_heap_;
+  std::unordered_map<TimerId, std::function<void()>> timer_callbacks_;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace scalewall::net
+
+#endif  // SCALEWALL_NET_EVENT_LOOP_H_

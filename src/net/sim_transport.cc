@@ -1,0 +1,88 @@
+#include "net/sim_transport.h"
+
+namespace scalewall::net {
+
+Result<Message> SimTransport::Call(const std::string& peer, Message request,
+                                   const CallOptions& options) {
+  TransportStats& stats = network_->stats_;
+  auto it = network_->nodes_.find(peer);
+  if (it == network_->nodes_.end()) {
+    ++stats.errors;
+    return Status::Unavailable("no such peer: " + peer);
+  }
+  SimTransport* target = it->second.get();
+  if (!target->handler_) {
+    ++stats.errors;
+    return Status::Unavailable("peer has no handler: " + peer);
+  }
+
+  // The request frame crosses the (simulated) wire: count it out on our
+  // side and in on the peer's. Both ends share one stats block, so the
+  // series read like a whole-cluster view — matching how a deployment's
+  // registry aggregates them.
+  const size_t request_bytes = kFrameHeaderBytes + request.payload.size();
+  ++stats.frames_out;
+  stats.bytes_out += static_cast<int64_t>(request_bytes);
+  ++stats.frames_in;
+  stats.bytes_in += static_cast<int64_t>(request_bytes);
+
+  // Transport span, nested under the caller's span when one is supplied.
+  // Start/end are modeled times, so traces stay seed-deterministic.
+  obs::TraceContext span;
+  if (options.sideband.trace.active() && options.sideband.trace_time >= 0) {
+    span = options.sideband.trace.Child("net " + std::string(FrameTypeName(
+                                            request.type)),
+                                        options.sideband.trace_time);
+    span.Annotate("peer", peer);
+    span.Annotate("backend", "sim");
+  }
+
+  Result<Message> response = target->handler_(request, options.sideband);
+
+  if (span.active()) {
+    span.Annotate("bytes_out", std::to_string(request_bytes));
+    if (response.ok()) {
+      span.Annotate("bytes_in", std::to_string(kFrameHeaderBytes +
+                                               response->payload.size()));
+    } else {
+      span.Annotate("status",
+                    std::string(StatusCodeName(response.status().code())));
+    }
+    span.End(options.sideband.trace_time + options.modeled_rtt);
+  }
+
+  if (!response.ok()) {
+    ++stats.handler_errors;
+    return response;
+  }
+
+  const size_t response_bytes = kFrameHeaderBytes + response->payload.size();
+  ++stats.frames_out;
+  stats.bytes_out += static_cast<int64_t>(response_bytes);
+  ++stats.frames_in;
+  stats.bytes_in += static_cast<int64_t>(response_bytes);
+  if (options.modeled_rtt > 0) {
+    stats.rtt_ms.Add(static_cast<double>(options.modeled_rtt) / 1000.0);
+  }
+  return response;
+}
+
+const TransportStats& SimTransport::stats() const { return network_->stats_; }
+
+void SimTransport::RecordModeledRtt(double millis) {
+  network_->stats_.rtt_ms.Add(millis);
+}
+
+SimTransport* SimNetwork::Node(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(name, std::unique_ptr<SimTransport>(
+                                  new SimTransport(this, name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void SimNetwork::RemoveNode(const std::string& name) { nodes_.erase(name); }
+
+}  // namespace scalewall::net

@@ -1,0 +1,87 @@
+// Deterministic sim backend for scalewall::net.
+//
+// A SimNetwork is a registry of named in-process nodes; each node is a
+// SimTransport endpoint with its own handler. A Call looks the peer up,
+// counts the request frame out / in, invokes the peer's handler inline
+// and counts the response back — so a mediated hop really does pass its
+// request and response through the wire encoders (serialization bugs
+// surface as wrong results, caught by the differential suites), while
+// timing stays exactly the caller's modeled arithmetic: the backend
+// draws no randomness, schedules no events, and adds no latency.
+// Timestamps and RTT metrics come from the discrete-event clock and
+// from the caller-provided modeled RTT, so two same-seed runs export
+// byte-identical transport metrics.
+//
+// The side-band context (cancel token, parent span, RNG cookie) is
+// delivered to the handler by pointer — both ends share an address
+// space; see CallSideband in transport.h for why those fields have no
+// wire form.
+
+#ifndef SCALEWALL_NET_SIM_TRANSPORT_H_
+#define SCALEWALL_NET_SIM_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "sim/simulation.h"
+
+namespace scalewall::net {
+
+class SimNetwork;
+
+class SimTransport : public Transport {
+ public:
+  Result<Message> Call(const std::string& peer, Message request,
+                       const CallOptions& options = {}) override;
+  void RecordModeledRtt(double millis) override;
+  void SetHandler(Handler handler) override { handler_ = std::move(handler); }
+  std::string_view backend() const override { return "sim"; }
+  const TransportStats& stats() const override;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class SimNetwork;
+  SimTransport(SimNetwork* network, std::string name)
+      : network_(network), name_(std::move(name)) {}
+
+  SimNetwork* network_;
+  std::string name_;
+  Handler handler_;
+};
+
+class SimNetwork {
+ public:
+  // `metrics` (optional) receives the shared scalewall_net_* series
+  // with backend="sim". `simulation` provides timestamps.
+  explicit SimNetwork(sim::Simulation* simulation,
+                      obs::MetricsRegistry* metrics = nullptr)
+      : simulation_(simulation), stats_(metrics, "sim") {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Returns the named node, creating it (handler-less) on first use.
+  SimTransport* Node(const std::string& name);
+
+  // Drops a node: subsequent calls to it fail kUnavailable. Used when a
+  // server is decommissioned so its handler's captures cannot dangle.
+  void RemoveNode(const std::string& name);
+
+  TransportStats& stats() { return stats_; }
+  sim::Simulation* simulation() { return simulation_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  friend class SimTransport;
+
+  sim::Simulation* simulation_;
+  TransportStats stats_;
+  std::map<std::string, std::unique_ptr<SimTransport>> nodes_;
+};
+
+}  // namespace scalewall::net
+
+#endif  // SCALEWALL_NET_SIM_TRANSPORT_H_

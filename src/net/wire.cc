@@ -1,0 +1,93 @@
+#include "net/wire.h"
+
+namespace scalewall::net {
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kSubqueryRequest:
+      return "subquery_request";
+    case FrameType::kSubqueryResponse:
+      return "subquery_response";
+    case FrameType::kCoordinateRequest:
+      return "coordinate_request";
+    case FrameType::kCoordinateResponse:
+      return "coordinate_response";
+    case FrameType::kEpochRequest:
+      return "epoch_request";
+    case FrameType::kEpochResponse:
+      return "epoch_response";
+    case FrameType::kClientQuery:
+      return "client_query";
+    case FrameType::kClientRows:
+      return "client_rows";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, uint64_t correlation,
+                        std::string_view payload) {
+  WireWriter w;
+  // Length covers version + type + correlation + payload.
+  w.U32(static_cast<uint32_t>(payload.size() + 10));
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U64(correlation);
+  std::string out = std::move(w).str();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+bool FrameDecoder::Next(Frame* frame) {
+  if (!ok_) return false;
+  if (buf_.size() < 4) return false;
+  WireReader header(std::string_view(buf_).substr(0, 4));
+  const uint32_t length = header.U32();
+  if (length < 10) {
+    ok_ = false;
+    error_ = "frame length " + std::to_string(length) +
+             " below minimum header size";
+    return false;
+  }
+  if (length - 10 > kMaxFramePayload) {
+    // Rejected from the 4-byte prefix alone: a forged length can never
+    // commit the connection to buffering it first.
+    ok_ = false;
+    error_ = "frame payload of " + std::to_string(length - 10) +
+             " bytes exceeds kMaxFramePayload";
+    return false;
+  }
+  if (buf_.size() - 4 < length) return false;  // need more bytes
+  WireReader body(std::string_view(buf_).substr(4, length));
+  const uint8_t version = body.U8();
+  if (version != kWireVersion) {
+    ok_ = false;
+    error_ = "frame version " + std::to_string(version) + " != " +
+             std::to_string(kWireVersion);
+    return false;
+  }
+  frame->type = static_cast<FrameType>(body.U8());
+  frame->correlation = body.U64();
+  frame->payload.assign(buf_, 4 + 10, length - 10);
+  buf_.erase(0, 4 + length);
+  return true;
+}
+
+void EncodeStatus(WireWriter& w, const Status& status) {
+  w.I32(StatusCodeToInt(status.code()));
+  w.Str(status.message());
+}
+
+Status DecodeStatus(WireReader& r) {
+  const int code = r.I32();
+  std::string message = r.Str();
+  if (!r.ok()) return Status::Internal("malformed wire status");
+  return Status::FromCode(code, std::move(message));
+}
+
+}  // namespace scalewall::net

@@ -1,0 +1,105 @@
+#include "node/dataset.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace scalewall::node {
+
+const std::string& DatasetTable() {
+  static const std::string kTable = "ads";
+  return kTable;
+}
+
+cubrick::TableSchema DatasetSchema() {
+  cubrick::TableSchema schema;
+  schema.dimensions = {
+      {"day", /*cardinality=*/32, /*range_size=*/8},
+      {"region", /*cardinality=*/8, /*range_size=*/2},
+      {"product", /*cardinality=*/64, /*range_size=*/16},
+  };
+  schema.metrics = {{"spend"}, {"clicks"}};
+  return schema;
+}
+
+std::vector<cubrick::Row> GenerateRows(const DatasetOptions& options) {
+  Rng rng(options.seed);
+  const cubrick::TableSchema schema = DatasetSchema();
+  std::vector<cubrick::Row> rows;
+  rows.reserve(options.num_rows);
+  for (uint64_t i = 0; i < options.num_rows; ++i) {
+    cubrick::Row row;
+    row.dims.reserve(schema.dimensions.size());
+    for (const cubrick::Dimension& dim : schema.dimensions) {
+      row.dims.push_back(
+          static_cast<uint32_t>(rng.NextBounded(dim.cardinality)));
+    }
+    // Metric values with full double mantissas, so an encoder that is
+    // lossy in any bit shows up as a result mismatch.
+    row.metrics.push_back(rng.NextDouble() * 1000.0);
+    row.metrics.push_back(static_cast<double>(rng.NextBounded(50)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+uint32_t PartitionForRow(const std::string& table, const cubrick::Row& row,
+                         uint32_t num_partitions) {
+  uint64_t h = HashString(table);
+  for (uint32_t v : row.dims) h = HashCombine(h, HashInt(v));
+  return static_cast<uint32_t>(h % num_partitions);
+}
+
+uint32_t ServerForPartition(uint32_t partition, uint32_t num_servers) {
+  return num_servers == 0 ? 0 : partition % num_servers;
+}
+
+Result<cubrick::TablePartition> BuildPartition(const DatasetOptions& options,
+                                               uint32_t partition) {
+  cubrick::TablePartition part(DatasetTable(), partition, DatasetSchema());
+  for (const cubrick::Row& row : GenerateRows(options)) {
+    if (PartitionForRow(DatasetTable(), row, options.num_partitions) !=
+        partition) {
+      continue;
+    }
+    SCALEWALL_RETURN_IF_ERROR(part.Insert(row));
+  }
+  return part;
+}
+
+Result<std::vector<cubrick::ResultRow>> ExecuteLocal(
+    const DatasetOptions& options, const cubrick::Query& query) {
+  SCALEWALL_RETURN_IF_ERROR(query.Validate(DatasetSchema()));
+  cubrick::QueryResult merged(query.aggregations.size());
+  for (uint32_t p = 0; p < options.num_partitions; ++p) {
+    auto part = BuildPartition(options, p);
+    SCALEWALL_RETURN_IF_ERROR(part.status());
+    cubrick::QueryResult partial(query.aggregations.size());
+    SCALEWALL_RETURN_IF_ERROR(part->Execute(query, partial));
+    merged.Merge(partial);
+  }
+  return cubrick::MaterializeRows(merged, query);
+}
+
+std::string FormatResultRows(const std::vector<cubrick::ResultRow>& rows) {
+  std::string out;
+  char buf[64];
+  for (const cubrick::ResultRow& row : rows) {
+    for (size_t i = 0; i < row.key.size(); ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "%" PRIu32, row.key[i]);
+      out += buf;
+    }
+    out += " |";
+    for (double v : row.values) {
+      std::snprintf(buf, sizeof(buf), " %.17g", v);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scalewall::node

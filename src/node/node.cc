@@ -1,0 +1,224 @@
+#include "node/node.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cubrick/net_service.h"
+#include "net/event_loop.h"
+
+namespace scalewall::node {
+
+namespace {
+namespace cwire = cubrick::wire;
+}  // namespace
+
+ServerNode::ServerNode(NodeOptions options, obs::MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      transport_(metrics, [&] {
+        net::EpollTransportOptions t = options_.transport;
+        // Scans run on workers so a long brick scan never stalls the
+        // socket loop.
+        t.handler_threads = std::max(1, t.handler_threads);
+        return t;
+      }()) {}
+
+ServerNode::~ServerNode() { Stop(); }
+
+Status ServerNode::Start() {
+  for (uint32_t p = 0; p < options_.dataset.num_partitions; ++p) {
+    if (ServerForPartition(p, options_.num_servers) != options_.server_id) {
+      continue;
+    }
+    auto part = BuildPartition(options_.dataset, p);
+    SCALEWALL_RETURN_IF_ERROR(part.status());
+    partitions_.emplace(p, std::move(part).value());
+  }
+  transport_.SetHandler(
+      [this](const net::Message& request, const net::CallSideband&) {
+        return Handle(request);
+      });
+  if (!transport_.Start()) return Status::Internal("event loop failed");
+  return transport_.Listen(options_.listen);
+}
+
+void ServerNode::Stop() { transport_.Stop(); }
+
+Result<net::Message> ServerNode::Handle(const net::Message& request) {
+  switch (request.type) {
+    case net::FrameType::kSubqueryRequest: {
+      auto envelope = cwire::DecodeSubqueryRequest(request.payload);
+      if (!envelope.ok()) return envelope.status();
+      if (envelope->query.table != DatasetTable()) {
+        return Status::NotFound("unknown table " + envelope->query.table);
+      }
+      auto it = partitions_.find(envelope->partition);
+      if (it == partitions_.end()) {
+        return Status::NotFound(
+            "partition " + std::to_string(envelope->partition) +
+            " not hosted on server " + std::to_string(options_.server_id));
+      }
+      SCALEWALL_RETURN_IF_ERROR(
+          envelope->query.Validate(it->second.schema()));
+      cubrick::PartialResult partial;
+      partial.result = cubrick::QueryResult(envelope->query.aggregations.size());
+      SCALEWALL_RETURN_IF_ERROR(
+          it->second.Execute(envelope->query, partial.result));
+      partial.epoch = it->second.epoch();
+      return net::Message{net::FrameType::kSubqueryResponse,
+                          cwire::EncodeSubqueryResponse(partial)};
+    }
+    case net::FrameType::kEpochRequest: {
+      auto table = cwire::DecodeEpochRequest(request.payload);
+      if (!table.ok()) return table.status();
+      if (*table != DatasetTable()) {
+        return Status::NotFound("unknown table " + *table);
+      }
+      std::vector<uint64_t> epochs(options_.dataset.num_partitions, 0);
+      for (const auto& [p, part] : partitions_) epochs[p] = part.epoch();
+      return net::Message{net::FrameType::kEpochResponse,
+                          cwire::EncodeEpochResponse(epochs)};
+    }
+    default:
+      return Status::Unimplemented(
+          "server node does not serve frame type " +
+          std::string(net::FrameTypeName(request.type)));
+  }
+}
+
+ProxyNode::ProxyNode(NodeOptions options,
+                     std::map<std::string, std::string> peer_addresses,
+                     obs::MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      peer_addresses_(std::move(peer_addresses)),
+      transport_(metrics, [&] {
+        net::EpollTransportOptions t = options_.transport;
+        // The client-query handler blocks on its own fan-out calls; it
+        // must run off the loop thread that services those calls.
+        t.handler_threads = std::max(1, t.handler_threads);
+        return t;
+      }()) {}
+
+ProxyNode::~ProxyNode() { Stop(); }
+
+Status ProxyNode::Start() {
+  for (const auto& [name, address] : peer_addresses_) {
+    transport_.MapPeer(name, address);
+  }
+  transport_.SetHandler(
+      [this](const net::Message& request, const net::CallSideband&) {
+        return Handle(request);
+      });
+  if (!transport_.Start()) return Status::Internal("event loop failed");
+  return transport_.Listen(options_.listen);
+}
+
+void ProxyNode::Stop() { transport_.Stop(); }
+
+Result<net::Message> ProxyNode::Handle(const net::Message& request) {
+  if (request.type != net::FrameType::kClientQuery) {
+    return Status::Unimplemented("proxy node does not serve frame type " +
+                                 std::string(net::FrameTypeName(request.type)));
+  }
+  auto decoded = cwire::DecodeClientQuery(request.payload);
+  if (!decoded.ok()) return decoded.status();
+  const cubrick::QueryRequest& query_request = *decoded;
+  const cubrick::Query& query = query_request.query;
+  SCALEWALL_RETURN_IF_ERROR(query.Validate(DatasetSchema()));
+
+  const int64_t start_micros = net::EventLoop::NowMicros();
+  // The deadline converts to remaining budget *here*, at the hop's
+  // serialization time: the client's absolute deadline never crosses a
+  // clock domain (see cubrick/wire.h).
+  const SimDuration budget = query_request.deadline > 0
+                                 ? query_request.deadline
+                                 : query.deadline;
+
+  // Fan out one subquery per partition, all in flight at once; the
+  // handler worker blocks while the loop thread services the calls.
+  const uint32_t num_partitions = options_.dataset.num_partitions;
+  struct Fanout {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    std::vector<std::optional<Result<net::Message>>> responses;
+  };
+  auto fanout = std::make_shared<Fanout>();
+  fanout->remaining = num_partitions;
+  fanout->responses.resize(num_partitions);
+  std::set<uint32_t> servers;
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    cwire::SubqueryEnvelope envelope;
+    envelope.query = query;
+    envelope.partition = p;
+    envelope.cache_policy = query_request.cache_policy;
+    envelope.scan_path = query_request.scan_path;
+    envelope.remaining_budget = budget;
+    const uint32_t server = ServerForPartition(p, options_.num_servers);
+    servers.insert(server);
+    net::CallOptions call;
+    call.timeout = budget;  // 0 = the transport's default timeout
+    transport_.CallAsync(
+        cubrick::NodePeerName(server),
+        net::Message{net::FrameType::kSubqueryRequest,
+                     cwire::EncodeSubqueryRequest(envelope)},
+        call, [fanout, p](Result<net::Message> response) {
+          std::lock_guard<std::mutex> lock(fanout->mu);
+          fanout->responses[p] = std::move(response);
+          if (--fanout->remaining == 0) fanout->cv.notify_all();
+        });
+  }
+  {
+    std::unique_lock<std::mutex> lock(fanout->mu);
+    fanout->cv.wait(lock, [&] { return fanout->remaining == 0; });
+  }
+
+  // Merge in ascending partition order — the coordinator's order, which
+  // is what makes the merged states reproducible.
+  cubrick::QueryResult merged(query.aggregations.size());
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    Result<net::Message>& response = *fanout->responses[p];
+    if (!response.ok()) return response.status();
+    if (response->type != net::FrameType::kSubqueryResponse) {
+      return Status::Internal(
+          "unexpected frame type in subquery response: " +
+          std::string(net::FrameTypeName(response->type)));
+    }
+    auto partial = cwire::DecodeSubqueryResponse(response->payload);
+    if (!partial.ok()) return partial.status();
+    merged.Merge(partial->result);
+  }
+
+  cwire::ClientRowsEnvelope rows;
+  rows.rows = cubrick::MaterializeRows(merged, query);
+  rows.region = 0;
+  rows.attempts = 1;
+  rows.fanout = static_cast<int>(servers.size());
+  rows.latency = net::EventLoop::NowMicros() - start_micros;
+  return net::Message{net::FrameType::kClientRows,
+                      cwire::EncodeClientRows(rows)};
+}
+
+Result<cubrick::wire::ClientRowsEnvelope> SubmitClientQuery(
+    net::Transport& transport, const std::string& proxy,
+    const cubrick::QueryRequest& request) {
+  net::CallOptions options;
+  options.timeout = request.deadline;  // 0 = transport default
+  auto response = transport.Call(
+      proxy,
+      net::Message{net::FrameType::kClientQuery,
+                   cwire::EncodeClientQuery(request)},
+      options);
+  if (!response.ok()) return response.status();
+  if (response->type != net::FrameType::kClientRows) {
+    return Status::Internal("unexpected frame type in client response: " +
+                            std::string(net::FrameTypeName(response->type)));
+  }
+  return cwire::DecodeClientRows(response->payload);
+}
+
+}  // namespace scalewall::node

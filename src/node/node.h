@@ -1,0 +1,96 @@
+// scalewall_node roles: deployable processes speaking scalewall::net.
+//
+// A local cluster is one ProxyNode plus N ServerNodes, each a real
+// process (or an in-process instance in tests) with an EpollTransport:
+//
+//   client --kClientQuery--> proxy --kSubqueryRequest--> server[p % N]
+//
+// Servers host the partitions the deterministic dataset assigns them
+// and answer subqueries by scanning real bricks
+// (TablePartition::Execute). The proxy fans a client query out to every
+// partition's host, merges the partial aggregation states in ascending
+// partition order — the coordinator's merge order — and returns
+// materialized rows. Because the scan, merge and materialization code
+// is shared with the sim engine and the wire codecs are lossless, the
+// rows are byte-identical to an oracle run and to a sim-transport
+// Deployment over the same seed.
+
+#ifndef SCALEWALL_NODE_NODE_H_
+#define SCALEWALL_NODE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cubrick/request.h"
+#include "cubrick/wire.h"
+#include "net/epoll_transport.h"
+#include "node/dataset.h"
+
+namespace scalewall::node {
+
+struct NodeOptions {
+  std::string listen = "127.0.0.1:0";  // port 0 picks a free port
+  uint32_t server_id = 0;              // ServerNode: which server this is
+  uint32_t num_servers = 1;            // cluster size (partition placement)
+  DatasetOptions dataset;
+  net::EpollTransportOptions transport;
+};
+
+// Hosts the partitions `ServerForPartition` assigns to `server_id` and
+// serves kSubqueryRequest (+ kEpochRequest for completeness).
+class ServerNode {
+ public:
+  explicit ServerNode(NodeOptions options,
+                      obs::MetricsRegistry* metrics = nullptr);
+  ~ServerNode();
+
+  Status Start();
+  void Stop();
+
+  int port() const { return transport_.listen_port(); }
+  net::EpollTransport& transport() { return transport_; }
+  size_t num_partitions_hosted() const { return partitions_.size(); }
+
+ private:
+  Result<net::Message> Handle(const net::Message& request);
+
+  NodeOptions options_;
+  net::EpollTransport transport_;
+  std::map<uint32_t, cubrick::TablePartition> partitions_;
+};
+
+// Accepts kClientQuery, fans out one subquery per partition to its
+// host (peers "s0".."s<N-1>", mapped via `peer_addresses`), merges and
+// materializes. Handlers run on worker threads so the blocking fan-out
+// calls never stall the proxy's own event loop.
+class ProxyNode {
+ public:
+  ProxyNode(NodeOptions options,
+            std::map<std::string, std::string> peer_addresses,
+            obs::MetricsRegistry* metrics = nullptr);
+  ~ProxyNode();
+
+  Status Start();
+  void Stop();
+
+  int port() const { return transport_.listen_port(); }
+  net::EpollTransport& transport() { return transport_; }
+
+ private:
+  Result<net::Message> Handle(const net::Message& request);
+
+  NodeOptions options_;
+  std::map<std::string, std::string> peer_addresses_;
+  net::EpollTransport transport_;
+};
+
+// Client side: submits `request` to the proxy at peer `proxy` (a mapped
+// name or "ip:port") and returns the materialized rows envelope.
+Result<cubrick::wire::ClientRowsEnvelope> SubmitClientQuery(
+    net::Transport& transport, const std::string& proxy,
+    const cubrick::QueryRequest& request);
+
+}  // namespace scalewall::node
+
+#endif  // SCALEWALL_NODE_NODE_H_

@@ -1,0 +1,213 @@
+// scalewall_node: a deployable node of a real scalewall cluster.
+//
+// Roles:
+//   --role=server  --listen=ip:port --server-id=K --num-servers=N
+//       Hosts the deterministic dataset's partitions assigned to server
+//       K and serves subqueries over real sockets.
+//   --role=proxy   --listen=ip:port --peers=s0=ip:port,s1=ip:port,...
+//                  --num-servers=N
+//       Accepts client queries, fans them out and merges.
+//   --role=client  --connect=ip:port --sql='SELECT ...'
+//       Parses the SQL against the dataset schema, submits it to the
+//       proxy and prints the rows (retrying while the cluster warms up).
+//   --role=oracle  --sql='SELECT ...'
+//       Executes the same query in-process against the same dataset and
+//       prints rows in the same format — `diff` against the client's
+//       output is a bit-level result comparison.
+//
+// Dataset knobs shared by all roles: --seed --rows --partitions.
+// scripts/run_local_cluster.sh drives a 1-proxy + 2-server cluster.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "cubrick/sql.h"
+#include "node/node.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+// --flag=value (or --flag value) extraction from argv.
+struct Args {
+  std::map<std::string, std::string> values;
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        args.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.values[arg] = argv[++i];
+      } else {
+        args.values[arg] = "1";
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+};
+
+scalewall::node::NodeOptions NodeOptionsFrom(const Args& args) {
+  scalewall::node::NodeOptions options;
+  options.listen = args.Get("listen", "127.0.0.1:0");
+  options.server_id = static_cast<uint32_t>(args.GetInt("server-id", 0));
+  options.num_servers = static_cast<uint32_t>(args.GetInt("num-servers", 1));
+  options.dataset.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.dataset.num_partitions =
+      static_cast<uint32_t>(args.GetInt("partitions", 8));
+  options.dataset.num_rows = static_cast<uint64_t>(args.GetInt("rows", 20000));
+  return options;
+}
+
+std::map<std::string, std::string> ParsePeers(const std::string& spec) {
+  // "s0=127.0.0.1:7101,s1=127.0.0.1:7102"
+  std::map<std::string, std::string> peers;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(start, comma - start);
+    auto eq = entry.find('=');
+    if (eq != std::string::npos) {
+      peers[entry.substr(0, eq)] = entry.substr(eq + 1);
+    }
+    start = comma + 1;
+  }
+  return peers;
+}
+
+void WaitForSignal() {
+  while (!g_stop) usleep(50 * 1000);
+}
+
+int RunServer(const Args& args) {
+  scalewall::node::ServerNode server(NodeOptionsFrom(args));
+  auto status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "server %lld listening on port %d (%zu partitions)\n",
+               static_cast<long long>(args.GetInt("server-id", 0)),
+               server.port(), server.num_partitions_hosted());
+  WaitForSignal();
+  server.Stop();
+  return 0;
+}
+
+int RunProxy(const Args& args) {
+  scalewall::node::ProxyNode proxy(NodeOptionsFrom(args),
+                                   ParsePeers(args.Get("peers", "")));
+  auto status = proxy.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "proxy: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "proxy listening on port %d\n", proxy.port());
+  WaitForSignal();
+  proxy.Stop();
+  return 0;
+}
+
+int RunClient(const Args& args) {
+  const std::string sql = args.Get("sql", "");
+  if (sql.empty()) {
+    std::fprintf(stderr, "client: --sql required\n");
+    return 2;
+  }
+  auto query =
+      scalewall::cubrick::ParseQuery(sql, scalewall::node::DatasetSchema());
+  if (!query.ok()) {
+    std::fprintf(stderr, "client: %s\n", query.status().ToString().c_str());
+    return 2;
+  }
+  scalewall::cubrick::QueryRequest request(*query);
+  request.deadline = args.GetInt("deadline-ms", 0) * 1000;
+
+  scalewall::net::EpollTransport transport;
+  if (!transport.Start()) {
+    std::fprintf(stderr, "client: event loop failed\n");
+    return 1;
+  }
+  transport.MapPeer("proxy", args.Get("connect", "127.0.0.1:7100"));
+  // The cluster may still be binding its ports; retry briefly.
+  const int attempts = static_cast<int>(args.GetInt("retries", 50));
+  scalewall::Status last = scalewall::Status::Unavailable("not attempted");
+  for (int i = 0; i < attempts; ++i) {
+    auto rows =
+        scalewall::node::SubmitClientQuery(transport, "proxy", request);
+    if (rows.ok()) {
+      std::fputs(scalewall::node::FormatResultRows(rows->rows).c_str(),
+                 stdout);
+      transport.Stop();
+      return 0;
+    }
+    last = rows.status();
+    usleep(200 * 1000);
+  }
+  std::fprintf(stderr, "client: %s\n", last.ToString().c_str());
+  transport.Stop();
+  return 1;
+}
+
+int RunOracle(const Args& args) {
+  const std::string sql = args.Get("sql", "");
+  if (sql.empty()) {
+    std::fprintf(stderr, "oracle: --sql required\n");
+    return 2;
+  }
+  auto query =
+      scalewall::cubrick::ParseQuery(sql, scalewall::node::DatasetSchema());
+  if (!query.ok()) {
+    std::fprintf(stderr, "oracle: %s\n", query.status().ToString().c_str());
+    return 2;
+  }
+  auto rows = scalewall::node::ExecuteLocal(NodeOptionsFrom(args).dataset,
+                                            *query);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "oracle: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(scalewall::node::FormatResultRows(*rows).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  Args args = Args::Parse(argc, argv);
+  const std::string role = args.Get("role", "");
+  if (role == "server") return RunServer(args);
+  if (role == "proxy") return RunProxy(args);
+  if (role == "client") return RunClient(args);
+  if (role == "oracle") return RunOracle(args);
+  std::fprintf(stderr,
+               "usage: scalewall_node --role=server|proxy|client|oracle "
+               "[--listen=ip:port] [--peers=s0=ip:port,...] "
+               "[--connect=ip:port] [--sql='SELECT ...'] [--server-id=K] "
+               "[--num-servers=N] [--seed=S] [--rows=R] [--partitions=P]\n");
+  return 2;
+}

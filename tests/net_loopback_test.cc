@@ -1,0 +1,280 @@
+// End-to-end transport byte-identity.
+//
+// 1. A Deployment with TransportMode::kSim must be *bit-identical* to
+//    the direct-call seed path over the same seed: every query's rows,
+//    latency, attempt counts — with transport metrics accumulating and
+//    "net " spans joining the query traces.
+// 2. A real-socket cluster (in-process epoll loops: one ProxyNode + two
+//    ServerNodes on loopback) fanning out the deterministic dataset's
+//    query must return rows bit-identical to the same-seed sim-transport
+//    Deployment run — the epoll and sim backends carry the same frames.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "cubrick/sql.h"
+#include "net/epoll_transport.h"
+#include "node/dataset.h"
+#include "node/node.h"
+
+namespace scalewall {
+namespace {
+
+using core::Deployment;
+using core::DeploymentOptions;
+using core::TransportMode;
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Bit-level equality: doubles compared as IEEE-754 patterns, so +0/-0
+// and every last mantissa bit count.
+void ExpectRowsBitIdentical(const std::vector<cubrick::ResultRow>& a,
+                            const std::vector<cubrick::ResultRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << "row " << i;
+    ASSERT_EQ(a[i].values.size(), b[i].values.size()) << "row " << i;
+    for (size_t v = 0; v < a[i].values.size(); ++v) {
+      EXPECT_EQ(Bits(a[i].values[v]), Bits(b[i].values[v]))
+          << "row " << i << " value " << v;
+    }
+  }
+}
+
+DeploymentOptions BaseOptions(uint64_t seed, TransportMode transport) {
+  DeploymentOptions options;
+  options.seed = seed;
+  options.topology.regions = 2;
+  options.topology.racks_per_region = 2;
+  options.topology.servers_per_rack = 4;  // 8 servers per region
+  options.max_shards = 5000;
+  options.transport = transport;
+  options.subquery_policy.max_subquery_retries = 2;
+  options.subquery_policy.hedge_quantile = 0.99;
+  options.per_host_failure_probability = 0.001;
+  options.enable_result_caching = true;
+  return options;
+}
+
+std::vector<cubrick::Query> TestQueries(const cubrick::TableSchema& schema) {
+  std::vector<cubrick::Query> queries;
+  const char* sqls[] = {
+      "SELECT SUM(spend), COUNT(clicks) FROM ads",
+      "SELECT region, SUM(spend) FROM ads GROUP BY region "
+      "ORDER BY SUM(spend) DESC LIMIT 4",
+      "SELECT day, region, AVG(spend), MAX(clicks) FROM ads "
+      "WHERE day BETWEEN 5 AND 20 AND region < 6 GROUP BY day, region "
+      "ORDER BY AVG(spend) DESC LIMIT 10",
+      "SELECT product, MIN(spend), SUM(clicks) FROM ads "
+      "WHERE product IN (3, 17, 40, 63) GROUP BY product",
+  };
+  for (const char* sql : sqls) {
+    auto query = cubrick::ParseQuery(sql, schema);
+    EXPECT_TRUE(query.ok()) << sql << ": " << query.status().ToString();
+    if (query.ok()) queries.push_back(*query);
+  }
+  return queries;
+}
+
+// Runs the full scenario (load, time, queries) on one deployment.
+struct ScenarioRun {
+  std::vector<cubrick::QueryOutcome> outcomes;
+};
+
+ScenarioRun RunScenario(Deployment& dep, bool tracing) {
+  ScenarioRun run;
+  const node::DatasetOptions dataset;  // the node dataset, reused as-is
+  EXPECT_TRUE(dep.CreateTable(node::DatasetTable(), node::DatasetSchema()).ok());
+  EXPECT_TRUE(
+      dep.LoadRows(node::DatasetTable(), node::GenerateRows(dataset)).ok());
+  dep.RunFor(30 * kSecond);
+  for (const cubrick::Query& query : TestQueries(node::DatasetSchema())) {
+    cubrick::QueryRequest request(query);
+    request.tracing = tracing;
+    run.outcomes.push_back(dep.Query(request));
+    // Repeat once: exercises the merged-cache epoch-validation hop
+    // (CallEpochs under kSim).
+    run.outcomes.push_back(dep.Query(request));
+  }
+  return run;
+}
+
+TEST(TransportLoopbackTest, SimTransportIsByteIdenticalToDirect) {
+  constexpr uint64_t kSeed = 1234;
+  Deployment direct(BaseOptions(kSeed, TransportMode::kDirect));
+  Deployment mediated(BaseOptions(kSeed, TransportMode::kSim));
+  ASSERT_EQ(nullptr, direct.sim_network());
+  ASSERT_NE(nullptr, mediated.sim_network());
+
+  ScenarioRun direct_run = RunScenario(direct, /*tracing=*/false);
+  ScenarioRun mediated_run = RunScenario(mediated, /*tracing=*/false);
+
+  ASSERT_EQ(direct_run.outcomes.size(), mediated_run.outcomes.size());
+  for (size_t i = 0; i < direct_run.outcomes.size(); ++i) {
+    const auto& d = direct_run.outcomes[i];
+    const auto& m = mediated_run.outcomes[i];
+    EXPECT_EQ(d.status.code(), m.status.code()) << "query " << i;
+    ExpectRowsBitIdentical(d.rows, m.rows);
+    // The transport completes inline on the modeled clock: identical
+    // latencies, attempts and reliability activity, not just results.
+    EXPECT_EQ(d.latency, m.latency) << "query " << i;
+    EXPECT_EQ(d.attempts, m.attempts) << "query " << i;
+    EXPECT_EQ(d.fanout, m.fanout) << "query " << i;
+    EXPECT_EQ(d.subquery_retries, m.subquery_retries) << "query " << i;
+    EXPECT_EQ(d.hedges_fired, m.hedges_fired) << "query " << i;
+    EXPECT_EQ(d.cache_hits, m.cache_hits) << "query " << i;
+  }
+
+  // The mediated run really crossed the transport: frames in both
+  // directions, bytes counted, and modeled RTT samples recorded.
+  const net::TransportStats& stats = mediated.sim_network()->stats();
+  EXPECT_GT(stats.frames_out.value(), 0);
+  EXPECT_GT(stats.frames_in.value(), 0);
+  EXPECT_GT(stats.bytes_out.value(), 0);
+  EXPECT_GT(stats.rtt_ms.count(), 0);
+}
+
+TEST(TransportLoopbackTest, SimTransportRecordsNetSpansInQueryTraces) {
+  DeploymentOptions options = BaseOptions(77, TransportMode::kSim);
+  options.enable_query_tracing = true;
+  Deployment dep(options);
+  ScenarioRun run = RunScenario(dep, /*tracing=*/true);
+  for (const auto& outcome : run.outcomes) {
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status;
+  }
+
+  obs::TraceSink& sink = dep.trace_sink();
+  ASSERT_NE(sink.LastTraceId(), 0u);
+  // At least one trace must contain transport spans tagged with the sim
+  // backend, nested inside the query tree.
+  bool found_net_span = false;
+  for (uint64_t t : sink.TraceIds()) {
+    for (const obs::SpanRecord& span : sink.Spans(t)) {
+      if (span.name.rfind("net ", 0) != 0) continue;
+      found_net_span = true;
+      bool backend_tagged = false;
+      for (const auto& [key, value] : span.tags) {
+        if (key == "backend" && value == "sim") backend_tagged = true;
+      }
+      EXPECT_TRUE(backend_tagged) << span.name;
+      EXPECT_NE(0u, span.parent) << "net span must join the query tree";
+    }
+  }
+  EXPECT_TRUE(found_net_span);
+}
+
+TEST(TransportLoopbackTest, EpollClusterMatchesSimDeploymentByteForByte) {
+  // Real sockets: two server nodes + one proxy node on loopback.
+  node::NodeOptions server0;
+  server0.server_id = 0;
+  server0.num_servers = 2;
+  node::ServerNode s0(server0);
+  ASSERT_TRUE(s0.Start().ok());
+
+  node::NodeOptions server1;
+  server1.server_id = 1;
+  server1.num_servers = 2;
+  node::ServerNode s1(server1);
+  ASSERT_TRUE(s1.Start().ok());
+
+  node::NodeOptions proxy_options;
+  proxy_options.num_servers = 2;
+  std::map<std::string, std::string> peers = {
+      {"s0", "127.0.0.1:" + std::to_string(s0.port())},
+      {"s1", "127.0.0.1:" + std::to_string(s1.port())},
+  };
+  node::ProxyNode proxy(proxy_options, peers);
+  ASSERT_TRUE(proxy.Start().ok());
+
+  net::EpollTransport client;
+  ASSERT_TRUE(client.Start());
+  client.MapPeer("proxy", "127.0.0.1:" + std::to_string(proxy.port()));
+
+  // Sim side: a deployment loaded with the very same dataset (the
+  // sim-transport run of the same seed).
+  DeploymentOptions dep_options = BaseOptions(9, TransportMode::kSim);
+  dep_options.per_host_failure_probability = 0.0;
+  Deployment dep(dep_options);
+  const node::DatasetOptions dataset;
+  ASSERT_TRUE(
+      dep.CreateTable(node::DatasetTable(), node::DatasetSchema()).ok());
+  ASSERT_TRUE(
+      dep.LoadRows(node::DatasetTable(), node::GenerateRows(dataset)).ok());
+  dep.RunFor(30 * kSecond);
+
+  for (const cubrick::Query& query : TestQueries(node::DatasetSchema())) {
+    cubrick::QueryRequest request(query);
+    auto socket_rows = node::SubmitClientQuery(client, "proxy", request);
+    ASSERT_TRUE(socket_rows.ok()) << socket_rows.status().ToString();
+    EXPECT_EQ(2, socket_rows->fanout);
+
+    auto sim_outcome = dep.Query(request);
+    ASSERT_TRUE(sim_outcome.status.ok()) << sim_outcome.status;
+    ExpectRowsBitIdentical(sim_outcome.rows, socket_rows->rows);
+
+    // And both match the single-process oracle.
+    auto oracle = node::ExecuteLocal(dataset, query);
+    ASSERT_TRUE(oracle.ok());
+    ExpectRowsBitIdentical(*oracle, socket_rows->rows);
+  }
+
+  // Metrics present on the socket side too.
+  EXPECT_GT(client.stats().frames_out.value(), 0);
+  EXPECT_GT(client.stats().rtt_ms.count(), 0);
+  EXPECT_GT(proxy.transport().stats().accepts.value(), 0);
+  EXPECT_GT(s0.transport().stats().frames_in.value(), 0);
+  EXPECT_GT(s1.transport().stats().frames_in.value(), 0);
+
+  client.Stop();
+  proxy.Stop();
+  s0.Stop();
+  s1.Stop();
+}
+
+TEST(TransportLoopbackTest, WireDeadlinePropagatesRemainingBudget) {
+  // A client deadline must reach the servers as remaining budget: a
+  // server-side subquery that would exceed it fails the query with
+  // kDeadlineExceeded at the proxy (converted at serialization time,
+  // enforced by the per-call timeout).
+  node::NodeOptions server0;
+  server0.server_id = 0;
+  server0.num_servers = 1;
+  node::ServerNode s0(server0);
+  ASSERT_TRUE(s0.Start().ok());
+
+  node::NodeOptions proxy_options;
+  proxy_options.num_servers = 1;
+  node::ProxyNode proxy(
+      proxy_options,
+      {{"s0", "127.0.0.1:" + std::to_string(s0.port())}});
+  ASSERT_TRUE(proxy.Start().ok());
+
+  net::EpollTransport client;
+  ASSERT_TRUE(client.Start());
+  client.MapPeer("proxy", "127.0.0.1:" + std::to_string(proxy.port()));
+
+  auto query = cubrick::ParseQuery("SELECT SUM(spend) FROM ads",
+                                   node::DatasetSchema());
+  ASSERT_TRUE(query.ok());
+  cubrick::QueryRequest request(*query);
+  request.deadline = 1;  // 1 microsecond: nothing real completes in time
+  auto rows = node::SubmitClientQuery(client, "proxy", request);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, rows.status().code());
+
+  client.Stop();
+  proxy.Stop();
+  s0.Stop();
+}
+
+}  // namespace
+}  // namespace scalewall
