@@ -26,6 +26,9 @@
 // fan-out of service-latency draws — latency decouples from fan-out
 // entirely.
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -33,6 +36,7 @@
 #include "bench/bench_util.h"
 #include "common/histogram.h"
 #include "core/deployment.h"
+#include "obs/profile.h"
 #include "workload/generators.h"
 
 using namespace scalewall;
@@ -44,6 +48,16 @@ const std::vector<uint32_t> kFanouts{1, 4, 8, 16, 32, 64};
 struct ProbeResult {
   std::vector<Histogram> latency;
   std::vector<int64_t> failures;
+  // Wall-clock (real, not simulated) seconds spent inside dep.Query()
+  // across the whole probe loop — the query path only, excluding table
+  // load, simulated idle time and any profile extraction by the caller.
+  double query_wall_seconds = 0;
+};
+
+// Per-fan-out histograms of where each profiled query's time went
+// (simulated milliseconds), folded from obs::QueryProfile.
+struct BreakdownResult {
+  std::vector<Histogram> queue, scan, merge, net;
 };
 
 core::DeploymentOptions BaseOptions() {
@@ -68,7 +82,13 @@ core::DeploymentOptions BaseOptions() {
 }
 
 // Creates the per-fan-out tables and runs the 500 ms probe loop.
-ProbeResult RunProbes(core::Deployment& dep, int probes) {
+// `tracing`/`profile` set the per-request telemetry flags; with a
+// non-null `breakdown`, every successful query's stitched trace is
+// folded through obs::BuildQueryProfile into per-fan-out queue / scan /
+// merge / net histograms (the --profile pass).
+ProbeResult RunProbes(core::Deployment& dep, int probes, bool tracing = true,
+                      bool profile = false,
+                      BreakdownResult* breakdown = nullptr) {
   cubrick::TableSchema schema = workload::AdEventsSchema();
   for (uint32_t f : kFanouts) {
     std::string table = "fanout_" + std::to_string(f);
@@ -87,6 +107,12 @@ ProbeResult RunProbes(core::Deployment& dep, int probes) {
   ProbeResult out;
   out.latency.assign(kFanouts.size(), Histogram(/*min_value=*/0.1));
   out.failures.assign(kFanouts.size(), 0);
+  if (breakdown != nullptr) {
+    breakdown->queue.assign(kFanouts.size(), Histogram(/*min_value=*/0.0001));
+    breakdown->scan.assign(kFanouts.size(), Histogram(/*min_value=*/0.0001));
+    breakdown->merge.assign(kFanouts.size(), Histogram(/*min_value=*/0.0001));
+    breakdown->net.assign(kFanouts.size(), Histogram(/*min_value=*/0.0001));
+  }
   std::vector<cubrick::Query> queries;
   for (uint32_t f : kFanouts) {
     queries.push_back(
@@ -94,9 +120,25 @@ ProbeResult RunProbes(core::Deployment& dep, int probes) {
   }
   for (int i = 0; i < probes; ++i) {
     for (size_t t = 0; t < kFanouts.size(); ++t) {
-      auto outcome = dep.Query(cubrick::QueryRequest(queries[t]));
+      cubrick::QueryRequest request(queries[t]);
+      request.tracing = tracing;
+      request.profile = profile;
+      const auto wall0 = std::chrono::steady_clock::now();
+      auto outcome = dep.Query(request);
+      out.query_wall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall0)
+              .count();
       if (outcome.status.ok()) {
         out.latency[t].Add(ToMillis(outcome.latency));
+        if (breakdown != nullptr && outcome.trace_id != 0) {
+          obs::QueryProfile p = obs::BuildQueryProfile(
+              dep.trace_sink().Spans(outcome.trace_id));
+          breakdown->queue[t].Add(p.queue_wait_micros / 1000.0);
+          breakdown->scan[t].Add(p.scan_micros / 1000.0);
+          breakdown->merge[t].Add(p.merge_micros / 1000.0);
+          breakdown->net[t].Add(p.net_micros / 1000.0);
+        }
       } else {
         ++out.failures[t];
       }
@@ -123,8 +165,10 @@ void PrintPercentiles(const ProbeResult& r) {
 
 int main(int argc, char** argv) {
   bool with_cache = false;
+  bool with_profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache") == 0) with_cache = true;
+    if (std::strcmp(argv[i], "--profile") == 0) with_profile = true;
   }
   bench::Header("fig5", "query latency vs table fan-out (log-scale tails)");
 
@@ -220,6 +264,87 @@ int main(int argc, char** argv) {
         "network hops) instead of fanning out, so the cached p50 sits an "
         "order of magnitude (>=10x) below the uncached p50 and no longer "
         "grows with fan-out at all.");
+  }
+
+  if (with_profile) {
+    // Fourth pass pair: the same fleet and probe stream (a) with
+    // per-request telemetry fully off — the overhead baseline — and
+    // (b) with the per-query profile opt-in on, folding every stitched
+    // trace through obs::BuildQueryProfile into per-fan-out breakdowns.
+    core::Deployment off_dep(BaseOptions());
+    ProbeResult off = RunProbes(off_dep, probes, /*tracing=*/false);
+
+    BreakdownResult breakdown;
+    core::DeploymentOptions prof_options = BaseOptions();
+    prof_options.enable_query_tracing = true;
+    core::Deployment prof_dep(prof_options);
+    ProbeResult prof = RunProbes(prof_dep, probes, /*tracing=*/true,
+                                 /*profile=*/true, &breakdown);
+
+    bench::Section(
+        "profiled probe: where p99 time goes per fan-out (ms; queue and "
+        "merge bound the critical path, scan and net sum work across "
+        "subqueries)");
+    std::printf("%8s %9s %9s %9s %9s %9s\n", "fanout", "p99total",
+                "p99queue", "p99scan", "p99merge", "p99net");
+    for (size_t t = 0; t < kFanouts.size(); ++t) {
+      std::printf("%8u %9.1f %9.3f %9.1f %9.3f %9.1f\n", kFanouts[t],
+                  prof.latency[t].P99(), breakdown.queue[t].P99(),
+                  breakdown.scan[t].P99(), breakdown.merge[t].P99(),
+                  breakdown.net[t].P99());
+    }
+
+    bench::Section("profile overhead vs tracing-off baseline");
+    // Profiling must never perturb the latency the bench reports: span
+    // recording draws no RNG and schedules no sim events, so the
+    // profiled pass's percentiles must sit within 2% of the
+    // tracing-off baseline at every fan-out (they are byte-identical
+    // in practice — the 2% bound is the regression alarm).
+    double worst = 0;
+    std::printf("%8s %11s %11s %9s\n", "fanout", "off-p99", "prof-p99",
+                "delta");
+    for (size_t t = 0; t < kFanouts.size(); ++t) {
+      const double base_p50 = off.latency[t].P50();
+      const double base_p99 = off.latency[t].P99();
+      const double d50 =
+          base_p50 > 0 ? std::abs(prof.latency[t].P50() - base_p50) / base_p50
+                       : 0;
+      const double d99 =
+          base_p99 > 0 ? std::abs(prof.latency[t].P99() - base_p99) / base_p99
+                       : 0;
+      worst = std::max({worst, d50, d99});
+      std::printf("%8u %11.2f %11.2f %8.3f%%\n", kFanouts[t], base_p99,
+                  prof.latency[t].P99(), d99 * 100);
+    }
+    const int total = static_cast<int>(kFanouts.size()) * probes;
+    // Wall-clock context for the absolute cost of recording: a
+    // simulated query does almost no real compute (its scan is a model
+    // draw), so the per-query recording cost below is an absolute
+    // floor, not a realistic relative overhead — against the >=20ms
+    // service times these queries model it is well under 2%.
+    std::printf("\nquery-path wall clock: tracing-off %.3fs, profiled "
+                "%.3fs — span recording costs %.1f us/query of real time "
+                "(%.3f%% of the modeled 20ms median service draw)\n",
+                off.query_wall_seconds, prof.query_wall_seconds,
+                (prof.query_wall_seconds - off.query_wall_seconds) / total *
+                    1e6,
+                (prof.query_wall_seconds - off.query_wall_seconds) / total *
+                    1e6 / 20000.0 * 100);
+    if (worst >= 0.02) {
+      std::printf("FAIL: profile overhead %.3f%% >= 2%% — profiling "
+                  "perturbed the reported latency distribution\n",
+                  worst * 100);
+      return 1;
+    }
+    std::printf("OK: profile overhead %.3f%% < 2%% at every fan-out\n",
+                worst * 100);
+    bench::PaperNote(
+        "The stitched profiles explain fig5's tail: at fan-out 1 the p99 "
+        "is one bad service draw, while at fan-out 64 the p99 query's "
+        "summed scan/net work grows ~64x yet its wall latency grows far "
+        "less — until a single Pareto hiccup in the max-over-64 decides "
+        "it. Queue and merge stay flat, so the tail lives entirely in "
+        "the scan/net max — exactly the component hedging attacks.");
   }
 
   bench::PaperNote(

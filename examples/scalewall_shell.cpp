@@ -11,6 +11,8 @@
 //   \trace                    recent query traces, newest first
 //   \tracetree                span tree of the last query (proxy attempt
 //                             -> subquery -> partition -> morsel)
+//   \profile                  per-query profile of the last query (wall/
+//                             queue/scan/merge time, bricks, cache)
 //   \metrics                  Prometheus-style metrics dump
 //   \cache                    result-cache statistics (proxy + servers)
 //   \cachepolicy [p]          get/set the session's cache policy
@@ -31,6 +33,7 @@
 
 #include "core/deployment.h"
 #include "core/metrics.h"
+#include "obs/profile.h"
 #include "workload/generators.h"
 
 using namespace scalewall;
@@ -40,8 +43,8 @@ namespace {
 void PrintHelp() {
   std::printf(
       "commands: SQL | \\tables | \\fleet | \\shards <t> | \\trace | "
-      "\\tracetree | \\metrics | \\cache | \\cachepolicy [p] | \\run <s> | "
-      "\\kill <id> | \\drain <id> | \\help\n");
+      "\\tracetree | \\profile | \\metrics | \\cache | \\cachepolicy [p] | "
+      "\\run <s> | \\kill <id> | \\drain <id> | \\help\n");
 }
 
 void PrintOutcome(const cubrick::QueryOutcome& outcome,
@@ -181,6 +184,16 @@ int main() {
           std::printf("no traced queries yet — run a SELECT first\n");
         } else {
           std::printf("%s", dep.trace_sink().ExportTextTree(trace_id).c_str());
+        }
+      } else if (cmd == "\\profile") {
+        uint64_t trace_id = dep.trace_sink().LastTraceId();
+        if (trace_id == 0) {
+          std::printf("no traced queries yet — run a SELECT first\n");
+        } else {
+          obs::QueryProfile profile =
+              obs::BuildQueryProfile(dep.trace_sink().Spans(trace_id));
+          profile.trace_id = trace_id;
+          std::printf("%s", profile.Text().c_str());
         }
       } else if (cmd == "\\metrics") {
         std::printf("%s", core::ExportMetricsText(dep).c_str());

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Metric-name lint: the code and DESIGN.md's metric table must agree.
+
+Every metric this codebase registers is a quoted "scalewall_..." string
+literal in src/. The lint enforces:
+
+  1. Naming: every literal matches ^scalewall_[a-z0-9_]+$ (lowercase,
+     Prometheus-safe, no dashes or dots), with counters ending _total
+     left to review.
+  2. Documentation: every metric name registered in src/ appears in
+     DESIGN.md's metric table (the "| `scalewall_..." rows of the
+     Telemetry plane section) — an undocumented metric fails the build.
+  3. No rot: every name in the DESIGN.md table still exists in src/ —
+     a renamed or deleted metric must drop out of the docs too.
+
+Usage: check_metric_names.py [--root REPO_ROOT]
+Exits 0 when consistent, 1 on any violation (each is printed).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+NAME_RE = re.compile(r"^scalewall_[a-z0-9_]+$")
+LITERAL_RE = re.compile(r'"(scalewall_[A-Za-z0-9_.\-]*)"')
+TABLE_ROW_RE = re.compile(r"^\|\s*`(scalewall_[A-Za-z0-9_.\-]*)`")
+
+
+def collect_registered(src_root):
+    """name -> [file:line, ...] for every quoted scalewall_* literal."""
+    registered = {}
+    for dirpath, _, filenames in os.walk(src_root):
+        for filename in filenames:
+            if not filename.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, 1):
+                    for name in LITERAL_RE.findall(line):
+                        where = "%s:%d" % (os.path.relpath(path), lineno)
+                        registered.setdefault(name, []).append(where)
+    return registered
+
+
+def collect_documented(design_path):
+    """Names listed in DESIGN.md metric-table rows (| `scalewall_...`)."""
+    documented = set()
+    with open(design_path, encoding="utf-8") as f:
+        for line in f:
+            for match in TABLE_ROW_RE.finditer(line.strip()):
+                documented.add(match.group(1))
+    return documented
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: this script's parent's parent)")
+    args = parser.parse_args()
+
+    src_root = os.path.join(args.root, "src")
+    design_path = os.path.join(args.root, "DESIGN.md")
+    if not os.path.isdir(src_root) or not os.path.isfile(design_path):
+        print("check_metric_names: missing src/ or DESIGN.md under %s" %
+              args.root)
+        return 2
+
+    registered = collect_registered(src_root)
+    documented = collect_documented(design_path)
+    failures = []
+
+    for name in sorted(registered):
+        if not NAME_RE.match(name):
+            failures.append(
+                "bad metric name %r (must match %s): %s" %
+                (name, NAME_RE.pattern, ", ".join(registered[name][:3])))
+        if name not in documented:
+            failures.append(
+                "metric %r is registered in src/ but missing from the "
+                "DESIGN.md metric table: %s" %
+                (name, ", ".join(registered[name][:3])))
+
+    for name in sorted(documented - set(registered)):
+        failures.append(
+            "metric %r is documented in DESIGN.md but no longer registered "
+            "anywhere in src/" % name)
+
+    if failures:
+        for failure in failures:
+            print("check_metric_names: %s" % failure)
+        print("check_metric_names: FAILED (%d problem%s; %d registered, "
+              "%d documented)" % (len(failures),
+                                  "" if len(failures) == 1 else "s",
+                                  len(registered), len(documented)))
+        return 1
+
+    print("check_metric_names: OK (%d metrics registered and documented)" %
+          len(registered))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,11 @@
 # and two servers as real processes on loopback, runs a handful of
 # queries through the proxy over real sockets, and byte-compares each
 # result against the single-process oracle over the same deterministic
-# dataset. Exits nonzero on any mismatch.
+# dataset. Then smokes the telemetry plane: curls /healthz and /metrics
+# on every node's admin port (asserting the query counters really
+# advanced) and checks /traces on the proxy holds a stitched trace with
+# the servers' partition spans grafted in. Exits nonzero on any
+# mismatch.
 #
 # Usage: scripts/run_local_cluster.sh [path/to/scalewall_node]
 set -u
@@ -22,7 +26,18 @@ BASE_PORT=$(( 17000 + RANDOM % 1000 ))
 S0_PORT=$BASE_PORT
 S1_PORT=$(( BASE_PORT + 1 ))
 PROXY_PORT=$(( BASE_PORT + 2 ))
+S0_ADMIN=$(( BASE_PORT + 3 ))
+S1_ADMIN=$(( BASE_PORT + 4 ))
+PROXY_ADMIN=$(( BASE_PORT + 5 ))
 DATA_FLAGS=(--seed="$SEED" --rows="$ROWS" --partitions="$PARTITIONS")
+
+# Plain-shell HTTP GET (no curl dependency): prints the full response.
+http_get() {  # host:port path
+  exec 3<>"/dev/tcp/${1%:*}/${1#*:}" || return 1
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$2" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
 
 WORKDIR="$(mktemp -d)"
 PIDS=()
@@ -37,13 +52,16 @@ trap cleanup EXIT INT TERM
 
 echo "== starting 2 servers + 1 proxy (ports $S0_PORT-$PROXY_PORT) =="
 "$BIN" --role=server --listen="127.0.0.1:$S0_PORT" --server-id=0 \
-       --num-servers=2 "${DATA_FLAGS[@]}" >"$WORKDIR/s0.log" 2>&1 &
+       --num-servers=2 --admin="127.0.0.1:$S0_ADMIN" \
+       "${DATA_FLAGS[@]}" >"$WORKDIR/s0.log" 2>&1 &
 PIDS+=($!)
 "$BIN" --role=server --listen="127.0.0.1:$S1_PORT" --server-id=1 \
-       --num-servers=2 "${DATA_FLAGS[@]}" >"$WORKDIR/s1.log" 2>&1 &
+       --num-servers=2 --admin="127.0.0.1:$S1_ADMIN" \
+       "${DATA_FLAGS[@]}" >"$WORKDIR/s1.log" 2>&1 &
 PIDS+=($!)
 "$BIN" --role=proxy --listen="127.0.0.1:$PROXY_PORT" --num-servers=2 \
        --peers="s0=127.0.0.1:$S0_PORT,s1=127.0.0.1:$S1_PORT" \
+       --admin="127.0.0.1:$PROXY_ADMIN" --slow-query-micros=1 \
        "${DATA_FLAGS[@]}" >"$WORKDIR/proxy.log" 2>&1 &
 PIDS+=($!)
 
@@ -77,8 +95,77 @@ for i in "${!QUERIES[@]}"; do
   fi
 done
 
+echo "== telemetry smoke: \\--profile, /healthz, /metrics, /traces, /slowlog =="
+# A profiled query: the proxy ships the stitched profile + trace back,
+# the client prints both to stderr (stdout stays oracle-comparable).
+if "$BIN" --role=client --connect="127.0.0.1:$PROXY_PORT" \
+     --sql="${QUERIES[0]}" --profile --retries=50 "${DATA_FLAGS[@]}" \
+     >"$WORKDIR/profiled.out" 2>"$WORKDIR/profiled.err" \
+   && grep -q "profile query=ads" "$WORKDIR/profiled.err" \
+   && grep -q "partition ads/p" "$WORKDIR/profiled.err"; then
+  echo "   OK: client --profile returned the stitched profile + trace"
+else
+  echo "   FAIL: client --profile output missing profile/trace:" >&2
+  cat "$WORKDIR/profiled.err" >&2
+  FAIL=1
+fi
+
+for endpoint in "proxy=$PROXY_ADMIN" "s0=$S0_ADMIN" "s1=$S1_ADMIN"; do
+  name="${endpoint%%=*}"; port="${endpoint#*=}"
+  role="server"; [[ "$name" == proxy ]] && role="proxy"
+  if http_get "127.0.0.1:$port" /healthz | grep -q "ok role=$role"; then
+    echo "   OK: $name /healthz"
+  else
+    echo "   FAIL: $name /healthz did not answer 'ok role=$role'" >&2
+    FAIL=1
+  fi
+done
+
+http_get "127.0.0.1:$PROXY_ADMIN" /metrics >"$WORKDIR/proxy.metrics"
+queries_served=$(grep -E "^scalewall_node_queries_total " \
+                   "$WORKDIR/proxy.metrics" | awk '{print $2}')
+if [[ -n "$queries_served" && "$queries_served" -ge $(( ${#QUERIES[@]} + 1 )) ]] \
+   && grep -q "scalewall_node_query_latency_ms_bucket{le=" \
+        "$WORKDIR/proxy.metrics" \
+   && grep -q 'scalewall_net_frames_total{backend="epoll"' \
+        "$WORKDIR/proxy.metrics"; then
+  echo "   OK: proxy /metrics ($queries_served queries counted)"
+else
+  echo "   FAIL: proxy /metrics missing or stale counters" >&2
+  head -40 "$WORKDIR/proxy.metrics" >&2
+  FAIL=1
+fi
+if http_get "127.0.0.1:$S0_ADMIN" /metrics \
+     | grep -q 'scalewall_net_frames_total{backend="epoll"'; then
+  echo "   OK: s0 /metrics"
+else
+  echo "   FAIL: s0 /metrics missing transport counters" >&2
+  FAIL=1
+fi
+
+# The proxy's retained traces must include spans stitched in from the
+# server processes (partition scans happen only there).
+http_get "127.0.0.1:$PROXY_ADMIN" /traces >"$WORKDIR/proxy.traces"
+if grep -q "query ads" "$WORKDIR/proxy.traces" \
+   && grep -q "partition ads/p" "$WORKDIR/proxy.traces"; then
+  echo "   OK: proxy /traces holds a stitched cross-process trace"
+else
+  echo "   FAIL: proxy /traces has no stitched trace" >&2
+  head -20 "$WORKDIR/proxy.traces" >&2
+  FAIL=1
+fi
+
+# --slow-query-micros=1 captures every query into the slow-query ring.
+if http_get "127.0.0.1:$PROXY_ADMIN" /slowlog \
+     | grep -q "profile query=ads"; then
+  echo "   OK: proxy /slowlog captured profiles"
+else
+  echo "   FAIL: proxy /slowlog empty despite --slow-query-micros=1" >&2
+  FAIL=1
+fi
+
 if [[ "$FAIL" -ne 0 ]]; then
   echo "== SMOKE FAILED ==" >&2
   exit 1
 fi
-echo "== SMOKE OK: all queries byte-identical to the oracle =="
+echo "== SMOKE OK: oracle-identical results + live telemetry plane =="

@@ -88,6 +88,17 @@ double Histogram::Quantile(double q) const {
   return max_seen_;
 }
 
+uint64_t Histogram::CumulativeLessEqual(double value) const {
+  if (count_ == 0) return 0;
+  if (value < min_value_) return value >= min_seen_ ? underflow_ : 0;
+  uint64_t seen = underflow_;
+  const size_t limit = BucketFor(value);
+  for (size_t i = 0; i < buckets_.size() && i <= limit; ++i) {
+    seen += buckets_[i];
+  }
+  return seen;
+}
+
 std::string Histogram::Summary() const {
   std::ostringstream os;
   os << "count=" << count_ << " mean=" << mean() << " p50=" << P50()

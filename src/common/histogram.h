@@ -34,6 +34,14 @@ class Histogram {
   double min() const { return count_ ? min_seen_ : 0; }
   double max() const { return count_ ? max_seen_ : 0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double sum() const { return sum_; }
+
+  // Observations at or below `value` — the cumulative count a Prometheus
+  // `le` bucket reports. Exact at bucket boundaries; within a bucket the
+  // whole bucket is attributed as soon as `value` reaches its lower
+  // bound, so the result can overcount by at most one bucket's width
+  // (relative error <= growth - 1, the histogram's resolution).
+  uint64_t CumulativeLessEqual(double value) const;
 
   // Returns the value at quantile q in [0, 1]. Linear within a bucket.
   double Quantile(double q) const;

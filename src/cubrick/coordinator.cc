@@ -272,6 +272,16 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     // is the overload signal the proxy's admission control sheds on.
     // A no-op (0 wait) when the server's virtual_scan_slots is 0.
     const SimDuration scan_wait = server->EnqueueScan(t0 + hop, service);
+    {
+      // The modeled scan (slot wait + service draw) as a "scan" span:
+      // the server's partition span is instantaneous in the simulator
+      // (the draw happens here, after it returned), so this span is
+      // what carries the subquery's scan time into profiles.
+      obs::TraceContext scspan =
+          sspan.Child("scan p" + std::to_string(sub.partition), t0 + hop);
+      if (scan_wait > 0) scspan.Annotate("slot_wait", std::to_string(scan_wait));
+      scspan.End(t0 + hop + scan_wait + service);
+    }
     SimDuration chain = hop + scan_wait + service;
     if (hedge_delay > 0 && chain > hedge_delay) {
       ++outcome.hedges_fired;
@@ -290,6 +300,13 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     auto it = host_penalty.find(sub.server);
     if (it != host_penalty.end()) chain += it->second;
     slowest = std::max(slowest, chain);
+    if (hop > 0) {
+      // The modeled wire time of this subquery (coordinator -> server
+      // hop plus any migration-forwarding hops) as a "net" child, so
+      // profiles can split subquery wall time into net vs scan.
+      obs::TraceContext nspan = sspan.Child("net s" + std::to_string(sub.server), t0);
+      nspan.End(t0 + hop);
+    }
     sspan.End(t0 + chain);
     if (ctx.transport != nullptr) {
       // The RTT histogram records the modeled chain latency, which is
@@ -301,6 +318,13 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     outcome.result.Merge(partial->result);
   }
   outcome.latency = slowest + ctx.merge_overhead;
+  if (ctx.merge_overhead > 0) {
+    // The modeled coordinator-side merge, anchored where the slowest
+    // subquery chain completed — the same "merge" vocabulary the node
+    // path records, so BuildQueryProfile folds both identically.
+    obs::TraceContext mspan = trace.Child("merge", t0 + slowest);
+    mspan.End(t0 + slowest + ctx.merge_overhead);
+  }
   if (deadline_budget > 0 && outcome.latency > deadline_budget) {
     // The merged answer arrived after the client's deadline: it is
     // discarded, not returned late.

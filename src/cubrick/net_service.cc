@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "cubrick/wire.h"
+#include "net/event_loop.h"
+#include "net/telemetry.h"
 
 namespace scalewall::cubrick {
 
@@ -17,19 +19,43 @@ std::string RegionPeerName(cluster::RegionId region) {
 namespace {
 
 Result<net::Message> HandleSubquery(CubrickServer* server,
+                                    cluster::ServerId server_id,
                                     const net::Message& request,
                                     const net::CallSideband& sideband) {
   auto envelope = wire::DecodeSubqueryRequest(request.payload);
   if (!envelope.ok()) return envelope.status();
   const std::string* fingerprint =
       envelope->fingerprint.empty() ? nullptr : &envelope->fingerprint;
+
+  // Wire trace context (real-socket callers). Advisory: a malformed
+  // block is dropped and the subquery still runs. When the in-process
+  // side-band already carries the caller's trace — the sim backend,
+  // where both ends share one sink — spans record there directly and no
+  // batch is shipped: shipping one too would double-record the scan.
+  net::TraceContextBlock tctx;
+  (void)net::DecodeTraceContext(envelope->telemetry, &tctx);
+  obs::TraceSink request_sink;
+  obs::TraceContext trace = sideband.trace;
+  SimTime trace_time = sideband.trace_time;
+  const bool batch_spans = tctx.want_spans && !trace.active();
+  if (batch_spans) {
+    trace = request_sink.StartTrace("host " + NodePeerName(server_id),
+                                    net::EventLoop::NowMicros());
+    trace_time = net::EventLoop::NowMicros();
+  }
+
   auto partial = server->ExecutePartial(
       envelope->query, envelope->partition, /*hop_budget=*/-1, sideband.cancel,
-      sideband.trace, sideband.trace_time, envelope->cache_policy, fingerprint,
+      trace, trace_time, envelope->cache_policy, fingerprint,
       envelope->scan_path);
   if (!partial.ok()) return partial.status();
+  std::string telemetry;
+  if (batch_spans) {
+    trace.End(net::EventLoop::NowMicros());
+    telemetry = net::EncodeSpanBatch(request_sink.Spans(trace.trace));
+  }
   return net::Message{net::FrameType::kSubqueryResponse,
-                      wire::EncodeSubqueryResponse(*partial)};
+                      wire::EncodeSubqueryResponse(*partial, telemetry)};
 }
 
 Result<net::Message> HandleCoordinate(cluster::ServerId server_id,
@@ -76,7 +102,7 @@ net::Handler MakeServerNodeHandler(CubrickServer* server,
              const net::CallSideband& sideband) -> Result<net::Message> {
     switch (request.type) {
       case net::FrameType::kSubqueryRequest:
-        return HandleSubquery(server, request, sideband);
+        return HandleSubquery(server, server_id, request, sideband);
       case net::FrameType::kCoordinateRequest:
         return HandleCoordinate(server_id, ctx, request, sideband);
       case net::FrameType::kEpochRequest:

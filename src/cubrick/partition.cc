@@ -192,6 +192,7 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
           // Skip the brick *without decompressing it*; scan accounting
           // (hotness, bricks/rows scanned) stays identical to a scan.
           result.rows_scanned += static_cast<int64_t>(brick->num_rows());
+          ++result.bricks_rle_skipped;
         } else {
           brick->ScanRangeVec(plan, vstate, &decompressions_, 0,
                               brick->num_rows());
@@ -240,6 +241,7 @@ Status TablePartition::Execute(const Query& query, QueryResult& result,
     for (Brick* brick : survivors) {
       if (brick->CanSkipCompressed(plan)) {
         result.rows_scanned += static_cast<int64_t>(brick->num_rows());
+        ++result.bricks_rle_skipped;
       } else {
         scan_bricks.push_back(brick);
       }

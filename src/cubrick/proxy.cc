@@ -339,11 +339,15 @@ QueryOutcome CubrickProxy::Submit(const QueryRequest& request) {
   const Query& query = request.query;
   const SimTime start = simulation_->now();
   obs::TraceContext root;
-  if (options_.trace_sink != nullptr && request.tracing) {
+  // profile=true forces the trace on even when tracing was opted out —
+  // the profile is derived from the span tree (same rule as ProxyCore).
+  if (options_.trace_sink != nullptr && (request.tracing || request.profile)) {
     root = options_.trace_sink->StartTrace("query " + query.table, start);
     if (!request.tenant_id.empty()) {
       root.Annotate("tenant", request.tenant_id);
     }
+    const SimDuration budget = EffectiveDeadline(request, options_);
+    if (budget > 0) root.Annotate("deadline", std::to_string(budget));
   }
   ++stats_.submitted;
   SweepExpired();
@@ -406,6 +410,7 @@ QueryOutcome CubrickProxy::Submit(const QueryRequest& request) {
     root.Annotate("attempts", std::to_string(outcome.attempts));
     root.Annotate("fanout", std::to_string(outcome.fanout));
     root.End(start + outcome.latency);
+    outcome.trace_id = root.trace;
   }
   if (options_.trace_capacity > 0) {
     QueryTrace trace;
@@ -608,6 +613,13 @@ QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
       continue;
     }
     aspan.Annotate("coordinator", std::to_string(*coordinator));
+    {
+      // All pre-dispatch wire time — the client -> proxy -> coordinator
+      // legs plus any metadata-resolution hops PickCoordinator charged —
+      // as a "net" span so profiles can attribute it.
+      obs::TraceContext nspan = aspan.Child("net hops", attempt_start);
+      nspan.End(attempt_start + attempt_latency);
+    }
     // The coordinator gets whatever budget remains after the time already
     // burned by earlier attempts and this attempt's network legs.
     SimDuration remaining = 0;

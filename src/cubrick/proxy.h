@@ -169,6 +169,10 @@ struct QueryOutcome : ReliabilityCounters {
   // Virtual admission queue wait included in `latency` (0 = admitted
   // straight into a free slot).
   SimDuration queue_wait = 0;
+  // Distributed trace id of this submission in the deployment's
+  // TraceSink (0 = tracing off). Feed Spans(trace_id) to
+  // obs::BuildQueryProfile for the per-query profile.
+  uint64_t trace_id = 0;
 };
 
 // One merged-result cache entry: the fully merged and materialized

@@ -195,6 +195,7 @@ void QueryResult::Merge(const QueryResult& other) {
   rows_scanned += other.rows_scanned;
   bricks_scanned += other.bricks_scanned;
   bricks_pruned += other.bricks_pruned;
+  bricks_rle_skipped += other.bricks_rle_skipped;
 }
 
 Result<double> QueryResult::Value(const GroupKey& key, size_t agg,

@@ -181,6 +181,9 @@ class QueryResult {
   int64_t rows_scanned = 0;
   int64_t bricks_scanned = 0;
   int64_t bricks_pruned = 0;
+  // Bricks counted in bricks_scanned whose compressed runs proved no
+  // row matches, so they were never decompressed (RLE prefilter).
+  int64_t bricks_rle_skipped = 0;
 
  private:
   size_t num_aggregations_;

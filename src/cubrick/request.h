@@ -47,6 +47,11 @@ struct QueryRequest {
   // default, so this only matters for differential testing (pair it with
   // CachePolicy::kBypass so the oracle actually scans).
   exec::ScanPath scan_path = exec::ScanPath::kVectorized;
+  // Opt-in per-query profile: where this query's time and work went
+  // (obs::QueryProfile), derived from the stitched span tree. Implies
+  // nothing about `tracing` for other queries; this submission records
+  // spans whenever either flag is set.
+  bool profile = false;
 
   QueryRequest() = default;
   explicit QueryRequest(Query q, cluster::RegionId region = 0)

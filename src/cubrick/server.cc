@@ -554,6 +554,10 @@ Result<PartialResult> CubrickServer::ExecutePartial(
   stats_.morsels_executed += morsel_metrics.executed;
   stats_.morsels_skipped += morsel_metrics.skipped;
   pspan.Annotate("morsels", std::to_string(morsel_metrics.executed));
+  pspan.Annotate("rows_scanned", std::to_string(partial.result.rows_scanned));
+  pspan.Annotate("bricks", std::to_string(partial.result.bricks_scanned));
+  pspan.Annotate("rle_skipped",
+                 std::to_string(partial.result.bricks_rle_skipped));
   pspan.End(trace_time);
   SCALEWALL_RETURN_IF_ERROR(scan_status);
   const int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(

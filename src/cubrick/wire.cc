@@ -142,6 +142,7 @@ void EncodeQueryResult(net::WireWriter& w, const QueryResult& result) {
   w.I64(result.rows_scanned);
   w.I64(result.bricks_scanned);
   w.I64(result.bricks_pruned);
+  w.I64(result.bricks_rle_skipped);
   w.U32(static_cast<uint32_t>(result.num_groups()));
   // groups() is a sorted map: iteration (and thus the byte stream) is
   // deterministic, and decode re-inserts in the same order.
@@ -163,6 +164,7 @@ Result<QueryResult> DecodeQueryResult(net::WireReader& r) {
   result.rows_scanned = r.I64();
   result.bricks_scanned = r.I64();
   result.bricks_pruned = r.I64();
+  result.bricks_rle_skipped = r.I64();
   const uint32_t num_groups = r.U32();
   if (!r.CheckCount(num_groups, 8)) return Malformed("result groups");
   for (uint32_t g = 0; g < num_groups; ++g) {
@@ -219,6 +221,7 @@ std::string EncodeSubqueryRequest(const SubqueryEnvelope& envelope) {
   w.U8(static_cast<uint8_t>(envelope.scan_path));
   w.Str(envelope.fingerprint);
   w.I64(envelope.remaining_budget);
+  w.Str(envelope.telemetry);
   return std::move(w).str();
 }
 
@@ -233,20 +236,24 @@ Result<SubqueryEnvelope> DecodeSubqueryRequest(std::string_view payload) {
   envelope.scan_path = static_cast<exec::ScanPath>(r.U8());
   envelope.fingerprint = r.Str();
   envelope.remaining_budget = r.I64();
+  envelope.telemetry = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "subquery request"));
   return envelope;
 }
 
-std::string EncodeSubqueryResponse(const PartialResult& partial) {
+std::string EncodeSubqueryResponse(const PartialResult& partial,
+                                   std::string_view telemetry) {
   net::WireWriter w;
   EncodeQueryResult(w, partial.result);
   w.I32(partial.forward_hops);
   w.U64(partial.epoch);
   w.Bool(partial.cache_hit);
+  w.Str(telemetry);
   return std::move(w).str();
 }
 
-Result<PartialResult> DecodeSubqueryResponse(std::string_view payload) {
+Result<PartialResult> DecodeSubqueryResponse(std::string_view payload,
+                                             std::string* telemetry) {
   net::WireReader r(payload);
   PartialResult partial;
   auto result = DecodeQueryResult(r);
@@ -255,7 +262,9 @@ Result<PartialResult> DecodeSubqueryResponse(std::string_view payload) {
   partial.forward_hops = r.I32();
   partial.epoch = r.U64();
   partial.cache_hit = r.Bool();
+  std::string telemetry_block = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "subquery response"));
+  if (telemetry != nullptr) *telemetry = std::move(telemetry_block);
   return partial;
 }
 
@@ -269,6 +278,7 @@ std::string EncodeCoordinateRequest(const CoordinateEnvelope& envelope) {
   w.Str(envelope.fingerprint);
   w.I64(envelope.remaining_budget);
   w.I64(envelope.dispatch_time);
+  w.Str(envelope.telemetry);
   return std::move(w).str();
 }
 
@@ -283,11 +293,13 @@ Result<CoordinateEnvelope> DecodeCoordinateRequest(std::string_view payload) {
   envelope.fingerprint = r.Str();
   envelope.remaining_budget = r.I64();
   envelope.dispatch_time = r.I64();
+  envelope.telemetry = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "coordinate request"));
   return envelope;
 }
 
-std::string EncodeCoordinateResponse(const DistributedOutcome& outcome) {
+std::string EncodeCoordinateResponse(const DistributedOutcome& outcome,
+                                     std::string_view telemetry) {
   net::WireWriter w;
   net::EncodeStatus(w, outcome.status);
   w.I64(outcome.latency);
@@ -301,10 +313,12 @@ std::string EncodeCoordinateResponse(const DistributedOutcome& outcome) {
   w.I64(outcome.cache_hits);
   w.I64(outcome.cache_stale_serves);
   EncodeQueryResult(w, outcome.result);
+  w.Str(telemetry);
   return std::move(w).str();
 }
 
-Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload) {
+Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload,
+                                                    std::string* telemetry) {
   net::WireReader r(payload);
   DistributedOutcome outcome;
   outcome.status = net::DecodeStatus(r);
@@ -321,7 +335,9 @@ Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload) {
   auto result = DecodeQueryResult(r);
   if (!result.ok()) return result.status();
   outcome.result = std::move(result).value();
+  std::string telemetry_block = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "coordinate response"));
+  if (telemetry != nullptr) *telemetry = std::move(telemetry_block);
   return outcome;
 }
 
@@ -361,6 +377,7 @@ std::string EncodeClientQuery(const QueryRequest& request) {
   w.Str(request.tenant_id);
   w.U8(static_cast<uint8_t>(request.priority));
   w.U8(static_cast<uint8_t>(request.scan_path));
+  w.Bool(request.profile);
   return std::move(w).str();
 }
 
@@ -377,6 +394,7 @@ Result<QueryRequest> DecodeClientQuery(std::string_view payload) {
   request.tenant_id = r.Str();
   request.priority = static_cast<admit::Priority>(r.U8());
   request.scan_path = static_cast<exec::ScanPath>(r.U8());
+  request.profile = r.Bool();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "client query"));
   return request;
 }
@@ -388,6 +406,8 @@ std::string EncodeClientRows(const ClientRowsEnvelope& envelope) {
   w.I32(envelope.attempts);
   w.I32(envelope.fanout);
   w.I64(envelope.latency);
+  w.Str(envelope.profile_text);
+  w.Str(envelope.trace_text);
   return std::move(w).str();
 }
 
@@ -401,6 +421,8 @@ Result<ClientRowsEnvelope> DecodeClientRows(std::string_view payload) {
   envelope.attempts = r.I32();
   envelope.fanout = r.I32();
   envelope.latency = r.I64();
+  envelope.profile_text = r.Str();
+  envelope.trace_text = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "client rows"));
   return envelope;
 }

@@ -24,6 +24,12 @@
 //  * Decoders validate with WireReader poisoning plus an exhausted()
 //    check: short, oversized and trailing-garbage payloads all fail
 //    with kInvalidArgument instead of misdecoding.
+//  * Telemetry rides as *opaque* length-prefixed blocks (net/telemetry.h)
+//    appended to the envelopes: requests may carry a trace-context
+//    block, responses a span batch. The blocks version themselves
+//    independently of the payload shape, and their decode failures
+//    never fail the enclosing request — the caller drops the block and
+//    bumps scalewall_net_decode_errors_total instead.
 
 #ifndef SCALEWALL_CUBRICK_WIRE_H_
 #define SCALEWALL_CUBRICK_WIRE_H_
@@ -62,13 +68,20 @@ struct SubqueryEnvelope {
   exec::ScanPath scan_path = exec::ScanPath::kVectorized;
   std::string fingerprint;  // "" = none precomputed
   SimDuration remaining_budget = 0;
+  // Opaque trace-context block (net::EncodeTraceContext); "" = untraced.
+  std::string telemetry;
 };
 std::string EncodeSubqueryRequest(const SubqueryEnvelope& envelope);
 Result<SubqueryEnvelope> DecodeSubqueryRequest(std::string_view payload);
 
 // Successful response: the partial. Failures travel as kError frames.
-std::string EncodeSubqueryResponse(const PartialResult& partial);
-Result<PartialResult> DecodeSubqueryResponse(std::string_view payload);
+// `telemetry` is an opaque span-batch block (net::EncodeSpanBatch);
+// on decode it is returned raw through the out-param ("" = none) so the
+// caller controls how a malformed block is counted and dropped.
+std::string EncodeSubqueryResponse(const PartialResult& partial,
+                                   std::string_view telemetry = {});
+Result<PartialResult> DecodeSubqueryResponse(std::string_view payload,
+                                             std::string* telemetry = nullptr);
 
 // proxy -> coordinator: run the whole in-region distributed attempt.
 struct CoordinateEnvelope {
@@ -78,15 +91,20 @@ struct CoordinateEnvelope {
   std::string fingerprint;
   SimDuration remaining_budget = 0;  // micros left, 0 = unlimited
   SimTime dispatch_time = -1;        // sim-time anchor for spans
+  // Opaque trace-context block (net::EncodeTraceContext); "" = untraced.
+  std::string telemetry;
 };
 std::string EncodeCoordinateRequest(const CoordinateEnvelope& envelope);
 Result<CoordinateEnvelope> DecodeCoordinateRequest(std::string_view payload);
 
 // The full DistributedOutcome round-trips (status included): a failed
 // attempt still carries latency, counters and the failed server, which
-// the proxy's retry/blacklist logic consumes.
-std::string EncodeCoordinateResponse(const DistributedOutcome& outcome);
-Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload);
+// the proxy's retry/blacklist logic consumes. `telemetry` is an opaque
+// span-batch block, as on the subquery response.
+std::string EncodeCoordinateResponse(const DistributedOutcome& outcome,
+                                     std::string_view telemetry = {});
+Result<DistributedOutcome> DecodeCoordinateResponse(
+    std::string_view payload, std::string* telemetry = nullptr);
 
 // proxy -> region: collect partition epochs (merged-cache validation).
 std::string EncodeEpochRequest(const std::string& table);
@@ -99,13 +117,18 @@ Result<std::vector<uint64_t>> DecodeEpochResponse(std::string_view payload);
 std::string EncodeClientQuery(const QueryRequest& request);
 Result<QueryRequest> DecodeClientQuery(std::string_view payload);
 
-// node proxy -> client: materialized rows plus result metadata.
+// node proxy -> client: materialized rows plus result metadata. When
+// the request opted in (QueryRequest::profile / tracing), the proxy
+// also ships its rendered per-query profile and stitched span tree —
+// text, not structures: the client displays them, it never re-derives.
 struct ClientRowsEnvelope {
   std::vector<ResultRow> rows;
   cluster::RegionId region = 0;
   int attempts = 0;
   int fanout = 0;
   SimDuration latency = 0;
+  std::string profile_text;  // "" unless QueryRequest::profile
+  std::string trace_text;    // "" unless QueryRequest::profile
 };
 std::string EncodeClientRows(const ClientRowsEnvelope& envelope);
 Result<ClientRowsEnvelope> DecodeClientRows(std::string_view payload);

@@ -90,6 +90,10 @@ class EpollTransport : public Transport {
   std::string_view backend() const override { return "epoll"; }
   const TransportStats& stats() const override { return stats_; }
 
+  // The transport's event loop, for co-hosting other fd owners (the
+  // HTTP admin server) on the same thread. Valid between Start/Stop.
+  EventLoop* loop() { return &loop_; }
+
  private:
   struct Connection {
     uint64_t id = 0;

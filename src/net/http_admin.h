@@ -1,0 +1,94 @@
+// Minimal HTTP/1.0 admin endpoint (scalewall::net).
+//
+// Serves GET-only, read-only operator endpoints — /metrics, /healthz,
+// /traces — from a scalewall_node process. Deliberately tiny: no
+// keep-alive, no chunking, no TLS, no request bodies. A scrape is
+// "accept, read one request line, write one response, close", which is
+// exactly what Prometheus and curl need and nothing a DBMS admin port
+// should grow beyond.
+//
+// The server owns no thread. It registers its listen fd (and each
+// accepted connection) on an existing EventLoop — on scalewall_node,
+// the same loop the EpollTransport already runs — so admin traffic is
+// multiplexed with query traffic rather than costing another thread.
+// Route handlers therefore run on the loop thread and must be quick:
+// every built-in handler just renders an in-memory registry or trace
+// sink to text.
+
+#ifndef SCALEWALL_NET_HTTP_ADMIN_H_
+#define SCALEWALL_NET_HTTP_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+
+namespace scalewall::net {
+
+struct HttpResponse {
+  int status = 200;                         // 200, 404, 400, 503
+  std::string content_type = "text/plain";  // charset appended on write
+  std::string body;
+};
+
+// Handler for one exact path. Runs on the event-loop thread.
+using HttpRoute = std::function<HttpResponse()>;
+
+class HttpAdminServer {
+ public:
+  explicit HttpAdminServer(EventLoop* loop);
+  ~HttpAdminServer();
+
+  HttpAdminServer(const HttpAdminServer&) = delete;
+  HttpAdminServer& operator=(const HttpAdminServer&) = delete;
+
+  // Registers a handler for an exact path ("/metrics"). Must be called
+  // before Listen.
+  void AddRoute(std::string path, HttpRoute route);
+
+  // Binds + listens on "ip:port" (port 0 picks a free port; see port())
+  // and registers the fd on the loop. The loop must already be running.
+  Status Listen(const std::string& address);
+  int port() const { return port_; }
+
+  // Deregisters and closes every fd. Safe to call repeatedly; also run
+  // by the destructor. Blocks until the loop thread has let go.
+  void Stop();
+
+  // Total requests served (any status). Test/diagnostic aid.
+  int64_t requests_served() const;
+
+ private:
+  struct ClientConn {
+    int fd = -1;
+    std::string in;        // bytes read so far (until header terminator)
+    std::string out;       // rendered response being flushed
+    size_t out_off = 0;
+    bool responded = false;
+  };
+
+  // --- loop-thread-only ---
+  void OnAccept();
+  void OnClientEvent(int fd, uint32_t events);
+  void MaybeRespond(ClientConn* conn);
+  void FlushClient(ClientConn* conn);
+  void CloseClient(int fd);
+  HttpResponse Dispatch(const std::string& request_head) const;
+
+  EventLoop* loop_;
+  std::map<std::string, HttpRoute> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::unordered_map<int, std::unique_ptr<ClientConn>> clients_;
+  std::atomic<int64_t> requests_{0};
+};
+
+}  // namespace scalewall::net
+
+#endif  // SCALEWALL_NET_HTTP_ADMIN_H_

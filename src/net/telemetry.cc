@@ -1,0 +1,147 @@
+#include "net/telemetry.h"
+
+#include "net/wire.h"
+
+namespace scalewall::net {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated telemetry ") + what);
+}
+
+Status BadVersion(uint8_t version) {
+  return Status::Unimplemented("telemetry version " + std::to_string(version) +
+                               " != " + std::to_string(kTelemetryVersion));
+}
+
+}  // namespace
+
+std::string EncodeTraceContext(const TraceContextBlock& ctx) {
+  if (!ctx.want_spans) return {};
+  WireWriter w;
+  w.U8(kTelemetryVersion);
+  w.U8(1);  // flags: bit0 = want_spans
+  w.U64(ctx.trace_id);
+  w.U64(ctx.span_id);
+  w.Str(ctx.origin);
+  return std::move(w).str();
+}
+
+Status DecodeTraceContext(std::string_view block, TraceContextBlock* ctx) {
+  *ctx = {};
+  if (block.empty()) return Status::Ok();
+  WireReader r(block);
+  const uint8_t version = r.U8();
+  if (r.ok() && version != kTelemetryVersion) return BadVersion(version);
+  const uint8_t flags = r.U8();
+  TraceContextBlock decoded;
+  decoded.want_spans = (flags & 1) != 0;
+  decoded.trace_id = r.U64();
+  decoded.span_id = r.U64();
+  decoded.origin = r.Str();
+  if (!r.exhausted()) return Truncated("trace context");
+  *ctx = std::move(decoded);
+  return Status::Ok();
+}
+
+std::string EncodeSpanBatch(const std::vector<obs::SpanRecord>& spans) {
+  if (spans.empty()) return {};
+  WireWriter w;
+  w.U8(kTelemetryVersion);
+  w.U32(static_cast<uint32_t>(spans.size()));
+  for (const obs::SpanRecord& span : spans) {
+    w.U64(span.id);
+    w.U64(span.parent);
+    w.Str(span.name);
+    w.I64(span.start);
+    w.I64(span.end);
+    w.U32(static_cast<uint32_t>(span.tags.size()));
+    for (const auto& [key, value] : span.tags) {
+      w.Str(key);
+      w.Str(value);
+    }
+  }
+  return std::move(w).str();
+}
+
+Status DecodeSpanBatch(std::string_view block,
+                       std::vector<obs::SpanRecord>* spans) {
+  spans->clear();
+  if (block.empty()) return Status::Ok();
+  WireReader r(block);
+  const uint8_t version = r.U8();
+  if (r.ok() && version != kTelemetryVersion) return BadVersion(version);
+  const uint32_t count = r.U32();
+  if (r.ok() && count > kMaxSpansPerBatch) {
+    return Status::ResourceExhausted("span batch of " + std::to_string(count) +
+                                     " exceeds kMaxSpansPerBatch");
+  }
+  // Floor per span: id(8) + parent(8) + name len(4) + start(8) +
+  // end(8) + tag count(4) = 40 bytes, so a forged count cannot drive a
+  // multi-gigabyte reserve.
+  if (!r.CheckCount(count, 40)) return Truncated("span batch");
+  std::vector<obs::SpanRecord> decoded;
+  decoded.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    obs::SpanRecord span;
+    span.id = r.U64();
+    span.parent = r.U64();
+    span.name = r.Str();
+    span.start = r.I64();
+    span.end = r.I64();
+    const uint32_t ntags = r.U32();
+    if (r.ok() && ntags > kMaxTagsPerSpan) {
+      return Status::ResourceExhausted("span carries " +
+                                       std::to_string(ntags) +
+                                       " tags, exceeds kMaxTagsPerSpan");
+    }
+    if (!r.CheckCount(ntags, 8)) return Truncated("span batch");
+    span.tags.reserve(ntags);
+    for (uint32_t t = 0; t < ntags; ++t) {
+      std::string key = r.Str();
+      std::string value = r.Str();
+      span.tags.emplace_back(std::move(key), std::move(value));
+    }
+    decoded.push_back(std::move(span));
+  }
+  if (!r.exhausted()) return Truncated("span batch");
+  *spans = std::move(decoded);
+  return Status::Ok();
+}
+
+std::string_view TelemetryDecodeErrorKind(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnimplemented:
+      return "version";
+    case StatusCode::kResourceExhausted:
+      return "oversize";
+    default:
+      return "truncated";
+  }
+}
+
+TelemetryDecodeCounters::TelemetryDecodeCounters(
+    obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  version = registry->GetCounter("scalewall_net_decode_errors_total",
+                                 {{"kind", "version"}});
+  truncated = registry->GetCounter("scalewall_net_decode_errors_total",
+                                   {{"kind", "truncated"}});
+  oversize = registry->GetCounter("scalewall_net_decode_errors_total",
+                                  {{"kind", "oversize"}});
+}
+
+void TelemetryDecodeCounters::Bump(const Status& status) {
+  if (status.ok()) return;
+  const std::string_view kind = TelemetryDecodeErrorKind(status);
+  if (kind == "version") {
+    ++version;
+  } else if (kind == "oversize") {
+    ++oversize;
+  } else {
+    ++truncated;
+  }
+}
+
+}  // namespace scalewall::net

@@ -1,0 +1,101 @@
+// Telemetry blocks on the scalewall wire (scalewall::net).
+//
+// The cross-process telemetry plane rides *inside* existing request and
+// response payloads as opaque length-prefixed blocks, never as new
+// frame types:
+//
+//  * requests carry a TraceContextBlock — "the caller is tracing; send
+//    your spans back" plus the caller's trace/span ids for correlation;
+//  * responses carry a span batch — the callee's canonicalized spans
+//    for the work it did on behalf of that request, which the caller
+//    grafts (TraceSink::Graft) under the span that issued the hop.
+//
+// Each block leads with its own version byte, independent of the frame
+// version (kWireVersion). That separation is the version-skew story: a
+// frame from a peer speaking a different *frame* version is garbage and
+// tears down the connection (FrameDecoder), but a telemetry block from
+// a peer speaking a newer *telemetry* version is merely dropped — the
+// query succeeds untraced, the peer stays connected, and a
+// scalewall_net_decode_errors_total{kind=...} counter records the drop.
+// The same applies to truncated or oversized blocks: telemetry is
+// advisory, so its decode failures must never fail the request.
+//
+// Absent telemetry (an empty block) is the common case and decodes to
+// "disabled" / "no spans" with an OK status.
+
+#ifndef SCALEWALL_NET_TELEMETRY_H_
+#define SCALEWALL_NET_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace scalewall::net {
+
+// Bumped when either telemetry block's encoding changes incompatibly.
+// Decoders drop (never reject the enclosing request on) other versions.
+inline constexpr uint8_t kTelemetryVersion = 1;
+
+// Caps applied before any allocation driven by a decoded count. A span
+// batch beyond these is dropped whole (kind="oversize"), because a
+// telemetry block must never be the vector for unbounded memory.
+inline constexpr uint32_t kMaxSpansPerBatch = 4096;
+inline constexpr uint32_t kMaxTagsPerSpan = 64;
+
+// Request-direction block: the caller's tracing intent.
+struct TraceContextBlock {
+  // True when the caller wants the callee's spans returned with the
+  // response. False (or an absent block) = hop is untraced.
+  bool want_spans = false;
+  // The caller's trace and issuing-span ids. Correlation/debug only on
+  // the callee — the callee records into its *own* sink and ships spans
+  // back batch-local; it never writes these ids into its spans.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  // Calling node's name (e.g. "proxy"), for operator-facing span tags.
+  std::string origin;
+};
+
+// Encodes to / decodes from the opaque block (the bytes placed inside a
+// payload via WireWriter::Str). An empty block decodes to a disabled
+// context with an OK status.
+std::string EncodeTraceContext(const TraceContextBlock& ctx);
+Status DecodeTraceContext(std::string_view block, TraceContextBlock* ctx);
+
+// Response-direction block: the callee's spans for this request, in the
+// callee sink's canonical order with batch-local ids (TraceSink::Spans
+// form). An empty vector encodes to an empty block.
+std::string EncodeSpanBatch(const std::vector<obs::SpanRecord>& spans);
+Status DecodeSpanBatch(std::string_view block,
+                       std::vector<obs::SpanRecord>* spans);
+
+// Classifies a telemetry decode failure for the
+// scalewall_net_decode_errors_total{kind=...} counter: "version"
+// (unknown telemetry version), "oversize" (count cap exceeded) or
+// "truncated" (anything else malformed).
+std::string_view TelemetryDecodeErrorKind(const Status& status);
+
+// The per-kind decode-error counters, registered together so every
+// decode site bumps the same series. Safe to use unregistered (each
+// counter then owns a private cell — unit tests).
+struct TelemetryDecodeCounters {
+  TelemetryDecodeCounters() = default;
+  explicit TelemetryDecodeCounters(obs::MetricsRegistry* registry);
+
+  // Bumps the counter matching TelemetryDecodeErrorKind(status).
+  // No-op for an OK status.
+  void Bump(const Status& status);
+
+  obs::Counter version;
+  obs::Counter truncated;
+  obs::Counter oversize;
+};
+
+}  // namespace scalewall::net
+
+#endif  // SCALEWALL_NET_TELEMETRY_H_

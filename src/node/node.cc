@@ -14,22 +14,71 @@
 namespace scalewall::node {
 
 namespace {
+
 namespace cwire = cubrick::wire;
+
+// Admin routes shared by both roles. `sink`/`slow_log` are null on
+// servers (their traces are per-request and shipped to the proxy).
+void InstallAdminRoutes(net::HttpAdminServer* admin,
+                        obs::MetricsRegistry* metrics, const char* role,
+                        const obs::TraceSink* sink,
+                        obs::SlowQueryLog* slow_log) {
+  admin->AddRoute("/healthz", [role] {
+    net::HttpResponse response;
+    response.body = std::string("ok role=") + role + "\n";
+    return response;
+  });
+  admin->AddRoute("/metrics", [metrics] {
+    net::HttpResponse response;
+    if (metrics == nullptr) {
+      response.status = 503;
+      response.body = "no metrics registry attached\n";
+      return response;
+    }
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = metrics->ExportPrometheus();
+    return response;
+  });
+  admin->AddRoute("/traces", [sink] {
+    net::HttpResponse response;
+    if (sink == nullptr) {
+      response.body =
+          "no retained traces: this role ships its spans to the proxy\n";
+      return response;
+    }
+    const std::vector<uint64_t> ids = sink->TraceIds();
+    std::string out = "retained traces: " + std::to_string(ids.size()) + "\n";
+    for (uint64_t id : ids) {
+      out += "--- trace " + std::to_string(id) +
+             " spans=" + std::to_string(sink->NumSpans(id)) + " ---\n";
+      out += sink->ExportTextTree(id);
+    }
+    response.body = std::move(out);
+    return response;
+  });
+  if (slow_log != nullptr) {
+    admin->AddRoute("/slowlog", [slow_log] {
+      net::HttpResponse response;
+      const std::vector<obs::QueryProfile> profiles = slow_log->Snapshot();
+      std::string out =
+          "slow queries (newest first): " + std::to_string(profiles.size()) +
+          " captured_total=" + std::to_string(slow_log->captured_total()) +
+          " evicted_total=" + std::to_string(slow_log->evicted_total()) + "\n";
+      for (const obs::QueryProfile& profile : profiles) {
+        out += "---\n" + profile.Text();
+      }
+      response.body = std::move(out);
+      return response;
+    });
+  }
+}
+
 }  // namespace
 
-ServerNode::ServerNode(NodeOptions options, obs::MetricsRegistry* metrics)
-    : options_(std::move(options)),
-      transport_(metrics, [&] {
-        net::EpollTransportOptions t = options_.transport;
-        // Scans run on workers so a long brick scan never stalls the
-        // socket loop.
-        t.handler_threads = std::max(1, t.handler_threads);
-        return t;
-      }()) {}
+ServerCore::ServerCore(NodeOptions options, obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), decode_errors_(metrics) {}
 
-ServerNode::~ServerNode() { Stop(); }
-
-Status ServerNode::Start() {
+Status ServerCore::LoadPartitions() {
   for (uint32_t p = 0; p < options_.dataset.num_partitions; ++p) {
     if (ServerForPartition(p, options_.num_servers) != options_.server_id) {
       continue;
@@ -38,17 +87,10 @@ Status ServerNode::Start() {
     SCALEWALL_RETURN_IF_ERROR(part.status());
     partitions_.emplace(p, std::move(part).value());
   }
-  transport_.SetHandler(
-      [this](const net::Message& request, const net::CallSideband&) {
-        return Handle(request);
-      });
-  if (!transport_.Start()) return Status::Internal("event loop failed");
-  return transport_.Listen(options_.listen);
+  return Status::Ok();
 }
 
-void ServerNode::Stop() { transport_.Stop(); }
-
-Result<net::Message> ServerNode::Handle(const net::Message& request) {
+Result<net::Message> ServerCore::Handle(const net::Message& request) {
   switch (request.type) {
     case net::FrameType::kSubqueryRequest: {
       auto envelope = cwire::DecodeSubqueryRequest(request.payload);
@@ -64,13 +106,44 @@ Result<net::Message> ServerNode::Handle(const net::Message& request) {
       }
       SCALEWALL_RETURN_IF_ERROR(
           envelope->query.Validate(it->second.schema()));
+
+      // Telemetry is advisory: a malformed trace-context block is
+      // counted and dropped, and the subquery still runs untraced.
+      net::TraceContextBlock tctx;
+      const Status tstatus =
+          net::DecodeTraceContext(envelope->telemetry, &tctx);
+      if (!tstatus.ok()) decode_errors_.Bump(tstatus);
+
+      // Per-request sink: this process's spans for this subquery only,
+      // shipped back whole as a span batch and never retained here.
+      obs::TraceSink request_sink;
+      obs::TraceContext span;
+      if (tctx.want_spans) {
+        span = request_sink.StartTrace(
+            "partition " + envelope->query.table + "/p" +
+                std::to_string(envelope->partition),
+            net::EventLoop::NowMicros());
+        span.Annotate("server", "s" + std::to_string(options_.server_id));
+      }
+
       cubrick::PartialResult partial;
       partial.result = cubrick::QueryResult(envelope->query.aggregations.size());
       SCALEWALL_RETURN_IF_ERROR(
           it->second.Execute(envelope->query, partial.result));
       partial.epoch = it->second.epoch();
+
+      std::string telemetry;
+      if (tctx.want_spans) {
+        span.Annotate("rows_scanned",
+                      std::to_string(partial.result.rows_scanned));
+        span.Annotate("bricks", std::to_string(partial.result.bricks_scanned));
+        span.Annotate("rle_skipped",
+                      std::to_string(partial.result.bricks_rle_skipped));
+        span.End(net::EventLoop::NowMicros());
+        telemetry = net::EncodeSpanBatch(request_sink.Spans(span.trace));
+      }
       return net::Message{net::FrameType::kSubqueryResponse,
-                          cwire::EncodeSubqueryResponse(partial)};
+                          cwire::EncodeSubqueryResponse(partial, telemetry)};
     }
     case net::FrameType::kEpochRequest: {
       auto table = cwire::DecodeEpochRequest(request.payload);
@@ -90,36 +163,20 @@ Result<net::Message> ServerNode::Handle(const net::Message& request) {
   }
 }
 
-ProxyNode::ProxyNode(NodeOptions options,
-                     std::map<std::string, std::string> peer_addresses,
+ProxyCore::ProxyCore(NodeOptions options, net::Transport* transport,
                      obs::MetricsRegistry* metrics)
     : options_(std::move(options)),
-      peer_addresses_(std::move(peer_addresses)),
-      transport_(metrics, [&] {
-        net::EpollTransportOptions t = options_.transport;
-        // The client-query handler blocks on its own fan-out calls; it
-        // must run off the loop thread that services those calls.
-        t.handler_threads = std::max(1, t.handler_threads);
-        return t;
-      }()) {}
-
-ProxyNode::~ProxyNode() { Stop(); }
-
-Status ProxyNode::Start() {
-  for (const auto& [name, address] : peer_addresses_) {
-    transport_.MapPeer(name, address);
+      transport_(transport),
+      slow_log_(options_.slow_log),
+      decode_errors_(metrics) {
+  if (metrics != nullptr) {
+    queries_ = metrics->GetCounter("scalewall_node_queries_total");
+    query_latency_ms_ =
+        metrics->GetHistogram("scalewall_node_query_latency_ms");
   }
-  transport_.SetHandler(
-      [this](const net::Message& request, const net::CallSideband&) {
-        return Handle(request);
-      });
-  if (!transport_.Start()) return Status::Internal("event loop failed");
-  return transport_.Listen(options_.listen);
 }
 
-void ProxyNode::Stop() { transport_.Stop(); }
-
-Result<net::Message> ProxyNode::Handle(const net::Message& request) {
+Result<net::Message> ProxyCore::Handle(const net::Message& request) {
   if (request.type != net::FrameType::kClientQuery) {
     return Status::Unimplemented("proxy node does not serve frame type " +
                                  std::string(net::FrameTypeName(request.type)));
@@ -138,6 +195,19 @@ Result<net::Message> ProxyNode::Handle(const net::Message& request) {
                                  ? query_request.deadline
                                  : query.deadline;
 
+  // Root span of the stitched trace. Every annotation below is a pure
+  // function of request + data — the canonical tree must come out
+  // byte-identical whether this core runs over sim or real sockets.
+  const bool traced = query_request.tracing || query_request.profile;
+  obs::TraceContext root;
+  if (traced) {
+    root = sink_.StartTrace("query " + query.table, start_micros);
+    if (!query_request.tenant_id.empty()) {
+      root.Annotate("tenant", query_request.tenant_id);
+    }
+    if (budget > 0) root.Annotate("deadline", std::to_string(budget));
+  }
+
   // Fan out one subquery per partition, all in flight at once; the
   // handler worker blocks while the loop thread services the calls.
   const uint32_t num_partitions = options_.dataset.num_partitions;
@@ -151,6 +221,7 @@ Result<net::Message> ProxyNode::Handle(const net::Message& request) {
   fanout->remaining = num_partitions;
   fanout->responses.resize(num_partitions);
   std::set<uint32_t> servers;
+  std::vector<obs::TraceContext> sub_spans(num_partitions);
   for (uint32_t p = 0; p < num_partitions; ++p) {
     cwire::SubqueryEnvelope envelope;
     envelope.query = query;
@@ -160,9 +231,20 @@ Result<net::Message> ProxyNode::Handle(const net::Message& request) {
     envelope.remaining_budget = budget;
     const uint32_t server = ServerForPartition(p, options_.num_servers);
     servers.insert(server);
+    if (traced) {
+      sub_spans[p] =
+          root.Child("subquery p" + std::to_string(p), start_micros);
+      sub_spans[p].Annotate("server", cubrick::NodePeerName(server));
+      net::TraceContextBlock tctx;
+      tctx.want_spans = true;
+      tctx.trace_id = root.trace;
+      tctx.span_id = sub_spans[p].span;
+      tctx.origin = "proxy";
+      envelope.telemetry = net::EncodeTraceContext(tctx);
+    }
     net::CallOptions call;
     call.timeout = budget;  // 0 = the transport's default timeout
-    transport_.CallAsync(
+    transport_->CallAsync(
         cubrick::NodePeerName(server),
         net::Message{net::FrameType::kSubqueryRequest,
                      cwire::EncodeSubqueryRequest(envelope)},
@@ -178,7 +260,8 @@ Result<net::Message> ProxyNode::Handle(const net::Message& request) {
   }
 
   // Merge in ascending partition order — the coordinator's order, which
-  // is what makes the merged states reproducible.
+  // is what makes the merged states reproducible. Span batches are
+  // grafted in the same pass (same deterministic order).
   cubrick::QueryResult merged(query.aggregations.size());
   for (uint32_t p = 0; p < num_partitions; ++p) {
     Result<net::Message>& response = *fanout->responses[p];
@@ -188,19 +271,140 @@ Result<net::Message> ProxyNode::Handle(const net::Message& request) {
           "unexpected frame type in subquery response: " +
           std::string(net::FrameTypeName(response->type)));
     }
-    auto partial = cwire::DecodeSubqueryResponse(response->payload);
+    std::string telemetry;
+    auto partial = cwire::DecodeSubqueryResponse(response->payload, &telemetry);
     if (!partial.ok()) return partial.status();
     merged.Merge(partial->result);
+    if (traced) {
+      std::vector<obs::SpanRecord> batch;
+      const Status tstatus = net::DecodeSpanBatch(telemetry, &batch);
+      if (!tstatus.ok()) {
+        // Advisory: count, drop, keep the query (and the peer) alive.
+        decode_errors_.Bump(tstatus);
+      } else if (!batch.empty()) {
+        sink_.Graft(sub_spans[p], batch);
+      }
+      sub_spans[p].End(net::EventLoop::NowMicros());
+    }
   }
 
+  obs::TraceContext merge_span;
+  if (traced) {
+    merge_span = root.Child("merge", net::EventLoop::NowMicros());
+  }
   cwire::ClientRowsEnvelope rows;
   rows.rows = cubrick::MaterializeRows(merged, query);
   rows.region = 0;
   rows.attempts = 1;
   rows.fanout = static_cast<int>(servers.size());
   rows.latency = net::EventLoop::NowMicros() - start_micros;
+  if (traced) {
+    merge_span.Annotate("rows", std::to_string(rows.rows.size()));
+    merge_span.End(net::EventLoop::NowMicros());
+    root.Annotate("status", "OK");
+    root.Annotate("attempts", "1");
+    root.Annotate("fanout", std::to_string(rows.fanout));
+    root.End(net::EventLoop::NowMicros());
+
+    obs::QueryProfile profile = BuildQueryProfile(sink_.Spans(root.trace));
+    profile.trace_id = root.trace;
+    slow_log_.MaybeCapture(profile);
+    if (query_request.profile) {
+      rows.profile_text = profile.Text();
+      rows.trace_text = sink_.ExportTextTree(root.trace);
+    }
+  }
+  ++queries_;
+  query_latency_ms_.Add(static_cast<double>(rows.latency) / 1000.0);
   return net::Message{net::FrameType::kClientRows,
                       cwire::EncodeClientRows(rows)};
+}
+
+ServerNode::ServerNode(NodeOptions options, obs::MetricsRegistry* metrics)
+    : metrics_(metrics),
+      core_(options, metrics),
+      transport_(metrics, [&] {
+        net::EpollTransportOptions t = options.transport;
+        // Scans run on workers so a long brick scan never stalls the
+        // socket loop.
+        t.handler_threads = std::max(1, t.handler_threads);
+        return t;
+      }()) {
+  transport_.SetHandler(
+      [this](const net::Message& request, const net::CallSideband&) {
+        return core_.Handle(request);
+      });
+  // The listen address lives in options; keep a copy for Start.
+  listen_ = options.listen;
+}
+
+ServerNode::~ServerNode() { Stop(); }
+
+Status ServerNode::Start() {
+  SCALEWALL_RETURN_IF_ERROR(core_.LoadPartitions());
+  if (!transport_.Start()) return Status::Internal("event loop failed");
+  return transport_.Listen(listen_);
+}
+
+void ServerNode::Stop() {
+  if (admin_ != nullptr) admin_->Stop();
+  transport_.Stop();
+}
+
+Status ServerNode::StartAdmin(const std::string& address) {
+  admin_ = std::make_unique<net::HttpAdminServer>(transport_.loop());
+  InstallAdminRoutes(admin_.get(), metrics_, "server", nullptr, nullptr);
+  return admin_->Listen(address);
+}
+
+int ServerNode::admin_port() const {
+  return admin_ != nullptr ? admin_->port() : 0;
+}
+
+ProxyNode::ProxyNode(NodeOptions options,
+                     std::map<std::string, std::string> peer_addresses,
+                     obs::MetricsRegistry* metrics)
+    : metrics_(metrics),
+      peer_addresses_(std::move(peer_addresses)),
+      transport_(metrics, [&] {
+        net::EpollTransportOptions t = options.transport;
+        // The client-query handler blocks on its own fan-out calls; it
+        // must run off the loop thread that services those calls.
+        t.handler_threads = std::max(1, t.handler_threads);
+        return t;
+      }()),
+      core_(options, &transport_, metrics) {
+  transport_.SetHandler(
+      [this](const net::Message& request, const net::CallSideband&) {
+        return core_.Handle(request);
+      });
+  listen_ = options.listen;
+}
+
+ProxyNode::~ProxyNode() { Stop(); }
+
+Status ProxyNode::Start() {
+  for (const auto& [name, address] : peer_addresses_) {
+    transport_.MapPeer(name, address);
+  }
+  if (!transport_.Start()) return Status::Internal("event loop failed");
+  return transport_.Listen(listen_);
+}
+
+void ProxyNode::Stop() {
+  if (admin_ != nullptr) admin_->Stop();
+  transport_.Stop();
+}
+
+Status ProxyNode::StartAdmin(const std::string& address) {
+  admin_ = std::make_unique<net::HttpAdminServer>(transport_.loop());
+  InstallAdminRoutes(admin_.get(), metrics_, "proxy", &core_.trace_sink(),
+                     &core_.slow_log());
+  return admin_->Listen(address);
+}
+
+int ProxyNode::admin_port() const {
+  return admin_ != nullptr ? admin_->port() : 0;
 }
 
 Result<cubrick::wire::ClientRowsEnvelope> SubmitClientQuery(

@@ -14,6 +14,21 @@
 // is shared with the sim engine and the wire codecs are lossless, the
 // rows are byte-identical to an oracle run and to a sim-transport
 // Deployment over the same seed.
+//
+// The protocol logic lives in transport-agnostic cores (ServerCore,
+// ProxyCore) that speak only net::Transport: the deployable nodes wrap
+// them around an EpollTransport, and tests run the *same* cores over a
+// SimTransport to assert that a real-socket run and a sim run of one
+// query produce byte-identical canonical trace trees and profiles.
+//
+// Telemetry plane: when a client query opts into tracing/profiling, the
+// proxy records a root span, sends a trace-context block on every
+// subquery hop, and each server returns its spans as a wire span batch
+// which the proxy grafts (TraceSink::Graft) under the issuing span —
+// one stitched trace tree per query in the proxy's sink, regardless of
+// how many processes did the work. From the stitched tree the proxy
+// derives an obs::QueryProfile, feeds the slow-query ring, and (on
+// request.profile) ships the rendered profile and tree to the client.
 
 #ifndef SCALEWALL_NODE_NODE_H_
 #define SCALEWALL_NODE_NODE_H_
@@ -25,7 +40,11 @@
 #include "cubrick/request.h"
 #include "cubrick/wire.h"
 #include "net/epoll_transport.h"
+#include "net/http_admin.h"
+#include "net/telemetry.h"
 #include "node/dataset.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace scalewall::node {
 
@@ -35,10 +54,62 @@ struct NodeOptions {
   uint32_t num_servers = 1;            // cluster size (partition placement)
   DatasetOptions dataset;
   net::EpollTransportOptions transport;
+  // Proxy slow-query ring (obs::SlowQueryLog). Default thresholds are
+  // zero = capture nothing automatically; scalewall_node sets a latency
+  // threshold via --slow-query-micros.
+  obs::SlowQueryLogOptions slow_log;
 };
 
-// Hosts the partitions `ServerForPartition` assigns to `server_id` and
-// serves kSubqueryRequest (+ kEpochRequest for completeness).
+// Transport-agnostic server-side protocol logic: hosts the partitions
+// `ServerForPartition` assigns to `server_id` and serves
+// kSubqueryRequest (+ kEpochRequest for completeness). When a subquery
+// carries a trace-context block, the scan is recorded into a
+// per-request TraceSink and shipped back as a span batch.
+class ServerCore {
+ public:
+  explicit ServerCore(NodeOptions options,
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  // Builds the hosted partitions. Must precede Handle.
+  Status LoadPartitions();
+
+  Result<net::Message> Handle(const net::Message& request);
+
+  size_t num_partitions_hosted() const { return partitions_.size(); }
+
+ private:
+  NodeOptions options_;
+  net::TelemetryDecodeCounters decode_errors_;
+  std::map<uint32_t, cubrick::TablePartition> partitions_;
+};
+
+// Transport-agnostic proxy-side protocol logic: accepts kClientQuery,
+// fans out one subquery per partition over `transport` (peers
+// "s0".."s<N-1>"), stitches returned span batches, merges and
+// materializes. `transport` must outlive the core.
+class ProxyCore {
+ public:
+  ProxyCore(NodeOptions options, net::Transport* transport,
+            obs::MetricsRegistry* metrics = nullptr);
+
+  Result<net::Message> Handle(const net::Message& request);
+
+  // The proxy's root sink: one stitched trace per traced client query.
+  obs::TraceSink& trace_sink() { return sink_; }
+  const obs::TraceSink& trace_sink() const { return sink_; }
+  obs::SlowQueryLog& slow_log() { return slow_log_; }
+
+ private:
+  NodeOptions options_;
+  net::Transport* transport_;
+  obs::TraceSink sink_;
+  obs::SlowQueryLog slow_log_;
+  net::TelemetryDecodeCounters decode_errors_;
+  obs::Counter queries_;
+  obs::HistogramMetric query_latency_ms_;
+};
+
+// Deployable server process: ServerCore behind an EpollTransport.
 class ServerNode {
  public:
   explicit ServerNode(NodeOptions options,
@@ -48,22 +119,28 @@ class ServerNode {
   Status Start();
   void Stop();
 
+  // Serves /metrics, /healthz and /traces on `address`, multiplexed on
+  // the transport's event loop. Call after Start.
+  Status StartAdmin(const std::string& address);
+  int admin_port() const;
+
   int port() const { return transport_.listen_port(); }
   net::EpollTransport& transport() { return transport_; }
-  size_t num_partitions_hosted() const { return partitions_.size(); }
+  size_t num_partitions_hosted() const {
+    return core_.num_partitions_hosted();
+  }
 
  private:
-  Result<net::Message> Handle(const net::Message& request);
-
-  NodeOptions options_;
+  obs::MetricsRegistry* metrics_;
+  std::string listen_;
+  ServerCore core_;
   net::EpollTransport transport_;
-  std::map<uint32_t, cubrick::TablePartition> partitions_;
+  std::unique_ptr<net::HttpAdminServer> admin_;
 };
 
-// Accepts kClientQuery, fans out one subquery per partition to its
-// host (peers "s0".."s<N-1>", mapped via `peer_addresses`), merges and
-// materializes. Handlers run on worker threads so the blocking fan-out
-// calls never stall the proxy's own event loop.
+// Deployable proxy process: ProxyCore behind an EpollTransport.
+// Handlers run on worker threads so the blocking fan-out calls never
+// stall the proxy's own event loop.
 class ProxyNode {
  public:
   ProxyNode(NodeOptions options,
@@ -74,15 +151,21 @@ class ProxyNode {
   Status Start();
   void Stop();
 
+  // Serves /metrics, /healthz, /traces and /slowlog on `address`.
+  Status StartAdmin(const std::string& address);
+  int admin_port() const;
+
   int port() const { return transport_.listen_port(); }
   net::EpollTransport& transport() { return transport_; }
+  ProxyCore& core() { return core_; }
 
  private:
-  Result<net::Message> Handle(const net::Message& request);
-
-  NodeOptions options_;
+  obs::MetricsRegistry* metrics_;
+  std::string listen_;
   std::map<std::string, std::string> peer_addresses_;
   net::EpollTransport transport_;
+  ProxyCore core_;
+  std::unique_ptr<net::HttpAdminServer> admin_;
 };
 
 // Client side: submits `request` to the proxy at peer `proxy` (a mapped

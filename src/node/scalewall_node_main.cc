@@ -16,6 +16,10 @@
 //       output is a bit-level result comparison.
 //
 // Dataset knobs shared by all roles: --seed --rows --partitions.
+// Telemetry: --admin=ip:port serves /metrics, /healthz and /traces
+// (plus /slowlog on the proxy) from the node's own event loop;
+// --slow-query-micros=T arms the proxy's slow-query ring; the client's
+// --profile prints the stitched per-query profile and trace to stderr.
 // scripts/run_local_cluster.sh drives a 1-proxy + 2-server cluster.
 
 #include <unistd.h>
@@ -29,6 +33,7 @@
 
 #include "cubrick/sql.h"
 #include "node/node.h"
+#include "obs/metrics_registry.h"
 
 namespace {
 
@@ -77,6 +82,10 @@ scalewall::node::NodeOptions NodeOptionsFrom(const Args& args) {
   options.dataset.num_partitions =
       static_cast<uint32_t>(args.GetInt("partitions", 8));
   options.dataset.num_rows = static_cast<uint64_t>(args.GetInt("rows", 20000));
+  // Proxy slow-query ring: capture queries at/above the threshold
+  // (0 disables automatic capture; \curl /slowlog shows the ring).
+  options.slow_log.latency_threshold_micros =
+      args.GetInt("slow-query-micros", 0);
   return options;
 }
 
@@ -102,29 +111,54 @@ void WaitForSignal() {
 }
 
 int RunServer(const Args& args) {
-  scalewall::node::ServerNode server(NodeOptionsFrom(args));
+  scalewall::obs::MetricsRegistry metrics;
+  scalewall::node::ServerNode server(NodeOptionsFrom(args), &metrics);
   auto status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "server %lld listening on port %d (%zu partitions)\n",
+  const std::string admin = args.Get("admin", "");
+  if (!admin.empty()) {
+    status = server.StartAdmin(admin);
+    if (!status.ok()) {
+      std::fprintf(stderr, "server admin: %s\n", status.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "server %lld listening on port %d (%zu partitions)",
                static_cast<long long>(args.GetInt("server-id", 0)),
                server.port(), server.num_partitions_hosted());
+  if (!admin.empty()) std::fprintf(stderr, ", admin %d", server.admin_port());
+  std::fprintf(stderr, "\n");
   WaitForSignal();
   server.Stop();
   return 0;
 }
 
 int RunProxy(const Args& args) {
+  scalewall::obs::MetricsRegistry metrics;
   scalewall::node::ProxyNode proxy(NodeOptionsFrom(args),
-                                   ParsePeers(args.Get("peers", "")));
+                                   ParsePeers(args.Get("peers", "")),
+                                   &metrics);
   auto status = proxy.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "proxy: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "proxy listening on port %d\n", proxy.port());
+  const std::string admin = args.Get("admin", "");
+  if (!admin.empty()) {
+    status = proxy.StartAdmin(admin);
+    if (!status.ok()) {
+      std::fprintf(stderr, "proxy admin: %s\n", status.ToString().c_str());
+      proxy.Stop();
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "proxy listening on port %d", proxy.port());
+  if (!admin.empty()) std::fprintf(stderr, ", admin %d", proxy.admin_port());
+  std::fprintf(stderr, "\n");
   WaitForSignal();
   proxy.Stop();
   return 0;
@@ -144,6 +178,10 @@ int RunClient(const Args& args) {
   }
   scalewall::cubrick::QueryRequest request(*query);
   request.deadline = args.GetInt("deadline-ms", 0) * 1000;
+  // --profile: the proxy ships its rendered per-query profile and
+  // stitched trace tree back with the rows. Printed to stderr so stdout
+  // stays byte-comparable with the oracle role.
+  request.profile = args.GetInt("profile", 0) != 0;
 
   scalewall::net::EpollTransport transport;
   if (!transport.Start()) {
@@ -160,6 +198,12 @@ int RunClient(const Args& args) {
     if (rows.ok()) {
       std::fputs(scalewall::node::FormatResultRows(rows->rows).c_str(),
                  stdout);
+      if (!rows->profile_text.empty()) {
+        std::fprintf(stderr, "%s", rows->profile_text.c_str());
+      }
+      if (!rows->trace_text.empty()) {
+        std::fprintf(stderr, "%s", rows->trace_text.c_str());
+      }
       transport.Stop();
       return 0;
     }
@@ -208,6 +252,7 @@ int main(int argc, char** argv) {
                "usage: scalewall_node --role=server|proxy|client|oracle "
                "[--listen=ip:port] [--peers=s0=ip:port,...] "
                "[--connect=ip:port] [--sql='SELECT ...'] [--server-id=K] "
-               "[--num-servers=N] [--seed=S] [--rows=R] [--partitions=P]\n");
+               "[--num-servers=N] [--seed=S] [--rows=R] [--partitions=P] "
+               "[--admin=ip:port] [--slow-query-micros=T] [--profile]\n");
   return 2;
 }

@@ -94,6 +94,68 @@ std::string MetricsRegistry::ExportText() const {
   return out.str();
 }
 
+std::string MetricsRegistry::ExportPrometheus() const {
+  // The `le` ladder, in the unit the histogram was fed (milliseconds for
+  // every latency series in this codebase): 1-2-5 steps over 8 decades.
+  static constexpr double kBuckets[] = {
+      0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,  0.2,  0.5,  1.0,
+      2.0,   5.0,   10.0,  20.0, 50.0, 100,  200,  500,  1000, 2000,
+      5000,  10000, 20000, 50000};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  const std::string* last_type_name = nullptr;
+  auto type_line = [&](const std::string& name, const char* type) {
+    // One # TYPE header per metric name (series of one name are
+    // contiguous: the map is sorted by name first).
+    if (last_type_name != nullptr && *last_type_name == name) return;
+    out << "# TYPE " << name << " " << type << "\n";
+    last_type_name = &name;
+  };
+  for (const auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Series::Kind::kCounter:
+        type_line(key.name, "counter");
+        EmitSeriesName(out, key.name, key.labels);
+        out << " " << series.counter.load() << "\n";
+        break;
+      case Series::Kind::kGauge:
+        type_line(key.name, "gauge");
+        EmitSeriesName(out, key.name, key.labels);
+        out << " " << series.gauge.value() << "\n";
+        break;
+      case Series::Kind::kHistogram: {
+        type_line(key.name, "histogram");
+        const Histogram snapshot = series.histogram.Snapshot();
+        for (double upper : kBuckets) {
+          std::ostringstream le;
+          le << upper;
+          EmitSeriesName(out, key.name + "_bucket", key.labels, "le",
+                         le.str().c_str());
+          out << " " << snapshot.CumulativeLessEqual(upper) << "\n";
+        }
+        EmitSeriesName(out, key.name + "_bucket", key.labels, "le", "+Inf");
+        out << " " << snapshot.count() << "\n";
+        EmitSeriesName(out, key.name + "_sum", key.labels);
+        out << " " << snapshot.sum() << "\n";
+        EmitSeriesName(out, key.name + "_count", key.labels);
+        out << " " << snapshot.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> MetricsRegistry::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [key, series] : series_) {
+    if (names.empty() || names.back() != key.name) names.push_back(key.name);
+  }
+  return names;
+}
+
 size_t MetricsRegistry::num_series() const {
   std::lock_guard<std::mutex> lock(mu_);
   return series_.size();

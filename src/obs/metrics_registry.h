@@ -98,6 +98,11 @@ class HistogramMetric {
     std::lock_guard<std::mutex> lock(cell_->mu);
     return static_cast<int64_t>(cell_->histogram.count());
   }
+  // Consistent copy of the underlying histogram (bucket-level export).
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(cell_->mu);
+    return cell_->histogram;
+  }
 
  private:
   friend class MetricsRegistry;
@@ -127,6 +132,19 @@ class MetricsRegistry {
                                double min_value = 0.001);
 
   std::string ExportText() const;
+
+  // Full Prometheus text exposition of every registered series, with no
+  // deployment-level derived lines — the standalone per-process export a
+  // scalewall_node serves on /metrics. Counters and gauges render as
+  // `name{labels} value` with `# TYPE` headers; histograms render as
+  // real cumulative `_bucket{le="..."}` series over a fixed 1-2-5
+  // ladder plus `_sum` and `_count` (quantile convenience lines are
+  // ExportText's shorthand, not part of this format).
+  std::string ExportPrometheus() const;
+
+  // Sorted names of all registered series (metric-name lint, tests).
+  std::vector<std::string> SeriesNames() const;
+
   size_t num_series() const;
 
  private:

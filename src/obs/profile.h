@@ -1,0 +1,144 @@
+// Per-query profiles and the slow-query log (scalewall::obs).
+//
+// A QueryProfile is the digest an operator actually reads: where one
+// query's time and work went — admission queue wait, per-subquery scan
+// time, merge and network time, bricks scanned vs RLE-skipped, cache
+// outcomes, retry/hedge activity, deadline-budget burn. It is built
+// from a query's (stitched) span tree plus the counters the engine
+// annotates onto those spans, so the same builder works on a
+// single-process sim trace and on a cross-process trace assembled from
+// wire span batches.
+//
+// Two renderings: Text() includes timings (operator-facing), and
+// CanonicalText() is the deterministic subset — counters and structure
+// only — which is byte-identical between a same-seed sim run and a
+// real-socket run (timings obviously are not; they come from different
+// clocks).
+//
+// SlowQueryLog is a bounded ring of captured profiles: every query
+// whose latency exceeds a threshold (or which burned more than a
+// configured fraction of its deadline budget) is kept, newest
+// evicting oldest, so "what was slow in the last minutes" survives
+// without tracing every query.
+
+#ifndef SCALEWALL_OBS_PROFILE_H_
+#define SCALEWALL_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace scalewall::obs {
+
+// One subquery's (partition scan's) share of the work.
+struct SubqueryProfile {
+  std::string name;    // span name, e.g. "partition ads/p3"
+  std::string server;  // "server" tag when annotated
+  int64_t wall_micros = 0;
+  int64_t rows_scanned = 0;
+  int64_t bricks_scanned = 0;
+  int64_t bricks_rle_skipped = 0;
+  int64_t morsels = 0;
+  int cache_hit = -1;  // -1 unknown / not consulted, 0 miss, 1 hit
+};
+
+struct QueryProfile {
+  std::string table;
+  uint64_t trace_id = 0;
+  std::string status = "OK";
+  std::string tenant;
+  int attempts = 0;
+  int fanout = 0;
+
+  // --- timings (wall or simulated micros; excluded from CanonicalText) ---
+  int64_t latency_micros = 0;     // end-to-end, root span or caller-provided
+  int64_t queue_wait_micros = 0;  // admission queue span
+  int64_t scan_micros = 0;        // sum over partition spans
+  int64_t merge_micros = 0;       // merge span
+  int64_t net_micros = 0;         // sum over "net ..." spans
+  int64_t deadline_micros = 0;    // budget, 0 = none
+
+  // --- deterministic work/outcome counters ---
+  int64_t retries = 0;
+  int64_t hedges = 0;
+  int64_t rows_scanned = 0;
+  int64_t bricks_scanned = 0;
+  int64_t bricks_rle_skipped = 0;
+  int64_t morsels = 0;
+  int64_t cache_hits = 0;    // subquery-level validated hits
+  int64_t cache_misses = 0;  // subquery-level misses
+
+  std::vector<SubqueryProfile> subqueries;
+
+  // Fraction of the deadline budget consumed (0 when no deadline).
+  double deadline_burn() const {
+    if (deadline_micros <= 0) return 0.0;
+    return static_cast<double>(latency_micros) /
+           static_cast<double>(deadline_micros);
+  }
+
+  // Operator-facing rendering, timings included.
+  std::string Text() const;
+  // Deterministic subset: structure and counters only, subqueries in
+  // name order. Byte-identical across same-seed sim and real-socket
+  // runs of the same query.
+  std::string CanonicalText() const;
+};
+
+// Derives a profile from a canonicalized span tree (TraceSink::Spans).
+// Recognizes the span vocabulary the query path records — "query ...",
+// "admission queue", "attempt N", "net ...", "subquery ...",
+// "partition <table>/pK", "scan pK" (the simulator's modeled scan time;
+// real partition spans carry wall durations directly), "merge" — and
+// folds their tags (rows, bricks,
+// rle_skipped, morsels, cache_hit, server, status). Unknown spans are
+// ignored, so the builder tolerates partial traces (dropped spans,
+// older peers that ship no telemetry).
+QueryProfile BuildQueryProfile(const std::vector<SpanRecord>& spans);
+
+struct SlowQueryLogOptions {
+  size_t capacity = 32;
+  // Capture when latency >= this (micros); 0 disables the latency rule.
+  int64_t latency_threshold_micros = 0;
+  // Capture when latency >= burn * deadline (for queries that carried a
+  // deadline); 0 disables the burn rule.
+  double deadline_burn_threshold = 0.0;
+};
+
+// Thread-safe bounded ring buffer of slow-query profiles.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowQueryLogOptions options = {});
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Applies the thresholds; captures (and returns true) when either
+  // rule fires. A zero-capacity log never captures.
+  bool MaybeCapture(const QueryProfile& profile);
+  // Unconditional capture (tests, explicit operator snapshots).
+  void Capture(QueryProfile profile);
+
+  // Newest first.
+  std::vector<QueryProfile> Snapshot() const;
+
+  size_t size() const;
+  int64_t captured_total() const;
+  int64_t evicted_total() const;
+  const SlowQueryLogOptions& options() const { return options_; }
+
+ private:
+  const SlowQueryLogOptions options_;
+  mutable std::mutex mu_;
+  std::deque<QueryProfile> ring_;
+  int64_t captured_ = 0;
+  int64_t evicted_ = 0;
+};
+
+}  // namespace scalewall::obs
+
+#endif  // SCALEWALL_OBS_PROFILE_H_

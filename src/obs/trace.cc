@@ -81,6 +81,33 @@ void TraceSink::EndSpan(const TraceContext& ctx, SimTime end) {
   trace->spans[it->second].end = end;
 }
 
+size_t TraceSink::Graft(const TraceContext& parent,
+                        const std::vector<SpanRecord>& batch) {
+  if (!parent.active() || parent.sink != this || batch.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace* trace = Find(parent.trace);
+  if (trace == nullptr) return 0;
+  // Old (batch-local) id -> new raw id in this trace.
+  std::unordered_map<uint64_t, uint64_t> remap;
+  size_t grafted = 0;
+  for (const SpanRecord& span : batch) {
+    if (trace->spans.size() >= options_.max_spans_per_trace) {
+      dropped_spans_ +=
+          static_cast<int64_t>(batch.size() - grafted);
+      break;
+    }
+    SpanRecord copy = span;
+    copy.id = trace->next_span++;
+    remap[span.id] = copy.id;
+    auto it = remap.find(span.parent);
+    copy.parent = it != remap.end() ? it->second : parent.span;
+    trace->index[copy.id] = trace->spans.size();
+    trace->spans.push_back(std::move(copy));
+    ++grafted;
+  }
+  return grafted;
+}
+
 size_t TraceSink::num_traces() const {
   std::lock_guard<std::mutex> lock(mu_);
   return traces_.size();
@@ -290,6 +317,60 @@ std::string TraceSink::ExportTextTree(uint64_t trace_id) const {
     out << "\n";
   }
   return out.str();
+}
+
+std::string TraceSink::ExportCanonicalTree(uint64_t trace_id) const {
+  std::vector<SpanRecord> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Trace* trace = Find(trace_id);
+    if (trace == nullptr) return "";
+    raw = trace->spans;
+  }
+  // Children keyed by raw id; roots are spans with unknown parents.
+  std::unordered_map<uint64_t, std::vector<size_t>> children;
+  std::unordered_map<uint64_t, size_t> by_id;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < raw.size(); ++i) by_id[raw[i].id] = i;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i].parent != 0 && by_id.count(raw[i].parent)) {
+      children[raw[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  // Render each subtree bottom-up; siblings sort by their rendered
+  // text, so the output is a pure function of the span *content* — no
+  // timestamps, raw ids or recording order can leak in.
+  std::function<std::string(size_t, int)> render = [&](size_t idx,
+                                                       int depth) {
+    const SpanRecord& span = raw[idx];
+    std::string line(static_cast<size_t>(depth) * 2, ' ');
+    line += span.name;
+    for (const auto& [key, value] : span.tags) {
+      line += " ";
+      line += key;
+      line += "=";
+      line += value;
+    }
+    line += "\n";
+    auto it = children.find(span.id);
+    if (it != children.end()) {
+      std::vector<std::string> subtrees;
+      subtrees.reserve(it->second.size());
+      for (size_t child : it->second) subtrees.push_back(render(child, depth + 1));
+      std::sort(subtrees.begin(), subtrees.end());
+      for (const std::string& sub : subtrees) line += sub;
+    }
+    return line;
+  };
+  std::vector<std::string> rendered;
+  rendered.reserve(roots.size());
+  for (size_t root : roots) rendered.push_back(render(root, 0));
+  std::sort(rendered.begin(), rendered.end());
+  std::string out;
+  for (const std::string& tree : rendered) out += tree;
+  return out;
 }
 
 }  // namespace scalewall::obs

@@ -95,6 +95,15 @@ class TraceSink {
   void Annotate(const TraceContext& ctx, std::string key, std::string value);
   void EndSpan(const TraceContext& ctx, SimTime end);
 
+  // Stitches a batch of spans recorded by *another* sink (typically a
+  // remote scalewall_node process, shipped back as a wire span batch)
+  // into this sink under `parent`. The batch uses its own id space:
+  // spans whose `parent` is 0 (or names no span in the batch) attach
+  // directly under `parent`; the rest keep their relative tree shape.
+  // Spans beyond max_spans_per_trace are dropped and counted. Returns
+  // the number of spans grafted.
+  size_t Graft(const TraceContext& parent, const std::vector<SpanRecord>& batch);
+
   // --- introspection ---
   size_t num_traces() const;
   // Retained trace ids, oldest first.
@@ -117,6 +126,15 @@ class TraceSink {
   //   query t [start=0 dur=1234] status=OK
   //     attempt 1 [start=0 dur=1234] region=0
   std::string ExportTextTree(uint64_t trace_id) const;
+
+  // Timestamp-free canonical rendering: name + tags per span, siblings
+  // ordered by their fully rendered subtrees (name, tags, children) —
+  // never by time or recording order. Two runs that execute the same
+  // query over the same data produce byte-identical canonical trees
+  // even when one runs on the simulated clock and the other on real
+  // sockets with wall-clock timestamps; this is the form the
+  // sim-vs-real stitching invariant is asserted on.
+  std::string ExportCanonicalTree(uint64_t trace_id) const;
 
  private:
   struct Trace {

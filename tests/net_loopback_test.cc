@@ -154,22 +154,21 @@ TEST(TransportLoopbackTest, SimTransportRecordsNetSpansInQueryTraces) {
 
   obs::TraceSink& sink = dep.trace_sink();
   ASSERT_NE(sink.LastTraceId(), 0u);
-  // At least one trace must contain transport spans tagged with the sim
-  // backend, nested inside the query tree.
-  bool found_net_span = false;
+  // At least one trace must contain a transport span tagged with the
+  // sim backend, nested inside the query tree. (The proxy/coordinator
+  // also record *modeled* "net hops"/"net sK" spans without a backend
+  // tag — those only need to join the tree.)
+  bool found_transport_span = false;
   for (uint64_t t : sink.TraceIds()) {
     for (const obs::SpanRecord& span : sink.Spans(t)) {
       if (span.name.rfind("net ", 0) != 0) continue;
-      found_net_span = true;
-      bool backend_tagged = false;
-      for (const auto& [key, value] : span.tags) {
-        if (key == "backend" && value == "sim") backend_tagged = true;
-      }
-      EXPECT_TRUE(backend_tagged) << span.name;
       EXPECT_NE(0u, span.parent) << "net span must join the query tree";
+      for (const auto& [key, value] : span.tags) {
+        if (key == "backend" && value == "sim") found_transport_span = true;
+      }
     }
   }
-  EXPECT_TRUE(found_net_span);
+  EXPECT_TRUE(found_transport_span);
 }
 
 TEST(TransportLoopbackTest, EpollClusterMatchesSimDeploymentByteForByte) {

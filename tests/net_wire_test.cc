@@ -14,7 +14,10 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "cubrick/wire.h"
+#include "net/telemetry.h"
 #include "net/wire.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace scalewall {
 namespace {
@@ -460,6 +463,204 @@ TEST(WireDifferentialTest, GarbagePayloadsRejected) {
     (void)cubrick::wire::DecodeClientQuery(garbage);
     (void)cubrick::wire::DecodeClientRows(garbage);
   }
+}
+
+// --- telemetry blocks (net/telemetry.h): version-skew hardening ---
+//
+// Telemetry blocks are advisory riders: every malformed block must
+// yield a *stable* Status the caller can count and drop — never a
+// crash, never a silent misdecode, and never a failure of the
+// enclosing request (that part is enforced in node_telemetry_test).
+
+std::vector<obs::SpanRecord> SampleSpans() {
+  obs::TraceSink sink;
+  obs::TraceContext root = sink.StartTrace("partition ads/p3", 100);
+  root.Annotate("server", "s1");
+  root.Annotate("rows_scanned", "1234");
+  obs::TraceContext morsel = root.Child("morsel 0", 110);
+  morsel.End(150);
+  root.End(200);
+  return sink.Spans(root.trace);
+}
+
+TEST(TelemetryCodecTest, TraceContextRoundTrip) {
+  net::TraceContextBlock ctx;
+  ctx.want_spans = true;
+  ctx.trace_id = 0xDEADBEEFCAFEF00Dull;
+  ctx.span_id = 42;
+  ctx.origin = "proxy";
+  const std::string block = net::EncodeTraceContext(ctx);
+  ASSERT_FALSE(block.empty());
+
+  net::TraceContextBlock decoded;
+  ASSERT_TRUE(net::DecodeTraceContext(block, &decoded).ok());
+  EXPECT_TRUE(decoded.want_spans);
+  EXPECT_EQ(ctx.trace_id, decoded.trace_id);
+  EXPECT_EQ(ctx.span_id, decoded.span_id);
+  EXPECT_EQ("proxy", decoded.origin);
+
+  // Disabled context encodes to the empty block; the empty block
+  // decodes as "no telemetry", not as an error.
+  EXPECT_TRUE(net::EncodeTraceContext({}).empty());
+  ASSERT_TRUE(net::DecodeTraceContext("", &decoded).ok());
+  EXPECT_FALSE(decoded.want_spans);
+}
+
+TEST(TelemetryCodecTest, SpanBatchRoundTrip) {
+  const std::vector<obs::SpanRecord> spans = SampleSpans();
+  ASSERT_GE(spans.size(), 2u);
+  const std::string block = net::EncodeSpanBatch(spans);
+
+  std::vector<obs::SpanRecord> decoded;
+  ASSERT_TRUE(net::DecodeSpanBatch(block, &decoded).ok());
+  ASSERT_EQ(spans.size(), decoded.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, decoded[i].id);
+    EXPECT_EQ(spans[i].parent, decoded[i].parent);
+    EXPECT_EQ(spans[i].name, decoded[i].name);
+    EXPECT_EQ(spans[i].start, decoded[i].start);
+    EXPECT_EQ(spans[i].end, decoded[i].end);
+    EXPECT_EQ(spans[i].tags, decoded[i].tags);
+  }
+  // Re-encode is byte-stable.
+  EXPECT_EQ(block, net::EncodeSpanBatch(decoded));
+  // Empty batch <-> empty block.
+  EXPECT_TRUE(net::EncodeSpanBatch({}).empty());
+  ASSERT_TRUE(net::DecodeSpanBatch("", &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(TelemetryCodecTest, UnknownVersionRejectedAsVersionSkew) {
+  std::string trace_block = net::EncodeTraceContext(
+      {/*want_spans=*/true, /*trace_id=*/1, /*span_id=*/2, "proxy"});
+  trace_block[0] = static_cast<char>(net::kTelemetryVersion + 1);
+  net::TraceContextBlock ctx;
+  Status status = net::DecodeTraceContext(trace_block, &ctx);
+  EXPECT_EQ(StatusCode::kUnimplemented, status.code());
+  EXPECT_EQ("version", net::TelemetryDecodeErrorKind(status));
+  EXPECT_FALSE(ctx.want_spans) << "a rejected block must leave no state";
+
+  std::string span_block = net::EncodeSpanBatch(SampleSpans());
+  span_block[0] = static_cast<char>(0xFF);
+  std::vector<obs::SpanRecord> spans;
+  status = net::DecodeSpanBatch(span_block, &spans);
+  EXPECT_EQ(StatusCode::kUnimplemented, status.code());
+  EXPECT_EQ("version", net::TelemetryDecodeErrorKind(status));
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(TelemetryCodecTest, TruncationAtEveryByteYieldsStableStatus) {
+  const std::string trace_block = net::EncodeTraceContext(
+      {/*want_spans=*/true, /*trace_id=*/7, /*span_id=*/9, "proxy"});
+  // Every strict nonempty prefix must fail (the empty block is the
+  // legitimate "no telemetry" encoding, not a truncation).
+  for (size_t cut = 1; cut < trace_block.size(); ++cut) {
+    net::TraceContextBlock ctx;
+    Status status =
+        net::DecodeTraceContext(trace_block.substr(0, cut), &ctx);
+    EXPECT_EQ(StatusCode::kInvalidArgument, status.code()) << "cut " << cut;
+    EXPECT_EQ("truncated", net::TelemetryDecodeErrorKind(status));
+    EXPECT_FALSE(ctx.want_spans);
+  }
+
+  const std::string span_block = net::EncodeSpanBatch(SampleSpans());
+  for (size_t cut = 1; cut < span_block.size(); ++cut) {
+    std::vector<obs::SpanRecord> spans;
+    Status status = net::DecodeSpanBatch(span_block.substr(0, cut), &spans);
+    EXPECT_FALSE(status.ok()) << "cut " << cut;
+    EXPECT_TRUE(spans.empty()) << "cut " << cut;
+  }
+
+  // Trailing garbage is rejected too: exhausted() means *exact*.
+  std::vector<obs::SpanRecord> spans;
+  EXPECT_FALSE(net::DecodeSpanBatch(span_block + "x", &spans).ok());
+  net::TraceContextBlock ctx;
+  EXPECT_FALSE(net::DecodeTraceContext(trace_block + "x", &ctx).ok());
+}
+
+TEST(TelemetryCodecTest, ForgedCountsRejectedBeforeAllocation) {
+  // A forged span count larger than the cap fails kResourceExhausted.
+  net::WireWriter oversize;
+  oversize.U8(net::kTelemetryVersion);
+  oversize.U32(net::kMaxSpansPerBatch + 1);
+  std::vector<obs::SpanRecord> spans;
+  Status status = net::DecodeSpanBatch(std::move(oversize).str(), &spans);
+  EXPECT_EQ(StatusCode::kResourceExhausted, status.code());
+  EXPECT_EQ("oversize", net::TelemetryDecodeErrorKind(status));
+
+  // A count under the cap but far beyond the payload's bytes fails as
+  // truncated *before* any per-span allocation happens.
+  net::WireWriter forged;
+  forged.U8(net::kTelemetryVersion);
+  forged.U32(net::kMaxSpansPerBatch);
+  status = net::DecodeSpanBatch(std::move(forged).str(), &spans);
+  EXPECT_EQ(StatusCode::kInvalidArgument, status.code());
+
+  // A forged per-span tag count beyond kMaxTagsPerSpan is oversize.
+  net::WireWriter tags;
+  tags.U8(net::kTelemetryVersion);
+  tags.U32(1);
+  tags.U64(1);                           // id
+  tags.U64(0);                           // parent
+  tags.Str("partition ads/p0");          // name
+  tags.I64(0);                           // start
+  tags.I64(1);                           // end
+  tags.U32(net::kMaxTagsPerSpan + 1);    // forged tag count
+  status = net::DecodeSpanBatch(std::move(tags).str(), &spans);
+  EXPECT_EQ(StatusCode::kResourceExhausted, status.code());
+  EXPECT_EQ("oversize", net::TelemetryDecodeErrorKind(status));
+}
+
+TEST(TelemetryCodecTest, RandomGarbageNeverCrashesOrMisdecodes) {
+  Rng rng(0x7E1E);
+  const std::string valid = net::EncodeSpanBatch(SampleSpans());
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage;
+    for (uint64_t n = rng.NextBounded(96); garbage.size() < n;) {
+      garbage.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    net::TraceContextBlock ctx;
+    (void)net::DecodeTraceContext(garbage, &ctx);
+    std::vector<obs::SpanRecord> spans;
+    (void)net::DecodeSpanBatch(garbage, &spans);
+
+    // Bit-flip fuzz over a valid block: decode either rejects cleanly
+    // or round-trips to a canonical re-encoding — never crashes.
+    std::string flipped = valid;
+    flipped[rng.NextBounded(flipped.size())] ^=
+        static_cast<char>(1u << rng.NextBounded(8));
+    if (net::DecodeSpanBatch(flipped, &spans).ok()) {
+      EXPECT_EQ(flipped, net::EncodeSpanBatch(spans));
+    } else {
+      EXPECT_TRUE(spans.empty());
+    }
+  }
+}
+
+TEST(TelemetryCodecTest, DecodeCountersClassifyAndExport) {
+  obs::MetricsRegistry registry;
+  net::TelemetryDecodeCounters counters(&registry);
+
+  counters.Bump(Status::Unimplemented("v2"));
+  counters.Bump(Status::InvalidArgument("short"));
+  counters.Bump(Status::InvalidArgument("short"));
+  counters.Bump(Status::ResourceExhausted("big"));
+  counters.Bump(Status::Ok());  // never counted
+
+  const std::string exported = registry.ExportPrometheus();
+  EXPECT_NE(std::string::npos,
+            exported.find(
+                "scalewall_net_decode_errors_total{kind=\"version\"} 1"));
+  EXPECT_NE(std::string::npos,
+            exported.find(
+                "scalewall_net_decode_errors_total{kind=\"truncated\"} 2"));
+  EXPECT_NE(std::string::npos,
+            exported.find(
+                "scalewall_net_decode_errors_total{kind=\"oversize\"} 1"));
+
+  // Registry-less counters are inert, not unsafe.
+  net::TelemetryDecodeCounters orphan(nullptr);
+  orphan.Bump(Status::InvalidArgument("short"));
 }
 
 }  // namespace

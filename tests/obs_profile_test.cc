@@ -1,0 +1,267 @@
+// obs::QueryProfile + obs::SlowQueryLog.
+//
+// BuildQueryProfile folds a query's span tree (the vocabulary the query
+// path records) into the operator-facing digest; the tests record a
+// representative tree through a real TraceSink and assert every
+// recognized span and tag lands in the right profile field. The
+// SlowQueryLog tests cover the two capture rules, ring eviction order,
+// and concurrent capture/snapshot (run under -L tsan).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace scalewall::obs {
+namespace {
+
+// Records the span vocabulary of one traced query: root with tags,
+// admission wait, an attempt with two partition scans (one cache hit,
+// one miss), a modeled "scan" span, a hedge, a net hop and the merge.
+uint64_t MakeQueryTrace(TraceSink& sink) {
+  TraceContext root = sink.StartTrace("query ads", 1000);
+  root.Annotate("tenant", "dashboards");
+  root.Annotate("deadline", "500000");
+
+  TraceContext queue = root.Child("admission queue", 1000);
+  queue.Annotate("predicted_service", "1200");
+  queue.End(1400);  // 400us queue wait
+
+  TraceContext attempt = root.Child("attempt 1", 1400);
+  TraceContext p0 = attempt.Child("partition ads/p0", 1500);
+  p0.Annotate("server", "s0");
+  p0.Annotate("rows_scanned", "1000");
+  p0.Annotate("bricks", "8");
+  p0.Annotate("rle_skipped", "3");
+  p0.Annotate("morsels", "4");
+  p0.Annotate("cache_hit", "true");
+  p0.End(2500);  // 1000us scan
+
+  TraceContext p1 = attempt.Child("partition ads/p1", 1500);
+  p1.Annotate("server", "s1");
+  p1.Annotate("rows_scanned", "2000");
+  p1.Annotate("bricks", "16");
+  p1.Annotate("rle_skipped", "5");
+  p1.Annotate("morsels", "4");
+  p1.Annotate("cache_hit", "false");
+  p1.End(3500);  // 2000us scan
+
+  // Modeled scan span (the simulator's vocabulary — real partition
+  // spans above already carry wall time; both fold into scan_micros).
+  TraceContext scan = attempt.Child("scan p1", 2500);
+  scan.End(3000);  // 500us modeled scan
+
+  TraceContext hedge = attempt.Child("hedge p1", 3000);
+  hedge.End(3200);
+  TraceContext net = attempt.Child("net subquery", 1500);
+  net.End(1600);  // 100us on the wire
+  attempt.End(3500);
+
+  TraceContext retry = root.Child("attempt 2", 3500);
+  retry.End(3600);
+
+  TraceContext merge = root.Child("merge", 3600);
+  merge.Annotate("rows", "4");
+  merge.End(3800);  // 200us merge
+
+  root.Annotate("status", "OK");
+  root.Annotate("attempts", "2");
+  root.Annotate("fanout", "2");
+  root.End(4000);  // 3000us total
+
+  return root.trace;
+}
+
+TEST(QueryProfileTest, BuildFoldsSpanVocabulary) {
+  TraceSink sink;
+  const uint64_t trace_id = MakeQueryTrace(sink);
+  QueryProfile profile = BuildQueryProfile(sink.Spans(trace_id));
+
+  EXPECT_EQ("ads", profile.table);
+  EXPECT_EQ("OK", profile.status);
+  EXPECT_EQ("dashboards", profile.tenant);
+  EXPECT_EQ(2, profile.attempts);
+  EXPECT_EQ(2, profile.fanout);
+
+  EXPECT_EQ(3000, profile.latency_micros);
+  EXPECT_EQ(400, profile.queue_wait_micros);
+  EXPECT_EQ(3500, profile.scan_micros);  // 1000 + 2000 partition + 500 modeled
+  EXPECT_EQ(200, profile.merge_micros);
+  EXPECT_EQ(100, profile.net_micros);
+  EXPECT_EQ(500000, profile.deadline_micros);
+  EXPECT_NEAR(3000.0 / 500000.0, profile.deadline_burn(), 1e-12);
+
+  EXPECT_EQ(1, profile.retries);  // two attempts = one retry
+  EXPECT_EQ(1, profile.hedges);
+  EXPECT_EQ(3000, profile.rows_scanned);
+  EXPECT_EQ(24, profile.bricks_scanned);
+  EXPECT_EQ(8, profile.bricks_rle_skipped);
+  EXPECT_EQ(8, profile.morsels);
+  EXPECT_EQ(1, profile.cache_hits);
+  EXPECT_EQ(1, profile.cache_misses);
+
+  ASSERT_EQ(2u, profile.subqueries.size());
+  EXPECT_EQ("partition ads/p0", profile.subqueries[0].name);
+  EXPECT_EQ("s0", profile.subqueries[0].server);
+  EXPECT_EQ(1000, profile.subqueries[0].wall_micros);
+  EXPECT_EQ(1, profile.subqueries[0].cache_hit);
+  EXPECT_EQ("partition ads/p1", profile.subqueries[1].name);
+  EXPECT_EQ(2000, profile.subqueries[1].rows_scanned);
+  EXPECT_EQ(0, profile.subqueries[1].cache_hit);
+}
+
+TEST(QueryProfileTest, CanonicalTextExcludesTimingsAndSortsSubqueries) {
+  TraceSink sink;
+  const uint64_t trace_id = MakeQueryTrace(sink);
+  QueryProfile profile = BuildQueryProfile(sink.Spans(trace_id));
+
+  const std::string canonical = profile.CanonicalText();
+  EXPECT_NE(std::string::npos, canonical.find("query=ads"));
+  EXPECT_NE(std::string::npos, canonical.find("subquery partition ads/p0"));
+  EXPECT_EQ(std::string::npos, canonical.find("_us="))
+      << "timings leaked into the canonical form:\n"
+      << canonical;
+
+  // Perturbing only the timings must not change the canonical form —
+  // that is the property the sim-vs-socket identity test relies on.
+  QueryProfile shifted = profile;
+  shifted.latency_micros += 12345;
+  shifted.scan_micros *= 3;
+  for (auto& sub : shifted.subqueries) sub.wall_micros += 999;
+  EXPECT_EQ(canonical, shifted.CanonicalText());
+  EXPECT_NE(profile.Text(), shifted.Text());
+
+  // Text() is a superset: canonical body plus the time line.
+  EXPECT_EQ(0u, profile.Text().find(canonical));
+  EXPECT_NE(std::string::npos, profile.Text().find("total_us=3000"));
+}
+
+TEST(QueryProfileTest, ToleratesUnknownAndPartialSpans) {
+  TraceSink sink;
+  TraceContext root = sink.StartTrace("query ads", 0);
+  TraceContext odd = root.Child("compaction sweep", 0);  // unknown span
+  odd.End(10);
+  TraceContext p = root.Child("partition ads/p7", 0);
+  p.Annotate("rows_scanned", "not-a-number");  // malformed tag -> 0
+  p.End(5);
+  root.End(20);
+
+  QueryProfile profile = BuildQueryProfile(sink.Spans(root.trace));
+  EXPECT_EQ("ads", profile.table);
+  ASSERT_EQ(1u, profile.subqueries.size());
+  EXPECT_EQ(0, profile.subqueries[0].rows_scanned);
+  EXPECT_EQ(0, profile.attempts);
+
+  // No spans at all -> an empty but well-formed profile.
+  QueryProfile empty = BuildQueryProfile({});
+  EXPECT_TRUE(empty.table.empty());
+  EXPECT_FALSE(empty.CanonicalText().empty());
+}
+
+QueryProfile ProfileWithLatency(int64_t micros, int64_t deadline = 0) {
+  QueryProfile profile;
+  profile.table = "ads";
+  profile.latency_micros = micros;
+  profile.deadline_micros = deadline;
+  return profile;
+}
+
+TEST(SlowQueryLogTest, LatencyThresholdGatesCapture) {
+  SlowQueryLogOptions options;
+  options.latency_threshold_micros = 1000;
+  SlowQueryLog log(options);
+
+  EXPECT_FALSE(log.MaybeCapture(ProfileWithLatency(999)));
+  EXPECT_TRUE(log.MaybeCapture(ProfileWithLatency(1000)));
+  EXPECT_TRUE(log.MaybeCapture(ProfileWithLatency(5000)));
+  EXPECT_EQ(2u, log.size());
+  EXPECT_EQ(2, log.captured_total());
+  EXPECT_EQ(0, log.evicted_total());
+
+  // Newest first.
+  auto snapshot = log.Snapshot();
+  ASSERT_EQ(2u, snapshot.size());
+  EXPECT_EQ(5000, snapshot[0].latency_micros);
+  EXPECT_EQ(1000, snapshot[1].latency_micros);
+}
+
+TEST(SlowQueryLogTest, DeadlineBurnThresholdGatesCapture) {
+  SlowQueryLogOptions options;
+  options.deadline_burn_threshold = 0.8;
+  SlowQueryLog log(options);
+
+  // No deadline -> burn rule can't fire.
+  EXPECT_FALSE(log.MaybeCapture(ProfileWithLatency(1000000)));
+  // 50% burn: under threshold.
+  EXPECT_FALSE(log.MaybeCapture(ProfileWithLatency(500, /*deadline=*/1000)));
+  // 90% burn: captured even though latency is tiny.
+  EXPECT_TRUE(log.MaybeCapture(ProfileWithLatency(900, /*deadline=*/1000)));
+  EXPECT_EQ(1u, log.size());
+}
+
+TEST(SlowQueryLogTest, DisabledThresholdsNeverCapture) {
+  SlowQueryLog log;  // both thresholds zero
+  EXPECT_FALSE(log.MaybeCapture(ProfileWithLatency(1 << 30)));
+  EXPECT_EQ(0u, log.size());
+
+  SlowQueryLogOptions zero_capacity;
+  zero_capacity.capacity = 0;
+  zero_capacity.latency_threshold_micros = 1;
+  SlowQueryLog empty(zero_capacity);
+  EXPECT_FALSE(empty.MaybeCapture(ProfileWithLatency(100)));
+  EXPECT_EQ(0u, empty.size());
+}
+
+TEST(SlowQueryLogTest, RingEvictsOldestAtCapacity) {
+  SlowQueryLogOptions options;
+  options.capacity = 3;
+  SlowQueryLog log(options);
+  for (int i = 0; i < 10; ++i) {
+    log.Capture(ProfileWithLatency(i));
+  }
+  EXPECT_EQ(3u, log.size());
+  EXPECT_EQ(10, log.captured_total());
+  EXPECT_EQ(7, log.evicted_total());
+  auto snapshot = log.Snapshot();
+  ASSERT_EQ(3u, snapshot.size());
+  EXPECT_EQ(9, snapshot[0].latency_micros);  // newest first
+  EXPECT_EQ(8, snapshot[1].latency_micros);
+  EXPECT_EQ(7, snapshot[2].latency_micros);
+}
+
+TEST(SlowQueryLogTest, ConcurrentCaptureAndSnapshot) {
+  SlowQueryLogOptions options;
+  options.capacity = 16;
+  options.latency_threshold_micros = 1;
+  SlowQueryLog log(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&log, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        log.MaybeCapture(ProfileWithLatency(w * kPerWriter + i + 1));
+      }
+    });
+  }
+  threads.emplace_back([&log] {
+    for (int i = 0; i < 200; ++i) {
+      auto snapshot = log.Snapshot();
+      EXPECT_LE(snapshot.size(), 16u);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(16u, log.size());
+  EXPECT_EQ(kWriters * kPerWriter, log.captured_total());
+  EXPECT_EQ(kWriters * kPerWriter - 16, log.evicted_total());
+}
+
+}  // namespace
+}  // namespace scalewall::obs
