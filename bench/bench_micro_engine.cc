@@ -130,6 +130,58 @@ void BM_PartitionGroupByParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionGroupByParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// --- coordinator fan-in merge: flat fold vs k-ary tree root fold ---
+//
+// The planner's tree topology (DESIGN.md §15) moves subtree merges off
+// the coordinator: with P partials and fan-in k, the coordinator folds
+// ceil(P/k) pre-merged roots instead of all P partials. The pair below
+// measures exactly that coordinator-side fold (64 partials, 256 groups
+// each, 2 aggregations); their ratio is the fan-out-64 / fan-in-8
+// offload factor the perf gate keeps.
+
+cubrick::QueryResult MakeMergePartial(uint64_t seed) {
+  Rng rng(seed);
+  cubrick::QueryResult r(2);
+  for (uint32_t g = 0; g < 256; ++g) {
+    const double v = static_cast<double>(rng.NextBounded(1000));
+    r.Accumulate({g}, 0, v);
+    r.Accumulate({g}, 1, v * 0.5);
+  }
+  return r;
+}
+
+void BM_CoordinatorMergeFlat(benchmark::State& state) {
+  std::vector<cubrick::QueryResult> partials;
+  for (uint64_t p = 0; p < 64; ++p) partials.push_back(MakeMergePartial(p));
+  for (auto _ : state) {
+    cubrick::QueryResult merged(2);
+    for (const cubrick::QueryResult& p : partials) merged.Merge(p);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CoordinatorMergeFlat);
+
+void BM_CoordinatorMergeTreeRoot(benchmark::State& state) {
+  // The 8 subtree roots arrive pre-merged (that fold ran on the
+  // aggregator servers); only the root fold is the coordinator's.
+  std::vector<cubrick::QueryResult> roots;
+  for (uint64_t chunk = 0; chunk < 8; ++chunk) {
+    cubrick::QueryResult root(2);
+    for (uint64_t p = chunk * 8; p < chunk * 8 + 8; ++p) {
+      root.Merge(MakeMergePartial(p));
+    }
+    roots.push_back(std::move(root));
+  }
+  for (auto _ : state) {
+    cubrick::QueryResult merged(2);
+    for (const cubrick::QueryResult& r : roots) merged.Merge(r);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_CoordinatorMergeTreeRoot);
+
 void BM_DimCodecEncode(benchmark::State& state) {
   Rng rng(3);
   std::vector<uint32_t> column(100000);

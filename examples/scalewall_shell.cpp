@@ -17,6 +17,12 @@
 //   \cache                    result-cache statistics (proxy + servers)
 //   \cachepolicy [p]          get/set the session's cache policy
 //                             (default | bypass | refresh | allow_stale)
+//   \plan [strategy] [fanin]  get/set the session's execution plan
+//                             hints: join strategy (auto | replicated |
+//                             broadcast | shuffle) and merge fan-in
+//                             (0 = planner picks, 1 = flat, >= 2 = k-ary
+//                             aggregation tree). \profile shows the
+//                             plan the coordinator actually executed.
 //   \run <seconds>            advance simulated time
 //   \kill <server id>         fail a server (watch failover handle it)
 //   \drain <server id>        drain a server (graceful migrations)
@@ -33,6 +39,7 @@
 
 #include "core/deployment.h"
 #include "core/metrics.h"
+#include "cubrick/planner.h"
 #include "obs/profile.h"
 #include "workload/generators.h"
 
@@ -44,7 +51,8 @@ void PrintHelp() {
   std::printf(
       "commands: SQL | \\tables | \\fleet | \\shards <t> | \\trace | "
       "\\tracetree | \\profile | \\metrics | \\cache | \\cachepolicy [p] | "
-      "\\run <s> | \\kill <id> | \\drain <id> | \\help\n");
+      "\\plan [strategy] [fanin] | \\run <s> | \\kill <id> | "
+      "\\drain <id> | \\help\n");
 }
 
 void PrintOutcome(const cubrick::QueryOutcome& outcome,
@@ -72,11 +80,25 @@ void PrintOutcome(const cubrick::QueryOutcome& outcome,
   } else if (outcome.cache_hits > 0 && outcome.attempts == 0) {
     cache_note = ", cached";
   }
-  std::printf("(%zu rows; %s, fan-out %d, region %d, %d attempt%s%s)\n",
+  // Surface the executed plan whenever it strays from the seed path
+  // (replicated joins, flat merge) — matching \profile's plan line.
+  std::string plan_note;
+  if (outcome.join_strategy != cubrick::JoinStrategy::kReplicated ||
+      outcome.merge_fanin >= 2) {
+    plan_note = ", plan " +
+                std::string(cubrick::JoinStrategyName(outcome.join_strategy));
+    if (outcome.merge_fanin >= 2) {
+      plan_note += "/tree(fanin=" + std::to_string(outcome.merge_fanin) +
+                   ",depth=" + std::to_string(outcome.tree_depth) + ")";
+    } else {
+      plan_note += "/flat";
+    }
+  }
+  std::printf("(%zu rows; %s, fan-out %d, region %d, %d attempt%s%s%s)\n",
               outcome.rows.size(), FormatDuration(outcome.latency).c_str(),
               outcome.fanout, static_cast<int>(outcome.region),
               outcome.attempts, outcome.attempts == 1 ? "" : "s",
-              cache_note.c_str());
+              cache_note.c_str(), plan_note.c_str());
 }
 
 }  // namespace
@@ -97,6 +119,8 @@ int main() {
   options.enable_result_caching = true;
   core::Deployment dep(options);
   cache::CachePolicy session_policy = cache::CachePolicy::kDefault;
+  cubrick::JoinStrategy session_strategy = cubrick::JoinStrategy::kAuto;
+  int session_fanin = 0;
 
   // Preload the star schema from the quickstart/join examples.
   cubrick::TableSchema schema = workload::AdEventsSchema();
@@ -253,6 +277,32 @@ int main() {
         std::printf("cache policy: %s\n",
                     std::string(cache::CachePolicyName(session_policy))
                         .c_str());
+      } else if (cmd == "\\plan") {
+        std::string fanin_arg;
+        words >> fanin_arg;
+        if (!arg.empty()) {
+          if (arg == "auto") {
+            session_strategy = cubrick::JoinStrategy::kAuto;
+          } else if (arg == "replicated") {
+            session_strategy = cubrick::JoinStrategy::kReplicated;
+          } else if (arg == "broadcast") {
+            session_strategy = cubrick::JoinStrategy::kBroadcast;
+          } else if (arg == "shuffle") {
+            session_strategy = cubrick::JoinStrategy::kShuffle;
+          } else {
+            std::printf(
+                "unknown strategy %s (auto|replicated|broadcast|shuffle)\n",
+                arg.c_str());
+          }
+          if (!fanin_arg.empty()) session_fanin = std::stoi(fanin_arg);
+        }
+        std::printf(
+            "plan hints: join strategy %s, merge fan-in %d%s\n",
+            std::string(cubrick::JoinStrategyName(session_strategy)).c_str(),
+            session_fanin,
+            session_fanin >= 2 ? " (k-ary aggregation tree)"
+                               : (session_fanin == 1 ? " (flat pinned)"
+                                                     : " (planner picks)"));
       } else if (cmd == "\\run") {
         double seconds = arg.empty() ? 60 : std::stod(arg);
         dep.RunFor(FromSeconds(seconds));
@@ -299,6 +349,8 @@ int main() {
     }
     cubrick::QueryRequest request;
     request.cache_policy = session_policy;
+    request.join_strategy = session_strategy;
+    request.merge_fanin = session_fanin;
     PrintOutcome(dep.QuerySql(statement, request), dep, table);
     statement.clear();
   }

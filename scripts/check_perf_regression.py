@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the vectorized brick-scan kernels.
+"""Perf-regression gate for the engine's fast paths.
 
 Runs (or parses) the bench_micro_engine google-benchmark JSON and checks
-that the vectorized group-by scan keeps its speedup over the interpreted
-row-at-a-time oracle:
+that each gated fast path keeps its speedup over its slow-path
+reference on the same machine (which factors out host speed):
 
-  speedup = real_time(BM_PartitionGroupByInterpreted)
-          / real_time(BM_PartitionGroupBy)
+  speedup = real_time(reference) / real_time(fast path)
 
-The gate fails when the measured speedup drops below the absolute floor
-or below (1 - tolerance) of the committed baseline speedup — i.e. the
-vectorized path regressed by more than the tolerance relative to the
-oracle on the same machine, which factors out host speed.
+Gated pairs:
+  - vectorized group-by scan vs the interpreted row-at-a-time oracle
+    (BM_PartitionGroupBy vs BM_PartitionGroupByInterpreted)
+  - k-ary tree-merge coordinator fold vs the flat fan-in fold
+    (BM_CoordinatorMergeTreeRoot vs BM_CoordinatorMergeFlat): the
+    planner's tree topology must keep moving ~(fan-out / fan-in) of the
+    coordinator's fold work onto the aggregator servers
+
+The gate fails when a measured speedup drops below the absolute floor
+or below (1 - tolerance) of the committed baseline speedup.
 
 Usage:
   check_perf_regression.py --json build/BENCH_micro_engine.json \
@@ -31,8 +36,9 @@ import subprocess
 import sys
 
 GATED = [
-    # (vectorized benchmark, interpreted oracle benchmark)
+    # (fast-path benchmark, slow-path reference benchmark)
     ("BM_PartitionGroupBy", "BM_PartitionGroupByInterpreted"),
+    ("BM_CoordinatorMergeTreeRoot", "BM_CoordinatorMergeFlat"),
 ]
 
 

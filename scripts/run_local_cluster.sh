@@ -3,7 +3,14 @@
 # and two servers as real processes on loopback, runs a handful of
 # queries through the proxy over real sockets, and byte-compares each
 # result against the single-process oracle over the same deterministic
-# dataset. Then smokes the telemetry plane: curls /healthz and /metrics
+# dataset. A second round pins execution plans: every join strategy
+# (replicated / broadcast / shuffle against the replicated product_dim
+# table) and merge topology (flat / k-ary aggregation tree, where
+# servers merge subtree partials and forward remote leaves to their
+# peers) must stay byte-identical to the oracle. Plan smokes aggregate
+# only integral metrics (SUM(clicks), COUNT, MIN/MAX): tree folds
+# re-associate float sums, so SUM(spend) is only byte-stable on the
+# flat path (DESIGN.md Â§15). Then smokes the telemetry plane: curls /healthz and /metrics
 # on every node's admin port (asserting the query counters really
 # advanced) and checks /traces on the proxy holds a stitched trace with
 # the servers' partition spans grafted in. Exits nonzero on any
@@ -51,16 +58,19 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== starting 2 servers + 1 proxy (ports $S0_PORT-$PROXY_PORT) =="
+# Servers know their peers so tree-merge aggregators can forward the
+# remote leaves of their subtree.
+PEERS="s0=127.0.0.1:$S0_PORT,s1=127.0.0.1:$S1_PORT"
 "$BIN" --role=server --listen="127.0.0.1:$S0_PORT" --server-id=0 \
-       --num-servers=2 --admin="127.0.0.1:$S0_ADMIN" \
+       --num-servers=2 --peers="$PEERS" --admin="127.0.0.1:$S0_ADMIN" \
        "${DATA_FLAGS[@]}" >"$WORKDIR/s0.log" 2>&1 &
 PIDS+=($!)
 "$BIN" --role=server --listen="127.0.0.1:$S1_PORT" --server-id=1 \
-       --num-servers=2 --admin="127.0.0.1:$S1_ADMIN" \
+       --num-servers=2 --peers="$PEERS" --admin="127.0.0.1:$S1_ADMIN" \
        "${DATA_FLAGS[@]}" >"$WORKDIR/s1.log" 2>&1 &
 PIDS+=($!)
 "$BIN" --role=proxy --listen="127.0.0.1:$PROXY_PORT" --num-servers=2 \
-       --peers="s0=127.0.0.1:$S0_PORT,s1=127.0.0.1:$S1_PORT" \
+       --peers="$PEERS" \
        --admin="127.0.0.1:$PROXY_ADMIN" --slow-query-micros=1 \
        "${DATA_FLAGS[@]}" >"$WORKDIR/proxy.log" 2>&1 &
 PIDS+=($!)
@@ -94,6 +104,44 @@ for i in "${!QUERIES[@]}"; do
     FAIL=1
   fi
 done
+
+echo "== plan smokes: join strategies x merge topologies =="
+# Joins resolve through the replicated product_dim table (keys divisible
+# by 13 deliberately unmapped: the inner-join drop path is exercised).
+JOIN_SQL="SELECT product_dim.category, SUM(clicks) FROM ads JOIN product_dim ON product GROUP BY product_dim.category"
+JOIN_FILTER_SQL="SELECT product_dim.category, COUNT(clicks), MAX(clicks) FROM ads JOIN product_dim ON product WHERE product_dim.category BETWEEN 1 AND 6 GROUP BY product_dim.category"
+TREE_SQL="SELECT day, SUM(clicks), MIN(clicks) FROM ads GROUP BY day ORDER BY SUM(clicks) DESC LIMIT 12"
+
+run_plan_case() {  # label sql [client flags...]
+  local label="$1" sql="$2"
+  shift 2
+  echo "-- plan case $label: $sql $*"
+  if ! "$BIN" --role=client --connect="127.0.0.1:$PROXY_PORT" \
+       --sql="$sql" --retries=50 "$@" "${DATA_FLAGS[@]}" \
+       >"$WORKDIR/plan.$label" 2>"$WORKDIR/plan.$label.err"; then
+    echo "   FAIL: client query failed" >&2
+    cat "$WORKDIR/plan.$label.err" >&2
+    FAIL=1
+    return
+  fi
+  "$BIN" --role=oracle --sql="$sql" "${DATA_FLAGS[@]}" \
+    >"$WORKDIR/plan.$label.oracle"
+  if diff -u "$WORKDIR/plan.$label.oracle" "$WORKDIR/plan.$label" \
+       >"$WORKDIR/plan.$label.diff"; then
+    echo "   OK: $(wc -l < "$WORKDIR/plan.$label") rows, byte-identical to oracle"
+  else
+    echo "   FAIL: $label result differs from oracle:" >&2
+    cat "$WORKDIR/plan.$label.diff" >&2
+    FAIL=1
+  fi
+}
+
+run_plan_case join-replicated "$JOIN_SQL" --join-strategy=replicated
+run_plan_case join-broadcast "$JOIN_SQL" --join-strategy=broadcast
+run_plan_case join-shuffle "$JOIN_SQL" --join-strategy=shuffle
+run_plan_case join-filter-shuffle "$JOIN_FILTER_SQL" --join-strategy=shuffle
+run_plan_case tree-merge "$TREE_SQL" --merge-fanin=2
+run_plan_case shuffle-tree "$JOIN_SQL" --join-strategy=shuffle --merge-fanin=2
 
 echo "== telemetry smoke: \\--profile, /healthz, /metrics, /traces, /slowlog =="
 # A profiled query: the proxy ships the stitched profile + trace back,
@@ -168,4 +216,4 @@ if [[ "$FAIL" -ne 0 ]]; then
   echo "== SMOKE FAILED ==" >&2
   exit 1
 fi
-echo "== SMOKE OK: oracle-identical results + live telemetry plane =="
+echo "== SMOKE OK: oracle-identical results (all plans) + live telemetry plane =="

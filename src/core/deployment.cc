@@ -87,6 +87,7 @@ Deployment::Deployment(DeploymentOptions options)
     region->context.failure_model =
         sim::TransientFailureModel(options_.per_host_failure_probability);
     region->context.policy = options_.subquery_policy;
+    region->context.planner = options_.planner;
     if (sim_network_ != nullptr) {
       // The proxy/coordinator side calls out through one shared client
       // node; the region's epoch endpoint answers merged-cache probes.
@@ -181,6 +182,9 @@ Status Deployment::CreateDimensionTable(
       catalog_->CreateReplicatedTable(name, key_cardinality, attributes));
   cubrick::ReplicatedTable master(name, key_cardinality,
                                   std::move(attributes));
+  // Content epoch from creation: cached join results against the empty
+  // table are already distinguishable from later loads.
+  master.set_epoch(cubrick::NextPartitionEpoch());
   for (auto& [id, server] : servers_) {
     server->SetReplicatedTable(master);
   }
@@ -198,11 +202,17 @@ Status Deployment::LoadDimensionEntries(
   for (const cubrick::DimensionEntry& entry : entries) {
     SCALEWALL_RETURN_IF_ERROR(master->second.Set(entry));
   }
+  // ONE epoch draw per batch, stamped on the master and every replica:
+  // all copies of a dim agree on their content epoch, which is what lets
+  // any replica's epoch answer a merged-cache validation probe — and
+  // what invalidates every cached join result the moment a dim updates.
+  const uint64_t epoch = cubrick::NextPartitionEpoch();
+  master->second.set_epoch(epoch);
   auto info = catalog_->GetReplicatedTable(name);
   SCALEWALL_RETURN_IF_ERROR(info.status());
   for (auto& [id, server] : servers_) {
     SCALEWALL_RETURN_IF_ERROR(
-        server->UpsertReplicatedEntries(*info, entries));
+        server->UpsertReplicatedEntries(*info, entries, epoch));
   }
   return Status::Ok();
 }

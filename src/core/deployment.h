@@ -96,6 +96,9 @@ struct DeploymentOptions {
   // Subquery-level retry/hedging policy applied by every region's
   // coordinators (disabled by default: legacy whole-attempt failure).
   cubrick::SubqueryPolicy subquery_policy;
+  // Planner knobs for every region's coordinators (join cost model +
+  // merge-topology model). Defaults keep the seed behaviour exactly.
+  cubrick::PlannerOptions planner;
   // Stochastic permanent failures / drains.
   bool enable_failure_injector = false;
   cluster::FailureInjectorOptions failure_injector;

@@ -1,19 +1,23 @@
 #include "cubrick/coordinator.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 #include "cubrick/net_service.h"
+#include "cubrick/wire.h"
 #include "sm/sm_client.h"
 
 namespace scalewall::cubrick {
 
 Result<std::vector<uint64_t>> CollectPartitionEpochs(
-    RegionContext& ctx, const std::string& table) {
+    RegionContext& ctx, const std::string& table,
+    const std::vector<std::string>& dim_tables) {
   auto info = ctx.catalog->GetTable(table);
   if (!info.ok()) return info.status();
   sm::SmClient client(ctx.discovery, ctx.cluster, /*viewer=*/0);
   std::vector<uint64_t> epochs(info->num_partitions, 0);
+  CubrickServer* any_instance = nullptr;
   for (uint32_t p = 0; p < info->num_partitions; ++p) {
     auto shard = ctx.catalog->ShardForPartition(table, p);
     if (!shard.ok()) return shard.status();
@@ -29,25 +33,44 @@ Result<std::vector<uint64_t>> CollectPartitionEpochs(
     auto epoch = instance->PartitionEpoch(table, p);
     if (!epoch.ok()) return epoch.status();
     epochs[p] = *epoch;
+    any_instance = instance;
+  }
+  // Dim epochs append after the partition epochs — the exact
+  // partition_epochs + dim_epochs layout DistributedOutcome reports, so
+  // a cached join result validates against the vector it was stored
+  // with. Every replica of a dim carries the same epoch (the deployment
+  // stamps them from one draw), so any serving instance's copy answers.
+  for (const std::string& dim : dim_tables) {
+    if (any_instance == nullptr) {
+      return Status::Unavailable(
+          "epoch check: no serving instance to read dim epochs from");
+    }
+    const ReplicatedTable* replica = any_instance->GetReplicatedTable(dim);
+    if (replica == nullptr) {
+      return Status::Unavailable("epoch check: dimension table " + dim +
+                                 " not resident in region " +
+                                 std::to_string(ctx.region));
+    }
+    epochs.push_back(replica->epoch());
   }
   return epochs;
 }
 
-DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
-                                      cluster::ServerId coordinator,
-                                      Rng& rng,
-                                      SimDuration deadline_budget,
-                                      obs::TraceContext trace,
-                                      SimTime dispatch_time,
-                                      cache::CachePolicy cache_policy,
-                                      const std::string* fingerprint,
-                                      exec::ScanPath scan_path) {
+DistributedOutcome ExecuteDistributed(const ExecutionPlan& plan,
+                                      ExecContext& ectx) {
+  RegionContext& ctx = *ectx.region;
+  Rng& rng = *ectx.rng;
+  const Query& query = plan.query;
+  const cluster::ServerId coordinator = plan.coordinator;
+  const SimDuration deadline_budget = ectx.deadline_budget;
+  obs::TraceContext trace = ectx.trace;
+
   // Sim-time anchor for every child span: the engine runs at one frozen
   // instant, so span boundaries are computed from the same arithmetic
   // that produces the attempt's latency.
   const SimTime t0 =
-      dispatch_time >= 0
-          ? dispatch_time
+      ectx.dispatch_time >= 0
+          ? ectx.dispatch_time
           : (ctx.simulation != nullptr ? ctx.simulation->now() : 0);
   DistributedOutcome outcome;
   auto table = ctx.catalog->GetTable(query.table);
@@ -81,6 +104,14 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     }
   }
 
+  // Resolve the plan's join strategy: joinless queries always take the
+  // replicated (seed) data path, and an unresolved kAuto — a plan built
+  // by hand rather than by BuildExecutionPlan — degrades to it too.
+  JoinStrategy strategy = plan.join_strategy;
+  if (query.joins.empty() || strategy == JoinStrategy::kAuto) {
+    strategy = JoinStrategy::kReplicated;
+  }
+
   CubrickServer* coord_server =
       ctx.directory != nullptr ? ctx.directory->Lookup(coordinator) : nullptr;
   if (coord_server == nullptr || !ctx.cluster->Contains(coordinator) ||
@@ -89,11 +120,42 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     return outcome;
   }
 
+  // Dim freshness epochs (one per join, join order) from the
+  // coordinator's resident replicas — every replica carries the same
+  // deployment-stamped value, so the coordinator's copy speaks for the
+  // region. 0 when a replica is missing here (the leaves then fail with
+  // the precise error on the replicated path). Broadcast additionally
+  // snapshots the replicas to ship with the subqueries.
+  std::vector<ReplicatedTable> dim_snapshots;
+  for (const Join& join : query.joins) {
+    const ReplicatedTable* replica =
+        coord_server->GetReplicatedTable(join.dimension_table);
+    outcome.dim_epochs.push_back(replica != nullptr ? replica->epoch() : 0);
+    if (strategy == JoinStrategy::kBroadcast) {
+      if (replica == nullptr) {
+        outcome.status = Status::Unavailable(
+            "broadcast join: dimension table " + join.dimension_table +
+            " not resident on the coordinator");
+        return outcome;
+      }
+      dim_snapshots.push_back(*replica);
+    }
+  }
+  JoinContext broadcast_ctx;
+  for (ReplicatedTable& snapshot : dim_snapshots) {
+    broadcast_ctx.tables.push_back(&snapshot);
+  }
+  const JoinContext* dims_override =
+      dim_snapshots.empty() ? nullptr : &broadcast_ctx;
+  const std::vector<ReplicatedTable>* wire_dims =
+      dim_snapshots.empty() ? nullptr : &dim_snapshots;
+
   // Resolve all partition hosts through the coordinator's local SMC view.
   sm::SmClient client(ctx.discovery, ctx.cluster, coordinator);
   struct Subquery {
     uint32_t partition;
-    cluster::ServerId server;
+    cluster::ServerId server;       // assignment used for retry penalties
+    cluster::ServerId exec_server;  // post-reresolve execution host
   };
   std::vector<Subquery> subqueries;
   subqueries.reserve(table->num_partitions);
@@ -121,10 +183,48 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       outcome.latency = ctx.network_model.SampleHop(rng);
       return outcome;
     }
-    subqueries.push_back(Subquery{p, *server});
+    subqueries.push_back(Subquery{p, *server, *server});
     distinct.insert(*server);
   }
   outcome.fanout = static_cast<int>(distinct.size());
+
+  // Merge topology: the plan pins it. A tree with a single partial is
+  // meaningless, so it degrades to flat.
+  const bool tree = plan.merge_fanin >= 2 && subqueries.size() > 1;
+  const int fanin = plan.merge_fanin;
+  outcome.strategy = strategy;
+  outcome.merge_fanin = tree ? fanin : 0;
+  outcome.tree_depth =
+      tree ? TreeDepth(static_cast<int>(subqueries.size()), fanin) : 0;
+  if (strategy != JoinStrategy::kReplicated || tree) {
+    // A "plan" span records the executed (non-seed) plan so profiles
+    // can attribute the query's shape; the seed-equivalent plan emits
+    // nothing, keeping seed span trees byte-identical.
+    obs::TraceContext pspan = trace.Child("plan", t0);
+    pspan.Annotate("strategy", std::string(JoinStrategyName(strategy)));
+    pspan.Annotate("merge",
+                   std::string(MergeTopologyName(
+                       tree ? MergeTopology::kTree : MergeTopology::kFlat)));
+    if (tree) {
+      pspan.Annotate("fanin", std::to_string(fanin));
+      pspan.Annotate("depth", std::to_string(outcome.tree_depth));
+    }
+    pspan.End(t0);
+  }
+
+  // Shuffle stage 1 scans by raw join keys with joins stripped: it runs
+  // on the plain scan kernels and is partial-cacheable (no dim epochs).
+  // Its canonical fingerprint is computed once here, coordinator-side.
+  Query shuffle_query;
+  std::string shuffle_fingerprint;
+  const Query* exec_query = &query;
+  const std::string* exec_fingerprint = ectx.fingerprint;
+  if (strategy == JoinStrategy::kShuffle) {
+    shuffle_query = MakeShuffleScanQuery(query);
+    shuffle_fingerprint = CanonicalQueryFingerprint(shuffle_query);
+    exec_query = &shuffle_query;
+    exec_fingerprint = &shuffle_fingerprint;
+  }
 
   const SubqueryPolicy& policy = ctx.policy;
   // Host-side cooperative cancellation (scalewall::exec): every partial
@@ -204,6 +304,21 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
     if (penalty > 0) host_penalty[server] = penalty;
   }
 
+  // Tree assignments are shipped pre-resolved to aggregators (so a
+  // divergent discovery view cannot split the tree), which means any
+  // retry-driven re-resolution must happen up front. The flat path
+  // keeps its inline re-resolution below, preserving the seed's exact
+  // call sequence.
+  if (tree) {
+    for (Subquery& sub : subqueries) {
+      if (reresolve.count(sub.server) == 0) continue;
+      auto shard = ctx.catalog->ShardForPartition(query.table, sub.partition);
+      if (!shard.ok()) continue;
+      auto fresh = client.ResolveServingFresh(ctx.service, *shard);
+      if (fresh.ok()) sub.exec_server = *fresh;
+    }
+  }
+
   // Execute subqueries (in parallel in simulated time): the distributed
   // latency is the max over per-partition (retry penalty + hop +
   // service). Subqueries still outstanding at the hedge quantile of the
@@ -213,118 +328,435 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
       policy.hedge_quantile > 0.0
           ? ctx.latency_model.Quantile(policy.hedge_quantile)
           : 0;
-  SimDuration slowest = 0;
-  for (const Subquery& sub : subqueries) {
-    cluster::ServerId exec_server = sub.server;
-    if (reresolve.count(sub.server) > 0) {
-      auto shard = ctx.catalog->ShardForPartition(query.table, sub.partition);
-      if (shard.ok()) {
-        auto fresh = client.ResolveServingFresh(ctx.service, *shard);
-        if (fresh.ok()) exec_server = *fresh;
+  // Per-partial merge cost (planner.h): the term that makes the flat
+  // coordinator fan-in a wall. 0 (the default) reproduces the seed
+  // timing exactly.
+  const SimDuration per_partial = ctx.planner.merge_cost_per_partial;
+
+  if (!tree) {
+    // --- flat merge: every partial funnels into the coordinator ---
+    SimDuration slowest = 0;
+    for (const Subquery& sub : subqueries) {
+      cluster::ServerId exec_server = sub.server;
+      if (reresolve.count(sub.server) > 0) {
+        auto shard =
+            ctx.catalog->ShardForPartition(query.table, sub.partition);
+        if (shard.ok()) {
+          auto fresh = client.ResolveServingFresh(ctx.service, *shard);
+          if (fresh.ok()) exec_server = *fresh;
+        }
+      }
+      CubrickServer* server = ctx.directory->Lookup(exec_server);
+      if (server == nullptr) {
+        outcome.status = Status::Unavailable("server instance missing");
+        outcome.failed_server = exec_server;
+        return outcome;
+      }
+      // Subquery span: opened before dispatch so the server's partition
+      // (and morsel) spans nest under it; its extent is fixed below once
+      // the chain latency is known.
+      obs::TraceContext sspan = trace.Child(
+          "subquery p" + std::to_string(sub.partition), t0);
+      sspan.Annotate("server", std::to_string(exec_server));
+      // With a transport attached, the subquery crosses the wire: the
+      // query and the partial-result aggregation states are serialized and
+      // deserialized on every hop. The modeled latency arithmetic below is
+      // untouched (the sim backend completes inline), so results, timing
+      // and RNG draws stay byte-identical to the direct path.
+      auto partial =
+          ctx.transport != nullptr
+              ? CallSubquery(*ctx.transport, exec_server, *exec_query,
+                             sub.partition, deadline_budget,
+                             ectx.cache_policy, ectx.scan_path,
+                             exec_fingerprint, &cancel, sspan, t0, wire_dims)
+              : server->ExecutePartial(*exec_query, sub.partition,
+                                       /*hop_budget=*/-1, &cancel, sspan, t0,
+                                       ectx.cache_policy, exec_fingerprint,
+                                       ectx.scan_path, dims_override);
+      if (!partial.ok()) {
+        outcome.status = partial.status();
+        outcome.failed_server = exec_server;
+        outcome.latency = ctx.network_model.SampleHop(rng) +
+                          ctx.latency_model.Sample(rng);
+        sspan.Annotate("status",
+                       std::string(StatusCodeName(partial.status().code())));
+        sspan.End(t0 + outcome.latency);
+        return outcome;
+      }
+      SimDuration hop = exec_server == coordinator
+                            ? 0
+                            : ctx.network_model.SampleHop(rng);
+      // Forwarded requests (graceful-migration window) pay extra hops.
+      for (int h = 0; h < partial->forward_hops; ++h) {
+        hop += ctx.network_model.SampleHop(rng);
+      }
+      SimDuration service = ctx.latency_model.Sample(rng);
+      // Charge the scan against the host's virtual scan queue: under
+      // overload all slots are busy and the subquery waits for one, which
+      // is exactly how real backends degrade — and the backlog this builds
+      // is the overload signal the proxy's admission control sheds on.
+      // A no-op (0 wait) when the server's virtual_scan_slots is 0.
+      const SimDuration scan_wait = server->EnqueueScan(t0 + hop, service);
+      {
+        // The modeled scan (slot wait + service draw) as a "scan" span:
+        // the server's partition span is instantaneous in the simulator
+        // (the draw happens here, after it returned), so this span is
+        // what carries the subquery's scan time into profiles.
+        obs::TraceContext scspan =
+            sspan.Child("scan p" + std::to_string(sub.partition), t0 + hop);
+        if (scan_wait > 0) scspan.Annotate("slot_wait", std::to_string(scan_wait));
+        scspan.End(t0 + hop + scan_wait + service);
+      }
+      SimDuration chain = hop + scan_wait + service;
+      if (hedge_delay > 0 && chain > hedge_delay) {
+        ++outcome.hedges_fired;
+        // The hedge goes to a duplicate replica, not back into this host's
+        // scan queue — it is left uncharged in the overload model.
+        SimDuration hedged = hedge_delay + ctx.network_model.SampleHop(rng) +
+                             ctx.latency_model.Sample(rng);
+        obs::TraceContext hspan = sspan.Child("hedge", t0 + hedge_delay);
+        hspan.Annotate("won", hedged < chain ? "true" : "false");
+        hspan.End(t0 + hedged);
+        if (hedged < chain) {
+          ++outcome.hedge_wins;
+          chain = hedged;
+        }
+      }
+      auto it = host_penalty.find(sub.server);
+      if (it != host_penalty.end()) chain += it->second;
+      slowest = std::max(slowest, chain);
+      if (hop > 0) {
+        // The modeled wire time of this subquery (coordinator -> server
+        // hop plus any migration-forwarding hops) as a "net" child, so
+        // profiles can split subquery wall time into net vs scan.
+        obs::TraceContext nspan = sspan.Child("net s" + std::to_string(sub.server), t0);
+        nspan.End(t0 + hop);
+      }
+      sspan.End(t0 + chain);
+      if (ctx.transport != nullptr) {
+        // The RTT histogram records the modeled chain latency, which is
+        // only known now — after hedging and retry penalties resolved —
+        // not at Call time.
+        ctx.transport->RecordModeledRtt(static_cast<double>(chain) / 1000.0);
+      }
+      outcome.partition_epochs[sub.partition] = partial->epoch;
+      outcome.result.Merge(partial->result);
+    }
+    const SimDuration flat_merge =
+        ctx.merge_overhead +
+        static_cast<SimDuration>(subqueries.size()) * per_partial;
+    outcome.latency = slowest + flat_merge;
+    if (flat_merge > 0) {
+      // The modeled coordinator-side merge, anchored where the slowest
+      // subquery chain completed — the same "merge" vocabulary the node
+      // path records, so BuildQueryProfile folds both identically.
+      obs::TraceContext mspan = trace.Child("merge", t0 + slowest);
+      mspan.End(t0 + slowest + flat_merge);
+    }
+  } else {
+    // --- k-ary tree merge ---
+    //
+    // Data pass first: over a transport each top-level chunk travels as
+    // one kTreeMergeRequest to its aggregator (the host of the chunk's
+    // first partition), which recursively executes/forwards and folds
+    // its subtree in ascending partition order; without one, the
+    // coordinator folds the leaves ascending directly — either way the
+    // merge order is the flat path's exact order, so the result bytes
+    // are identical. The data pass consumes no coordinator RNG, which
+    // is what lets the modeled timing pass below draw in plain
+    // ascending-leaf order in both modes.
+    const size_t num_leaves = subqueries.size();
+    std::vector<uint32_t> parts(num_leaves), hosts(num_leaves);
+    for (size_t i = 0; i < num_leaves; ++i) {
+      parts[i] = subqueries[i].partition;
+      hosts[i] = subqueries[i].exec_server;
+    }
+    std::vector<int> fhops(num_leaves, 0);
+    Status data_status = Status::Ok();
+    cluster::ServerId data_failed = cluster::kInvalidServer;
+    if (ctx.transport != nullptr) {
+      const size_t chunk =
+          static_cast<size_t>(TreeChunkSize(static_cast<int>(num_leaves),
+                                            fanin));
+      for (size_t lo = 0; lo < num_leaves && data_status.ok(); lo += chunk) {
+        const size_t hi = std::min(lo + chunk, num_leaves);
+        if (hi - lo == 1) {
+          auto partial = CallSubquery(
+              *ctx.transport, hosts[lo], *exec_query, parts[lo],
+              deadline_budget, ectx.cache_policy, ectx.scan_path,
+              exec_fingerprint, &cancel, trace, t0, wire_dims);
+          if (!partial.ok()) {
+            data_status = partial.status();
+            data_failed = hosts[lo];
+            break;
+          }
+          outcome.partition_epochs[parts[lo]] = partial->epoch;
+          fhops[lo] = partial->forward_hops;
+          outcome.result.Merge(partial->result);
+          continue;
+        }
+        wire::TreeMergeEnvelope envelope;
+        envelope.query = *exec_query;
+        envelope.partitions.assign(parts.begin() + lo, parts.begin() + hi);
+        envelope.servers.assign(hosts.begin() + lo, hosts.begin() + hi);
+        envelope.fanin = fanin;
+        envelope.cache_policy = ectx.cache_policy;
+        envelope.scan_path = ectx.scan_path;
+        if (exec_fingerprint != nullptr) {
+          envelope.fingerprint = *exec_fingerprint;
+        }
+        envelope.remaining_budget = deadline_budget;
+        if (wire_dims != nullptr) envelope.dims = *wire_dims;
+        auto subtree =
+            CallTreeMerge(*ctx.transport, hosts[lo], envelope, &cancel,
+                          trace, t0);
+        if (!subtree.ok()) {
+          data_status = subtree.status();
+          data_failed = hosts[lo];
+          break;
+        }
+        if (subtree->epochs.size() != hi - lo ||
+            subtree->forward_hops.size() != hi - lo) {
+          data_status =
+              Status::Internal("tree merge response misaligned with request");
+          data_failed = hosts[lo];
+          break;
+        }
+        for (size_t i = lo; i < hi; ++i) {
+          outcome.partition_epochs[parts[i]] = subtree->epochs[i - lo];
+          fhops[i] = subtree->forward_hops[i - lo];
+        }
+        outcome.result.Merge(subtree->result);
+      }
+    } else {
+      for (size_t i = 0; i < num_leaves; ++i) {
+        CubrickServer* server = ctx.directory->Lookup(hosts[i]);
+        if (server == nullptr) {
+          data_status = Status::Unavailable("server instance missing");
+          data_failed = hosts[i];
+          break;
+        }
+        auto partial = server->ExecutePartial(
+            *exec_query, parts[i], /*hop_budget=*/-1, &cancel, trace, t0,
+            ectx.cache_policy, exec_fingerprint, ectx.scan_path,
+            dims_override);
+        if (!partial.ok()) {
+          data_status = partial.status();
+          data_failed = hosts[i];
+          break;
+        }
+        outcome.partition_epochs[parts[i]] = partial->epoch;
+        fhops[i] = partial->forward_hops;
+        outcome.result.Merge(partial->result);
       }
     }
-    CubrickServer* server = ctx.directory->Lookup(exec_server);
-    if (server == nullptr) {
-      outcome.status = Status::Unavailable("server instance missing");
-      outcome.failed_server = exec_server;
-      return outcome;
-    }
-    // Subquery span: opened before dispatch so the server's partition
-    // (and morsel) spans nest under it; its extent is fixed below once
-    // the chain latency is known.
-    obs::TraceContext sspan = trace.Child(
-        "subquery p" + std::to_string(sub.partition), t0);
-    sspan.Annotate("server", std::to_string(exec_server));
-    // With a transport attached, the subquery crosses the wire: the
-    // query and the partial-result aggregation states are serialized and
-    // deserialized on every hop. The modeled latency arithmetic below is
-    // untouched (the sim backend completes inline), so results, timing
-    // and RNG draws stay byte-identical to the direct path.
-    auto partial =
-        ctx.transport != nullptr
-            ? CallSubquery(*ctx.transport, exec_server, query, sub.partition,
-                           deadline_budget, cache_policy, scan_path,
-                           fingerprint, &cancel, sspan, t0)
-            : server->ExecutePartial(query, sub.partition,
-                                     /*hop_budget=*/-1, &cancel, sspan, t0,
-                                     cache_policy, fingerprint, scan_path);
-    if (!partial.ok()) {
-      outcome.status = partial.status();
-      outcome.failed_server = exec_server;
+    if (!data_status.ok()) {
+      outcome.status = data_status;
+      outcome.failed_server = data_failed;
       outcome.latency = ctx.network_model.SampleHop(rng) +
                         ctx.latency_model.Sample(rng);
-      sspan.Annotate("status",
-                     std::string(StatusCodeName(partial.status().code())));
-      sspan.End(t0 + outcome.latency);
       return outcome;
     }
-    SimDuration hop = exec_server == coordinator
-                          ? 0
-                          : ctx.network_model.SampleHop(rng);
-    // Forwarded requests (graceful-migration window) pay extra hops.
-    for (int h = 0; h < partial->forward_hops; ++h) {
-      hop += ctx.network_model.SampleHop(rng);
+
+    // Modeled timing pass: a recursive walk of the same tree shape,
+    // drawing per-leaf hop/service/hedge in ascending partition order.
+    // Interior nodes charge their own merge (overhead + children *
+    // per_partial) plus one forwarding hop toward their parent; the
+    // attempt's latency is the slowest root chain plus the coordinator's
+    // final (fanin-wide, not P-wide) merge.
+    auto model_leaf = [&](size_t i, cluster::ServerId parent_host,
+                          obs::TraceContext& parent_span) -> SimDuration {
+      const Subquery& sub = subqueries[i];
+      CubrickServer* server = ctx.directory->Lookup(sub.exec_server);
+      obs::TraceContext sspan = parent_span.Child(
+          "subquery p" + std::to_string(sub.partition), t0);
+      sspan.Annotate("server", std::to_string(sub.exec_server));
+      SimDuration hop = sub.exec_server == parent_host
+                            ? 0
+                            : ctx.network_model.SampleHop(rng);
+      for (int h = 0; h < fhops[i]; ++h) {
+        hop += ctx.network_model.SampleHop(rng);
+      }
+      SimDuration service = ctx.latency_model.Sample(rng);
+      const SimDuration scan_wait =
+          server != nullptr ? server->EnqueueScan(t0 + hop, service) : 0;
+      {
+        obs::TraceContext scspan = sspan.Child(
+            "scan p" + std::to_string(sub.partition), t0 + hop);
+        if (scan_wait > 0) {
+          scspan.Annotate("slot_wait", std::to_string(scan_wait));
+        }
+        scspan.End(t0 + hop + scan_wait + service);
+      }
+      SimDuration chain = hop + scan_wait + service;
+      if (hedge_delay > 0 && chain > hedge_delay) {
+        ++outcome.hedges_fired;
+        SimDuration hedged = hedge_delay + ctx.network_model.SampleHop(rng) +
+                             ctx.latency_model.Sample(rng);
+        obs::TraceContext hspan = sspan.Child("hedge", t0 + hedge_delay);
+        hspan.Annotate("won", hedged < chain ? "true" : "false");
+        hspan.End(t0 + hedged);
+        if (hedged < chain) {
+          ++outcome.hedge_wins;
+          chain = hedged;
+        }
+      }
+      auto it = host_penalty.find(sub.server);
+      if (it != host_penalty.end()) chain += it->second;
+      if (hop > 0) {
+        obs::TraceContext nspan = sspan.Child(
+            "net s" + std::to_string(sub.exec_server), t0);
+        nspan.End(t0 + hop);
+      }
+      sspan.End(t0 + chain);
+      if (ctx.transport != nullptr) {
+        ctx.transport->RecordModeledRtt(static_cast<double>(chain) / 1000.0);
+      }
+      return chain;
+    };
+    std::function<SimDuration(size_t, size_t, cluster::ServerId,
+                              obs::TraceContext&)>
+        model_subtree = [&](size_t lo, size_t hi,
+                            cluster::ServerId parent_host,
+                            obs::TraceContext& parent_span) -> SimDuration {
+      if (hi - lo == 1) return model_leaf(lo, parent_host, parent_span);
+      const cluster::ServerId agg = subqueries[lo].exec_server;
+      // NOT the exact string "merge": profiles fold exact-"merge" spans
+      // into the coordinator merge share, and a subtree merge is
+      // precisely the work the tree moved OFF the coordinator.
+      obs::TraceContext tspan = parent_span.Child(
+          "tree merge p" + std::to_string(parts[lo]) + "-p" +
+              std::to_string(parts[hi - 1]),
+          t0);
+      tspan.Annotate("server", std::to_string(agg));
+      const size_t chunk = static_cast<size_t>(
+          TreeChunkSize(static_cast<int>(hi - lo), fanin));
+      SimDuration slowest_child = 0;
+      size_t num_chunks = 0;
+      for (size_t clo = lo; clo < hi; clo += chunk) {
+        const size_t chi = std::min(clo + chunk, hi);
+        slowest_child =
+            std::max(slowest_child, model_subtree(clo, chi, agg, tspan));
+        ++num_chunks;
+      }
+      SimDuration chain = slowest_child + ctx.merge_overhead +
+                          static_cast<SimDuration>(num_chunks) * per_partial;
+      if (agg != parent_host) {
+        const SimDuration hop = ctx.network_model.SampleHop(rng);
+        obs::TraceContext nspan =
+            tspan.Child("net s" + std::to_string(agg), t0 + chain);
+        nspan.End(t0 + chain + hop);
+        chain += hop;
+      }
+      tspan.End(t0 + chain);
+      return chain;
+    };
+    SimDuration slowest = 0;
+    size_t top_chunks = 0;
+    const size_t chunk = static_cast<size_t>(
+        TreeChunkSize(static_cast<int>(num_leaves), fanin));
+    for (size_t lo = 0; lo < num_leaves; lo += chunk) {
+      const size_t hi = std::min(lo + chunk, num_leaves);
+      slowest = std::max(slowest, model_subtree(lo, hi, coordinator, trace));
+      ++top_chunks;
     }
-    SimDuration service = ctx.latency_model.Sample(rng);
-    // Charge the scan against the host's virtual scan queue: under
-    // overload all slots are busy and the subquery waits for one, which
-    // is exactly how real backends degrade — and the backlog this builds
-    // is the overload signal the proxy's admission control sheds on.
-    // A no-op (0 wait) when the server's virtual_scan_slots is 0.
-    const SimDuration scan_wait = server->EnqueueScan(t0 + hop, service);
-    {
-      // The modeled scan (slot wait + service draw) as a "scan" span:
-      // the server's partition span is instantaneous in the simulator
-      // (the draw happens here, after it returned), so this span is
-      // what carries the subquery's scan time into profiles.
-      obs::TraceContext scspan =
-          sspan.Child("scan p" + std::to_string(sub.partition), t0 + hop);
-      if (scan_wait > 0) scspan.Annotate("slot_wait", std::to_string(scan_wait));
-      scspan.End(t0 + hop + scan_wait + service);
+    const SimDuration root_merge =
+        ctx.merge_overhead + static_cast<SimDuration>(top_chunks) * per_partial;
+    outcome.latency = slowest + root_merge;
+    if (root_merge > 0) {
+      obs::TraceContext mspan = trace.Child("merge", t0 + slowest);
+      mspan.End(t0 + slowest + root_merge);
     }
-    SimDuration chain = hop + scan_wait + service;
-    if (hedge_delay > 0 && chain > hedge_delay) {
-      ++outcome.hedges_fired;
-      // The hedge goes to a duplicate replica, not back into this host's
-      // scan queue — it is left uncharged in the overload model.
-      SimDuration hedged = hedge_delay + ctx.network_model.SampleHop(rng) +
-                           ctx.latency_model.Sample(rng);
-      obs::TraceContext hspan = sspan.Child("hedge", t0 + hedge_delay);
-      hspan.Annotate("won", hedged < chain ? "true" : "false");
-      hspan.End(t0 + hedged);
-      if (hedged < chain) {
-        ++outcome.hedge_wins;
-        chain = hedged;
+  }
+
+  if (strategy == JoinStrategy::kShuffle) {
+    // --- shuffle stages 2 + 3 ---
+    //
+    // Stage 1 left outcome.result keyed by [plain dims..., raw join
+    // keys...]. Bucket the groups deterministically (FNV-1a over the
+    // raw keys), ship each bucket to a dim-replica host that maps keys
+    // to attributes, and fold the mapped buckets back in ascending
+    // bucket order. Scan counters are restored from the stage-1 totals
+    // (the mapping rekeys groups, it scans nothing).
+    const size_t raw = query.joins.size();
+    std::vector<cluster::ServerId> hosts_sorted(distinct.begin(),
+                                                distinct.end());
+    const uint32_t num_hosts = static_cast<uint32_t>(hosts_sorted.size());
+    const uint32_t num_buckets = std::max<uint32_t>(
+        1, std::min<uint32_t>(
+               static_cast<uint32_t>(std::max(1, plan.shuffle_buckets)),
+               num_hosts));
+    std::map<uint32_t, QueryResult> buckets;
+    for (const auto& [key, states] : outcome.result.groups()) {
+      const uint32_t b = ShuffleBucket(key, raw, num_buckets);
+      auto [it, inserted] =
+          buckets.try_emplace(b, query.aggregations.size());
+      for (size_t a = 0; a < states.size(); ++a) {
+        it->second.AccumulateState(key, a, states[a]);
       }
     }
-    auto it = host_penalty.find(sub.server);
-    if (it != host_penalty.end()) chain += it->second;
-    slowest = std::max(slowest, chain);
-    if (hop > 0) {
-      // The modeled wire time of this subquery (coordinator -> server
-      // hop plus any migration-forwarding hops) as a "net" child, so
-      // profiles can split subquery wall time into net vs scan.
-      obs::TraceContext nspan = sspan.Child("net s" + std::to_string(sub.server), t0);
-      nspan.End(t0 + hop);
+    const int64_t rows_scanned = outcome.result.rows_scanned;
+    const int64_t bricks_scanned = outcome.result.bricks_scanned;
+    const int64_t bricks_pruned = outcome.result.bricks_pruned;
+    const int64_t bricks_rle_skipped = outcome.result.bricks_rle_skipped;
+    QueryResult mapped_total(query.aggregations.size());
+    const SimTime t_fan = t0 + outcome.latency;
+    SimDuration stage2_max = 0;
+    for (auto& [b, bucket] : buckets) {
+      const cluster::ServerId map_server = hosts_sorted[b % num_hosts];
+      Result<QueryResult> mapped = Status::Internal("unmapped bucket");
+      if (ctx.transport != nullptr) {
+        mapped = CallShuffleMap(*ctx.transport, map_server, query, bucket,
+                                trace, t_fan);
+      } else {
+        CubrickServer* server = ctx.directory->Lookup(map_server);
+        mapped = server != nullptr
+                     ? server->MapShuffleGroups(query, bucket)
+                     : Result<QueryResult>(Status::Unavailable(
+                           "server instance missing"));
+      }
+      if (!mapped.ok()) {
+        outcome.status = mapped.status();
+        outcome.failed_server = map_server;
+        outcome.latency += ctx.network_model.SampleHop(rng) +
+                           ctx.latency_model.Sample(rng);
+        return outcome;
+      }
+      // One modeled round-trip + per-group mapping cost per bucket; the
+      // buckets run in parallel in simulated time.
+      obs::TraceContext bspan =
+          trace.Child("shuffle b" + std::to_string(b), t_fan);
+      bspan.Annotate("server", std::to_string(map_server));
+      const SimDuration hop = map_server == coordinator
+                                  ? 0
+                                  : ctx.network_model.SampleHop(rng);
+      const SimDuration chain =
+          hop + ctx.merge_overhead +
+          static_cast<SimDuration>(bucket.num_groups()) * per_partial;
+      if (hop > 0) {
+        obs::TraceContext nspan =
+            bspan.Child("net s" + std::to_string(map_server), t_fan);
+        nspan.End(t_fan + hop);
+      }
+      bspan.End(t_fan + chain);
+      stage2_max = std::max(stage2_max, chain);
+      mapped_total.Merge(*mapped);
     }
-    sspan.End(t0 + chain);
-    if (ctx.transport != nullptr) {
-      // The RTT histogram records the modeled chain latency, which is
-      // only known now — after hedging and retry penalties resolved —
-      // not at Call time.
-      ctx.transport->RecordModeledRtt(static_cast<double>(chain) / 1000.0);
+    const SimDuration final_merge =
+        ctx.merge_overhead +
+        static_cast<SimDuration>(buckets.size()) * per_partial;
+    outcome.latency += stage2_max + final_merge;
+    if (final_merge > 0) {
+      obs::TraceContext mspan = trace.Child("merge", t_fan + stage2_max);
+      mspan.End(t_fan + stage2_max + final_merge);
     }
-    outcome.partition_epochs[sub.partition] = partial->epoch;
-    outcome.result.Merge(partial->result);
+    mapped_total.rows_scanned = rows_scanned;
+    mapped_total.bricks_scanned = bricks_scanned;
+    mapped_total.bricks_pruned = bricks_pruned;
+    mapped_total.bricks_rle_skipped = bricks_rle_skipped;
+    outcome.result = std::move(mapped_total);
   }
-  outcome.latency = slowest + ctx.merge_overhead;
-  if (ctx.merge_overhead > 0) {
-    // The modeled coordinator-side merge, anchored where the slowest
-    // subquery chain completed — the same "merge" vocabulary the node
-    // path records, so BuildQueryProfile folds both identically.
-    obs::TraceContext mspan = trace.Child("merge", t0 + slowest);
-    mspan.End(t0 + slowest + ctx.merge_overhead);
-  }
+
   if (deadline_budget > 0 && outcome.latency > deadline_budget) {
     // The merged answer arrived after the client's deadline: it is
     // discarded, not returned late.
@@ -338,6 +770,34 @@ DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
   }
   outcome.status = Status::Ok();
   return outcome;
+}
+
+DistributedOutcome ExecuteDistributed(RegionContext& ctx, const Query& query,
+                                      cluster::ServerId coordinator,
+                                      Rng& rng,
+                                      SimDuration deadline_budget,
+                                      obs::TraceContext trace,
+                                      SimTime dispatch_time,
+                                      cache::CachePolicy cache_policy,
+                                      const std::string* fingerprint,
+                                      exec::ScanPath scan_path) {
+  // Compat shim: the seed's hardwired plan — replicated-dim joins, flat
+  // merge — plus an ExecContext assembled from the parameter list.
+  ExecutionPlan plan;
+  plan.query = query;
+  plan.coordinator = coordinator;
+  plan.join_strategy = JoinStrategy::kReplicated;
+  plan.merge_fanin = 0;
+  ExecContext ectx;
+  ectx.region = &ctx;
+  ectx.rng = &rng;
+  ectx.deadline_budget = deadline_budget;
+  ectx.trace = trace;
+  ectx.dispatch_time = dispatch_time;
+  ectx.cache_policy = cache_policy;
+  ectx.fingerprint = fingerprint;
+  ectx.scan_path = scan_path;
+  return ExecuteDistributed(plan, ectx);
 }
 
 }  // namespace scalewall::cubrick

@@ -30,6 +30,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "cubrick/catalog.h"
+#include "cubrick/planner.h"
 #include "cubrick/query.h"
 #include "cubrick/server.h"
 #include "discovery/service_discovery.h"
@@ -80,6 +81,10 @@ struct RegionContext {
   sim::TransientFailureModel failure_model{0.0};
   // Fixed cost of merging partial results on the coordinator.
   SimDuration merge_overhead = 1 * kMillisecond;
+  // Planner knobs: cost-model weights plus the per-partial merge cost
+  // that makes the coordinator fan-in a wall (planner.h). The defaults
+  // reproduce the seed model exactly.
+  PlannerOptions planner;
   // Subquery retry/hedging policy applied by coordinators in this region.
   SubqueryPolicy policy;
   // When set, the query path's hops (proxy -> coordinator -> partition
@@ -137,25 +142,49 @@ struct DistributedOutcome : ReliabilityCounters {
   // partition; only meaningful on success). The proxy's merged-result
   // cache validates against these with a cheap epoch-check roundtrip.
   std::vector<uint64_t> partition_epochs;
+  // Freshness epochs of the joined dimension tables, one per
+  // Query::joins entry in join order (empty for joinless queries). The
+  // proxy appends these to the merged-cache entry's epoch vector, which
+  // is what makes join results safely cacheable: a dim update bumps the
+  // epoch and invalidates.
+  std::vector<uint64_t> dim_epochs;
+  // The plan this attempt executed (echoed from the ExecutionPlan so
+  // transport-mediated callers see the coordinator's choice).
+  JoinStrategy strategy = JoinStrategy::kReplicated;
+  int merge_fanin = 0;  // 0 = flat, >= 2 = k-ary tree
+  int tree_depth = 0;   // levels below the coordinator (0 = flat)
   // The server that failed the attempt, if any (for proxy blacklisting).
   cluster::ServerId failed_server = cluster::kInvalidServer;
 };
 
-// Executes `query` with the coordinator running on `coordinator`, fanning
-// out to every partition of the table as resolved through the
-// coordinator's local discovery view. Per-host transient failures are
-// retried and slow subqueries hedged per `ctx.policy`; `deadline_budget`
-// (0 = unlimited) caps the attempt's wall time — once retries, backoff
-// and hedges would run past it the attempt stops with kDeadlineExceeded.
+// Executes an ExecutionPlan (planner.h) with the coordinator running on
+// `plan.coordinator`, fanning out to every partition of the table as
+// resolved through the coordinator's local discovery view. The plan
+// decides how: join strategy (replicated / broadcast / shuffle) and
+// merge topology (flat / k-ary tree, where servers merge AggState
+// partials from their subtree before forwarding — over a transport the
+// subtree hops ride kTreeMergeRequest frames). Every topology merges in
+// a fixed order (ascending partitions, contiguous chunks), so results
+// are byte-identical across strategies and topologies on the repo's
+// integral datasets (DESIGN.md §15).
 //
-// `trace` (optional) is the parent span — per-subquery, retry and hedge
-// child spans are recorded under it, anchored at `dispatch_time` (the
-// sim-time this attempt reaches the coordinator; -1 = the simulation's
-// current time).
-// `cache_policy` and `fingerprint` (a precomputed
-// CanonicalQueryFingerprint, optional) are forwarded to every server's
-// partial-result cache lookup; `scan_path` selects the brick-scan
-// implementation on every server (vectorized by default).
+// Per-host transient failures are retried and slow subqueries hedged
+// per `ctx.policy`; `ectx` carries the rest of the per-attempt inputs:
+// the caller's RNG stream, the deadline budget (0 = unlimited), the
+// parent trace span (a "plan" child span records the executed
+// strategy), the cache policy / precomputed fingerprint routed to every
+// server's partial-result cache, and the brick-scan implementation.
+DistributedOutcome ExecuteDistributed(const ExecutionPlan& plan,
+                                      ExecContext& ectx);
+
+// Compat shim for the pre-planner entry point: builds a kReplicated /
+// flat-merge plan (the seed's hardwired path) and an ExecContext from
+// the parameter list. One PR of grace, mirroring the QueryRequest
+// migration: call sites should construct an ExecutionPlan (usually via
+// BuildExecutionPlan) and an ExecContext instead.
+[[deprecated(
+    "build an ExecutionPlan + ExecContext and call "
+    "ExecuteDistributed(plan, ectx)")]]
 DistributedOutcome ExecuteDistributed(
     RegionContext& ctx, const Query& query, cluster::ServerId coordinator,
     Rng& rng, SimDuration deadline_budget = 0, obs::TraceContext trace = {},
@@ -167,11 +196,15 @@ DistributedOutcome ExecuteDistributed(
 // Resolves every partition of `table` in ctx's region and collects the
 // current freshness epochs without scanning anything — the cheap
 // validation probe behind the proxy's merged-result cache: a metadata
-// roundtrip instead of a full fan-out execution. Fails if any partition
-// is unresolvable or its host is gone (the caller falls back to a full
-// execution).
-Result<std::vector<uint64_t>> CollectPartitionEpochs(RegionContext& ctx,
-                                                     const std::string& table);
+// roundtrip instead of a full fan-out execution. `dim_tables` (one
+// entry per join, duplicates preserved) appends the named replicated
+// dimension tables' epochs after the partition epochs, matching the
+// partition_epochs + dim_epochs layout DistributedOutcome reports.
+// Fails if any partition is unresolvable or its host is gone (the
+// caller falls back to a full execution).
+Result<std::vector<uint64_t>> CollectPartitionEpochs(
+    RegionContext& ctx, const std::string& table,
+    const std::vector<std::string>& dim_tables = {});
 
 }  // namespace scalewall::cubrick
 

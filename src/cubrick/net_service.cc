@@ -1,8 +1,10 @@
 #include "cubrick/net_service.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
-#include "cubrick/wire.h"
+#include "cubrick/planner.h"
 #include "net/event_loop.h"
 #include "net/telemetry.h"
 
@@ -18,6 +20,37 @@ std::string RegionPeerName(cluster::RegionId region) {
 
 namespace {
 
+// Wire trace context (real-socket callers). Advisory: a malformed block
+// is dropped and the request still runs. When the in-process side-band
+// already carries the caller's trace — the sim backend, where both ends
+// share one sink — spans record there directly and no batch is shipped:
+// shipping one too would double-record the work.
+struct RequestTrace {
+  obs::TraceSink sink;
+  obs::TraceContext trace;
+  SimTime trace_time = -1;
+  bool batching = false;
+
+  RequestTrace(std::string_view telemetry, std::string_view root,
+               const net::CallSideband& sideband) {
+    net::TraceContextBlock tctx;
+    (void)net::DecodeTraceContext(telemetry, &tctx);
+    trace = sideband.trace;
+    trace_time = sideband.trace_time;
+    batching = tctx.want_spans && !trace.active();
+    if (batching) {
+      trace = sink.StartTrace(std::string(root), net::EventLoop::NowMicros());
+      trace_time = net::EventLoop::NowMicros();
+    }
+  }
+
+  std::string Finish() {
+    if (!batching) return {};
+    trace.End(net::EventLoop::NowMicros());
+    return net::EncodeSpanBatch(sink.Spans(trace.trace));
+  }
+};
+
 Result<net::Message> HandleSubquery(CubrickServer* server,
                                     cluster::ServerId server_id,
                                     const net::Message& request,
@@ -27,35 +60,158 @@ Result<net::Message> HandleSubquery(CubrickServer* server,
   const std::string* fingerprint =
       envelope->fingerprint.empty() ? nullptr : &envelope->fingerprint;
 
-  // Wire trace context (real-socket callers). Advisory: a malformed
-  // block is dropped and the subquery still runs. When the in-process
-  // side-band already carries the caller's trace — the sim backend,
-  // where both ends share one sink — spans record there directly and no
-  // batch is shipped: shipping one too would double-record the scan.
-  net::TraceContextBlock tctx;
-  (void)net::DecodeTraceContext(envelope->telemetry, &tctx);
-  obs::TraceSink request_sink;
-  obs::TraceContext trace = sideband.trace;
-  SimTime trace_time = sideband.trace_time;
-  const bool batch_spans = tctx.want_spans && !trace.active();
-  if (batch_spans) {
-    trace = request_sink.StartTrace("host " + NodePeerName(server_id),
-                                    net::EventLoop::NowMicros());
-    trace_time = net::EventLoop::NowMicros();
+  RequestTrace rtrace(envelope->telemetry, "host " + NodePeerName(server_id),
+                      sideband);
+
+  // Broadcast-join plans ship dim snapshots in the envelope; the scan
+  // joins against those instead of the server's resident replicas.
+  JoinContext snapshot_ctx;
+  const JoinContext* dims_override = nullptr;
+  if (!envelope->dims.empty()) {
+    for (const ReplicatedTable& dim : envelope->dims) {
+      snapshot_ctx.tables.push_back(&dim);
+    }
+    dims_override = &snapshot_ctx;
   }
 
   auto partial = server->ExecutePartial(
       envelope->query, envelope->partition, /*hop_budget=*/-1, sideband.cancel,
-      trace, trace_time, envelope->cache_policy, fingerprint,
-      envelope->scan_path);
+      rtrace.trace, rtrace.trace_time, envelope->cache_policy, fingerprint,
+      envelope->scan_path, dims_override);
   if (!partial.ok()) return partial.status();
-  std::string telemetry;
-  if (batch_spans) {
-    trace.End(net::EventLoop::NowMicros());
-    telemetry = net::EncodeSpanBatch(request_sink.Spans(trace.trace));
+  return net::Message{
+      net::FrameType::kSubqueryResponse,
+      wire::EncodeSubqueryResponse(*partial, rtrace.Finish())};
+}
+
+Result<net::Message> HandleTreeMerge(CubrickServer* server,
+                                     cluster::ServerId server_id,
+                                     RegionContext* ctx,
+                                     const net::Message& request,
+                                     const net::CallSideband& sideband) {
+  auto envelope = wire::DecodeTreeMergeRequest(request.payload);
+  if (!envelope.ok()) return envelope.status();
+  const size_t num_leaves = envelope->partitions.size();
+  const std::string* fingerprint =
+      envelope->fingerprint.empty() ? nullptr : &envelope->fingerprint;
+
+  RequestTrace rtrace(envelope->telemetry,
+                      "aggregator " + NodePeerName(server_id), sideband);
+
+  JoinContext snapshot_ctx;
+  const JoinContext* dims_override = nullptr;
+  if (!envelope->dims.empty()) {
+    for (const ReplicatedTable& dim : envelope->dims) {
+      snapshot_ctx.tables.push_back(&dim);
+    }
+    dims_override = &snapshot_ctx;
   }
-  return net::Message{net::FrameType::kSubqueryResponse,
-                      wire::EncodeSubqueryResponse(*partial, telemetry)};
+
+  wire::TreeMergeResult merged;
+  merged.result = QueryResult(envelope->query.aggregations.size());
+  merged.epochs.assign(num_leaves, 0);
+  merged.forward_hops.assign(num_leaves, 0);
+
+  // Execute one leaf: locally when this aggregator hosts the partition,
+  // as a forwarded subquery otherwise.
+  auto leaf = [&](size_t i) -> Status {
+    if (envelope->servers[i] == server_id) {
+      auto partial = server->ExecutePartial(
+          envelope->query, envelope->partitions[i], /*hop_budget=*/-1,
+          sideband.cancel, rtrace.trace, rtrace.trace_time,
+          envelope->cache_policy, fingerprint, envelope->scan_path,
+          dims_override);
+      if (!partial.ok()) return partial.status();
+      merged.epochs[i] = partial->epoch;
+      merged.forward_hops[i] = partial->forward_hops;
+      merged.result.Merge(partial->result);
+      return Status::Ok();
+    }
+    if (ctx == nullptr || ctx->transport == nullptr) {
+      return Status::FailedPrecondition(
+          "tree merge leaf forwarding requires a transport");
+    }
+    auto partial = CallSubquery(
+        *ctx->transport, envelope->servers[i], envelope->query,
+        envelope->partitions[i], envelope->remaining_budget,
+        envelope->cache_policy, envelope->scan_path, fingerprint,
+        sideband.cancel, rtrace.trace, rtrace.trace_time,
+        envelope->dims.empty() ? nullptr : &envelope->dims);
+    if (!partial.ok()) return partial.status();
+    merged.epochs[i] = partial->epoch;
+    merged.forward_hops[i] = partial->forward_hops;
+    merged.result.Merge(partial->result);
+    return Status::Ok();
+  };
+
+  // Recursive subtree walk over [lo, hi): chunks with the shared
+  // TreeChunkSize so the shape — and hence the ascending fold order —
+  // matches the coordinator's modeled tree exactly. A sub-chunk whose
+  // aggregator is this server recurses locally; any other sub-chunk is
+  // forwarded as a nested tree-merge call.
+  std::function<Status(size_t, size_t)> run = [&](size_t lo,
+                                                  size_t hi) -> Status {
+    if (hi - lo == 1) return leaf(lo);
+    const size_t chunk = static_cast<size_t>(
+        TreeChunkSize(static_cast<int>(hi - lo), envelope->fanin));
+    for (size_t clo = lo; clo < hi; clo += chunk) {
+      const size_t chi = std::min(clo + chunk, hi);
+      if (chi - clo == 1) {
+        Status st = leaf(clo);
+        if (!st.ok()) return st;
+      } else if (envelope->servers[clo] == server_id) {
+        Status st = run(clo, chi);
+        if (!st.ok()) return st;
+      } else {
+        if (ctx == nullptr || ctx->transport == nullptr) {
+          return Status::FailedPrecondition(
+              "tree merge forwarding requires a transport");
+        }
+        wire::TreeMergeEnvelope sub;
+        sub.query = envelope->query;
+        sub.partitions.assign(envelope->partitions.begin() + clo,
+                              envelope->partitions.begin() + chi);
+        sub.servers.assign(envelope->servers.begin() + clo,
+                           envelope->servers.begin() + chi);
+        sub.fanin = envelope->fanin;
+        sub.cache_policy = envelope->cache_policy;
+        sub.scan_path = envelope->scan_path;
+        sub.fingerprint = envelope->fingerprint;
+        sub.remaining_budget = envelope->remaining_budget;
+        sub.dims = envelope->dims;
+        auto subtree =
+            CallTreeMerge(*ctx->transport, envelope->servers[clo], sub,
+                          sideband.cancel, rtrace.trace, rtrace.trace_time);
+        if (!subtree.ok()) return subtree.status();
+        if (subtree->epochs.size() != chi - clo ||
+            subtree->forward_hops.size() != chi - clo) {
+          return Status::Internal(
+              "tree merge response misaligned with request");
+        }
+        for (size_t i = clo; i < chi; ++i) {
+          merged.epochs[i] = subtree->epochs[i - clo];
+          merged.forward_hops[i] = subtree->forward_hops[i - clo];
+        }
+        merged.result.Merge(subtree->result);
+      }
+    }
+    return Status::Ok();
+  };
+  Status st = run(0, num_leaves);
+  if (!st.ok()) return st;
+  return net::Message{
+      net::FrameType::kTreeMergeResponse,
+      wire::EncodeTreeMergeResponse(merged, rtrace.Finish())};
+}
+
+Result<net::Message> HandleShuffleMap(CubrickServer* server,
+                                      const net::Message& request) {
+  auto envelope = wire::DecodeShuffleMapRequest(request.payload);
+  if (!envelope.ok()) return envelope.status();
+  auto mapped = server->MapShuffleGroups(envelope->query, envelope->bucket);
+  if (!mapped.ok()) return mapped.status();
+  return net::Message{net::FrameType::kShuffleMapResponse,
+                      wire::EncodeShuffleMapResponse(*mapped)};
 }
 
 Result<net::Message> HandleCoordinate(cluster::ServerId server_id,
@@ -72,21 +228,29 @@ Result<net::Message> HandleCoordinate(cluster::ServerId server_id,
     return Status::FailedPrecondition(
         "coordinate calls require the in-process RNG side-band");
   }
-  const std::string* fingerprint =
+  ExecutionPlan plan =
+      BuildExecutionPlan(*ctx, envelope->query, server_id,
+                         envelope->join_strategy, envelope->merge_fanin);
+  ExecContext ectx;
+  ectx.region = ctx;
+  ectx.rng = coordinate->rng;
+  ectx.deadline_budget = envelope->remaining_budget;
+  ectx.trace = sideband.trace;
+  ectx.dispatch_time = envelope->dispatch_time;
+  ectx.cache_policy = envelope->cache_policy;
+  ectx.fingerprint =
       envelope->fingerprint.empty() ? nullptr : &envelope->fingerprint;
-  DistributedOutcome outcome = ExecuteDistributed(
-      *ctx, envelope->query, server_id, *coordinate->rng,
-      envelope->remaining_budget, sideband.trace, envelope->dispatch_time,
-      envelope->cache_policy, fingerprint, envelope->scan_path);
+  ectx.scan_path = envelope->scan_path;
+  DistributedOutcome outcome = ExecuteDistributed(plan, ectx);
   return net::Message{net::FrameType::kCoordinateResponse,
                       wire::EncodeCoordinateResponse(outcome)};
 }
 
 Result<net::Message> HandleEpochs(RegionContext* ctx,
                                   const net::Message& request) {
-  auto table = wire::DecodeEpochRequest(request.payload);
-  if (!table.ok()) return table.status();
-  auto epochs = CollectPartitionEpochs(*ctx, *table);
+  auto probe = wire::DecodeEpochRequest(request.payload);
+  if (!probe.ok()) return probe.status();
+  auto epochs = CollectPartitionEpochs(*ctx, probe->table, probe->dims);
   if (!epochs.ok()) return epochs.status();
   return net::Message{net::FrameType::kEpochResponse,
                       wire::EncodeEpochResponse(*epochs)};
@@ -103,6 +267,10 @@ net::Handler MakeServerNodeHandler(CubrickServer* server,
     switch (request.type) {
       case net::FrameType::kSubqueryRequest:
         return HandleSubquery(server, server_id, request, sideband);
+      case net::FrameType::kTreeMergeRequest:
+        return HandleTreeMerge(server, server_id, ctx, request, sideband);
+      case net::FrameType::kShuffleMapRequest:
+        return HandleShuffleMap(server, request);
       case net::FrameType::kCoordinateRequest:
         return HandleCoordinate(server_id, ctx, request, sideband);
       case net::FrameType::kEpochRequest:
@@ -133,7 +301,8 @@ Result<PartialResult> CallSubquery(
     uint32_t partition, SimDuration remaining_budget,
     cache::CachePolicy cache_policy, exec::ScanPath scan_path,
     const std::string* fingerprint, const exec::CancelToken* cancel,
-    obs::TraceContext trace, SimTime trace_time) {
+    obs::TraceContext trace, SimTime trace_time,
+    const std::vector<ReplicatedTable>* dims) {
   wire::SubqueryEnvelope envelope;
   envelope.query = query;
   envelope.partition = partition;
@@ -141,6 +310,7 @@ Result<PartialResult> CallSubquery(
   envelope.scan_path = scan_path;
   if (fingerprint != nullptr) envelope.fingerprint = *fingerprint;
   envelope.remaining_budget = remaining_budget;
+  if (dims != nullptr) envelope.dims = *dims;
 
   net::CallOptions options;
   options.sideband.cancel = cancel;
@@ -159,12 +329,61 @@ Result<PartialResult> CallSubquery(
   return wire::DecodeSubqueryResponse(response->payload);
 }
 
+Result<wire::TreeMergeResult> CallTreeMerge(
+    net::Transport& transport, cluster::ServerId aggregator,
+    const wire::TreeMergeEnvelope& envelope, const exec::CancelToken* cancel,
+    obs::TraceContext trace, SimTime trace_time) {
+  net::CallOptions options;
+  options.sideband.cancel = cancel;
+  options.sideband.trace = trace;
+  options.sideband.trace_time = trace_time;
+  auto response = transport.Call(
+      NodePeerName(aggregator),
+      net::Message{net::FrameType::kTreeMergeRequest,
+                   wire::EncodeTreeMergeRequest(envelope)},
+      options);
+  if (!response.ok()) return response.status();
+  if (response->type != net::FrameType::kTreeMergeResponse) {
+    return Status::Internal(
+        "unexpected frame type in tree merge response: " +
+        std::string(net::FrameTypeName(response->type)));
+  }
+  return wire::DecodeTreeMergeResponse(response->payload);
+}
+
+Result<QueryResult> CallShuffleMap(net::Transport& transport,
+                                   cluster::ServerId server,
+                                   const Query& query,
+                                   const QueryResult& bucket,
+                                   obs::TraceContext trace,
+                                   SimTime trace_time) {
+  wire::ShuffleMapEnvelope envelope;
+  envelope.query = query;
+  envelope.bucket = bucket;
+
+  net::CallOptions options;
+  options.sideband.trace = trace;
+  options.sideband.trace_time = trace_time;
+  auto response = transport.Call(
+      NodePeerName(server),
+      net::Message{net::FrameType::kShuffleMapRequest,
+                   wire::EncodeShuffleMapRequest(envelope)},
+      options);
+  if (!response.ok()) return response.status();
+  if (response->type != net::FrameType::kShuffleMapResponse) {
+    return Status::Internal(
+        "unexpected frame type in shuffle map response: " +
+        std::string(net::FrameTypeName(response->type)));
+  }
+  return wire::DecodeShuffleMapResponse(response->payload);
+}
+
 DistributedOutcome CallCoordinate(
     net::Transport& transport, cluster::ServerId coordinator,
     const Query& query, SimDuration remaining_budget,
     cache::CachePolicy cache_policy, exec::ScanPath scan_path,
     const std::string* fingerprint, SimTime dispatch_time, Rng& rng,
-    obs::TraceContext trace) {
+    obs::TraceContext trace, JoinStrategy join_strategy, int merge_fanin) {
   wire::CoordinateEnvelope envelope;
   envelope.query = query;
   envelope.cache_policy = cache_policy;
@@ -172,6 +391,8 @@ DistributedOutcome CallCoordinate(
   if (fingerprint != nullptr) envelope.fingerprint = *fingerprint;
   envelope.remaining_budget = remaining_budget;
   envelope.dispatch_time = dispatch_time;
+  envelope.join_strategy = join_strategy;
+  envelope.merge_fanin = merge_fanin;
 
   CoordinateSideband coordinate{&rng};
   net::CallOptions options;
@@ -204,11 +425,15 @@ DistributedOutcome CallCoordinate(
 
 Result<std::vector<uint64_t>> CallEpochs(net::Transport& transport,
                                          cluster::RegionId region,
-                                         const std::string& table) {
+                                         const std::string& table,
+                                         const std::vector<std::string>& dims) {
+  wire::EpochProbe probe;
+  probe.table = table;
+  probe.dims = dims;
   auto response = transport.Call(
       RegionPeerName(region),
       net::Message{net::FrameType::kEpochRequest,
-                   wire::EncodeEpochRequest(table)});
+                   wire::EncodeEpochRequest(probe)});
   if (!response.ok()) return response.status();
   if (response->type != net::FrameType::kEpochResponse) {
     return Status::Internal("unexpected frame type in epoch response: " +

@@ -2,11 +2,13 @@
 //
 // This module binds cubrick's hop logic to scalewall::net: it names the
 // peers, builds the server-side request handlers, and wraps each hop's
-// encode → Call → decode round-trip in a typed helper. Three hops are
-// transport-mediated when a RegionContext carries a transport:
+// encode → Call → decode round-trip in a typed helper. The
+// transport-mediated hops when a RegionContext carries a transport:
 //
 //   proxy --kCoordinateRequest--> coordinator   (SubmitInternal)
 //   coordinator --kSubqueryRequest--> partition host (ExecuteDistributed)
+//   coordinator --kTreeMergeRequest--> aggregator    (tree-merge plans)
+//   coordinator --kShuffleMapRequest--> dim host     (shuffle stage 2)
 //   proxy --kEpochRequest--> region             (merged-cache validation)
 //
 // Under the sim backend these calls complete inline on the simulated
@@ -25,6 +27,7 @@
 
 #include "cubrick/coordinator.h"
 #include "cubrick/server.h"
+#include "cubrick/wire.h"
 #include "net/transport.h"
 
 namespace scalewall::cubrick {
@@ -43,9 +46,12 @@ struct CoordinateSideband {
 };
 
 // Handler for one server's node endpoint. Serves kSubqueryRequest
-// (ExecutePartial on `server`), kCoordinateRequest (ExecuteDistributed
-// with `server_id` as the coordinator; requires the in-process RNG
-// side-band) and kEpochRequest. `ctx` must outlive the handler.
+// (ExecutePartial on `server`), kTreeMergeRequest (recursive subtree
+// merge with `server_id` as the aggregator), kShuffleMapRequest
+// (stage 2 of a shuffle join against the server's dim replicas),
+// kCoordinateRequest (plan + ExecuteDistributed with `server_id` as the
+// coordinator; requires the in-process RNG side-band) and
+// kEpochRequest. `ctx` must outlive the handler.
 net::Handler MakeServerNodeHandler(CubrickServer* server,
                                    cluster::ServerId server_id,
                                    RegionContext* ctx);
@@ -55,23 +61,48 @@ net::Handler MakeRegionNodeHandler(RegionContext* ctx);
 
 // --- typed call wrappers (client side of each hop) ---
 
+// `dims` (optional) ships broadcast-join dimension snapshots with the
+// subquery; nullptr = the replicated path (servers use local replicas).
 Result<PartialResult> CallSubquery(
     net::Transport& transport, cluster::ServerId server, const Query& query,
     uint32_t partition, SimDuration remaining_budget,
     cache::CachePolicy cache_policy, exec::ScanPath scan_path,
     const std::string* fingerprint, const exec::CancelToken* cancel,
+    obs::TraceContext trace, SimTime trace_time,
+    const std::vector<ReplicatedTable>* dims = nullptr);
+
+// Dispatches one subtree of a tree-merge plan to its aggregator, which
+// recursively executes/forwards the leaves and folds them in ascending
+// partition order before responding with a single merged partial.
+Result<wire::TreeMergeResult> CallTreeMerge(
+    net::Transport& transport, cluster::ServerId aggregator,
+    const wire::TreeMergeEnvelope& envelope, const exec::CancelToken* cancel,
     obs::TraceContext trace, SimTime trace_time);
 
+// Ships one shuffle stage-1 bucket to a dim-replica host for key →
+// attribute mapping (stage 2); returns the joined groups.
+Result<QueryResult> CallShuffleMap(net::Transport& transport,
+                                   cluster::ServerId server,
+                                   const Query& query,
+                                   const QueryResult& bucket,
+                                   obs::TraceContext trace,
+                                   SimTime trace_time);
+
+// `join_strategy` / `merge_fanin` forward the client's plan hints; the
+// receiving coordinator re-plans with them against its own stats.
 DistributedOutcome CallCoordinate(
     net::Transport& transport, cluster::ServerId coordinator,
     const Query& query, SimDuration remaining_budget,
     cache::CachePolicy cache_policy, exec::ScanPath scan_path,
     const std::string* fingerprint, SimTime dispatch_time, Rng& rng,
-    obs::TraceContext trace);
+    obs::TraceContext trace,
+    JoinStrategy join_strategy = JoinStrategy::kAuto, int merge_fanin = 0);
 
-Result<std::vector<uint64_t>> CallEpochs(net::Transport& transport,
-                                         cluster::RegionId region,
-                                         const std::string& table);
+// `dims` appends the named dimension tables' epochs after the partition
+// epochs (merged-cache validation of join results).
+Result<std::vector<uint64_t>> CallEpochs(
+    net::Transport& transport, cluster::RegionId region,
+    const std::string& table, const std::vector<std::string>& dims = {});
 
 }  // namespace scalewall::cubrick
 

@@ -81,6 +81,14 @@ CubrickProxy::Stats::Stats(obs::MetricsRegistry* registry) {
       "scalewall_proxy_cache_total", {{"result", "validation_failure"}});
   cache_stale_serves = registry->GetCounter("scalewall_proxy_cache_total",
                                             {{"result", "stale_serve"}});
+  plan_replicated = registry->GetCounter("scalewall_plan_total",
+                                         {{"strategy", "replicated"}});
+  plan_broadcast = registry->GetCounter("scalewall_plan_total",
+                                        {{"strategy", "broadcast"}});
+  plan_shuffle =
+      registry->GetCounter("scalewall_plan_total", {{"strategy", "shuffle"}});
+  tree_merge_queries =
+      registry->GetCounter("scalewall_tree_merge_queries_total");
   attempt_latency_ms = registry->GetHistogram(
       "scalewall_proxy_attempt_latency_ms", {}, /*min_value=*/0.001);
   query_latency_ms = registry->GetHistogram("scalewall_proxy_query_latency_ms",
@@ -466,10 +474,18 @@ bool CubrickProxy::TryServeValidated(const QueryRequest& request,
   outcome.latency += check_latency;
   // With a transport attached the probe is a real metadata roundtrip to
   // the region's epoch endpoint; otherwise the direct in-process walk.
+  // Joined dim tables ride the same probe: their epochs sit after the
+  // partition epochs in the entry's vector, so a dim update invalidates
+  // exactly like a partition ingest does.
+  std::vector<std::string> dim_tables;
+  for (const Join& join : request.query.joins) {
+    dim_tables.push_back(join.dimension_table);
+  }
   auto epochs =
       ctx->transport != nullptr
-          ? CallEpochs(*ctx->transport, ctx->region, request.query.table)
-          : CollectPartitionEpochs(*ctx, request.query.table);
+          ? CallEpochs(*ctx->transport, ctx->region, request.query.table,
+                       dim_tables)
+          : CollectPartitionEpochs(*ctx, request.query.table, dim_tables);
   if (ctx->transport != nullptr) {
     ctx->transport->RecordModeledRtt(ToMillis(check_latency));
   }
@@ -535,13 +551,15 @@ QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
     return outcome;
   }
 
-  // Merged-result cache. Join queries are excluded: joined dimension
-  // tables update without bumping partition epochs, so their entries
-  // could never be validated (DESIGN.md §10). When only the server-side
-  // caches exist the fingerprint stays empty and servers canonicalize
-  // for themselves.
+  // Merged-result cache. Join queries participate too: dimension tables
+  // carry deployment-stamped content epochs, appended after the
+  // partition epochs in every entry's validation vector, so a dim
+  // update invalidates exactly like a partition ingest (DESIGN.md §15
+  // lifts the old joins-never-cached carve-out). When only the
+  // server-side caches exist the fingerprint stays empty and servers
+  // canonicalize for themselves.
   const bool merged_cacheable =
-      merged_cache_ != nullptr && query.joins.empty() &&
+      merged_cache_ != nullptr &&
       request.cache_policy != cache::CachePolicy::kBypass;
   std::string fingerprint;
   if (merged_cacheable) fingerprint = CanonicalQueryFingerprint(query);
@@ -638,19 +656,44 @@ QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
     }
     // With a transport attached the whole coordinated attempt is a wire
     // call to the coordinator's node endpoint (the proxy's RNG rides the
-    // in-process side-band so draw order matches the direct path);
-    // otherwise the coordinator logic runs by direct call.
-    DistributedOutcome attempt =
-        ctx->transport != nullptr
-            ? CallCoordinate(*ctx->transport, *coordinator, query, remaining,
-                             request.cache_policy, request.scan_path,
-                             fingerprint.empty() ? nullptr : &fingerprint,
-                             attempt_start + attempt_latency, rng_, aspan)
-            : ExecuteDistributed(*ctx, query, *coordinator, rng_, remaining,
-                                 aspan, attempt_start + attempt_latency,
-                                 request.cache_policy,
-                                 fingerprint.empty() ? nullptr : &fingerprint,
-                                 request.scan_path);
+    // in-process side-band so draw order matches the direct path) and
+    // the plan hints travel in the envelope — the coordinator re-plans
+    // against its own transport stats. Otherwise the plan is built here
+    // and executed by direct call.
+    DistributedOutcome attempt;
+    if (ctx->transport != nullptr) {
+      attempt = CallCoordinate(*ctx->transport, *coordinator, query, remaining,
+                               request.cache_policy, request.scan_path,
+                               fingerprint.empty() ? nullptr : &fingerprint,
+                               attempt_start + attempt_latency, rng_, aspan,
+                               request.join_strategy, request.merge_fanin);
+    } else {
+      ExecutionPlan plan =
+          BuildExecutionPlan(*ctx, query, *coordinator, request.join_strategy,
+                             request.merge_fanin);
+      ExecContext ectx;
+      ectx.region = ctx;
+      ectx.rng = &rng_;
+      ectx.deadline_budget = remaining;
+      ectx.trace = aspan;
+      ectx.dispatch_time = attempt_start + attempt_latency;
+      ectx.cache_policy = request.cache_policy;
+      ectx.fingerprint = fingerprint.empty() ? nullptr : &fingerprint;
+      ectx.scan_path = request.scan_path;
+      attempt = ExecuteDistributed(plan, ectx);
+    }
+    switch (attempt.strategy) {
+      case JoinStrategy::kBroadcast:
+        ++stats_.plan_broadcast;
+        break;
+      case JoinStrategy::kShuffle:
+        ++stats_.plan_shuffle;
+        break;
+      default:
+        ++stats_.plan_replicated;
+        break;
+    }
+    if (attempt.merge_fanin >= 2) ++stats_.tree_merge_queries;
     outcome.latency += attempt_latency + attempt.latency;
     if (ctx->transport != nullptr) {
       ctx->transport->RecordModeledRtt(
@@ -680,12 +723,18 @@ QueryOutcome CubrickProxy::SubmitInternal(const QueryRequest& request,
       outcome.rows = MaterializeRows(outcome.result, query);
       outcome.fanout = attempt.fanout;
       outcome.num_partitions = attempt.num_partitions;
+      outcome.join_strategy = attempt.strategy;
+      outcome.merge_fanin = attempt.merge_fanin;
+      outcome.tree_depth = attempt.tree_depth;
       if (merged_cacheable) {
         // Refresh the merged cache with this answer and the epoch
-        // vector it was computed against (kRefresh lands here too).
+        // vector it was computed against — partition epochs plus one
+        // dim epoch per join (kRefresh lands here too).
         MergedCacheEntry entry;
         entry.region = ctx->region;
         entry.epochs = std::move(attempt.partition_epochs);
+        entry.epochs.insert(entry.epochs.end(), attempt.dim_epochs.begin(),
+                            attempt.dim_epochs.end());
         entry.result = outcome.result;
         entry.rows = outcome.rows;
         entry.fanout = outcome.fanout;

@@ -173,12 +173,19 @@ struct QueryOutcome : ReliabilityCounters {
   // TraceSink (0 = tracing off). Feed Spans(trace_id) to
   // obs::BuildQueryProfile for the per-query profile.
   uint64_t trace_id = 0;
+  // The executed plan of the answering attempt (kReplicated/0/0 for the
+  // seed-equivalent flat replicated path, and for cache hits, which
+  // execute no plan at all).
+  JoinStrategy join_strategy = JoinStrategy::kReplicated;
+  int merge_fanin = 0;  // 0 = flat merge
+  int tree_depth = 0;   // 0 = flat merge
 };
 
 // One merged-result cache entry: the fully merged and materialized
-// answer from the last successful execution, plus the per-partition
-// epoch vector it was computed against and the metadata the outcome
-// reports. A validated hit replays all of it.
+// answer from the last successful execution, plus the epoch vector it
+// was computed against — partition epochs followed by one dim-table
+// epoch per join (so replicated-dim join results validate too) — and
+// the metadata the outcome reports. A validated hit replays all of it.
 struct MergedCacheEntry {
   cluster::RegionId region = 0;
   std::vector<uint64_t> epochs;
@@ -255,6 +262,13 @@ class CubrickProxy {
     // failed (changed data or unreachable hosts -> full re-execution).
     obs::Counter cache_misses;
     obs::Counter cache_validation_failures;
+    // Executed attempts per resolved join strategy
+    // (scalewall_plan_total{strategy=...}) and attempts that ran a
+    // k-ary tree merge (scalewall_tree_merge_queries_total).
+    obs::Counter plan_replicated;
+    obs::Counter plan_broadcast;
+    obs::Counter plan_shuffle;
+    obs::Counter tree_merge_queries;
     // Per-stage latency histograms (milliseconds).
     obs::HistogramMetric attempt_latency_ms{/*min_value=*/0.001};
     obs::HistogramMetric query_latency_ms{/*min_value=*/0.001};

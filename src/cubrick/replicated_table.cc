@@ -45,4 +45,19 @@ Status ReplicatedTable::Set(const DimensionEntry& entry) {
   return Status::Ok();
 }
 
+Status ReplicatedTable::RestoreColumns(
+    std::vector<std::vector<uint32_t>> columns, size_t num_entries) {
+  if (columns.size() != attributes_.size()) {
+    return Status::InvalidArgument("restore: column count mismatch");
+  }
+  for (const auto& column : columns) {
+    if (column.size() != key_cardinality_) {
+      return Status::InvalidArgument("restore: column length mismatch");
+    }
+  }
+  columns_ = std::move(columns);
+  num_entries_ = num_entries;
+  return Status::Ok();
+}
+
 }  // namespace scalewall::cubrick

@@ -74,6 +74,23 @@ class ReplicatedTable {
     return columns_.size() * key_cardinality_ * sizeof(uint32_t);
   }
 
+  // Freshness epoch of this table's *content*, the dimension analogue
+  // of a partition epoch: stamped by the deployment after every batch
+  // mutation (create/load/drop) with one NextPartitionEpoch() draw so
+  // every replica of a dim carries the same value, and carried by
+  // copies (snapshots ship it over the wire). Set() deliberately does
+  // NOT bump it — per-replica bumps would draw divergent values from
+  // the process-global counter. Result caches validate join entries
+  // against it; 0 = never stamped (directly constructed tables), which
+  // still validates correctly as a plain value.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
+  // Wire-decode restore: replaces all columns (each key_cardinality
+  // long, kNoAttribute where unset) and the entry count wholesale.
+  Status RestoreColumns(std::vector<std::vector<uint32_t>> columns,
+                        size_t num_entries);
+
  private:
   std::string name_;
   uint32_t key_cardinality_;
@@ -81,6 +98,7 @@ class ReplicatedTable {
   // Column-major: columns_[attr][key]; kNoAttribute where unset.
   std::vector<std::vector<uint32_t>> columns_;
   size_t num_entries_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 // Resolved join inputs for one query execution: tables_[i] backs

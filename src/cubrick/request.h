@@ -17,6 +17,7 @@
 #include "cache/cache.h"
 #include "cluster/cluster.h"
 #include "common/time.h"
+#include "cubrick/planner.h"
 #include "cubrick/query.h"
 #include "exec/scan_path.h"
 
@@ -52,6 +53,14 @@ struct QueryRequest {
   // nothing about `tracing` for other queries; this submission records
   // spans whenever either flag is set.
   bool profile = false;
+  // Join-strategy hint for the planner: kAuto (default) lets the cost
+  // model pick; the other values pin the strategy — every one produces
+  // byte-identical results, so pinning is a performance/testing knob,
+  // never a correctness one. Ignored for joinless queries.
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  // Merge-topology hint: 0 = planner's choice, 1 = pin the flat merge,
+  // >= 2 = pin a k-ary aggregation tree with this fan-in.
+  int merge_fanin = 0;
 
   QueryRequest() = default;
   explicit QueryRequest(Query q, cluster::RegionId region = 0)

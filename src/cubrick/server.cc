@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "cubrick/planner.h"
 
 namespace scalewall::cubrick {
 
@@ -413,7 +414,8 @@ Result<PartialResult> CubrickServer::ExecutePartial(
     const Query& query, uint32_t partition, int hop_budget,
     const exec::CancelToken* cancel, obs::TraceContext trace,
     SimTime trace_time, cache::CachePolicy cache_policy,
-    const std::string* fingerprint, exec::ScanPath scan_path) {
+    const std::string* fingerprint, exec::ScanPath scan_path,
+    const JoinContext* dims_override) {
   if (hop_budget < 0) hop_budget = options_.max_forward_hops;
   if (trace.active() && trace_time < 0) trace_time = simulation_->now();
   auto shard = catalog_->ShardForPartition(query.table, partition);
@@ -434,7 +436,8 @@ Result<PartialResult> CubrickServer::ExecutePartial(
       auto forwarded = target->ExecutePartial(query, partition,
                                               hop_budget - 1, cancel, fspan,
                                               trace_time, cache_policy,
-                                              fingerprint, scan_path);
+                                              fingerprint, scan_path,
+                                              dims_override);
       fspan.End(trace_time);
       if (!forwarded.ok()) return forwarded;
       forwarded->forward_hops += 1;
@@ -463,22 +466,35 @@ Result<PartialResult> CubrickServer::ExecutePartial(
                                std::to_string(server_));
   }
   ++stats_.partial_queries;
-  // Resolve join inputs from the local dimension-table replicas.
+  // Resolve join inputs: broadcast subqueries carry their own dim
+  // snapshots (dims_override); otherwise the local replicas back them.
   JoinContext join;
+  std::vector<uint64_t> dim_epochs;
   if (!query.joins.empty()) {
+    if (dims_override != nullptr &&
+        dims_override->tables.size() != query.joins.size()) {
+      return Status::InvalidArgument(
+          "broadcast dim snapshots do not back the query's joins");
+    }
     join.tables.reserve(query.joins.size());
-    for (const Join& j : query.joins) {
-      const ReplicatedTable* table = GetReplicatedTable(j.dimension_table);
+    dim_epochs.reserve(query.joins.size());
+    for (size_t j = 0; j < query.joins.size(); ++j) {
+      const Join& jn = query.joins[j];
+      const ReplicatedTable* table = dims_override != nullptr
+                                         ? dims_override->tables[j]
+                                         : GetReplicatedTable(
+                                               jn.dimension_table);
       if (table == nullptr) {
-        return Status::Unavailable("dimension table " + j.dimension_table +
+        return Status::Unavailable("dimension table " + jn.dimension_table +
                                    " not replicated to server " +
                                    std::to_string(server_));
       }
-      if (j.attribute < 0 ||
-          j.attribute >= static_cast<int>(table->attributes().size())) {
+      if (jn.attribute < 0 ||
+          jn.attribute >= static_cast<int>(table->attributes().size())) {
         return Status::InvalidArgument("unknown attribute index for join");
       }
       join.tables.push_back(table);
+      dim_epochs.push_back(table->epoch());
     }
   }
   PartialResult partial;
@@ -495,11 +511,13 @@ Result<PartialResult> CubrickServer::ExecutePartial(
   pspan.Annotate("server", std::to_string(server_));
   pspan.Annotate("rows", std::to_string(it->second.num_rows()));
 
-  // Partial-result cache lookup. Join queries are never cached: joined
-  // attributes resolve against replicated dimension tables whose
-  // updates do not bump partition epochs, so a hit could not be proven
-  // fresh (see DESIGN.md §10).
-  const bool cacheable = result_cache_ != nullptr && query.joins.empty() &&
+  // Partial-result cache lookup. Join queries are cacheable too: the
+  // entry records the dimension tables' epochs beside the partition
+  // epoch, and a hit must match ALL of them — a dim update bumps its
+  // epoch (the deployment stamps every replica identically) and
+  // provably invalidates (DESIGN.md §15; the old joins-never-cached
+  // carve-out of §10 is lifted).
+  const bool cacheable = result_cache_ != nullptr &&
                          cache_policy != cache::CachePolicy::kBypass;
   std::string local_fp;
   PartialCacheKey cache_key;
@@ -519,7 +537,7 @@ Result<PartialResult> CubrickServer::ExecutePartial(
       }
       CachedPartial hit;
       if (result_cache_->Get(cache_key, &hit)) {
-        if (hit.epoch == partial.epoch) {
+        if (hit.epoch == partial.epoch && hit.dim_epochs == dim_epochs) {
           ++stats_.cache_hits;
           pspan.Annotate("cache_hit", "true");
           pspan.End(trace_time);
@@ -527,8 +545,8 @@ Result<PartialResult> CubrickServer::ExecutePartial(
           partial.cache_hit = true;
           return partial;
         }
-        // The partition changed since this entry was produced: provably
-        // stale, drop it and fall through to a fresh scan.
+        // The partition (or a joined dim) changed since this entry was
+        // produced: provably stale, drop it and fall through to a scan.
         result_cache_->Erase(cache_key);
         ++stats_.cache_invalidations;
       }
@@ -575,9 +593,9 @@ Result<PartialResult> CubrickServer::ExecutePartial(
     // A scan that raced a cancellation may have stopped between morsels
     // with a partial answer; only complete, uncancelled results are
     // cached. kRefresh lands here too: re-executed, then stored.
-    result_cache_->Put(cache_key, CachedPartial{partial.epoch, partial.result},
-                       ApproxResultBytes(partial.result) +
-                           cache_key.first.size());
+    result_cache_->Put(
+        cache_key, CachedPartial{partial.epoch, dim_epochs, partial.result},
+        ApproxResultBytes(partial.result) + cache_key.first.size());
   }
   return partial;
 }
@@ -592,7 +610,7 @@ Result<std::vector<PartialResult>> CubrickServer::ExecutePartialMany(
   // per-partition task keys the cache with it directly.
   std::string fp;
   const std::string* fpp = nullptr;
-  if (result_cache_ != nullptr && query.joins.empty() &&
+  if (result_cache_ != nullptr &&
       cache_policy != cache::CachePolicy::kBypass) {
     fp = CanonicalQueryFingerprint(query);
     fpp = &fp;
@@ -662,7 +680,7 @@ void CubrickServer::SetReplicatedTable(const ReplicatedTable& table) {
 
 Status CubrickServer::UpsertReplicatedEntries(
     const ReplicatedTableInfo& info,
-    const std::vector<DimensionEntry>& entries) {
+    const std::vector<DimensionEntry>& entries, uint64_t epoch) {
   auto it = replicated_.find(info.name);
   if (it == replicated_.end()) {
     it = replicated_
@@ -674,7 +692,24 @@ Status CubrickServer::UpsertReplicatedEntries(
   for (const DimensionEntry& entry : entries) {
     SCALEWALL_RETURN_IF_ERROR(it->second.Set(entry));
   }
+  if (epoch != 0) it->second.set_epoch(epoch);
   return Status::Ok();
+}
+
+Result<QueryResult> CubrickServer::MapShuffleGroups(
+    const Query& query, const QueryResult& bucket) const {
+  JoinContext join;
+  join.tables.reserve(query.joins.size());
+  for (const Join& jn : query.joins) {
+    const ReplicatedTable* table = GetReplicatedTable(jn.dimension_table);
+    if (table == nullptr) {
+      return Status::Unavailable("dimension table " + jn.dimension_table +
+                                 " not replicated to server " +
+                                 std::to_string(server_));
+    }
+    join.tables.push_back(table);
+  }
+  return ApplyShuffleMapping(query, join, bucket);
 }
 
 void CubrickServer::DropReplicatedTable(const std::string& name) {

@@ -141,9 +141,15 @@ struct PartialResult {
 };
 
 // One partial-result cache entry: the partition's epoch at scan time
-// plus the partial aggregation state it produced.
+// plus the partial aggregation state it produced. Join queries also
+// record the epochs of the joined dimension tables (one per
+// Query::joins entry): a hit is valid only when the partition epoch
+// AND every dim epoch still match, so dim updates invalidate exactly
+// like partition writes do — this is what lifted the old
+// joins-never-cached carve-out.
 struct CachedPartial {
   uint64_t epoch = 0;
+  std::vector<uint64_t> dim_epochs;
   QueryResult result;
 };
 // (canonical query fingerprint, partition) — the epoch lives in the
@@ -194,13 +200,24 @@ class CubrickServer : public sm::AppServer {
   // --- replicated dimension tables (Section II-B) ---
 
   // Installs (or overwrites) this server's full copy of a replicated
-  // dimension table.
+  // dimension table (the copy carries the master's epoch).
   void SetReplicatedTable(const ReplicatedTable& table);
-  // Applies entries to the local copy (creating it from `info` if absent).
+  // Applies entries to the local copy (creating it from `info` if
+  // absent). `epoch`, when nonzero, stamps the copy afterwards — the
+  // deployment draws ONE NextPartitionEpoch() per batch and passes it
+  // to every replica, so all copies agree.
   Status UpsertReplicatedEntries(const ReplicatedTableInfo& info,
-                                 const std::vector<DimensionEntry>& entries);
+                                 const std::vector<DimensionEntry>& entries,
+                                 uint64_t epoch = 0);
   void DropReplicatedTable(const std::string& name);
   const ReplicatedTable* GetReplicatedTable(const std::string& name) const;
+
+  // Shuffle-join stage 2 (planner.h): maps one bucket of stage-1 groups
+  // through this server's local dim replicas — raw join keys become
+  // attributes, join filters and inner-join drops apply, groups re-key.
+  // kUnavailable when a referenced dim is not resident here.
+  Result<QueryResult> MapShuffleGroups(const Query& query,
+                                       const QueryResult& bucket) const;
 
   // Executes the partial query for `partition` of query.table. With
   // scan_workers > 1 the partition's bricks are scanned morsel-parallel
@@ -220,13 +237,18 @@ class CubrickServer : public sm::AppServer {
   // `scan_path` selects the brick-scan implementation (vectorized
   // kernels by default; kInterpreted runs the row-at-a-time oracle —
   // differential tests pair it with CachePolicy::kBypass).
+  // `dims_override` (optional) backs the query's joins with the given
+  // tables instead of this server's resident replicas — the broadcast
+  // join strategy ships dim snapshots with the subquery and passes the
+  // decoded copies here.
   Result<PartialResult> ExecutePartial(
       const Query& query, uint32_t partition, int hop_budget = -1,
       const exec::CancelToken* cancel = nullptr,
       obs::TraceContext trace = {}, SimTime trace_time = -1,
       cache::CachePolicy cache_policy = cache::CachePolicy::kDefault,
       const std::string* fingerprint = nullptr,
-      exec::ScanPath scan_path = exec::ScanPath::kVectorized);
+      exec::ScanPath scan_path = exec::ScanPath::kVectorized,
+      const JoinContext* dims_override = nullptr);
 
   // Executes partials for several partitions of one query (the shards
   // this host owns), fanning the per-partition scans across the exec

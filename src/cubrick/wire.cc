@@ -209,6 +209,60 @@ Result<std::vector<ResultRow>> DecodeResultRows(net::WireReader& r) {
   return rows;
 }
 
+void EncodeReplicatedTable(net::WireWriter& w, const ReplicatedTable& table) {
+  w.Str(table.name());
+  w.U32(table.key_cardinality());
+  w.U32(static_cast<uint32_t>(table.attributes().size()));
+  for (const Dimension& attr : table.attributes()) {
+    w.Str(attr.name);
+    w.U32(attr.cardinality);
+    w.U32(attr.range_size);
+  }
+  w.U64(table.epoch());
+  w.U64(table.num_entries());
+  // Columns are implicitly attributes.size() x key_cardinality, so no
+  // counts: just the raw codes (kNoAttribute where unset).
+  for (size_t a = 0; a < table.attributes().size(); ++a) {
+    const uint32_t* column = table.column_data(static_cast<int>(a));
+    for (uint32_t k = 0; k < table.key_cardinality(); ++k) {
+      w.U32(column[k]);
+    }
+  }
+}
+
+Result<ReplicatedTable> DecodeReplicatedTable(net::WireReader& r) {
+  std::string name = r.Str();
+  const uint32_t key_cardinality = r.U32();
+  const uint32_t num_attrs = r.U32();
+  if (!r.CheckCount(num_attrs, 9)) return Malformed("dim attributes");
+  std::vector<Dimension> attrs;
+  attrs.reserve(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    Dimension attr;
+    attr.name = r.Str();
+    attr.cardinality = r.U32();
+    attr.range_size = r.U32();
+    attrs.push_back(std::move(attr));
+  }
+  const uint64_t epoch = r.U64();
+  const uint64_t num_entries = r.U64();
+  std::vector<std::vector<uint32_t>> columns;
+  columns.reserve(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    if (!r.CheckCount(key_cardinality, 4)) return Malformed("dim column");
+    std::vector<uint32_t> column;
+    column.reserve(key_cardinality);
+    for (uint32_t k = 0; k < key_cardinality; ++k) column.push_back(r.U32());
+    columns.push_back(std::move(column));
+  }
+  if (!r.ok()) return Malformed("dim snapshot");
+  ReplicatedTable table(std::move(name), key_cardinality, std::move(attrs));
+  table.set_epoch(epoch);
+  SCALEWALL_RETURN_IF_ERROR(table.RestoreColumns(
+      std::move(columns), static_cast<size_t>(num_entries)));
+  return table;
+}
+
 std::string EncodeSubqueryRequest(const SubqueryEnvelope& envelope) {
   net::WireWriter w;
   // The wire deadline is the *remaining budget*; the absolute deadline
@@ -221,6 +275,10 @@ std::string EncodeSubqueryRequest(const SubqueryEnvelope& envelope) {
   w.U8(static_cast<uint8_t>(envelope.scan_path));
   w.Str(envelope.fingerprint);
   w.I64(envelope.remaining_budget);
+  w.U32(static_cast<uint32_t>(envelope.dims.size()));
+  for (const ReplicatedTable& dim : envelope.dims) {
+    EncodeReplicatedTable(w, dim);
+  }
   w.Str(envelope.telemetry);
   return std::move(w).str();
 }
@@ -236,6 +294,14 @@ Result<SubqueryEnvelope> DecodeSubqueryRequest(std::string_view payload) {
   envelope.scan_path = static_cast<exec::ScanPath>(r.U8());
   envelope.fingerprint = r.Str();
   envelope.remaining_budget = r.I64();
+  const uint32_t num_dims = r.U32();
+  if (!r.CheckCount(num_dims, 24)) return Malformed("subquery dims");
+  envelope.dims.reserve(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    auto dim = DecodeReplicatedTable(r);
+    if (!dim.ok()) return dim.status();
+    envelope.dims.push_back(std::move(dim).value());
+  }
   envelope.telemetry = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "subquery request"));
   return envelope;
@@ -268,6 +334,125 @@ Result<PartialResult> DecodeSubqueryResponse(std::string_view payload,
   return partial;
 }
 
+std::string EncodeTreeMergeRequest(const TreeMergeEnvelope& envelope) {
+  net::WireWriter w;
+  Query query = envelope.query;
+  query.deadline = 0;  // remaining budget travels instead
+  EncodeQuery(w, query);
+  w.U32Vec(envelope.partitions);
+  w.U32Vec(envelope.servers);
+  w.I32(envelope.fanin);
+  w.U8(static_cast<uint8_t>(envelope.cache_policy));
+  w.U8(static_cast<uint8_t>(envelope.scan_path));
+  w.Str(envelope.fingerprint);
+  w.I64(envelope.remaining_budget);
+  w.U32(static_cast<uint32_t>(envelope.dims.size()));
+  for (const ReplicatedTable& dim : envelope.dims) {
+    EncodeReplicatedTable(w, dim);
+  }
+  w.Str(envelope.telemetry);
+  return std::move(w).str();
+}
+
+Result<TreeMergeEnvelope> DecodeTreeMergeRequest(std::string_view payload) {
+  net::WireReader r(payload);
+  TreeMergeEnvelope envelope;
+  auto query = DecodeQuery(r);
+  if (!query.ok()) return query.status();
+  envelope.query = std::move(query).value();
+  envelope.partitions = r.U32Vec();
+  envelope.servers = r.U32Vec();
+  envelope.fanin = r.I32();
+  envelope.cache_policy = static_cast<cache::CachePolicy>(r.U8());
+  envelope.scan_path = static_cast<exec::ScanPath>(r.U8());
+  envelope.fingerprint = r.Str();
+  envelope.remaining_budget = r.I64();
+  const uint32_t num_dims = r.U32();
+  if (!r.CheckCount(num_dims, 24)) return Malformed("tree merge dims");
+  envelope.dims.reserve(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    auto dim = DecodeReplicatedTable(r);
+    if (!dim.ok()) return dim.status();
+    envelope.dims.push_back(std::move(dim).value());
+  }
+  envelope.telemetry = r.Str();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "tree merge request"));
+  if (envelope.partitions.size() != envelope.servers.size()) {
+    return Malformed("tree merge assignments");
+  }
+  if (envelope.fanin < 2) return Malformed("tree merge fanin");
+  return envelope;
+}
+
+std::string EncodeTreeMergeResponse(const TreeMergeResult& merged,
+                                    std::string_view telemetry) {
+  net::WireWriter w;
+  EncodeQueryResult(w, merged.result);
+  w.U64Vec(merged.epochs);
+  EncodeIntVec(w, merged.forward_hops);
+  w.Str(telemetry);
+  return std::move(w).str();
+}
+
+Result<TreeMergeResult> DecodeTreeMergeResponse(std::string_view payload,
+                                                std::string* telemetry) {
+  net::WireReader r(payload);
+  TreeMergeResult merged;
+  auto result = DecodeQueryResult(r);
+  if (!result.ok()) return result.status();
+  merged.result = std::move(result).value();
+  merged.epochs = r.U64Vec();
+  merged.forward_hops = DecodeIntVec(r);
+  std::string telemetry_block = r.Str();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "tree merge response"));
+  if (telemetry != nullptr) *telemetry = std::move(telemetry_block);
+  return merged;
+}
+
+std::string EncodeShuffleMapRequest(const ShuffleMapEnvelope& envelope) {
+  net::WireWriter w;
+  Query query = envelope.query;
+  query.deadline = 0;
+  EncodeQuery(w, query);
+  EncodeQueryResult(w, envelope.bucket);
+  w.Str(envelope.telemetry);
+  return std::move(w).str();
+}
+
+Result<ShuffleMapEnvelope> DecodeShuffleMapRequest(std::string_view payload) {
+  net::WireReader r(payload);
+  ShuffleMapEnvelope envelope;
+  auto query = DecodeQuery(r);
+  if (!query.ok()) return query.status();
+  envelope.query = std::move(query).value();
+  auto bucket = DecodeQueryResult(r);
+  if (!bucket.ok()) return bucket.status();
+  envelope.bucket = std::move(bucket).value();
+  envelope.telemetry = r.Str();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "shuffle map request"));
+  return envelope;
+}
+
+std::string EncodeShuffleMapResponse(const QueryResult& mapped,
+                                     std::string_view telemetry) {
+  net::WireWriter w;
+  EncodeQueryResult(w, mapped);
+  w.Str(telemetry);
+  return std::move(w).str();
+}
+
+Result<QueryResult> DecodeShuffleMapResponse(std::string_view payload,
+                                             std::string* telemetry) {
+  net::WireReader r(payload);
+  auto result = DecodeQueryResult(r);
+  if (!result.ok()) return result.status();
+  QueryResult mapped = std::move(result).value();
+  std::string telemetry_block = r.Str();
+  SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "shuffle map response"));
+  if (telemetry != nullptr) *telemetry = std::move(telemetry_block);
+  return mapped;
+}
+
 std::string EncodeCoordinateRequest(const CoordinateEnvelope& envelope) {
   net::WireWriter w;
   Query query = envelope.query;
@@ -278,6 +463,8 @@ std::string EncodeCoordinateRequest(const CoordinateEnvelope& envelope) {
   w.Str(envelope.fingerprint);
   w.I64(envelope.remaining_budget);
   w.I64(envelope.dispatch_time);
+  w.U8(static_cast<uint8_t>(envelope.join_strategy));
+  w.I32(envelope.merge_fanin);
   w.Str(envelope.telemetry);
   return std::move(w).str();
 }
@@ -293,6 +480,8 @@ Result<CoordinateEnvelope> DecodeCoordinateRequest(std::string_view payload) {
   envelope.fingerprint = r.Str();
   envelope.remaining_budget = r.I64();
   envelope.dispatch_time = r.I64();
+  envelope.join_strategy = static_cast<JoinStrategy>(r.U8());
+  envelope.merge_fanin = r.I32();
   envelope.telemetry = r.Str();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "coordinate request"));
   return envelope;
@@ -306,6 +495,10 @@ std::string EncodeCoordinateResponse(const DistributedOutcome& outcome,
   w.I32(outcome.fanout);
   w.U32(outcome.num_partitions);
   w.U64Vec(outcome.partition_epochs);
+  w.U64Vec(outcome.dim_epochs);
+  w.U8(static_cast<uint8_t>(outcome.strategy));
+  w.I32(outcome.merge_fanin);
+  w.I32(outcome.tree_depth);
   w.U32(outcome.failed_server);
   w.I64(outcome.subquery_retries);
   w.I64(outcome.hedges_fired);
@@ -326,6 +519,10 @@ Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload,
   outcome.fanout = r.I32();
   outcome.num_partitions = r.U32();
   outcome.partition_epochs = r.U64Vec();
+  outcome.dim_epochs = r.U64Vec();
+  outcome.strategy = static_cast<JoinStrategy>(r.U8());
+  outcome.merge_fanin = r.I32();
+  outcome.tree_depth = r.I32();
   outcome.failed_server = r.U32();
   outcome.subquery_retries = static_cast<int>(r.I64());
   outcome.hedges_fired = static_cast<int>(r.I64());
@@ -341,17 +538,24 @@ Result<DistributedOutcome> DecodeCoordinateResponse(std::string_view payload,
   return outcome;
 }
 
-std::string EncodeEpochRequest(const std::string& table) {
+std::string EncodeEpochRequest(const EpochProbe& probe) {
   net::WireWriter w;
-  w.Str(table);
+  w.Str(probe.table);
+  w.U32(static_cast<uint32_t>(probe.dims.size()));
+  for (const std::string& dim : probe.dims) w.Str(dim);
   return std::move(w).str();
 }
 
-Result<std::string> DecodeEpochRequest(std::string_view payload) {
+Result<EpochProbe> DecodeEpochRequest(std::string_view payload) {
   net::WireReader r(payload);
-  std::string table = r.Str();
+  EpochProbe probe;
+  probe.table = r.Str();
+  const uint32_t num_dims = r.U32();
+  if (!r.CheckCount(num_dims, 4)) return Malformed("epoch request dims");
+  probe.dims.reserve(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) probe.dims.push_back(r.Str());
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "epoch request"));
-  return table;
+  return probe;
 }
 
 std::string EncodeEpochResponse(const std::vector<uint64_t>& epochs) {
@@ -378,6 +582,8 @@ std::string EncodeClientQuery(const QueryRequest& request) {
   w.U8(static_cast<uint8_t>(request.priority));
   w.U8(static_cast<uint8_t>(request.scan_path));
   w.Bool(request.profile);
+  w.U8(static_cast<uint8_t>(request.join_strategy));
+  w.I32(request.merge_fanin);
   return std::move(w).str();
 }
 
@@ -395,6 +601,8 @@ Result<QueryRequest> DecodeClientQuery(std::string_view payload) {
   request.priority = static_cast<admit::Priority>(r.U8());
   request.scan_path = static_cast<exec::ScanPath>(r.U8());
   request.profile = r.Bool();
+  request.join_strategy = static_cast<JoinStrategy>(r.U8());
+  request.merge_fanin = r.I32();
   SCALEWALL_RETURN_IF_ERROR(CheckExhausted(r, "client query"));
   return request;
 }

@@ -56,6 +56,14 @@ Result<QueryResult> DecodeQueryResult(net::WireReader& r);
 void EncodeResultRows(net::WireWriter& w, const std::vector<ResultRow>& rows);
 Result<std::vector<ResultRow>> DecodeResultRows(net::WireReader& r);
 
+// Full dimension-table snapshot: name, key domain, attribute schema,
+// content epoch, entry count and the raw columns. This is what a
+// broadcast join ships — the receiving server joins against the
+// snapshot instead of its local replica, so a region that never
+// provisioned the dim can still execute the plan.
+void EncodeReplicatedTable(net::WireWriter& w, const ReplicatedTable& table);
+Result<ReplicatedTable> DecodeReplicatedTable(net::WireReader& r);
+
 // --- hop envelopes ---
 
 // coordinator -> partition host. `remaining_budget` (microseconds of
@@ -68,6 +76,9 @@ struct SubqueryEnvelope {
   exec::ScanPath scan_path = exec::ScanPath::kVectorized;
   std::string fingerprint;  // "" = none precomputed
   SimDuration remaining_budget = 0;
+  // Broadcast-join dim snapshots, one per Query::joins entry (empty =
+  // join against the server's local replicas, the replicated path).
+  std::vector<ReplicatedTable> dims;
   // Opaque trace-context block (net::EncodeTraceContext); "" = untraced.
   std::string telemetry;
 };
@@ -83,7 +94,67 @@ std::string EncodeSubqueryResponse(const PartialResult& partial,
 Result<PartialResult> DecodeSubqueryResponse(std::string_view payload,
                                              std::string* telemetry = nullptr);
 
+// coordinator -> aggregator server: merge a subtree of partition
+// partials. `partitions`/`servers` are parallel arrays — the
+// coordinator's already-resolved assignments, shipped so aggregators
+// never re-resolve (a divergent discovery view cannot split the tree).
+// The aggregator recursively chunks its range by `fanin`, executes
+// local leaves directly, forwards remote leaves as subqueries and
+// sub-chunks as nested tree merges, then folds everything in ascending
+// partition order — the same fixed order a flat merge uses, which is
+// what keeps tree and flat results byte-identical (DESIGN.md §15).
+struct TreeMergeEnvelope {
+  Query query;
+  std::vector<uint32_t> partitions;       // ascending partition ids
+  std::vector<uint32_t> servers;          // resolved host per partition
+  int fanin = 2;                          // k of the k-ary tree
+  cache::CachePolicy cache_policy = cache::CachePolicy::kDefault;
+  exec::ScanPath scan_path = exec::ScanPath::kVectorized;
+  std::string fingerprint;  // "" = none precomputed
+  SimDuration remaining_budget = 0;
+  // Broadcast-join dim snapshots, forwarded down the tree to the leaf
+  // subqueries (empty = replicated/shuffle strategies).
+  std::vector<ReplicatedTable> dims;
+  // Opaque trace-context block (net::EncodeTraceContext); "" = untraced.
+  std::string telemetry;
+};
+std::string EncodeTreeMergeRequest(const TreeMergeEnvelope& envelope);
+Result<TreeMergeEnvelope> DecodeTreeMergeRequest(std::string_view payload);
+
+// The subtree's merged partial plus per-leaf metadata aligned with the
+// request's `partitions`: freshness epochs and forwarding-hop counts
+// (the coordinator's timing model charges each leaf's forward hops).
+struct TreeMergeResult {
+  QueryResult result;
+  std::vector<uint64_t> epochs;
+  std::vector<int> forward_hops;
+};
+std::string EncodeTreeMergeResponse(const TreeMergeResult& merged,
+                                    std::string_view telemetry = {});
+Result<TreeMergeResult> DecodeTreeMergeResponse(
+    std::string_view payload, std::string* telemetry = nullptr);
+
+// coordinator -> dim-replica host: stage 2 of a shuffle join. `bucket`
+// holds groups keyed by [plain dims..., raw join keys...]; the handler
+// maps the raw keys through its local dim replicas (join filters and
+// attribute grouping applied there) and returns the joined groups.
+struct ShuffleMapEnvelope {
+  Query query;  // the ORIGINAL join query (joins drive the mapping)
+  QueryResult bucket;
+  // Opaque trace-context block (net::EncodeTraceContext); "" = untraced.
+  std::string telemetry;
+};
+std::string EncodeShuffleMapRequest(const ShuffleMapEnvelope& envelope);
+Result<ShuffleMapEnvelope> DecodeShuffleMapRequest(std::string_view payload);
+std::string EncodeShuffleMapResponse(const QueryResult& mapped,
+                                     std::string_view telemetry = {});
+Result<QueryResult> DecodeShuffleMapResponse(std::string_view payload,
+                                             std::string* telemetry = nullptr);
+
 // proxy -> coordinator: run the whole in-region distributed attempt.
+// `join_strategy` / `merge_fanin` forward the client's plan hints; the
+// receiving coordinator re-plans with them (costs come from *its*
+// transport stats, the ones that matter for its fan-out).
 struct CoordinateEnvelope {
   Query query;
   cache::CachePolicy cache_policy = cache::CachePolicy::kDefault;
@@ -91,6 +162,8 @@ struct CoordinateEnvelope {
   std::string fingerprint;
   SimDuration remaining_budget = 0;  // micros left, 0 = unlimited
   SimTime dispatch_time = -1;        // sim-time anchor for spans
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  int merge_fanin = 0;  // 0 = planner's choice
   // Opaque trace-context block (net::EncodeTraceContext); "" = untraced.
   std::string telemetry;
 };
@@ -107,8 +180,16 @@ Result<DistributedOutcome> DecodeCoordinateResponse(
     std::string_view payload, std::string* telemetry = nullptr);
 
 // proxy -> region: collect partition epochs (merged-cache validation).
-std::string EncodeEpochRequest(const std::string& table);
-Result<std::string> DecodeEpochRequest(std::string_view payload);
+// `dims` names the joined dimension tables (one per join, duplicates
+// preserved) whose epochs are appended after the partition epochs —
+// the layout DistributedOutcome reports, so a cached join result
+// validates against the exact vector it was stored with.
+struct EpochProbe {
+  std::string table;
+  std::vector<std::string> dims;
+};
+std::string EncodeEpochRequest(const EpochProbe& probe);
+Result<EpochProbe> DecodeEpochRequest(std::string_view payload);
 std::string EncodeEpochResponse(const std::vector<uint64_t>& epochs);
 Result<std::vector<uint64_t>> DecodeEpochResponse(std::string_view payload);
 

@@ -24,6 +24,14 @@ std::string_view FrameTypeName(FrameType type) {
       return "client_query";
     case FrameType::kClientRows:
       return "client_rows";
+    case FrameType::kTreeMergeRequest:
+      return "tree_merge_request";
+    case FrameType::kTreeMergeResponse:
+      return "tree_merge_response";
+    case FrameType::kShuffleMapRequest:
+      return "shuffle_map_request";
+    case FrameType::kShuffleMapResponse:
+      return "shuffle_map_response";
     case FrameType::kError:
       return "error";
   }

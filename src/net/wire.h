@@ -42,7 +42,7 @@ namespace scalewall::net {
 // Bumped whenever the frame layout or any payload encoding changes
 // incompatibly. Decoders reject other versions outright: a mixed-version
 // cluster fails loudly at the first frame instead of misdecoding.
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 
 // Hard cap on one frame's payload. Large enough for any merged result
 // the coordinator ships today; small enough that a garbage length
@@ -69,6 +69,14 @@ enum class FrameType : uint8_t {
   // client -> proxy node: a full QueryRequest; response carries rows.
   kClientQuery = 16,
   kClientRows = 17,
+  // coordinator -> aggregator server: merge a subtree of partition
+  // partials (k-ary tree merge) and return the combined AggStates.
+  kTreeMergeRequest = 18,
+  kTreeMergeResponse = 19,
+  // coordinator -> dim-replica host: map a shuffle bucket's raw join
+  // keys to dimension attributes (stage 2 of a shuffle join).
+  kShuffleMapRequest = 20,
+  kShuffleMapResponse = 21,
   // A handler-side failure: payload is a wire-encoded Status.
   kError = 63,
 };

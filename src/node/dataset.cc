@@ -45,6 +45,35 @@ std::vector<cubrick::Row> GenerateRows(const DatasetOptions& options) {
   return rows;
 }
 
+const std::string& DatasetDimTable() {
+  static const std::string kTable = "product_dim";
+  return kTable;
+}
+
+cubrick::ReplicatedTable BuildDimTable() {
+  cubrick::ReplicatedTable dim(DatasetDimTable(), /*key_cardinality=*/64,
+                               {{"category", /*cardinality=*/8,
+                                 /*range_size=*/2}});
+  for (uint32_t k = 0; k < 64; ++k) {
+    if (k % 13 == 0) continue;  // unset keys: inner-join drops
+    dim.Set({k, {(k * 7 + 3) % 8}});
+  }
+  dim.set_epoch(1);
+  return dim;
+}
+
+const cubrick::Catalog& DatasetCatalog() {
+  static const cubrick::Catalog* catalog = [] {
+    auto* c = new cubrick::Catalog(/*max_shards=*/64);
+    c->CreateTable(DatasetTable(), DatasetSchema());
+    c->CreateReplicatedTable(DatasetDimTable(), /*key_cardinality=*/64,
+                             {{"category", /*cardinality=*/8,
+                               /*range_size=*/2}});
+    return c;
+  }();
+  return *catalog;
+}
+
 uint32_t PartitionForRow(const std::string& table, const cubrick::Row& row,
                          uint32_t num_partitions) {
   uint64_t h = HashString(table);
@@ -72,12 +101,21 @@ Result<cubrick::TablePartition> BuildPartition(const DatasetOptions& options,
 Result<std::vector<cubrick::ResultRow>> ExecuteLocal(
     const DatasetOptions& options, const cubrick::Query& query) {
   SCALEWALL_RETURN_IF_ERROR(query.Validate(DatasetSchema()));
+  const cubrick::ReplicatedTable dim = BuildDimTable();
+  cubrick::JoinContext join;
+  for (const cubrick::Join& j : query.joins) {
+    if (j.dimension_table != DatasetDimTable()) {
+      return Status::NotFound("unknown dimension table " + j.dimension_table);
+    }
+    join.tables.push_back(&dim);
+  }
+  const cubrick::JoinContext* jctx = query.joins.empty() ? nullptr : &join;
   cubrick::QueryResult merged(query.aggregations.size());
   for (uint32_t p = 0; p < options.num_partitions; ++p) {
     auto part = BuildPartition(options, p);
     SCALEWALL_RETURN_IF_ERROR(part.status());
     cubrick::QueryResult partial(query.aggregations.size());
-    SCALEWALL_RETURN_IF_ERROR(part->Execute(query, partial));
+    SCALEWALL_RETURN_IF_ERROR(part->Execute(query, partial, jctx));
     merged.Merge(partial);
   }
   return cubrick::MaterializeRows(merged, query);

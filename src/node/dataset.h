@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "cubrick/catalog.h"
 #include "cubrick/partition.h"
 #include "cubrick/query.h"
+#include "cubrick/replicated_table.h"
 #include "cubrick/schema.h"
 
 namespace scalewall::node {
@@ -34,6 +36,20 @@ struct DatasetOptions {
 // product(64), metrics spend/clicks.
 const std::string& DatasetTable();
 cubrick::TableSchema DatasetSchema();
+
+// Replicated dimension table every role rebuilds identically:
+// "product_dim" maps the product key domain [0, 64) to a "category"
+// attribute (cardinality 8). Keys divisible by 13 are deliberately
+// unset so join queries exercise the inner-join drop path. The content
+// epoch is fixed at 1 — node processes never draw from the
+// process-global epoch counter (each process has its own), a fixed
+// stamp is what keeps cache validation coherent across the cluster.
+const std::string& DatasetDimTable();
+cubrick::ReplicatedTable BuildDimTable();
+
+// Catalog holding the "ads" table and "product_dim" — what the SQL
+// front-end needs to resolve JOIN clauses in the client/oracle roles.
+const cubrick::Catalog& DatasetCatalog();
 
 // All rows of the dataset, in generation order.
 std::vector<cubrick::Row> GenerateRows(const DatasetOptions& options);
@@ -54,7 +70,10 @@ Result<cubrick::TablePartition> BuildPartition(const DatasetOptions& options,
 
 // Oracle: executes `query` directly against every partition, merging
 // partials in ascending partition order — the coordinator's merge order
-// — and materializing with the query's ORDER BY / LIMIT.
+// — and materializing with the query's ORDER BY / LIMIT. Join queries
+// probe BuildDimTable() replicas, exactly as the servers do, so the
+// oracle stays the byte-level reference for every join strategy whose
+// aggregation states are exact (see DESIGN.md §15 on float sums).
 Result<std::vector<cubrick::ResultRow>> ExecuteLocal(
     const DatasetOptions& options, const cubrick::Query& query);
 

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <utility>
-#include <vector>
 
 #include "cubrick/net_service.h"
+#include "cubrick/planner.h"
 #include "net/event_loop.h"
 
 namespace scalewall::node {
@@ -75,8 +75,46 @@ void InstallAdminRoutes(net::HttpAdminServer* admin,
 
 }  // namespace
 
-ServerCore::ServerCore(NodeOptions options, obs::MetricsRegistry* metrics)
-    : options_(std::move(options)), decode_errors_(metrics) {}
+namespace {
+
+// Resolves the join inputs for `query` on a server: broadcast snapshots
+// shipped in the envelope win; otherwise every join must reference the
+// local "product_dim" replica. Returns null (no join context) for
+// joinless queries. `snapshot_ctx`/`local_ctx` provide the storage and
+// must outlive the returned pointer.
+Result<const cubrick::JoinContext*> ResolveJoins(
+    const cubrick::Query& query,
+    const std::vector<cubrick::ReplicatedTable>& dims,
+    const cubrick::ReplicatedTable& local_dim,
+    cubrick::JoinContext* snapshot_ctx, cubrick::JoinContext* local_ctx) {
+  if (query.joins.empty()) return static_cast<const cubrick::JoinContext*>(nullptr);
+  if (!dims.empty()) {
+    if (dims.size() != query.joins.size()) {
+      return Status::InvalidArgument(
+          "broadcast dim snapshots do not match the query's joins");
+    }
+    for (const cubrick::ReplicatedTable& t : dims) {
+      snapshot_ctx->tables.push_back(&t);
+    }
+    return static_cast<const cubrick::JoinContext*>(snapshot_ctx);
+  }
+  for (const cubrick::Join& j : query.joins) {
+    if (j.dimension_table != DatasetDimTable()) {
+      return Status::NotFound("unknown dimension table " + j.dimension_table);
+    }
+    local_ctx->tables.push_back(&local_dim);
+  }
+  return static_cast<const cubrick::JoinContext*>(local_ctx);
+}
+
+}  // namespace
+
+ServerCore::ServerCore(NodeOptions options, obs::MetricsRegistry* metrics,
+                       net::Transport* transport)
+    : options_(std::move(options)),
+      transport_(transport),
+      decode_errors_(metrics),
+      dim_(BuildDimTable()) {}
 
 Status ServerCore::LoadPartitions() {
   for (uint32_t p = 0; p < options_.dataset.num_partitions; ++p) {
@@ -106,6 +144,10 @@ Result<net::Message> ServerCore::Handle(const net::Message& request) {
       }
       SCALEWALL_RETURN_IF_ERROR(
           envelope->query.Validate(it->second.schema()));
+      cubrick::JoinContext snapshot_ctx, local_ctx;
+      auto jctx = ResolveJoins(envelope->query, envelope->dims, dim_,
+                               &snapshot_ctx, &local_ctx);
+      SCALEWALL_RETURN_IF_ERROR(jctx.status());
 
       // Telemetry is advisory: a malformed trace-context block is
       // counted and dropped, and the subquery still runs untraced.
@@ -129,7 +171,7 @@ Result<net::Message> ServerCore::Handle(const net::Message& request) {
       cubrick::PartialResult partial;
       partial.result = cubrick::QueryResult(envelope->query.aggregations.size());
       SCALEWALL_RETURN_IF_ERROR(
-          it->second.Execute(envelope->query, partial.result));
+          it->second.Execute(envelope->query, partial.result, *jctx));
       partial.epoch = it->second.epoch();
 
       std::string telemetry;
@@ -145,14 +187,159 @@ Result<net::Message> ServerCore::Handle(const net::Message& request) {
       return net::Message{net::FrameType::kSubqueryResponse,
                           cwire::EncodeSubqueryResponse(partial, telemetry)};
     }
+    case net::FrameType::kTreeMergeRequest: {
+      auto envelope = cwire::DecodeTreeMergeRequest(request.payload);
+      if (!envelope.ok()) return envelope.status();
+      const cwire::TreeMergeEnvelope& env = *envelope;
+      if (env.query.table != DatasetTable()) {
+        return Status::NotFound("unknown table " + env.query.table);
+      }
+      SCALEWALL_RETURN_IF_ERROR(env.query.Validate(DatasetSchema()));
+      cubrick::JoinContext snapshot_ctx, local_ctx;
+      auto jctx =
+          ResolveJoins(env.query, env.dims, dim_, &snapshot_ctx, &local_ctx);
+      SCALEWALL_RETURN_IF_ERROR(jctx.status());
+
+      const size_t n = env.partitions.size();
+      cwire::TreeMergeResult merged;
+      merged.result = cubrick::QueryResult(env.query.aggregations.size());
+      merged.epochs.assign(n, 0);
+      merged.forward_hops.assign(n, 0);
+
+      // Recursive contiguous chunking by TreeChunkSize — the one
+      // function every layer chunks with, so the tree shape (and the
+      // fixed ascending fold order) is identical across processes.
+      // Local leaves scan directly; remote leaves forward as
+      // subqueries; multi-partition sub-chunks whose first partition
+      // lives elsewhere forward as nested tree merges.
+      std::function<Status(size_t, size_t)> run =
+          [&](size_t lo, size_t hi) -> Status {
+        const size_t chunk = static_cast<size_t>(cubrick::TreeChunkSize(
+            static_cast<int>(hi - lo), env.fanin));
+        for (size_t clo = lo; clo < hi; clo += chunk) {
+          const size_t chi = std::min(hi, clo + chunk);
+          if (chi - clo == 1) {
+            const uint32_t p = env.partitions[clo];
+            if (env.servers[clo] == options_.server_id) {
+              auto it = partitions_.find(p);
+              if (it == partitions_.end()) {
+                return Status::NotFound(
+                    "partition " + std::to_string(p) +
+                    " not hosted on server " +
+                    std::to_string(options_.server_id));
+              }
+              cubrick::QueryResult partial(env.query.aggregations.size());
+              SCALEWALL_RETURN_IF_ERROR(
+                  it->second.Execute(env.query, partial, *jctx));
+              merged.result.Merge(partial);
+              merged.epochs[clo] = it->second.epoch();
+            } else {
+              if (transport_ == nullptr) {
+                return Status::FailedPrecondition(
+                    "tree merge (leaf) forwarding requires a transport");
+              }
+              cwire::SubqueryEnvelope sub;
+              sub.query = env.query;
+              sub.partition = p;
+              sub.cache_policy = env.cache_policy;
+              sub.scan_path = env.scan_path;
+              sub.fingerprint = env.fingerprint;
+              sub.remaining_budget = env.remaining_budget;
+              sub.dims = env.dims;
+              auto response = transport_->Call(
+                  cubrick::NodePeerName(env.servers[clo]),
+                  net::Message{net::FrameType::kSubqueryRequest,
+                               cwire::EncodeSubqueryRequest(sub)},
+                  {});
+              if (!response.ok()) return response.status();
+              if (response->type != net::FrameType::kSubqueryResponse) {
+                return Status::Internal(
+                    "unexpected frame type in subquery response: " +
+                    std::string(net::FrameTypeName(response->type)));
+              }
+              auto partial = cwire::DecodeSubqueryResponse(response->payload);
+              if (!partial.ok()) return partial.status();
+              merged.result.Merge(partial->result);
+              merged.epochs[clo] = partial->epoch;
+              merged.forward_hops[clo] = partial->forward_hops + 1;
+            }
+          } else if (env.servers[clo] == options_.server_id) {
+            SCALEWALL_RETURN_IF_ERROR(run(clo, chi));
+          } else {
+            if (transport_ == nullptr) {
+              return Status::FailedPrecondition(
+                  "tree merge (subtree) forwarding requires a transport");
+            }
+            cwire::TreeMergeEnvelope sub = env;
+            sub.partitions.assign(env.partitions.begin() + clo,
+                                  env.partitions.begin() + chi);
+            sub.servers.assign(env.servers.begin() + clo,
+                               env.servers.begin() + chi);
+            sub.telemetry.clear();
+            auto response = transport_->Call(
+                cubrick::NodePeerName(env.servers[clo]),
+                net::Message{net::FrameType::kTreeMergeRequest,
+                             cwire::EncodeTreeMergeRequest(sub)},
+                {});
+            if (!response.ok()) return response.status();
+            if (response->type != net::FrameType::kTreeMergeResponse) {
+              return Status::Internal(
+                  "unexpected frame type in tree merge response: " +
+                  std::string(net::FrameTypeName(response->type)));
+            }
+            auto subres = cwire::DecodeTreeMergeResponse(response->payload);
+            if (!subres.ok()) return subres.status();
+            if (subres->epochs.size() != chi - clo ||
+                subres->forward_hops.size() != chi - clo) {
+              return Status::Internal(
+                  "tree merge response misaligned with request");
+            }
+            merged.result.Merge(subres->result);
+            for (size_t i = clo; i < chi; ++i) {
+              merged.epochs[i] = subres->epochs[i - clo];
+              merged.forward_hops[i] = subres->forward_hops[i - clo];
+            }
+          }
+        }
+        return Status::Ok();
+      };
+      SCALEWALL_RETURN_IF_ERROR(run(0, n));
+      return net::Message{net::FrameType::kTreeMergeResponse,
+                          cwire::EncodeTreeMergeResponse(merged)};
+    }
+    case net::FrameType::kShuffleMapRequest: {
+      auto envelope = cwire::DecodeShuffleMapRequest(request.payload);
+      if (!envelope.ok()) return envelope.status();
+      cubrick::JoinContext jctx;
+      for (const cubrick::Join& j : envelope->query.joins) {
+        if (j.dimension_table != DatasetDimTable()) {
+          return Status::NotFound("unknown dimension table " +
+                                  j.dimension_table);
+        }
+        jctx.tables.push_back(&dim_);
+      }
+      auto mapped =
+          cubrick::ApplyShuffleMapping(envelope->query, jctx, envelope->bucket);
+      if (!mapped.ok()) return mapped.status();
+      return net::Message{net::FrameType::kShuffleMapResponse,
+                          cwire::EncodeShuffleMapResponse(*mapped)};
+    }
     case net::FrameType::kEpochRequest: {
-      auto table = cwire::DecodeEpochRequest(request.payload);
-      if (!table.ok()) return table.status();
-      if (*table != DatasetTable()) {
-        return Status::NotFound("unknown table " + *table);
+      auto probe = cwire::DecodeEpochRequest(request.payload);
+      if (!probe.ok()) return probe.status();
+      if (probe->table != DatasetTable()) {
+        return Status::NotFound("unknown table " + probe->table);
       }
       std::vector<uint64_t> epochs(options_.dataset.num_partitions, 0);
       for (const auto& [p, part] : partitions_) epochs[p] = part.epoch();
+      // Dim epochs append after the partition epochs — the layout the
+      // merged-result cache validates join entries against.
+      for (const std::string& d : probe->dims) {
+        if (d != DatasetDimTable()) {
+          return Status::NotFound("unknown dimension table " + d);
+        }
+        epochs.push_back(dim_.epoch());
+      }
       return net::Message{net::FrameType::kEpochResponse,
                           cwire::EncodeEpochResponse(epochs)};
     }
@@ -195,6 +382,22 @@ Result<net::Message> ProxyCore::Handle(const net::Message& request) {
                                  ? query_request.deadline
                                  : query.deadline;
 
+  // Resolve the request's plan. The node proxy keeps no cost model, so
+  // kAuto degrades to the seed strategy; joinless queries are always
+  // kReplicated (there is nothing to broadcast or shuffle).
+  for (const cubrick::Join& j : query.joins) {
+    if (j.dimension_table != DatasetDimTable()) {
+      return Status::NotFound("unknown dimension table " + j.dimension_table);
+    }
+  }
+  cubrick::JoinStrategy strategy = query_request.join_strategy;
+  if (query.joins.empty() || strategy == cubrick::JoinStrategy::kAuto) {
+    strategy = cubrick::JoinStrategy::kReplicated;
+  }
+  const uint32_t num_partitions = options_.dataset.num_partitions;
+  const int fanin = query_request.merge_fanin;
+  const bool tree = fanin >= 2 && num_partitions > 1;
+
   // Root span of the stitched trace. Every annotation below is a pure
   // function of request + data — the canonical tree must come out
   // byte-identical whether this core runs over sim or real sockets.
@@ -206,86 +409,54 @@ Result<net::Message> ProxyCore::Handle(const net::Message& request) {
       root.Annotate("tenant", query_request.tenant_id);
     }
     if (budget > 0) root.Annotate("deadline", std::to_string(budget));
-  }
-
-  // Fan out one subquery per partition, all in flight at once; the
-  // handler worker blocks while the loop thread services the calls.
-  const uint32_t num_partitions = options_.dataset.num_partitions;
-  struct Fanout {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
-    std::vector<std::optional<Result<net::Message>>> responses;
-  };
-  auto fanout = std::make_shared<Fanout>();
-  fanout->remaining = num_partitions;
-  fanout->responses.resize(num_partitions);
-  std::set<uint32_t> servers;
-  std::vector<obs::TraceContext> sub_spans(num_partitions);
-  for (uint32_t p = 0; p < num_partitions; ++p) {
-    cwire::SubqueryEnvelope envelope;
-    envelope.query = query;
-    envelope.partition = p;
-    envelope.cache_policy = query_request.cache_policy;
-    envelope.scan_path = query_request.scan_path;
-    envelope.remaining_budget = budget;
-    const uint32_t server = ServerForPartition(p, options_.num_servers);
-    servers.insert(server);
-    if (traced) {
-      sub_spans[p] =
-          root.Child("subquery p" + std::to_string(p), start_micros);
-      sub_spans[p].Annotate("server", cubrick::NodePeerName(server));
-      net::TraceContextBlock tctx;
-      tctx.want_spans = true;
-      tctx.trace_id = root.trace;
-      tctx.span_id = sub_spans[p].span;
-      tctx.origin = "proxy";
-      envelope.telemetry = net::EncodeTraceContext(tctx);
-    }
-    net::CallOptions call;
-    call.timeout = budget;  // 0 = the transport's default timeout
-    transport_->CallAsync(
-        cubrick::NodePeerName(server),
-        net::Message{net::FrameType::kSubqueryRequest,
-                     cwire::EncodeSubqueryRequest(envelope)},
-        call, [fanout, p](Result<net::Message> response) {
-          std::lock_guard<std::mutex> lock(fanout->mu);
-          fanout->responses[p] = std::move(response);
-          if (--fanout->remaining == 0) fanout->cv.notify_all();
-        });
-  }
-  {
-    std::unique_lock<std::mutex> lock(fanout->mu);
-    fanout->cv.wait(lock, [&] { return fanout->remaining == 0; });
-  }
-
-  // Merge in ascending partition order — the coordinator's order, which
-  // is what makes the merged states reproducible. Span batches are
-  // grafted in the same pass (same deterministic order).
-  cubrick::QueryResult merged(query.aggregations.size());
-  for (uint32_t p = 0; p < num_partitions; ++p) {
-    Result<net::Message>& response = *fanout->responses[p];
-    if (!response.ok()) return response.status();
-    if (response->type != net::FrameType::kSubqueryResponse) {
-      return Status::Internal(
-          "unexpected frame type in subquery response: " +
-          std::string(net::FrameTypeName(response->type)));
-    }
-    std::string telemetry;
-    auto partial = cwire::DecodeSubqueryResponse(response->payload, &telemetry);
-    if (!partial.ok()) return partial.status();
-    merged.Merge(partial->result);
-    if (traced) {
-      std::vector<obs::SpanRecord> batch;
-      const Status tstatus = net::DecodeSpanBatch(telemetry, &batch);
-      if (!tstatus.ok()) {
-        // Advisory: count, drop, keep the query (and the peer) alive.
-        decode_errors_.Bump(tstatus);
-      } else if (!batch.empty()) {
-        sink_.Graft(sub_spans[p], batch);
+    if (strategy != cubrick::JoinStrategy::kReplicated || tree) {
+      // Non-seed plans only, so seed-path canonical traces (the ones
+      // node_telemetry_test diffs against the sim) are unchanged.
+      obs::TraceContext plan = root.Child("plan", start_micros);
+      plan.Annotate("strategy",
+                    std::string(cubrick::JoinStrategyName(strategy)));
+      plan.Annotate("merge", tree ? "tree" : "flat");
+      if (tree) {
+        plan.Annotate("fanin", std::to_string(fanin));
+        plan.Annotate("depth",
+                      std::to_string(cubrick::TreeDepth(
+                          static_cast<int>(num_partitions), fanin)));
       }
-      sub_spans[p].End(net::EventLoop::NowMicros());
+      plan.End(start_micros);
     }
+  }
+
+  // Broadcast ships one dim snapshot per join with every subquery;
+  // shuffle scans stage 1 with joins stripped and raw keys appended.
+  std::vector<cubrick::ReplicatedTable> dims;
+  if (strategy == cubrick::JoinStrategy::kBroadcast) {
+    for (size_t i = 0; i < query.joins.size(); ++i) {
+      dims.push_back(BuildDimTable());
+    }
+  }
+  const bool shuffle = strategy == cubrick::JoinStrategy::kShuffle;
+  const cubrick::Query exec_query =
+      shuffle ? cubrick::MakeShuffleScanQuery(query) : query;
+
+  cubrick::QueryResult scanned(exec_query.aggregations.size());
+  std::set<uint32_t> servers;
+  SCALEWALL_RETURN_IF_ERROR(
+      tree ? FanOutTree(query_request, exec_query, dims, fanin, budget,
+                        &scanned, &servers)
+           : FanOutFlat(query_request, exec_query, dims, budget,
+                        traced ? &root : nullptr, start_micros, &scanned,
+                        &servers));
+
+  cubrick::QueryResult merged(query.aggregations.size());
+  if (shuffle) {
+    SCALEWALL_RETURN_IF_ERROR(ShuffleMap(query, scanned, &merged, &servers));
+    // Scan counters come from stage 1 — the mapping carries none.
+    merged.rows_scanned = scanned.rows_scanned;
+    merged.bricks_scanned = scanned.bricks_scanned;
+    merged.bricks_pruned = scanned.bricks_pruned;
+    merged.bricks_rle_skipped = scanned.bricks_rle_skipped;
+  } else {
+    merged = std::move(scanned);
   }
 
   obs::TraceContext merge_span;
@@ -320,28 +491,278 @@ Result<net::Message> ProxyCore::Handle(const net::Message& request) {
                       cwire::EncodeClientRows(rows)};
 }
 
+Status ProxyCore::FanOutFlat(const cubrick::QueryRequest& request,
+                             const cubrick::Query& exec_query,
+                             const std::vector<cubrick::ReplicatedTable>& dims,
+                             SimDuration budget, obs::TraceContext* root,
+                             int64_t start_micros,
+                             cubrick::QueryResult* merged,
+                             std::set<uint32_t>* servers) {
+  // Fan out one subquery per partition, all in flight at once; the
+  // handler worker blocks while the loop thread services the calls.
+  const uint32_t num_partitions = options_.dataset.num_partitions;
+  struct Fanout {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    std::vector<std::optional<Result<net::Message>>> responses;
+  };
+  auto fanout = std::make_shared<Fanout>();
+  fanout->remaining = num_partitions;
+  fanout->responses.resize(num_partitions);
+  std::vector<obs::TraceContext> sub_spans(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    cwire::SubqueryEnvelope envelope;
+    envelope.query = exec_query;
+    envelope.partition = p;
+    envelope.cache_policy = request.cache_policy;
+    envelope.scan_path = request.scan_path;
+    envelope.remaining_budget = budget;
+    envelope.dims = dims;
+    const uint32_t server = ServerForPartition(p, options_.num_servers);
+    servers->insert(server);
+    if (root != nullptr) {
+      sub_spans[p] =
+          root->Child("subquery p" + std::to_string(p), start_micros);
+      sub_spans[p].Annotate("server", cubrick::NodePeerName(server));
+      net::TraceContextBlock tctx;
+      tctx.want_spans = true;
+      tctx.trace_id = root->trace;
+      tctx.span_id = sub_spans[p].span;
+      tctx.origin = "proxy";
+      envelope.telemetry = net::EncodeTraceContext(tctx);
+    }
+    net::CallOptions call;
+    call.timeout = budget;  // 0 = the transport's default timeout
+    transport_->CallAsync(
+        cubrick::NodePeerName(server),
+        net::Message{net::FrameType::kSubqueryRequest,
+                     cwire::EncodeSubqueryRequest(envelope)},
+        call, [fanout, p](Result<net::Message> response) {
+          std::lock_guard<std::mutex> lock(fanout->mu);
+          fanout->responses[p] = std::move(response);
+          if (--fanout->remaining == 0) fanout->cv.notify_all();
+        });
+  }
+  {
+    std::unique_lock<std::mutex> lock(fanout->mu);
+    fanout->cv.wait(lock, [&] { return fanout->remaining == 0; });
+  }
+
+  // Merge in ascending partition order — the coordinator's order, which
+  // is what makes the merged states reproducible. Span batches are
+  // grafted in the same pass (same deterministic order).
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    Result<net::Message>& response = *fanout->responses[p];
+    if (!response.ok()) return response.status();
+    if (response->type != net::FrameType::kSubqueryResponse) {
+      return Status::Internal(
+          "unexpected frame type in subquery response: " +
+          std::string(net::FrameTypeName(response->type)));
+    }
+    std::string telemetry;
+    auto partial = cwire::DecodeSubqueryResponse(response->payload, &telemetry);
+    if (!partial.ok()) return partial.status();
+    merged->Merge(partial->result);
+    if (root != nullptr) {
+      std::vector<obs::SpanRecord> batch;
+      const Status tstatus = net::DecodeSpanBatch(telemetry, &batch);
+      if (!tstatus.ok()) {
+        // Advisory: count, drop, keep the query (and the peer) alive.
+        decode_errors_.Bump(tstatus);
+      } else if (!batch.empty()) {
+        sink_.Graft(sub_spans[p], batch);
+      }
+      sub_spans[p].End(net::EventLoop::NowMicros());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProxyCore::FanOutTree(const cubrick::QueryRequest& request,
+                             const cubrick::Query& exec_query,
+                             const std::vector<cubrick::ReplicatedTable>& dims,
+                             int fanin, SimDuration budget,
+                             cubrick::QueryResult* merged,
+                             std::set<uint32_t>* servers) {
+  // Contiguous chunks by TreeChunkSize — identical to the shape every
+  // aggregator recomputes, so the fold order is fixed cluster-wide.
+  const uint32_t num_partitions = options_.dataset.num_partitions;
+  const uint32_t chunk = static_cast<uint32_t>(cubrick::TreeChunkSize(
+      static_cast<int>(num_partitions), fanin));
+  struct Chunk {
+    uint32_t lo;
+    uint32_t hi;
+    uint32_t server;
+  };
+  std::vector<Chunk> chunks;
+  for (uint32_t lo = 0; lo < num_partitions; lo += chunk) {
+    const uint32_t hi = std::min(num_partitions, lo + chunk);
+    chunks.push_back({lo, hi, ServerForPartition(lo, options_.num_servers)});
+  }
+
+  struct Fanout {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    std::vector<std::optional<Result<net::Message>>> responses;
+  };
+  auto fanout = std::make_shared<Fanout>();
+  fanout->remaining = chunks.size();
+  fanout->responses.resize(chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const Chunk& ch = chunks[c];
+    servers->insert(ch.server);
+    net::Message message;
+    if (ch.hi - ch.lo == 1) {
+      // A single-partition chunk needs no aggregator hop.
+      cwire::SubqueryEnvelope envelope;
+      envelope.query = exec_query;
+      envelope.partition = ch.lo;
+      envelope.cache_policy = request.cache_policy;
+      envelope.scan_path = request.scan_path;
+      envelope.remaining_budget = budget;
+      envelope.dims = dims;
+      message = net::Message{net::FrameType::kSubqueryRequest,
+                             cwire::EncodeSubqueryRequest(envelope)};
+    } else {
+      cwire::TreeMergeEnvelope envelope;
+      envelope.query = exec_query;
+      for (uint32_t p = ch.lo; p < ch.hi; ++p) {
+        envelope.partitions.push_back(p);
+        envelope.servers.push_back(
+            ServerForPartition(p, options_.num_servers));
+      }
+      envelope.fanin = fanin;
+      envelope.cache_policy = request.cache_policy;
+      envelope.scan_path = request.scan_path;
+      envelope.remaining_budget = budget;
+      envelope.dims = dims;
+      message = net::Message{net::FrameType::kTreeMergeRequest,
+                             cwire::EncodeTreeMergeRequest(envelope)};
+    }
+    net::CallOptions call;
+    call.timeout = budget;  // 0 = the transport's default timeout
+    transport_->CallAsync(cubrick::NodePeerName(ch.server), message, call,
+                          [fanout, c](Result<net::Message> response) {
+                            std::lock_guard<std::mutex> lock(fanout->mu);
+                            fanout->responses[c] = std::move(response);
+                            if (--fanout->remaining == 0) {
+                              fanout->cv.notify_all();
+                            }
+                          });
+  }
+  {
+    std::unique_lock<std::mutex> lock(fanout->mu);
+    fanout->cv.wait(lock, [&] { return fanout->remaining == 0; });
+  }
+
+  // Fold chunk results in ascending chunk order — each subtree folded
+  // its own range ascending, so the overall contiguous order matches
+  // the flat merge's.
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    Result<net::Message>& response = *fanout->responses[c];
+    if (!response.ok()) return response.status();
+    if (chunks[c].hi - chunks[c].lo == 1) {
+      if (response->type != net::FrameType::kSubqueryResponse) {
+        return Status::Internal(
+            "unexpected frame type in subquery response: " +
+            std::string(net::FrameTypeName(response->type)));
+      }
+      auto partial = cwire::DecodeSubqueryResponse(response->payload);
+      if (!partial.ok()) return partial.status();
+      merged->Merge(partial->result);
+    } else {
+      if (response->type != net::FrameType::kTreeMergeResponse) {
+        return Status::Internal(
+            "unexpected frame type in tree merge response: " +
+            std::string(net::FrameTypeName(response->type)));
+      }
+      auto subres = cwire::DecodeTreeMergeResponse(response->payload);
+      if (!subres.ok()) return subres.status();
+      merged->Merge(subres->result);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProxyCore::ShuffleMap(const cubrick::Query& query,
+                             const cubrick::QueryResult& scanned,
+                             cubrick::QueryResult* mapped,
+                             std::set<uint32_t>* servers) {
+  // Stage 2: bucket the stage-1 groups by the FNV-1a hash of their raw
+  // join keys. Bucket count clamps to the cluster size (more buckets
+  // than servers buys nothing on the node path); bucket b maps on
+  // server b % num_servers.
+  const uint32_t num_servers = std::max(1u, options_.num_servers);
+  const uint32_t num_buckets = std::min(8u, num_servers);
+  const size_t num_aggs = query.aggregations.size();
+  std::map<uint32_t, cubrick::QueryResult> buckets;
+  for (const auto& [key, states] : scanned.groups()) {
+    const uint32_t b =
+        cubrick::ShuffleBucket(key, query.joins.size(), num_buckets);
+    auto [it, inserted] = buckets.try_emplace(b, num_aggs);
+    for (size_t a = 0; a < states.size(); ++a) {
+      it->second.AccumulateState(key, a, states[a]);
+    }
+  }
+
+  // Stage 3: map each bucket through a server's dim replicas and fold
+  // the joined groups in ascending bucket order (deterministic: bucket
+  // ids partition the key space).
+  for (const auto& [b, bucket] : buckets) {
+    const uint32_t server = b % num_servers;
+    servers->insert(server);
+    cwire::ShuffleMapEnvelope envelope;
+    envelope.query = query;
+    envelope.bucket = bucket;
+    auto response = transport_->Call(
+        cubrick::NodePeerName(server),
+        net::Message{net::FrameType::kShuffleMapRequest,
+                     cwire::EncodeShuffleMapRequest(envelope)},
+        {});
+    if (!response.ok()) return response.status();
+    if (response->type != net::FrameType::kShuffleMapResponse) {
+      return Status::Internal(
+          "unexpected frame type in shuffle map response: " +
+          std::string(net::FrameTypeName(response->type)));
+    }
+    auto joined = cwire::DecodeShuffleMapResponse(response->payload);
+    if (!joined.ok()) return joined.status();
+    mapped->Merge(*joined);
+  }
+  return Status::Ok();
+}
+
 ServerNode::ServerNode(NodeOptions options, obs::MetricsRegistry* metrics)
     : metrics_(metrics),
-      core_(options, metrics),
+      core_(options, metrics, &transport_),
       transport_(metrics, [&] {
         net::EpollTransportOptions t = options.transport;
         // Scans run on workers so a long brick scan never stalls the
-        // socket loop.
-        t.handler_threads = std::max(1, t.handler_threads);
+        // socket loop — and tree aggregation blocks a worker on calls
+        // to peer servers while their leaf subqueries need a free one
+        // here, so keep a small pool rather than a single thread.
+        t.handler_threads = std::max(4, t.handler_threads);
         return t;
       }()) {
   transport_.SetHandler(
       [this](const net::Message& request, const net::CallSideband&) {
         return core_.Handle(request);
       });
-  // The listen address lives in options; keep a copy for Start.
+  // The listen address and peer map live in options; copy for Start.
   listen_ = options.listen;
+  peer_addresses_ = options.peer_addresses;
 }
 
 ServerNode::~ServerNode() { Stop(); }
 
 Status ServerNode::Start() {
   SCALEWALL_RETURN_IF_ERROR(core_.LoadPartitions());
+  // Peer servers, for forwarding the remote leaves of a merge subtree.
+  for (const auto& [name, address] : peer_addresses_) {
+    transport_.MapPeer(name, address);
+  }
   if (!transport_.Start()) return Status::Internal("event loop failed");
   return transport_.Listen(listen_);
 }

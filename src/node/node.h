@@ -15,6 +15,15 @@
 // rows are byte-identical to an oracle run and to a sim-transport
 // Deployment over the same seed.
 //
+// Requests may carry a plan (DESIGN.md §15): a join strategy against
+// the replicated "product_dim" table (replicated / broadcast snapshots
+// / shuffle via kShuffleMapRequest) and a merge topology (flat, or a
+// k-ary aggregation tree of kTreeMergeRequest hops where servers merge
+// their subtree's partials — forwarding remote leaves to peers — before
+// the proxy folds the few subtree results). Every topology folds in
+// ascending partition order, so results stay byte-identical wherever
+// the aggregation states are exact.
+//
 // The protocol logic lives in transport-agnostic cores (ServerCore,
 // ProxyCore) that speak only net::Transport: the deployable nodes wrap
 // them around an EpollTransport, and tests run the *same* cores over a
@@ -35,8 +44,11 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "cubrick/planner.h"
 #include "cubrick/request.h"
 #include "cubrick/wire.h"
 #include "net/epoll_transport.h"
@@ -54,6 +66,12 @@ struct NodeOptions {
   uint32_t num_servers = 1;            // cluster size (partition placement)
   DatasetOptions dataset;
   net::EpollTransportOptions transport;
+  // Peer name -> address ("s0" -> "ip:port"). The proxy needs every
+  // server; servers need their peers too once tree aggregation is in
+  // play (an aggregator forwards remote leaves of its subtree as
+  // subqueries). Empty on a server = tree-merge requests whose subtree
+  // spans other servers fail with kFailedPrecondition.
+  std::map<std::string, std::string> peer_addresses;
   // Proxy slow-query ring (obs::SlowQueryLog). Default thresholds are
   // zero = capture nothing automatically; scalewall_node sets a latency
   // threshold via --slow-query-micros.
@@ -62,13 +80,17 @@ struct NodeOptions {
 
 // Transport-agnostic server-side protocol logic: hosts the partitions
 // `ServerForPartition` assigns to `server_id` and serves
-// kSubqueryRequest (+ kEpochRequest for completeness). When a subquery
-// carries a trace-context block, the scan is recorded into a
+// kSubqueryRequest (with replicated or shipped-snapshot joins),
+// kTreeMergeRequest (merge a subtree of partials, forwarding remote
+// leaves over `transport`), kShuffleMapRequest (stage 2 of a shuffle
+// join against the local dim replica) and kEpochRequest. When a
+// subquery carries a trace-context block, the scan is recorded into a
 // per-request TraceSink and shipped back as a span batch.
 class ServerCore {
  public:
   explicit ServerCore(NodeOptions options,
-                      obs::MetricsRegistry* metrics = nullptr);
+                      obs::MetricsRegistry* metrics = nullptr,
+                      net::Transport* transport = nullptr);
 
   // Builds the hosted partitions. Must precede Handle.
   Status LoadPartitions();
@@ -79,14 +101,19 @@ class ServerCore {
 
  private:
   NodeOptions options_;
+  net::Transport* transport_;  // null = cannot forward tree leaves
   net::TelemetryDecodeCounters decode_errors_;
+  cubrick::ReplicatedTable dim_;  // local "product_dim" replica
   std::map<uint32_t, cubrick::TablePartition> partitions_;
 };
 
-// Transport-agnostic proxy-side protocol logic: accepts kClientQuery,
-// fans out one subquery per partition over `transport` (peers
-// "s0".."s<N-1>"), stitches returned span batches, merges and
-// materializes. `transport` must outlive the core.
+// Transport-agnostic proxy-side protocol logic: accepts kClientQuery
+// and executes the request's plan — join strategy (kAuto degrades to
+// kReplicated: the node proxy keeps no cost model) and merge topology
+// (flat fan-out, or a k-ary aggregation tree of kTreeMergeRequest hops
+// when the request pins merge_fanin >= 2) — over `transport` (peers
+// "s0".."s<N-1>"), stitches returned span batches, merges in ascending
+// partition order and materializes. `transport` must outlive the core.
 class ProxyCore {
  public:
   ProxyCore(NodeOptions options, net::Transport* transport,
@@ -100,6 +127,34 @@ class ProxyCore {
   obs::SlowQueryLog& slow_log() { return slow_log_; }
 
  private:
+  // Flat fan-out of `exec_query` (one subquery per partition, all in
+  // flight at once), folding partials into `merged` in ascending
+  // partition order. `root` non-null = record "subquery pN" spans under
+  // it and graft the servers' span batches. `dims` non-empty = ship the
+  // broadcast snapshots with every subquery.
+  Status FanOutFlat(const cubrick::QueryRequest& request,
+                    const cubrick::Query& exec_query,
+                    const std::vector<cubrick::ReplicatedTable>& dims,
+                    SimDuration budget, obs::TraceContext* root,
+                    int64_t start_micros, cubrick::QueryResult* merged,
+                    std::set<uint32_t>* servers);
+  // Tree fan-out: partitions chunk contiguously by TreeChunkSize, each
+  // multi-partition chunk goes to its first partition's host as a
+  // kTreeMergeRequest (single-partition chunks stay plain subqueries),
+  // and chunk results fold in ascending chunk order — the same fixed
+  // ascending-partition order the flat merge uses.
+  Status FanOutTree(const cubrick::QueryRequest& request,
+                    const cubrick::Query& exec_query,
+                    const std::vector<cubrick::ReplicatedTable>& dims,
+                    int fanin, SimDuration budget,
+                    cubrick::QueryResult* merged, std::set<uint32_t>* servers);
+  // Shuffle stages 2+3: bucket stage-1 groups by their raw join keys,
+  // send each bucket to server (bucket % num_servers) for dim mapping,
+  // fold mapped buckets in ascending bucket order.
+  Status ShuffleMap(const cubrick::Query& query,
+                    const cubrick::QueryResult& scanned,
+                    cubrick::QueryResult* mapped, std::set<uint32_t>* servers);
+
   NodeOptions options_;
   net::Transport* transport_;
   obs::TraceSink sink_;
@@ -133,6 +188,7 @@ class ServerNode {
  private:
   obs::MetricsRegistry* metrics_;
   std::string listen_;
+  std::map<std::string, std::string> peer_addresses_;
   ServerCore core_;
   net::EpollTransport transport_;
   std::unique_ptr<net::HttpAdminServer> admin_;

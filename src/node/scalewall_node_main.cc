@@ -2,14 +2,22 @@
 //
 // Roles:
 //   --role=server  --listen=ip:port --server-id=K --num-servers=N
+//                  [--peers=s0=ip:port,...]
 //       Hosts the deterministic dataset's partitions assigned to server
-//       K and serves subqueries over real sockets.
+//       K and serves subqueries over real sockets. Peers are needed
+//       once tree aggregation is in play: an aggregator forwards the
+//       remote leaves of its subtree to the servers that host them.
 //   --role=proxy   --listen=ip:port --peers=s0=ip:port,s1=ip:port,...
 //                  --num-servers=N
 //       Accepts client queries, fans them out and merges.
 //   --role=client  --connect=ip:port --sql='SELECT ...'
-//       Parses the SQL against the dataset schema, submits it to the
-//       proxy and prints the rows (retrying while the cluster warms up).
+//                  [--join-strategy=auto|replicated|broadcast|shuffle]
+//                  [--merge-fanin=K]
+//       Parses the SQL against the dataset catalog (JOIN product_dim
+//       resolves there), submits it to the proxy and prints the rows
+//       (retrying while the cluster warms up). --join-strategy pins the
+//       plan's join strategy; --merge-fanin >= 2 requests a k-ary
+//       aggregation tree instead of the flat fan-in merge.
 //   --role=oracle  --sql='SELECT ...'
 //       Executes the same query in-process against the same dataset and
 //       prints rows in the same format — `diff` against the client's
@@ -112,7 +120,9 @@ void WaitForSignal() {
 
 int RunServer(const Args& args) {
   scalewall::obs::MetricsRegistry metrics;
-  scalewall::node::ServerNode server(NodeOptionsFrom(args), &metrics);
+  scalewall::node::NodeOptions options = NodeOptionsFrom(args);
+  options.peer_addresses = ParsePeers(args.Get("peers", ""));
+  scalewall::node::ServerNode server(options, &metrics);
   auto status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
@@ -170,14 +180,28 @@ int RunClient(const Args& args) {
     std::fprintf(stderr, "client: --sql required\n");
     return 2;
   }
-  auto query =
-      scalewall::cubrick::ParseQuery(sql, scalewall::node::DatasetSchema());
+  auto query = scalewall::cubrick::ParseQuery(
+      sql, scalewall::node::DatasetSchema(),
+      &scalewall::node::DatasetCatalog());
   if (!query.ok()) {
     std::fprintf(stderr, "client: %s\n", query.status().ToString().c_str());
     return 2;
   }
   scalewall::cubrick::QueryRequest request(*query);
   request.deadline = args.GetInt("deadline-ms", 0) * 1000;
+  const std::string strategy = args.Get("join-strategy", "auto");
+  if (strategy == "replicated") {
+    request.join_strategy = scalewall::cubrick::JoinStrategy::kReplicated;
+  } else if (strategy == "broadcast") {
+    request.join_strategy = scalewall::cubrick::JoinStrategy::kBroadcast;
+  } else if (strategy == "shuffle") {
+    request.join_strategy = scalewall::cubrick::JoinStrategy::kShuffle;
+  } else if (strategy != "auto") {
+    std::fprintf(stderr, "client: unknown --join-strategy=%s\n",
+                 strategy.c_str());
+    return 2;
+  }
+  request.merge_fanin = static_cast<int>(args.GetInt("merge-fanin", 0));
   // --profile: the proxy ships its rendered per-query profile and
   // stitched trace tree back with the rows. Printed to stderr so stdout
   // stays byte-comparable with the oracle role.
@@ -221,8 +245,9 @@ int RunOracle(const Args& args) {
     std::fprintf(stderr, "oracle: --sql required\n");
     return 2;
   }
-  auto query =
-      scalewall::cubrick::ParseQuery(sql, scalewall::node::DatasetSchema());
+  auto query = scalewall::cubrick::ParseQuery(
+      sql, scalewall::node::DatasetSchema(),
+      &scalewall::node::DatasetCatalog());
   if (!query.ok()) {
     std::fprintf(stderr, "oracle: %s\n", query.status().ToString().c_str());
     return 2;
@@ -253,6 +278,8 @@ int main(int argc, char** argv) {
                "[--listen=ip:port] [--peers=s0=ip:port,...] "
                "[--connect=ip:port] [--sql='SELECT ...'] [--server-id=K] "
                "[--num-servers=N] [--seed=S] [--rows=R] [--partitions=P] "
-               "[--admin=ip:port] [--slow-query-micros=T] [--profile]\n");
+               "[--join-strategy=auto|replicated|broadcast|shuffle] "
+               "[--merge-fanin=K] [--admin=ip:port] "
+               "[--slow-query-micros=T] [--profile]\n");
   return 2;
 }

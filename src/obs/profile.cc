@@ -59,8 +59,27 @@ QueryProfile BuildQueryProfile(const std::vector<SpanRecord>& spans) {
       profile.net_micros += Dur(span);
       continue;
     }
+    if (span.name == "plan") {
+      profile.has_plan = true;
+      if (const std::string* s = TagStr(span, "strategy")) {
+        profile.join_strategy = *s;
+      }
+      if (const std::string* s = TagStr(span, "merge")) {
+        profile.merge_topology = *s;
+      }
+      profile.merge_fanin = static_cast<int>(TagInt(span, "fanin"));
+      profile.tree_depth = static_cast<int>(TagInt(span, "depth"));
+      continue;
+    }
     if (span.name.find("hedge") != std::string::npos) {
       ++profile.hedges;
+      continue;
+    }
+    if (HasPrefix(span.name, "tree merge ")) {
+      // Subtree merges run on aggregator servers, NOT the coordinator:
+      // they are deliberately kept out of merge_micros, whose shrinking
+      // share under tree plans is the whole point of the topology.
+      profile.tree_merge_micros += Dur(span);
       continue;
     }
     if (span.name == "merge") {
@@ -110,6 +129,15 @@ std::string QueryProfile::CanonicalText() const {
   out << "profile query=" << table << " status=" << status
       << " attempts=" << attempts << " fanout=" << fanout
       << " retries=" << retries << " hedges=" << hedges << "\n";
+  if (has_plan) {
+    // Only non-seed plans record a "plan" span, so seed-path canonical
+    // output is unchanged — and stays comparable across old/new peers.
+    out << "plan strategy=" << join_strategy << " merge=" << merge_topology;
+    if (merge_fanin >= 2) {
+      out << " fanin=" << merge_fanin << " depth=" << tree_depth;
+    }
+    out << "\n";
+  }
   out << "work rows=" << rows_scanned << " bricks=" << bricks_scanned
       << " rle_skipped=" << bricks_rle_skipped << " morsels=" << morsels
       << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
@@ -132,6 +160,7 @@ std::string QueryProfile::Text() const {
   out << "time total_us=" << latency_micros
       << " queue_us=" << queue_wait_micros << " scan_us=" << scan_micros
       << " merge_us=" << merge_micros << " net_us=" << net_micros;
+  if (tree_merge_micros > 0) out << " tree_merge_us=" << tree_merge_micros;
   if (deadline_micros > 0) {
     out << " deadline_us=" << deadline_micros << " burn="
         << static_cast<int64_t>(deadline_burn() * 100.0) << "%";

@@ -58,9 +58,21 @@ struct QueryProfile {
   int64_t latency_micros = 0;     // end-to-end, root span or caller-provided
   int64_t queue_wait_micros = 0;  // admission queue span
   int64_t scan_micros = 0;        // sum over partition spans
-  int64_t merge_micros = 0;       // merge span
+  int64_t merge_micros = 0;       // coordinator merge span(s)
+  int64_t tree_merge_micros = 0;  // sum over "tree merge ..." spans —
+                                  // merge work the tree moved OFF the
+                                  // coordinator onto aggregator servers
   int64_t net_micros = 0;         // sum over "net ..." spans
   int64_t deadline_micros = 0;    // budget, 0 = none
+
+  // --- executed plan (from the "plan" span; the coordinator emits one
+  // --- only for non-seed plans, so has_plan=false means the seed
+  // --- replicated/flat path ran and outputs stay byte-identical) ---
+  bool has_plan = false;
+  std::string join_strategy = "replicated";
+  std::string merge_topology = "flat";
+  int merge_fanin = 0;  // 0 = flat merge
+  int tree_depth = 0;   // 0 = flat merge
 
   // --- deterministic work/outcome counters ---
   int64_t retries = 0;
@@ -91,9 +103,10 @@ struct QueryProfile {
 
 // Derives a profile from a canonicalized span tree (TraceSink::Spans).
 // Recognizes the span vocabulary the query path records — "query ...",
-// "admission queue", "attempt N", "net ...", "subquery ...",
+// "admission queue", "attempt N", "plan", "net ...", "subquery ...",
 // "partition <table>/pK", "scan pK" (the simulator's modeled scan time;
-// real partition spans carry wall durations directly), "merge" — and
+// real partition spans carry wall durations directly), "tree merge ..."
+// (aggregator-side subtree merges), "merge" — and
 // folds their tags (rows, bricks,
 // rle_skipped, morsels, cache_hit, server, status). Unknown spans are
 // ignored, so the builder tolerates partial traces (dropped spans,

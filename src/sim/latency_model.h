@@ -138,6 +138,8 @@ class NetworkModel {
   explicit NetworkModel(NetworkModelOptions options = {})
       : options_(options), mu_(std::log(static_cast<double>(options.median))) {}
 
+  const NetworkModelOptions& options() const { return options_; }
+
   SimDuration SampleHop(Rng& rng, bool cross_region = false) const {
     double v = rng.NextLognormal(mu_, options_.sigma);
     if (cross_region) v += static_cast<double>(options_.cross_region_extra);

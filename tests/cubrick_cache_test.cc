@@ -233,7 +233,7 @@ TEST_F(ServerCacheTest, CachePolicySemantics) {
   EXPECT_TRUE(hit->cache_hit);
 }
 
-TEST_F(ServerCacheTest, JoinQueriesAreNeverCached) {
+TEST_F(ServerCacheTest, JoinQueriesCacheUnderDimEpochs) {
   auto shards = MakeTable("t");
   ASSERT_TRUE(server(0).AddShard(shards[0], sm::ShardRole::kPrimary).ok());
   ASSERT_TRUE(server(0).InsertRows("t", 0, MakeRows(100)).ok());
@@ -244,18 +244,40 @@ TEST_F(ServerCacheTest, JoinQueriesAreNeverCached) {
   for (uint32_t k = 0; k < 64; ++k) {
     ASSERT_TRUE(master.Set(DimensionEntry{k, {k % 4}}).ok());
   }
+  master.set_epoch(1);
   server(0).SetReplicatedTable(master);
   Query q = CountSum("t");
   q.joins = {Join{1, "dim", 0}};
   q.group_by_joins = {0};
+  // The old §10 carve-out ("joins are never cached") is lifted: the
+  // cache entry records the dim epoch beside the partition epoch, so a
+  // hit is provably valid and byte-identical to a re-scan.
   auto first = server(0).ExecutePartial(q, 0);
   ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_EQ(server(0).ResultCacheSnapshot().entries, 1u);
   auto second = server(0).ExecutePartial(q, 0);
   ASSERT_TRUE(second.ok());
-  // Dimension tables update without epoch bumps, so joins are excluded
-  // from caching entirely rather than risking unvalidatable entries.
-  EXPECT_FALSE(second->cache_hit);
-  EXPECT_EQ(server(0).ResultCacheSnapshot().entries, 0u);
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_TRUE(SameResult(first->result, second->result));
+  // A dim update ships with a bumped epoch; the entry no longer
+  // validates and the re-scan sees the new attribute mapping.
+  for (uint32_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(master.Set(DimensionEntry{k, {(k + 1) % 4}}).ok());
+  }
+  master.set_epoch(2);
+  server(0).SetReplicatedTable(master);
+  auto after = server(0).ExecutePartial(q, 0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_GE(server(0).stats().cache_invalidations, 1);
+  EXPECT_FALSE(SameResult(first->result, after->result));
+  // The refreshed entry validates against the new epoch and its hit is
+  // byte-identical to the post-update scan.
+  auto refreshed = server(0).ExecutePartial(q, 0);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_TRUE(refreshed->cache_hit);
+  EXPECT_TRUE(SameResult(after->result, refreshed->result));
 }
 
 TEST_F(ServerCacheTest, CancelledExecutionNeverServesNorPopulates) {
@@ -392,6 +414,49 @@ TEST_F(ProxyCacheTest, IngestionFailsValidationAndServesFreshData) {
                    3500.0);
   EXPECT_GE(dep_->proxy().stats().cache_validation_failures, 1);
   // The full execution refreshed the entry; it validates again now.
+  auto third = dep_->Query(cubrick::QueryRequest(request));
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_EQ(third.cache_hits, 1);
+  EXPECT_TRUE(cubrick::SameResult(after.result, third.result));
+}
+
+TEST_F(ProxyCacheTest, JoinResultsCacheAndDimUpdatesInvalidate) {
+  Make(CachingOptions());
+  Setup("t", 3000);
+  ASSERT_TRUE(dep_->CreateDimensionTable("groups", 64,
+                                         {cubrick::Dimension{"bucket", 4, 1}})
+                  .ok());
+  std::vector<cubrick::DimensionEntry> entries;
+  for (uint32_t k = 0; k < 64; ++k) {
+    entries.push_back(cubrick::DimensionEntry{k, {k % 4}});
+  }
+  ASSERT_TRUE(dep_->LoadDimensionEntries("groups", entries).ok());
+  cubrick::Query q = CountSum("t");
+  q.joins = {cubrick::Join{1, "groups", 0}};
+  q.group_by_joins = {0};
+  cubrick::QueryRequest request(q);
+  // Join results are cacheable now (§15 lifts the §10 carve-out): the
+  // merged entry's epoch vector carries the dim epochs, so the second
+  // submission validates and skips the fan-out.
+  auto first = dep_->Query(cubrick::QueryRequest(request));
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  auto second = dep_->Query(cubrick::QueryRequest(request));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.cache_hits, 1);
+  EXPECT_EQ(second.attempts, 0);
+  EXPECT_TRUE(cubrick::SameResult(first.result, second.result));
+  // A dim update stamps a fresh epoch on every replica: the entry fails
+  // validation and the re-execution sees the new mapping.
+  ASSERT_TRUE(dep_->LoadDimensionEntries(
+                      "groups", {cubrick::DimensionEntry{0, {3}}})
+                  .ok());
+  auto after = dep_->Query(cubrick::QueryRequest(request));
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  EXPECT_EQ(after.cache_hits, 0);
+  EXPECT_GE(dep_->proxy().stats().cache_validation_failures, 1);
+  EXPECT_FALSE(cubrick::SameResult(first.result, after.result));
+  // The refreshed entry validates again and its hit is byte-identical
+  // to the post-update execution.
   auto third = dep_->Query(cubrick::QueryRequest(request));
   ASSERT_TRUE(third.status.ok());
   EXPECT_EQ(third.cache_hits, 1);

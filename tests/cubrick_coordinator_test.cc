@@ -78,6 +78,17 @@ class CoordinatorTest : public ::testing::Test {
     return q;
   }
 
+  // The redesigned entry point: compile a plan, bundle the per-attempt
+  // inputs in an ExecContext, execute.
+  DistributedOutcome Run(const Query& q, cluster::ServerId coordinator,
+                         Rng& rng) {
+    ExecutionPlan plan = BuildExecutionPlan(context_, q, coordinator);
+    ExecContext ectx;
+    ectx.region = &context_;
+    ectx.rng = &rng;
+    return ExecuteDistributed(plan, ectx);
+  }
+
   sim::Simulation sim_;
   cluster::Cluster cluster_;
   discovery::ServiceDiscovery sd_;
@@ -91,43 +102,43 @@ class CoordinatorTest : public ::testing::Test {
 
 TEST_F(CoordinatorTest, MergesAllPartials) {
   Rng rng(1);
-  DistributedOutcome outcome =
-      ExecuteDistributed(context_, CountQuery(), /*coordinator=*/0, rng);
+  DistributedOutcome outcome = Run(CountQuery(), /*coordinator=*/0, rng);
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, AggOp::kCount), 400.0);
   EXPECT_EQ(outcome.fanout, 4);
   EXPECT_EQ(outcome.num_partitions, 4u);
   EXPECT_GT(outcome.latency, 0);
+  // A joinless query plans as the seed path and the outcome echoes it.
+  EXPECT_EQ(outcome.strategy, JoinStrategy::kReplicated);
+  EXPECT_EQ(outcome.merge_fanin, 0);
+  EXPECT_EQ(outcome.tree_depth, 0);
 }
 
 TEST_F(CoordinatorTest, UnknownTableFails) {
   Query q = CountQuery();
   q.table = "ghost";
   Rng rng(1);
-  EXPECT_EQ(ExecuteDistributed(context_, q, 0, rng).status.code(),
-            StatusCode::kNotFound);
+  EXPECT_EQ(Run(q, 0, rng).status.code(), StatusCode::kNotFound);
 }
 
 TEST_F(CoordinatorTest, InvalidQueryRejectedBeforeFanout) {
   Query q = CountQuery();
   q.filters = {FilterRange{7, 0, 1}};
   Rng rng(1);
-  EXPECT_EQ(ExecuteDistributed(context_, q, 0, rng).status.code(),
-            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run(q, 0, rng).status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(CoordinatorTest, DeadCoordinatorUnavailable) {
   cluster_.SetHealth(0, cluster::ServerHealth::kDown);
   Rng rng(1);
-  EXPECT_EQ(ExecuteDistributed(context_, CountQuery(), 0, rng).status.code(),
+  EXPECT_EQ(Run(CountQuery(), 0, rng).status.code(),
             StatusCode::kUnavailable);
 }
 
 TEST_F(CoordinatorTest, DeadPartitionHostFailsRegionAttempt) {
   cluster_.SetHealth(2, cluster::ServerHealth::kDown);
   Rng rng(1);
-  DistributedOutcome outcome =
-      ExecuteDistributed(context_, CountQuery(), 0, rng);
+  DistributedOutcome outcome = Run(CountQuery(), 0, rng);
   // "all table partitions required by the query are required to be
   // available within that region": the attempt fails, retryable.
   EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
@@ -137,8 +148,7 @@ TEST_F(CoordinatorTest, DeadPartitionHostFailsRegionAttempt) {
 TEST_F(CoordinatorTest, TransientFailureReportsFailedServer) {
   context_.failure_model = sim::TransientFailureModel(1.0);  // always fail
   Rng rng(1);
-  DistributedOutcome outcome =
-      ExecuteDistributed(context_, CountQuery(), 0, rng);
+  DistributedOutcome outcome = Run(CountQuery(), 0, rng);
   EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
   EXPECT_NE(outcome.failed_server, cluster::kInvalidServer);
 }
@@ -157,8 +167,7 @@ TEST_F(CoordinatorTest, ForwardedPartitionsStillAnswer) {
   // Discovery deliberately not updated: clients resolve to server 1,
   // which forwards.
   Rng rng(1);
-  DistributedOutcome outcome =
-      ExecuteDistributed(context_, CountQuery(), 2, rng);
+  DistributedOutcome outcome = Run(CountQuery(), 2, rng);
   ASSERT_TRUE(outcome.status.ok()) << outcome.status;
   EXPECT_DOUBLE_EQ(*outcome.result.Value({}, 0, AggOp::kCount), 400.0);
   EXPECT_GT(servers_[1]->stats().forwarded_requests, 0);
@@ -168,7 +177,7 @@ TEST_F(CoordinatorTest, GroupByMergedAcrossPartitions) {
   Query q = CountQuery();
   q.group_by = {1};
   Rng rng(1);
-  DistributedOutcome outcome = ExecuteDistributed(context_, q, 0, rng);
+  DistributedOutcome outcome = Run(q, 0, rng);
   ASSERT_TRUE(outcome.status.ok());
   std::map<uint32_t, double> expected;
   for (const Row& r : rows_) expected[r.dims[1]] += 1;

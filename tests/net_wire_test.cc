@@ -132,6 +132,34 @@ TEST(FrameTest, VersionSkewPoisons) {
   EXPECT_FALSE(decoder.ok());
 }
 
+TEST(FrameTest, PlannerGenerationBumpedWireVersion) {
+  // The planner release extended the request/response envelopes
+  // (plan hints, dim snapshots, epoch-probe dims) and added the
+  // tree-merge/shuffle-map frames, so the frame version moved to 2. A
+  // version-1 peer's frames must be rejected at the frame layer —
+  // never field-misaligned.
+  EXPECT_EQ(2, net::kWireVersion);
+  std::string bytes = net::EncodeFrame(net::FrameType::kSubqueryRequest, 3,
+                                       "payload from an old peer");
+  bytes[4] = static_cast<char>(1);  // the pre-planner wire version
+  net::FrameDecoder decoder;
+  decoder.Feed(bytes);
+  net::Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  EXPECT_FALSE(decoder.ok());
+}
+
+TEST(FrameTest, NewFrameTypesHaveNames) {
+  EXPECT_EQ("tree_merge_request",
+            net::FrameTypeName(net::FrameType::kTreeMergeRequest));
+  EXPECT_EQ("tree_merge_response",
+            net::FrameTypeName(net::FrameType::kTreeMergeResponse));
+  EXPECT_EQ("shuffle_map_request",
+            net::FrameTypeName(net::FrameType::kShuffleMapRequest));
+  EXPECT_EQ("shuffle_map_response",
+            net::FrameTypeName(net::FrameType::kShuffleMapResponse));
+}
+
 TEST(FrameTest, GarbageBytesPoison) {
   // 32 bytes of 0xFF: the length prefix alone exceeds the cap.
   net::FrameDecoder decoder;
@@ -217,6 +245,32 @@ QueryResult RandomResult(Rng& rng, size_t num_aggs) {
   return result;
 }
 
+cubrick::ReplicatedTable RandomReplicatedTable(Rng& rng) {
+  const uint32_t key_cardinality = 1 + static_cast<uint32_t>(rng.NextBounded(64));
+  std::vector<cubrick::Dimension> attrs;
+  for (uint64_t a = 0, n = 1 + rng.NextBounded(3); a < n; ++a) {
+    cubrick::Dimension d;
+    d.name = "attr" + std::to_string(a);
+    d.cardinality = 1 + static_cast<uint32_t>(rng.NextBounded(32));
+    d.range_size = 1 + static_cast<uint32_t>(rng.NextBounded(8));
+    attrs.push_back(d);
+  }
+  cubrick::ReplicatedTable table("dim" + std::to_string(rng.NextBounded(50)),
+                                 key_cardinality, attrs);
+  for (uint32_t k = 0; k < key_cardinality; ++k) {
+    if (rng.NextBool(0.3)) continue;  // unset keys must survive the trip
+    cubrick::DimensionEntry entry;
+    entry.key = k;
+    for (const cubrick::Dimension& d : attrs) {
+      entry.attributes.push_back(
+          static_cast<uint32_t>(rng.NextBounded(d.cardinality)));
+    }
+    table.Set(entry);
+  }
+  table.set_epoch(rng.Next());
+  return table;
+}
+
 // Re-encoding the decoded value must reproduce the original bytes.
 template <typename T, typename Encode, typename Decode>
 void ExpectByteStableRoundTrip(const T& value, Encode encode, Decode decode,
@@ -298,6 +352,9 @@ TEST(WireDifferentialTest, SubqueryEnvelopeRoundTripsByteStable) {
     if (rng.NextBool(0.5)) envelope.fingerprint = "fp" + std::to_string(i);
     envelope.remaining_budget =
         static_cast<SimDuration>(rng.NextBounded(10000000));
+    for (uint64_t d = 0, n = rng.NextBounded(3); d < n; ++d) {
+      envelope.dims.push_back(RandomReplicatedTable(rng));
+    }
     std::string bytes = cubrick::wire::EncodeSubqueryRequest(envelope);
     auto decoded = cubrick::wire::DecodeSubqueryRequest(bytes);
     ASSERT_TRUE(decoded.ok());
@@ -341,9 +398,14 @@ TEST(WireDifferentialTest, CoordinateEnvelopesRoundTripByteStable) {
     envelope.remaining_budget =
         static_cast<SimDuration>(rng.NextBounded(10000000));
     envelope.dispatch_time = static_cast<SimTime>(rng.NextBounded(1u << 30));
+    envelope.join_strategy =
+        static_cast<cubrick::JoinStrategy>(rng.NextBounded(4));
+    envelope.merge_fanin = static_cast<int>(rng.NextBounded(16));
     std::string bytes = cubrick::wire::EncodeCoordinateRequest(envelope);
     auto decoded = cubrick::wire::DecodeCoordinateRequest(bytes);
     ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(envelope.join_strategy, decoded->join_strategy);
+    EXPECT_EQ(envelope.merge_fanin, decoded->merge_fanin);
     EXPECT_EQ(bytes, cubrick::wire::EncodeCoordinateRequest(*decoded));
 
     cubrick::DistributedOutcome outcome;
@@ -357,6 +419,13 @@ TEST(WireDifferentialTest, CoordinateEnvelopesRoundTripByteStable) {
     for (uint64_t p = 0; p < outcome.num_partitions; ++p) {
       outcome.partition_epochs.push_back(rng.Next());
     }
+    for (uint64_t d = 0, n = rng.NextBounded(3); d < n; ++d) {
+      outcome.dim_epochs.push_back(rng.Next());
+    }
+    outcome.strategy = static_cast<cubrick::JoinStrategy>(
+        1 + rng.NextBounded(3));  // executed plans are never kAuto
+    outcome.merge_fanin = static_cast<int>(rng.NextBounded(16));
+    outcome.tree_depth = static_cast<int>(rng.NextBounded(6));
     outcome.failed_server = rng.NextBool(0.3)
                                 ? static_cast<cluster::ServerId>(rng.Next())
                                 : cluster::kInvalidServer;
@@ -378,11 +447,16 @@ TEST(WireDifferentialTest, CoordinateEnvelopesRoundTripByteStable) {
 TEST(WireDifferentialTest, EpochMessagesRoundTrip) {
   Rng rng(0xE9);
   for (int i = 0; i < 50; ++i) {
-    std::string table = "table" + std::to_string(rng.Next());
-    std::string bytes = cubrick::wire::EncodeEpochRequest(table);
+    cubrick::wire::EpochProbe probe;
+    probe.table = "table" + std::to_string(rng.Next());
+    for (uint64_t d = 0, n = rng.NextBounded(4); d < n; ++d) {
+      probe.dims.push_back("dim" + std::to_string(rng.NextBounded(8)));
+    }
+    std::string bytes = cubrick::wire::EncodeEpochRequest(probe);
     auto decoded = cubrick::wire::DecodeEpochRequest(bytes);
     ASSERT_TRUE(decoded.ok());
-    EXPECT_EQ(table, *decoded);
+    EXPECT_EQ(probe.table, decoded->table);
+    EXPECT_EQ(probe.dims, decoded->dims);
 
     std::vector<uint64_t> epochs;
     for (uint64_t p = 0, n = rng.NextBounded(64); p < n; ++p) {
@@ -393,6 +467,149 @@ TEST(WireDifferentialTest, EpochMessagesRoundTrip) {
     ASSERT_TRUE(edecoded.ok());
     EXPECT_EQ(epochs, *edecoded);
     EXPECT_FALSE(cubrick::wire::DecodeEpochResponse(ebytes + "zz").ok());
+  }
+}
+
+TEST(WireDifferentialTest, ReplicatedTableRoundTripsByteStable) {
+  Rng rng(0xD1117);
+  for (int i = 0; i < 50; ++i) {
+    cubrick::ReplicatedTable table = RandomReplicatedTable(rng);
+    ExpectByteStableRoundTrip(
+        table,
+        [](const cubrick::ReplicatedTable& v) {
+          net::WireWriter w;
+          cubrick::wire::EncodeReplicatedTable(w, v);
+          return std::move(w).str();
+        },
+        [](std::string_view bytes) -> Result<cubrick::ReplicatedTable> {
+          net::WireReader r(bytes);
+          auto decoded = cubrick::wire::DecodeReplicatedTable(r);
+          if (decoded.ok() && !r.exhausted()) {
+            return Status::InvalidArgument("trailing bytes");
+          }
+          return decoded;
+        },
+        "ReplicatedTable");
+    // The snapshot must probe identically to the original: epoch,
+    // every set key and every unset key.
+    net::WireWriter w;
+    cubrick::wire::EncodeReplicatedTable(w, table);
+    net::WireReader r(w.str());
+    auto decoded = cubrick::wire::DecodeReplicatedTable(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(table.epoch(), decoded->epoch());
+    EXPECT_EQ(table.num_entries(), decoded->num_entries());
+    for (uint32_t k = 0; k < table.key_cardinality(); ++k) {
+      for (int a = 0; a < static_cast<int>(table.attributes().size()); ++a) {
+        EXPECT_EQ(table.Attribute(k, a), decoded->Attribute(k, a));
+      }
+    }
+  }
+}
+
+TEST(WireDifferentialTest, TreeMergeEnvelopesRoundTripByteStable) {
+  Rng rng(0x7EE);
+  for (int i = 0; i < 100; ++i) {
+    cubrick::wire::TreeMergeEnvelope envelope;
+    envelope.query = RandomQuery(rng);
+    const uint64_t n = 2 + rng.NextBounded(30);
+    for (uint64_t p = 0; p < n; ++p) {
+      envelope.partitions.push_back(static_cast<uint32_t>(rng.NextBounded(64)));
+      envelope.servers.push_back(static_cast<uint32_t>(rng.NextBounded(16)));
+    }
+    envelope.fanin = 2 + static_cast<int>(rng.NextBounded(14));
+    envelope.cache_policy = static_cast<cache::CachePolicy>(rng.NextBounded(4));
+    envelope.scan_path = static_cast<exec::ScanPath>(rng.NextBounded(2));
+    if (rng.NextBool(0.5)) envelope.fingerprint = "fp" + std::to_string(i);
+    envelope.remaining_budget =
+        static_cast<SimDuration>(rng.NextBounded(10000000));
+    if (rng.NextBool(0.3)) {
+      envelope.dims.push_back(RandomReplicatedTable(rng));
+    }
+    std::string bytes = cubrick::wire::EncodeTreeMergeRequest(envelope);
+    auto decoded = cubrick::wire::DecodeTreeMergeRequest(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(0, decoded->query.deadline);
+    EXPECT_EQ(envelope.partitions, decoded->partitions);
+    EXPECT_EQ(envelope.servers, decoded->servers);
+    EXPECT_EQ(envelope.fanin, decoded->fanin);
+    EXPECT_EQ(bytes, cubrick::wire::EncodeTreeMergeRequest(*decoded));
+    EXPECT_FALSE(
+        cubrick::wire::DecodeTreeMergeRequest(bytes.substr(0, bytes.size() / 2))
+            .ok());
+    EXPECT_FALSE(cubrick::wire::DecodeTreeMergeRequest(bytes + "x").ok());
+
+    cubrick::wire::TreeMergeResult merged;
+    merged.result = RandomResult(rng, 2);
+    for (uint64_t p = 0; p < n; ++p) {
+      merged.epochs.push_back(rng.Next());
+      merged.forward_hops.push_back(static_cast<int>(rng.NextBounded(4)));
+    }
+    std::string rbytes = cubrick::wire::EncodeTreeMergeResponse(merged);
+    auto rdecoded = cubrick::wire::DecodeTreeMergeResponse(rbytes);
+    ASSERT_TRUE(rdecoded.ok());
+    EXPECT_EQ(merged.epochs, rdecoded->epochs);
+    EXPECT_EQ(merged.forward_hops, rdecoded->forward_hops);
+    EXPECT_EQ(rbytes, cubrick::wire::EncodeTreeMergeResponse(*rdecoded));
+    EXPECT_FALSE(cubrick::wire::DecodeTreeMergeResponse(
+                     rbytes.substr(0, rbytes.size() - 1))
+                     .ok());
+  }
+}
+
+TEST(WireDifferentialTest, TreeMergeRequestRejectsMalformedShapes) {
+  Rng rng(0x7EF);
+  cubrick::wire::TreeMergeEnvelope envelope;
+  envelope.query = RandomQuery(rng);
+  envelope.partitions = {0, 1, 2};
+  envelope.servers = {0, 1, 0};
+  envelope.fanin = 2;
+  std::string good = cubrick::wire::EncodeTreeMergeRequest(envelope);
+  ASSERT_TRUE(cubrick::wire::DecodeTreeMergeRequest(good).ok());
+
+  // A fanin < 2 cannot describe a tree; the decoder must reject it
+  // rather than divide by a degenerate chunk width.
+  cubrick::wire::TreeMergeEnvelope flat = envelope;
+  flat.fanin = 1;
+  EXPECT_FALSE(
+      cubrick::wire::DecodeTreeMergeRequest(
+          cubrick::wire::EncodeTreeMergeRequest(flat))
+          .ok());
+
+  // Mismatched partition/server arrays must be rejected.
+  cubrick::wire::TreeMergeEnvelope skewed = envelope;
+  skewed.servers.pop_back();
+  EXPECT_FALSE(
+      cubrick::wire::DecodeTreeMergeRequest(
+          cubrick::wire::EncodeTreeMergeRequest(skewed))
+          .ok());
+}
+
+TEST(WireDifferentialTest, ShuffleMapEnvelopesRoundTripByteStable) {
+  Rng rng(0x5FF);
+  for (int i = 0; i < 100; ++i) {
+    cubrick::wire::ShuffleMapEnvelope envelope;
+    envelope.query = RandomQuery(rng);
+    envelope.bucket = RandomResult(rng, envelope.query.aggregations.size());
+    std::string bytes = cubrick::wire::EncodeShuffleMapRequest(envelope);
+    auto decoded = cubrick::wire::DecodeShuffleMapRequest(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(0, decoded->query.deadline);
+    EXPECT_EQ(envelope.bucket.num_groups(), decoded->bucket.num_groups());
+    EXPECT_EQ(bytes, cubrick::wire::EncodeShuffleMapRequest(*decoded));
+    EXPECT_FALSE(cubrick::wire::DecodeShuffleMapRequest(
+                     bytes.substr(0, bytes.size() / 2))
+                     .ok());
+    EXPECT_FALSE(cubrick::wire::DecodeShuffleMapRequest(bytes + "x").ok());
+
+    QueryResult mapped = RandomResult(rng, envelope.query.aggregations.size());
+    std::string rbytes = cubrick::wire::EncodeShuffleMapResponse(mapped);
+    auto rdecoded = cubrick::wire::DecodeShuffleMapResponse(rbytes);
+    ASSERT_TRUE(rdecoded.ok());
+    EXPECT_EQ(rbytes, cubrick::wire::EncodeShuffleMapResponse(*rdecoded));
+    EXPECT_FALSE(cubrick::wire::DecodeShuffleMapResponse(
+                     rbytes.substr(0, rbytes.size() - 1))
+                     .ok());
   }
 }
 
@@ -409,9 +626,14 @@ TEST(WireDifferentialTest, ClientMessagesRoundTripByteStable) {
     request.tenant_id = rng.NextBool(0.5) ? "tenant" + std::to_string(i) : "";
     request.priority = static_cast<admit::Priority>(rng.NextBounded(3));
     request.scan_path = static_cast<exec::ScanPath>(rng.NextBounded(2));
+    request.join_strategy =
+        static_cast<cubrick::JoinStrategy>(rng.NextBounded(4));
+    request.merge_fanin = static_cast<int>(rng.NextBounded(16));
     std::string bytes = cubrick::wire::EncodeClientQuery(request);
     auto decoded = cubrick::wire::DecodeClientQuery(bytes);
     ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(request.join_strategy, decoded->join_strategy);
+    EXPECT_EQ(request.merge_fanin, decoded->merge_fanin);
     // The client envelope keeps the absolute deadline: the node proxy is
     // the budget's origin.
     EXPECT_EQ(request.deadline, decoded->deadline);
